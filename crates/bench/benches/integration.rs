@@ -1,0 +1,129 @@
+//! End-to-end Criterion benchmarks: the headline SGLA-vs-SGLA+ cost gap
+//! (the paper's Section V-B argument) and the optimizer-choice ablation
+//! (COBYLA-style trust region vs Nelder–Mead on the real objective).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvag_graph::toy::toy_mvag;
+use mvag_optim::cobyla::{cobyla, CobylaParams, Constraint};
+use mvag_optim::neldermead::{nelder_mead, NelderMeadParams};
+use mvag_optim::simplex::{expand_weights, reduced_simplex_constraints};
+use mvag_sparse::eigen::EigOptions;
+use sgla_core::clustering::spectral_clustering;
+use sgla_core::objective::{ObjectiveMode, SglaObjective};
+use sgla_core::sgla::{Sgla, SglaParams};
+use sgla_core::sgla_plus::SglaPlus;
+use sgla_core::views::{KnnParams, ViewLaplacians};
+use std::hint::black_box;
+
+fn bench_sgla_vs_sgla_plus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("integration");
+    group.sample_size(10);
+    for &n in &[300usize, 1000] {
+        let mvag = toy_mvag(n, 3, 7);
+        let views = ViewLaplacians::build(&mvag, &KnnParams::default()).unwrap();
+        group.bench_with_input(BenchmarkId::new("sgla", n), &n, |b, _| {
+            b.iter(|| {
+                let out = Sgla::new(SglaParams::default())
+                    .integrate(black_box(&views), 3)
+                    .unwrap();
+                black_box(out.weights);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sgla_plus", n), &n, |b, _| {
+            b.iter(|| {
+                let out = SglaPlus::new(SglaParams::default())
+                    .integrate(black_box(&views), 3)
+                    .unwrap();
+                black_box(out.weights);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_optimizer_ablation(c: &mut Criterion) {
+    // Both optimizers get the *real* spectrum-guided objective with the
+    // same evaluation budget; the trust-region method should reach a
+    // comparable optimum in fewer evaluations (the design rationale for
+    // choosing Cobyla in Algorithm 1).
+    let mvag = toy_mvag(400, 2, 13);
+    let views = ViewLaplacians::build(&mvag, &KnnParams::default()).unwrap();
+    let mut group = c.benchmark_group("optimizer_ablation");
+    group.sample_size(10);
+    group.bench_function("cobyla_on_h", |b| {
+        b.iter(|| {
+            let obj = SglaObjective::new(
+                &views,
+                2,
+                0.5,
+                ObjectiveMode::Full,
+                EigOptions::default(),
+            )
+            .unwrap();
+            let cons: Vec<Constraint> = reduced_simplex_constraints(2);
+            let res = cobyla(
+                |v| obj.evaluate(&expand_weights(v)).map(|o| o.h).unwrap_or(f64::INFINITY),
+                &cons,
+                &[1.0 / 3.0, 1.0 / 3.0],
+                &CobylaParams {
+                    max_evals: 30,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            black_box(res.fx);
+        })
+    });
+    group.bench_function("nelder_mead_on_h", |b| {
+        b.iter(|| {
+            let obj = SglaObjective::new(
+                &views,
+                2,
+                0.5,
+                ObjectiveMode::Full,
+                EigOptions::default(),
+            )
+            .unwrap();
+            let cons: Vec<Constraint> = reduced_simplex_constraints(2);
+            let res = nelder_mead(
+                |v| obj.evaluate(&expand_weights(v)).map(|o| o.h).unwrap_or(f64::INFINITY),
+                &cons,
+                &[1.0 / 3.0, 1.0 / 3.0],
+                &NelderMeadParams {
+                    max_evals: 30,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            black_box(res.fx);
+        })
+    });
+    group.finish();
+}
+
+fn bench_clustering_stage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spectral_clustering");
+    group.sample_size(10);
+    for &n in &[500usize, 2000] {
+        let mvag = toy_mvag(n, 4, 21);
+        let views = ViewLaplacians::build(&mvag, &KnnParams::default()).unwrap();
+        let out = SglaPlus::new(SglaParams::default())
+            .integrate(&views, 4)
+            .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let labels = spectral_clustering(black_box(&out.laplacian), 4, 3).unwrap();
+                black_box(labels);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    integration,
+    bench_sgla_vs_sgla_plus,
+    bench_optimizer_ablation,
+    bench_clustering_stage
+);
+criterion_main!(integration);

@@ -1,0 +1,143 @@
+//! Criterion micro-benchmarks for the computational kernels underpinning
+//! the complexity claims of Section V: SpMV (the unit of the `O(m + qnK)`
+//! bound), the Lanczos eigensolver (`Eigenvalues(L, k+1)`), KNN graph
+//! construction, the COBYLA optimizer step, and the surrogate fit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvag_graph::generators::{balanced_labels, gaussian_attributes, sbm, GaussianAttrConfig, SbmConfig};
+use mvag_graph::knn::{knn_graph, KnnConfig};
+use mvag_optim::cobyla::{cobyla, CobylaParams, Constraint};
+use mvag_optim::simplex::reduced_simplex_constraints;
+use mvag_optim::QuadraticSurrogate;
+use mvag_sparse::eigen::{smallest_eigenvalues, EigOptions};
+use mvag_sparse::CsrMatrix;
+use std::hint::black_box;
+
+fn laplacian(n: usize, seed: u64) -> CsrMatrix {
+    let labels = balanced_labels(n, 4).expect("valid sizes");
+    let g = sbm(
+        &labels,
+        &SbmConfig {
+            p_in: 40.0 / n as f64,
+            p_out: 4.0 / n as f64,
+            ..Default::default()
+        },
+        seed,
+    )
+    .expect("valid SBM");
+    g.normalized_laplacian()
+}
+
+fn bench_spmv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmv");
+    for &n in &[1000usize, 4000, 16000] {
+        let l = laplacian(n, 1);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let mut y = vec![0.0; n];
+        group.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, _| {
+            b.iter(|| {
+                l.matvec(black_box(&x), &mut y);
+                black_box(&y);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", n), &n, |b, _| {
+            b.iter(|| {
+                l.matvec_parallel(black_box(&x), &mut y, 8);
+                black_box(&y);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_eigensolver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lanczos_smallest_k1");
+    group.sample_size(10);
+    for &n in &[1000usize, 4000] {
+        let l = laplacian(n, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let vals =
+                    smallest_eigenvalues(black_box(&l), 5, &EigOptions::default()).unwrap();
+                black_box(vals);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_knn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knn_graph");
+    group.sample_size(10);
+    for &n in &[500usize, 2000] {
+        let labels = balanced_labels(n, 4).unwrap();
+        let x = gaussian_attributes(
+            &labels,
+            &GaussianAttrConfig {
+                dim: 64,
+                ..Default::default()
+            },
+            7,
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let g = knn_graph(
+                    black_box(&x),
+                    &KnnConfig {
+                        k: 10,
+                        threads: 8,
+                    },
+                )
+                .unwrap();
+                black_box(g);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizer");
+    group.bench_function("cobyla_quadratic_3d", |b| {
+        b.iter(|| {
+            let cons: Vec<Constraint> = reduced_simplex_constraints(3);
+            let res = cobyla(
+                |v| {
+                    (v[0] - 0.2).powi(2) + (v[1] - 0.3).powi(2) + 0.5 * (v[2] - 0.1).powi(2)
+                        + v[0] * v[1]
+                },
+                &cons,
+                &[0.25, 0.25, 0.25],
+                &CobylaParams::default(),
+            )
+            .unwrap();
+            black_box(res);
+        })
+    });
+    group.bench_function("surrogate_fit_r4", |b| {
+        let samples = vec![
+            vec![0.25, 0.25, 0.25, 0.25],
+            vec![0.625, 0.125, 0.125, 0.125],
+            vec![0.125, 0.625, 0.125, 0.125],
+            vec![0.125, 0.125, 0.625, 0.125],
+            vec![0.125, 0.125, 0.125, 0.625],
+        ];
+        let values = vec![0.4, 0.7, 0.9, 0.5, 0.6];
+        b.iter(|| {
+            let s = QuadraticSurrogate::fit(black_box(&samples), black_box(&values), 0.05)
+                .unwrap();
+            black_box(s);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_spmv,
+    bench_eigensolver,
+    bench_knn,
+    bench_optimizer
+);
+criterion_main!(kernels);

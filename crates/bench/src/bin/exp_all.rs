@@ -1,0 +1,39 @@
+//! Runs every experiment (E1–E13) in sequence — the one-command
+//! reproduction of the paper's evaluation section. Tables III/IV are run
+//! once and their timings feed Figs. 5/6 directly.
+
+use mvag_bench::cli::ExpArgs;
+use mvag_bench::experiments::*;
+
+fn main() {
+    let args = ExpArgs::parse(std::env::args());
+    println!("SGLA reproduction: full experiment sweep");
+    println!(
+        "scale = {}, seed = {}, out = {}\n",
+        args.scale, args.seed, args.out_dir
+    );
+    fig2::run(&args);
+    println!();
+    fig3::run(&args);
+    println!();
+    let cluster_runs = table3::run(&args);
+    fig5::print_from_runs(&args, &cluster_runs);
+    println!();
+    let embed_runs = table4::run(&args);
+    fig6::print_from_runs(&args, &embed_runs);
+    println!();
+    fig7::run(&args);
+    println!();
+    fig8::run(&args);
+    println!();
+    fig9::run(&args);
+    println!();
+    fig10::run(&args);
+    println!();
+    fig11::run(&args);
+    println!();
+    fig12::run(&args);
+    println!();
+    memory::run(&args);
+    println!("\nAll artifacts written under {}/", args.out_dir);
+}

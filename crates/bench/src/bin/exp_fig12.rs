@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact; see `mvag_bench::experiments::fig12`.
+
+fn main() {
+    let args = mvag_bench::cli::ExpArgs::parse(std::env::args());
+    mvag_bench::experiments::fig12::run(&args);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 5 (clustering running time; reruns the Table III
+//! pipeline and reports the timing columns).
+
+fn main() {
+    let args = mvag_bench::cli::ExpArgs::parse(std::env::args());
+    mvag_bench::experiments::fig5::run(&args);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 6 (embedding running time; reruns the Table IV
+//! pipeline and reports the timing columns).
+
+fn main() {
+    let args = mvag_bench::cli::ExpArgs::parse(std::env::args());
+    mvag_bench::experiments::fig6::run(&args);
+}

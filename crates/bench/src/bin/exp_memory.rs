@@ -1,0 +1,6 @@
+//! Regenerates the memory-efficiency accounting (Sections VI-B/C).
+
+fn main() {
+    let args = mvag_bench::cli::ExpArgs::parse(std::env::args());
+    mvag_bench::experiments::memory::run(&args);
+}

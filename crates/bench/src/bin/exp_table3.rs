@@ -1,0 +1,6 @@
+//! Regenerates Table III (clustering quality).
+
+fn main() {
+    let args = mvag_bench::cli::ExpArgs::parse(std::env::args());
+    mvag_bench::experiments::table3::run(&args);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table IV (embedding quality).
+
+fn main() {
+    let args = mvag_bench::cli::ExpArgs::parse(std::env::args());
+    mvag_bench::experiments::table4::run(&args);
+}

@@ -1,0 +1,121 @@
+//! Minimal CLI argument handling shared by the experiment binaries.
+
+/// Parsed common arguments.
+#[derive(Debug, Clone)]
+pub struct ExpArgs {
+    /// Global scale multiplier on dataset sizes (default 1.0; the quick
+    /// mode of `exp_all` uses smaller values).
+    pub scale: f64,
+    /// Dataset name filter (empty = all).
+    pub datasets: Vec<String>,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Output directory for CSV artifacts.
+    pub out_dir: String,
+    /// Number of repeated runs to average (the paper averages 5).
+    pub repeats: usize,
+}
+
+impl Default for ExpArgs {
+    fn default() -> Self {
+        ExpArgs {
+            scale: 1.0,
+            datasets: Vec::new(),
+            seed: 2025,
+            out_dir: "results".into(),
+            repeats: 1,
+        }
+    }
+}
+
+impl ExpArgs {
+    /// Parses `std::env::args()`-style arguments. Unknown flags abort with
+    /// a usage message.
+    pub fn parse(args: impl Iterator<Item = String>) -> ExpArgs {
+        let mut out = ExpArgs::default();
+        let mut it = args.skip(1);
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    out.scale = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--scale needs a positive number"));
+                }
+                "--datasets" => {
+                    let v = it
+                        .next()
+                        .unwrap_or_else(|| usage("--datasets needs a comma-separated list"));
+                    out.datasets = v.split(',').map(|s| s.trim().to_string()).collect();
+                }
+                "--seed" => {
+                    out.seed = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--seed needs an integer"));
+                }
+                "--out" => {
+                    out.out_dir = it.next().unwrap_or_else(|| usage("--out needs a path"));
+                }
+                "--repeats" => {
+                    out.repeats = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--repeats needs an integer"));
+                }
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown flag {other}")),
+            }
+        }
+        out
+    }
+
+    /// Whether a dataset passes the `--datasets` filter.
+    pub fn wants(&self, name: &str) -> bool {
+        self.datasets.is_empty() || self.datasets.iter().any(|d| d == name)
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!(
+        "usage: exp_* [--scale F] [--datasets a,b,c] [--seed N] [--out DIR] [--repeats N]"
+    );
+    std::process::exit(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(list: &[&str]) -> ExpArgs {
+        let mut v = vec!["prog".to_string()];
+        v.extend(list.iter().map(|s| s.to_string()));
+        ExpArgs::parse(v.into_iter())
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert_eq!(a.scale, 1.0);
+        assert!(a.datasets.is_empty());
+        assert!(a.wants("anything"));
+    }
+
+    #[test]
+    fn parses_flags() {
+        let a = parse(&[
+            "--scale", "0.25", "--datasets", "rm,yelp", "--seed", "7", "--out", "/tmp/r",
+            "--repeats", "3",
+        ]);
+        assert_eq!(a.scale, 0.25);
+        assert_eq!(a.datasets, vec!["rm", "yelp"]);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.out_dir, "/tmp/r");
+        assert_eq!(a.repeats, 3);
+        assert!(a.wants("rm"));
+        assert!(!a.wants("imdb"));
+    }
+}

@@ -1,0 +1,65 @@
+//! E10 — Fig. 10: varying the number of weight-vector samples in SGLA+
+//! (Δs ∈ {−2, −1, 0, +2, +5, +10, +20}); accuracy, NMI, and time.
+
+use crate::cli::ExpArgs;
+use crate::pipeline::prepare;
+use crate::report::Table;
+use mvag_data::by_name;
+use mvag_eval::ClusterMetrics;
+use sgla_core::clustering::spectral_clustering;
+use sgla_core::sgla::SglaParams;
+use sgla_core::sgla_plus::SglaPlus;
+use std::time::Instant;
+
+const DELTAS: [i64; 7] = [-2, -1, 0, 2, 5, 10, 20];
+const DATASETS: [&str; 4] = ["yelp", "imdb", "dblp", "amazon-computers"];
+
+/// Runs the Δs sweep.
+pub fn run(args: &ExpArgs) {
+    println!("== Fig. 10: varying the number of SGLA+ weight samples ==");
+    let mut table = Table::new(&["dataset", "ds", "samples", "Acc", "NMI", "time(s)"]);
+    for name in DATASETS {
+        if !args.wants(name) {
+            continue;
+        }
+        let spec = by_name(name).expect("registry dataset");
+        let prep = match prepare(&spec, args.scale, args.seed) {
+            Ok(p) => p,
+            Err(e) => {
+                println!("{name}: generation failed: {e}");
+                continue;
+            }
+        };
+        for &ds in &DELTAS {
+            let plus = SglaPlus::new(SglaParams {
+                extra_samples: ds,
+                seed: args.seed,
+                ..Default::default()
+            });
+            let n_samples = plus.sample_weights(prep.views.r()).len();
+            let t = Instant::now();
+            let result = plus
+                .integrate(&prep.views, prep.mvag.k())
+                .ok()
+                .and_then(|out| {
+                    spectral_clustering(&out.laplacian, prep.mvag.k(), args.seed).ok()
+                })
+                .and_then(|lbl| {
+                    ClusterMetrics::compute(&lbl, prep.mvag.labels().expect("labels")).ok()
+                });
+            let secs = prep.views_secs + t.elapsed().as_secs_f64();
+            table.row(vec![
+                name.to_string(),
+                format!("{ds:+}"),
+                n_samples.to_string(),
+                result.map_or("-".into(), |m| format!("{:.3}", m.acc)),
+                result.map_or("-".into(), |m| format!("{:.3}", m.nmi)),
+                format!("{secs:.3}"),
+            ]);
+        }
+    }
+    print!("{}", table.render());
+    table
+        .write_csv(&args.out_dir, "fig10_samples")
+        .expect("results dir writable");
+}

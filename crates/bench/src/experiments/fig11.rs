@@ -1,0 +1,67 @@
+//! E11 — Fig. 11: clustering accuracy of the alternative integrations —
+//! SGLA+ (full objective) vs connectivity-only, eigengap-only, equal
+//! weights, and raw adjacency aggregation — plus the cross-dataset
+//! average.
+
+use crate::cli::ExpArgs;
+use crate::pipeline::{prepare, run_cluster_method, ClusterMethod};
+use crate::report::Table;
+use mvag_data::full_registry;
+
+const METHODS: [ClusterMethod; 5] = [
+    ClusterMethod::SglaPlus,
+    ClusterMethod::ConnectivityOnly,
+    ClusterMethod::EigengapOnly,
+    ClusterMethod::EqualW,
+    ClusterMethod::GraphAgg,
+];
+
+/// Runs the alternative-integration comparison.
+pub fn run(args: &ExpArgs) {
+    println!("== Fig. 11: clustering accuracy of alternative integrations ==");
+    let mut header = vec!["dataset".to_string()];
+    header.extend(METHODS.iter().map(|m| m.name().to_string()));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs);
+    let mut sums = vec![0.0f64; METHODS.len()];
+    let mut counts = vec![0usize; METHODS.len()];
+    for spec in full_registry() {
+        if !args.wants(spec.name) {
+            continue;
+        }
+        let prep = match prepare(&spec, args.scale, args.seed) {
+            Ok(p) => p,
+            Err(e) => {
+                println!("{}: generation failed: {e}", spec.name);
+                continue;
+            }
+        };
+        let mut row = vec![spec.name.to_string()];
+        for (mi, &method) in METHODS.iter().enumerate() {
+            let run = run_cluster_method(method, &prep, args.seed);
+            match run.metrics {
+                Some(m) => {
+                    sums[mi] += m.acc;
+                    counts[mi] += 1;
+                    row.push(format!("{:.3}", m.acc));
+                }
+                None => row.push("-".into()),
+            }
+        }
+        table.row(row);
+    }
+    // Average row.
+    let mut avg_row = vec!["Average".to_string()];
+    for (mi, _) in METHODS.iter().enumerate() {
+        if counts[mi] > 0 {
+            avg_row.push(format!("{:.3}", sums[mi] / counts[mi] as f64));
+        } else {
+            avg_row.push("-".into());
+        }
+    }
+    table.row(avg_row);
+    print!("{}", table.render());
+    table
+        .write_csv(&args.out_dir, "fig11_alternatives")
+        .expect("results dir writable");
+}

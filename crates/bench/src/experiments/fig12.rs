@@ -1,0 +1,140 @@
+//! E12 — Fig. 12: t-SNE visualization of node embeddings on RM and Yelp
+//! (SGLA+ vs representative baselines), written as CSV point clouds with
+//! ground-truth class labels for plotting.
+
+use crate::cli::ExpArgs;
+use crate::pipeline::{prepare, EmbedMethod};
+use crate::report::Table;
+use mvag_data::by_name;
+use mvag_eval::tsne::{tsne, TsneParams};
+use sgla_core::baselines::{attribute_svd_embedding, equal_weights};
+use sgla_core::embedding::{embed, EmbedParams};
+use sgla_core::sgla::SglaParams;
+use sgla_core::sgla_plus::SglaPlus;
+
+const DATASETS: [&str; 2] = ["rm", "yelp"];
+const METHODS: [EmbedMethod; 3] = [
+    EmbedMethod::SglaPlus,
+    EmbedMethod::EqualW,
+    EmbedMethod::AttrSvd,
+];
+
+/// Runs the embedding visualizations.
+pub fn run(args: &ExpArgs) {
+    println!("== Fig. 12: t-SNE embedding visualization (CSV point clouds) ==");
+    for name in DATASETS {
+        if !args.wants(name) {
+            continue;
+        }
+        let spec = by_name(name).expect("registry dataset");
+        // Yelp at quarter scale keeps exact t-SNE quick.
+        let scale = if name == "yelp" && (args.scale - 1.0).abs() < 1e-12 {
+            0.25
+        } else {
+            args.scale
+        };
+        let prep = match prepare(&spec, scale, args.seed) {
+            Ok(p) => p,
+            Err(e) => {
+                println!("{name}: generation failed: {e}");
+                continue;
+            }
+        };
+        let truth = prep.mvag.labels().expect("labels").to_vec();
+        let dim = 32.min(prep.mvag.n().saturating_sub(2)).max(2);
+        for method in METHODS {
+            let embedding = match method {
+                EmbedMethod::SglaPlus => SglaPlus::new(SglaParams {
+                    seed: args.seed,
+                    ..Default::default()
+                })
+                .integrate(&prep.views, prep.mvag.k())
+                .ok()
+                .and_then(|o| {
+                    embed(
+                        &o.laplacian,
+                        &EmbedParams {
+                            dim,
+                            seed: args.seed,
+                            ..Default::default()
+                        },
+                    )
+                    .ok()
+                }),
+                EmbedMethod::EqualW => equal_weights(&prep.views).ok().and_then(|l| {
+                    embed(
+                        &l,
+                        &EmbedParams {
+                            dim,
+                            seed: args.seed,
+                            ..Default::default()
+                        },
+                    )
+                    .ok()
+                }),
+                _ => attribute_svd_embedding(&prep.mvag, dim, args.seed).ok(),
+            };
+            let Some(embedding) = embedding else {
+                println!("{name}/{}: embedding failed", method.name());
+                continue;
+            };
+            let coords = match tsne(
+                &embedding,
+                &TsneParams {
+                    iters: 300,
+                    seed: args.seed,
+                    ..Default::default()
+                },
+            ) {
+                Ok(c) => c,
+                Err(e) => {
+                    println!("{name}/{}: t-SNE failed: {e}", method.name());
+                    continue;
+                }
+            };
+            let mut table = Table::new(&["x", "y", "class"]);
+            for i in 0..coords.nrows() {
+                table.row(vec![
+                    format!("{:.4}", coords[(i, 0)]),
+                    format!("{:.4}", coords[(i, 1)]),
+                    truth[i].to_string(),
+                ]);
+            }
+            let file = format!("fig12_tsne_{name}_{}", method.name().replace(['+', '-'], ""));
+            table.write_csv(&args.out_dir, &file).expect("results dir writable");
+            // Quantify class separation: mean silhouette-like ratio.
+            let sep = class_separation(&coords, &truth);
+            println!(
+                "{name}/{}: wrote {}/{}.csv (between/within distance ratio = {sep:.2})",
+                method.name(),
+                args.out_dir,
+                file
+            );
+        }
+    }
+}
+
+/// Between-class vs within-class mean distance ratio in the 2-D map
+/// (larger = visually better separated, the qualitative claim of Fig. 12).
+fn class_separation(coords: &mvag_sparse::DenseMatrix, labels: &[usize]) -> f64 {
+    let n = coords.nrows();
+    let (mut within, mut across) = (0.0f64, 0.0f64);
+    let (mut cw, mut ca) = (0usize, 0usize);
+    let stride = (n / 200).max(1); // subsample pairs for big point clouds
+    for i in (0..n).step_by(stride) {
+        for j in ((i + 1)..n).step_by(stride) {
+            let d = mvag_sparse::vecops::dist2(coords.row(i), coords.row(j)).sqrt();
+            if labels[i] == labels[j] {
+                within += d;
+                cw += 1;
+            } else {
+                across += d;
+                ca += 1;
+            }
+        }
+    }
+    if cw == 0 || ca == 0 || within == 0.0 {
+        return f64::NAN;
+    }
+    (across / ca as f64) / (within / cw as f64)
+}

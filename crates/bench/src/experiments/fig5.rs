@@ -1,0 +1,56 @@
+//! E4 — Fig. 5: clustering running time per method per dataset.
+//!
+//! Reuses the Table III pipeline (the paper's Fig. 5 reports the very same
+//! runs' wall-clock totals, with the best-quality competitor starred).
+
+use crate::cli::ExpArgs;
+use crate::experiments::table3;
+use crate::pipeline::ClusterRun;
+use crate::report::{fmt_secs, Table};
+
+/// Runs (or reuses) the clustering sweeps and prints the timing figure.
+pub fn run(args: &ExpArgs) {
+    let all_runs = table3::run(args);
+    print_from_runs(args, &all_runs);
+}
+
+/// Prints Fig. 5 from precomputed Table III runs.
+pub fn print_from_runs(args: &ExpArgs, all_runs: &[(String, Vec<ClusterRun>)]) {
+    println!("\n== Fig. 5: clustering running time (seconds) ==");
+    for (dataset, runs) in all_runs {
+        let mut table = Table::new(&["method", "time(s)", "best-quality?"]);
+        // Star the non-SGLA competitor with the best accuracy (paper marks
+        // the best-quality baseline per dataset).
+        let best_baseline = runs
+            .iter()
+            .filter(|r| r.method != "SGLA" && r.method != "SGLA+" && r.metrics.is_some())
+            .max_by(|a, b| {
+                a.metrics
+                    .unwrap()
+                    .acc
+                    .partial_cmp(&b.metrics.unwrap().acc)
+                    .expect("finite accuracy")
+            })
+            .map(|r| r.method);
+        for run in runs {
+            table.row(vec![
+                run.method.to_string(),
+                if run.metrics.is_some() {
+                    fmt_secs(run.seconds)
+                } else {
+                    "-".to_string()
+                },
+                if Some(run.method) == best_baseline {
+                    "*".to_string()
+                } else {
+                    String::new()
+                },
+            ]);
+        }
+        println!("\n-- {dataset} --");
+        print!("{}", table.render());
+        table
+            .write_csv(&args.out_dir, &format!("fig5_time_{dataset}"))
+            .expect("results dir writable");
+    }
+}

@@ -1,0 +1,52 @@
+//! E6 — Fig. 6: embedding running time per method per dataset (same runs
+//! as Table IV; best-quality competitor starred).
+
+use crate::cli::ExpArgs;
+use crate::experiments::table4;
+use crate::pipeline::EmbedRun;
+use crate::report::{fmt_secs, Table};
+
+/// Runs (or reuses) the embedding sweeps and prints the timing figure.
+pub fn run(args: &ExpArgs) {
+    let all_runs = table4::run(args);
+    print_from_runs(args, &all_runs);
+}
+
+/// Prints Fig. 6 from precomputed Table IV runs.
+pub fn print_from_runs(args: &ExpArgs, all_runs: &[(String, Vec<EmbedRun>)]) {
+    println!("\n== Fig. 6: embedding running time (seconds) ==");
+    for (dataset, runs) in all_runs {
+        let mut table = Table::new(&["method", "time(s)", "best-quality?"]);
+        let best_baseline = runs
+            .iter()
+            .filter(|r| r.method != "SGLA" && r.method != "SGLA+" && r.f1.is_some())
+            .max_by(|a, b| {
+                a.f1
+                    .unwrap()
+                    .1
+                    .partial_cmp(&b.f1.unwrap().1)
+                    .expect("finite f1")
+            })
+            .map(|r| r.method);
+        for run in runs {
+            table.row(vec![
+                run.method.to_string(),
+                if run.f1.is_some() {
+                    fmt_secs(run.seconds)
+                } else {
+                    "-".to_string()
+                },
+                if Some(run.method) == best_baseline {
+                    "*".to_string()
+                } else {
+                    String::new()
+                },
+            ]);
+        }
+        println!("\n-- {dataset} --");
+        print!("{}", table.render());
+        table
+            .write_csv(&args.out_dir, &format!("fig6_time_{dataset}"))
+            .expect("results dir writable");
+    }
+}

@@ -1,0 +1,66 @@
+//! E8 — Fig. 8: sensitivity of SGLA to the termination threshold `ε`
+//! (accuracy and running-time change relative to the default 10⁻³).
+
+use crate::cli::ExpArgs;
+use crate::pipeline::prepare;
+use crate::report::Table;
+use mvag_data::full_registry;
+use mvag_eval::ClusterMetrics;
+use sgla_core::clustering::spectral_clustering;
+use sgla_core::sgla::{Sgla, SglaParams};
+use std::time::Instant;
+
+const EPSILONS: [f64; 4] = [1e-4, 1e-3, 1e-2, 1e-1];
+
+/// Runs the ε sweep.
+pub fn run(args: &ExpArgs) {
+    println!("== Fig. 8: varying epsilon for SGLA ==");
+    let mut table = Table::new(&["dataset", "epsilon", "Acc", "time(s)", "dTime vs 1e-3"]);
+    for spec in full_registry() {
+        if !args.wants(spec.name) {
+            continue;
+        }
+        let prep = match prepare(&spec, args.scale, args.seed) {
+            Ok(p) => p,
+            Err(e) => {
+                println!("{}: generation failed: {e}", spec.name);
+                continue;
+            }
+        };
+        let mut baseline_time = None;
+        let mut rows = Vec::new();
+        for &eps in &EPSILONS {
+            let t = Instant::now();
+            let result = Sgla::new(SglaParams {
+                epsilon: eps,
+                seed: args.seed,
+                ..Default::default()
+            })
+            .integrate(&prep.views, prep.mvag.k())
+            .ok()
+            .and_then(|out| spectral_clustering(&out.laplacian, prep.mvag.k(), args.seed).ok())
+            .and_then(|lbl| {
+                ClusterMetrics::compute(&lbl, prep.mvag.labels().expect("labels")).ok()
+            });
+            let secs = prep.views_secs + t.elapsed().as_secs_f64();
+            if (eps - 1e-3).abs() < 1e-15 {
+                baseline_time = Some(secs);
+            }
+            rows.push((eps, result.map(|m| m.acc), secs));
+        }
+        let base = baseline_time.unwrap_or(1.0);
+        for (eps, acc, secs) in rows {
+            table.row(vec![
+                spec.name.to_string(),
+                format!("{eps:.0e}"),
+                acc.map_or("-".to_string(), |a| format!("{a:.3}")),
+                format!("{secs:.3}"),
+                format!("{:+.0}%", (secs / base - 1.0) * 100.0),
+            ]);
+        }
+    }
+    print!("{}", table.render());
+    table
+        .write_csv(&args.out_dir, "fig8_epsilon")
+        .expect("results dir writable");
+}

@@ -1,0 +1,17 @@
+//! One module per paper artifact (table/figure); see DESIGN.md §4 for the
+//! experiment index. Each module exposes `run(&ExpArgs)`; the `exp_*`
+//! binaries are thin wrappers and `exp_all` chains everything.
+
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig2;
+pub mod fig3;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod memory;
+pub mod table3;
+pub mod table4;

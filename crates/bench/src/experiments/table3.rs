@@ -1,0 +1,133 @@
+//! E3 — Table III: clustering quality (Acc, F1, NMI, ARI, Purity) for
+//! every method on every dataset, plus overall average ranks.
+
+use crate::cli::ExpArgs;
+use crate::pipeline::{prepare, run_cluster_method, ClusterMethod, ClusterRun};
+use crate::report::{fmt_metric, fmt_secs, Table};
+use mvag_data::full_registry;
+
+/// Runs the full clustering-quality comparison. Also returns the per-run
+/// timing data so Fig. 5 can reuse it.
+pub fn run(args: &ExpArgs) -> Vec<(String, Vec<ClusterRun>)> {
+    println!("== Table III: clustering quality ==");
+    let methods = ClusterMethod::all();
+    let mut all_runs: Vec<(String, Vec<ClusterRun>)> = Vec::new();
+    // rank bookkeeping: per method, summed ranks and count.
+    let mut rank_sum = vec![0.0f64; methods.len()];
+    let mut rank_cnt = vec![0usize; methods.len()];
+
+    for spec in full_registry() {
+        if !args.wants(spec.name) {
+            continue;
+        }
+        let prep = match prepare(&spec, args.scale, args.seed) {
+            Ok(p) => p,
+            Err(e) => {
+                println!("{}: generation failed: {e}", spec.name);
+                continue;
+            }
+        };
+        println!(
+            "\n-- {} (n = {}, r = {}, k = {}; paper n = {}) --",
+            spec.name,
+            prep.mvag.n(),
+            prep.mvag.r(),
+            prep.mvag.k(),
+            spec.paper.n
+        );
+        let mut table = Table::new(&["method", "Acc", "F1", "NMI", "ARI", "Purity", "time(s)"]);
+        let mut runs = Vec::new();
+        for (mi, &method) in methods.iter().enumerate() {
+            // Average over repeats.
+            let mut acc = Vec::new();
+            let mut reps: Vec<ClusterRun> = Vec::new();
+            for rep in 0..args.repeats.max(1) {
+                let run = run_cluster_method(method, &prep, args.seed + rep as u64);
+                reps.push(run);
+            }
+            let ok: Vec<&ClusterRun> = reps.iter().filter(|r| r.metrics.is_some()).collect();
+            let avg = |f: &dyn Fn(&ClusterRun) -> f64| -> Option<f64> {
+                if ok.is_empty() {
+                    None
+                } else {
+                    Some(ok.iter().map(|r| f(r)).sum::<f64>() / ok.len() as f64)
+                }
+            };
+            let m_acc = avg(&|r| r.metrics.unwrap().acc);
+            let m_f1 = avg(&|r| r.metrics.unwrap().f1);
+            let m_nmi = avg(&|r| r.metrics.unwrap().nmi);
+            let m_ari = avg(&|r| r.metrics.unwrap().ari);
+            let m_pur = avg(&|r| r.metrics.unwrap().purity);
+            let secs = reps.iter().map(|r| r.seconds).sum::<f64>() / reps.len() as f64;
+            table.row(vec![
+                method.name().to_string(),
+                fmt_metric(m_acc),
+                fmt_metric(m_f1),
+                fmt_metric(m_nmi),
+                fmt_metric(m_ari),
+                fmt_metric(m_pur),
+                fmt_secs(secs),
+            ]);
+            if let Some(a) = m_acc {
+                acc.push(a);
+            }
+            // Representative run for fig5 reuse: mean time, first metrics.
+            let mut rep = reps.swap_remove(0);
+            rep.seconds = secs;
+            if rep.metrics.is_none() {
+                println!("   note: {} failed: {}", method.name(), rep.note);
+            }
+            runs.push(rep);
+            let _ = mi;
+        }
+        // Ranks per metric on this dataset (1 = best; failures get worst).
+        for metric_idx in 0..5usize {
+            let extract = |r: &ClusterRun| -> Option<f64> {
+                r.metrics.map(|m| match metric_idx {
+                    0 => m.acc,
+                    1 => m.f1,
+                    2 => m.nmi,
+                    3 => m.ari,
+                    _ => m.purity,
+                })
+            };
+            let vals: Vec<Option<f64>> = runs.iter().map(extract).collect();
+            for (mi, v) in vals.iter().enumerate() {
+                let rank = match v {
+                    Some(x) => {
+                        1.0 + vals
+                            .iter()
+                            .filter(|o| matches!(o, Some(y) if y > x))
+                            .count() as f64
+                    }
+                    None => vals.len() as f64,
+                };
+                rank_sum[mi] += rank;
+                rank_cnt[mi] += 1;
+            }
+        }
+        print!("{}", table.render());
+        table
+            .write_csv(&args.out_dir, &format!("table3_{}", spec.name))
+            .expect("results dir writable");
+        all_runs.push((spec.name.to_string(), runs));
+    }
+
+    if !all_runs.is_empty() {
+        println!("\n-- overall average rank (lower is better) --");
+        let mut rank_table = Table::new(&["method", "avg rank"]);
+        for (mi, &method) in methods.iter().enumerate() {
+            let avg = if rank_cnt[mi] > 0 {
+                rank_sum[mi] / rank_cnt[mi] as f64
+            } else {
+                f64::NAN
+            };
+            rank_table.row(vec![method.name().to_string(), format!("{avg:.1}")]);
+        }
+        print!("{}", rank_table.render());
+        rank_table
+            .write_csv(&args.out_dir, "table3_ranks")
+            .expect("results dir writable");
+    }
+    all_runs
+}

@@ -1,0 +1,121 @@
+//! E5 — Table IV: embedding quality via node classification (Macro-F1 and
+//! Micro-F1, logistic regression on 20% / 1% of labels).
+
+use crate::cli::ExpArgs;
+use crate::pipeline::{prepare, run_embed_method, train_frac_for, EmbedMethod, EmbedRun};
+use crate::report::{fmt_metric, fmt_secs, Table};
+use mvag_data::full_registry;
+
+/// Embedding dimension fixed to 64, as in the paper.
+pub const EMBED_DIM: usize = 64;
+
+/// Runs the embedding-quality comparison; returns runs for Fig. 6 reuse.
+pub fn run(args: &ExpArgs) -> Vec<(String, Vec<EmbedRun>)> {
+    println!("== Table IV: embedding quality (node classification) ==");
+    let methods = EmbedMethod::all();
+    let mut all_runs = Vec::new();
+    let mut rank_sum = vec![0.0f64; methods.len()];
+    let mut rank_cnt = vec![0usize; methods.len()];
+
+    for spec in full_registry() {
+        if !args.wants(spec.name) {
+            continue;
+        }
+        let prep = match prepare(&spec, args.scale, args.seed) {
+            Ok(p) => p,
+            Err(e) => {
+                println!("{}: generation failed: {e}", spec.name);
+                continue;
+            }
+        };
+        let dim = EMBED_DIM.min(prep.mvag.n().saturating_sub(2)).max(2);
+        let train_frac = train_frac_for(spec.name);
+        println!(
+            "\n-- {} (n = {}, dim = {dim}, train = {:.0}%) --",
+            spec.name,
+            prep.mvag.n(),
+            train_frac * 100.0
+        );
+        let mut table = Table::new(&["method", "MaF1", "MiF1", "time(s)"]);
+        let mut runs = Vec::new();
+        for &method in &methods {
+            let mut reps: Vec<EmbedRun> = Vec::new();
+            for rep in 0..args.repeats.max(1) {
+                reps.push(run_embed_method(
+                    method,
+                    &prep,
+                    dim,
+                    train_frac,
+                    args.seed + rep as u64,
+                ));
+            }
+            let ok: Vec<&EmbedRun> = reps.iter().filter(|r| r.f1.is_some()).collect();
+            let maf1 = if ok.is_empty() {
+                None
+            } else {
+                Some(ok.iter().map(|r| r.f1.unwrap().0).sum::<f64>() / ok.len() as f64)
+            };
+            let mif1 = if ok.is_empty() {
+                None
+            } else {
+                Some(ok.iter().map(|r| r.f1.unwrap().1).sum::<f64>() / ok.len() as f64)
+            };
+            let secs = reps.iter().map(|r| r.seconds).sum::<f64>() / reps.len() as f64;
+            table.row(vec![
+                method.name().to_string(),
+                fmt_metric(maf1),
+                fmt_metric(mif1),
+                fmt_secs(secs),
+            ]);
+            let mut rep = reps.swap_remove(0);
+            rep.seconds = secs;
+            if rep.f1.is_none() {
+                println!("   note: {} failed: {}", method.name(), rep.note);
+            }
+            runs.push(rep);
+        }
+        // Ranks over MaF1 and MiF1.
+        for metric_idx in 0..2usize {
+            let vals: Vec<Option<f64>> = runs
+                .iter()
+                .map(|r| r.f1.map(|f| if metric_idx == 0 { f.0 } else { f.1 }))
+                .collect();
+            for (mi, v) in vals.iter().enumerate() {
+                let rank = match v {
+                    Some(x) => {
+                        1.0 + vals
+                            .iter()
+                            .filter(|o| matches!(o, Some(y) if y > x))
+                            .count() as f64
+                    }
+                    None => vals.len() as f64,
+                };
+                rank_sum[mi] += rank;
+                rank_cnt[mi] += 1;
+            }
+        }
+        print!("{}", table.render());
+        table
+            .write_csv(&args.out_dir, &format!("table4_{}", spec.name))
+            .expect("results dir writable");
+        all_runs.push((spec.name.to_string(), runs));
+    }
+
+    if !all_runs.is_empty() {
+        println!("\n-- overall average rank (lower is better) --");
+        let mut rank_table = Table::new(&["method", "avg rank"]);
+        for (mi, &method) in methods.iter().enumerate() {
+            let avg = if rank_cnt[mi] > 0 {
+                rank_sum[mi] / rank_cnt[mi] as f64
+            } else {
+                f64::NAN
+            };
+            rank_table.row(vec![method.name().to_string(), format!("{avg:.1}")]);
+        }
+        print!("{}", rank_table.render());
+        rank_table
+            .write_csv(&args.out_dir, "table4_ranks")
+            .expect("results dir writable");
+    }
+    all_runs
+}

@@ -1,0 +1,466 @@
+//! End-to-end clustering and embedding pipelines for every method in the
+//! comparison — the engine behind Tables III/IV and Figures 5/6/11.
+//!
+//! Timing conventions follow the paper: a method's wall-clock total
+//! includes view-Laplacian (and KNN) construction, integration, and the
+//! downstream clustering/embedding step. The view Laplacians are built
+//! once per dataset and the (measured) build time is charged to every
+//! method, so the 9-method sweeps don't redo the identical KNN searches
+//! nine times.
+
+use mvag_data::registry::DatasetSpec;
+use mvag_eval::classify::evaluate_embedding;
+use mvag_eval::ClusterMetrics;
+use mvag_graph::Mvag;
+use sgla_core::baselines::{
+    attribute_svd_embedding, consensus_cluster, equal_weights, graph_agg,
+    sampled_consensus_cluster, single_objective, single_view, ConsensusParams,
+};
+use sgla_core::clustering::spectral_clustering;
+use sgla_core::embedding::{embed, EmbedParams};
+use sgla_core::objective::ObjectiveMode;
+use sgla_core::sgla::{Sgla, SglaParams};
+use sgla_core::sgla_plus::SglaPlus;
+use sgla_core::views::{KnnParams, ViewLaplacians};
+use std::time::Instant;
+
+/// A dataset prepared for the method sweeps: the MVAG, its prebuilt view
+/// Laplacians, and the (shared) preprocessing time.
+pub struct Prepared {
+    /// The generated MVAG.
+    pub mvag: Mvag,
+    /// View Laplacians built once.
+    pub views: ViewLaplacians,
+    /// KNN parameters used.
+    pub knn: KnnParams,
+    /// Seconds spent building the view Laplacians (charged to every
+    /// method's total).
+    pub views_secs: f64,
+}
+
+/// Generates a dataset and builds its view Laplacians once.
+///
+/// # Errors
+/// Propagates generation and construction failures as strings (harness
+/// binaries report and continue).
+pub fn prepare(spec: &DatasetSpec, scale: f64, seed: u64) -> Result<Prepared, String> {
+    let mvag = spec.generate(scale, seed).map_err(|e| e.to_string())?;
+    let knn = knn_for(spec, &mvag);
+    let t = Instant::now();
+    let views = ViewLaplacians::build(&mvag, &knn).map_err(|e| e.to_string())?;
+    let views_secs = t.elapsed().as_secs_f64();
+    Ok(Prepared {
+        mvag,
+        views,
+        knn,
+        views_secs,
+    })
+}
+
+/// KNN parameters for a dataset spec at its generated size.
+pub fn knn_for(spec: &DatasetSpec, mvag: &Mvag) -> KnnParams {
+    KnnParams {
+        k: spec.effective_knn(mvag.n()),
+        ..Default::default()
+    }
+}
+
+/// The clustering methods compared in Table III / Figs. 5, 11.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterMethod {
+    /// SGLA+ (Algorithm 2) + spectral clustering.
+    SglaPlus,
+    /// SGLA (Algorithm 1) + spectral clustering.
+    Sgla,
+    /// Equal view weights + spectral clustering (`Equal-w`).
+    EqualW,
+    /// Raw adjacency aggregation + spectral clustering (`Graph-Agg`).
+    GraphAgg,
+    /// The single best view (oracle over views) + spectral clustering.
+    BestSingleView,
+    /// Eigengap-only objective ablation.
+    EigengapOnly,
+    /// Connectivity-only objective ablation.
+    ConnectivityOnly,
+    /// Dense consensus baseline (MCGC-like, O(n²)).
+    Consensus,
+    /// Anchor-sampled consensus baseline (MvAGC-like, linear).
+    SampledConsensus,
+}
+
+impl ClusterMethod {
+    /// Display name used in tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ClusterMethod::SglaPlus => "SGLA+",
+            ClusterMethod::Sgla => "SGLA",
+            ClusterMethod::EqualW => "Equal-w",
+            ClusterMethod::GraphAgg => "Graph-Agg",
+            ClusterMethod::BestSingleView => "Best-view",
+            ClusterMethod::EigengapOnly => "Eigengap",
+            ClusterMethod::ConnectivityOnly => "Connectivity",
+            ClusterMethod::Consensus => "Consensus",
+            ClusterMethod::SampledConsensus => "Sampled-cons.",
+        }
+    }
+
+    /// The full Table III lineup.
+    pub fn all() -> Vec<ClusterMethod> {
+        vec![
+            ClusterMethod::Consensus,
+            ClusterMethod::SampledConsensus,
+            ClusterMethod::BestSingleView,
+            ClusterMethod::EqualW,
+            ClusterMethod::GraphAgg,
+            ClusterMethod::EigengapOnly,
+            ClusterMethod::ConnectivityOnly,
+            ClusterMethod::Sgla,
+            ClusterMethod::SglaPlus,
+        ]
+    }
+}
+
+/// Result of one clustering run.
+#[derive(Debug, Clone)]
+pub struct ClusterRun {
+    /// Method display name.
+    pub method: &'static str,
+    /// Metrics vs ground truth (`None` if the method failed, e.g. the
+    /// consensus baseline exceeding its memory budget).
+    pub metrics: Option<ClusterMetrics>,
+    /// Total wall-clock seconds (including the shared preprocessing).
+    pub seconds: f64,
+    /// Failure note, when metrics are `None`.
+    pub note: String,
+}
+
+/// Runs one clustering method end to end on a prepared dataset.
+pub fn run_cluster_method(method: ClusterMethod, prep: &Prepared, seed: u64) -> ClusterRun {
+    let mvag = &prep.mvag;
+    let views = &prep.views;
+    let truth = mvag.labels().expect("registry datasets carry labels");
+    let k = mvag.k();
+    let start = Instant::now();
+    let params = SglaParams {
+        seed,
+        ..Default::default()
+    };
+    let labels: Result<Vec<usize>, String> = (|| {
+        match method {
+            ClusterMethod::SglaPlus => {
+                let out = SglaPlus::new(params).integrate(views, k).map_err(|e| e.to_string())?;
+                spectral_clustering(&out.laplacian, k, seed).map_err(|e| e.to_string())
+            }
+            ClusterMethod::Sgla => {
+                let out = Sgla::new(params).integrate(views, k).map_err(|e| e.to_string())?;
+                spectral_clustering(&out.laplacian, k, seed).map_err(|e| e.to_string())
+            }
+            ClusterMethod::EqualW => {
+                let l = equal_weights(views).map_err(|e| e.to_string())?;
+                spectral_clustering(&l, k, seed).map_err(|e| e.to_string())
+            }
+            ClusterMethod::GraphAgg => {
+                let l = graph_agg(mvag, &prep.knn).map_err(|e| e.to_string())?;
+                spectral_clustering(&l, k, seed).map_err(|e| e.to_string())
+            }
+            ClusterMethod::BestSingleView => {
+                // Oracle: cluster every view, keep the best accuracy. The
+                // time cost reflects trying all views, which is what a
+                // practitioner without SGLA would have to do.
+                let mut best: Option<(f64, Vec<usize>)> = None;
+                for i in 0..views.r() {
+                    let l = single_view(views, i).map_err(|e| e.to_string())?;
+                    if let Ok(lbl) = spectral_clustering(&l, k, seed) {
+                        let acc = ClusterMetrics::compute(&lbl, truth)
+                            .map(|m| m.acc)
+                            .unwrap_or(0.0);
+                        if best.as_ref().is_none_or(|(b, _)| acc > *b) {
+                            best = Some((acc, lbl));
+                        }
+                    }
+                }
+                best.map(|(_, l)| l).ok_or_else(|| "no view clusterable".to_string())
+            }
+            ClusterMethod::EigengapOnly => {
+                let out = single_objective(views, k, ObjectiveMode::EigengapOnly, &params)
+                    .map_err(|e| e.to_string())?;
+                spectral_clustering(&out.laplacian, k, seed).map_err(|e| e.to_string())
+            }
+            ClusterMethod::ConnectivityOnly => {
+                let out = single_objective(views, k, ObjectiveMode::ConnectivityOnly, &params)
+                    .map_err(|e| e.to_string())?;
+                spectral_clustering(&out.laplacian, k, seed).map_err(|e| e.to_string())
+            }
+            ClusterMethod::Consensus => {
+                consensus_cluster(views, k, &ConsensusParams::default()).map_err(|e| e.to_string())
+            }
+            ClusterMethod::SampledConsensus => {
+                sampled_consensus_cluster(views, k, &ConsensusParams::default())
+                    .map_err(|e| e.to_string())
+            }
+        }
+    })();
+    let seconds = prep.views_secs + start.elapsed().as_secs_f64();
+    match labels {
+        Ok(labels) => match ClusterMetrics::compute(&labels, truth) {
+            Ok(m) => ClusterRun {
+                method: method.name(),
+                metrics: Some(m),
+                seconds,
+                note: String::new(),
+            },
+            Err(e) => ClusterRun {
+                method: method.name(),
+                metrics: None,
+                seconds,
+                note: e.to_string(),
+            },
+        },
+        Err(note) => ClusterRun {
+            method: method.name(),
+            metrics: None,
+            seconds,
+            note,
+        },
+    }
+}
+
+/// The embedding methods compared in Table IV / Fig. 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EmbedMethod {
+    /// SGLA+ Laplacian → NetMF/spectral embedding.
+    SglaPlus,
+    /// SGLA Laplacian → NetMF/spectral embedding.
+    Sgla,
+    /// Equal-weight Laplacian → embedding.
+    EqualW,
+    /// Graph-Agg Laplacian → embedding.
+    GraphAgg,
+    /// Best single view (oracle) → embedding.
+    BestSingleView,
+    /// Concatenated-attribute SVD (PANE-substitute).
+    AttrSvd,
+}
+
+impl EmbedMethod {
+    /// Display name used in tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EmbedMethod::SglaPlus => "SGLA+",
+            EmbedMethod::Sgla => "SGLA",
+            EmbedMethod::EqualW => "Equal-w",
+            EmbedMethod::GraphAgg => "Graph-Agg",
+            EmbedMethod::BestSingleView => "Best-view",
+            EmbedMethod::AttrSvd => "Attr-SVD",
+        }
+    }
+
+    /// The full Table IV lineup.
+    pub fn all() -> Vec<EmbedMethod> {
+        vec![
+            EmbedMethod::AttrSvd,
+            EmbedMethod::BestSingleView,
+            EmbedMethod::EqualW,
+            EmbedMethod::GraphAgg,
+            EmbedMethod::Sgla,
+            EmbedMethod::SglaPlus,
+        ]
+    }
+}
+
+/// Result of one embedding run (node-classification protocol).
+#[derive(Debug, Clone)]
+pub struct EmbedRun {
+    /// Method display name.
+    pub method: &'static str,
+    /// `(macro_f1, micro_f1)` on the held-out labels.
+    pub f1: Option<(f64, f64)>,
+    /// Total wall-clock seconds for producing the embedding (classifier
+    /// excluded, as in the paper's "total embedding time").
+    pub seconds: f64,
+    /// Failure note.
+    pub note: String,
+}
+
+/// Runs one embedding method end to end: embed, then evaluate by logistic
+/// regression on a `train_frac` stratified split.
+pub fn run_embed_method(
+    method: EmbedMethod,
+    prep: &Prepared,
+    dim: usize,
+    train_frac: f64,
+    seed: u64,
+) -> EmbedRun {
+    let mvag = &prep.mvag;
+    let views = &prep.views;
+    let truth = mvag.labels().expect("registry datasets carry labels");
+    let k = mvag.k();
+    let start = Instant::now();
+    let params = SglaParams {
+        seed,
+        ..Default::default()
+    };
+    let emb_params = EmbedParams {
+        dim,
+        seed,
+        ..Default::default()
+    };
+    let embedding = (|| -> Result<mvag_sparse::DenseMatrix, String> {
+        match method {
+            EmbedMethod::AttrSvd => {
+                attribute_svd_embedding(mvag, dim, seed).map_err(|e| e.to_string())
+            }
+            _ => {
+                let l = match method {
+                    EmbedMethod::SglaPlus => {
+                        SglaPlus::new(params)
+                            .integrate(views, k)
+                            .map_err(|e| e.to_string())?
+                            .laplacian
+                    }
+                    EmbedMethod::Sgla => {
+                        Sgla::new(params)
+                            .integrate(views, k)
+                            .map_err(|e| e.to_string())?
+                            .laplacian
+                    }
+                    EmbedMethod::EqualW => equal_weights(views).map_err(|e| e.to_string())?,
+                    EmbedMethod::GraphAgg => {
+                        graph_agg(mvag, &prep.knn).map_err(|e| e.to_string())?
+                    }
+                    EmbedMethod::BestSingleView => {
+                        // Oracle by downstream Micro-F1.
+                        let mut best: Option<(f64, mvag_sparse::CsrMatrix)> = None;
+                        for i in 0..views.r() {
+                            let l = single_view(views, i).map_err(|e| e.to_string())?;
+                            if let Ok(e) = embed(&l, &emb_params) {
+                                if let Ok((_, mif1)) =
+                                    evaluate_embedding(&e, truth, train_frac, seed)
+                                {
+                                    if best.as_ref().is_none_or(|(b, _)| mif1 > *b) {
+                                        best = Some((mif1, l));
+                                    }
+                                }
+                            }
+                        }
+                        best.map(|(_, l)| l)
+                            .ok_or_else(|| "no view embeddable".to_string())?
+                    }
+                    EmbedMethod::AttrSvd => unreachable!("handled above"),
+                };
+                embed(&l, &emb_params).map_err(|e| e.to_string())
+            }
+        }
+    })();
+    // Attr-SVD skips the graph preprocessing; everyone else pays it.
+    let pre = if method == EmbedMethod::AttrSvd {
+        0.0
+    } else {
+        prep.views_secs
+    };
+    let seconds = pre + start.elapsed().as_secs_f64();
+    match embedding {
+        Ok(e) => match evaluate_embedding(&e, truth, train_frac, seed) {
+            Ok(f1) => EmbedRun {
+                method: method.name(),
+                f1: Some(f1),
+                seconds,
+                note: String::new(),
+            },
+            Err(err) => EmbedRun {
+                method: method.name(),
+                f1: None,
+                seconds,
+                note: err.to_string(),
+            },
+        },
+        Err(note) => EmbedRun {
+            method: method.name(),
+            f1: None,
+            seconds,
+            note,
+        },
+    }
+}
+
+/// Table IV's label budget: 20% everywhere except 1% on the MAG-scale
+/// datasets.
+pub fn train_frac_for(name: &str) -> f64 {
+    if name.starts_with("mag-") {
+        0.01
+    } else {
+        0.2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvag_graph::toy::toy_mvag;
+
+    fn prep_toy(n: usize, k: usize, seed: u64) -> Prepared {
+        let mvag = toy_mvag(n, k, seed);
+        let knn = KnnParams {
+            k: 8,
+            ..Default::default()
+        };
+        let t = Instant::now();
+        let views = ViewLaplacians::build(&mvag, &knn).unwrap();
+        Prepared {
+            mvag,
+            views,
+            knn,
+            views_secs: t.elapsed().as_secs_f64(),
+        }
+    }
+
+    #[test]
+    fn cluster_pipeline_all_methods_on_toy() {
+        let prep = prep_toy(120, 2, 5);
+        for method in ClusterMethod::all() {
+            let run = run_cluster_method(method, &prep, 3);
+            let m = run
+                .metrics
+                .unwrap_or_else(|| panic!("{} failed: {}", run.method, run.note));
+            assert!(
+                m.acc > 0.5,
+                "{}: acc = {} (worse than random)",
+                run.method,
+                m.acc
+            );
+            assert!(run.seconds >= prep.views_secs);
+        }
+    }
+
+    #[test]
+    fn sgla_methods_competitive_on_toy() {
+        let prep = prep_toy(150, 3, 11);
+        let plus = run_cluster_method(ClusterMethod::SglaPlus, &prep, 3);
+        let acc = plus.metrics.unwrap().acc;
+        assert!(acc > 0.8, "SGLA+ acc = {acc}");
+    }
+
+    #[test]
+    fn embed_pipeline_all_methods_on_toy() {
+        let prep = prep_toy(120, 2, 7);
+        for method in EmbedMethod::all() {
+            let run = run_embed_method(method, &prep, 16, 0.2, 3);
+            let (maf1, mif1) = run
+                .f1
+                .unwrap_or_else(|| panic!("{} failed: {}", run.method, run.note));
+            assert!(
+                mif1 > 0.5,
+                "{}: micro-f1 = {mif1} (worse than random)",
+                run.method
+            );
+            assert!((0.0..=1.0).contains(&maf1));
+        }
+    }
+
+    #[test]
+    fn train_frac_protocol() {
+        assert_eq!(train_frac_for("yelp"), 0.2);
+        assert_eq!(train_frac_for("mag-eng"), 0.01);
+        assert_eq!(train_frac_for("mag-phy"), 0.01);
+    }
+}

@@ -1,0 +1,133 @@
+//! Table rendering and CSV artifacts for the experiment binaries.
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// A simple fixed-width text table that mirrors the paper's layout.
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.header.len());
+        self.rows.push(cells);
+    }
+
+    /// Renders to a fixed-width string.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{cell:<w$}"));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the table as CSV under `dir/name.csv` (creating `dir`).
+    ///
+    /// # Errors
+    /// I/O failures.
+    pub fn write_csv(&self, dir: &str, name: &str) -> std::io::Result<()> {
+        fs::create_dir_all(dir)?;
+        let path = Path::new(dir).join(format!("{name}.csv"));
+        let mut f = fs::File::create(path)?;
+        writeln!(f, "{}", self.header.join(","))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a metric value like the paper's tables (3 decimals, `-` for
+/// unavailable).
+pub fn fmt_metric(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.3}"),
+        None => "-".to_string(),
+    }
+}
+
+/// Formats a duration in seconds with adaptive precision.
+pub fn fmt_secs(s: f64) -> String {
+    if s < 0.01 {
+        format!("{:.4}", s)
+    } else if s < 10.0 {
+        format!("{:.3}", s)
+    } else {
+        format!("{:.1}", s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(&["method", "acc"]);
+        t.row(vec!["sgla+".into(), "0.930".into()]);
+        t.row(vec!["a-very-long-name".into(), "0.1".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("method"));
+        assert!(lines[1].starts_with("---"));
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn csv_output() {
+        let dir = std::env::temp_dir().join("sgla-report-test");
+        let dir_s = dir.to_str().unwrap().to_string();
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.write_csv(&dir_s, "test").unwrap();
+        let content = fs::read_to_string(dir.join("test.csv")).unwrap();
+        assert_eq!(content, "a,b\n1,2\n");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metric_formatting() {
+        assert_eq!(fmt_metric(Some(0.93)), "0.930");
+        assert_eq!(fmt_metric(None), "-");
+        assert_eq!(fmt_secs(0.001), "0.0010");
+        assert_eq!(fmt_secs(1.234), "1.234");
+        assert_eq!(fmt_secs(123.4), "123.4");
+    }
+}

@@ -1,0 +1,78 @@
+//! Error type for the SGLA core.
+
+use mvag_graph::GraphError;
+use mvag_optim::OptimError;
+use mvag_sparse::SparseError;
+use std::fmt;
+
+/// Errors raised by the SGLA pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SglaError {
+    /// A linear-algebra kernel failed.
+    Sparse(SparseError),
+    /// Graph construction/analysis failed.
+    Graph(GraphError),
+    /// An optimizer failed.
+    Optim(OptimError),
+    /// Structurally invalid input (k out of range, weight vector length
+    /// mismatch, ...).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for SglaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SglaError::Sparse(e) => write!(f, "linear algebra error: {e}"),
+            SglaError::Graph(e) => write!(f, "graph error: {e}"),
+            SglaError::Optim(e) => write!(f, "optimization error: {e}"),
+            SglaError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SglaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SglaError::Sparse(e) => Some(e),
+            SglaError::Graph(e) => Some(e),
+            SglaError::Optim(e) => Some(e),
+            SglaError::InvalidArgument(_) => None,
+        }
+    }
+}
+
+impl From<SparseError> for SglaError {
+    fn from(e: SparseError) -> Self {
+        SglaError::Sparse(e)
+    }
+}
+
+impl From<GraphError> for SglaError {
+    fn from(e: GraphError) -> Self {
+        SglaError::Graph(e)
+    }
+}
+
+impl From<OptimError> for SglaError {
+    fn from(e: OptimError) -> Self {
+        SglaError::Optim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let s: SglaError = SparseError::NumericalBreakdown("lu").into();
+        assert!(s.to_string().contains("linear algebra"));
+        let g: SglaError = GraphError::InvalidArgument("x".into()).into();
+        assert!(g.to_string().contains("graph"));
+        let o: SglaError = OptimError::InvalidArgument("y".into()).into();
+        assert!(o.to_string().contains("optimization"));
+        use std::error::Error;
+        assert!(s.source().is_some());
+        assert!(SglaError::InvalidArgument("z".into()).source().is_none());
+    }
+}

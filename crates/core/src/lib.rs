@@ -1,0 +1,50 @@
+//! # sgla-core — Spectrum-Guided Laplacian Aggregation
+//!
+//! The primary contribution of *"Efficient Integration of Multi-View
+//! Attributed Graphs for Clustering and Embedding"* (ICDE 2025),
+//! implemented from scratch:
+//!
+//! * [`views`] — per-view Laplacian construction (Section III-B): graph
+//!   views contribute their normalized Laplacians, attribute views the
+//!   Laplacians of their similarity-weighted KNN graphs;
+//! * [`objective`] — the spectrum-guided objective (Section IV):
+//!   eigengap `g_k(L) = λ_k/λ_{k+1}` (Eq. 2), connectivity `λ₂(L)`, and
+//!   the full `h(w) = g_k − λ₂ + γ‖w‖²` (Eq. 5) over the weight simplex;
+//! * [`sgla`] — Algorithm 1: direct derivative-free optimization of `h`;
+//! * [`sgla_plus`] — Algorithm 2: sample `r + 1` weight vectors, fit the
+//!   quadratic surrogate `h_Θ*` (Eq. 9), optimize the surrogate instead;
+//! * [`clustering`] — downstream consumers: spectral clustering with
+//!   k-means++/Lloyd and Yu–Shi multiclass discretization;
+//! * [`embedding`] — NetMF-style factorization embedding on the integrated
+//!   graph, with a scalable spectral backend for large `n`;
+//! * [`baselines`] — the alternative integrations of the paper's Fig. 11
+//!   (single view, Equal-w, eigengap-only, connectivity-only, Graph-Agg)
+//!   plus consensus-graph clustering baselines (MCGC/MvAGC-like) for the
+//!   quality-vs-cost comparisons of Tables III/IV.
+
+#![forbid(unsafe_code)]
+// Indexed loops over matched row/column structures are the clearest idiom
+// for the numerical kernels in this crate: the index relationships *are*
+// the algorithm. The iterator rewrites clippy suggests obscure them.
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::field_reassign_with_default)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod clustering;
+pub mod embedding;
+pub mod error;
+pub mod kmeans;
+pub mod objective;
+pub mod sgla;
+pub mod sgla_plus;
+pub mod views;
+
+pub use error::SglaError;
+pub use objective::{ObjectiveMode, SglaObjective};
+pub use sgla::{Sgla, SglaOutcome, SglaParams, TracePoint};
+pub use sgla_plus::SglaPlus;
+pub use views::{KnnParams, ViewLaplacians};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, SglaError>;

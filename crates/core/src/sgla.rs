@@ -1,0 +1,261 @@
+//! SGLA — Algorithm 1 of the paper.
+//!
+//! Direct optimization of the spectrum-guided objective: starting from
+//! uniform weights, repeatedly (i) evaluate `h(w)` — one Lanczos solve on
+//! the lazily aggregated Laplacian — and (ii) update the first `r − 1`
+//! weights with the COBYLA-style optimizer under the simplex constraints
+//! `Ω`, until the weight update is negligible (`ε`) or the evaluation
+//! budget `T_max` is spent. Returns the MVAG Laplacian `L = Σ wᵢ* Lᵢ`.
+
+use crate::objective::{ObjectiveMode, SglaObjective};
+use crate::views::ViewLaplacians;
+use crate::{Result, SglaError};
+use mvag_optim::cobyla::{cobyla, CobylaParams};
+use mvag_optim::simplex::{expand_weights, project_simplex, reduced_simplex_constraints};
+use mvag_sparse::eigen::EigOptions;
+use mvag_sparse::CsrMatrix;
+use std::cell::RefCell;
+
+/// Parameters shared by SGLA and SGLA+ (the paper uses one setting across
+/// all datasets: `γ = 0.5`, `ε = 0.001`, `T_max = 50`, `α_r = 0.05`).
+#[derive(Debug, Clone)]
+pub struct SglaParams {
+    /// Regularization coefficient `γ` of Eq. 5.
+    pub gamma: f64,
+    /// Early-termination threshold `ε` on the weight update (drives the
+    /// final trust-region radius of the optimizer).
+    pub epsilon: f64,
+    /// Maximum number of objective evaluations `T_max` (each Algorithm 1
+    /// iteration performs exactly one).
+    pub t_max: usize,
+    /// Ridge parameter `α_r` of the SGLA+ surrogate regression (Eq. 9).
+    pub alpha_r: f64,
+    /// Sample-count adjustment `Δs` for SGLA+ (Fig. 10): negative removes
+    /// random samples from the canonical `r + 1`, positive adds random
+    /// simplex points.
+    pub extra_samples: i64,
+    /// Objective variant (Fig. 11 ablations).
+    pub mode: ObjectiveMode,
+    /// Eigensolver options.
+    pub eig: EigOptions,
+    /// Seed for any randomized component (extra samples, eigensolver start
+    /// vectors via `eig.seed`).
+    pub seed: u64,
+}
+
+impl Default for SglaParams {
+    fn default() -> Self {
+        SglaParams {
+            gamma: 0.5,
+            epsilon: 1e-3,
+            t_max: 50,
+            alpha_r: 0.05,
+            extra_samples: 0,
+            mode: ObjectiveMode::Full,
+            eig: EigOptions::default(),
+            seed: 13,
+        }
+    }
+}
+
+/// One recorded objective evaluation (for the convergence study, Fig. 7).
+#[derive(Debug, Clone)]
+pub struct TracePoint {
+    /// 1-based evaluation index.
+    pub eval: usize,
+    /// Full weight vector at this evaluation.
+    pub weights: Vec<f64>,
+    /// Objective value `h(w)`.
+    pub h: f64,
+}
+
+/// The result of an integration run.
+#[derive(Debug, Clone)]
+pub struct SglaOutcome {
+    /// Final view weights `w*` (on the probability simplex).
+    pub weights: Vec<f64>,
+    /// The materialized MVAG Laplacian `L = Σ wᵢ* Lᵢ`.
+    pub laplacian: CsrMatrix,
+    /// Objective value at `weights` as assessed by the optimizing model
+    /// (exact `h` for SGLA; the surrogate `h_Θ*` minimum for SGLA+).
+    pub objective: f64,
+    /// Number of *expensive* objective evaluations (eigenvalue solves).
+    pub evaluations: usize,
+    /// Per-evaluation trace of the expensive objective.
+    pub trace: Vec<TracePoint>,
+}
+
+/// Algorithm 1: direct spectrum-guided optimization.
+#[derive(Debug, Clone)]
+pub struct Sgla {
+    params: SglaParams,
+}
+
+impl Sgla {
+    /// Creates the algorithm with the given parameters.
+    pub fn new(params: SglaParams) -> Self {
+        Sgla { params }
+    }
+
+    /// Access to the parameters.
+    pub fn params(&self) -> &SglaParams {
+        &self.params
+    }
+
+    /// Integrates the views into an MVAG Laplacian for `k` clusters.
+    ///
+    /// # Errors
+    /// Propagates objective construction/evaluation and aggregation
+    /// failures; the optimizer returning without any successful objective
+    /// evaluation surfaces the first underlying error.
+    pub fn integrate(&self, views: &ViewLaplacians, k: usize) -> Result<SglaOutcome> {
+        let obj = SglaObjective::new(views, k, self.params.gamma, self.params.mode, {
+            let mut eig = self.params.eig.clone();
+            eig.seed = self.params.seed;
+            eig
+        })?;
+        let r = views.r();
+        let p = r - 1;
+        let trace: RefCell<Vec<TracePoint>> = RefCell::new(Vec::new());
+        let first_error: RefCell<Option<SglaError>> = RefCell::new(None);
+        let v0 = vec![1.0 / r as f64; p];
+        let constraints = reduced_simplex_constraints(p);
+        let eval = |v: &[f64]| -> f64 {
+            let mut w = expand_weights(v);
+            // Numerical guard: points slightly outside the simplex from
+            // trust-region exploration are projected before evaluation.
+            project_simplex(&mut w);
+            match obj.evaluate(&w) {
+                Ok(val) => {
+                    let mut t = trace.borrow_mut();
+                    let idx = t.len() + 1;
+                    t.push(TracePoint {
+                        eval: idx,
+                        weights: w,
+                        h: val.h,
+                    });
+                    val.h
+                }
+                Err(e) => {
+                    first_error.borrow_mut().get_or_insert(e);
+                    f64::INFINITY
+                }
+            }
+        };
+        let res = cobyla(
+            eval,
+            &constraints,
+            &v0,
+            &CobylaParams {
+                rho_start: 0.15,
+                rho_end: self.params.epsilon.max(1e-9),
+                max_evals: self.params.t_max.max(p + 2),
+            },
+        )?;
+        let trace = trace.into_inner();
+        if trace.is_empty() {
+            return Err(first_error
+                .into_inner()
+                .unwrap_or_else(|| SglaError::InvalidArgument("no objective evaluations".into())));
+        }
+        let mut weights = expand_weights(&res.x);
+        project_simplex(&mut weights);
+        let laplacian = views.aggregate(&weights)?;
+        Ok(SglaOutcome {
+            weights,
+            laplacian,
+            objective: res.fx,
+            evaluations: obj.evaluations(),
+            trace,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::views::KnnParams;
+    use mvag_graph::toy::{figure2_example, toy_mvag};
+    use mvag_optim::simplex::is_on_simplex;
+
+    #[test]
+    fn integrates_figure2() {
+        let views = ViewLaplacians::build(&figure2_example(), &KnnParams::default()).unwrap();
+        let out = Sgla::new(SglaParams::default()).integrate(&views, 2).unwrap();
+        assert!(is_on_simplex(&out.weights, 1e-9), "w = {:?}", out.weights);
+        assert_eq!(out.laplacian.nrows(), 8);
+        assert!(out.objective.is_finite());
+        assert!(out.evaluations >= 3);
+        assert!(!out.trace.is_empty());
+        // The optimum should not be a pure single view (the paper's Table
+        // 2b shows mixed weights dominate corners).
+        assert!(
+            out.weights.iter().all(|&w| w < 0.999),
+            "w = {:?}",
+            out.weights
+        );
+    }
+
+    #[test]
+    fn objective_decreases_along_trace() {
+        let views = ViewLaplacians::build(&figure2_example(), &KnnParams::default()).unwrap();
+        let out = Sgla::new(SglaParams::default()).integrate(&views, 2).unwrap();
+        let first = out.trace.first().unwrap().h;
+        let best = out
+            .trace
+            .iter()
+            .map(|t| t.h)
+            .fold(f64::INFINITY, f64::min);
+        assert!(best <= first + 1e-12);
+        assert!((out.objective - best).abs() < 1e-9);
+    }
+
+    #[test]
+    fn respects_eval_budget() {
+        let views = ViewLaplacians::build(&figure2_example(), &KnnParams::default()).unwrap();
+        let params = SglaParams {
+            t_max: 10,
+            ..Default::default()
+        };
+        let out = Sgla::new(params).integrate(&views, 2).unwrap();
+        assert!(out.evaluations <= 12, "evals = {}", out.evaluations);
+    }
+
+    #[test]
+    fn beats_uniform_weights_on_toy() {
+        let mvag = toy_mvag(150, 3, 21);
+        let views = ViewLaplacians::build(&mvag, &KnnParams::default()).unwrap();
+        let out = Sgla::new(SglaParams::default()).integrate(&views, 3).unwrap();
+        let obj = SglaObjective::new(
+            &views,
+            3,
+            0.5,
+            ObjectiveMode::Full,
+            EigOptions::default(),
+        )
+        .unwrap();
+        let uniform = obj.evaluate(&[1.0 / 3.0; 3]).unwrap().h;
+        assert!(
+            out.objective <= uniform + 1e-9,
+            "sgla {} vs uniform {}",
+            out.objective,
+            uniform
+        );
+    }
+
+    #[test]
+    fn invalid_k_propagates() {
+        let views = ViewLaplacians::build(&figure2_example(), &KnnParams::default()).unwrap();
+        assert!(Sgla::new(SglaParams::default()).integrate(&views, 1).is_err());
+        assert!(Sgla::new(SglaParams::default()).integrate(&views, 8).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let views = ViewLaplacians::build(&figure2_example(), &KnnParams::default()).unwrap();
+        let a = Sgla::new(SglaParams::default()).integrate(&views, 2).unwrap();
+        let b = Sgla::new(SglaParams::default()).integrate(&views, 2).unwrap();
+        assert_eq!(a.weights, b.weights);
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+}

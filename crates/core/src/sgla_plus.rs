@@ -1,0 +1,262 @@
+//! SGLA+ — Algorithm 2 of the paper.
+//!
+//! The expensive part of SGLA is that *every* optimizer step costs one
+//! eigenvalue solve. SGLA+ caps that cost at exactly `r + 1` solves:
+//!
+//! 1. **Sampling** — evaluate `h` at the uniform vector `w₀ = (1/r, …)`
+//!    and at the midpoints `w_ℓ = (w₀ + 1_ℓ)/2` towards each one-hot
+//!    vertex (each emphasizing one view);
+//! 2. **Regression** — fit the quadratic surrogate `h_Θ*` through those
+//!    observations via the ridge-regularized least-squares of Eq. (9);
+//! 3. **Surrogate optimization** — minimize `h_Θ*` over the simplex with
+//!    the same COBYLA-style optimizer; surrogate evaluations cost `O(r²)`
+//!    instead of an eigensolve.
+//!
+//! Total: `O(r(m + qnK))` — the optimization loop no longer touches the
+//! graph at all (the paper's Section V-B complexity argument).
+
+use crate::sgla::{SglaOutcome, SglaParams, TracePoint};
+use crate::objective::SglaObjective;
+use crate::views::ViewLaplacians;
+use crate::{Result, SglaError};
+use mvag_optim::cobyla::{cobyla, CobylaParams};
+use mvag_optim::simplex::{expand_weights, project_simplex, reduced_simplex_constraints};
+use mvag_optim::QuadraticSurrogate;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Algorithm 2: surrogate-accelerated spectrum-guided optimization.
+#[derive(Debug, Clone)]
+pub struct SglaPlus {
+    params: SglaParams,
+}
+
+impl SglaPlus {
+    /// Creates the algorithm with the given parameters.
+    pub fn new(params: SglaParams) -> Self {
+        SglaPlus { params }
+    }
+
+    /// Access to the parameters.
+    pub fn params(&self) -> &SglaParams {
+        &self.params
+    }
+
+    /// The canonical `r + 1` weight-vector samples (Algorithm 2, lines
+    /// 1–3), adjusted by `extra_samples` (Δs of Fig. 10): negatives drop
+    /// random non-uniform samples, positives append random simplex points.
+    pub fn sample_weights(&self, r: usize) -> Vec<Vec<f64>> {
+        let mut samples: Vec<Vec<f64>> = Vec::with_capacity(r + 1);
+        let w0 = vec![1.0 / r as f64; r];
+        samples.push(w0.clone());
+        for l in 0..r {
+            let mut w = w0.clone();
+            for (i, slot) in w.iter_mut().enumerate() {
+                let onehot = if i == l { 1.0 } else { 0.0 };
+                *slot = (*slot + onehot) / 2.0;
+            }
+            samples.push(w);
+        }
+        let mut rng = StdRng::seed_from_u64(self.params.seed ^ 0x5151_5151);
+        match self.params.extra_samples {
+            d if d < 0 => {
+                let remove = (-d) as usize;
+                for _ in 0..remove {
+                    if samples.len() <= 2 {
+                        break;
+                    }
+                    // Keep the uniform sample (index 0); drop a random other.
+                    let idx = 1 + rng.gen_range(0..samples.len() - 1);
+                    samples.remove(idx);
+                }
+            }
+            d if d > 0 => {
+                for _ in 0..d as usize {
+                    // Random point on the simplex via exponential spacings.
+                    let mut w: Vec<f64> = (0..r)
+                        .map(|_| -(rng.gen::<f64>().max(1e-300)).ln())
+                        .collect();
+                    let s: f64 = w.iter().sum();
+                    for x in w.iter_mut() {
+                        *x /= s;
+                    }
+                    samples.push(w);
+                }
+            }
+            _ => {}
+        }
+        samples
+    }
+
+    /// Integrates the views into an MVAG Laplacian for `k` clusters.
+    ///
+    /// # Errors
+    /// Propagates objective, regression, and optimizer failures.
+    pub fn integrate(&self, views: &ViewLaplacians, k: usize) -> Result<SglaOutcome> {
+        let obj = SglaObjective::new(views, k, self.params.gamma, self.params.mode, {
+            let mut eig = self.params.eig.clone();
+            eig.seed = self.params.seed;
+            eig
+        })?;
+        let r = views.r();
+        let p = r - 1;
+
+        // Lines 1–6: sample and evaluate the expensive objective.
+        let samples = self.sample_weights(r);
+        let mut values = Vec::with_capacity(samples.len());
+        let mut trace = Vec::with_capacity(samples.len());
+        for (i, w) in samples.iter().enumerate() {
+            let val = obj.evaluate(w)?;
+            values.push(val.h);
+            trace.push(TracePoint {
+                eval: i + 1,
+                weights: w.clone(),
+                h: val.h,
+            });
+        }
+
+        // Line 7: regression for Θ*.
+        let surrogate = QuadraticSurrogate::fit(&samples, &values, self.params.alpha_r)?;
+
+        // Lines 8–14: optimize the cheap surrogate.
+        let v0 = vec![1.0 / r as f64; p];
+        let constraints = reduced_simplex_constraints(p);
+        let res = cobyla(
+            |v| surrogate.eval_reduced(v),
+            &constraints,
+            &v0,
+            &CobylaParams {
+                rho_start: 0.15,
+                rho_end: self.params.epsilon.max(1e-9),
+                // Surrogate evaluations are O(r²): afford a generous budget
+                // so the surrogate optimum is located accurately.
+                max_evals: (self.params.t_max * 20).max(400),
+            },
+        )?;
+        let mut weights = expand_weights(&res.x);
+        project_simplex(&mut weights);
+
+        // Line 15: materialize L at w†.
+        let laplacian = views.aggregate(&weights)?;
+        if weights.iter().any(|w| !w.is_finite()) {
+            return Err(SglaError::InvalidArgument(
+                "surrogate optimization produced non-finite weights".into(),
+            ));
+        }
+        Ok(SglaOutcome {
+            weights,
+            laplacian,
+            objective: res.fx,
+            evaluations: obj.evaluations(),
+            trace,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::ObjectiveMode;
+    use crate::sgla::Sgla;
+    use crate::views::KnnParams;
+    use mvag_graph::toy::{figure2_example, toy_mvag};
+    use mvag_optim::simplex::is_on_simplex;
+    use mvag_sparse::eigen::EigOptions;
+
+    #[test]
+    fn canonical_sampling_scheme_matches_paper_example4() {
+        // r = 3 → w₀ = (1/3, 1/3, 1/3), w₁ = (2/3, 1/6, 1/6), etc.
+        let plus = SglaPlus::new(SglaParams::default());
+        let s = plus.sample_weights(3);
+        assert_eq!(s.len(), 4);
+        for w in &s {
+            assert!(is_on_simplex(w, 1e-12), "{w:?}");
+        }
+        assert!((s[0][0] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((s[1][0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s[1][1] - 1.0 / 6.0).abs() < 1e-12);
+        assert!((s[2][1] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s[3][2] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extra_samples_adjustment() {
+        let mk = |d: i64| {
+            SglaPlus::new(SglaParams {
+                extra_samples: d,
+                ..Default::default()
+            })
+            .sample_weights(4)
+        };
+        assert_eq!(mk(0).len(), 5);
+        assert_eq!(mk(2).len(), 7);
+        assert_eq!(mk(-2).len(), 3);
+        assert_eq!(mk(-10).len(), 2, "never drops below 2 samples");
+        for w in mk(3) {
+            assert!(is_on_simplex(&w, 1e-9), "{w:?}");
+        }
+    }
+
+    #[test]
+    fn uses_exactly_r_plus_one_evaluations() {
+        let views = ViewLaplacians::build(&figure2_example(), &KnnParams::default()).unwrap();
+        let out = SglaPlus::new(SglaParams::default()).integrate(&views, 2).unwrap();
+        assert_eq!(out.evaluations, 3); // r = 2 → r + 1 = 3
+        assert_eq!(out.trace.len(), 3);
+        assert!(is_on_simplex(&out.weights, 1e-9));
+    }
+
+    #[test]
+    fn fewer_evaluations_than_sgla() {
+        let mvag = toy_mvag(150, 3, 77);
+        let views = ViewLaplacians::build(&mvag, &KnnParams::default()).unwrap();
+        let plus = SglaPlus::new(SglaParams::default()).integrate(&views, 3).unwrap();
+        let base = Sgla::new(SglaParams::default()).integrate(&views, 3).unwrap();
+        assert!(
+            plus.evaluations < base.evaluations,
+            "SGLA+ {} vs SGLA {}",
+            plus.evaluations,
+            base.evaluations
+        );
+        assert_eq!(plus.evaluations, 4); // r = 3
+    }
+
+    #[test]
+    fn surrogate_optimum_close_to_direct_optimum() {
+        // The paper's Fig. 3 observation: h_Θ*'s minimizer is close to h's.
+        // Verify through the true objective: h(w†) should be within a
+        // modest margin of h(w*).
+        let mvag = toy_mvag(120, 2, 9);
+        let views = ViewLaplacians::build(&mvag, &KnnParams::default()).unwrap();
+        let base = Sgla::new(SglaParams::default()).integrate(&views, 2).unwrap();
+        let plus = SglaPlus::new(SglaParams::default()).integrate(&views, 2).unwrap();
+        let obj = SglaObjective::new(
+            &views,
+            2,
+            0.5,
+            ObjectiveMode::Full,
+            EigOptions::default(),
+        )
+        .unwrap();
+        let h_star = obj.evaluate(&base.weights).unwrap().h;
+        let h_dagger = obj.evaluate(&plus.weights).unwrap().h;
+        assert!(
+            h_dagger <= h_star + 0.15 * (1.0 + h_star.abs()),
+            "h(w†) = {h_dagger} vs h(w*) = {h_star}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let views = ViewLaplacians::build(&figure2_example(), &KnnParams::default()).unwrap();
+        let a = SglaPlus::new(SglaParams::default()).integrate(&views, 2).unwrap();
+        let b = SglaPlus::new(SglaParams::default()).integrate(&views, 2).unwrap();
+        assert_eq!(a.weights, b.weights);
+    }
+
+    #[test]
+    fn invalid_k_rejected() {
+        let views = ViewLaplacians::build(&figure2_example(), &KnnParams::default()).unwrap();
+        assert!(SglaPlus::new(SglaParams::default()).integrate(&views, 1).is_err());
+    }
+}

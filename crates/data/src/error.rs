@@ -1,0 +1,69 @@
+//! Error type for the dataset suite.
+
+use mvag_graph::GraphError;
+use std::fmt;
+
+/// Errors raised by dataset generation and persistence.
+#[derive(Debug)]
+pub enum DataError {
+    /// Graph/MVAG construction failed.
+    Graph(GraphError),
+    /// Filesystem I/O failed.
+    Io(std::io::Error),
+    /// (De)serialization failed.
+    Serde(String),
+    /// Structurally invalid input.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Graph(e) => write!(f, "graph error: {e}"),
+            DataError::Io(e) => write!(f, "io error: {e}"),
+            DataError::Serde(msg) => write!(f, "serialization error: {msg}"),
+            DataError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Graph(e) => Some(e),
+            DataError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for DataError {
+    fn from(e: GraphError) -> Self {
+        DataError::Graph(e)
+    }
+}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for DataError {
+    fn from(e: serde_json::Error) -> Self {
+        DataError::Serde(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(DataError::InvalidArgument("x".into()).to_string().contains("invalid"));
+        assert!(DataError::Serde("bad".into()).to_string().contains("serialization"));
+        let io: DataError = std::io::Error::new(std::io::ErrorKind::NotFound, "nope").into();
+        assert!(io.to_string().contains("io error"));
+    }
+}

@@ -1,0 +1,31 @@
+//! Synthetic dataset suite mirroring the paper's Table II, plus MVAG
+//! persistence.
+//!
+//! The eight evaluation datasets (RM, Yelp, IMDB, DBLP, Amazon photos,
+//! Amazon computers, MAG-eng, MAG-phy) are not redistributable; this crate
+//! generates synthetic stand-ins that match each dataset's **shape** —
+//! node count, number and kind of views, per-view edge density, attribute
+//! dimensionality, cluster count — plus per-view informativeness imbalance
+//! (see DESIGN.md §3 for the substitution rationale and the documented
+//! scale-downs for the MAG-scale datasets).
+//!
+//! * [`registry`] — one [`registry::DatasetSpec`] per paper dataset, with
+//!   the paper's statistics attached for reference, and a deterministic
+//!   [`registry::DatasetSpec::generate`];
+//! * [`io`] — JSON (diffable) and compact binary persistence for
+//!   [`Mvag`](mvag_graph::Mvag);
+//! * [`toy_mvag`] — re-export of the small fixture generator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod io;
+pub mod registry;
+
+pub use error::DataError;
+pub use mvag_graph::toy::toy_mvag;
+pub use registry::{by_name, full_registry, DatasetSpec};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, DataError>;

@@ -1,0 +1,455 @@
+//! Node-classification evaluation of embeddings (Table IV protocol).
+//!
+//! "A logistic regression classifier is trained on 20% of the ground truth
+//! class labels (1% for MAG-eng and MAG-phy), with the remaining labels
+//! used for testing", scored by Micro-F1 and Macro-F1.
+//!
+//! The classifier is multinomial logistic regression (softmax +
+//! cross-entropy + L2) trained by full-batch Adam on standardized
+//! features.
+
+use crate::{EvalError, Result};
+use mvag_sparse::DenseMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Hyperparameters for [`train_logistic`].
+#[derive(Debug, Clone)]
+pub struct LogisticParams {
+    /// L2 regularization strength (default `1e-4`).
+    pub l2: f64,
+    /// Full-batch Adam epochs (default 300).
+    pub epochs: usize,
+    /// Adam learning rate (default 0.1).
+    pub lr: f64,
+    /// RNG seed for initialization.
+    pub seed: u64,
+}
+
+impl Default for LogisticParams {
+    fn default() -> Self {
+        LogisticParams {
+            l2: 1e-4,
+            epochs: 300,
+            lr: 0.1,
+            seed: 37,
+        }
+    }
+}
+
+/// A trained multinomial logistic regression model.
+#[derive(Debug, Clone)]
+pub struct Logistic {
+    /// Weights, `k × (d + 1)` with the bias in the last column.
+    weights: DenseMatrix,
+    /// Feature means for standardization.
+    mean: Vec<f64>,
+    /// Feature inverse standard deviations.
+    inv_std: Vec<f64>,
+    k: usize,
+}
+
+impl Logistic {
+    /// Predicts class labels for the rows of `x`.
+    pub fn predict(&self, x: &DenseMatrix) -> Vec<usize> {
+        let n = x.nrows();
+        let d = self.mean.len();
+        debug_assert_eq!(x.ncols(), d);
+        let mut out = Vec::with_capacity(n);
+        let mut z = vec![0.0f64; d];
+        for i in 0..n {
+            for (j, zj) in z.iter_mut().enumerate() {
+                *zj = (x[(i, j)] - self.mean[j]) * self.inv_std[j];
+            }
+            let mut best = 0usize;
+            let mut best_score = f64::NEG_INFINITY;
+            for c in 0..self.k {
+                let wrow = self.weights.row(c);
+                let mut s = wrow[d]; // bias
+                for (j, &zj) in z.iter().enumerate() {
+                    s += wrow[j] * zj;
+                }
+                if s > best_score {
+                    best_score = s;
+                    best = c;
+                }
+            }
+            out.push(best);
+        }
+        out
+    }
+}
+
+/// Trains multinomial logistic regression on `(x[idx], y[idx])` for the
+/// given training indices.
+///
+/// # Errors
+/// [`EvalError::InvalidArgument`] on shape problems or empty training set.
+pub fn train_logistic(
+    x: &DenseMatrix,
+    y: &[usize],
+    k: usize,
+    train_idx: &[usize],
+    params: &LogisticParams,
+) -> Result<Logistic> {
+    let d = x.ncols();
+    if x.nrows() != y.len() {
+        return Err(EvalError::InvalidArgument(format!(
+            "{} rows vs {} labels",
+            x.nrows(),
+            y.len()
+        )));
+    }
+    if train_idx.is_empty() {
+        return Err(EvalError::InvalidArgument("empty training set".into()));
+    }
+    if k < 2 {
+        return Err(EvalError::InvalidArgument(format!(
+            "need k >= 2 classes, got {k}"
+        )));
+    }
+    for &i in train_idx {
+        if i >= x.nrows() {
+            return Err(EvalError::InvalidArgument(format!(
+                "training index {i} out of range"
+            )));
+        }
+        if y[i] >= k {
+            return Err(EvalError::InvalidArgument(format!(
+                "label {} >= k = {k}",
+                y[i]
+            )));
+        }
+    }
+    // Standardization statistics from the training split only.
+    let m = train_idx.len();
+    let mut mean = vec![0.0f64; d];
+    for &i in train_idx {
+        for (j, mj) in mean.iter_mut().enumerate() {
+            *mj += x[(i, j)];
+        }
+    }
+    for mj in mean.iter_mut() {
+        *mj /= m as f64;
+    }
+    let mut var = vec![0.0f64; d];
+    for &i in train_idx {
+        for (j, vj) in var.iter_mut().enumerate() {
+            let delta = x[(i, j)] - mean[j];
+            *vj += delta * delta;
+        }
+    }
+    let inv_std: Vec<f64> = var
+        .iter()
+        .map(|&v| {
+            let s = (v / m as f64).sqrt();
+            if s > 1e-12 {
+                1.0 / s
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    // Standardized training matrix with bias column.
+    let mut xt = DenseMatrix::zeros(m, d + 1);
+    for (row, &i) in train_idx.iter().enumerate() {
+        for j in 0..d {
+            xt[(row, j)] = (x[(i, j)] - mean[j]) * inv_std[j];
+        }
+        xt[(row, d)] = 1.0;
+    }
+    let labels: Vec<usize> = train_idx.iter().map(|&i| y[i]).collect();
+
+    // Adam on the softmax cross-entropy.
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut w = DenseMatrix::zeros(k, d + 1);
+    for v in w.data_mut() {
+        *v = (rng.gen::<f64>() - 0.5) * 0.01;
+    }
+    let mut mom = DenseMatrix::zeros(k, d + 1);
+    let mut vel = DenseMatrix::zeros(k, d + 1);
+    let (beta1, beta2, eps): (f64, f64, f64) = (0.9, 0.999, 1e-8);
+    let mut probs = vec![0.0f64; k];
+    for epoch in 1..=params.epochs {
+        let mut grad = DenseMatrix::zeros(k, d + 1);
+        for row in 0..m {
+            let xrow = xt.row(row);
+            // Softmax with max-shift.
+            let mut maxv = f64::NEG_INFINITY;
+            for c in 0..k {
+                let s = mvag_sparse::vecops::dot(w.row(c), xrow);
+                probs[c] = s;
+                maxv = maxv.max(s);
+            }
+            let mut z = 0.0;
+            for p in probs.iter_mut() {
+                *p = (*p - maxv).exp();
+                z += *p;
+            }
+            for (c, p) in probs.iter().enumerate() {
+                let err = p / z - if c == labels[row] { 1.0 } else { 0.0 };
+                if err != 0.0 {
+                    let grow = grad.row_mut(c);
+                    for (g, &xv) in grow.iter_mut().zip(xrow) {
+                        *g += err * xv;
+                    }
+                }
+            }
+        }
+        let scale = 1.0 / m as f64;
+        let bc1 = 1.0 - beta1.powi(epoch as i32);
+        let bc2 = 1.0 - beta2.powi(epoch as i32);
+        for c in 0..k {
+            for j in 0..=d {
+                let mut g = grad[(c, j)] * scale;
+                if j < d {
+                    g += params.l2 * w[(c, j)];
+                }
+                mom[(c, j)] = beta1 * mom[(c, j)] + (1.0 - beta1) * g;
+                vel[(c, j)] = beta2 * vel[(c, j)] + (1.0 - beta2) * g * g;
+                let mhat = mom[(c, j)] / bc1;
+                let vhat = vel[(c, j)] / bc2;
+                w[(c, j)] -= params.lr * mhat / (vhat.sqrt() + eps);
+            }
+        }
+    }
+    Ok(Logistic {
+        weights: w,
+        mean,
+        inv_std,
+        k,
+    })
+}
+
+/// Stratified train/test split: `train_frac` of each class (at least one
+/// node per class) goes to training.
+///
+/// # Errors
+/// [`EvalError::InvalidArgument`] for empty labels or a fraction outside
+/// `(0, 1)`.
+pub fn stratified_split(
+    labels: &[usize],
+    train_frac: f64,
+    seed: u64,
+) -> Result<(Vec<usize>, Vec<usize>)> {
+    if labels.is_empty() {
+        return Err(EvalError::InvalidArgument("empty labels".into()));
+    }
+    if !(0.0..1.0).contains(&train_frac) || train_frac == 0.0 {
+        return Err(EvalError::InvalidArgument(format!(
+            "train fraction {train_frac} outside (0, 1)"
+        )));
+    }
+    let k = labels.iter().copied().max().expect("non-empty") + 1;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (i, &l) in labels.iter().enumerate() {
+        by_class[l].push(i);
+    }
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for members in by_class.iter_mut() {
+        // Fisher–Yates shuffle.
+        for i in (1..members.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            members.swap(i, j);
+        }
+        let take = ((members.len() as f64 * train_frac).round() as usize)
+            .clamp(1.min(members.len()), members.len().saturating_sub(1).max(1));
+        train.extend_from_slice(&members[..take.min(members.len())]);
+        test.extend_from_slice(&members[take.min(members.len())..]);
+    }
+    if test.is_empty() {
+        return Err(EvalError::InvalidArgument(
+            "split left no test samples".into(),
+        ));
+    }
+    Ok((train, test))
+}
+
+/// Micro-averaged F1 (equals accuracy for single-label classification).
+pub fn micro_f1(pred: &[usize], truth: &[usize]) -> f64 {
+    debug_assert_eq!(pred.len(), truth.len());
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let correct = pred.iter().zip(truth).filter(|(a, b)| a == b).count();
+    correct as f64 / pred.len() as f64
+}
+
+/// Macro-averaged F1 over the classes present in `truth`.
+pub fn macro_f1(pred: &[usize], truth: &[usize]) -> f64 {
+    let k = truth
+        .iter()
+        .chain(pred.iter())
+        .copied()
+        .max()
+        .map_or(0, |m| m + 1);
+    crate::cluster_metrics::macro_f1_score(pred, truth, k)
+}
+
+/// End-to-end Table IV protocol: stratified split, train logistic
+/// regression, report `(macro_f1, micro_f1)` on the held-out labels.
+///
+/// # Errors
+/// Propagates split and training failures.
+pub fn evaluate_embedding(
+    embedding: &DenseMatrix,
+    labels: &[usize],
+    train_frac: f64,
+    seed: u64,
+) -> Result<(f64, f64)> {
+    if embedding.nrows() != labels.len() {
+        return Err(EvalError::InvalidArgument(format!(
+            "{} embedding rows vs {} labels",
+            embedding.nrows(),
+            labels.len()
+        )));
+    }
+    let k = labels.iter().copied().max().map_or(0, |m| m + 1);
+    let (train, test) = stratified_split(labels, train_frac, seed)?;
+    let model = train_logistic(
+        embedding,
+        labels,
+        k,
+        &train,
+        &LogisticParams {
+            seed,
+            ..Default::default()
+        },
+    )?;
+    // Predict only the test rows.
+    let mut test_x = DenseMatrix::zeros(test.len(), embedding.ncols());
+    let mut test_y = Vec::with_capacity(test.len());
+    for (row, &i) in test.iter().enumerate() {
+        test_x.row_mut(row).copy_from_slice(embedding.row(i));
+        test_y.push(labels[i]);
+    }
+    let pred = model.predict(&test_x);
+    Ok((macro_f1(&pred, &test_y), micro_f1(&pred, &test_y)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Linearly separable 2-class blobs.
+    fn blobs(n_per: usize, seed: u64) -> (DenseMatrix, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..2 {
+            let cx = if c == 0 { -2.0 } else { 2.0 };
+            for _ in 0..n_per {
+                rows.push(vec![
+                    cx + rng.gen::<f64>() - 0.5,
+                    rng.gen::<f64>() - 0.5,
+                ]);
+                labels.push(c);
+            }
+        }
+        (DenseMatrix::from_rows(&rows).unwrap(), labels)
+    }
+
+    #[test]
+    fn separable_problem_high_accuracy() {
+        let (x, y) = blobs(60, 3);
+        let (maf1, mif1) = evaluate_embedding(&x, &y, 0.2, 7).unwrap();
+        assert!(maf1 > 0.95, "macro f1 = {maf1}");
+        assert!(mif1 > 0.95, "micro f1 = {mif1}");
+    }
+
+    #[test]
+    fn three_class_problem() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        let centers = [(-3.0, 0.0), (3.0, 0.0), (0.0, 3.0)];
+        for (c, &(cx, cy)) in centers.iter().enumerate() {
+            for _ in 0..50 {
+                rows.push(vec![
+                    cx + rng.gen::<f64>() - 0.5,
+                    cy + rng.gen::<f64>() - 0.5,
+                ]);
+                labels.push(c);
+            }
+        }
+        let x = DenseMatrix::from_rows(&rows).unwrap();
+        let (maf1, mif1) = evaluate_embedding(&x, &labels, 0.2, 11).unwrap();
+        assert!(maf1 > 0.9, "macro f1 = {maf1}");
+        assert!(mif1 > 0.9);
+    }
+
+    #[test]
+    fn stratified_split_properties() {
+        let labels: Vec<usize> = (0..100).map(|i| i % 4).collect();
+        let (train, test) = stratified_split(&labels, 0.2, 9).unwrap();
+        assert_eq!(train.len() + test.len(), 100);
+        // Each class gets ~20% in training.
+        for c in 0..4 {
+            let tr = train.iter().filter(|&&i| labels[i] == c).count();
+            assert_eq!(tr, 5, "class {c} got {tr} training samples");
+        }
+        // No overlap.
+        let mut seen = vec![false; 100];
+        for &i in train.iter().chain(&test) {
+            assert!(!seen[i], "index {i} duplicated");
+            seen[i] = true;
+        }
+    }
+
+    #[test]
+    fn split_validation() {
+        assert!(stratified_split(&[], 0.2, 0).is_err());
+        assert!(stratified_split(&[0, 1], 0.0, 0).is_err());
+        assert!(stratified_split(&[0, 1], 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn micro_macro_f1_basics() {
+        let truth = [0, 0, 1, 1];
+        let pred = [0, 0, 1, 1];
+        assert_eq!(micro_f1(&pred, &truth), 1.0);
+        assert_eq!(macro_f1(&pred, &truth), 1.0);
+        let pred2 = [0, 0, 0, 0];
+        assert_eq!(micro_f1(&pred2, &truth), 0.5);
+        // Class 0: tp=2 fp=2 fn=0 → F1 = 2/3; class 1: 0 → macro 1/3.
+        assert!((macro_f1(&pred2, &truth) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn training_validation() {
+        let (x, y) = blobs(10, 1);
+        assert!(train_logistic(&x, &y, 2, &[], &LogisticParams::default()).is_err());
+        assert!(train_logistic(&x, &y, 1, &[0, 1], &LogisticParams::default()).is_err());
+        assert!(train_logistic(&x, &y[..5], 2, &[0], &LogisticParams::default()).is_err());
+        assert!(train_logistic(&x, &y, 2, &[999], &LogisticParams::default()).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let (x, y) = blobs(30, 13);
+        let a = evaluate_embedding(&x, &y, 0.3, 21).unwrap();
+        let b = evaluate_embedding(&x, &y, 0.3, 21).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn constant_feature_handled() {
+        // One feature has zero variance: inv_std = 0 must not produce NaN.
+        let x = DenseMatrix::from_rows(&[
+            vec![1.0, -2.0],
+            vec![1.0, -1.9],
+            vec![1.0, 2.0],
+            vec![1.0, 2.1],
+            vec![1.0, -2.05],
+            vec![1.0, 2.05],
+        ])
+        .unwrap();
+        let y = vec![0, 0, 1, 1, 0, 1];
+        let model = train_logistic(&x, &y, 2, &[0, 1, 2, 3], &LogisticParams::default()).unwrap();
+        let pred = model.predict(&x);
+        assert_eq!(pred[4], 0);
+        assert_eq!(pred[5], 1);
+    }
+}

@@ -1,0 +1,300 @@
+//! Clustering quality metrics — the five columns of the paper's Table III.
+//!
+//! * **Acc** — accuracy under the optimal (Hungarian) mapping of predicted
+//!   clusters to ground-truth classes;
+//! * **F1** — average per-class macro-F1 under the same mapping;
+//! * **NMI** — normalized mutual information (arithmetic-mean
+//!   normalization, the scikit-learn default used by the baseline suites);
+//! * **ARI** — adjusted Rand index (range `[-0.5, 1]`);
+//! * **Purity** — mean over clusters of the majority-class fraction.
+
+use crate::hungarian::hungarian_max;
+use crate::{EvalError, Result};
+use mvag_sparse::DenseMatrix;
+
+/// The five clustering metrics of Table III.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterMetrics {
+    /// Accuracy after optimal cluster-to-class mapping.
+    pub acc: f64,
+    /// Macro-averaged per-class F1 after the same mapping.
+    pub f1: f64,
+    /// Normalized mutual information.
+    pub nmi: f64,
+    /// Adjusted Rand index.
+    pub ari: f64,
+    /// Purity.
+    pub purity: f64,
+}
+
+impl ClusterMetrics {
+    /// Computes all five metrics for predicted clusters vs ground truth.
+    ///
+    /// # Errors
+    /// [`EvalError::InvalidArgument`] on empty or mismatched inputs.
+    pub fn compute(pred: &[usize], truth: &[usize]) -> Result<Self> {
+        if pred.is_empty() || pred.len() != truth.len() {
+            return Err(EvalError::InvalidArgument(format!(
+                "prediction length {} vs truth length {}",
+                pred.len(),
+                truth.len()
+            )));
+        }
+        let n = pred.len();
+        let kp = pred.iter().copied().max().expect("non-empty") + 1;
+        let kt = truth.iter().copied().max().expect("non-empty") + 1;
+        let k = kp.max(kt);
+        // Confusion counts: rows = predicted clusters, cols = classes.
+        let mut counts = DenseMatrix::zeros(k, k);
+        for (&p, &t) in pred.iter().zip(truth) {
+            counts[(p, t)] += 1.0;
+        }
+        // Optimal mapping for Acc/F1.
+        let (assignment, matched) = hungarian_max(&counts)?;
+        let acc = matched / n as f64;
+        // Mapped predictions → per-class F1.
+        let mapped: Vec<usize> = pred.iter().map(|&p| assignment[p]).collect();
+        let f1 = macro_f1_score(&mapped, truth, k);
+        Ok(ClusterMetrics {
+            acc,
+            f1,
+            nmi: nmi(pred, truth, kp, kt),
+            ari: ari(pred, truth, kp, kt),
+            purity: purity(pred, truth, kp, kt),
+        })
+    }
+}
+
+/// Macro-F1 over the classes present in `truth` (predicted labels must
+/// already live in the class space).
+pub fn macro_f1_score(pred: &[usize], truth: &[usize], k: usize) -> f64 {
+    let n = pred.len();
+    let mut tp = vec![0.0f64; k];
+    let mut fp = vec![0.0f64; k];
+    let mut fno = vec![0.0f64; k];
+    for i in 0..n {
+        if pred[i] == truth[i] {
+            tp[truth[i]] += 1.0;
+        } else {
+            fp[pred[i]] += 1.0;
+            fno[truth[i]] += 1.0;
+        }
+    }
+    // Average over classes that appear in the ground truth.
+    let mut present = vec![false; k];
+    for &t in truth {
+        present[t] = true;
+    }
+    let mut sum = 0.0;
+    let mut cnt = 0usize;
+    for c in 0..k {
+        if !present[c] {
+            continue;
+        }
+        cnt += 1;
+        let denom = 2.0 * tp[c] + fp[c] + fno[c];
+        if denom > 0.0 {
+            sum += 2.0 * tp[c] / denom;
+        }
+    }
+    if cnt == 0 {
+        0.0
+    } else {
+        sum / cnt as f64
+    }
+}
+
+fn contingency(pred: &[usize], truth: &[usize], kp: usize, kt: usize) -> (Vec<Vec<f64>>, Vec<f64>, Vec<f64>) {
+    let mut table = vec![vec![0.0f64; kt]; kp];
+    for (&p, &t) in pred.iter().zip(truth) {
+        table[p][t] += 1.0;
+    }
+    let rows: Vec<f64> = table.iter().map(|r| r.iter().sum()).collect();
+    let mut cols = vec![0.0f64; kt];
+    for r in &table {
+        for (j, v) in r.iter().enumerate() {
+            cols[j] += v;
+        }
+    }
+    (table, rows, cols)
+}
+
+/// Normalized mutual information with arithmetic-mean normalization.
+pub fn nmi(pred: &[usize], truth: &[usize], kp: usize, kt: usize) -> f64 {
+    let n = pred.len() as f64;
+    let (table, rows, cols) = contingency(pred, truth, kp, kt);
+    let mut mi = 0.0;
+    for (i, row) in table.iter().enumerate() {
+        for (j, &nij) in row.iter().enumerate() {
+            if nij > 0.0 {
+                mi += (nij / n) * ((nij * n) / (rows[i] * cols[j])).ln();
+            }
+        }
+    }
+    let h = |marg: &[f64]| -> f64 {
+        marg.iter()
+            .filter(|&&m| m > 0.0)
+            .map(|&m| -(m / n) * (m / n).ln())
+            .sum()
+    };
+    let denom = 0.5 * (h(&rows) + h(&cols));
+    if denom <= 0.0 {
+        // Both partitions trivial (single cluster): identical ⇒ 1 by
+        // convention when MI is also 0 and the partitions match.
+        if kp == 1 && kt == 1 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        (mi / denom).clamp(0.0, 1.0)
+    }
+}
+
+/// Adjusted Rand index.
+pub fn ari(pred: &[usize], truth: &[usize], kp: usize, kt: usize) -> f64 {
+    let n = pred.len() as f64;
+    let (table, rows, cols) = contingency(pred, truth, kp, kt);
+    let comb2 = |x: f64| x * (x - 1.0) / 2.0;
+    let sum_ij: f64 = table
+        .iter()
+        .flat_map(|r| r.iter())
+        .map(|&v| comb2(v))
+        .sum();
+    let sum_i: f64 = rows.iter().map(|&v| comb2(v)).sum();
+    let sum_j: f64 = cols.iter().map(|&v| comb2(v)).sum();
+    let total = comb2(n);
+    if total == 0.0 {
+        return 0.0;
+    }
+    let expected = sum_i * sum_j / total;
+    let max_index = 0.5 * (sum_i + sum_j);
+    let denom = max_index - expected;
+    if denom.abs() < 1e-12 {
+        // Degenerate (e.g. both partitions trivial): perfect agreement ⇒ 1.
+        if sum_ij == max_index {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        (sum_ij - expected) / denom
+    }
+}
+
+/// Purity: each predicted cluster votes for its majority class.
+pub fn purity(pred: &[usize], truth: &[usize], kp: usize, kt: usize) -> f64 {
+    let n = pred.len() as f64;
+    let (table, _, _) = contingency(pred, truth, kp, kt);
+    let correct: f64 = table
+        .iter()
+        .map(|r| r.iter().copied().fold(0.0f64, f64::max))
+        .sum();
+    correct / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_clustering_up_to_permutation() {
+        let truth = [0, 0, 1, 1, 2, 2];
+        let pred = [2, 2, 0, 0, 1, 1]; // permuted labels
+        let m = ClusterMetrics::compute(&pred, &truth).unwrap();
+        assert!((m.acc - 1.0).abs() < 1e-12);
+        assert!((m.f1 - 1.0).abs() < 1e-12);
+        assert!((m.nmi - 1.0).abs() < 1e-9);
+        assert!((m.ari - 1.0).abs() < 1e-12);
+        assert!((m.purity - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_error() {
+        let truth = [0, 0, 0, 1, 1, 1];
+        let pred = [0, 0, 0, 1, 1, 0];
+        let m = ClusterMetrics::compute(&pred, &truth).unwrap();
+        assert!((m.acc - 5.0 / 6.0).abs() < 1e-12);
+        assert!(m.nmi > 0.0 && m.nmi < 1.0);
+        assert!(m.ari > 0.0 && m.ari < 1.0);
+        assert!((m.purity - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_labels_near_zero_ari() {
+        // Deterministic pseudo-random labels: ARI near 0, NMI small.
+        let n = 3000;
+        let truth: Vec<usize> = (0..n).map(|i| i % 3).collect();
+        let mut state = 99u64;
+        let pred: Vec<usize> = (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) % 3) as usize
+            })
+            .collect();
+        let m = ClusterMetrics::compute(&pred, &truth).unwrap();
+        assert!(m.ari.abs() < 0.05, "ari = {}", m.ari);
+        assert!(m.nmi < 0.05, "nmi = {}", m.nmi);
+        assert!(m.acc < 0.45, "acc = {}", m.acc);
+    }
+
+    #[test]
+    fn all_in_one_cluster() {
+        let truth = [0, 0, 1, 1];
+        let pred = [0, 0, 0, 0];
+        let m = ClusterMetrics::compute(&pred, &truth).unwrap();
+        assert!((m.acc - 0.5).abs() < 1e-12);
+        assert_eq!(m.nmi, 0.0);
+        assert!((m.purity - 0.5).abs() < 1e-12);
+        assert!(m.ari <= 0.0 + 1e-12);
+    }
+
+    #[test]
+    fn more_clusters_than_classes() {
+        let truth = [0, 0, 0, 0, 1, 1, 1, 1];
+        let pred = [0, 0, 1, 1, 2, 2, 3, 3]; // over-segmented
+        let m = ClusterMetrics::compute(&pred, &truth).unwrap();
+        // Purity is perfect (each cluster pure), accuracy is not.
+        assert!((m.purity - 1.0).abs() < 1e-12);
+        assert!(m.acc <= 0.5 + 1e-12);
+        assert!(m.nmi > 0.0 && m.nmi < 1.0);
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(ClusterMetrics::compute(&[], &[]).is_err());
+        assert!(ClusterMetrics::compute(&[0, 1], &[0]).is_err());
+    }
+
+    #[test]
+    fn ari_known_value() {
+        // Example verifiable by hand / sklearn: truth [0,0,1,1], pred
+        // [0,0,1,2] → sklearn gives ARI = 0.5714285714...
+        let truth = [0, 0, 1, 1];
+        let pred = [0, 0, 1, 2];
+        let v = ari(&pred, &truth, 3, 2);
+        assert!((v - 0.5714285714285714).abs() < 1e-9, "ari = {v}");
+    }
+
+    #[test]
+    fn nmi_symmetry() {
+        let a = [0, 0, 1, 1, 2, 2, 0, 1];
+        let b = [1, 1, 0, 0, 2, 2, 1, 2];
+        let ab = nmi(&a, &b, 3, 3);
+        let ba = nmi(&b, &a, 3, 3);
+        assert!((ab - ba).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&ab));
+    }
+
+    #[test]
+    fn macro_f1_known_value() {
+        // Class 0: tp=2, fp=1, fn=0 → F1 = 4/5. Class 1: tp=1, fp=0, fn=1
+        // → F1 = 2/3.
+        let truth = [0, 0, 1, 1];
+        let pred = [0, 0, 1, 0];
+        let f1 = macro_f1_score(&pred, &truth, 2);
+        assert!((f1 - (0.8 + 2.0 / 3.0) / 2.0).abs() < 1e-12, "f1 = {f1}");
+    }
+}

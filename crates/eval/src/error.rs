@@ -1,0 +1,51 @@
+//! Error type for the evaluation substrate.
+
+use mvag_sparse::SparseError;
+use std::fmt;
+
+/// Errors raised by metric computation and classifiers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// A linear-algebra kernel failed.
+    Sparse(SparseError),
+    /// Structurally invalid input (length mismatches, empty label sets,
+    /// out-of-range fractions, ...).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Sparse(e) => write!(f, "linear algebra error: {e}"),
+            EvalError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EvalError::Sparse(e) => Some(e),
+            EvalError::InvalidArgument(_) => None,
+        }
+    }
+}
+
+impl From<SparseError> for EvalError {
+    fn from(e: SparseError) -> Self {
+        EvalError::Sparse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(EvalError::InvalidArgument("x".into()).to_string().contains("invalid"));
+        assert!(EvalError::from(SparseError::NumericalBreakdown("c"))
+            .to_string()
+            .contains("linear algebra"));
+    }
+}

@@ -1,0 +1,236 @@
+//! Kuhn–Munkres (Hungarian) optimal assignment.
+//!
+//! Shortest-augmenting-path formulation with dual potentials — `O(k³)` for
+//! a `k × k` cost matrix. Clustering accuracy needs the assignment of
+//! predicted clusters to ground-truth classes that maximizes the matched
+//! count; we minimize negated counts.
+
+use crate::{EvalError, Result};
+use mvag_sparse::DenseMatrix;
+
+/// Solves the min-cost assignment for a (possibly rectangular) cost matrix
+/// with `nrows ≤ ncols`. Returns `(assignment, total_cost)` where
+/// `assignment[row] = col`.
+///
+/// # Errors
+/// [`EvalError::InvalidArgument`] if the matrix is empty, has more rows
+/// than columns, or contains non-finite costs.
+pub fn hungarian_min(cost: &DenseMatrix) -> Result<(Vec<usize>, f64)> {
+    let n = cost.nrows();
+    let m = cost.ncols();
+    if n == 0 || m == 0 {
+        return Err(EvalError::InvalidArgument("empty cost matrix".into()));
+    }
+    if n > m {
+        return Err(EvalError::InvalidArgument(format!(
+            "hungarian needs nrows <= ncols, got {n} x {m}"
+        )));
+    }
+    if cost.data().iter().any(|v| !v.is_finite()) {
+        return Err(EvalError::InvalidArgument(
+            "non-finite cost entry".into(),
+        ));
+    }
+    // 1-based potentials algorithm (e-maxx formulation).
+    let inf = f64::INFINITY;
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; m + 1];
+    let mut p = vec![0usize; m + 1]; // p[j] = row matched to column j
+    let mut way = vec![0usize; m + 1];
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![inf; m + 1];
+        let mut used = vec![false; m + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = inf;
+            let mut j1 = 0usize;
+            for j in 1..=m {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost[(i0 - 1, j - 1)] - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=m {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the recorded path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+    let mut assignment = vec![usize::MAX; n];
+    let mut total = 0.0;
+    for j in 1..=m {
+        if p[j] != 0 {
+            assignment[p[j] - 1] = j - 1;
+            total += cost[(p[j] - 1, j - 1)];
+        }
+    }
+    Ok((assignment, total))
+}
+
+/// Maximizes total profit instead of minimizing cost.
+///
+/// # Errors
+/// See [`hungarian_min`].
+pub fn hungarian_max(profit: &DenseMatrix) -> Result<(Vec<usize>, f64)> {
+    let mut neg = profit.clone();
+    neg.map_inplace(|v| -v);
+    let (assign, cost) = hungarian_min(&neg)?;
+    Ok((assign, -cost))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_assignment() {
+        let cost = DenseMatrix::from_rows(&[
+            vec![0.0, 5.0, 5.0],
+            vec![5.0, 0.0, 5.0],
+            vec![5.0, 5.0, 0.0],
+        ])
+        .unwrap();
+        let (assign, total) = hungarian_min(&cost).unwrap();
+        assert_eq!(assign, vec![0, 1, 2]);
+        assert_eq!(total, 0.0);
+    }
+
+    #[test]
+    fn classic_example() {
+        // Known optimum: rows → (1, 0, 2) with cost 1+2+2 = 5... verify by
+        // brute force instead of trusting the hand computation.
+        let cost = DenseMatrix::from_rows(&[
+            vec![4.0, 1.0, 3.0],
+            vec![2.0, 0.0, 5.0],
+            vec![3.0, 2.0, 2.0],
+        ])
+        .unwrap();
+        let (assign, total) = hungarian_min(&cost).unwrap();
+        // Brute force all 6 permutations.
+        let perms = [
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ];
+        let brute = perms
+            .iter()
+            .map(|p| (0..3).map(|i| cost[(i, p[i])]).sum::<f64>())
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(total, brute);
+        // Assignment is a permutation.
+        let mut seen = [false; 3];
+        for &a in &assign {
+            assert!(!seen[a]);
+            seen[a] = true;
+        }
+    }
+
+    #[test]
+    fn rectangular_assignment() {
+        let cost = DenseMatrix::from_rows(&[
+            vec![10.0, 1.0, 10.0, 10.0],
+            vec![1.0, 10.0, 10.0, 10.0],
+        ])
+        .unwrap();
+        let (assign, total) = hungarian_min(&cost).unwrap();
+        assert_eq!(assign, vec![1, 0]);
+        assert_eq!(total, 2.0);
+    }
+
+    #[test]
+    fn maximization() {
+        let profit = DenseMatrix::from_rows(&[
+            vec![10.0, 1.0],
+            vec![1.0, 10.0],
+        ])
+        .unwrap();
+        let (assign, total) = hungarian_max(&profit).unwrap();
+        assert_eq!(assign, vec![0, 1]);
+        assert_eq!(total, 20.0);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(hungarian_min(&DenseMatrix::zeros(0, 0)).is_err());
+        assert!(hungarian_min(&DenseMatrix::zeros(3, 2)).is_err());
+        let mut nan = DenseMatrix::zeros(2, 2);
+        nan[(0, 0)] = f64::NAN;
+        assert!(hungarian_min(&nan).is_err());
+    }
+
+    #[test]
+    fn random_matches_brute_force() {
+        // 5x5 random instances vs brute force over 120 permutations.
+        let mut state = 7u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 10.0
+        };
+        for _case in 0..20 {
+            let mut cost = DenseMatrix::zeros(5, 5);
+            for i in 0..5 {
+                for j in 0..5 {
+                    cost[(i, j)] = next();
+                }
+            }
+            let (_, total) = hungarian_min(&cost).unwrap();
+            let mut best = f64::INFINITY;
+            let mut perm = [0usize, 1, 2, 3, 4];
+            permute(&mut perm, 0, &mut |p| {
+                let s: f64 = (0..5).map(|i| cost[(i, p[i])]).sum();
+                if s < best {
+                    best = s;
+                }
+            });
+            assert!(
+                (total - best).abs() < 1e-10,
+                "hungarian {total} vs brute {best}"
+            );
+        }
+    }
+
+    fn permute(arr: &mut [usize; 5], k: usize, f: &mut impl FnMut(&[usize; 5])) {
+        if k == 5 {
+            f(arr);
+            return;
+        }
+        for i in k..5 {
+            arr.swap(k, i);
+            permute(arr, k + 1, f);
+            arr.swap(k, i);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Evaluation substrate for the SGLA reproduction.
+//!
+//! Implements every measurement the paper's Section VI reports:
+//!
+//! * [`hungarian`] — Kuhn–Munkres optimal assignment (O(k³)), used to map
+//!   predicted clusters to ground-truth classes;
+//! * [`cluster_metrics`] — Accuracy, average per-class macro-F1, NMI,
+//!   adjusted Rand index, and Purity (Table III's five columns);
+//! * [`classify`] — multinomial logistic regression trained on a
+//!   stratified label split, with Micro-/Macro-F1 (Table IV's protocol:
+//!   20% training labels, 1% for the MAG-scale datasets);
+//! * [`tsne`] — exact O(n²) t-SNE for the embedding visualizations of
+//!   Fig. 12.
+
+#![forbid(unsafe_code)]
+// Indexed loops over matched row/column structures are the clearest idiom
+// for the numerical kernels in this crate: the index relationships *are*
+// the algorithm. The iterator rewrites clippy suggests obscure them.
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::field_reassign_with_default)]
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod cluster_metrics;
+pub mod error;
+pub mod hungarian;
+pub mod tsne;
+
+pub use cluster_metrics::ClusterMetrics;
+pub use error::EvalError;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, EvalError>;

@@ -1,0 +1,352 @@
+//! Exact t-SNE (van der Maaten & Hinton) for embedding visualization.
+//!
+//! Used to regenerate the paper's Fig. 12: 2-D maps of the node
+//! embeddings, colored by ground-truth class. Exact `O(n²)` pairwise
+//! computation — the figure's datasets (RM: 91 nodes, Yelp: 2,614) are
+//! comfortably within range; no Barnes–Hut tree is needed.
+
+use crate::{EvalError, Result};
+use mvag_sparse::parallel::par_map;
+use mvag_sparse::{vecops, DenseMatrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for [`tsne`].
+#[derive(Debug, Clone)]
+pub struct TsneParams {
+    /// Target perplexity (default 30; clamped to `(n − 1) / 3`).
+    pub perplexity: f64,
+    /// Gradient-descent iterations (default 400).
+    pub iters: usize,
+    /// Learning rate (default 100.0).
+    pub learning_rate: f64,
+    /// Early-exaggeration factor applied for the first quarter of the
+    /// iterations (default 12).
+    pub early_exaggeration: f64,
+    /// Output dimensionality (2 for figures).
+    pub out_dim: usize,
+    /// RNG seed for the initial layout.
+    pub seed: u64,
+    /// Worker threads for the pairwise kernels.
+    pub threads: usize,
+}
+
+impl Default for TsneParams {
+    fn default() -> Self {
+        TsneParams {
+            perplexity: 30.0,
+            iters: 400,
+            learning_rate: 100.0,
+            early_exaggeration: 12.0,
+            out_dim: 2,
+            seed: 47,
+            threads: mvag_sparse::parallel::default_threads(),
+        }
+    }
+}
+
+/// Embeds the rows of `x` into `out_dim` dimensions with exact t-SNE.
+///
+/// # Errors
+/// [`EvalError::InvalidArgument`] for fewer than 4 rows or invalid
+/// parameters.
+pub fn tsne(x: &DenseMatrix, params: &TsneParams) -> Result<DenseMatrix> {
+    let n = x.nrows();
+    if n < 4 {
+        return Err(EvalError::InvalidArgument(format!(
+            "t-SNE needs at least 4 points, got {n}"
+        )));
+    }
+    if params.out_dim == 0 || params.iters == 0 || params.perplexity <= 1.0 {
+        return Err(EvalError::InvalidArgument(
+            "t-SNE parameters out of range".into(),
+        ));
+    }
+    let perplexity = params.perplexity.min((n as f64 - 1.0) / 3.0).max(2.0);
+
+    // Pairwise squared distances in the input space (parallel rows).
+    let d2: Vec<Vec<f64>> = par_map(n, params.threads, |i| {
+        let mut row = vec![0.0f64; n];
+        for (j, slot) in row.iter_mut().enumerate() {
+            if j != i {
+                *slot = vecops::dist2(x.row(i), x.row(j));
+            }
+        }
+        row
+    });
+
+    // Conditional distributions p_{j|i} via per-row bandwidth search.
+    let target_entropy = perplexity.ln();
+    let p_cond: Vec<Vec<f64>> = par_map(n, params.threads, |i| {
+        row_affinities(&d2[i], i, target_entropy)
+    });
+
+    // Symmetrize: p_ij = (p_{j|i} + p_{i|j}) / 2n.
+    let mut p = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                p[i * n + j] = (p_cond[i][j] + p_cond[j][i]) / (2.0 * n as f64);
+            }
+        }
+    }
+    let psum: f64 = p.iter().sum();
+    if psum > 0.0 {
+        for v in p.iter_mut() {
+            *v = (*v / psum).max(1e-12);
+        }
+    }
+
+    // Initial layout: small Gaussian noise.
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let dim = params.out_dim;
+    let mut y: Vec<f64> = (0..n * dim)
+        .map(|_| (rng.gen::<f64>() - 0.5) * 1e-2)
+        .collect();
+    let mut y_inc = vec![0.0f64; n * dim];
+    let mut gains = vec![1.0f64; n * dim];
+
+    let exag_iters = params.iters / 4;
+    for iter in 0..params.iters {
+        let exag = if iter < exag_iters {
+            params.early_exaggeration
+        } else {
+            1.0
+        };
+        // Student-t kernel numerators and normalizer.
+        let num: Vec<Vec<f64>> = par_map(n, params.threads, |i| {
+            let yi = &y[i * dim..(i + 1) * dim];
+            let mut row = vec![0.0f64; n];
+            for (j, slot) in row.iter_mut().enumerate() {
+                if j != i {
+                    let yj = &y[j * dim..(j + 1) * dim];
+                    *slot = 1.0 / (1.0 + vecops::dist2(yi, yj));
+                }
+            }
+            row
+        });
+        let z: f64 = num.iter().map(|r| r.iter().sum::<f64>()).sum();
+        let z = z.max(1e-12);
+        // Gradient: 4 Σ_j (exag·p_ij − q_ij) num_ij (y_i − y_j).
+        let grad: Vec<Vec<f64>> = par_map(n, params.threads, |i| {
+            let yi = &y[i * dim..(i + 1) * dim];
+            let mut g = vec![0.0f64; dim];
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let q = num[i][j] / z;
+                let coeff = 4.0 * (exag * p[i * n + j] - q) * num[i][j];
+                let yj = &y[j * dim..(j + 1) * dim];
+                for d in 0..dim {
+                    g[d] += coeff * (yi[d] - yj[d]);
+                }
+            }
+            g
+        });
+        // Momentum + adaptive gains update.
+        let momentum = if iter < exag_iters { 0.5 } else { 0.8 };
+        for i in 0..n {
+            for d in 0..dim {
+                let idx = i * dim + d;
+                let g = grad[i][d];
+                gains[idx] = if (g > 0.0) == (y_inc[idx] > 0.0) {
+                    (gains[idx] * 0.8).max(0.01)
+                } else {
+                    gains[idx] + 0.2
+                };
+                y_inc[idx] = momentum * y_inc[idx] - params.learning_rate * gains[idx] * g;
+                y[idx] += y_inc[idx];
+            }
+        }
+        // Re-center.
+        for d in 0..dim {
+            let mean: f64 = (0..n).map(|i| y[i * dim + d]).sum::<f64>() / n as f64;
+            for i in 0..n {
+                y[i * dim + d] -= mean;
+            }
+        }
+    }
+    DenseMatrix::from_vec(n, dim, y).map_err(EvalError::from)
+}
+
+/// Binary-search the Gaussian bandwidth for row `i` so the conditional
+/// distribution's entropy matches `target_entropy`; returns `p_{j|i}`.
+fn row_affinities(d2_row: &[f64], i: usize, target_entropy: f64) -> Vec<f64> {
+    let n = d2_row.len();
+    let mut beta = 1.0f64; // 1 / (2σ²)
+    let mut beta_min = f64::NEG_INFINITY;
+    let mut beta_max = f64::INFINITY;
+    let mut p = vec![0.0f64; n];
+    for _ in 0..60 {
+        let mut sum = 0.0;
+        for (j, &dist) in d2_row.iter().enumerate() {
+            p[j] = if j == i { 0.0 } else { (-beta * dist).exp() };
+            sum += p[j];
+        }
+        if sum <= 0.0 {
+            // All mass collapsed; lower beta.
+            beta_max = beta;
+            beta = if beta_min.is_finite() {
+                (beta + beta_min) / 2.0
+            } else {
+                beta / 2.0
+            };
+            continue;
+        }
+        // Entropy H = ln(sum) + beta * <d²>.
+        let mut weighted = 0.0;
+        for (j, &dist) in d2_row.iter().enumerate() {
+            weighted += p[j] * dist;
+        }
+        let entropy = sum.ln() + beta * weighted / sum;
+        let diff = entropy - target_entropy;
+        if diff.abs() < 1e-5 {
+            break;
+        }
+        if diff > 0.0 {
+            beta_min = beta;
+            beta = if beta_max.is_finite() {
+                (beta + beta_max) / 2.0
+            } else {
+                beta * 2.0
+            };
+        } else {
+            beta_max = beta;
+            beta = if beta_min.is_finite() {
+                (beta + beta_min) / 2.0
+            } else {
+                beta / 2.0
+            };
+        }
+    }
+    let sum: f64 = p.iter().sum();
+    if sum > 0.0 {
+        for v in p.iter_mut() {
+            *v /= sum;
+        }
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(n_per: usize, sep: f64, seed: u64) -> (DenseMatrix, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..2 {
+            let cx = if c == 0 { -sep } else { sep };
+            for _ in 0..n_per {
+                rows.push(vec![
+                    cx + rng.gen::<f64>() - 0.5,
+                    rng.gen::<f64>() - 0.5,
+                    rng.gen::<f64>() - 0.5,
+                ]);
+                labels.push(c);
+            }
+        }
+        (DenseMatrix::from_rows(&rows).unwrap(), labels)
+    }
+
+    #[test]
+    fn separates_blobs_in_2d() {
+        let (x, labels) = blobs(40, 5.0, 3);
+        let params = TsneParams {
+            iters: 250,
+            perplexity: 15.0,
+            ..Default::default()
+        };
+        let y = tsne(&x, &params).unwrap();
+        assert_eq!(y.nrows(), 80);
+        assert_eq!(y.ncols(), 2);
+        // Cluster separation in the output: mean within-class distance
+        // well below between-class distance.
+        let mut within = 0.0;
+        let mut across = 0.0;
+        let (mut cw, mut ca) = (0, 0);
+        for i in 0..80 {
+            for j in (i + 1)..80 {
+                let d = vecops::dist2(y.row(i), y.row(j)).sqrt();
+                if labels[i] == labels[j] {
+                    within += d;
+                    cw += 1;
+                } else {
+                    across += d;
+                    ca += 1;
+                }
+            }
+        }
+        within /= cw as f64;
+        across /= ca as f64;
+        assert!(
+            across > 1.5 * within,
+            "within {within} vs across {across}"
+        );
+    }
+
+    #[test]
+    fn output_is_finite_and_centered() {
+        let (x, _) = blobs(20, 2.0, 7);
+        let y = tsne(
+            &x,
+            &TsneParams {
+                iters: 100,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(y.data().iter().all(|v| v.is_finite()));
+        for d in 0..2 {
+            let mean: f64 = y.col(d).iter().sum::<f64>() / y.nrows() as f64;
+            assert!(mean.abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn validates_input() {
+        let x = DenseMatrix::zeros(3, 2);
+        assert!(tsne(&x, &TsneParams::default()).is_err());
+        let ok = DenseMatrix::zeros(10, 2);
+        let bad = TsneParams {
+            perplexity: 0.5,
+            ..Default::default()
+        };
+        assert!(tsne(&ok, &bad).is_err());
+        let bad2 = TsneParams {
+            iters: 0,
+            ..Default::default()
+        };
+        assert!(tsne(&ok, &bad2).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let (x, _) = blobs(15, 3.0, 9);
+        let p = TsneParams {
+            iters: 60,
+            ..Default::default()
+        };
+        let a = tsne(&x, &p).unwrap();
+        let b = tsne(&x, &p).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn affinity_rows_are_distributions() {
+        let (x, _) = blobs(10, 2.0, 1);
+        let n = x.nrows();
+        for i in 0..n {
+            let d2: Vec<f64> = (0..n)
+                .map(|j| vecops::dist2(x.row(i), x.row(j)))
+                .collect();
+            let p = row_affinities(&d2, i, 5.0f64.ln());
+            let sum: f64 = p.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            assert_eq!(p[i], 0.0);
+            assert!(p.iter().all(|&v| v >= 0.0));
+        }
+    }
+}

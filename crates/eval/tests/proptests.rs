@@ -1,0 +1,120 @@
+//! Property-based tests for the evaluation substrate.
+
+use mvag_eval::cluster_metrics::{ari, nmi, purity, ClusterMetrics};
+use mvag_eval::classify::{micro_f1, stratified_split};
+use mvag_eval::hungarian::{hungarian_max, hungarian_min};
+use mvag_sparse::DenseMatrix;
+use proptest::prelude::*;
+
+fn labels_strategy(max_n: usize, k: usize) -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0..k, 4..max_n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn metrics_perfect_on_identical_labels(truth in labels_strategy(60, 4)) {
+        let m = ClusterMetrics::compute(&truth, &truth).unwrap();
+        prop_assert!((m.acc - 1.0).abs() < 1e-12);
+        prop_assert!((m.purity - 1.0).abs() < 1e-12);
+        prop_assert!((m.f1 - 1.0).abs() < 1e-12);
+        prop_assert!(m.ari > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn metrics_invariant_to_label_permutation(truth in labels_strategy(60, 3), shift in 1usize..3) {
+        // Cyclically permute predicted label ids: all metrics unchanged.
+        let pred: Vec<usize> = truth.iter().map(|&l| (l + shift) % 3).collect();
+        let m = ClusterMetrics::compute(&pred, &truth).unwrap();
+        prop_assert!((m.acc - 1.0).abs() < 1e-12, "acc = {}", m.acc);
+        prop_assert!((m.nmi - 1.0).abs() < 1e-9 || truth.iter().all(|&t| t == truth[0]));
+    }
+
+    #[test]
+    fn metric_ranges(pred in labels_strategy(50, 4), seed in 0u64..100) {
+        // Random truth of same length.
+        let mut state = seed.wrapping_add(1);
+        let truth: Vec<usize> = pred.iter().map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) % 4) as usize
+        }).collect();
+        let m = ClusterMetrics::compute(&pred, &truth).unwrap();
+        prop_assert!((0.0..=1.0).contains(&m.acc));
+        prop_assert!((0.0..=1.0).contains(&m.f1));
+        prop_assert!((0.0..=1.0).contains(&m.nmi));
+        prop_assert!((-0.5 - 1e-9..=1.0 + 1e-9).contains(&m.ari));
+        prop_assert!((0.0..=1.0).contains(&m.purity));
+        // Purity dominates accuracy.
+        prop_assert!(m.purity >= m.acc - 1e-12);
+    }
+
+    #[test]
+    fn nmi_ari_symmetric(a in labels_strategy(40, 3), seed in 0u64..50) {
+        let mut state = seed.wrapping_add(7);
+        let b: Vec<usize> = a.iter().map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) % 3) as usize
+        }).collect();
+        let ka = a.iter().max().unwrap() + 1;
+        let kb = b.iter().max().unwrap() + 1;
+        prop_assert!((nmi(&a, &b, ka, kb) - nmi(&b, &a, kb, ka)).abs() < 1e-10);
+        prop_assert!((ari(&a, &b, ka, kb) - ari(&b, &a, kb, ka)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn purity_one_iff_pure_clusters(truth in labels_strategy(40, 3)) {
+        // Refining the truth (splitting each class by parity of index)
+        // keeps purity at 1.
+        let pred: Vec<usize> = truth.iter().enumerate()
+            .map(|(i, &t)| t * 2 + (i % 2))
+            .collect();
+        let kp = pred.iter().max().unwrap() + 1;
+        let kt = truth.iter().max().unwrap() + 1;
+        prop_assert!((purity(&pred, &truth, kp, kt) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hungarian_min_leq_any_permutation(vals in proptest::collection::vec(0.0f64..10.0, 16)) {
+        let cost = DenseMatrix::from_vec(4, 4, vals).unwrap();
+        let (_, best) = hungarian_min(&cost).unwrap();
+        // Check against a handful of fixed permutations.
+        for p in [[0usize, 1, 2, 3], [3, 2, 1, 0], [1, 0, 3, 2], [2, 3, 0, 1]] {
+            let s: f64 = (0..4).map(|i| cost[(i, p[i])]).sum();
+            prop_assert!(best <= s + 1e-9);
+        }
+    }
+
+    #[test]
+    fn hungarian_max_min_duality(vals in proptest::collection::vec(0.0f64..10.0, 9)) {
+        let m = DenseMatrix::from_vec(3, 3, vals).unwrap();
+        let (_, maxv) = hungarian_max(&m).unwrap();
+        let mut neg = m.clone();
+        neg.map_inplace(|v| -v);
+        let (_, minv) = hungarian_min(&neg).unwrap();
+        prop_assert!((maxv + minv).abs() < 1e-10);
+    }
+
+    #[test]
+    fn stratified_split_partitions(frac in 0.1f64..0.9, seed in 0u64..100) {
+        let labels: Vec<usize> = (0..60).map(|i| i % 3).collect();
+        let (train, test) = stratified_split(&labels, frac, seed).unwrap();
+        let mut seen = vec![false; 60];
+        for &i in train.iter().chain(&test) {
+            prop_assert!(!seen[i]);
+            seen[i] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        // Every class appears in training.
+        for c in 0..3 {
+            prop_assert!(train.iter().any(|&i| labels[i] == c));
+        }
+    }
+
+    #[test]
+    fn micro_f1_is_accuracy(a in labels_strategy(30, 3)) {
+        let b: Vec<usize> = a.iter().map(|&x| (x + 1) % 3).collect();
+        prop_assert_eq!(micro_f1(&a, &a), 1.0);
+        prop_assert_eq!(micro_f1(&b, &a), 0.0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Error types for the graph substrate.
+
+use mvag_sparse::SparseError;
+use std::fmt;
+
+/// Errors raised by graph construction and analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// An underlying linear-algebra kernel failed.
+    Sparse(SparseError),
+    /// The adjacency matrix handed to [`Graph::from_adjacency`]
+    /// (crate::Graph::from_adjacency) was not symmetric / nonnegative /
+    /// square.
+    InvalidAdjacency(String),
+    /// An argument was structurally invalid (zero nodes, k > n, label
+    /// length mismatch, ...).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Sparse(e) => write!(f, "linear algebra error: {e}"),
+            GraphError::InvalidAdjacency(msg) => write!(f, "invalid adjacency: {msg}"),
+            GraphError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Sparse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SparseError> for GraphError {
+    fn from(e: SparseError) -> Self {
+        GraphError::Sparse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = GraphError::from(SparseError::NumericalBreakdown("x"));
+        assert!(e.to_string().contains("linear algebra"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+        assert!(GraphError::InvalidArgument("n=0".into()).source().is_none());
+    }
+}

@@ -1,0 +1,261 @@
+//! Undirected weighted simple graphs.
+
+use crate::{GraphError, Result};
+use mvag_sparse::{CooMatrix, CsrMatrix};
+use serde::{Deserialize, Serialize};
+
+/// An undirected weighted simple graph stored as a symmetric CSR adjacency
+/// matrix with zero diagonal.
+///
+/// Invariants: the adjacency is square, exactly symmetric, nonnegative,
+/// and has no self-loops; all constructors enforce them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Graph {
+    adj: CsrMatrix,
+}
+
+impl Graph {
+    /// Builds a graph on `n` nodes from an undirected edge list. Edges are
+    /// symmetrized, parallel edges have their weights summed, self-loops
+    /// are dropped.
+    ///
+    /// # Errors
+    /// * [`GraphError::InvalidArgument`] for out-of-range endpoints or
+    ///   non-finite/negative weights.
+    pub fn from_edges(n: usize, edges: &[(usize, usize, f64)]) -> Result<Self> {
+        let mut coo = CooMatrix::with_capacity(n, n, edges.len() * 2);
+        for &(u, v, w) in edges {
+            if u >= n || v >= n {
+                return Err(GraphError::InvalidArgument(format!(
+                    "edge ({u}, {v}) out of range for n = {n}"
+                )));
+            }
+            if !w.is_finite() || w < 0.0 {
+                return Err(GraphError::InvalidArgument(format!(
+                    "edge ({u}, {v}) has invalid weight {w}"
+                )));
+            }
+            if u == v || w == 0.0 {
+                continue;
+            }
+            coo.push_sym(u, v, w).map_err(GraphError::from)?;
+        }
+        Ok(Graph { adj: coo.to_csr() })
+    }
+
+    /// Builds a graph on `n` nodes from unweighted undirected edges
+    /// (weight 1 each).
+    ///
+    /// # Errors
+    /// See [`Graph::from_edges`].
+    pub fn from_unweighted_edges(n: usize, edges: &[(usize, usize)]) -> Result<Self> {
+        let weighted: Vec<(usize, usize, f64)> =
+            edges.iter().map(|&(u, v)| (u, v, 1.0)).collect();
+        Self::from_edges(n, &weighted)
+    }
+
+    /// Wraps an existing adjacency matrix.
+    ///
+    /// # Errors
+    /// [`GraphError::InvalidAdjacency`] unless the matrix is square,
+    /// symmetric, nonnegative, with zero diagonal.
+    pub fn from_adjacency(adj: CsrMatrix) -> Result<Self> {
+        if adj.nrows() != adj.ncols() {
+            return Err(GraphError::InvalidAdjacency(format!(
+                "{}x{} not square",
+                adj.nrows(),
+                adj.ncols()
+            )));
+        }
+        if adj.values().iter().any(|&v| !v.is_finite() || v < 0.0) {
+            return Err(GraphError::InvalidAdjacency(
+                "negative or non-finite weight".into(),
+            ));
+        }
+        if adj.diag().iter().any(|&d| d != 0.0) {
+            return Err(GraphError::InvalidAdjacency("self-loop present".into()));
+        }
+        if !adj.is_symmetric(1e-12) {
+            return Err(GraphError::InvalidAdjacency("not symmetric".into()));
+        }
+        Ok(Graph { adj })
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.adj.nrows()
+    }
+
+    /// Number of undirected edges (stored entries / 2).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.adj.nnz() / 2
+    }
+
+    /// The adjacency matrix.
+    #[inline]
+    pub fn adjacency(&self) -> &CsrMatrix {
+        &self.adj
+    }
+
+    /// Generalized degrees `δ(v)` — total weight of incident edges
+    /// (Definition 1 of the paper).
+    pub fn degrees(&self) -> Vec<f64> {
+        self.adj.row_sums()
+    }
+
+    /// Total volume `Vol(V) = Σ δ(v)`.
+    pub fn total_volume(&self) -> f64 {
+        self.adj.values().iter().sum()
+    }
+
+    /// Neighbours of `v` with weights.
+    pub fn neighbors(&self, v: usize) -> (&[usize], &[f64]) {
+        (self.adj.row_cols(v), self.adj.row_vals(v))
+    }
+
+    /// The normalized Laplacian `L(G) = Iₙ − D^{-1/2} A D^{-1/2}`.
+    ///
+    /// Isolated nodes (degree 0) keep a diagonal entry of 1 (the `Iₙ`
+    /// term with a zero normalized-adjacency row), matching the standard
+    /// convention in Chung's Spectral Graph Theory.
+    pub fn normalized_laplacian(&self) -> CsrMatrix {
+        let p = self.adj.sym_normalized();
+        let i = CsrMatrix::identity(self.n());
+        CsrMatrix::linear_combination(&[&i, &p], &[1.0, -1.0])
+            .expect("identity and adjacency share shape")
+    }
+
+    /// The symmetrically normalized adjacency `D^{-1/2} A D^{-1/2}`.
+    pub fn normalized_adjacency(&self) -> CsrMatrix {
+        self.adj.sym_normalized()
+    }
+
+    /// Indices of isolated (degree-0) nodes.
+    pub fn isolated_nodes(&self) -> Vec<usize> {
+        self.degrees()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &d)| (d == 0.0).then_some(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        Graph::from_unweighted_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap()
+    }
+
+    #[test]
+    fn from_edges_symmetrizes_and_dedups() {
+        let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 0, 2.0)]).unwrap();
+        assert_eq!(g.adjacency().get(0, 1), 3.0);
+        assert_eq!(g.adjacency().get(1, 0), 3.0);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn self_loops_dropped() {
+        let g = Graph::from_edges(2, &[(0, 0, 5.0), (0, 1, 1.0)]).unwrap();
+        assert_eq!(g.adjacency().get(0, 0), 0.0);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn invalid_edges_rejected() {
+        assert!(Graph::from_edges(2, &[(0, 5, 1.0)]).is_err());
+        assert!(Graph::from_edges(2, &[(0, 1, -1.0)]).is_err());
+        assert!(Graph::from_edges(2, &[(0, 1, f64::NAN)]).is_err());
+    }
+
+    #[test]
+    fn from_adjacency_validates() {
+        let asym = {
+            let mut c = CooMatrix::new(2, 2);
+            c.push(0, 1, 1.0).unwrap();
+            c.to_csr()
+        };
+        assert!(matches!(
+            Graph::from_adjacency(asym),
+            Err(GraphError::InvalidAdjacency(_))
+        ));
+        let with_loop = {
+            let mut c = CooMatrix::new(2, 2);
+            c.push(0, 0, 1.0).unwrap();
+            c.to_csr()
+        };
+        assert!(Graph::from_adjacency(with_loop).is_err());
+        let good = {
+            let mut c = CooMatrix::new(2, 2);
+            c.push_sym(0, 1, 2.0).unwrap();
+            c.to_csr()
+        };
+        assert!(Graph::from_adjacency(good).is_ok());
+    }
+
+    #[test]
+    fn degrees_and_volume() {
+        let g = triangle();
+        assert_eq!(g.degrees(), vec![2.0, 2.0, 2.0]);
+        assert_eq!(g.total_volume(), 6.0);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn normalized_laplacian_triangle() {
+        // Complete graph K3: L = I − A/2; eigenvalues 0, 3/2, 3/2.
+        let l = triangle().normalized_laplacian();
+        assert_eq!(l.get(0, 0), 1.0);
+        assert!((l.get(0, 1) + 0.5).abs() < 1e-15);
+        let eig = mvag_sparse::eigen::jacobi_eig(&l.to_dense()).unwrap();
+        assert!(eig.values[0].abs() < 1e-12);
+        assert!((eig.values[1] - 1.5).abs() < 1e-12);
+        assert!((eig.values[2] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn laplacian_constant_vector_in_kernel() {
+        // D^{1/2}·1 is in the kernel of L for connected graphs; for a
+        // regular graph this is the constant vector.
+        let g = triangle();
+        let l = g.normalized_laplacian();
+        let x = [1.0, 1.0, 1.0];
+        let mut y = [0.0; 3];
+        l.matvec(&x, &mut y);
+        for v in y {
+            assert!(v.abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn isolated_node_handling() {
+        let g = Graph::from_unweighted_edges(3, &[(0, 1)]).unwrap();
+        assert_eq!(g.isolated_nodes(), vec![2]);
+        let l = g.normalized_laplacian();
+        assert_eq!(l.get(2, 2), 1.0);
+        assert_eq!(l.get(2, 0), 0.0);
+    }
+
+    #[test]
+    fn neighbors_query() {
+        let g = triangle();
+        let (cols, vals) = g.neighbors(1);
+        assert_eq!(cols, &[0, 2]);
+        assert_eq!(vals, &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_unweighted_edges(4, &[]).unwrap();
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.isolated_nodes().len(), 4);
+        let l = g.normalized_laplacian();
+        for i in 0..4 {
+            assert_eq!(l.get(i, i), 1.0);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Graph substrate for the SGLA reproduction.
+//!
+//! Provides everything the paper's Section III assumes as given:
+//!
+//! * [`Graph`] — undirected weighted simple graphs in CSR adjacency form
+//!   with degree and normalized-Laplacian computation
+//!   (`L(G) = I − D^{-1/2} A D^{-1/2}`);
+//! * [`knn`] — K-nearest-neighbour graph construction from attribute views
+//!   by cosine similarity, with similarity-weighted edges (the paper's
+//!   `G_K(Xⱼ)` construction);
+//! * [`metrics`] — volume, cut, normalized cut (Definition 1), conductance
+//!   (Eq. 3), sweep cuts, and connected components — the combinatorial
+//!   quantities that the eigengap and connectivity objectives bound via
+//!   spectral theory;
+//! * [`generators`] — stochastic block models (plain and degree-corrected),
+//!   Gaussian and binary attribute generators, and view-noise injectors
+//!   used to simulate the paper's datasets;
+//! * [`mvag`] — the multi-view attributed graph container
+//!   `G = {V, E₁, …, E_p, X_{p+1}, …, X_r}`;
+//! * [`toy`] — the paper's Figure 2 running example and small fixtures.
+
+#![forbid(unsafe_code)]
+// Indexed loops over matched row/column structures are the clearest idiom
+// for the numerical kernels in this crate: the index relationships *are*
+// the algorithm. The iterator rewrites clippy suggests obscure them.
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::field_reassign_with_default)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod generators;
+pub mod graph;
+pub mod knn;
+pub mod metrics;
+pub mod mvag;
+pub mod toy;
+
+pub use error::GraphError;
+pub use graph::Graph;
+pub use mvag::{Mvag, View};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, GraphError>;

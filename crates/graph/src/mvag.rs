@@ -1,0 +1,258 @@
+//! The multi-view attributed graph container.
+//!
+//! `G = {V, E₁, …, E_p, X_{p+1}, …, X_{p+q}}` — `p` graph views over a
+//! shared node set plus `q` attribute views (Section III-A of the paper).
+
+use crate::{Graph, GraphError, Result};
+use mvag_sparse::DenseMatrix;
+use serde::{Deserialize, Serialize};
+
+/// One view of an MVAG: either a graph over the shared node set or an
+/// attribute matrix with one row per node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum View {
+    /// A graph view `Gᵢ = {V, Eᵢ}`.
+    Graph(Graph),
+    /// An attribute view `Xⱼ ∈ R^{n × dⱼ}`.
+    Attributes(DenseMatrix),
+}
+
+impl View {
+    /// Number of nodes this view covers.
+    pub fn n(&self) -> usize {
+        match self {
+            View::Graph(g) => g.n(),
+            View::Attributes(x) => x.nrows(),
+        }
+    }
+
+    /// Whether this is a graph view.
+    pub fn is_graph(&self) -> bool {
+        matches!(self, View::Graph(_))
+    }
+}
+
+/// A multi-view attributed graph with optional ground-truth labels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mvag {
+    /// Human-readable dataset name (used by the experiment harness).
+    pub name: String,
+    views: Vec<View>,
+    labels: Option<Vec<usize>>,
+    k: usize,
+}
+
+impl Mvag {
+    /// Creates an MVAG, validating view-count and node-count consistency.
+    ///
+    /// The paper targets MVAGs with `r = p + q > 2` views, but `r ≥ 2` is
+    /// accepted (weighting two views is already meaningful); `r < 2` is
+    /// rejected because aggregation degenerates to a single view.
+    ///
+    /// # Errors
+    /// [`GraphError::InvalidArgument`] on inconsistent node counts,
+    /// `r < 2`, `k < 2`, or label problems.
+    pub fn new(
+        name: impl Into<String>,
+        views: Vec<View>,
+        labels: Option<Vec<usize>>,
+        k: usize,
+    ) -> Result<Self> {
+        if views.len() < 2 {
+            return Err(GraphError::InvalidArgument(format!(
+                "an MVAG needs r >= 2 views, got {}",
+                views.len()
+            )));
+        }
+        let n = views[0].n();
+        if n == 0 {
+            return Err(GraphError::InvalidArgument("MVAG with 0 nodes".into()));
+        }
+        for (i, v) in views.iter().enumerate() {
+            if v.n() != n {
+                return Err(GraphError::InvalidArgument(format!(
+                    "view {i} covers {} nodes, expected {n}",
+                    v.n()
+                )));
+            }
+        }
+        if k < 2 {
+            return Err(GraphError::InvalidArgument(format!(
+                "MVAG needs k >= 2 clusters, got {k}"
+            )));
+        }
+        if let Some(ref l) = labels {
+            if l.len() != n {
+                return Err(GraphError::InvalidArgument(format!(
+                    "labels length {} != n = {n}",
+                    l.len()
+                )));
+            }
+            if let Some(&max) = l.iter().max() {
+                if max >= k {
+                    return Err(GraphError::InvalidArgument(format!(
+                        "label {max} >= k = {k}"
+                    )));
+                }
+            }
+        }
+        Ok(Mvag {
+            name: name.into(),
+            views,
+            labels,
+            k,
+        })
+    }
+
+    /// Number of nodes `n`.
+    pub fn n(&self) -> usize {
+        self.views[0].n()
+    }
+
+    /// Number of views `r = p + q`.
+    pub fn r(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Number of ground-truth clusters/classes `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// All views in order (graph views conventionally first, but any order
+    /// is supported).
+    pub fn views(&self) -> &[View] {
+        &self.views
+    }
+
+    /// Ground-truth labels if available.
+    pub fn labels(&self) -> Option<&[usize]> {
+        self.labels.as_deref()
+    }
+
+    /// Number of graph views `p`.
+    pub fn num_graph_views(&self) -> usize {
+        self.views.iter().filter(|v| v.is_graph()).count()
+    }
+
+    /// Number of attribute views `q`.
+    pub fn num_attr_views(&self) -> usize {
+        self.r() - self.num_graph_views()
+    }
+
+    /// Total number of edges `m` across all graph views.
+    pub fn total_edges(&self) -> usize {
+        self.views
+            .iter()
+            .map(|v| match v {
+                View::Graph(g) => g.num_edges(),
+                View::Attributes(_) => 0,
+            })
+            .sum()
+    }
+
+    /// One-line statistics summary (mirrors the paper's Table II row).
+    pub fn summary(&self) -> String {
+        let edge_counts: Vec<String> = self
+            .views
+            .iter()
+            .filter_map(|v| match v {
+                View::Graph(g) => Some(g.num_edges().to_string()),
+                View::Attributes(_) => None,
+            })
+            .collect();
+        let dims: Vec<String> = self
+            .views
+            .iter()
+            .filter_map(|v| match v {
+                View::Attributes(x) => Some(x.ncols().to_string()),
+                View::Graph(_) => None,
+            })
+            .collect();
+        format!(
+            "{}: n={} r={} m_i=[{}] d_j=[{}] k={}",
+            self.name,
+            self.n(),
+            self.r(),
+            edge_counts.join(";"),
+            dims.join(";"),
+            self.k
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph_view(n: usize) -> View {
+        View::Graph(Graph::from_unweighted_edges(n, &[(0, 1)]).unwrap())
+    }
+
+    fn attr_view(n: usize, d: usize) -> View {
+        View::Attributes(DenseMatrix::zeros(n, d))
+    }
+
+    #[test]
+    fn valid_mvag() {
+        let m = Mvag::new(
+            "test",
+            vec![graph_view(4), attr_view(4, 3)],
+            Some(vec![0, 0, 1, 1]),
+            2,
+        )
+        .unwrap();
+        assert_eq!(m.n(), 4);
+        assert_eq!(m.r(), 2);
+        assert_eq!(m.num_graph_views(), 1);
+        assert_eq!(m.num_attr_views(), 1);
+        assert_eq!(m.total_edges(), 1);
+        assert!(m.summary().contains("n=4"));
+    }
+
+    #[test]
+    fn rejects_single_view() {
+        assert!(Mvag::new("x", vec![graph_view(4)], None, 2).is_err());
+    }
+
+    #[test]
+    fn rejects_inconsistent_n() {
+        assert!(Mvag::new("x", vec![graph_view(4), attr_view(5, 2)], None, 2).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_labels() {
+        assert!(
+            Mvag::new(
+                "x",
+                vec![graph_view(4), attr_view(4, 2)],
+                Some(vec![0, 1]),
+                2
+            )
+            .is_err(),
+            "short labels"
+        );
+        assert!(
+            Mvag::new(
+                "x",
+                vec![graph_view(4), attr_view(4, 2)],
+                Some(vec![0, 1, 2, 0]),
+                2
+            )
+            .is_err(),
+            "label >= k"
+        );
+    }
+
+    #[test]
+    fn rejects_small_k() {
+        assert!(Mvag::new("x", vec![graph_view(4), attr_view(4, 2)], None, 1).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_nodes() {
+        let g = View::Graph(Graph::from_unweighted_edges(0, &[]).unwrap());
+        let a = View::Attributes(DenseMatrix::zeros(0, 2));
+        assert!(Mvag::new("x", vec![g, a], None, 2).is_err());
+    }
+}

@@ -1,0 +1,229 @@
+//! Small fixture MVAGs: the paper's running examples.
+
+use crate::generators::{
+    balanced_labels, gaussian_attributes, sbm, GaussianAttrConfig, SbmConfig,
+};
+use crate::{Graph, Mvag, View};
+use mvag_sparse::DenseMatrix;
+
+/// The running example of the paper's Figure 2: 8 nodes in two ground-truth
+/// clusters `C₁ = {v₁..v₄}` and `C₂ = {v₅..v₈}`, observed through two graph
+/// views. In each single view `C₁` is only sparsely connected (each view
+/// sees *part* of its internal structure) while `C₂` is clearly clustered
+/// in both; only the aggregation of both views reveals `C₁`.
+///
+/// Returns the MVAG with ground-truth labels `[0,0,0,0,1,1,1,1]`.
+pub fn figure2_example() -> Mvag {
+    let n = 8;
+    // View 1 sees the "horizontal" half of C1's structure; the view is
+    // connected as a whole (through cross edges into C2), but C1's induced
+    // subgraph is fragmented.
+    let g1 = Graph::from_unweighted_edges(
+        n,
+        &[
+            (0, 1),
+            (2, 3),
+            // C2 is dense in both views.
+            (4, 5),
+            (5, 6),
+            (6, 7),
+            (4, 6),
+            (5, 7),
+            // Cross edges keeping the view connected.
+            (1, 4),
+            (3, 5),
+        ],
+    )
+    .expect("static edges are valid");
+    // View 2 sees the complementary "vertical" half of C1's structure.
+    let g2 = Graph::from_unweighted_edges(
+        n,
+        &[
+            (0, 2),
+            (1, 3),
+            (4, 5),
+            (4, 7),
+            (5, 6),
+            (6, 7),
+            (4, 6),
+            (0, 6),
+            (3, 7),
+        ],
+    )
+    .expect("static edges are valid");
+    Mvag::new(
+        "figure2",
+        vec![View::Graph(g1), View::Graph(g2)],
+        Some(vec![0, 0, 0, 0, 1, 1, 1, 1]),
+        2,
+    )
+    .expect("figure 2 example is a valid MVAG")
+}
+
+/// The paper's Figure 1 example shape: 8 entities with two graph views, a
+/// binary attribute view, and a numerical attribute view.
+pub fn figure1_example() -> Mvag {
+    let base = figure2_example();
+    let (g1, g2) = match (&base.views()[0], &base.views()[1]) {
+        (View::Graph(a), View::Graph(b)) => (a.clone(), b.clone()),
+        _ => unreachable!("figure2 has two graph views"),
+    };
+    // Binary categorical attributes (X₃): clusters differ in active columns.
+    let x3 = DenseMatrix::from_rows(&[
+        vec![1.0, 1.0, 0.0, 0.0],
+        vec![1.0, 0.0, 0.0, 0.0],
+        vec![1.0, 1.0, 0.0, 0.0],
+        vec![0.0, 1.0, 0.0, 0.0],
+        vec![0.0, 0.0, 1.0, 1.0],
+        vec![0.0, 0.0, 1.0, 0.0],
+        vec![0.0, 0.0, 1.0, 1.0],
+        vec![0.0, 0.0, 0.0, 1.0],
+    ])
+    .expect("static rows are rectangular");
+    // Numerical attributes (X₄): two blobs.
+    let x4 = DenseMatrix::from_rows(&[
+        vec![0.9, 0.1],
+        vec![1.1, -0.1],
+        vec![1.0, 0.2],
+        vec![0.8, 0.0],
+        vec![-0.1, 1.0],
+        vec![0.1, 0.9],
+        vec![0.0, 1.1],
+        vec![-0.2, 1.0],
+    ])
+    .expect("static rows are rectangular");
+    Mvag::new(
+        "figure1",
+        vec![
+            View::Graph(g1),
+            View::Graph(g2),
+            View::Attributes(x3),
+            View::Attributes(x4),
+        ],
+        Some(vec![0, 0, 0, 0, 1, 1, 1, 1]),
+        2,
+    )
+    .expect("figure 1 example is a valid MVAG")
+}
+
+/// A small generated MVAG for examples and smoke tests: two SBM graph views
+/// with complementary informativeness plus one Gaussian attribute view,
+/// `k` balanced planted clusters.
+pub fn toy_mvag(n: usize, k: usize, seed: u64) -> Mvag {
+    let labels = balanced_labels(n, k).expect("toy sizes are valid");
+    let g1 = sbm(
+        &labels,
+        &SbmConfig {
+            p_in: 24.0 / n as f64,
+            p_out: 2.0 / n as f64,
+            informative_fraction: 0.8,
+            ..Default::default()
+        },
+        seed,
+    )
+    .expect("toy SBM parameters are valid");
+    let g2 = sbm(
+        &labels,
+        &SbmConfig {
+            p_in: 18.0 / n as f64,
+            p_out: 3.0 / n as f64,
+            informative_fraction: 0.9,
+            ..Default::default()
+        },
+        seed.wrapping_add(1),
+    )
+    .expect("toy SBM parameters are valid");
+    let x = gaussian_attributes(
+        &labels,
+        &GaussianAttrConfig {
+            dim: 16,
+            separation: 2.0,
+            noise: 1.0,
+            informative_fraction: 0.9,
+        },
+        seed.wrapping_add(2),
+    )
+    .expect("toy attribute parameters are valid");
+    Mvag::new(
+        format!("toy-n{n}-k{k}"),
+        vec![View::Graph(g1), View::Graph(g2), View::Attributes(x)],
+        Some(labels),
+        k,
+    )
+    .expect("toy MVAG is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::num_components;
+
+    #[test]
+    fn figure2_shape() {
+        let m = figure2_example();
+        assert_eq!(m.n(), 8);
+        assert_eq!(m.r(), 2);
+        assert_eq!(m.k(), 2);
+        assert_eq!(m.labels().unwrap(), &[0, 0, 0, 0, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn figure2_single_views_fragment_c1() {
+        // In each single view, C1 = {0,1,2,3} is NOT internally connected,
+        // but the union of the two views connects it — the premise of the
+        // aggregation argument.
+        let m = figure2_example();
+        let views: Vec<&Graph> = m
+            .views()
+            .iter()
+            .map(|v| match v {
+                View::Graph(g) => g,
+                _ => unreachable!(),
+            })
+            .collect();
+        for g in &views {
+            // Induced subgraph on C1.
+            let mut edges = Vec::new();
+            for u in 0..4usize {
+                for (&v, &w) in g.neighbors(u).0.iter().zip(g.neighbors(u).1) {
+                    if v < 4 && v > u {
+                        edges.push((u, v, w));
+                    }
+                }
+            }
+            let sub = Graph::from_edges(4, &edges).unwrap();
+            assert!(num_components(&sub) > 1, "C1 should be fragmented per view");
+        }
+        // Union connects C1.
+        let mut union_edges = Vec::new();
+        for g in &views {
+            for u in 0..4usize {
+                for (&v, &w) in g.neighbors(u).0.iter().zip(g.neighbors(u).1) {
+                    if v < 4 && v > u {
+                        union_edges.push((u, v, w));
+                    }
+                }
+            }
+        }
+        let union = Graph::from_edges(4, &union_edges).unwrap();
+        assert_eq!(num_components(&union), 1);
+    }
+
+    #[test]
+    fn figure1_shape() {
+        let m = figure1_example();
+        assert_eq!(m.r(), 4);
+        assert_eq!(m.num_graph_views(), 2);
+        assert_eq!(m.num_attr_views(), 2);
+    }
+
+    #[test]
+    fn toy_mvag_valid() {
+        let m = toy_mvag(90, 3, 5);
+        assert_eq!(m.n(), 90);
+        assert_eq!(m.r(), 3);
+        assert_eq!(m.k(), 3);
+        assert!(m.labels().is_some());
+        assert!(m.total_edges() > 0);
+    }
+}

@@ -1,0 +1,65 @@
+//! Error types for the optimization substrate.
+
+use mvag_sparse::SparseError;
+use std::fmt;
+
+/// Errors raised by the optimizers and surrogate fitting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptimError {
+    /// A linear-algebra kernel failed (singular interpolation system,
+    /// non-SPD normal equations, ...).
+    Sparse(SparseError),
+    /// Structurally invalid input (empty dimension, inconsistent sample
+    /// lengths, non-finite starting point, ...).
+    InvalidArgument(String),
+    /// The objective returned a non-finite value at a feasible point.
+    NonFiniteObjective {
+        /// The point at which the objective failed.
+        at: Vec<f64>,
+    },
+}
+
+impl fmt::Display for OptimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptimError::Sparse(e) => write!(f, "linear algebra error: {e}"),
+            OptimError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            OptimError::NonFiniteObjective { at } => {
+                write!(f, "objective returned a non-finite value at {at:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OptimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OptimError::Sparse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SparseError> for OptimError {
+    fn from(e: SparseError) -> Self {
+        OptimError::Sparse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(OptimError::InvalidArgument("x".into())
+            .to_string()
+            .contains("invalid"));
+        assert!(OptimError::NonFiniteObjective { at: vec![0.5] }
+            .to_string()
+            .contains("non-finite"));
+        assert!(OptimError::from(SparseError::NumericalBreakdown("chol"))
+            .to_string()
+            .contains("linear algebra"));
+    }
+}

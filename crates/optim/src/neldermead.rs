@@ -1,0 +1,245 @@
+//! Penalty-based Nelder–Mead: ablation baseline for the optimizer choice.
+//!
+//! The paper motivates Cobyla by the cost of objective evaluations; this
+//! simplex-reflection method is the obvious derivative-free alternative and
+//! is benchmarked against [`cobyla`](crate::cobyla) in the optimizer
+//! ablation (it typically needs noticeably more evaluations to reach the
+//! same objective value on the SGLA surface).
+
+use crate::cobyla::Constraint;
+use crate::{OptimError, Result};
+
+/// Tuning parameters for [`nelder_mead`].
+#[derive(Debug, Clone)]
+pub struct NelderMeadParams {
+    /// Initial simplex edge length (default 0.15).
+    pub step: f64,
+    /// Convergence tolerance on the simplex's objective spread
+    /// (default 1e-8).
+    pub tol: f64,
+    /// Hard budget on objective evaluations (default 500).
+    pub max_evals: usize,
+    /// Quadratic penalty weight for constraint violation (default 1e4).
+    pub penalty: f64,
+}
+
+impl Default for NelderMeadParams {
+    fn default() -> Self {
+        NelderMeadParams {
+            step: 0.15,
+            tol: 1e-8,
+            max_evals: 500,
+            penalty: 1e4,
+        }
+    }
+}
+
+/// Result of a [`nelder_mead`] run.
+#[derive(Debug, Clone)]
+pub struct NelderMeadResult {
+    /// Best point found.
+    pub x: Vec<f64>,
+    /// Penalized objective at `x`.
+    pub fx: f64,
+    /// Objective evaluations consumed.
+    pub evals: usize,
+    /// Whether the simplex collapsed below tolerance.
+    pub converged: bool,
+}
+
+/// Minimizes `f + penalty · Σ max(0, −gᵢ)²` with the Nelder–Mead simplex
+/// method.
+///
+/// # Errors
+/// [`OptimError::InvalidArgument`] for an empty or non-finite start point.
+pub fn nelder_mead<F>(
+    mut f: F,
+    constraints: &[Constraint],
+    x0: &[f64],
+    params: &NelderMeadParams,
+) -> Result<NelderMeadResult>
+where
+    F: FnMut(&[f64]) -> f64,
+{
+    let p = x0.len();
+    if p == 0 {
+        return Err(OptimError::InvalidArgument(
+            "nelder_mead needs at least one variable".into(),
+        ));
+    }
+    if x0.iter().any(|v| !v.is_finite()) {
+        return Err(OptimError::InvalidArgument(
+            "nelder_mead start point has non-finite coordinates".into(),
+        ));
+    }
+    let mut evals = 0usize;
+    let pf = |x: &[f64], f: &mut F, evals: &mut usize| -> f64 {
+        *evals += 1;
+        let base = f(x);
+        let pen: f64 = constraints
+            .iter()
+            .map(|c| {
+                let v = c(x);
+                if v < 0.0 {
+                    v * v
+                } else {
+                    0.0
+                }
+            })
+            .sum();
+        let total = base + params.penalty * pen;
+        if total.is_finite() {
+            total
+        } else {
+            f64::INFINITY
+        }
+    };
+
+    // Initial simplex.
+    let mut pts: Vec<(Vec<f64>, f64)> = Vec::with_capacity(p + 1);
+    let f0 = pf(x0, &mut f, &mut evals);
+    pts.push((x0.to_vec(), f0));
+    for i in 0..p {
+        let mut x = x0.to_vec();
+        x[i] += params.step;
+        let v = pf(&x, &mut f, &mut evals);
+        pts.push((x, v));
+    }
+
+    let (alpha, gamma, rho_c, sigma) = (1.0, 2.0, 0.5, 0.5);
+    let mut converged = false;
+    while evals < params.max_evals {
+        pts.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite penalized values"));
+        let spread = pts[p].1 - pts[0].1;
+        if spread.abs() < params.tol * (1.0 + pts[0].1.abs()) {
+            converged = true;
+            break;
+        }
+        // Centroid of all but the worst.
+        let mut centroid = vec![0.0; p];
+        for (x, _) in pts.iter().take(p) {
+            for (c, xi) in centroid.iter_mut().zip(x) {
+                *c += xi / p as f64;
+            }
+        }
+        let worst = pts[p].clone();
+        let reflect: Vec<f64> = centroid
+            .iter()
+            .zip(&worst.0)
+            .map(|(c, w)| c + alpha * (c - w))
+            .collect();
+        let fr = pf(&reflect, &mut f, &mut evals);
+        if fr < pts[0].1 {
+            // Try expansion.
+            let expand: Vec<f64> = centroid
+                .iter()
+                .zip(&worst.0)
+                .map(|(c, w)| c + gamma * (c - w))
+                .collect();
+            let fe = pf(&expand, &mut f, &mut evals);
+            pts[p] = if fe < fr { (expand, fe) } else { (reflect, fr) };
+        } else if fr < pts[p - 1].1 {
+            pts[p] = (reflect, fr);
+        } else {
+            // Contraction.
+            let contract: Vec<f64> = centroid
+                .iter()
+                .zip(&worst.0)
+                .map(|(c, w)| c + rho_c * (w - c))
+                .collect();
+            let fc = pf(&contract, &mut f, &mut evals);
+            if fc < worst.1 {
+                pts[p] = (contract, fc);
+            } else {
+                // Shrink towards the best.
+                let best = pts[0].0.clone();
+                for item in pts.iter_mut().skip(1) {
+                    let shrunk: Vec<f64> = best
+                        .iter()
+                        .zip(&item.0)
+                        .map(|(b, x)| b + sigma * (x - b))
+                        .collect();
+                    let fv = pf(&shrunk, &mut f, &mut evals);
+                    *item = (shrunk, fv);
+                }
+            }
+        }
+    }
+    pts.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite penalized values"));
+    Ok(NelderMeadResult {
+        x: pts[0].0.clone(),
+        fx: pts[0].1,
+        evals,
+        converged,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simplex::reduced_simplex_constraints;
+
+    #[test]
+    fn unconstrained_quadratic() {
+        let cons: Vec<Constraint> = Vec::new();
+        let res = nelder_mead(
+            |v| (v[0] - 1.0).powi(2) + (v[1] + 2.0).powi(2),
+            &cons,
+            &[0.0, 0.0],
+            &NelderMeadParams {
+                max_evals: 2000,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(res.converged);
+        assert!((res.x[0] - 1.0).abs() < 1e-3);
+        assert!((res.x[1] + 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn penalized_simplex_constraint() {
+        let cons = reduced_simplex_constraints(2);
+        let res = nelder_mead(
+            |v| -v[0] - 2.0 * v[1],
+            &cons,
+            &[0.3, 0.3],
+            &NelderMeadParams {
+                max_evals: 3000,
+                penalty: 1e6,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Near (0, 1) up to penalty softening.
+        assert!(res.x[1] > 0.95, "x = {:?}", res.x);
+        assert!(res.x[0] < 0.05, "x = {:?}", res.x);
+        assert!(res.x[0] + res.x[1] <= 1.01);
+    }
+
+    #[test]
+    fn rejects_bad_start() {
+        let cons: Vec<Constraint> = Vec::new();
+        assert!(nelder_mead(|_| 0.0, &cons, &[], &NelderMeadParams::default()).is_err());
+        assert!(
+            nelder_mead(|_| 0.0, &cons, &[f64::INFINITY], &NelderMeadParams::default()).is_err()
+        );
+    }
+
+    #[test]
+    fn budget_respected() {
+        let cons: Vec<Constraint> = Vec::new();
+        let params = NelderMeadParams {
+            max_evals: 30,
+            ..Default::default()
+        };
+        let res = nelder_mead(
+            |v| v.iter().map(|x| x * x).sum::<f64>(),
+            &cons,
+            &[1.0, 1.0, 1.0],
+            &params,
+        )
+        .unwrap();
+        assert!(res.evals <= 30 + 4);
+    }
+}

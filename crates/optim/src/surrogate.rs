@@ -1,0 +1,330 @@
+//! The quadratic interpolation surrogate of SGLA+ (Eqs. 7–9).
+//!
+//! SGLA+ replaces the expensive objective `h(w)` with a quadratic
+//! `h_Θ(w) = Σ_{i≤j<r} θᵢⱼ wᵢwⱼ + Σ_{i<r} θᵢᵣ wᵢ + θᵣᵣ`
+//! in the *reduced* weights (the last weight is eliminated through the
+//! simplex equality). With only `r + 1` samples the coefficient system is
+//! underdetermined; following Eq. (9) we solve the ridge-regularized
+//! least-squares problem
+//! `min_Θ Σ_ℓ (h(w_ℓ) − h_Θ(w_ℓ))² + α_r ‖Θ‖_F²`
+//! — a least-Frobenius-norm quadratic model in the spirit of \[42\] —
+//! via Cholesky on the normal equations.
+
+use crate::{OptimError, Result};
+use mvag_sparse::chol::ridge_solve_weighted;
+use mvag_sparse::DenseMatrix;
+
+/// A fitted quadratic surrogate over full weight vectors of length `r`.
+#[derive(Debug, Clone)]
+pub struct QuadraticSurrogate {
+    /// Number of views `r` (full weight-vector length).
+    r: usize,
+    /// Flat coefficient vector: quadratic terms (i ≤ j < r−1 ... packed),
+    /// then linear terms, then the constant.
+    theta: Vec<f64>,
+}
+
+impl QuadraticSurrogate {
+    /// Number of free coefficients for `r` views: `(r−1)r/2` quadratic +
+    /// `(r−1)` linear + 1 constant (matching Eq. 7's index ranges).
+    pub fn num_coeffs(r: usize) -> usize {
+        let p = r - 1;
+        p * (p + 1) / 2 + p + 1
+    }
+
+    /// Fits the surrogate to observations `(samples[ℓ], values[ℓ])` where
+    /// each sample is a *full* weight vector of length `r`, using ridge
+    /// parameter `alpha` (the paper's `α_r`, default 0.05).
+    ///
+    /// # Errors
+    /// * [`OptimError::InvalidArgument`] for inconsistent input, fewer than
+    ///   2 samples, `r < 2`, or non-finite values.
+    /// * Propagates factorization failures (cannot occur for `alpha > 0`).
+    pub fn fit(samples: &[Vec<f64>], values: &[f64], alpha: f64) -> Result<Self> {
+        if samples.len() != values.len() {
+            return Err(OptimError::InvalidArgument(format!(
+                "{} samples vs {} values",
+                samples.len(),
+                values.len()
+            )));
+        }
+        if samples.len() < 2 {
+            return Err(OptimError::InvalidArgument(
+                "surrogate needs at least 2 samples".into(),
+            ));
+        }
+        let r = samples[0].len();
+        if r < 2 {
+            return Err(OptimError::InvalidArgument(format!(
+                "surrogate needs r >= 2 views, got {r}"
+            )));
+        }
+        if alpha <= 0.0 {
+            return Err(OptimError::InvalidArgument(format!(
+                "ridge parameter must be positive, got {alpha}"
+            )));
+        }
+        for (l, s) in samples.iter().enumerate() {
+            if s.len() != r {
+                return Err(OptimError::InvalidArgument(format!(
+                    "sample {l} has length {}, expected {r}",
+                    s.len()
+                )));
+            }
+        }
+        if values.iter().any(|v| !v.is_finite()) {
+            return Err(OptimError::InvalidArgument(
+                "non-finite objective value among samples".into(),
+            ));
+        }
+        let ncoef = Self::num_coeffs(r);
+        let mut design = DenseMatrix::zeros(samples.len(), ncoef);
+        for (l, s) in samples.iter().enumerate() {
+            let feats = features(&s[..r - 1]);
+            design.row_mut(l).copy_from_slice(&feats);
+        }
+        let p = r - 1;
+        let nquad = p * (p + 1) / 2;
+        let theta = if samples.len() <= ncoef {
+            // Underdetermined / exactly determined: the least-Frobenius-
+            // norm interpolant of [42] — interpolate the samples exactly
+            // while minimizing the (weighted) norm of Θ, dominated by the
+            // Hessian block. Solved in dual form:
+            //   θ = W⁻¹Φᵀ μ,  (Φ W⁻¹ Φᵀ + δI) μ = y,
+            // where W puts weight 1 on quadratic coefficients and a tiny
+            // weight on linear/constant ones (they interpolate freely),
+            // and δ = α_r·1e-6 keeps the dual system SPD when samples
+            // nearly coincide.
+            let m = samples.len();
+            let inv_w: Vec<f64> = (0..ncoef)
+                .map(|j| if j < nquad { 1.0 } else { 1e6 })
+                .collect();
+            // K = Φ W⁻¹ Φᵀ (m × m).
+            let mut kmat = DenseMatrix::zeros(m, m);
+            for a in 0..m {
+                for b in a..m {
+                    let mut acc = 0.0;
+                    for j in 0..ncoef {
+                        acc += design[(a, j)] * inv_w[j] * design[(b, j)];
+                    }
+                    kmat[(a, b)] = acc;
+                    kmat[(b, a)] = acc;
+                }
+            }
+            let delta = alpha * 1e-6;
+            for i in 0..m {
+                kmat[(i, i)] += delta;
+            }
+            let mu = mvag_sparse::chol::Cholesky::factor(&kmat)?.solve(values)?;
+            let mut theta = vec![0.0; ncoef];
+            for (j, t) in theta.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for a in 0..m {
+                    acc += design[(a, j)] * mu[a];
+                }
+                *t = inv_w[j] * acc;
+            }
+            theta
+        } else {
+            // Overdetermined (extra samples, Fig. 10's +Δs): weighted
+            // ridge regression, α_r on the Hessian block, vanishing
+            // stabilizer on linear/constant terms.
+            let mut alphas = vec![alpha; ncoef];
+            for a in alphas.iter_mut().skip(nquad) {
+                *a = alpha * 1e-6;
+            }
+            ridge_solve_weighted(&design, values, &alphas)?
+        };
+        Ok(QuadraticSurrogate { r, theta })
+    }
+
+    /// Evaluates `h_Θ` at a full weight vector of length `r` (only the
+    /// first `r − 1` entries matter, per Eq. 7).
+    ///
+    /// # Panics
+    /// Debug-asserts the length; release builds read the first `r − 1`
+    /// coordinates.
+    pub fn eval(&self, w: &[f64]) -> f64 {
+        debug_assert!(w.len() >= self.r - 1);
+        let feats = features(&w[..self.r - 1]);
+        feats
+            .iter()
+            .zip(&self.theta)
+            .map(|(f, t)| f * t)
+            .sum()
+    }
+
+    /// Evaluates on reduced coordinates `v ∈ R^{r−1}` directly.
+    pub fn eval_reduced(&self, v: &[f64]) -> f64 {
+        debug_assert_eq!(v.len(), self.r - 1);
+        let feats = features(v);
+        feats
+            .iter()
+            .zip(&self.theta)
+            .map(|(f, t)| f * t)
+            .sum()
+    }
+
+    /// Number of views `r`.
+    pub fn r(&self) -> usize {
+        self.r
+    }
+
+    /// The flat coefficient vector (quadratic, linear, constant blocks).
+    pub fn coefficients(&self) -> &[f64] {
+        &self.theta
+    }
+}
+
+/// Feature map of Eq. (7) on reduced coordinates: all `vᵢvⱼ` (i ≤ j),
+/// then all `vᵢ`, then 1.
+fn features(v: &[f64]) -> Vec<f64> {
+    let p = v.len();
+    let mut out = Vec::with_capacity(p * (p + 1) / 2 + p + 1);
+    for i in 0..p {
+        for j in i..p {
+            out.push(v[i] * v[j]);
+        }
+    }
+    out.extend_from_slice(v);
+    out.push(1.0);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference quadratic in reduced coordinates.
+    fn truth(v: &[f64]) -> f64 {
+        2.0 * v[0] * v[0] + 1.0 * v[0] * v[1] - 0.5 * v[1] * v[1] + 3.0 * v[0] - 1.0 * v[1] + 0.7
+    }
+
+    fn simplex_samples_r3() -> Vec<Vec<f64>> {
+        // The paper's sampling scheme for r = 3 (Example 4).
+        vec![
+            vec![1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0],
+            vec![2.0 / 3.0, 1.0 / 6.0, 1.0 / 6.0],
+            vec![1.0 / 6.0, 2.0 / 3.0, 1.0 / 6.0],
+            vec![1.0 / 6.0, 1.0 / 6.0, 2.0 / 3.0],
+        ]
+    }
+
+    #[test]
+    fn num_coeffs_formula() {
+        assert_eq!(QuadraticSurrogate::num_coeffs(2), 1 + 1 + 1);
+        assert_eq!(QuadraticSurrogate::num_coeffs(3), 3 + 2 + 1);
+        assert_eq!(QuadraticSurrogate::num_coeffs(4), 6 + 3 + 1);
+        assert_eq!(QuadraticSurrogate::num_coeffs(11), 55 + 10 + 1);
+    }
+
+    #[test]
+    fn interpolates_true_quadratic_with_enough_samples() {
+        // With ≥ ncoef well-spread samples and tiny ridge, the fit must
+        // recover the quadratic almost exactly.
+        let mut samples = Vec::new();
+        let mut values = Vec::new();
+        for i in 0..5 {
+            for j in 0..(5 - i) {
+                let v = [i as f64 * 0.2, j as f64 * 0.2];
+                let w = vec![v[0], v[1], 1.0 - v[0] - v[1]];
+                values.push(truth(&v));
+                samples.push(w);
+            }
+        }
+        let s = QuadraticSurrogate::fit(&samples, &values, 1e-10).unwrap();
+        for (w, val) in samples.iter().zip(&values) {
+            assert!(
+                (s.eval(w) - val).abs() < 1e-6,
+                "at {w:?}: {} vs {val}",
+                s.eval(w)
+            );
+        }
+        // Off-sample point.
+        let v = [0.17, 0.21];
+        let w = vec![v[0], v[1], 1.0 - v[0] - v[1]];
+        assert!((s.eval(&w) - truth(&v)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn paper_sampling_gives_reasonable_approximation() {
+        // r + 1 = 4 samples for a 6-coefficient model: underdetermined, the
+        // ridge picks the minimum-norm interpolant; it should still track a
+        // gentle quadratic on the simplex.
+        let samples = simplex_samples_r3();
+        let values: Vec<f64> = samples.iter().map(|w| truth(&w[..2])).collect();
+        let s = QuadraticSurrogate::fit(&samples, &values, 0.05).unwrap();
+        // At the samples themselves, error should be small (ridge trades a
+        // little bias for stability).
+        for (w, val) in samples.iter().zip(&values) {
+            assert!(
+                (s.eval(w) - val).abs() < 0.35 * (1.0 + val.abs()),
+                "at {w:?}: {} vs {val}",
+                s.eval(w)
+            );
+        }
+    }
+
+    #[test]
+    fn eval_reduced_matches_eval() {
+        let samples = simplex_samples_r3();
+        let values: Vec<f64> = samples.iter().map(|w| truth(&w[..2])).collect();
+        let s = QuadraticSurrogate::fit(&samples, &values, 0.05).unwrap();
+        let w = [0.3, 0.5, 0.2];
+        assert!((s.eval(&w) - s.eval_reduced(&w[..2])).abs() < 1e-14);
+    }
+
+    #[test]
+    fn ridge_shrinks_coefficients() {
+        let samples = simplex_samples_r3();
+        let values: Vec<f64> = samples.iter().map(|w| truth(&w[..2])).collect();
+        let s_small = QuadraticSurrogate::fit(&samples, &values, 1e-6).unwrap();
+        let s_big = QuadraticSurrogate::fit(&samples, &values, 100.0).unwrap();
+        // The Hessian (quadratic block) is what the Frobenius penalty
+        // shrinks; linear/constant terms stay near-interpolating.
+        let quad_norm = |s: &QuadraticSurrogate| {
+            s.coefficients()[..3].iter().map(|c| c * c).sum::<f64>().sqrt()
+        };
+        assert!(quad_norm(&s_big) < quad_norm(&s_small));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let good = simplex_samples_r3();
+        let vals = vec![1.0; 4];
+        assert!(QuadraticSurrogate::fit(&good, &vals[..3], 0.05).is_err());
+        assert!(QuadraticSurrogate::fit(&good[..1], &vals[..1], 0.05).is_err());
+        assert!(QuadraticSurrogate::fit(&good, &vals, 0.0).is_err());
+        assert!(QuadraticSurrogate::fit(&good, &[1.0, f64::NAN, 1.0, 1.0], 0.05).is_err());
+        let ragged = vec![vec![0.5, 0.5], vec![0.3, 0.3, 0.4]];
+        assert!(QuadraticSurrogate::fit(&ragged, &[1.0, 2.0], 0.05).is_err());
+        let r1 = vec![vec![1.0], vec![1.0]];
+        assert!(QuadraticSurrogate::fit(&r1, &[1.0, 2.0], 0.05).is_err());
+    }
+
+    #[test]
+    fn two_view_surrogate() {
+        // r = 2: a univariate quadratic in w₁.
+        let samples = vec![
+            vec![0.5, 0.5],
+            vec![0.75, 0.25],
+            vec![0.25, 0.75],
+            vec![0.1, 0.9],
+        ];
+        let f = |w1: f64| (w1 - 0.6) * (w1 - 0.6) + 1.0;
+        let values: Vec<f64> = samples.iter().map(|w| f(w[0])).collect();
+        let s = QuadraticSurrogate::fit(&samples, &values, 1e-8).unwrap();
+        // Minimum of the surrogate should be near 0.6.
+        let mut best_w1 = 0.0;
+        let mut best_v = f64::INFINITY;
+        for i in 0..=100 {
+            let w1 = i as f64 / 100.0;
+            let v = s.eval(&[w1, 1.0 - w1]);
+            if v < best_v {
+                best_v = v;
+                best_w1 = w1;
+            }
+        }
+        assert!((best_w1 - 0.6).abs() < 0.02, "argmin = {best_w1}");
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the optimization substrate.
+
+use mvag_optim::cobyla::{cobyla, CobylaParams, Constraint};
+use mvag_optim::simplex::{
+    expand_weights, is_on_simplex, project_simplex, reduced_simplex_constraints,
+};
+use mvag_optim::QuadraticSurrogate;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn projection_lands_on_simplex(v in proptest::collection::vec(-5.0f64..5.0, 1..8)) {
+        let mut x = v.clone();
+        project_simplex(&mut x);
+        prop_assert!(is_on_simplex(&x, 1e-9), "projected {:?} -> {:?}", v, x);
+    }
+
+    #[test]
+    fn projection_is_nonexpansive(
+        a in proptest::collection::vec(-3.0f64..3.0, 4),
+        b in proptest::collection::vec(-3.0f64..3.0, 4),
+    ) {
+        let mut pa = a.clone();
+        let mut pb = b.clone();
+        project_simplex(&mut pa);
+        project_simplex(&mut pb);
+        let d_orig: f64 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum();
+        let d_proj: f64 = pa.iter().zip(&pb).map(|(x, y)| (x - y) * (x - y)).sum();
+        prop_assert!(d_proj <= d_orig + 1e-9);
+    }
+
+    #[test]
+    fn expand_weights_always_on_simplex_when_reduced_feasible(
+        mut v in proptest::collection::vec(0.0f64..1.0, 1..6)
+    ) {
+        // Scale down so Σv ≤ 1.
+        let s: f64 = v.iter().sum();
+        if s > 1.0 {
+            for x in v.iter_mut() { *x /= s * 1.001; }
+        }
+        let w = expand_weights(&v);
+        prop_assert!(is_on_simplex(&w, 1e-9));
+    }
+
+    #[test]
+    fn cobyla_finds_separable_quadratic_minimum(
+        cx in 0.05f64..0.45,
+        cy in 0.05f64..0.45,
+    ) {
+        // Interior optimum: cx + cy < 1 guaranteed by ranges.
+        let cons: Vec<Constraint> = reduced_simplex_constraints(2);
+        let res = cobyla(
+            |v| (v[0] - cx).powi(2) + (v[1] - cy).powi(2),
+            &cons,
+            &[0.4, 0.3],
+            &CobylaParams::default(),
+        ).unwrap();
+        prop_assert!((res.x[0] - cx).abs() < 5e-3, "x = {:?} target ({cx}, {cy})", res.x);
+        prop_assert!((res.x[1] - cy).abs() < 5e-3, "x = {:?} target ({cx}, {cy})", res.x);
+    }
+
+    #[test]
+    fn cobyla_result_is_feasible(
+        gx in -2.0f64..2.0,
+        gy in -2.0f64..2.0,
+    ) {
+        // Arbitrary linear objective over the simplex: optimum at a vertex,
+        // result must stay feasible.
+        let cons: Vec<Constraint> = reduced_simplex_constraints(2);
+        let res = cobyla(
+            |v| gx * v[0] + gy * v[1],
+            &cons,
+            &[0.33, 0.33],
+            &CobylaParams::default(),
+        ).unwrap();
+        prop_assert!(res.x[0] >= -1e-6 && res.x[1] >= -1e-6);
+        prop_assert!(res.x[0] + res.x[1] <= 1.0 + 1e-6);
+    }
+
+    #[test]
+    fn surrogate_exact_on_linear_functions(
+        a in -2.0f64..2.0,
+        b in -2.0f64..2.0,
+        c in -2.0f64..2.0,
+    ) {
+        // A linear function is inside the quadratic model class; with many
+        // samples and tiny ridge the fit must reproduce it.
+        let f = |v: &[f64]| a * v[0] + b * v[1] + c;
+        let mut samples = Vec::new();
+        let mut values = Vec::new();
+        for i in 0..5 {
+            for j in 0..(5 - i) {
+                let v = [i as f64 * 0.2, j as f64 * 0.2];
+                samples.push(vec![v[0], v[1], 1.0 - v[0] - v[1]]);
+                values.push(f(&v));
+            }
+        }
+        let s = QuadraticSurrogate::fit(&samples, &values, 1e-10).unwrap();
+        let test = [0.13, 0.24];
+        let w = vec![test[0], test[1], 1.0 - test[0] - test[1]];
+        prop_assert!((s.eval(&w) - f(&test)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn surrogate_permutation_of_sample_order_is_irrelevant(seed in 0u64..50) {
+        let samples = vec![
+            vec![1.0/3.0, 1.0/3.0, 1.0/3.0],
+            vec![2.0/3.0, 1.0/6.0, 1.0/6.0],
+            vec![1.0/6.0, 2.0/3.0, 1.0/6.0],
+            vec![1.0/6.0, 1.0/6.0, 2.0/3.0],
+        ];
+        let values = vec![0.5, 0.8, 0.3, 0.9];
+        let s1 = QuadraticSurrogate::fit(&samples, &values, 0.05).unwrap();
+        // Rotate sample order by seed.
+        let rot = (seed % 4) as usize;
+        let mut samples2 = samples.clone();
+        let mut values2 = values.clone();
+        samples2.rotate_left(rot);
+        values2.rotate_left(rot);
+        let s2 = QuadraticSurrogate::fit(&samples2, &values2, 0.05).unwrap();
+        let w = [0.25, 0.35, 0.40];
+        // Exact-arithmetic invariance; numerically the dual Cholesky solve
+        // rounds differently under row permutation.
+        let (a, b) = (s1.eval(&w), s2.eval(&w));
+        prop_assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()), "{a} vs {b}");
+    }
+}

@@ -1,0 +1,240 @@
+//! Cholesky factorization for small symmetric positive-definite systems.
+//!
+//! Used to solve the ridge-regularized least-squares regression of SGLA+'s
+//! quadratic surrogate (Eq. 9 of the paper): the normal equations
+//! `(ΦᵀΦ + αI) θ = Φᵀ y` are SPD by construction for `α > 0`.
+
+use crate::{DenseMatrix, Result, SparseError};
+
+/// A lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: DenseMatrix,
+}
+
+impl Cholesky {
+    /// Factorizes a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read; symmetry of the upper
+    /// triangle is the caller's responsibility.
+    ///
+    /// # Errors
+    /// * [`SparseError::ShapeMismatch`] if `a` is not square.
+    /// * [`SparseError::NumericalBreakdown`] if a non-positive pivot is
+    ///   encountered (matrix not positive definite).
+    pub fn factor(a: &DenseMatrix) -> Result<Self> {
+        let n = a.nrows();
+        if a.ncols() != n {
+            return Err(SparseError::ShapeMismatch(format!(
+                "cholesky needs square matrix, got {}x{}",
+                a.nrows(),
+                a.ncols()
+            )));
+        }
+        let mut l = DenseMatrix::zeros(n, n);
+        for j in 0..n {
+            let mut diag = a[(j, j)];
+            for k in 0..j {
+                diag -= l[(j, k)] * l[(j, k)];
+            }
+            if diag <= 0.0 || !diag.is_finite() {
+                return Err(SparseError::NumericalBreakdown("cholesky pivot"));
+            }
+            let ljj = diag.sqrt();
+            l[(j, j)] = ljj;
+            for i in (j + 1)..n {
+                let mut v = a[(i, j)];
+                for k in 0..j {
+                    v -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = v / ljj;
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Solves `A x = b` via forward/back substitution.
+    ///
+    /// # Errors
+    /// [`SparseError::ShapeMismatch`] if `b` has the wrong length.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.l.nrows();
+        if b.len() != n {
+            return Err(SparseError::ShapeMismatch(format!(
+                "rhs length {} != {}",
+                b.len(),
+                n
+            )));
+        }
+        // L z = b
+        let mut z = b.to_vec();
+        for i in 0..n {
+            for k in 0..i {
+                z[i] -= self.l[(i, k)] * z[k];
+            }
+            z[i] /= self.l[(i, i)];
+        }
+        // Lᵀ x = z
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                z[i] -= self.l[(k, i)] * z[k];
+            }
+            z[i] /= self.l[(i, i)];
+        }
+        Ok(z)
+    }
+
+    /// The lower-triangular factor.
+    pub fn factor_matrix(&self) -> &DenseMatrix {
+        &self.l
+    }
+}
+
+/// Solves the weighted ridge system `(GᵀG + diag(alphas)) x = Gᵀ y` — the
+/// normal equations of `min ‖Gx − y‖² + Σ alphasⱼ xⱼ²`. Used by the SGLA+
+/// surrogate to regularize the quadratic coefficients strongly while
+/// leaving linear/constant terms nearly free (least-Frobenius-norm model
+/// in the Hessian sense).
+///
+/// # Errors
+/// Shape mismatches; factorization failure for a singular system (all
+/// `alphas` zero on a rank-deficient design).
+pub fn ridge_solve_weighted(g: &DenseMatrix, y: &[f64], alphas: &[f64]) -> Result<Vec<f64>> {
+    if g.nrows() != y.len() {
+        return Err(SparseError::ShapeMismatch(format!(
+            "design matrix rows {} != rhs length {}",
+            g.nrows(),
+            y.len()
+        )));
+    }
+    if g.ncols() != alphas.len() {
+        return Err(SparseError::ShapeMismatch(format!(
+            "design matrix cols {} != penalty length {}",
+            g.ncols(),
+            alphas.len()
+        )));
+    }
+    let mut gtg = g.gram(g)?;
+    let p = gtg.nrows();
+    for i in 0..p {
+        gtg[(i, i)] += alphas[i];
+    }
+    let mut gty = vec![0.0; p];
+    for r in 0..g.nrows() {
+        let row = g.row(r);
+        let yr = y[r];
+        for (j, &v) in row.iter().enumerate() {
+            gty[j] += v * yr;
+        }
+    }
+    Cholesky::factor(&gtg)?.solve(&gty)
+}
+
+/// Solves the ridge system `(GᵀG + alpha·I) x = Gᵀ y` — the normal
+/// equations of `min ‖Gx − y‖² + alpha‖x‖²`.
+///
+/// # Errors
+/// Propagates factorization errors; with `alpha > 0` the system is SPD so
+/// failures indicate non-finite input.
+pub fn ridge_solve(g: &DenseMatrix, y: &[f64], alpha: f64) -> Result<Vec<f64>> {
+    if g.nrows() != y.len() {
+        return Err(SparseError::ShapeMismatch(format!(
+            "design matrix rows {} != rhs length {}",
+            g.nrows(),
+            y.len()
+        )));
+    }
+    let mut gtg = g.gram(g)?;
+    let p = gtg.nrows();
+    for i in 0..p {
+        gtg[(i, i)] += alpha;
+    }
+    let mut gty = vec![0.0; p];
+    for r in 0..g.nrows() {
+        let row = g.row(r);
+        let yr = y[r];
+        for (j, &v) in row.iter().enumerate() {
+            gty[j] += v * yr;
+        }
+    }
+    Cholesky::factor(&gtg)?.solve(&gty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_known_spd() {
+        // A = [[4, 2], [2, 3]] → L = [[2, 0], [1, sqrt(2)]]
+        let a = DenseMatrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]]).unwrap();
+        let ch = Cholesky::factor(&a).unwrap();
+        let l = ch.factor_matrix();
+        assert!((l[(0, 0)] - 2.0).abs() < 1e-14);
+        assert!((l[(1, 0)] - 1.0).abs() < 1e-14);
+        assert!((l[(1, 1)] - 2.0f64.sqrt()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn solve_recovers_solution() {
+        let a = DenseMatrix::from_rows(&[
+            vec![6.0, 2.0, 1.0],
+            vec![2.0, 5.0, 2.0],
+            vec![1.0, 2.0, 4.0],
+        ])
+        .unwrap();
+        let x_true = [1.0, -2.0, 3.0];
+        let mut b = vec![0.0; 3];
+        a.matvec(&x_true, &mut b);
+        let x = Cholesky::factor(&a).unwrap().solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_non_spd() {
+        let a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]).unwrap(); // eigenvalues 3, -1
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(SparseError::NumericalBreakdown(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = DenseMatrix::zeros(2, 3);
+        assert!(Cholesky::factor(&a).is_err());
+    }
+
+    #[test]
+    fn solve_rejects_bad_rhs() {
+        let a = DenseMatrix::identity(2);
+        let ch = Cholesky::factor(&a).unwrap();
+        assert!(ch.solve(&[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn ridge_shrinks_towards_zero() {
+        // Overdetermined consistent system: exact solution at alpha → 0,
+        // shrunk norms as alpha grows.
+        let g = DenseMatrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+        ])
+        .unwrap();
+        let y = [1.0, 2.0, 3.0];
+        let x0 = ridge_solve(&g, &y, 1e-12).unwrap();
+        assert!((x0[0] - 1.0).abs() < 1e-5);
+        assert!((x0[1] - 2.0).abs() < 1e-5);
+        let x1 = ridge_solve(&g, &y, 10.0).unwrap();
+        assert!(crate::vecops::norm2(&x1) < crate::vecops::norm2(&x0));
+    }
+
+    #[test]
+    fn ridge_rejects_shape_mismatch() {
+        let g = DenseMatrix::zeros(3, 2);
+        assert!(ridge_solve(&g, &[1.0, 2.0], 0.1).is_err());
+    }
+}

@@ -1,0 +1,231 @@
+//! Coordinate-format (triplet) sparse matrix builder.
+//!
+//! Graph construction (edge lists, KNN results) naturally produces
+//! unordered `(row, col, value)` triplets; [`CooMatrix`] accumulates them
+//! and converts to [`CsrMatrix`](crate::CsrMatrix) with duplicate summing,
+//! which is exactly the semantics needed when multiple edge sources
+//! contribute to the same cell.
+
+use crate::{CsrMatrix, Result, SparseError};
+use serde::{Deserialize, Serialize};
+
+/// A sparse matrix under construction, stored as unsorted triplets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CooMatrix {
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl CooMatrix {
+    /// Creates an empty builder for an `nrows × ncols` matrix.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        CooMatrix {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Creates an empty builder with room for `cap` triplets.
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        CooMatrix {
+            nrows,
+            ncols,
+            rows: Vec::with_capacity(cap),
+            cols: Vec::with_capacity(cap),
+            vals: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored triplets (duplicates counted separately).
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Appends a triplet. Duplicate `(row, col)` entries are summed on
+    /// conversion to CSR.
+    ///
+    /// # Errors
+    /// Returns [`SparseError::IndexOutOfBounds`] if the coordinates exceed
+    /// the declared shape.
+    pub fn push(&mut self, row: usize, col: usize, val: f64) -> Result<()> {
+        if row >= self.nrows {
+            return Err(SparseError::IndexOutOfBounds {
+                index: row,
+                bound: self.nrows,
+                axis: "row",
+            });
+        }
+        if col >= self.ncols {
+            return Err(SparseError::IndexOutOfBounds {
+                index: col,
+                bound: self.ncols,
+                axis: "col",
+            });
+        }
+        self.rows.push(row);
+        self.cols.push(col);
+        self.vals.push(val);
+        Ok(())
+    }
+
+    /// Appends both `(row, col, val)` and `(col, row, val)`; convenience for
+    /// building undirected graph adjacency matrices.
+    pub fn push_sym(&mut self, row: usize, col: usize, val: f64) -> Result<()> {
+        self.push(row, col, val)?;
+        if row != col {
+            self.push(col, row, val)?;
+        }
+        Ok(())
+    }
+
+    /// Converts to CSR, summing duplicates and dropping explicit zeros
+    /// produced by duplicate cancellation.
+    ///
+    /// Runs in `O(nnz + nrows)` using a counting sort on rows followed by a
+    /// per-row sort on columns (rows are short in graph workloads).
+    pub fn to_csr(&self) -> CsrMatrix {
+        let n = self.nrows;
+        // Counting sort by row.
+        let mut row_counts = vec![0usize; n + 1];
+        for &r in &self.rows {
+            row_counts[r + 1] += 1;
+        }
+        for i in 0..n {
+            row_counts[i + 1] += row_counts[i];
+        }
+        let mut next = row_counts.clone();
+        let nnz = self.vals.len();
+        let mut cols = vec![0usize; nnz];
+        let mut vals = vec![0.0f64; nnz];
+        for idx in 0..nnz {
+            let r = self.rows[idx];
+            let slot = next[r];
+            next[r] += 1;
+            cols[slot] = self.cols[idx];
+            vals[slot] = self.vals[idx];
+        }
+        // Sort each row by column and merge duplicates in place.
+        let mut out_indptr = Vec::with_capacity(n + 1);
+        out_indpush(&mut out_indptr, 0);
+        let mut out_cols = Vec::with_capacity(nnz);
+        let mut out_vals = Vec::with_capacity(nnz);
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for r in 0..n {
+            let (s, e) = (row_counts[r], row_counts[r + 1]);
+            scratch.clear();
+            scratch.extend(cols[s..e].iter().copied().zip(vals[s..e].iter().copied()));
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < scratch.len() {
+                let c = scratch[i].0;
+                let mut v = scratch[i].1;
+                let mut j = i + 1;
+                while j < scratch.len() && scratch[j].0 == c {
+                    v += scratch[j].1;
+                    j += 1;
+                }
+                if v != 0.0 {
+                    out_cols.push(c);
+                    out_vals.push(v);
+                }
+                i = j;
+            }
+            out_indpush(&mut out_indptr, out_cols.len());
+        }
+        CsrMatrix::from_raw_parts_unchecked(self.nrows, self.ncols, out_indptr, out_cols, out_vals)
+    }
+}
+
+#[inline]
+fn out_indpush(v: &mut Vec<usize>, x: usize) {
+    v.push(x);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_matrix() {
+        let coo = CooMatrix::new(3, 3);
+        let csr = coo.to_csr();
+        assert_eq!(csr.nrows(), 3);
+        assert_eq!(csr.nnz(), 0);
+    }
+
+    #[test]
+    fn push_rejects_out_of_bounds() {
+        let mut coo = CooMatrix::new(2, 2);
+        assert!(matches!(
+            coo.push(2, 0, 1.0),
+            Err(SparseError::IndexOutOfBounds { axis: "row", .. })
+        ));
+        assert!(matches!(
+            coo.push(0, 5, 1.0),
+            Err(SparseError::IndexOutOfBounds { axis: "col", .. })
+        ));
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 1, 1.5).unwrap();
+        coo.push(0, 1, 2.5).unwrap();
+        coo.push(1, 0, -1.0).unwrap();
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 2);
+        assert_eq!(csr.get(0, 1), 4.0);
+        assert_eq!(csr.get(1, 0), -1.0);
+    }
+
+    #[test]
+    fn cancelling_duplicates_are_dropped() {
+        let mut coo = CooMatrix::new(1, 2);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(0, 0, -1.0).unwrap();
+        coo.push(0, 1, 3.0).unwrap();
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 1);
+        assert_eq!(csr.get(0, 0), 0.0);
+        assert_eq!(csr.get(0, 1), 3.0);
+    }
+
+    #[test]
+    fn push_sym_mirrors() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push_sym(0, 2, 2.0).unwrap();
+        coo.push_sym(1, 1, 5.0).unwrap(); // diagonal: stored once
+        let csr = coo.to_csr();
+        assert_eq!(csr.get(0, 2), 2.0);
+        assert_eq!(csr.get(2, 0), 2.0);
+        assert_eq!(csr.get(1, 1), 5.0);
+        assert_eq!(csr.nnz(), 3);
+    }
+
+    #[test]
+    fn columns_sorted_after_conversion() {
+        let mut coo = CooMatrix::new(1, 5);
+        for &c in &[4usize, 0, 3, 1] {
+            coo.push(0, c, c as f64 + 1.0).unwrap();
+        }
+        let csr = coo.to_csr();
+        let row: Vec<usize> = csr.row_cols(0).to_vec();
+        assert_eq!(row, vec![0, 1, 3, 4]);
+    }
+}

@@ -1,0 +1,209 @@
+//! Cyclic Jacobi eigensolver for small dense symmetric matrices.
+//!
+//! Quadratically convergent and unconditionally stable; used as the exact
+//! reference in tests, as the dense fallback for tiny operators inside the
+//! Lanczos driver, and for the small Gram-matrix eigenproblems in the
+//! randomized SVD.
+
+use crate::{DenseMatrix, Result, SparseError};
+
+/// Eigen-decomposition of a dense symmetric matrix.
+#[derive(Debug, Clone)]
+pub struct DenseEig {
+    /// Eigenvalues ascending.
+    pub values: Vec<f64>,
+    /// Columns are the matching unit eigenvectors.
+    pub vectors: DenseMatrix,
+}
+
+/// Computes all eigenpairs of a symmetric matrix by the cyclic Jacobi
+/// method. Only the lower triangle is read.
+///
+/// # Errors
+/// * [`SparseError::ShapeMismatch`] if not square.
+/// * [`SparseError::NoConvergence`] after 100 sweeps (off-diagonal mass
+///   shrinks quadratically, so this indicates NaN/Inf input).
+pub fn jacobi_eig(a: &DenseMatrix) -> Result<DenseEig> {
+    let n = a.nrows();
+    if a.ncols() != n {
+        return Err(SparseError::ShapeMismatch(format!(
+            "jacobi needs square, got {}x{}",
+            a.nrows(),
+            a.ncols()
+        )));
+    }
+    if n == 0 {
+        return Ok(DenseEig {
+            values: Vec::new(),
+            vectors: DenseMatrix::zeros(0, 0),
+        });
+    }
+    // Work on a symmetrized copy.
+    let mut m = DenseMatrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let v = a[(i, j)];
+            m[(i, j)] = v;
+            m[(j, i)] = v;
+        }
+    }
+    let mut v = DenseMatrix::identity(n);
+    let max_sweeps = 100;
+    for _sweep in 0..max_sweeps {
+        let mut off = 0.0f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        if off.sqrt() <= 1e-14 * (1.0 + m.max_abs()) * n as f64 {
+            return Ok(sorted(m, v));
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= f64::MIN_POSITIVE {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                // Stable tangent of the rotation angle.
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Apply G(p,q,θ)ᵀ M G(p,q,θ).
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    Err(SparseError::NoConvergence {
+        algorithm: "jacobi",
+        iterations: max_sweeps,
+    })
+}
+
+fn sorted(m: DenseMatrix, v: DenseMatrix) -> DenseEig {
+    let n = m.nrows();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| m[(a, a)].partial_cmp(&m[(b, b)]).expect("finite"));
+    let values: Vec<f64> = order.iter().map(|&i| m[(i, i)]).collect();
+    let mut vectors = DenseMatrix::zeros(n, n);
+    for (new_c, &old_c) in order.iter().enumerate() {
+        for r in 0..n {
+            vectors[(r, new_c)] = v[(r, old_c)];
+        }
+    }
+    DenseEig { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_decomposition(a: &DenseMatrix, e: &DenseEig, tol: f64) {
+        let n = a.nrows();
+        for j in 0..n {
+            let col = e.vectors.col(j);
+            let mut av = vec![0.0; n];
+            a.matvec(&col, &mut av);
+            for i in 0..n {
+                assert!(
+                    (av[i] - e.values[j] * col[i]).abs() < tol,
+                    "residual for pair {j}"
+                );
+            }
+        }
+        // Orthonormality
+        for i in 0..n {
+            for j in i..n {
+                let d = crate::vecops::dot(&e.vectors.col(i), &e.vectors.col(j));
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((d - expect).abs() < tol);
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let a = DenseMatrix::from_rows(&[
+            vec![3.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 2.0],
+        ])
+        .unwrap();
+        let e = jacobi_eig(&a).unwrap();
+        assert_eq!(e.values, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn known_two_by_two() {
+        let a = DenseMatrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        let e = jacobi_eig(&a).unwrap();
+        assert!((e.values[0] - 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 3.0).abs() < 1e-12);
+        check_decomposition(&a, &e, 1e-12);
+    }
+
+    #[test]
+    fn random_symmetric() {
+        let n = 15;
+        let mut a = DenseMatrix::zeros(n, n);
+        let mut state = 42u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        for i in 0..n {
+            for j in 0..=i {
+                let v = next();
+                a[(i, j)] = v;
+                a[(j, i)] = v;
+            }
+        }
+        let e = jacobi_eig(&a).unwrap();
+        check_decomposition(&a, &e, 1e-9);
+        // Trace preserved.
+        let tr: f64 = (0..n).map(|i| a[(i, i)]).sum();
+        let sum: f64 = e.values.iter().sum();
+        assert!((tr - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_eigenvalues() {
+        let a = DenseMatrix::from_rows(&[vec![0.0, 2.0], vec![2.0, 0.0]]).unwrap();
+        let e = jacobi_eig(&a).unwrap();
+        assert!((e.values[0] + 2.0).abs() < 1e-12);
+        assert!((e.values[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        assert!(jacobi_eig(&DenseMatrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let e = jacobi_eig(&DenseMatrix::zeros(0, 0)).unwrap();
+        assert!(e.values.is_empty());
+    }
+}

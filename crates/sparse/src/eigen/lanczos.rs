@@ -1,0 +1,737 @@
+//! Lanczos iteration with full reorthogonalization, deflation locking, and
+//! a multiplicity-verification sweep, for the smallest eigenpairs of
+//! bounded symmetric operators.
+//!
+//! This is the `Eigenvalues(L, k+1)` primitive of SGLA's Algorithms 1 & 2.
+//! Normalized Laplacians have spectrum in `[0, 2]`, so rather than
+//! shift-invert (which would require sparse linear solves) we run Lanczos on
+//! the *spectral complement* `B = σI − L` with `σ ≥ λ_max(L)`: the smallest
+//! eigenvalues of `L` are the dominant eigenvalues of `B`, which Lanczos
+//! finds fastest.
+//!
+//! Two failure modes of textbook Lanczos are handled explicitly because
+//! both occur routinely on multi-view Laplacians:
+//!
+//! 1. **Breakdown** (an invariant subspace, e.g. the constant vector of a
+//!    connected view) — restart the three-term recurrence with a fresh
+//!    random direction orthogonal to the basis; the projected matrix
+//!    becomes block tridiagonal, which the QL solver handles transparently.
+//! 2. **Missed multiplicity** — a single-vector Krylov space contains at
+//!    most one direction per eigenvalue, so exactly repeated eigenvalues
+//!    (disconnected graph views have `λ = 0` with multiplicity equal to the
+//!    number of components) are silently *skipped*, with all residuals
+//!    small. Residual checks cannot detect this. After the requested pairs
+//!    converge we therefore run a cheap *verification sweep*: one more
+//!    Lanczos pass deflated against everything found so far; if the
+//!    complement contains an eigenvalue smaller than our k-th value, a copy
+//!    was missed — lock it and re-verify.
+
+use super::tridiag::SymTridiag;
+use crate::linop::{LinOp, ShiftedNegOp};
+use crate::parallel::{default_threads, par_chunks_mut, par_map};
+use crate::{vecops, DenseMatrix, Result, SparseError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Options for the Lanczos driver.
+#[derive(Debug, Clone)]
+pub struct EigOptions {
+    /// Relative residual tolerance for Ritz pairs (default `1e-8`).
+    pub tol: f64,
+    /// Maximum Krylov dimension per pass (default `0` = auto:
+    /// `min(n, max(6(k+1), 420))`).
+    pub max_dim: usize,
+    /// RNG seed for start vectors (deterministic by default).
+    pub seed: u64,
+    /// Below this dimension the operator is materialized and solved densely
+    /// by Jacobi (default 96).
+    pub dense_fallback: usize,
+    /// Run the multiplicity-verification sweep (default `true`). Disable
+    /// only when the spectrum is known to be simple.
+    pub verify_multiplicity: bool,
+    /// Worker threads for reorthogonalization on large problems (default:
+    /// autodetect, ≤ 16).
+    pub threads: usize,
+}
+
+impl Default for EigOptions {
+    fn default() -> Self {
+        EigOptions {
+            tol: 1e-8,
+            max_dim: 0,
+            seed: 7,
+            dense_fallback: 96,
+            verify_multiplicity: true,
+            threads: default_threads(),
+        }
+    }
+}
+
+/// Result of an eigen-computation.
+#[derive(Debug, Clone)]
+pub struct EigResult {
+    /// The `k` smallest eigenvalues, ascending.
+    pub values: Vec<f64>,
+    /// `n × k` matrix of matching eigenvectors (empty when only values were
+    /// requested).
+    pub vectors: DenseMatrix,
+    /// Total operator applications performed.
+    pub matvecs: usize,
+    /// Whether all requested pairs met the residual tolerance.
+    pub converged: bool,
+}
+
+/// Computes the `k` smallest eigenvalues (no eigenvector matrix assembled)
+/// of a symmetric operator. See [`smallest_eigenpairs`].
+pub fn smallest_eigenvalues(op: &dyn LinOp, k: usize, opts: &EigOptions) -> Result<Vec<f64>> {
+    run(op, k, opts, false).map(|r| r.values)
+}
+
+/// Computes the `k` smallest eigenpairs of a symmetric operator.
+///
+/// # Errors
+/// * [`SparseError::InvalidArgument`] if `k == 0` or `k > n`.
+/// * [`SparseError::NoConvergence`] if repeated deflated passes make no
+///   progress (pathological operators; does not occur for finite symmetric
+///   input with sane tolerances).
+pub fn smallest_eigenpairs(op: &dyn LinOp, k: usize, opts: &EigOptions) -> Result<EigResult> {
+    run(op, k, opts, true)
+}
+
+struct Locked {
+    values: Vec<f64>,
+    vectors: Vec<Vec<f64>>,
+}
+
+fn run(op: &dyn LinOp, k: usize, opts: &EigOptions, want_vectors: bool) -> Result<EigResult> {
+    let n = op.dim();
+    if k == 0 {
+        return Err(SparseError::InvalidArgument(
+            "requested 0 eigenpairs".into(),
+        ));
+    }
+    if k > n {
+        return Err(SparseError::InvalidArgument(format!(
+            "requested {k} eigenpairs of a {n}-dimensional operator"
+        )));
+    }
+    if n <= opts.dense_fallback || k + 2 >= n {
+        return dense_path(op, k, want_vectors);
+    }
+
+    let shift = match op.spectral_bound() {
+        Some(b) => b * (1.0 + 1e-10) + 1e-12,
+        None => estimate_bound(op, opts.seed) * 1.05 + 1e-12,
+    };
+    let b_op = ShiftedNegOp::new(op, shift);
+    let max_dim = if opts.max_dim == 0 {
+        n.min((6 * (k + 1)).max(420))
+    } else {
+        opts.max_dim.min(n)
+    };
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut matvecs = 0usize;
+    let mut locked = Locked {
+        values: Vec::with_capacity(k + 4),
+        vectors: Vec::with_capacity(k + 4),
+    };
+    let mut all_converged = true;
+
+    // Phase 1: lock k pairs via deflated Lanczos passes.
+    lock_pairs(
+        &b_op, shift, k, opts, max_dim, &mut rng, &mut matvecs, &mut locked,
+        &mut all_converged,
+    )?;
+
+    // Phase 2: verification sweep for missed multiplicities. Each round
+    // asks the deflated complement for its single smallest eigenvalue; if
+    // it undercuts our current k-th smallest, a copy was missed.
+    if opts.verify_multiplicity && locked.vectors.len() < n {
+        let mut verify_opts = opts.clone();
+        verify_opts.tol = opts.tol.max(1e-6);
+        for _round in 0..k {
+            let kth = kth_smallest(&locked.values, k);
+            let margin = 1e-8 * (1.0 + kth.abs());
+            let mut probe = Locked {
+                values: Vec::new(),
+                vectors: Vec::new(),
+            };
+            let mut probe_conv = true;
+            // A failed probe (no convergence in the complement) means the
+            // complement has no easily reachable eigenvalue below ours;
+            // treat as verified.
+            let probe_res = lock_pairs(
+                &b_op,
+                shift,
+                1,
+                &verify_opts,
+                max_dim,
+                &mut rng,
+                &mut matvecs,
+                &mut ProbeInto {
+                    base: &locked,
+                    extra: &mut probe,
+                },
+                &mut probe_conv,
+            );
+            match probe_res {
+                Ok(()) if !probe.values.is_empty() && probe.values[0] < kth - margin => {
+                    locked.values.push(probe.values[0]);
+                    locked.vectors.push(probe.vectors.swap_remove(0));
+                }
+                _ => break,
+            }
+            if locked.vectors.len() >= n {
+                break;
+            }
+        }
+    }
+
+    // Assemble the k smallest of everything locked.
+    let mut order: Vec<usize> = (0..locked.values.len()).collect();
+    order.sort_by(|&a, &b| {
+        locked.values[a]
+            .partial_cmp(&locked.values[b])
+            .expect("finite eigenvalues")
+    });
+    order.truncate(k);
+    let values: Vec<f64> = order.iter().map(|&i| locked.values[i]).collect();
+    let vectors = if want_vectors {
+        let mut m = DenseMatrix::zeros(n, k);
+        for (j, &i) in order.iter().enumerate() {
+            m.set_col(j, &locked.vectors[i]);
+        }
+        m
+    } else {
+        DenseMatrix::zeros(0, 0)
+    };
+    Ok(EigResult {
+        values,
+        vectors,
+        matvecs,
+        converged: all_converged,
+    })
+}
+
+fn kth_smallest(values: &[f64], k: usize) -> f64 {
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    v[k.min(v.len()) - 1]
+}
+
+/// Abstraction letting the verification probe deflate against the main
+/// locked set while collecting results separately.
+trait LockSink {
+    fn deflate_vectors(&self) -> Vec<&[f64]>;
+    fn locked_count(&self) -> usize;
+    fn push(&mut self, value: f64, vector: Vec<f64>);
+}
+
+impl LockSink for Locked {
+    fn deflate_vectors(&self) -> Vec<&[f64]> {
+        self.vectors.iter().map(|v| v.as_slice()).collect()
+    }
+    fn locked_count(&self) -> usize {
+        self.values.len()
+    }
+    fn push(&mut self, value: f64, vector: Vec<f64>) {
+        self.values.push(value);
+        self.vectors.push(vector);
+    }
+}
+
+struct ProbeInto<'a> {
+    base: &'a Locked,
+    extra: &'a mut Locked,
+}
+
+impl LockSink for ProbeInto<'_> {
+    fn deflate_vectors(&self) -> Vec<&[f64]> {
+        self.base
+            .vectors
+            .iter()
+            .chain(self.extra.vectors.iter())
+            .map(|v| v.as_slice())
+            .collect()
+    }
+    fn locked_count(&self) -> usize {
+        self.extra.values.len()
+    }
+    fn push(&mut self, value: f64, vector: Vec<f64>) {
+        self.extra.values.push(value);
+        self.extra.vectors.push(vector);
+    }
+}
+
+/// Runs deflated Lanczos passes until `target` pairs are locked into
+/// `sink`. Grows the Krylov dimension on stalls; force-locks with
+/// `converged = false` once `max_dim` is reached.
+#[allow(clippy::too_many_arguments)]
+fn lock_pairs<S: LockSink>(
+    b_op: &ShiftedNegOp<'_, dyn LinOp + '_>,
+    shift: f64,
+    target: usize,
+    opts: &EigOptions,
+    max_dim: usize,
+    rng: &mut StdRng,
+    matvecs: &mut usize,
+    sink: &mut S,
+    all_converged: &mut bool,
+) -> Result<()> {
+    let n = b_op.dim();
+    let mut m = n.min((2 * (target + 1) + 30).max(36));
+    let mut rounds = 0usize;
+    while sink.locked_count() < target {
+        rounds += 1;
+        if rounds > 64 {
+            return Err(SparseError::NoConvergence {
+                algorithm: "lanczos deflation loop",
+                iterations: *matvecs,
+            });
+        }
+        let deflate = sink.deflate_vectors();
+        if deflate.len() >= n {
+            // Nothing left in the complement.
+            return Ok(());
+        }
+        let need = target - sink.locked_count();
+        let m_pass = m.min(n - deflate.len());
+        let (basis, alphas, betas, exhausted) =
+            lanczos_factorization(b_op, m_pass, &deflate, rng, matvecs, opts.threads)?;
+        let m_eff = alphas.len();
+        if m_eff == 0 {
+            return Ok(());
+        }
+        let tri = SymTridiag::new(alphas.clone(), betas[..m_eff - 1].to_vec())?;
+        let te = tri.eig()?;
+        let last_beta = betas[m_eff - 1];
+        let at_limit = m_pass >= max_dim.min(n - deflate.len()) || exhausted;
+        let mut newly = 0usize;
+        for j in 0..need.min(m_eff) {
+            let col = m_eff - 1 - j; // largest μ of B first = smallest λ
+            let mu = te.values[col];
+            let bottom = te.vectors[(m_eff - 1, col)];
+            let resid = (last_beta * bottom).abs();
+            let ok = resid <= opts.tol * mu.abs().max(1.0);
+            if ok || at_limit {
+                if !ok {
+                    *all_converged = false;
+                }
+                let vec = assemble_ritz(&basis, &te.vectors, col);
+                sink.push(shift - mu, vec);
+                newly += 1;
+            } else {
+                break;
+            }
+        }
+        if sink.locked_count() >= target {
+            return Ok(());
+        }
+        if newly == 0 {
+            if at_limit {
+                // Force-locked everything we could and still short: the
+                // complement is exhausted.
+                return Ok(());
+            }
+            m = (2 * m).min(max_dim);
+        }
+    }
+    Ok(())
+}
+
+/// Runs an `m`-step Lanczos factorization of `op`, keeping every iterate
+/// orthogonal to `deflate` and to the whole basis (full
+/// reorthogonalization, two passes). Returns
+/// `(basis, alphas, betas, exhausted)`; `betas[j]` couples basis vectors
+/// `j` and `j+1`, a zero entry marking a breakdown restart (block
+/// boundary). `exhausted` means basis + deflation span the full space.
+#[allow(clippy::type_complexity)]
+fn lanczos_factorization(
+    op: &dyn LinOp,
+    m: usize,
+    deflate: &[&[f64]],
+    rng: &mut StdRng,
+    matvecs: &mut usize,
+    threads: usize,
+) -> Result<(Vec<Vec<f64>>, Vec<f64>, Vec<f64>, bool)> {
+    let n = op.dim();
+    let m = m.min(n - deflate.len());
+    let mut basis: Vec<Vec<f64>> = Vec::with_capacity(m + 1);
+    let mut alphas: Vec<f64> = Vec::with_capacity(m);
+    let mut betas: Vec<f64> = Vec::with_capacity(m);
+    let mut w = vec![0.0f64; n];
+    let mut exhausted = false;
+
+    let v0 = match fresh_direction(n, deflate, &basis, rng, threads) {
+        Some(v) => v,
+        None => return Ok((basis, alphas, betas, true)),
+    };
+    basis.push(v0);
+
+    for j in 0..m {
+        op.matvec(&basis[j], &mut w);
+        *matvecs += 1;
+        let alpha = vecops::dot(&basis[j], &w);
+        alphas.push(alpha);
+        vecops::axpy(-alpha, &basis[j], &mut w);
+        if j > 0 && betas[j - 1] != 0.0 {
+            vecops::axpy(-betas[j - 1], &basis[j - 1], &mut w);
+        }
+        orthogonalize(&mut w, deflate, &basis, threads);
+        let beta = vecops::norm2(&w);
+        if j + 1 == m {
+            betas.push(beta);
+            break;
+        }
+        if beta > 1e-12 {
+            betas.push(beta);
+            let inv = 1.0 / beta;
+            basis.push(w.iter().map(|x| x * inv).collect());
+        } else {
+            // Invariant subspace: restart with a fresh orthogonal direction.
+            betas.push(0.0);
+            match fresh_direction(n, deflate, &basis, rng, threads) {
+                Some(fresh) => basis.push(fresh),
+                None => {
+                    exhausted = true;
+                    break;
+                }
+            }
+        }
+    }
+    betas.truncate(alphas.len());
+    while betas.len() < alphas.len() {
+        betas.push(0.0);
+    }
+    Ok((basis, alphas, betas, exhausted))
+}
+
+/// Two-pass orthogonalization of `w` against the deflation set and the
+/// Lanczos basis, with thread-parallel projections/updates on large
+/// problems.
+fn orthogonalize(w: &mut [f64], deflate: &[&[f64]], basis: &[Vec<f64>], threads: usize) {
+    let n = w.len();
+    let total = deflate.len() + basis.len();
+    let parallel = threads > 1 && n * total > 1 << 18;
+    for _pass in 0..2 {
+        if parallel {
+            // projections
+            let projs: Vec<f64> = par_map(total, threads, |i| {
+                let v: &[f64] = if i < deflate.len() {
+                    deflate[i]
+                } else {
+                    &basis[i - deflate.len()]
+                };
+                vecops::dot(v, w)
+            });
+            // w -= Σ p_i v_i, parallel over element chunks
+            par_chunks_mut(w, threads, |start, chunk| {
+                for (i, &p) in projs.iter().enumerate() {
+                    if p == 0.0 {
+                        continue;
+                    }
+                    let v: &[f64] = if i < deflate.len() {
+                        deflate[i]
+                    } else {
+                        &basis[i - deflate.len()]
+                    };
+                    let vs = &v[start..start + chunk.len()];
+                    for (c, &vv) in chunk.iter_mut().zip(vs) {
+                        *c -= p * vv;
+                    }
+                }
+            });
+        } else {
+            for v in deflate.iter().copied().chain(basis.iter().map(|b| b.as_slice())) {
+                let p = vecops::dot(v, w);
+                if p != 0.0 {
+                    vecops::axpy(-p, v, w);
+                }
+            }
+        }
+    }
+}
+
+fn assemble_ritz(basis: &[Vec<f64>], tri_vectors: &DenseMatrix, col: usize) -> Vec<f64> {
+    let n = basis.first().map_or(0, Vec::len);
+    let m_eff = tri_vectors.nrows();
+    let mut out = vec![0.0f64; n];
+    for (j, v) in basis.iter().take(m_eff).enumerate() {
+        let s = tri_vectors[(j, col)];
+        if s != 0.0 {
+            vecops::axpy(s, v, &mut out);
+        }
+    }
+    vecops::normalize(&mut out);
+    out
+}
+
+fn fresh_direction(
+    n: usize,
+    deflate: &[&[f64]],
+    basis: &[Vec<f64>],
+    rng: &mut StdRng,
+    threads: usize,
+) -> Option<Vec<f64>> {
+    if deflate.len() + basis.len() >= n {
+        return None;
+    }
+    for _attempt in 0..6 {
+        let mut w: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() - 0.5).collect();
+        orthogonalize(&mut w, deflate, basis, threads);
+        if vecops::normalize(&mut w) > 1e-8 {
+            return Some(w);
+        }
+    }
+    None
+}
+
+fn estimate_bound(op: &dyn LinOp, seed: u64) -> f64 {
+    let n = op.dim();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut x: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() - 0.5).collect();
+    vecops::normalize(&mut x);
+    let mut y = vec![0.0; n];
+    let mut est = 0.0f64;
+    for _ in 0..30 {
+        op.matvec(&x, &mut y);
+        let nrm = vecops::norm2(&y);
+        if nrm == 0.0 {
+            return 1.0;
+        }
+        est = nrm;
+        std::mem::swap(&mut x, &mut y);
+        vecops::scale(1.0 / est, &mut x);
+    }
+    est
+}
+
+fn dense_path(op: &dyn LinOp, k: usize, want_vectors: bool) -> Result<EigResult> {
+    let n = op.dim();
+    let mut a = DenseMatrix::zeros(n, n);
+    let mut e = vec![0.0f64; n];
+    let mut col = vec![0.0f64; n];
+    for j in 0..n {
+        e[j] = 1.0;
+        op.matvec(&e, &mut col);
+        e[j] = 0.0;
+        for i in 0..n {
+            a[(i, j)] = col[i];
+        }
+    }
+    let eig = super::jacobi::jacobi_eig(&a)?;
+    let values = eig.values[..k].to_vec();
+    let vectors = if want_vectors {
+        let mut v = DenseMatrix::zeros(n, k);
+        for j in 0..k {
+            v.set_col(j, &eig.vectors.col(j));
+        }
+        v
+    } else {
+        DenseMatrix::zeros(0, 0)
+    };
+    Ok(EigResult {
+        values,
+        vectors,
+        matvecs: n,
+        converged: true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CooMatrix, CsrMatrix};
+    use std::f64::consts::PI;
+
+    /// Normalized Laplacian of the cycle C_n: eigenvalues 1 − cos(2πj/n).
+    fn cycle_norm_laplacian(n: usize) -> CsrMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 1.0).unwrap();
+            coo.push(i, (i + 1) % n, -0.5).unwrap();
+            coo.push(i, (i + n - 1) % n, -0.5).unwrap();
+        }
+        coo.to_csr()
+    }
+
+    fn cycle_eigs(n: usize) -> Vec<f64> {
+        let mut v: Vec<f64> = (0..n)
+            .map(|j| 1.0 - (2.0 * PI * j as f64 / n as f64).cos())
+            .collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v
+    }
+
+    #[test]
+    fn dense_fallback_small_cycle() {
+        let n = 24;
+        let l = cycle_norm_laplacian(n);
+        let res = smallest_eigenpairs(&l, 5, &EigOptions::default()).unwrap();
+        let expect = cycle_eigs(n);
+        for j in 0..5 {
+            assert!(
+                (res.values[j] - expect[j]).abs() < 1e-9,
+                "λ{j}: {} vs {}",
+                res.values[j],
+                expect[j]
+            );
+        }
+        assert!(res.converged);
+    }
+
+    #[test]
+    fn lanczos_large_cycle_with_degenerate_pairs() {
+        let n = 400; // above dense fallback; eigenvalues have multiplicity 2
+        let l = cycle_norm_laplacian(n);
+        let res = smallest_eigenpairs(&l, 6, &EigOptions::default()).unwrap();
+        let expect = cycle_eigs(n);
+        for j in 0..6 {
+            assert!(
+                (res.values[j] - expect[j]).abs() < 1e-6,
+                "λ{j}: {} vs {}",
+                res.values[j],
+                expect[j]
+            );
+        }
+        for j in 0..6 {
+            let v = res.vectors.col(j);
+            let mut lv = vec![0.0; n];
+            l.matvec(&v, &mut lv);
+            let mut rmax: f64 = 0.0;
+            for i in 0..n {
+                rmax = rmax.max((lv[i] - res.values[j] * v[i]).abs());
+            }
+            assert!(rmax < 1e-5, "pair {j} residual {rmax}");
+        }
+    }
+
+    #[test]
+    fn eigenvalues_only_matches_pairs() {
+        let l = cycle_norm_laplacian(300);
+        let vals = smallest_eigenvalues(&l, 4, &EigOptions::default()).unwrap();
+        let pairs = smallest_eigenpairs(&l, 4, &EigOptions::default()).unwrap();
+        for (a, b) in vals.iter().zip(&pairs.values) {
+            assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_multiplicity() {
+        // Two disjoint cycles of 150: eigenvalue 0 has multiplicity 2.
+        let n = 300;
+        let mut coo = CooMatrix::new(n, n);
+        for block in 0..2 {
+            let off = block * 150;
+            for i in 0..150 {
+                coo.push(off + i, off + i, 1.0).unwrap();
+                coo.push(off + i, off + (i + 1) % 150, -0.5).unwrap();
+                coo.push(off + i, off + (i + 149) % 150, -0.5).unwrap();
+            }
+        }
+        let l = coo.to_csr();
+        let res = smallest_eigenpairs(&l, 3, &EigOptions::default()).unwrap();
+        assert!(res.values[0].abs() < 1e-7, "λ1 = {}", res.values[0]);
+        assert!(res.values[1].abs() < 1e-7, "λ2 = {}", res.values[1]);
+        assert!(res.values[2] > 1e-4, "λ3 = {}", res.values[2]);
+    }
+
+    #[test]
+    fn identity_operator_extreme_multiplicity() {
+        // Every Krylov space of I is 1-dimensional; requires restart AND
+        // multiplicity handling.
+        let n = 200;
+        let i = CsrMatrix::identity(n);
+        let res = smallest_eigenpairs(&i, 3, &EigOptions::default()).unwrap();
+        for v in &res.values {
+            assert!((v - 1.0).abs() < 1e-9);
+        }
+        // Vectors must be mutually orthogonal even within the eigenspace.
+        for a in 0..3 {
+            for b in (a + 1)..3 {
+                let d = vecops::dot(&res.vectors.col(a), &res.vectors.col(b));
+                assert!(d.abs() < 1e-8, "v{a}·v{b} = {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn shifted_combination_degenerate_pairs() {
+        // Regression test for silent multiplicity loss: 0.5·L_cycle + 0.5·I
+        // has eigenvalues 0.5·λ_j + 0.5 with the cycle's multiplicity-2
+        // structure.
+        use crate::linop::ScaledSumOp;
+        let n = 220;
+        let l1 = cycle_norm_laplacian(n);
+        let l2 = CsrMatrix::identity(n);
+        let op = ScaledSumOp::new(vec![&l1, &l2], vec![0.5, 0.5]);
+        let res = smallest_eigenvalues(&op, 5, &EigOptions::default()).unwrap();
+        let expect = cycle_eigs(n);
+        for j in 0..5 {
+            assert!(
+                (res[j] - (0.5 * expect[j] + 0.5)).abs() < 1e-6,
+                "λ{j}: {} vs {}",
+                res[j],
+                0.5 * expect[j] + 0.5
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_k_rejected() {
+        let l = cycle_norm_laplacian(10);
+        assert!(smallest_eigenpairs(&l, 0, &EigOptions::default()).is_err());
+        assert!(smallest_eigenpairs(&l, 11, &EigOptions::default()).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let l = cycle_norm_laplacian(350);
+        let a = smallest_eigenvalues(&l, 5, &EigOptions::default()).unwrap();
+        let b = smallest_eigenvalues(&l, 5, &EigOptions::default()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn path_graph_simple_spectrum() {
+        // Normalized Laplacian of the path: all eigenvalues simple; checks
+        // the solver against the dense reference.
+        let n = 180;
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 1.0).unwrap();
+        }
+        for i in 0..n - 1 {
+            let di = if i == 0 || i == n - 1 { 1.0f64 } else { 2.0 };
+            let dj = if i + 1 == n - 1 { 1.0f64 } else { 2.0 };
+            let w = -1.0 / (di * dj).sqrt();
+            coo.push_sym(i, i + 1, w).unwrap();
+        }
+        let l = coo.to_csr();
+        let res = smallest_eigenvalues(&l, 4, &EigOptions::default()).unwrap();
+        // Dense reference.
+        let dense = super::super::jacobi::jacobi_eig(&l.to_dense()).unwrap();
+        for j in 0..4 {
+            assert!(
+                (res[j] - dense.values[j]).abs() < 1e-7,
+                "λ{j}: {} vs {}",
+                res[j],
+                dense.values[j]
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_threads_same_answer() {
+        let l = cycle_norm_laplacian(320);
+        let mut o1 = EigOptions::default();
+        o1.threads = 1;
+        let mut o4 = EigOptions::default();
+        o4.threads = 4;
+        let a = smallest_eigenvalues(&l, 5, &o1).unwrap();
+        let b = smallest_eigenvalues(&l, 5, &o4).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-8);
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Symmetric eigensolvers.
+//!
+//! Three layers, each built on the one below:
+//!
+//! * [`tridiag`] — implicit-QL eigensolver for symmetric tridiagonal
+//!   matrices (the projected problem inside Lanczos);
+//! * [`jacobi`] — cyclic Jacobi for small dense symmetric matrices (exact
+//!   reference and fallback for tiny operators);
+//! * [`lanczos`] — Lanczos with full reorthogonalization extracting the
+//!   smallest eigenpairs of a bounded symmetric [`LinOp`](crate::LinOp),
+//!   which is precisely the `Eigenvalues(L, k+1)` primitive in Algorithms 1
+//!   and 2 of the SGLA paper.
+
+pub mod jacobi;
+pub mod lanczos;
+pub mod subspace;
+pub mod tridiag;
+
+pub use jacobi::jacobi_eig;
+pub use lanczos::{smallest_eigenpairs, smallest_eigenvalues, EigOptions, EigResult};
+pub use subspace::{smallest_eigenpairs_subspace, SubspaceOptions};
+pub use tridiag::SymTridiag;

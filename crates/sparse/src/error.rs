@@ -1,0 +1,96 @@
+//! Error types for the linear algebra substrate.
+
+use std::fmt;
+
+/// Errors raised by sparse/dense kernels.
+///
+/// Every fallible public entry point in this crate returns one of these
+/// variants instead of panicking, so callers (the SGLA pipeline, the
+/// experiment harness) can surface actionable messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SparseError {
+    /// Two operands have incompatible shapes; payload is a human-readable
+    /// description including both shapes.
+    ShapeMismatch(String),
+    /// An index was out of bounds for the matrix dimensions.
+    IndexOutOfBounds {
+        /// Row or column index supplied by the caller.
+        index: usize,
+        /// The exclusive bound that was violated.
+        bound: usize,
+        /// Which axis the index addressed (`"row"` or `"col"`).
+        axis: &'static str,
+    },
+    /// An iterative solver exhausted its iteration budget before reaching
+    /// the requested tolerance.
+    NoConvergence {
+        /// Name of the algorithm that failed to converge.
+        algorithm: &'static str,
+        /// Number of iterations performed.
+        iterations: usize,
+    },
+    /// A factorization encountered a matrix outside its domain (e.g. a
+    /// non-positive-definite matrix given to Cholesky, singular to LU).
+    NumericalBreakdown(&'static str),
+    /// An argument was structurally invalid (empty matrix where non-empty is
+    /// required, k larger than n, NaN input, ...).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
+            SparseError::IndexOutOfBounds { index, bound, axis } => {
+                write!(f, "{axis} index {index} out of bounds (< {bound} required)")
+            }
+            SparseError::NoConvergence {
+                algorithm,
+                iterations,
+            } => write!(f, "{algorithm} did not converge after {iterations} iterations"),
+            SparseError::NumericalBreakdown(what) => {
+                write!(f, "numerical breakdown in {what}")
+            }
+            SparseError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = SparseError::ShapeMismatch("3x4 vs 5x4".into());
+        assert_eq!(e.to_string(), "shape mismatch: 3x4 vs 5x4");
+    }
+
+    #[test]
+    fn display_index_out_of_bounds() {
+        let e = SparseError::IndexOutOfBounds {
+            index: 7,
+            bound: 5,
+            axis: "row",
+        };
+        assert_eq!(e.to_string(), "row index 7 out of bounds (< 5 required)");
+    }
+
+    #[test]
+    fn display_no_convergence() {
+        let e = SparseError::NoConvergence {
+            algorithm: "lanczos",
+            iterations: 300,
+        };
+        assert!(e.to_string().contains("lanczos"));
+        assert!(e.to_string().contains("300"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&SparseError::NumericalBreakdown("cholesky"));
+    }
+}

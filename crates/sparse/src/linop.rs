@@ -1,0 +1,224 @@
+//! Matrix-free linear operators.
+//!
+//! The SGLA objective is evaluated at many weight vectors `w`; materializing
+//! `L(w) = Σ wᵢ Lᵢ` for each evaluation would cost `O(Σ nnz(Lᵢ))` in
+//! allocations alone. [`ScaledSumOp`] instead applies the aggregation lazily
+//! inside the Lanczos matvec — the same trick that makes Algorithm 1's
+//! per-iteration cost `O(m + qnK)` in the paper's complexity analysis.
+
+use crate::CsrMatrix;
+
+/// A symmetric linear operator given by its matvec action.
+pub trait LinOp {
+    /// Operator dimension (`n` for an `n × n` operator).
+    fn dim(&self) -> usize;
+
+    /// `y ← A x`.
+    fn matvec(&self, x: &[f64], y: &mut [f64]);
+
+    /// An upper bound on the spectral radius, used by the Lanczos driver to
+    /// pick a spectrum-flipping shift. Laplacian-like operators override
+    /// this with a tight bound (2.0); the default is a Gershgorin-free
+    /// conservative estimate obtained by a few power iterations.
+    fn spectral_bound(&self) -> Option<f64> {
+        None
+    }
+}
+
+impl LinOp for CsrMatrix {
+    fn dim(&self) -> usize {
+        self.nrows()
+    }
+
+    fn matvec(&self, x: &[f64], y: &mut [f64]) {
+        CsrMatrix::matvec(self, x, y);
+    }
+
+    fn spectral_bound(&self) -> Option<f64> {
+        // Gershgorin: max_r Σ_c |A[r,c]|.
+        let mut bound = 0.0f64;
+        for r in 0..self.nrows() {
+            let s: f64 = self.row_vals(r).iter().map(|v| v.abs()).sum();
+            bound = bound.max(s);
+        }
+        Some(bound)
+    }
+}
+
+/// Lazy weighted sum `Σ wᵢ Aᵢ` of operators sharing a dimension.
+///
+/// This is the matrix-free form of the paper's Eq. (1); `matvec` costs the
+/// sum of the constituents' matvec costs and allocates nothing.
+pub struct ScaledSumOp<'a> {
+    mats: Vec<&'a CsrMatrix>,
+    weights: Vec<f64>,
+    dim: usize,
+}
+
+impl<'a> ScaledSumOp<'a> {
+    /// Creates the lazy sum. Panics in debug builds if shapes differ or the
+    /// list is empty (callers validate at the API boundary in `sgla-core`).
+    pub fn new(mats: Vec<&'a CsrMatrix>, weights: Vec<f64>) -> Self {
+        debug_assert!(!mats.is_empty());
+        debug_assert_eq!(mats.len(), weights.len());
+        let dim = mats[0].nrows();
+        debug_assert!(mats.iter().all(|m| m.nrows() == dim && m.ncols() == dim));
+        ScaledSumOp { mats, weights, dim }
+    }
+
+    /// Replaces the weights without re-borrowing the matrices; used by the
+    /// SGLA iteration to move to the next weight vector for free.
+    pub fn set_weights(&mut self, weights: &[f64]) {
+        debug_assert_eq!(weights.len(), self.weights.len());
+        self.weights.copy_from_slice(weights);
+    }
+
+    /// Current weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+impl LinOp for ScaledSumOp<'_> {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn matvec(&self, x: &[f64], y: &mut [f64]) {
+        crate::vecops::zero(y);
+        for (m, &w) in self.mats.iter().zip(&self.weights) {
+            if w != 0.0 {
+                m.matvec_acc(w, x, y);
+            }
+        }
+    }
+
+    fn spectral_bound(&self) -> Option<f64> {
+        // ‖Σ wᵢ Aᵢ‖ ≤ Σ |wᵢ| ‖Aᵢ‖.
+        let mut bound = 0.0;
+        for (m, &w) in self.mats.iter().zip(&self.weights) {
+            bound += w.abs() * LinOp::spectral_bound(*m)?;
+        }
+        Some(bound)
+    }
+}
+
+/// The spectral complement `shift·I − A` of an operator.
+///
+/// For a normalized Laplacian (`spec(L) ⊆ [0, 2]`) with `shift = 2`, the
+/// *smallest* eigenpairs of `L` become the *dominant* eigenpairs of the
+/// complement, which is what Lanczos converges to fastest — avoiding any
+/// shift-invert linear solves.
+pub struct ShiftedNegOp<'a, T: LinOp + ?Sized> {
+    inner: &'a T,
+    shift: f64,
+}
+
+impl<'a, T: LinOp + ?Sized> ShiftedNegOp<'a, T> {
+    /// Wraps `inner` as `shift·I − inner`.
+    pub fn new(inner: &'a T, shift: f64) -> Self {
+        ShiftedNegOp { inner, shift }
+    }
+
+    /// The shift in use.
+    pub fn shift(&self) -> f64 {
+        self.shift
+    }
+}
+
+impl<T: LinOp + ?Sized> LinOp for ShiftedNegOp<'_, T> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn matvec(&self, x: &[f64], y: &mut [f64]) {
+        self.inner.matvec(x, y);
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi = self.shift * xi - *yi;
+        }
+    }
+
+    fn spectral_bound(&self) -> Option<f64> {
+        self.inner.spectral_bound().map(|b| b + self.shift.abs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    fn laplacian_path3() -> CsrMatrix {
+        // Path graph 0-1-2, unnormalized Laplacian.
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(1, 1, 2.0).unwrap();
+        coo.push(2, 2, 1.0).unwrap();
+        coo.push_sym(0, 1, -1.0).unwrap();
+        coo.push_sym(1, 2, -1.0).unwrap();
+        coo.to_csr()
+    }
+
+    #[test]
+    fn csr_linop_matches_matvec() {
+        let l = laplacian_path3();
+        let x = [1.0, 2.0, 3.0];
+        let mut y1 = [0.0; 3];
+        let mut y2 = [0.0; 3];
+        LinOp::matvec(&l, &x, &mut y1);
+        l.matvec(&x, &mut y2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn gershgorin_bound_dominates_eigenvalues() {
+        let l = laplacian_path3();
+        // Largest eigenvalue of this Laplacian is 3; Gershgorin gives 4.
+        let b = LinOp::spectral_bound(&l).unwrap();
+        assert!(b >= 3.0);
+        assert_eq!(b, 4.0);
+    }
+
+    #[test]
+    fn scaled_sum_matches_materialized() {
+        let a = laplacian_path3();
+        let b = CsrMatrix::identity(3);
+        let op = ScaledSumOp::new(vec![&a, &b], vec![0.3, 0.7]);
+        let m = CsrMatrix::linear_combination(&[&a, &b], &[0.3, 0.7]).unwrap();
+        let x = [1.0, -2.0, 0.5];
+        let mut y1 = [0.0; 3];
+        let mut y2 = [0.0; 3];
+        op.matvec(&x, &mut y1);
+        m.matvec(&x, &mut y2);
+        for (u, v) in y1.iter().zip(&y2) {
+            assert!((u - v).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn set_weights_updates_action() {
+        let a = laplacian_path3();
+        let b = CsrMatrix::identity(3);
+        let mut op = ScaledSumOp::new(vec![&a, &b], vec![1.0, 0.0]);
+        let x = [1.0, 1.0, 1.0];
+        let mut y = [0.0; 3];
+        op.matvec(&x, &mut y);
+        assert_eq!(y, [0.0, 0.0, 0.0]); // Laplacian kills constants
+        op.set_weights(&[0.0, 1.0]);
+        op.matvec(&x, &mut y);
+        assert_eq!(y, [1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn shifted_neg_flips_spectrum() {
+        let l = laplacian_path3();
+        let op = ShiftedNegOp::new(&l, 4.0);
+        // (4I - L) * ones = 4*ones since L*ones = 0.
+        let x = [1.0, 1.0, 1.0];
+        let mut y = [0.0; 3];
+        op.matvec(&x, &mut y);
+        for v in y {
+            assert!((v - 4.0).abs() < 1e-14);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! LU factorization with partial pivoting for small dense systems.
+//!
+//! The COBYLA-style optimizer fits linear interpolation models through
+//! `p + 1` simplex vertices each iteration; the resulting `p × p` systems
+//! are general (not SPD), so Cholesky does not apply.
+
+use crate::{DenseMatrix, Result, SparseError};
+
+/// An LU factorization `P A = L U` with partial pivoting.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    lu: DenseMatrix,
+    perm: Vec<usize>,
+    sign: f64,
+}
+
+impl Lu {
+    /// Factorizes a square matrix.
+    ///
+    /// # Errors
+    /// * [`SparseError::ShapeMismatch`] if not square.
+    /// * [`SparseError::NumericalBreakdown`] if (numerically) singular.
+    pub fn factor(a: &DenseMatrix) -> Result<Self> {
+        let n = a.nrows();
+        if a.ncols() != n {
+            return Err(SparseError::ShapeMismatch(format!(
+                "lu needs square matrix, got {}x{}",
+                a.nrows(),
+                a.ncols()
+            )));
+        }
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        for k in 0..n {
+            // Pivot search.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val < f64::EPSILON * n as f64 {
+                return Err(SparseError::NumericalBreakdown("lu: singular matrix"));
+            }
+            if pivot_row != k {
+                perm.swap(pivot_row, k);
+                sign = -sign;
+                for c in 0..n {
+                    let tmp = lu[(k, c)];
+                    lu[(k, c)] = lu[(pivot_row, c)];
+                    lu[(pivot_row, c)] = tmp;
+                }
+            }
+            let inv_pivot = 1.0 / lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] * inv_pivot;
+                lu[(i, k)] = factor;
+                for c in (k + 1)..n {
+                    let delta = factor * lu[(k, c)];
+                    lu[(i, c)] -= delta;
+                }
+            }
+        }
+        Ok(Lu { lu, perm, sign })
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Errors
+    /// [`SparseError::ShapeMismatch`] on wrong rhs length.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.lu.nrows();
+        if b.len() != n {
+            return Err(SparseError::ShapeMismatch(format!(
+                "rhs length {} != {}",
+                b.len(),
+                n
+            )));
+        }
+        // Apply permutation.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        // Forward: L y = Pb (unit diagonal).
+        for i in 1..n {
+            for k in 0..i {
+                x[i] -= self.lu[(i, k)] * x[k];
+            }
+        }
+        // Back: U x = y.
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                x[i] -= self.lu[(i, k)] * x[k];
+            }
+            x[i] /= self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> f64 {
+        let n = self.lu.nrows();
+        let mut d = self.sign;
+        for i in 0..n {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_general_system() {
+        let a = DenseMatrix::from_rows(&[
+            vec![0.0, 2.0, 1.0], // zero pivot forces a row swap
+            vec![1.0, -1.0, 3.0],
+            vec![2.0, 4.0, -2.0],
+        ])
+        .unwrap();
+        let x_true = [2.0, -1.0, 0.5];
+        let mut b = vec![0.0; 3];
+        a.matvec(&x_true, &mut b);
+        let x = Lu::factor(&a).unwrap().solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn detects_singular() {
+        let a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        assert!(matches!(
+            Lu::factor(&a),
+            Err(SparseError::NumericalBreakdown(_))
+        ));
+    }
+
+    #[test]
+    fn determinant() {
+        let a = DenseMatrix::from_rows(&[vec![3.0, 1.0], vec![2.0, 4.0]]).unwrap();
+        let lu = Lu::factor(&a).unwrap();
+        assert!((lu.det() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_sign_with_pivoting() {
+        let a = DenseMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let lu = Lu::factor(&a).unwrap();
+        assert!((lu.det() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        assert!(Lu::factor(&DenseMatrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn rhs_length_checked() {
+        let lu = Lu::factor(&DenseMatrix::identity(2)).unwrap();
+        assert!(lu.solve(&[1.0]).is_err());
+    }
+}

@@ -1,0 +1,135 @@
+//! Minimal data-parallel helpers built on std scoped threads.
+//!
+//! The SGLA hot loops (SpMV over MAG-scale simulations, KNN construction)
+//! are embarrassingly parallel over rows. A full work-stealing pool is
+//! unnecessary; static row-block partitioning keeps the implementation
+//! dependency-free and predictable.
+
+/// Splits `data` into `threads` contiguous chunks and runs `f(start, chunk)`
+/// on each from a scoped thread. `f` receives the starting index of its
+/// chunk in the original slice.
+///
+/// Runs inline when `threads <= 1` or the slice is empty.
+pub fn par_chunks_mut<T: Send, F>(data: &mut [T], threads: usize, f: F)
+where
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n = data.len();
+    if n == 0 {
+        return;
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        f(0, data);
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut rest = data;
+        let mut start = 0usize;
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            let fref = &f;
+            scope.spawn(move || fref(start, head));
+            start += take;
+            rest = tail;
+        }
+    });
+}
+
+/// Runs `f(i)` for `i` in `0..count`, distributing indices over `threads`
+/// workers in contiguous ranges, and collects the results in index order.
+pub fn par_map<R: Send, F>(count: usize, threads: usize, f: F) -> Vec<R>
+where
+    F: Fn(usize) -> R + Sync,
+{
+    if count == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, count);
+    if threads == 1 {
+        return (0..count).map(f).collect();
+    }
+    let chunk = count.div_ceil(threads);
+    let mut out: Vec<Option<R>> = (0..count).map(|_| None).collect();
+    par_chunks_mut(&mut out, threads, |start, slots| {
+        for (off, slot) in slots.iter_mut().enumerate() {
+            *slot = Some(f(start + off));
+        }
+    });
+    let _ = chunk;
+    out.into_iter()
+        .map(|o| o.expect("all slots filled by par_chunks_mut"))
+        .collect()
+}
+
+/// Number of worker threads to use by default: available parallelism capped
+/// at 16 (the paper's experimental setup allows at most 16 CPU threads).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_chunks_mut_covers_all_indices() {
+        let mut v = vec![0usize; 103];
+        par_chunks_mut(&mut v, 4, |start, chunk| {
+            for (off, x) in chunk.iter_mut().enumerate() {
+                *x = start + off;
+            }
+        });
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i);
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_single_thread_inline() {
+        let mut v = vec![1u32; 10];
+        par_chunks_mut(&mut v, 1, |_, chunk| {
+            for x in chunk {
+                *x += 1;
+            }
+        });
+        assert!(v.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn par_chunks_mut_empty() {
+        let mut v: Vec<u8> = vec![];
+        par_chunks_mut(&mut v, 8, |_, _| panic!("must not be called"));
+    }
+
+    #[test]
+    fn par_map_order_preserved() {
+        let out = par_map(57, 5, |i| i * i);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn par_map_runs_each_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let out = par_map(200, 8, |i| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 200);
+        assert_eq!(out.len(), 200);
+    }
+
+    #[test]
+    fn default_threads_positive() {
+        let t = default_threads();
+        assert!(t >= 1 && t <= 16);
+    }
+}

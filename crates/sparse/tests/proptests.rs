@@ -1,0 +1,189 @@
+//! Property-based tests for the linear algebra substrate.
+
+use mvag_sparse::eigen::{jacobi_eig, smallest_eigenvalues, EigOptions};
+use mvag_sparse::qr::qr_thin;
+use mvag_sparse::{vecops, CooMatrix, CsrMatrix, DenseMatrix};
+use proptest::prelude::*;
+
+/// Strategy: a random sparse square matrix as triplets.
+fn coo_strategy(max_n: usize, max_nnz: usize) -> impl Strategy<Value = CooMatrix> {
+    (2usize..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec(
+            (0..n, 0..n, -10.0f64..10.0),
+            0..max_nnz,
+        )
+        .prop_map(move |triplets| {
+            let mut coo = CooMatrix::new(n, n);
+            for (r, c, v) in triplets {
+                coo.push(r, c, v).unwrap();
+            }
+            coo
+        })
+    })
+}
+
+/// Strategy: a random symmetric sparse matrix.
+fn sym_coo_strategy(max_n: usize, max_nnz: usize) -> impl Strategy<Value = CooMatrix> {
+    (2usize..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec(
+            (0..n, 0..n, -10.0f64..10.0),
+            0..max_nnz,
+        )
+        .prop_map(move |triplets| {
+            let mut coo = CooMatrix::new(n, n);
+            for (r, c, v) in triplets {
+                coo.push_sym(r, c, v).unwrap();
+            }
+            coo
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csr_matvec_matches_dense(coo in coo_strategy(24, 80)) {
+        let csr = coo.to_csr();
+        let n = csr.nrows();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut y_sparse = vec![0.0; n];
+        csr.matvec(&x, &mut y_sparse);
+        let dense = csr.to_dense();
+        let mut y_dense = vec![0.0; n];
+        dense.matvec(&x, &mut y_dense);
+        for (a, b) in y_sparse.iter().zip(&y_dense) {
+            prop_assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution(coo in coo_strategy(20, 60)) {
+        let csr = coo.to_csr();
+        prop_assert_eq!(csr.transpose().transpose(), csr);
+    }
+
+    #[test]
+    fn transpose_swaps_entries(coo in coo_strategy(16, 40)) {
+        let csr = coo.to_csr();
+        let t = csr.transpose();
+        for (r, c, v) in csr.iter() {
+            prop_assert_eq!(t.get(c, r), v);
+        }
+    }
+
+    #[test]
+    fn symmetric_builder_gives_symmetric(coo in sym_coo_strategy(18, 50)) {
+        let csr = coo.to_csr();
+        prop_assert!(csr.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn linear_combination_matches_elementwise(
+        coo1 in coo_strategy(12, 30),
+        w1 in -3.0f64..3.0,
+        w2 in -3.0f64..3.0,
+    ) {
+        let a = coo1.to_csr();
+        let n = a.nrows();
+        // Second matrix on same shape: the identity.
+        let b = CsrMatrix::identity(n);
+        let s = CsrMatrix::linear_combination(&[&a, &b], &[w1, w2]).unwrap();
+        for r in 0..n {
+            for c in 0..n {
+                let expect = w1 * a.get(r, c) + w2 * b.get(r, c);
+                prop_assert!((s.get(r, c) - expect).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn jacobi_eigenvalues_match_trace_and_residuals(coo in sym_coo_strategy(12, 40)) {
+        let a = coo.to_csr().to_dense();
+        let n = a.nrows();
+        let e = jacobi_eig(&a).unwrap();
+        let tr: f64 = (0..n).map(|i| a[(i, i)]).sum();
+        let sum: f64 = e.values.iter().sum();
+        prop_assert!((tr - sum).abs() < 1e-8 * (1.0 + tr.abs()));
+        // Residual of the extreme pairs.
+        for j in [0, n - 1] {
+            let v = e.vectors.col(j);
+            let mut av = vec![0.0; n];
+            a.matvec(&v, &mut av);
+            for i in 0..n {
+                prop_assert!((av[i] - e.values[j] * v[i]).abs() < 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn lanczos_matches_jacobi_on_symmetric(coo in sym_coo_strategy(14, 40)) {
+        // Dense fallback path exercises materialization; compare full chain.
+        let csr = coo.to_csr();
+        let k = 3.min(csr.nrows());
+        let opts = EigOptions::default();
+        let lv = smallest_eigenvalues(&csr, k, &opts).unwrap();
+        let jv = jacobi_eig(&csr.to_dense()).unwrap();
+        for j in 0..k {
+            prop_assert!((lv[j] - jv.values[j]).abs() < 1e-7,
+                "λ{} = {} vs {}", j, lv[j], jv.values[j]);
+        }
+    }
+
+    #[test]
+    fn qr_orthonormal_and_reconstructs(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-5.0f64..5.0, 4),
+            6..12,
+        )
+    ) {
+        let a = DenseMatrix::from_rows(&rows).unwrap();
+        let (q, r) = qr_thin(&a).unwrap();
+        let qr = q.matmul(&r).unwrap();
+        for i in 0..a.nrows() {
+            for j in 0..a.ncols() {
+                prop_assert!((qr[(i, j)] - a[(i, j)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn norm2_scale_invariance(v in proptest::collection::vec(-100.0f64..100.0, 1..40), s in 0.1f64..10.0) {
+        let scaled: Vec<f64> = v.iter().map(|x| x * s).collect();
+        let n1 = vecops::norm2(&v) * s;
+        let n2 = vecops::norm2(&scaled);
+        prop_assert!((n1 - n2).abs() <= 1e-10 * (1.0 + n1.abs()));
+    }
+
+    #[test]
+    fn cosine_bounded(
+        a in proptest::collection::vec(-10.0f64..10.0, 5),
+        b in proptest::collection::vec(-10.0f64..10.0, 5),
+    ) {
+        let c = vecops::cosine(&a, &b);
+        prop_assert!((-1.0..=1.0).contains(&c));
+    }
+
+    #[test]
+    fn sym_normalized_spectrum_bounded(coo in sym_coo_strategy(16, 50)) {
+        // For a nonnegative symmetric matrix, the normalized Laplacian
+        // I − D^{-1/2} A D^{-1/2} has spectrum in [0, 2].
+        let mut csr = coo.to_csr();
+        for v in csr.values_mut() {
+            *v = v.abs();
+        }
+        let p = csr.sym_normalized();
+        let n = p.nrows();
+        let mut lap_coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            lap_coo.push(i, i, 1.0).unwrap();
+        }
+        let lap = CsrMatrix::linear_combination(
+            &[&lap_coo.to_csr(), &p],
+            &[1.0, -1.0],
+        ).unwrap();
+        let e = jacobi_eig(&lap.to_dense()).unwrap();
+        prop_assert!(e.values[0] > -1e-9, "λmin = {}", e.values[0]);
+        prop_assert!(e.values[n - 1] < 2.0 + 1e-9, "λmax = {}", e.values[n - 1]);
+    }
+}

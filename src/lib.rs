@@ -1,0 +1,41 @@
+//! # SGLA — Spectrum-Guided Laplacian Aggregation
+//!
+//! Facade crate re-exporting the full public API of the SGLA reproduction
+//! workspace. Reproduces *"Efficient Integration of Multi-View Attributed
+//! Graphs for Clustering and Embedding"* (ICDE 2025).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sgla::prelude::*;
+//!
+//! // Generate a small synthetic multi-view attributed graph with 2 planted
+//! // clusters, integrate its views with SGLA+, and cluster.
+//! let mvag = sgla::data::toy_mvag(120, 2, 42);
+//! let views = ViewLaplacians::build(&mvag, &KnnParams::default()).unwrap();
+//! let outcome = SglaPlus::new(SglaParams::default())
+//!     .integrate(&views, 2)
+//!     .unwrap();
+//! let labels = spectral_clustering(&outcome.laplacian, 2, 7).unwrap();
+//! assert_eq!(labels.len(), 120);
+//! ```
+
+pub use mvag_data as data;
+pub use mvag_eval as eval;
+pub use mvag_graph as graph;
+pub use mvag_optim as optim;
+pub use mvag_sparse as sparse;
+pub use sgla_core as core;
+
+/// Convenience re-exports covering the common pipeline:
+/// dataset → view Laplacians → SGLA/SGLA+ → clustering/embedding → metrics.
+pub mod prelude {
+    pub use mvag_eval::cluster_metrics::ClusterMetrics;
+    pub use mvag_graph::mvag::Mvag;
+    pub use sgla_core::clustering::spectral_clustering;
+    pub use sgla_core::embedding::{embed, EmbedParams};
+    pub use sgla_core::objective::SglaObjective;
+    pub use sgla_core::sgla::{Sgla, SglaOutcome, SglaParams};
+    pub use sgla_core::sgla_plus::SglaPlus;
+    pub use sgla_core::views::{KnnParams, ViewLaplacians};
+}

@@ -1,0 +1,283 @@
+//! Cross-crate integration tests: the full SGLA pipeline from dataset
+//! generation to evaluated clustering/embedding, plus failure injection.
+
+use sgla::core::baselines::{self, ConsensusParams};
+use sgla::core::clustering::{spectral_clustering_with, Rounding, SpectralParams};
+use sgla::core::embedding::{embed, EmbedBackend, EmbedParams};
+use sgla::core::objective::{ObjectiveMode, SglaObjective};
+use sgla::data::{full_registry, toy_mvag};
+use sgla::eval::classify::evaluate_embedding;
+use sgla::graph::{Graph, Mvag, View};
+use sgla::prelude::*;
+use sgla::sparse::eigen::EigOptions;
+use sgla::sparse::DenseMatrix;
+
+/// The headline end-to-end property: on an MVAG with heterogeneous view
+/// quality, the full pipeline recovers the planted partition with high
+/// accuracy, and SGLA+ gets there with exactly `r + 1` objective
+/// evaluations.
+#[test]
+fn full_pipeline_recovers_planted_partition() {
+    let mvag = toy_mvag(240, 3, 17);
+    let views = ViewLaplacians::build(&mvag, &KnnParams::default()).unwrap();
+    let outcome = SglaPlus::new(SglaParams::default())
+        .integrate(&views, mvag.k())
+        .unwrap();
+    assert_eq!(outcome.evaluations, views.r() + 1);
+    let labels = spectral_clustering(&outcome.laplacian, mvag.k(), 5).unwrap();
+    let metrics = ClusterMetrics::compute(&labels, mvag.labels().unwrap()).unwrap();
+    assert!(metrics.acc > 0.85, "acc = {}", metrics.acc);
+    assert!(metrics.nmi > 0.5, "nmi = {}", metrics.nmi);
+}
+
+/// SGLA and SGLA+ find similar weights on the same instance (the paper's
+/// Fig. 3 claim: the surrogate's optimum is near the true optimum).
+#[test]
+fn sgla_and_sgla_plus_agree_roughly() {
+    let mvag = toy_mvag(200, 2, 23);
+    let views = ViewLaplacians::build(&mvag, &KnnParams::default()).unwrap();
+    let a = Sgla::new(SglaParams::default())
+        .integrate(&views, 2)
+        .unwrap();
+    let b = SglaPlus::new(SglaParams::default())
+        .integrate(&views, 2)
+        .unwrap();
+    // Compare through the true objective rather than raw weights (the
+    // surface can be flat around the optimum).
+    let obj = SglaObjective::new(
+        &views,
+        2,
+        0.5,
+        ObjectiveMode::Full,
+        EigOptions::default(),
+    )
+    .unwrap();
+    let ha = obj.evaluate(&a.weights).unwrap().h;
+    let hb = obj.evaluate(&b.weights).unwrap().h;
+    assert!(
+        (ha - hb).abs() < 0.2 * (1.0 + ha.abs()),
+        "h(w*) = {ha} vs h(w†) = {hb}"
+    );
+}
+
+/// Both rounding schemes of the spectral clustering stage work on the
+/// integrated Laplacian.
+#[test]
+fn clustering_roundings_consistent() {
+    let mvag = toy_mvag(180, 2, 31);
+    let views = ViewLaplacians::build(&mvag, &KnnParams::default()).unwrap();
+    let outcome = SglaPlus::new(SglaParams::default())
+        .integrate(&views, 2)
+        .unwrap();
+    let truth = mvag.labels().unwrap();
+    for rounding in [Rounding::KMeans, Rounding::Discretize] {
+        let params = SpectralParams {
+            rounding,
+            ..Default::default()
+        };
+        let out = spectral_clustering_with(&outcome.laplacian, 2, &params).unwrap();
+        let m = ClusterMetrics::compute(&out.labels, truth).unwrap();
+        assert!(m.acc > 0.8, "{rounding:?}: acc = {}", m.acc);
+    }
+}
+
+/// Both embedding backends yield classifiable embeddings from the same
+/// integrated Laplacian.
+#[test]
+fn embedding_backends_classifiable() {
+    let mvag = toy_mvag(220, 2, 37);
+    let views = ViewLaplacians::build(&mvag, &KnnParams::default()).unwrap();
+    let outcome = SglaPlus::new(SglaParams::default())
+        .integrate(&views, 2)
+        .unwrap();
+    let truth = mvag.labels().unwrap();
+    for backend in [EmbedBackend::NetMf, EmbedBackend::Spectral] {
+        let emb = embed(
+            &outcome.laplacian,
+            &EmbedParams {
+                dim: 8,
+                backend,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let (maf1, mif1) = evaluate_embedding(&emb, truth, 0.2, 3).unwrap();
+        // The spectral backend (SketchNE substitute) trades quality for
+        // scalability; NetMF should be clearly better than chance and the
+        // spectral one still usable.
+        let floor = if backend == EmbedBackend::NetMf { 0.8 } else { 0.7 };
+        assert!(mif1 > floor, "{backend:?}: micro-f1 = {mif1}");
+        assert!(maf1 > floor - 0.1, "{backend:?}: macro-f1 = {maf1}");
+    }
+}
+
+/// Every registry dataset generates and integrates at miniature scale —
+/// the exhaustive smoke test of the whole substrate stack.
+#[test]
+fn registry_datasets_integrate_miniature() {
+    for spec in full_registry() {
+        let scale = (260.0 / spec.n as f64).min(1.0);
+        let mvag = spec.generate(scale, 3).unwrap();
+        let knn = KnnParams {
+            k: spec.effective_knn(mvag.n()).min(8),
+            ..Default::default()
+        };
+        let views = ViewLaplacians::build(&mvag, &knn)
+            .unwrap_or_else(|e| panic!("{}: views failed: {e}", spec.name));
+        let out = SglaPlus::new(SglaParams::default())
+            .integrate(&views, mvag.k())
+            .unwrap_or_else(|e| panic!("{}: integrate failed: {e}", spec.name));
+        assert_eq!(out.weights.len(), spec.r(), "{}", spec.name);
+        assert!(
+            out.weights.iter().sum::<f64>() > 0.99,
+            "{}: weights {:?}",
+            spec.name,
+            out.weights
+        );
+        let labels = spectral_clustering(&out.laplacian, mvag.k(), 7)
+            .unwrap_or_else(|e| panic!("{}: clustering failed: {e}", spec.name));
+        assert_eq!(labels.len(), mvag.n());
+    }
+}
+
+/// Failure injection: a view whose graph is completely disconnected from
+/// the community structure (isolated nodes + wrong components) must not
+/// break the pipeline; SGLA should still produce a valid partition.
+#[test]
+fn tolerates_degenerate_views() {
+    let good = toy_mvag(150, 2, 41);
+    // Replace one view with an edgeless graph (all isolated nodes).
+    let mut views_list: Vec<View> = good.views().to_vec();
+    views_list[1] = View::Graph(Graph::from_unweighted_edges(150, &[]).unwrap());
+    let mvag = Mvag::new("degenerate", views_list, good.labels().map(<[usize]>::to_vec), 2)
+        .unwrap();
+    let views = ViewLaplacians::build(&mvag, &KnnParams::default()).unwrap();
+    let out = SglaPlus::new(SglaParams::default())
+        .integrate(&views, 2)
+        .unwrap();
+    let labels = spectral_clustering(&out.laplacian, 2, 3).unwrap();
+    let m = ClusterMetrics::compute(&labels, mvag.labels().unwrap()).unwrap();
+    // The two informative views should still carry the day.
+    assert!(m.acc > 0.8, "acc = {}", m.acc);
+}
+
+/// r = 2 edge case end to end (minimum view count).
+#[test]
+fn two_view_mvag_end_to_end() {
+    let base = toy_mvag(160, 2, 43);
+    let views_list: Vec<View> = base.views()[..2].to_vec();
+    let mvag = Mvag::new("two-view", views_list, base.labels().map(<[usize]>::to_vec), 2)
+        .unwrap();
+    let views = ViewLaplacians::build(&mvag, &KnnParams::default()).unwrap();
+    for run in [
+        Sgla::new(SglaParams::default()).integrate(&views, 2),
+        SglaPlus::new(SglaParams::default()).integrate(&views, 2),
+    ] {
+        let out = run.unwrap();
+        assert_eq!(out.weights.len(), 2);
+        let labels = spectral_clustering(&out.laplacian, 2, 3).unwrap();
+        assert_eq!(labels.len(), 160);
+    }
+}
+
+/// Dataset persistence round-trips through both codecs and the loaded
+/// MVAG produces identical integration results.
+#[test]
+fn persistence_preserves_pipeline_results() {
+    let mvag = toy_mvag(120, 2, 47);
+    let dir = std::env::temp_dir().join("sgla-integration-io");
+    std::fs::create_dir_all(&dir).unwrap();
+    let json_path = dir.join("toy.json");
+    let bin_path = dir.join("toy.mvag");
+    sgla::data::io::save_json(&mvag, &json_path).unwrap();
+    sgla::data::io::save_binary(&mvag, &bin_path).unwrap();
+    let from_json = sgla::data::io::load_json(&json_path).unwrap();
+    let from_bin = sgla::data::io::load_binary(&bin_path).unwrap();
+    assert_eq!(mvag, from_json);
+    assert_eq!(mvag, from_bin);
+    let views_a = ViewLaplacians::build(&mvag, &KnnParams::default()).unwrap();
+    let views_b = ViewLaplacians::build(&from_bin, &KnnParams::default()).unwrap();
+    let wa = SglaPlus::new(SglaParams::default())
+        .integrate(&views_a, 2)
+        .unwrap()
+        .weights;
+    let wb = SglaPlus::new(SglaParams::default())
+        .integrate(&views_b, 2)
+        .unwrap()
+        .weights;
+    assert_eq!(wa, wb);
+    std::fs::remove_file(&json_path).ok();
+    std::fs::remove_file(&bin_path).ok();
+}
+
+/// The consensus baselines' contrasting failure modes: the dense one
+/// respects its memory budget, the sampled one scales but is lossier.
+#[test]
+fn consensus_baseline_contrast() {
+    let mvag = toy_mvag(200, 2, 51);
+    let views = ViewLaplacians::build(&mvag, &KnnParams::default()).unwrap();
+    let tight = ConsensusParams {
+        max_dense_n: 100,
+        ..Default::default()
+    };
+    assert!(baselines::consensus_cluster(&views, 2, &tight).is_err());
+    let ok = baselines::sampled_consensus_cluster(&views, 2, &ConsensusParams::default());
+    assert_eq!(ok.unwrap().len(), 200);
+}
+
+/// The objective rejects invalid weight vectors gracefully throughout the
+/// stack (no panics on misuse).
+#[test]
+fn misuse_produces_errors_not_panics() {
+    let mvag = toy_mvag(100, 2, 53);
+    let views = ViewLaplacians::build(&mvag, &KnnParams::default()).unwrap();
+    assert!(views.aggregate(&[0.5]).is_err());
+    assert!(views.aggregate(&[f64::NAN, 0.5, 0.5]).is_err());
+    assert!(SglaPlus::new(SglaParams::default()).integrate(&views, 0).is_err());
+    assert!(SglaPlus::new(SglaParams::default()).integrate(&views, 1).is_err());
+    assert!(spectral_clustering(&views.laplacians()[0], 101, 3).is_err());
+    let tiny = DenseMatrix::zeros(3, 0);
+    assert!(sgla::core::kmeans::kmeans(&tiny, &sgla::core::kmeans::KMeansParams::new(2)).is_err());
+}
+
+/// Weights returned by the optimizers always live on the probability
+/// simplex — across datasets, seeds, and parameter settings.
+#[test]
+fn weights_always_on_simplex() {
+    use sgla::optim::simplex::is_on_simplex;
+    for seed in [1u64, 9, 77] {
+        let mvag = toy_mvag(130, 2, seed);
+        let views = ViewLaplacians::build(&mvag, &KnnParams::default()).unwrap();
+        for gamma in [-1.0, 0.0, 0.5, 2.0] {
+            let params = SglaParams {
+                gamma,
+                seed,
+                ..Default::default()
+            };
+            let a = Sgla::new(params.clone()).integrate(&views, 2).unwrap();
+            let b = SglaPlus::new(params).integrate(&views, 2).unwrap();
+            assert!(is_on_simplex(&a.weights, 1e-9), "SGLA {:?}", a.weights);
+            assert!(is_on_simplex(&b.weights, 1e-9), "SGLA+ {:?}", b.weights);
+        }
+    }
+}
+
+/// The documented complexity behaviour: SGLA+'s evaluation count is r + 1
+/// regardless of dataset size, while SGLA's grows with its optimization
+/// trajectory (bounded by T_max).
+#[test]
+fn evaluation_count_contract() {
+    for (n, seed) in [(100usize, 3u64), (300, 5)] {
+        let mvag = toy_mvag(n, 2, seed);
+        let views = ViewLaplacians::build(&mvag, &KnnParams::default()).unwrap();
+        let plus = SglaPlus::new(SglaParams::default())
+            .integrate(&views, 2)
+            .unwrap();
+        assert_eq!(plus.evaluations, views.r() + 1);
+        let base = Sgla::new(SglaParams::default())
+            .integrate(&views, 2)
+            .unwrap();
+        assert!(base.evaluations <= SglaParams::default().t_max);
+        assert!(base.evaluations > views.r() + 1);
+    }
+}
