@@ -52,17 +52,16 @@ fn bench_optimizer_ablation(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("cobyla_on_h", |b| {
         b.iter(|| {
-            let obj = SglaObjective::new(
-                &views,
-                2,
-                0.5,
-                ObjectiveMode::Full,
-                EigOptions::default(),
-            )
-            .unwrap();
+            let obj =
+                SglaObjective::new(&views, 2, 0.5, ObjectiveMode::Full, EigOptions::default())
+                    .unwrap();
             let cons: Vec<Constraint> = reduced_simplex_constraints(2);
             let res = cobyla(
-                |v| obj.evaluate(&expand_weights(v)).map(|o| o.h).unwrap_or(f64::INFINITY),
+                |v| {
+                    obj.evaluate(&expand_weights(v))
+                        .map(|o| o.h)
+                        .unwrap_or(f64::INFINITY)
+                },
                 &cons,
                 &[1.0 / 3.0, 1.0 / 3.0],
                 &CobylaParams {
@@ -76,17 +75,16 @@ fn bench_optimizer_ablation(c: &mut Criterion) {
     });
     group.bench_function("nelder_mead_on_h", |b| {
         b.iter(|| {
-            let obj = SglaObjective::new(
-                &views,
-                2,
-                0.5,
-                ObjectiveMode::Full,
-                EigOptions::default(),
-            )
-            .unwrap();
+            let obj =
+                SglaObjective::new(&views, 2, 0.5, ObjectiveMode::Full, EigOptions::default())
+                    .unwrap();
             let cons: Vec<Constraint> = reduced_simplex_constraints(2);
             let res = nelder_mead(
-                |v| obj.evaluate(&expand_weights(v)).map(|o| o.h).unwrap_or(f64::INFINITY),
+                |v| {
+                    obj.evaluate(&expand_weights(v))
+                        .map(|o| o.h)
+                        .unwrap_or(f64::INFINITY)
+                },
                 &cons,
                 &[1.0 / 3.0, 1.0 / 3.0],
                 &NelderMeadParams {

@@ -4,7 +4,9 @@
 //! construction, the COBYLA optimizer step, and the surrogate fit.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mvag_graph::generators::{balanced_labels, gaussian_attributes, sbm, GaussianAttrConfig, SbmConfig};
+use mvag_graph::generators::{
+    balanced_labels, gaussian_attributes, sbm, GaussianAttrConfig, SbmConfig,
+};
 use mvag_graph::knn::{knn_graph, KnnConfig};
 use mvag_optim::cobyla::{cobyla, CobylaParams, Constraint};
 use mvag_optim::simplex::reduced_simplex_constraints;
@@ -57,8 +59,7 @@ fn bench_eigensolver(c: &mut Criterion) {
         let l = laplacian(n, 3);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
-                let vals =
-                    smallest_eigenvalues(black_box(&l), 5, &EigOptions::default()).unwrap();
+                let vals = smallest_eigenvalues(black_box(&l), 5, &EigOptions::default()).unwrap();
                 black_box(vals);
             })
         });
@@ -82,14 +83,7 @@ fn bench_knn(c: &mut Criterion) {
         .unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
-                let g = knn_graph(
-                    black_box(&x),
-                    &KnnConfig {
-                        k: 10,
-                        threads: 8,
-                    },
-                )
-                .unwrap();
+                let g = knn_graph(black_box(&x), &KnnConfig { k: 10, threads: 8 }).unwrap();
                 black_box(g);
             })
         });
@@ -104,7 +98,9 @@ fn bench_optimizer(c: &mut Criterion) {
             let cons: Vec<Constraint> = reduced_simplex_constraints(3);
             let res = cobyla(
                 |v| {
-                    (v[0] - 0.2).powi(2) + (v[1] - 0.3).powi(2) + 0.5 * (v[2] - 0.1).powi(2)
+                    (v[0] - 0.2).powi(2)
+                        + (v[1] - 0.3).powi(2)
+                        + 0.5 * (v[2] - 0.1).powi(2)
                         + v[0] * v[1]
                 },
                 &cons,
@@ -125,8 +121,7 @@ fn bench_optimizer(c: &mut Criterion) {
         ];
         let values = vec![0.4, 0.7, 0.9, 0.5, 0.6];
         b.iter(|| {
-            let s = QuadraticSurrogate::fit(black_box(&samples), black_box(&values), 0.05)
-                .unwrap();
+            let s = QuadraticSurrogate::fit(black_box(&samples), black_box(&values), 0.05).unwrap();
             black_box(s);
         })
     });

@@ -1,0 +1,82 @@
+//! Serving load benchmark: ≥1000 concurrent top-k queries over HTTP
+//! against a freshly trained artifact, every response verified against
+//! direct library calls; p50/p99/QPS land in `BENCH_serve.json`.
+//!
+//! ```bash
+//! cargo run --release --bin serve_bench -- --clients 32 --queries 40
+//! ```
+
+use mvag_bench::serve_bench::{run_to_file, ServeBenchConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut config = ServeBenchConfig::default();
+    let mut out = PathBuf::from("BENCH_serve.json");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(value) = it.next() else {
+            eprintln!("{flag} needs a value");
+            return ExitCode::FAILURE;
+        };
+        let parsed = match flag.as_str() {
+            "--n" => value.parse().map(|v| config.n = v).is_ok(),
+            "--k" => value.parse().map(|v| config.k = v).is_ok(),
+            "--dim" => value.parse().map(|v| config.dim = v).is_ok(),
+            "--clients" => value.parse().map(|v| config.clients = v).is_ok(),
+            "--queries" => value.parse().map(|v| config.queries_per_client = v).is_ok(),
+            "--topk" => value.parse().map(|v| config.topk = v).is_ok(),
+            "--workers" => value.parse().map(|v| config.workers = v).is_ok(),
+            "--batch" => value.parse().map(|v| config.max_batch = v).is_ok(),
+            "--seed" => value.parse().map(|v| config.seed = v).is_ok(),
+            "--out" => {
+                out = PathBuf::from(value);
+                true
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if !parsed {
+            eprintln!("{flag}: cannot parse '{value}'");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    println!(
+        "serve_bench: n={} clients={} queries/client={} topk={} workers={} max_batch={}",
+        config.n,
+        config.clients,
+        config.queries_per_client,
+        config.topk,
+        config.workers,
+        config.max_batch
+    );
+    match run_to_file(&config, &out) {
+        Ok(report) => {
+            println!(
+                "queries:   {} (all verified against direct library calls)",
+                report.total_queries
+            );
+            println!("train:     {:.2}s", report.train_secs);
+            println!("wall:      {:.2}s", report.wall_secs);
+            println!("p50:       {:.0} us", report.p50_us);
+            println!("p99:       {:.0} us", report.p99_us);
+            println!("mean:      {:.0} us", report.mean_us);
+            println!("max:       {:.0} us", report.max_us);
+            println!("qps:       {:.0}", report.qps);
+            println!(
+                "cache:     {} hits / {} misses",
+                report.cache_hits, report.cache_misses
+            );
+            println!("report:    {}", out.display());
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("serve_bench failed: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

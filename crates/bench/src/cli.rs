@@ -80,9 +80,7 @@ fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
-    eprintln!(
-        "usage: exp_* [--scale F] [--datasets a,b,c] [--seed N] [--out DIR] [--repeats N]"
-    );
+    eprintln!("usage: exp_* [--scale F] [--datasets a,b,c] [--seed N] [--out DIR] [--repeats N]");
     std::process::exit(2)
 }
 
@@ -107,8 +105,16 @@ mod tests {
     #[test]
     fn parses_flags() {
         let a = parse(&[
-            "--scale", "0.25", "--datasets", "rm,yelp", "--seed", "7", "--out", "/tmp/r",
-            "--repeats", "3",
+            "--scale",
+            "0.25",
+            "--datasets",
+            "rm,yelp",
+            "--seed",
+            "7",
+            "--out",
+            "/tmp/r",
+            "--repeats",
+            "3",
         ]);
         assert_eq!(a.scale, 0.25);
         assert_eq!(a.datasets, vec!["rm", "yelp"]);

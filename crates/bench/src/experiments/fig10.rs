@@ -41,9 +41,7 @@ pub fn run(args: &ExpArgs) {
             let result = plus
                 .integrate(&prep.views, prep.mvag.k())
                 .ok()
-                .and_then(|out| {
-                    spectral_clustering(&out.laplacian, prep.mvag.k(), args.seed).ok()
-                })
+                .and_then(|out| spectral_clustering(&out.laplacian, prep.mvag.k(), args.seed).ok())
                 .and_then(|lbl| {
                     ClusterMetrics::compute(&lbl, prep.mvag.labels().expect("labels")).ok()
                 });

@@ -100,8 +100,13 @@ pub fn run(args: &ExpArgs) {
                     truth[i].to_string(),
                 ]);
             }
-            let file = format!("fig12_tsne_{name}_{}", method.name().replace(['+', '-'], ""));
-            table.write_csv(&args.out_dir, &file).expect("results dir writable");
+            let file = format!(
+                "fig12_tsne_{name}_{}",
+                method.name().replace(['+', '-'], "")
+            );
+            table
+                .write_csv(&args.out_dir, &file)
+                .expect("results dir writable");
             // Quantify class separation: mean silhouette-like ratio.
             let sep = class_separation(&coords, &truth);
             println!(

@@ -20,7 +20,9 @@ pub fn run(args: &ExpArgs) {
     for i in 0..=10 {
         let w1 = 1.0 - i as f64 / 10.0;
         let w2 = 1.0 - w1;
-        let v = obj.evaluate(&[w1, w2]).expect("objective evaluates on simplex");
+        let v = obj
+            .evaluate(&[w1, w2])
+            .expect("objective evaluates on simplex");
         let combined = v.eigengap - v.connectivity;
         if combined < best.0 {
             best = (combined, w1);

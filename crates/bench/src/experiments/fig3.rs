@@ -26,7 +26,9 @@ pub fn run(args: &ExpArgs) {
     } else {
         args.scale
     };
-    let mvag = spec.generate(scale, args.seed).expect("generation succeeds");
+    let mvag = spec
+        .generate(scale, args.seed)
+        .expect("generation succeeds");
     let knn = KnnParams {
         k: spec.effective_knn(mvag.n()),
         ..Default::default()

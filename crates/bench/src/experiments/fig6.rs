@@ -21,8 +21,7 @@ pub fn print_from_runs(args: &ExpArgs, all_runs: &[(String, Vec<EmbedRun>)]) {
             .iter()
             .filter(|r| r.method != "SGLA" && r.method != "SGLA+" && r.f1.is_some())
             .max_by(|a, b| {
-                a.f1
-                    .unwrap()
+                a.f1.unwrap()
                     .1
                     .partial_cmp(&b.f1.unwrap().1)
                     .expect("finite f1")

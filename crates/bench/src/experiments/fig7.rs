@@ -87,10 +87,7 @@ pub fn run(args: &ExpArgs) {
         println!(
             "h decreased from {:.4} to {:.4} over {} evaluations",
             out.trace.first().expect("non-empty trace").h,
-            out.trace
-                .iter()
-                .map(|t| t.h)
-                .fold(f64::INFINITY, f64::min),
+            out.trace.iter().map(|t| t.h).fold(f64::INFINITY, f64::min),
             out.trace.len()
         );
         table

@@ -22,3 +22,4 @@ pub mod cli;
 pub mod experiments;
 pub mod pipeline;
 pub mod report;
+pub mod serve_bench;

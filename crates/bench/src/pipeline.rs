@@ -148,11 +148,15 @@ pub fn run_cluster_method(method: ClusterMethod, prep: &Prepared, seed: u64) -> 
     let labels: Result<Vec<usize>, String> = (|| {
         match method {
             ClusterMethod::SglaPlus => {
-                let out = SglaPlus::new(params).integrate(views, k).map_err(|e| e.to_string())?;
+                let out = SglaPlus::new(params)
+                    .integrate(views, k)
+                    .map_err(|e| e.to_string())?;
                 spectral_clustering(&out.laplacian, k, seed).map_err(|e| e.to_string())
             }
             ClusterMethod::Sgla => {
-                let out = Sgla::new(params).integrate(views, k).map_err(|e| e.to_string())?;
+                let out = Sgla::new(params)
+                    .integrate(views, k)
+                    .map_err(|e| e.to_string())?;
                 spectral_clustering(&out.laplacian, k, seed).map_err(|e| e.to_string())
             }
             ClusterMethod::EqualW => {
@@ -179,7 +183,8 @@ pub fn run_cluster_method(method: ClusterMethod, prep: &Prepared, seed: u64) -> 
                         }
                     }
                 }
-                best.map(|(_, l)| l).ok_or_else(|| "no view clusterable".to_string())
+                best.map(|(_, l)| l)
+                    .ok_or_else(|| "no view clusterable".to_string())
             }
             ClusterMethod::EigengapOnly => {
                 let out = single_objective(views, k, ObjectiveMode::EigengapOnly, &params)

@@ -1,0 +1,333 @@
+//! Load benchmark for the `sgla-serve` HTTP front end.
+//!
+//! Trains an artifact, serves it on a loopback socket, then drives it
+//! with N concurrent keep-alive clients issuing top-k queries. Every
+//! response is verified against a direct [`QueryEngine`] call (node
+//! ids and bit-exact scores), so the benchmark doubles as a
+//! correctness check under concurrency. Reports client-side p50/p99
+//! latency and throughput plus the server's own counters, and writes
+//! everything to a JSON report (`BENCH_serve.json` by default).
+
+use mvag_data::json::Value;
+use sgla_serve::{
+    Artifact, EngineConfig, HttpClient, QueryEngine, Server, ServerConfig, TrainConfig,
+};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Benchmark configuration.
+#[derive(Debug, Clone)]
+pub struct ServeBenchConfig {
+    /// Nodes in the synthetic training MVAG.
+    pub n: usize,
+    /// Planted clusters.
+    pub k: usize,
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Queries issued per client.
+    pub queries_per_client: usize,
+    /// `k` of each top-k query.
+    pub topk: usize,
+    /// Server worker threads.
+    pub workers: usize,
+    /// Upper bound on micro-batched queries per kernel pass.
+    pub max_batch: usize,
+    /// RNG seed (training + query mix).
+    pub seed: u64,
+}
+
+impl Default for ServeBenchConfig {
+    fn default() -> Self {
+        ServeBenchConfig {
+            n: 400,
+            k: 3,
+            dim: 32,
+            clients: 32,
+            queries_per_client: 40,
+            topk: 10,
+            workers: 8,
+            max_batch: 64,
+            seed: 42,
+        }
+    }
+}
+
+/// Outcome of one benchmark run.
+#[derive(Debug, Clone)]
+pub struct ServeBenchReport {
+    /// Total queries issued.
+    pub total_queries: usize,
+    /// Queries whose response matched the direct library call.
+    pub verified: usize,
+    /// Mismatches (must be 0 for a healthy run).
+    pub mismatches: usize,
+    /// Client-observed latency percentiles in microseconds.
+    pub p50_us: f64,
+    /// 99th percentile latency in microseconds.
+    pub p99_us: f64,
+    /// Mean latency in microseconds.
+    pub mean_us: f64,
+    /// Worst observed latency in microseconds.
+    pub max_us: f64,
+    /// Aggregate throughput over the loaded phase (queries/second).
+    pub qps: f64,
+    /// Wall-clock of the query phase in seconds.
+    pub wall_secs: f64,
+    /// Seconds spent training the artifact.
+    pub train_secs: f64,
+    /// Top-k cache hits observed by the engine.
+    pub cache_hits: u64,
+    /// Top-k cache misses observed by the engine.
+    pub cache_misses: u64,
+    /// The full JSON document written to the report file.
+    pub json: Value,
+}
+
+fn percentile(sorted: &[u64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1] as f64
+}
+
+/// Runs the benchmark. On success every response matched its direct
+/// library-call reference; any mismatch is an `Err`.
+///
+/// # Errors
+/// Training/serving failures, transport errors, or response
+/// mismatches, rendered as strings for the CLI.
+pub fn run(config: &ServeBenchConfig) -> Result<ServeBenchReport, String> {
+    let mvag = mvag_data::toy_mvag(config.n, config.k, config.seed);
+    let mut train_config = TrainConfig::default();
+    train_config.sgla.seed = config.seed;
+    train_config.embed.dim = config.dim;
+    let train_started = Instant::now();
+    let artifact = Artifact::train(&mvag, &train_config).map_err(|e| e.to_string())?;
+    let train_secs = train_started.elapsed().as_secs_f64();
+
+    let engine =
+        Arc::new(QueryEngine::new(artifact, EngineConfig::default()).map_err(|e| e.to_string())?);
+    let server = Server::start(
+        Arc::clone(&engine),
+        &ServerConfig {
+            addr: "127.0.0.1:0".parse().expect("static addr"),
+            workers: config.workers,
+            max_batch: config.max_batch,
+            ..ServerConfig::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    let addr = server.local_addr();
+
+    // Drive the load: each client thread owns one keep-alive
+    // connection and a deterministic query mix. Responses are only
+    // *recorded* here — verification happens after the timed phase so
+    // the reported latencies/QPS measure the server, not the
+    // benchmark harness's own direct-call scans.
+    type Recorded = (usize, u16, Value); // (node, status, response body)
+    let phase_started = Instant::now();
+    let mut handles = Vec::new();
+    for client_id in 0..config.clients {
+        let config = config.clone();
+        handles.push(std::thread::spawn(
+            move || -> Result<(Vec<u64>, Vec<Recorded>), String> {
+                let mut client =
+                    HttpClient::connect(addr).map_err(|e| format!("client {client_id}: {e}"))?;
+                let mut latencies = Vec::with_capacity(config.queries_per_client);
+                let mut recorded = Vec::with_capacity(config.queries_per_client);
+                // Simple per-client LCG over nodes: spread across the
+                // space but with repeats, so the LRU cache sees hits.
+                let mut state = config
+                    .seed
+                    .wrapping_add(client_id as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    | 1;
+                for _ in 0..config.queries_per_client {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let node = (state >> 33) as usize % config.n;
+                    let started = Instant::now();
+                    let res = client
+                        .get(&format!("/topk/{node}?k={}", config.topk))
+                        .map_err(|e| format!("client {client_id}: {e}"))?;
+                    latencies.push(started.elapsed().as_micros() as u64);
+                    recorded.push((node, res.status, res.body));
+                }
+                Ok((latencies, recorded))
+            },
+        ));
+    }
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut recorded: Vec<Recorded> = Vec::new();
+    for handle in handles {
+        let (mut lat, mut rec) = handle
+            .join()
+            .map_err(|_| "client thread panicked".to_string())??;
+        latencies.append(&mut lat);
+        recorded.append(&mut rec);
+    }
+    let wall_secs = phase_started.elapsed().as_secs_f64();
+    // Snapshot server-side counters before the verification pass adds
+    // its own direct calls to the engine's cache statistics.
+    let (cache_hits, cache_misses) = engine.cache_stats();
+    let server_stats = HttpClient::connect(addr)
+        .and_then(|mut c| c.get("/stats"))
+        .map(|r| r.body)
+        .unwrap_or(Value::Null);
+    server.shutdown();
+
+    // Verification phase (untimed): every recorded response must match
+    // the direct library call — node ids and bit-exact scores.
+    let mut verified = 0usize;
+    let mut mismatches = 0usize;
+    for (node, status, body) in &recorded {
+        if *status != 200 {
+            mismatches += 1;
+            continue;
+        }
+        let direct = engine
+            .top_k_similar(*node, config.topk)
+            .map_err(|e| e.to_string())?;
+        let matches = body
+            .get("neighbors")
+            .and_then(Value::as_array)
+            .is_some_and(|neighbors| {
+                neighbors.len() == direct.len()
+                    && neighbors.iter().zip(&direct).all(|(wire, want)| {
+                        wire.get("node").and_then(Value::as_usize) == Some(want.node)
+                            && wire
+                                .get("score")
+                                .and_then(Value::as_f64)
+                                .is_some_and(|s| s.to_bits() == want.score.to_bits())
+                    })
+            });
+        if matches {
+            verified += 1;
+        } else {
+            mismatches += 1;
+        }
+    }
+
+    latencies.sort_unstable();
+    let total_queries = latencies.len();
+    let mean_us = if total_queries == 0 {
+        0.0
+    } else {
+        latencies.iter().sum::<u64>() as f64 / total_queries as f64
+    };
+    let report = ServeBenchReport {
+        total_queries,
+        verified,
+        mismatches,
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+        mean_us,
+        max_us: latencies.last().copied().unwrap_or(0) as f64,
+        qps: if wall_secs > 0.0 {
+            total_queries as f64 / wall_secs
+        } else {
+            0.0
+        },
+        wall_secs,
+        train_secs,
+        cache_hits,
+        cache_misses,
+        json: Value::Null,
+    };
+    if mismatches > 0 {
+        return Err(format!(
+            "{mismatches} of {total_queries} responses did not match direct library calls"
+        ));
+    }
+
+    let json = Value::object(vec![
+        (
+            "config",
+            Value::object(vec![
+                ("n", Value::from(config.n)),
+                ("k", Value::from(config.k)),
+                ("dim", Value::from(config.dim)),
+                ("clients", Value::from(config.clients)),
+                ("queries_per_client", Value::from(config.queries_per_client)),
+                ("topk", Value::from(config.topk)),
+                ("workers", Value::from(config.workers)),
+                ("max_batch", Value::from(config.max_batch)),
+                ("seed", Value::from(config.seed)),
+            ]),
+        ),
+        (
+            "results",
+            Value::object(vec![
+                ("total_queries", Value::from(report.total_queries)),
+                ("verified", Value::from(report.verified)),
+                ("mismatches", Value::from(report.mismatches)),
+                ("p50_us", Value::from(report.p50_us)),
+                ("p99_us", Value::from(report.p99_us)),
+                ("mean_us", Value::from(report.mean_us)),
+                ("max_us", Value::from(report.max_us)),
+                ("qps", Value::from(report.qps)),
+                ("wall_secs", Value::from(report.wall_secs)),
+                ("train_secs", Value::from(report.train_secs)),
+                ("cache_hits", Value::from(report.cache_hits)),
+                ("cache_misses", Value::from(report.cache_misses)),
+            ]),
+        ),
+        ("server_stats", server_stats),
+    ]);
+    Ok(ServeBenchReport { json, ..report })
+}
+
+/// Runs the benchmark and writes the JSON report to `out`.
+///
+/// # Errors
+/// See [`run`]; additionally I/O failures writing the report.
+pub fn run_to_file(
+    config: &ServeBenchConfig,
+    out: &std::path::Path,
+) -> Result<ServeBenchReport, String> {
+    let report = run(config)?;
+    std::fs::write(out, report.json.to_string_pretty())
+        .map_err(|e| format!("writing {}: {e}", out.display()))?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_load_run_verifies_all_responses() {
+        let config = ServeBenchConfig {
+            n: 80,
+            k: 2,
+            dim: 8,
+            clients: 4,
+            queries_per_client: 10,
+            topk: 5,
+            workers: 4,
+            ..Default::default()
+        };
+        let report = run(&config).unwrap();
+        assert_eq!(report.total_queries, 40);
+        assert_eq!(report.verified, 40);
+        assert_eq!(report.mismatches, 0);
+        assert!(report.p50_us > 0.0);
+        assert!(report.p99_us >= report.p50_us);
+        assert!(report.qps > 0.0);
+        assert!(report.json.get("results").is_some());
+    }
+
+    #[test]
+    fn percentile_edges() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        let v = vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10];
+        assert_eq!(percentile(&v, 0.5), 5.0);
+        assert_eq!(percentile(&v, 0.99), 10.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+    }
+}

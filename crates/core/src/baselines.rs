@@ -504,7 +504,14 @@ mod tests {
     #[test]
     fn graph_agg_produces_valid_laplacian() {
         let mvag = figure1_example();
-        let l = graph_agg(&mvag, &KnnParams { k: 3, ..Default::default() }).unwrap();
+        let l = graph_agg(
+            &mvag,
+            &KnnParams {
+                k: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(l.nrows(), 8);
         assert!(l.is_symmetric(1e-10));
         // Normalized Laplacian diagonal of non-isolated nodes is 1.

@@ -291,10 +291,7 @@ mod tests {
         let l = views.aggregate(&[0.6, 0.4]).unwrap();
         let labels = spectral_clustering(&l, 2, 3).unwrap();
         let truth = [0, 0, 0, 0, 1, 1, 1, 1];
-        assert!(
-            agreement(&labels, &truth) == 1.0,
-            "labels = {labels:?}"
-        );
+        assert!(agreement(&labels, &truth) == 1.0, "labels = {labels:?}");
     }
 
     #[test]

@@ -21,7 +21,9 @@
 //! of the views' normalized adjacencies.
 
 use crate::{Result, SglaError};
-use mvag_sparse::eigen::{smallest_eigenpairs, smallest_eigenpairs_subspace, EigOptions, SubspaceOptions};
+use mvag_sparse::eigen::{
+    smallest_eigenpairs, smallest_eigenpairs_subspace, EigOptions, SubspaceOptions,
+};
 use mvag_sparse::svd::{rsvd, RsvdOptions};
 use mvag_sparse::{CooMatrix, CsrMatrix, DenseMatrix};
 
@@ -297,10 +299,7 @@ mod tests {
         assert_eq!(emb.nrows(), 150);
         assert_eq!(emb.ncols(), 16);
         let (within, across) = separation(&emb, &labels);
-        assert!(
-            within > across + 0.2,
-            "within {within} vs across {across}"
-        );
+        assert!(within > across + 0.2, "within {within} vs across {across}");
     }
 
     #[test]
@@ -313,10 +312,7 @@ mod tests {
         };
         let emb = embed(&l, &params).unwrap();
         let (within, across) = separation(&emb, &labels);
-        assert!(
-            within > across + 0.2,
-            "within {within} vs across {across}"
-        );
+        assert!(within > across + 0.2, "within {within} vs across {across}");
     }
 
     #[test]

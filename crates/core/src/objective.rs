@@ -171,18 +171,16 @@ mod tests {
     #[test]
     fn objective_components_sane_on_figure2() {
         let views = fig2_views();
-        let obj = SglaObjective::new(
-            &views,
-            2,
-            0.5,
-            ObjectiveMode::Full,
-            EigOptions::default(),
-        )
-        .unwrap();
+        let obj =
+            SglaObjective::new(&views, 2, 0.5, ObjectiveMode::Full, EigOptions::default()).unwrap();
         let v = obj.evaluate(&[0.5, 0.5]).unwrap();
         // λ₁ of a *mixture* of normalized Laplacians is small but nonzero
         // (the views' kernels D_i^{1/2}𝟙 differ).
-        assert!(v.eigenvalues[0] >= -1e-9 && v.eigenvalues[0] < 0.2, "λ1 = {}", v.eigenvalues[0]);
+        assert!(
+            v.eigenvalues[0] >= -1e-9 && v.eigenvalues[0] < 0.2,
+            "λ1 = {}",
+            v.eigenvalues[0]
+        );
         assert!((0.0..=1.0).contains(&v.eigengap));
         assert!(v.connectivity >= -1e-12);
         assert!(v.h.is_finite());
@@ -255,10 +253,12 @@ mod tests {
     #[test]
     fn validation_errors() {
         let views = fig2_views();
-        assert!(SglaObjective::new(&views, 1, 0.5, ObjectiveMode::Full, EigOptions::default())
-            .is_err());
-        assert!(SglaObjective::new(&views, 8, 0.5, ObjectiveMode::Full, EigOptions::default())
-            .is_err());
+        assert!(
+            SglaObjective::new(&views, 1, 0.5, ObjectiveMode::Full, EigOptions::default()).is_err()
+        );
+        assert!(
+            SglaObjective::new(&views, 8, 0.5, ObjectiveMode::Full, EigOptions::default()).is_err()
+        );
         assert!(SglaObjective::new(
             &views,
             2,
@@ -268,8 +268,7 @@ mod tests {
         )
         .is_err());
         let obj =
-            SglaObjective::new(&views, 2, 0.5, ObjectiveMode::Full, EigOptions::default())
-                .unwrap();
+            SglaObjective::new(&views, 2, 0.5, ObjectiveMode::Full, EigOptions::default()).unwrap();
         assert!(obj.evaluate(&[0.5]).is_err());
     }
 
@@ -288,15 +287,18 @@ mod tests {
         let mvag = toy_mvag(80, 2, 3);
         let views = ViewLaplacians::build(&mvag, &KnnParams::default()).unwrap();
         let obj =
-            SglaObjective::new(&views, 2, 0.5, ObjectiveMode::Full, EigOptions::default())
+            SglaObjective::new(&views, 2, 0.5, ObjectiveMode::Full, EigOptions::default()).unwrap();
+        let reversed =
+            ViewLaplacians::from_laplacians(views.laplacians().iter().rev().cloned().collect())
                 .unwrap();
-        let reversed = ViewLaplacians::from_laplacians(
-            views.laplacians().iter().rev().cloned().collect(),
+        let obj_rev = SglaObjective::new(
+            &reversed,
+            2,
+            0.5,
+            ObjectiveMode::Full,
+            EigOptions::default(),
         )
         .unwrap();
-        let obj_rev =
-            SglaObjective::new(&reversed, 2, 0.5, ObjectiveMode::Full, EigOptions::default())
-                .unwrap();
         let w = [0.2, 0.3, 0.5];
         let wr = [0.5, 0.3, 0.2];
         let a = obj.evaluate(&w).unwrap().h;

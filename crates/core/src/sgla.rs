@@ -181,7 +181,9 @@ mod tests {
     #[test]
     fn integrates_figure2() {
         let views = ViewLaplacians::build(&figure2_example(), &KnnParams::default()).unwrap();
-        let out = Sgla::new(SglaParams::default()).integrate(&views, 2).unwrap();
+        let out = Sgla::new(SglaParams::default())
+            .integrate(&views, 2)
+            .unwrap();
         assert!(is_on_simplex(&out.weights, 1e-9), "w = {:?}", out.weights);
         assert_eq!(out.laplacian.nrows(), 8);
         assert!(out.objective.is_finite());
@@ -199,13 +201,11 @@ mod tests {
     #[test]
     fn objective_decreases_along_trace() {
         let views = ViewLaplacians::build(&figure2_example(), &KnnParams::default()).unwrap();
-        let out = Sgla::new(SglaParams::default()).integrate(&views, 2).unwrap();
+        let out = Sgla::new(SglaParams::default())
+            .integrate(&views, 2)
+            .unwrap();
         let first = out.trace.first().unwrap().h;
-        let best = out
-            .trace
-            .iter()
-            .map(|t| t.h)
-            .fold(f64::INFINITY, f64::min);
+        let best = out.trace.iter().map(|t| t.h).fold(f64::INFINITY, f64::min);
         assert!(best <= first + 1e-12);
         assert!((out.objective - best).abs() < 1e-9);
     }
@@ -225,15 +225,11 @@ mod tests {
     fn beats_uniform_weights_on_toy() {
         let mvag = toy_mvag(150, 3, 21);
         let views = ViewLaplacians::build(&mvag, &KnnParams::default()).unwrap();
-        let out = Sgla::new(SglaParams::default()).integrate(&views, 3).unwrap();
-        let obj = SglaObjective::new(
-            &views,
-            3,
-            0.5,
-            ObjectiveMode::Full,
-            EigOptions::default(),
-        )
-        .unwrap();
+        let out = Sgla::new(SglaParams::default())
+            .integrate(&views, 3)
+            .unwrap();
+        let obj =
+            SglaObjective::new(&views, 3, 0.5, ObjectiveMode::Full, EigOptions::default()).unwrap();
         let uniform = obj.evaluate(&[1.0 / 3.0; 3]).unwrap().h;
         assert!(
             out.objective <= uniform + 1e-9,
@@ -246,15 +242,23 @@ mod tests {
     #[test]
     fn invalid_k_propagates() {
         let views = ViewLaplacians::build(&figure2_example(), &KnnParams::default()).unwrap();
-        assert!(Sgla::new(SglaParams::default()).integrate(&views, 1).is_err());
-        assert!(Sgla::new(SglaParams::default()).integrate(&views, 8).is_err());
+        assert!(Sgla::new(SglaParams::default())
+            .integrate(&views, 1)
+            .is_err());
+        assert!(Sgla::new(SglaParams::default())
+            .integrate(&views, 8)
+            .is_err());
     }
 
     #[test]
     fn deterministic() {
         let views = ViewLaplacians::build(&figure2_example(), &KnnParams::default()).unwrap();
-        let a = Sgla::new(SglaParams::default()).integrate(&views, 2).unwrap();
-        let b = Sgla::new(SglaParams::default()).integrate(&views, 2).unwrap();
+        let a = Sgla::new(SglaParams::default())
+            .integrate(&views, 2)
+            .unwrap();
+        let b = Sgla::new(SglaParams::default())
+            .integrate(&views, 2)
+            .unwrap();
         assert_eq!(a.weights, b.weights);
         assert_eq!(a.evaluations, b.evaluations);
     }

@@ -15,8 +15,8 @@
 //! Total: `O(r(m + qnK))` — the optimization loop no longer touches the
 //! graph at all (the paper's Section V-B complexity argument).
 
-use crate::sgla::{SglaOutcome, SglaParams, TracePoint};
 use crate::objective::SglaObjective;
+use crate::sgla::{SglaOutcome, SglaParams, TracePoint};
 use crate::views::ViewLaplacians;
 use crate::{Result, SglaError};
 use mvag_optim::cobyla::{cobyla, CobylaParams};
@@ -200,7 +200,9 @@ mod tests {
     #[test]
     fn uses_exactly_r_plus_one_evaluations() {
         let views = ViewLaplacians::build(&figure2_example(), &KnnParams::default()).unwrap();
-        let out = SglaPlus::new(SglaParams::default()).integrate(&views, 2).unwrap();
+        let out = SglaPlus::new(SglaParams::default())
+            .integrate(&views, 2)
+            .unwrap();
         assert_eq!(out.evaluations, 3); // r = 2 → r + 1 = 3
         assert_eq!(out.trace.len(), 3);
         assert!(is_on_simplex(&out.weights, 1e-9));
@@ -210,8 +212,12 @@ mod tests {
     fn fewer_evaluations_than_sgla() {
         let mvag = toy_mvag(150, 3, 77);
         let views = ViewLaplacians::build(&mvag, &KnnParams::default()).unwrap();
-        let plus = SglaPlus::new(SglaParams::default()).integrate(&views, 3).unwrap();
-        let base = Sgla::new(SglaParams::default()).integrate(&views, 3).unwrap();
+        let plus = SglaPlus::new(SglaParams::default())
+            .integrate(&views, 3)
+            .unwrap();
+        let base = Sgla::new(SglaParams::default())
+            .integrate(&views, 3)
+            .unwrap();
         assert!(
             plus.evaluations < base.evaluations,
             "SGLA+ {} vs SGLA {}",
@@ -228,16 +234,14 @@ mod tests {
         // modest margin of h(w*).
         let mvag = toy_mvag(120, 2, 9);
         let views = ViewLaplacians::build(&mvag, &KnnParams::default()).unwrap();
-        let base = Sgla::new(SglaParams::default()).integrate(&views, 2).unwrap();
-        let plus = SglaPlus::new(SglaParams::default()).integrate(&views, 2).unwrap();
-        let obj = SglaObjective::new(
-            &views,
-            2,
-            0.5,
-            ObjectiveMode::Full,
-            EigOptions::default(),
-        )
-        .unwrap();
+        let base = Sgla::new(SglaParams::default())
+            .integrate(&views, 2)
+            .unwrap();
+        let plus = SglaPlus::new(SglaParams::default())
+            .integrate(&views, 2)
+            .unwrap();
+        let obj =
+            SglaObjective::new(&views, 2, 0.5, ObjectiveMode::Full, EigOptions::default()).unwrap();
         let h_star = obj.evaluate(&base.weights).unwrap().h;
         let h_dagger = obj.evaluate(&plus.weights).unwrap().h;
         assert!(
@@ -249,14 +253,20 @@ mod tests {
     #[test]
     fn deterministic() {
         let views = ViewLaplacians::build(&figure2_example(), &KnnParams::default()).unwrap();
-        let a = SglaPlus::new(SglaParams::default()).integrate(&views, 2).unwrap();
-        let b = SglaPlus::new(SglaParams::default()).integrate(&views, 2).unwrap();
+        let a = SglaPlus::new(SglaParams::default())
+            .integrate(&views, 2)
+            .unwrap();
+        let b = SglaPlus::new(SglaParams::default())
+            .integrate(&views, 2)
+            .unwrap();
         assert_eq!(a.weights, b.weights);
     }
 
     #[test]
     fn invalid_k_rejected() {
         let views = ViewLaplacians::build(&figure2_example(), &KnnParams::default()).unwrap();
-        assert!(SglaPlus::new(SglaParams::default()).integrate(&views, 1).is_err());
+        assert!(SglaPlus::new(SglaParams::default())
+            .integrate(&views, 1)
+            .is_err());
     }
 }

@@ -179,9 +179,7 @@ impl ViewLaplacians {
             )));
         }
         if weights.iter().any(|w| !w.is_finite()) {
-            return Err(SglaError::InvalidArgument(
-                "non-finite view weight".into(),
-            ));
+            return Err(SglaError::InvalidArgument("non-finite view weight".into()));
         }
         Ok(())
     }
@@ -270,9 +268,7 @@ mod tests {
     fn from_laplacians_validates() {
         let l = CsrMatrix::identity(4);
         assert!(ViewLaplacians::from_laplacians(vec![l.clone()]).is_err());
-        assert!(
-            ViewLaplacians::from_laplacians(vec![l.clone(), CsrMatrix::identity(5)]).is_err()
-        );
+        assert!(ViewLaplacians::from_laplacians(vec![l.clone(), CsrMatrix::identity(5)]).is_err());
         assert!(ViewLaplacians::from_laplacians(vec![l.clone(), l]).is_ok());
     }
 }

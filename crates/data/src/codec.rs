@@ -1,0 +1,92 @@
+//! Shared helpers for the hand-rolled binary codecs.
+//!
+//! Used by the MVAG persistence in [`crate::io`] and by the
+//! `sgla-serve` artifact store, so the length-prefixed string framing
+//! and the overflow-safe count-prefixed readers exist exactly once.
+//! Every reader bounds-checks against `remaining()` with checked
+//! arithmetic before allocating — a hostile length field must produce
+//! a `None`, never a panic or a huge allocation.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Appends a u32-length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+/// Reads a u32-length-prefixed UTF-8 string; `None` on truncation or
+/// invalid UTF-8.
+pub fn get_str(bytes: &mut Bytes) -> Option<String> {
+    if bytes.remaining() < 4 {
+        return None;
+    }
+    let len = bytes.get_u32() as usize;
+    if bytes.remaining() < len {
+        return None;
+    }
+    String::from_utf8(bytes.copy_to_bytes(len).to_vec()).ok()
+}
+
+/// Reads `count` big-endian `f64`s; `None` if fewer bytes remain
+/// (overflow-safe for hostile counts).
+pub fn get_f64s(bytes: &mut Bytes, count: usize) -> Option<Vec<f64>> {
+    if count
+        .checked_mul(8)
+        .is_none_or(|need| bytes.remaining() < need)
+    {
+        return None;
+    }
+    Some((0..count).map(|_| bytes.get_f64()).collect())
+}
+
+/// Reads `count` big-endian `u64`s as `usize`; `None` if fewer bytes
+/// remain (overflow-safe for hostile counts).
+pub fn get_u64s(bytes: &mut Bytes, count: usize) -> Option<Vec<usize>> {
+    if count
+        .checked_mul(8)
+        .is_none_or(|need| bytes.remaining() < need)
+    {
+        return None;
+    }
+    Some((0..count).map(|_| bytes.get_u64() as usize).collect())
+}
+
+/// Reads `count` big-endian `u32`s as `usize`; `None` if fewer bytes
+/// remain (overflow-safe for hostile counts).
+pub fn get_u32s(bytes: &mut Bytes, count: usize) -> Option<Vec<usize>> {
+    if count
+        .checked_mul(4)
+        .is_none_or(|need| bytes.remaining() < need)
+    {
+        return None;
+    }
+    Some((0..count).map(|_| bytes.get_u32() as usize).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn str_roundtrip_and_truncation() {
+        let mut buf = BytesMut::new();
+        put_str(&mut buf, "héllo");
+        let full = buf.freeze();
+        let mut b = full.clone();
+        assert_eq!(get_str(&mut b).as_deref(), Some("héllo"));
+        for len in 0..full.len() {
+            let mut prefix = full.slice(..len);
+            assert!(get_str(&mut prefix).is_none(), "prefix {len} decoded");
+        }
+    }
+
+    #[test]
+    fn hostile_counts_return_none() {
+        let mut b = Bytes::from(vec![0u8; 16]);
+        assert!(get_f64s(&mut b.clone(), usize::MAX).is_none());
+        assert!(get_u64s(&mut b.clone(), usize::MAX / 4).is_none());
+        assert!(get_u32s(&mut b.clone(), usize::MAX / 2).is_none());
+        assert_eq!(get_f64s(&mut b, 2).map(|v| v.len()), Some(2));
+    }
+}

@@ -49,8 +49,8 @@ impl From<std::io::Error> for DataError {
     }
 }
 
-impl From<serde_json::Error> for DataError {
-    fn from(e: serde_json::Error) -> Self {
+impl From<crate::json::ParseError> for DataError {
+    fn from(e: crate::json::ParseError) -> Self {
         DataError::Serde(e.to_string())
     }
 }
@@ -61,8 +61,12 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(DataError::InvalidArgument("x".into()).to_string().contains("invalid"));
-        assert!(DataError::Serde("bad".into()).to_string().contains("serialization"));
+        assert!(DataError::InvalidArgument("x".into())
+            .to_string()
+            .contains("invalid"));
+        assert!(DataError::Serde("bad".into())
+            .to_string()
+            .contains("serialization"));
         let io: DataError = std::io::Error::new(std::io::ErrorKind::NotFound, "nope").into();
         assert!(io.to_string().contains("io error"));
     }

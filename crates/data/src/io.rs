@@ -1,10 +1,15 @@
 //! MVAG persistence: diffable JSON and a compact binary codec.
 //!
-//! JSON (via serde) is convenient for small fixtures and experiment
-//! outputs; the binary codec (hand-rolled over `bytes`) is ~6× smaller and
-//! much faster for the MAG-scale simulations, which the experiment harness
-//! caches between runs.
+//! JSON (via [`crate::json`]) is convenient for small fixtures and
+//! experiment outputs; the binary codec (hand-rolled over `bytes`, with
+//! a magic header, a format-version field, and overflow-safe bounds
+//! checks) is ~6× smaller and much faster for the MAG-scale
+//! simulations, which the experiment harness caches between runs.
+//! Malformed input of either format surfaces as a typed
+//! [`DataError`] — never a panic.
 
+use crate::codec::{get_str, put_str};
+use crate::json::{self, Value};
 use crate::{DataError, Result};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use mvag_graph::{Graph, Mvag, View};
@@ -12,13 +17,151 @@ use mvag_sparse::{CooMatrix, DenseMatrix};
 use std::fs;
 use std::path::Path;
 
+/// Format tag embedded in the JSON representation.
+const JSON_FORMAT: &str = "mvag-json/1";
+
+/// Encodes an MVAG as a JSON document.
+pub fn encode_json(mvag: &Mvag) -> String {
+    let views: Vec<Value> = mvag
+        .views()
+        .iter()
+        .map(|view| match view {
+            View::Graph(g) => {
+                let edges: Vec<Value> = g
+                    .adjacency()
+                    .iter()
+                    .filter(|&(r, c, _)| c >= r)
+                    .map(|(r, c, w)| {
+                        Value::Array(vec![Value::from(r), Value::from(c), Value::from(w)])
+                    })
+                    .collect();
+                Value::object(vec![
+                    ("type", Value::from("graph")),
+                    ("edges", Value::Array(edges)),
+                ])
+            }
+            View::Attributes(x) => Value::object(vec![
+                ("type", Value::from("attributes")),
+                ("nrows", Value::from(x.nrows())),
+                ("ncols", Value::from(x.ncols())),
+                ("data", Value::from(x.data().to_vec())),
+            ]),
+        })
+        .collect();
+    let labels = match mvag.labels() {
+        Some(l) => Value::from(l.to_vec()),
+        None => Value::Null,
+    };
+    Value::object(vec![
+        ("format", Value::from(JSON_FORMAT)),
+        ("name", Value::from(mvag.name.as_str())),
+        ("n", Value::from(mvag.n())),
+        ("k", Value::from(mvag.k())),
+        ("labels", labels),
+        ("views", Value::Array(views)),
+    ])
+    .to_string_pretty()
+}
+
+/// Decodes an MVAG from its JSON representation.
+///
+/// # Errors
+/// [`DataError::Serde`] on malformed input; graph validation errors.
+pub fn decode_json(text: &str) -> Result<Mvag> {
+    let fail = |msg: &str| DataError::Serde(format!("JSON MVAG: {msg}"));
+    let doc = json::parse(text)?;
+    match doc.get("format").and_then(Value::as_str) {
+        Some(JSON_FORMAT) => {}
+        Some(other) => return Err(fail(&format!("unsupported format '{other}'"))),
+        None => return Err(fail("missing format tag")),
+    }
+    let name = doc
+        .get("name")
+        .and_then(Value::as_str)
+        .ok_or_else(|| fail("missing name"))?;
+    let n = doc
+        .get("n")
+        .and_then(Value::as_usize)
+        .ok_or_else(|| fail("missing node count"))?;
+    let k = doc
+        .get("k")
+        .and_then(Value::as_usize)
+        .ok_or_else(|| fail("missing cluster count"))?;
+    let labels = match doc.get("labels") {
+        None | Some(Value::Null) => None,
+        Some(v) => {
+            let arr = v
+                .as_array()
+                .ok_or_else(|| fail("labels must be an array"))?;
+            Some(
+                arr.iter()
+                    .map(|x| x.as_usize().ok_or_else(|| fail("bad label")))
+                    .collect::<Result<Vec<_>>>()?,
+            )
+        }
+    };
+    let view_vals = doc
+        .get("views")
+        .and_then(Value::as_array)
+        .ok_or_else(|| fail("missing views"))?;
+    let mut views = Vec::with_capacity(view_vals.len());
+    for vv in view_vals {
+        match vv.get("type").and_then(Value::as_str) {
+            Some("graph") => {
+                let edges = vv
+                    .get("edges")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| fail("graph view missing edges"))?;
+                let mut coo = CooMatrix::with_capacity(n, n, edges.len() * 2);
+                for e in edges {
+                    let t = e.as_array().ok_or_else(|| fail("bad edge"))?;
+                    if t.len() != 3 {
+                        return Err(fail("edge must be [row, col, weight]"));
+                    }
+                    let r = t[0].as_usize().ok_or_else(|| fail("bad edge row"))?;
+                    let c = t[1].as_usize().ok_or_else(|| fail("bad edge col"))?;
+                    let w = t[2].as_f64().ok_or_else(|| fail("bad edge weight"))?;
+                    coo.push_sym(r, c, w)
+                        .map_err(|e| DataError::Serde(format!("bad edge: {e}")))?;
+                }
+                views.push(View::Graph(Graph::from_adjacency(coo.to_csr())?));
+            }
+            Some("attributes") => {
+                let rows = vv
+                    .get("nrows")
+                    .and_then(Value::as_usize)
+                    .ok_or_else(|| fail("attr view missing nrows"))?;
+                let cols = vv
+                    .get("ncols")
+                    .and_then(Value::as_usize)
+                    .ok_or_else(|| fail("attr view missing ncols"))?;
+                let data_vals = vv
+                    .get("data")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| fail("attr view missing data"))?;
+                let data = data_vals
+                    .iter()
+                    .map(|x| x.as_f64().ok_or_else(|| fail("bad attr value")))
+                    .collect::<Result<Vec<_>>>()?;
+                if rows.checked_mul(cols) != Some(data.len()) {
+                    return Err(fail("attr data length mismatch"));
+                }
+                let x = DenseMatrix::from_vec(rows, cols, data)
+                    .map_err(|e| DataError::Serde(format!("bad attr shape: {e}")))?;
+                views.push(View::Attributes(x));
+            }
+            _ => return Err(fail("view missing type tag")),
+        }
+    }
+    Ok(Mvag::new(name, views, labels, k)?)
+}
+
 /// Saves an MVAG as pretty JSON.
 ///
 /// # Errors
 /// I/O and serialization failures.
 pub fn save_json(mvag: &Mvag, path: &Path) -> Result<()> {
-    let s = serde_json::to_string(mvag)?;
-    fs::write(path, s)?;
+    fs::write(path, encode_json(mvag))?;
     Ok(())
 }
 
@@ -28,7 +171,7 @@ pub fn save_json(mvag: &Mvag, path: &Path) -> Result<()> {
 /// I/O and deserialization failures.
 pub fn load_json(path: &Path) -> Result<Mvag> {
     let s = fs::read_to_string(path)?;
-    Ok(serde_json::from_str(&s)?)
+    decode_json(&s)
 }
 
 const MAGIC: u32 = 0x4d56_4147; // "MVAG"
@@ -99,10 +242,8 @@ pub fn decode_binary(mut bytes: Bytes) -> Result<Mvag> {
     let k = bytes.get_u64() as usize;
     let has_labels = bytes.get_u8() == 1;
     let labels = if has_labels {
-        if bytes.remaining() < 4 * n {
-            return Err(fail("truncated labels"));
-        }
-        Some((0..n).map(|_| bytes.get_u32() as usize).collect::<Vec<_>>())
+        // Overflow-safe: a hostile header can claim n up to 2^64.
+        Some(crate::codec::get_u32s(&mut bytes, n).ok_or_else(|| fail("truncated labels"))?)
     } else {
         None
     };
@@ -121,10 +262,16 @@ pub fn decode_binary(mut bytes: Bytes) -> Result<Mvag> {
                     return Err(fail("truncated edge count"));
                 }
                 let nnz = bytes.get_u64() as usize;
-                let upper = nnz.div_ceil(2) + nnz % 2; // bound only
-                let _ = upper;
-                let mut coo = CooMatrix::with_capacity(n, n, nnz);
                 let stored = nnz / 2 + nnz % 2; // upper-triangle entries (incl. diag, but graphs have none)
+                                                // Overflow-safe pre-check before reserving capacity: a
+                                                // hostile count must not trigger a huge allocation.
+                if stored
+                    .checked_mul(24)
+                    .is_none_or(|need| bytes.remaining() < need)
+                {
+                    return Err(fail("truncated edges"));
+                }
+                let mut coo = CooMatrix::with_capacity(n, n, nnz);
                 for _ in 0..stored {
                     if bytes.remaining() < 24 {
                         return Err(fail("truncated edge"));
@@ -144,10 +291,17 @@ pub fn decode_binary(mut bytes: Bytes) -> Result<Mvag> {
                 }
                 let rows = bytes.get_u64() as usize;
                 let cols = bytes.get_u64() as usize;
-                if bytes.remaining() < 8 * rows * cols {
+                // Overflow-safe: hostile headers can claim huge shapes.
+                let count = rows.checked_mul(cols);
+                if count
+                    .and_then(|c| c.checked_mul(8))
+                    .is_none_or(|need| bytes.remaining() < need)
+                {
                     return Err(fail("truncated attr data"));
                 }
-                let data: Vec<f64> = (0..rows * cols).map(|_| bytes.get_f64()).collect();
+                let data: Vec<f64> = (0..count.expect("checked above"))
+                    .map(|_| bytes.get_f64())
+                    .collect();
                 let x = DenseMatrix::from_vec(rows, cols, data)
                     .map_err(|e| DataError::Serde(format!("bad attr shape: {e}")))?;
                 views.push(View::Attributes(x));
@@ -174,23 +328,6 @@ pub fn save_binary(mvag: &Mvag, path: &Path) -> Result<()> {
 pub fn load_binary(path: &Path) -> Result<Mvag> {
     let data = fs::read(path)?;
     decode_binary(Bytes::from(data))
-}
-
-fn put_str(buf: &mut BytesMut, s: &str) {
-    buf.put_u32(s.len() as u32);
-    buf.put_slice(s.as_bytes());
-}
-
-fn get_str(bytes: &mut Bytes) -> Option<String> {
-    if bytes.remaining() < 4 {
-        return None;
-    }
-    let len = bytes.get_u32() as usize;
-    if bytes.remaining() < len {
-        return None;
-    }
-    let raw = bytes.copy_to_bytes(len);
-    String::from_utf8(raw.to_vec()).ok()
 }
 
 #[cfg(test)]
@@ -238,10 +375,31 @@ mod tests {
     }
 
     #[test]
+    fn json_string_roundtrip() {
+        let mvag = toy_mvag(60, 2, 3);
+        let text = encode_json(&mvag);
+        let back = decode_json(&text).unwrap();
+        assert_eq!(mvag, back);
+    }
+
+    #[test]
+    fn json_rejects_malformed() {
+        for src in [
+            "",
+            "{}",
+            "[1, 2]",
+            r#"{"format":"mvag-json/99","name":"x","n":2,"k":2,"views":[]}"#,
+            r#"{"format":"mvag-json/1","name":"x","n":2,"k":2,"views":[{"type":"widget"}]}"#,
+        ] {
+            assert!(decode_json(src).is_err(), "accepted {src:?}");
+        }
+    }
+
+    #[test]
     fn binary_smaller_than_json() {
         let mvag = toy_mvag(150, 3, 1);
         let bin = encode_binary(&mvag).len();
-        let json = serde_json::to_string(&mvag).unwrap().len();
+        let json = encode_json(&mvag).len();
         assert!(bin < json, "binary {bin} vs json {json}");
     }
 
@@ -258,6 +416,71 @@ mod tests {
         assert!(decode_binary(short).is_err());
         // Empty.
         assert!(decode_binary(Bytes::new()).is_err());
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mvag = toy_mvag(40, 2, 4);
+        let mut raw = encode_binary(&mvag).to_vec();
+        // The version field is the u16 immediately after the u32 magic.
+        raw[4] = 0xff;
+        raw[5] = 0xfe;
+        let err = decode_binary(Bytes::from(raw)).unwrap_err();
+        assert!(
+            err.to_string().contains("version"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn every_truncation_errors_never_panics() {
+        let mvag = figure1_example();
+        let raw = encode_binary(&mvag).to_vec();
+        for len in 0..raw.len() {
+            let prefix = Bytes::from(raw[..len].to_vec());
+            assert!(decode_binary(prefix).is_err(), "prefix of {len} decoded");
+        }
+    }
+
+    #[test]
+    fn hostile_counts_rejected_without_allocation() {
+        // Valid magic + version, then a header claiming 2^62 nodes with
+        // labels: must fail cleanly, not overflow or try to allocate.
+        let mut buf = BytesMut::new();
+        buf.put_u32(MAGIC);
+        buf.put_u16(VERSION);
+        put_str(&mut buf, "hostile");
+        buf.put_u64(1u64 << 62); // n
+        buf.put_u64(2); // k
+        buf.put_u8(1); // has labels
+        assert!(decode_binary(buf.freeze()).is_err());
+
+        // Attribute view claiming a shape whose byte count overflows.
+        let mut buf = BytesMut::new();
+        buf.put_u32(MAGIC);
+        buf.put_u16(VERSION);
+        put_str(&mut buf, "hostile");
+        buf.put_u64(4); // n
+        buf.put_u64(2); // k
+        buf.put_u8(0); // no labels
+        buf.put_u32(2); // r
+        buf.put_u8(1); // attributes view
+        buf.put_u64(u64::MAX); // rows
+        buf.put_u64(u64::MAX); // cols
+        assert!(decode_binary(buf.freeze()).is_err());
+
+        // Graph view claiming an absurd edge count.
+        let mut buf = BytesMut::new();
+        buf.put_u32(MAGIC);
+        buf.put_u16(VERSION);
+        put_str(&mut buf, "hostile");
+        buf.put_u64(4); // n
+        buf.put_u64(2); // k
+        buf.put_u8(0); // no labels
+        buf.put_u32(2); // r
+        buf.put_u8(0); // graph view
+        buf.put_u64(u64::MAX); // nnz
+        assert!(decode_binary(buf.freeze()).is_err());
     }
 
     #[test]

@@ -19,8 +19,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod error;
 pub mod io;
+pub mod json;
 pub mod registry;
 
 pub use error::DataError;

@@ -406,8 +406,18 @@ mod tests {
         // r matches the paper for every dataset.
         for spec in &reg {
             assert_eq!(spec.r(), spec.paper.r, "{}", spec.name);
-            assert_eq!(spec.graph_views.len(), spec.paper.edges.len(), "{}", spec.name);
-            assert_eq!(spec.attr_views.len(), spec.paper.dims.len(), "{}", spec.name);
+            assert_eq!(
+                spec.graph_views.len(),
+                spec.paper.edges.len(),
+                "{}",
+                spec.name
+            );
+            assert_eq!(
+                spec.attr_views.len(),
+                spec.paper.dims.len(),
+                "{}",
+                spec.name
+            );
         }
     }
 

@@ -341,10 +341,7 @@ mod tests {
         for c in 0..2 {
             let cx = if c == 0 { -2.0 } else { 2.0 };
             for _ in 0..n_per {
-                rows.push(vec![
-                    cx + rng.gen::<f64>() - 0.5,
-                    rng.gen::<f64>() - 0.5,
-                ]);
+                rows.push(vec![cx + rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5]);
                 labels.push(c);
             }
         }
@@ -391,7 +388,7 @@ mod tests {
             assert_eq!(tr, 5, "class {c} got {tr} training samples");
         }
         // No overlap.
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         for &i in train.iter().chain(&test) {
             assert!(!seen[i], "index {i} duplicated");
             seen[i] = true;

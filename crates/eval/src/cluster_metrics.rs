@@ -104,7 +104,12 @@ pub fn macro_f1_score(pred: &[usize], truth: &[usize], k: usize) -> f64 {
     }
 }
 
-fn contingency(pred: &[usize], truth: &[usize], kp: usize, kt: usize) -> (Vec<Vec<f64>>, Vec<f64>, Vec<f64>) {
+fn contingency(
+    pred: &[usize],
+    truth: &[usize],
+    kp: usize,
+    kt: usize,
+) -> (Vec<Vec<f64>>, Vec<f64>, Vec<f64>) {
     let mut table = vec![vec![0.0f64; kt]; kp];
     for (&p, &t) in pred.iter().zip(truth) {
         table[p][t] += 1.0;
@@ -156,11 +161,7 @@ pub fn ari(pred: &[usize], truth: &[usize], kp: usize, kt: usize) -> f64 {
     let n = pred.len() as f64;
     let (table, rows, cols) = contingency(pred, truth, kp, kt);
     let comb2 = |x: f64| x * (x - 1.0) / 2.0;
-    let sum_ij: f64 = table
-        .iter()
-        .flat_map(|r| r.iter())
-        .map(|&v| comb2(v))
-        .sum();
+    let sum_ij: f64 = table.iter().flat_map(|r| r.iter()).map(|&v| comb2(v)).sum();
     let sum_i: f64 = rows.iter().map(|&v| comb2(v)).sum();
     let sum_j: f64 = cols.iter().map(|&v| comb2(v)).sum();
     let total = comb2(n);

@@ -43,7 +43,9 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(EvalError::InvalidArgument("x".into()).to_string().contains("invalid"));
+        assert!(EvalError::InvalidArgument("x".into())
+            .to_string()
+            .contains("invalid"));
         assert!(EvalError::from(SparseError::NumericalBreakdown("c"))
             .to_string()
             .contains("linear algebra"));

@@ -27,9 +27,7 @@ pub fn hungarian_min(cost: &DenseMatrix) -> Result<(Vec<usize>, f64)> {
         )));
     }
     if cost.data().iter().any(|v| !v.is_finite()) {
-        return Err(EvalError::InvalidArgument(
-            "non-finite cost entry".into(),
-        ));
+        return Err(EvalError::InvalidArgument("non-finite cost entry".into()));
     }
     // 1-based potentials algorithm (e-maxx formulation).
     let inf = f64::INFINITY;
@@ -158,11 +156,9 @@ mod tests {
 
     #[test]
     fn rectangular_assignment() {
-        let cost = DenseMatrix::from_rows(&[
-            vec![10.0, 1.0, 10.0, 10.0],
-            vec![1.0, 10.0, 10.0, 10.0],
-        ])
-        .unwrap();
+        let cost =
+            DenseMatrix::from_rows(&[vec![10.0, 1.0, 10.0, 10.0], vec![1.0, 10.0, 10.0, 10.0]])
+                .unwrap();
         let (assign, total) = hungarian_min(&cost).unwrap();
         assert_eq!(assign, vec![1, 0]);
         assert_eq!(total, 2.0);
@@ -170,11 +166,7 @@ mod tests {
 
     #[test]
     fn maximization() {
-        let profit = DenseMatrix::from_rows(&[
-            vec![10.0, 1.0],
-            vec![1.0, 10.0],
-        ])
-        .unwrap();
+        let profit = DenseMatrix::from_rows(&[vec![10.0, 1.0], vec![1.0, 10.0]]).unwrap();
         let (assign, total) = hungarian_max(&profit).unwrap();
         assert_eq!(assign, vec![0, 1]);
         assert_eq!(total, 20.0);

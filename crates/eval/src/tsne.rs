@@ -281,10 +281,7 @@ mod tests {
         }
         within /= cw as f64;
         across /= ca as f64;
-        assert!(
-            across > 1.5 * within,
-            "within {within} vs across {across}"
-        );
+        assert!(across > 1.5 * within, "within {within} vs across {across}");
     }
 
     #[test]
@@ -339,9 +336,7 @@ mod tests {
         let (x, _) = blobs(10, 2.0, 1);
         let n = x.nrows();
         for i in 0..n {
-            let d2: Vec<f64> = (0..n)
-                .map(|j| vecops::dist2(x.row(i), x.row(j)))
-                .collect();
+            let d2: Vec<f64> = (0..n).map(|j| vecops::dist2(x.row(i), x.row(j))).collect();
             let p = row_affinities(&d2, i, 5.0f64.ln());
             let sum: f64 = p.iter().sum();
             assert!((sum - 1.0).abs() < 1e-9);

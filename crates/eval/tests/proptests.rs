@@ -1,7 +1,7 @@
 //! Property-based tests for the evaluation substrate.
 
-use mvag_eval::cluster_metrics::{ari, nmi, purity, ClusterMetrics};
 use mvag_eval::classify::{micro_f1, stratified_split};
+use mvag_eval::cluster_metrics::{ari, nmi, purity, ClusterMetrics};
 use mvag_eval::hungarian::{hungarian_max, hungarian_min};
 use mvag_sparse::DenseMatrix;
 use proptest::prelude::*;
@@ -99,7 +99,7 @@ proptest! {
     fn stratified_split_partitions(frac in 0.1f64..0.9, seed in 0u64..100) {
         let labels: Vec<usize> = (0..60).map(|i| i % 3).collect();
         let (train, test) = stratified_split(&labels, frac, seed).unwrap();
-        let mut seen = vec![false; 60];
+        let mut seen = [false; 60];
         for &i in train.iter().chain(&test) {
             prop_assert!(!seen[i]);
             seen[i] = true;

@@ -159,12 +159,7 @@ pub fn sbm(labels: &[usize], cfg: &SbmConfig, seed: u64) -> Result<Graph> {
 
 /// Iterates the indices of a Bernoulli(`p`) subset of `0..total` using
 /// geometric skipping — `O(p · total)` expected work.
-fn sample_pairs<F: FnMut(usize, &mut StdRng)>(
-    total: usize,
-    p: f64,
-    rng: &mut StdRng,
-    mut f: F,
-) {
+fn sample_pairs<F: FnMut(usize, &mut StdRng)>(total: usize, p: f64, rng: &mut StdRng, mut f: F) {
     if total == 0 || p <= 0.0 {
         return;
     }
@@ -255,7 +250,11 @@ pub fn gaussian_attributes(
     let k = labels.iter().copied().max().map_or(1, |m| m + 1);
     let mut rng = StdRng::seed_from_u64(seed);
     let centers: Vec<Vec<f64>> = (0..k)
-        .map(|_| (0..cfg.dim).map(|_| normal(&mut rng) * cfg.separation).collect())
+        .map(|_| {
+            (0..cfg.dim)
+                .map(|_| normal(&mut rng) * cfg.separation)
+                .collect()
+        })
         .collect();
     let mut x = DenseMatrix::zeros(n, cfg.dim);
     for (i, &label) in labels.iter().enumerate() {
@@ -317,7 +316,12 @@ pub fn binary_attributes(
             "binary attributes need n >= 1 and dim >= 1".into(),
         ));
     }
-    for &p in &[cfg.active_fraction, cfg.p_on, cfg.p_noise, cfg.informative_fraction] {
+    for &p in &[
+        cfg.active_fraction,
+        cfg.p_on,
+        cfg.p_noise,
+        cfg.informative_fraction,
+    ] {
         if !(0.0..=1.0).contains(&p) {
             return Err(GraphError::InvalidArgument(format!(
                 "probability {p} outside [0, 1]"
@@ -327,7 +331,11 @@ pub fn binary_attributes(
     let k = labels.iter().copied().max().map_or(1, |m| m + 1);
     let mut rng = StdRng::seed_from_u64(seed);
     let profiles: Vec<Vec<bool>> = (0..k)
-        .map(|_| (0..cfg.dim).map(|_| rng.gen::<f64>() < cfg.active_fraction).collect())
+        .map(|_| {
+            (0..cfg.dim)
+                .map(|_| rng.gen::<f64>() < cfg.active_fraction)
+                .collect()
+        })
         .collect();
     let mut x = DenseMatrix::zeros(n, cfg.dim);
     for (i, &label) in labels.iter().enumerate() {
@@ -605,7 +613,7 @@ mod tests {
         assert!(balanced_labels(2, 3).is_err());
         assert!(balanced_labels(5, 0).is_err());
         let r = random_labels(20, 4, 11).unwrap();
-        let mut seen = vec![false; 4];
+        let mut seen = [false; 4];
         for &l in &r {
             seen[l] = true;
         }

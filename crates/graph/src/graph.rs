@@ -2,14 +2,13 @@
 
 use crate::{GraphError, Result};
 use mvag_sparse::{CooMatrix, CsrMatrix};
-use serde::{Deserialize, Serialize};
 
 /// An undirected weighted simple graph stored as a symmetric CSR adjacency
 /// matrix with zero diagonal.
 ///
 /// Invariants: the adjacency is square, exactly symmetric, nonnegative,
 /// and has no self-loops; all constructors enforce them.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Graph {
     adj: CsrMatrix,
 }
@@ -49,8 +48,7 @@ impl Graph {
     /// # Errors
     /// See [`Graph::from_edges`].
     pub fn from_unweighted_edges(n: usize, edges: &[(usize, usize)]) -> Result<Self> {
-        let weighted: Vec<(usize, usize, f64)> =
-            edges.iter().map(|&(u, v)| (u, v, 1.0)).collect();
+        let weighted: Vec<(usize, usize, f64)> = edges.iter().map(|&(u, v)| (u, v, 1.0)).collect();
         Self::from_edges(n, &weighted)
     }
 

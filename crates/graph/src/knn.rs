@@ -92,9 +92,7 @@ pub fn knn_graph(x: &DenseMatrix, config: &KnnConfig) -> Result<Graph> {
             if best.len() < config.k {
                 best.push((j, sim));
                 if best.len() == config.k {
-                    best.sort_unstable_by(|a, b| {
-                        a.1.partial_cmp(&b.1).expect("finite similarity")
-                    });
+                    best.sort_unstable_by(|a, b| a.1.partial_cmp(&b.1).expect("finite similarity"));
                 }
             } else if sim > best[0].1 {
                 // Replace current minimum, restore order.
@@ -162,12 +160,7 @@ mod tests {
 
     #[test]
     fn edge_weights_are_cosine_similarities() {
-        let x = DenseMatrix::from_rows(&[
-            vec![1.0, 0.0],
-            vec![1.0, 1.0],
-            vec![0.0, 1.0],
-        ])
-        .unwrap();
+        let x = DenseMatrix::from_rows(&[vec![1.0, 0.0], vec![1.0, 1.0], vec![0.0, 1.0]]).unwrap();
         let g = knn_graph(&x, &KnnConfig { k: 1, threads: 1 }).unwrap();
         let w = g.adjacency().get(0, 1);
         assert!((w - (0.5f64).sqrt()).abs() < 1e-12, "w = {w}");
@@ -202,12 +195,8 @@ mod tests {
 
     #[test]
     fn negative_similarity_excluded() {
-        let x = DenseMatrix::from_rows(&[
-            vec![1.0, 0.0],
-            vec![-1.0, 0.0],
-            vec![0.9, 0.05],
-        ])
-        .unwrap();
+        let x =
+            DenseMatrix::from_rows(&[vec![1.0, 0.0], vec![-1.0, 0.0], vec![0.9, 0.05]]).unwrap();
         let g = knn_graph(&x, &KnnConfig { k: 2, threads: 1 }).unwrap();
         assert_eq!(g.adjacency().get(0, 1), 0.0);
         assert!(g.adjacency().get(0, 2) > 0.0);

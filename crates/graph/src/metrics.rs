@@ -186,11 +186,8 @@ mod tests {
 
     /// Two triangles joined by one bridge edge (the classic dumbbell).
     fn dumbbell() -> Graph {
-        Graph::from_unweighted_edges(
-            6,
-            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)],
-        )
-        .unwrap()
+        Graph::from_unweighted_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)])
+            .unwrap()
     }
 
     #[test]
@@ -276,7 +273,11 @@ mod tests {
         )
         .unwrap();
         assert!(vals[0].abs() < 1e-10);
-        assert!(vals[1].abs() < 1e-10, "disconnected ⇒ λ₂ = 0, got {}", vals[1]);
+        assert!(
+            vals[1].abs() < 1e-10,
+            "disconnected ⇒ λ₂ = 0, got {}",
+            vals[1]
+        );
         assert!(vals[2] > 1e-6);
     }
 }

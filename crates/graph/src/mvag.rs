@@ -5,11 +5,10 @@
 
 use crate::{Graph, GraphError, Result};
 use mvag_sparse::DenseMatrix;
-use serde::{Deserialize, Serialize};
 
 /// One view of an MVAG: either a graph over the shared node set or an
 /// attribute matrix with one row per node.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum View {
     /// A graph view `Gᵢ = {V, Eᵢ}`.
     Graph(Graph),
@@ -33,7 +32,7 @@ impl View {
 }
 
 /// A multi-view attributed graph with optional ground-truth labels.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Mvag {
     /// Human-readable dataset name (used by the experiment harness).
     pub name: String,

@@ -1,8 +1,6 @@
 //! Small fixture MVAGs: the paper's running examples.
 
-use crate::generators::{
-    balanced_labels, gaussian_attributes, sbm, GaussianAttrConfig, SbmConfig,
-};
+use crate::generators::{balanced_labels, gaussian_attributes, sbm, GaussianAttrConfig, SbmConfig};
 use crate::{Graph, Mvag, View};
 use mvag_sparse::DenseMatrix;
 

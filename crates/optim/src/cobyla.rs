@@ -195,7 +195,14 @@ where
             }
             rho *= 0.5;
             let best_now = argmin_merit(&simplex, mu);
-            rebuild(&mut simplex, best_now, rho, &mut f, &mut eval_point, &mut evals);
+            rebuild(
+                &mut simplex,
+                best_now,
+                rho,
+                &mut f,
+                &mut eval_point,
+                &mut evals,
+            );
         }
     }
 
@@ -337,11 +344,7 @@ fn argmin_merit(simplex: &[Point], mu: f64) -> usize {
     simplex
         .iter()
         .enumerate()
-        .min_by(|(_, a), (_, b)| {
-            a.merit(mu)
-                .partial_cmp(&b.merit(mu))
-                .expect("finite merit")
-        })
+        .min_by(|(_, a), (_, b)| a.merit(mu).partial_cmp(&b.merit(mu)).expect("finite merit"))
         .expect("non-empty simplex")
         .0
 }
@@ -350,11 +353,7 @@ fn argmax_merit(simplex: &[Point], mu: f64) -> usize {
     simplex
         .iter()
         .enumerate()
-        .max_by(|(_, a), (_, b)| {
-            a.merit(mu)
-                .partial_cmp(&b.merit(mu))
-                .expect("finite merit")
-        })
+        .max_by(|(_, a), (_, b)| a.merit(mu).partial_cmp(&b.merit(mu)).expect("finite merit"))
         .expect("non-empty simplex")
         .0
 }
@@ -364,6 +363,7 @@ mod tests {
     use super::*;
     use crate::simplex::reduced_simplex_constraints;
 
+    #[allow(clippy::type_complexity)]
     fn boxed(cons: Vec<Box<dyn Fn(&[f64]) -> f64 + Send + Sync>>) -> Vec<Constraint> {
         cons
     }

@@ -221,9 +221,13 @@ mod tests {
     fn rejects_bad_start() {
         let cons: Vec<Constraint> = Vec::new();
         assert!(nelder_mead(|_| 0.0, &cons, &[], &NelderMeadParams::default()).is_err());
-        assert!(
-            nelder_mead(|_| 0.0, &cons, &[f64::INFINITY], &NelderMeadParams::default()).is_err()
-        );
+        assert!(nelder_mead(
+            |_| 0.0,
+            &cons,
+            &[f64::INFINITY],
+            &NelderMeadParams::default()
+        )
+        .is_err());
     }
 
     #[test]

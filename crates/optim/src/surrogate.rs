@@ -147,22 +147,14 @@ impl QuadraticSurrogate {
     pub fn eval(&self, w: &[f64]) -> f64 {
         debug_assert!(w.len() >= self.r - 1);
         let feats = features(&w[..self.r - 1]);
-        feats
-            .iter()
-            .zip(&self.theta)
-            .map(|(f, t)| f * t)
-            .sum()
+        feats.iter().zip(&self.theta).map(|(f, t)| f * t).sum()
     }
 
     /// Evaluates on reduced coordinates `v ∈ R^{r−1}` directly.
     pub fn eval_reduced(&self, v: &[f64]) -> f64 {
         debug_assert_eq!(v.len(), self.r - 1);
         let feats = features(v);
-        feats
-            .iter()
-            .zip(&self.theta)
-            .map(|(f, t)| f * t)
-            .sum()
+        feats.iter().zip(&self.theta).map(|(f, t)| f * t).sum()
     }
 
     /// Number of views `r`.
@@ -283,7 +275,11 @@ mod tests {
         // The Hessian (quadratic block) is what the Frobenius penalty
         // shrinks; linear/constant terms stay near-interpolating.
         let quad_norm = |s: &QuadraticSurrogate| {
-            s.coefficients()[..3].iter().map(|c| c * c).sum::<f64>().sqrt()
+            s.coefficients()[..3]
+                .iter()
+                .map(|c| c * c)
+                .sum::<f64>()
+                .sqrt()
         };
         assert!(quad_norm(&s_big) < quad_norm(&s_small));
     }

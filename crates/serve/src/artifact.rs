@@ -1,0 +1,490 @@
+//! The trained-artifact store: versioned, checksummed binary
+//! persistence for everything SGLA learns about one MVAG.
+//!
+//! An [`Artifact`] bundles the learned view weights `w*`, the
+//! integrated Laplacian in CSR form, the cluster assignment and
+//! per-cluster centroids, and the node embedding matrix — the complete
+//! state the query engine needs, so serving never re-touches the
+//! training pipeline. The codec extends the hand-rolled `bytes` format
+//! of `mvag_data::io`: a magic header and format-version field up
+//! front, a CRC-32 of the body, and overflow-safe bounds checks so
+//! hostile or truncated input surfaces as a typed
+//! [`ServeError::Corrupt`], never a panic or huge allocation.
+
+use crate::{Result, ServeError};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use mvag_data::codec::{get_f64s, get_str, get_u32s, get_u64s, put_str};
+use mvag_graph::Mvag;
+use mvag_sparse::{CsrMatrix, DenseMatrix};
+use sgla_core::clustering::{spectral_clustering_with, SpectralParams};
+use sgla_core::embedding::{embed, EmbedParams};
+use sgla_core::sgla::SglaParams;
+use sgla_core::sgla_plus::SglaPlus;
+use sgla_core::views::{KnnParams, ViewLaplacians};
+use std::fs;
+use std::path::Path;
+
+/// `"SGLA"` in ASCII.
+const MAGIC: u32 = 0x5347_4C41;
+/// Bump on any layout change; decoders reject other versions.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Descriptive header of a trained artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArtifactMeta {
+    /// Name of the dataset the artifact was trained on.
+    pub dataset: String,
+    /// Node count `n`.
+    pub n: usize,
+    /// Cluster count `k`.
+    pub k: usize,
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Seed the training run used (for provenance).
+    pub seed: u64,
+}
+
+/// Everything SGLA learned about one MVAG, ready to serve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Artifact {
+    /// Descriptive header.
+    pub meta: ArtifactMeta,
+    /// Learned view weights `w*` on the probability simplex.
+    pub weights: Vec<f64>,
+    /// Integrated Laplacian `L = Σ wᵢ* Lᵢ` (CSR).
+    pub laplacian: CsrMatrix,
+    /// Cluster label per node, in `0..k`.
+    pub labels: Vec<usize>,
+    /// Per-cluster centroids in embedding space (`k × dim`).
+    pub centroids: DenseMatrix,
+    /// Node embedding matrix (`n × dim`).
+    pub embedding: DenseMatrix,
+}
+
+/// Training configuration for [`Artifact::train`].
+#[derive(Debug, Clone, Default)]
+pub struct TrainConfig {
+    /// SGLA/SGLA+ parameters.
+    pub sgla: SglaParams,
+    /// View-Laplacian construction parameters.
+    pub knn: KnnParams,
+    /// Embedding parameters ([`EmbedParams::dim`] is clamped to `n - 2`
+    /// for tiny inputs).
+    pub embed: EmbedParams,
+    /// Spectral clustering restarts/seed come from here.
+    pub spectral: SpectralParams,
+}
+
+impl Artifact {
+    /// Runs the full training pipeline on `mvag`: view Laplacians →
+    /// SGLA+ integration → spectral clustering → embedding → centroids.
+    ///
+    /// # Errors
+    /// Propagates pipeline failures as [`ServeError::Train`].
+    pub fn train(mvag: &Mvag, config: &TrainConfig) -> Result<Artifact> {
+        let views = ViewLaplacians::build(mvag, &config.knn)?;
+        let outcome = SglaPlus::new(config.sgla.clone()).integrate(&views, mvag.k())?;
+        let spectral = spectral_clustering_with(&outcome.laplacian, mvag.k(), &config.spectral)?;
+        let mut embed_params = config.embed.clone();
+        // Keep tiny demo graphs embeddable: dim must satisfy dim+1 < n.
+        embed_params.dim = embed_params.dim.min(mvag.n().saturating_sub(2)).max(1);
+        let embedding = embed(&outcome.laplacian, &embed_params)?;
+        let centroids = centroids_of(&embedding, &spectral.labels, mvag.k())?;
+        Ok(Artifact {
+            meta: ArtifactMeta {
+                dataset: mvag.name.clone(),
+                n: mvag.n(),
+                k: mvag.k(),
+                dim: embedding.ncols(),
+                seed: config.sgla.seed,
+            },
+            weights: outcome.weights,
+            laplacian: outcome.laplacian,
+            labels: spectral.labels,
+            centroids,
+            embedding,
+        })
+    }
+
+    /// Encodes the artifact into the versioned, checksummed binary
+    /// format.
+    pub fn encode(&self) -> Bytes {
+        let mut body = BytesMut::with_capacity(1 << 16);
+        put_str(&mut body, &self.meta.dataset);
+        body.put_u64(self.meta.n as u64);
+        body.put_u64(self.meta.k as u64);
+        body.put_u64(self.meta.dim as u64);
+        body.put_u64(self.meta.seed);
+        body.put_u32(self.weights.len() as u32);
+        for &w in &self.weights {
+            body.put_f64(w);
+        }
+        put_csr(&mut body, &self.laplacian);
+        body.put_u64(self.labels.len() as u64);
+        for &l in &self.labels {
+            body.put_u32(l as u32);
+        }
+        put_dense(&mut body, &self.centroids);
+        put_dense(&mut body, &self.embedding);
+        let body = body.freeze();
+
+        let mut out = BytesMut::with_capacity(body.len() + 18);
+        out.put_u32(MAGIC);
+        out.put_u16(FORMAT_VERSION);
+        out.put_u64(body.len() as u64);
+        out.put_u32(crc32(body.as_ref()));
+        out.put_slice(body.as_ref());
+        out.freeze()
+    }
+
+    /// Decodes an artifact, verifying magic, version, length, and
+    /// checksum before touching the payload.
+    ///
+    /// # Errors
+    /// [`ServeError::Corrupt`] on any structural problem.
+    pub fn decode(mut bytes: Bytes) -> Result<Artifact> {
+        let fail = |msg: &str| ServeError::Corrupt(msg.to_string());
+        if bytes.remaining() < 18 {
+            return Err(fail("shorter than the fixed header"));
+        }
+        if bytes.get_u32() != MAGIC {
+            return Err(fail("bad magic (not an SGLA artifact)"));
+        }
+        let version = bytes.get_u16();
+        if version != FORMAT_VERSION {
+            return Err(fail(&format!(
+                "unsupported format version {version} (expected {FORMAT_VERSION})"
+            )));
+        }
+        let body_len = bytes.get_u64();
+        let expect_crc = bytes.get_u32();
+        if bytes.remaining() as u64 != body_len {
+            return Err(fail(&format!(
+                "body length mismatch: header says {body_len}, got {}",
+                bytes.remaining()
+            )));
+        }
+        if crc32(bytes.as_ref()) != expect_crc {
+            return Err(fail("checksum mismatch (artifact bytes were altered)"));
+        }
+
+        let dataset = get_str(&mut bytes).ok_or_else(|| fail("truncated dataset name"))?;
+        if bytes.remaining() < 32 + 4 {
+            return Err(fail("truncated meta"));
+        }
+        let n = bytes.get_u64() as usize;
+        let k = bytes.get_u64() as usize;
+        let dim = bytes.get_u64() as usize;
+        let seed = bytes.get_u64();
+        let num_weights = bytes.get_u32() as usize;
+        let weights = get_f64s(&mut bytes, num_weights).ok_or_else(|| fail("truncated weights"))?;
+        let laplacian = get_csr(&mut bytes)?;
+        if bytes.remaining() < 8 {
+            return Err(fail("truncated label count"));
+        }
+        let num_labels = bytes.get_u64() as usize;
+        let labels = get_u32s(&mut bytes, num_labels).ok_or_else(|| fail("truncated labels"))?;
+        let centroids = get_dense(&mut bytes)?;
+        let embedding = get_dense(&mut bytes)?;
+        if bytes.remaining() != 0 {
+            return Err(fail("trailing bytes after payload"));
+        }
+
+        let artifact = Artifact {
+            meta: ArtifactMeta {
+                dataset,
+                n,
+                k,
+                dim,
+                seed,
+            },
+            weights,
+            laplacian,
+            labels,
+            centroids,
+            embedding,
+        };
+        artifact.validate()?;
+        Ok(artifact)
+    }
+
+    /// Cross-field consistency checks (shapes line up with the meta).
+    ///
+    /// # Errors
+    /// [`ServeError::Corrupt`] describing the first inconsistency.
+    pub fn validate(&self) -> Result<()> {
+        let fail = |msg: String| Err(ServeError::Corrupt(msg));
+        let m = &self.meta;
+        if self.labels.len() != m.n {
+            return fail(format!("{} labels for n = {}", self.labels.len(), m.n));
+        }
+        if let Some(&bad) = self.labels.iter().find(|&&l| l >= m.k) {
+            return fail(format!("label {bad} >= k = {}", m.k));
+        }
+        if self.laplacian.nrows() != m.n || self.laplacian.ncols() != m.n {
+            return fail(format!(
+                "laplacian is {}x{} for n = {}",
+                self.laplacian.nrows(),
+                self.laplacian.ncols(),
+                m.n
+            ));
+        }
+        if self.embedding.nrows() != m.n || self.embedding.ncols() != m.dim {
+            return fail(format!(
+                "embedding is {}x{} for n = {}, dim = {}",
+                self.embedding.nrows(),
+                self.embedding.ncols(),
+                m.n,
+                m.dim
+            ));
+        }
+        if self.centroids.nrows() != m.k || self.centroids.ncols() != m.dim {
+            return fail(format!(
+                "centroids are {}x{} for k = {}, dim = {}",
+                self.centroids.nrows(),
+                self.centroids.ncols(),
+                m.k,
+                m.dim
+            ));
+        }
+        if self.weights.is_empty() {
+            return fail("no view weights".to_string());
+        }
+        Ok(())
+    }
+
+    /// Saves the artifact to `path`.
+    ///
+    /// # Errors
+    /// I/O failures.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        fs::write(path, self.encode())?;
+        Ok(())
+    }
+
+    /// Loads and verifies an artifact from `path`.
+    ///
+    /// # Errors
+    /// I/O failures and [`ServeError::Corrupt`].
+    pub fn load(path: &Path) -> Result<Artifact> {
+        let data = fs::read(path)?;
+        Artifact::decode(Bytes::from(data))
+    }
+}
+
+/// Mean embedding row per cluster.
+fn centroids_of(embedding: &DenseMatrix, labels: &[usize], k: usize) -> Result<DenseMatrix> {
+    let dim = embedding.ncols();
+    let mut sums = DenseMatrix::zeros(k, dim);
+    let mut counts = vec![0usize; k];
+    for (i, &label) in labels.iter().enumerate() {
+        if label >= k {
+            return Err(ServeError::InvalidArgument(format!(
+                "label {label} >= k = {k}"
+            )));
+        }
+        counts[label] += 1;
+        let row = embedding.row(i);
+        let dst = sums.row_mut(label);
+        for (d, &v) in row.iter().enumerate() {
+            dst[d] += v;
+        }
+    }
+    for (c, &count) in counts.iter().enumerate() {
+        if count > 0 {
+            let inv = 1.0 / count as f64;
+            for v in sums.row_mut(c) {
+                *v *= inv;
+            }
+        }
+    }
+    Ok(sums)
+}
+
+// ---------------------------------------------------------------------
+// Codec helpers (same style as mvag_data::io, plus CRC-32).
+
+/// CRC-32 (IEEE 802.3), bitwise-reflected, no lookup table — artifact
+/// bodies are read once at startup, so simplicity beats throughput.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = !0;
+    for &byte in data {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            let mask = 0u32.wrapping_sub(crc & 1);
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+fn put_csr(buf: &mut BytesMut, m: &CsrMatrix) {
+    buf.put_u64(m.nrows() as u64);
+    buf.put_u64(m.ncols() as u64);
+    buf.put_u64(m.nnz() as u64);
+    for &p in m.indptr() {
+        buf.put_u64(p as u64);
+    }
+    for r in 0..m.nrows() {
+        for &c in m.row_cols(r) {
+            buf.put_u64(c as u64);
+        }
+    }
+    for r in 0..m.nrows() {
+        for &v in m.row_vals(r) {
+            buf.put_f64(v);
+        }
+    }
+}
+
+fn get_csr(bytes: &mut Bytes) -> Result<CsrMatrix> {
+    let fail = |msg: &str| ServeError::Corrupt(format!("laplacian: {msg}"));
+    if bytes.remaining() < 24 {
+        return Err(fail("truncated header"));
+    }
+    let nrows = bytes.get_u64() as usize;
+    let ncols = bytes.get_u64() as usize;
+    let nnz = bytes.get_u64() as usize;
+    let indptr = get_u64s(
+        bytes,
+        nrows.checked_add(1).ok_or_else(|| fail("bad nrows"))?,
+    )
+    .ok_or_else(|| fail("truncated indptr"))?;
+    let cols = get_u64s(bytes, nnz).ok_or_else(|| fail("truncated column indices"))?;
+    let vals = get_f64s(bytes, nnz).ok_or_else(|| fail("truncated values"))?;
+    CsrMatrix::from_raw_parts(nrows, ncols, indptr, cols, vals)
+        .map_err(|e| fail(&format!("invalid structure: {e}")))
+}
+
+fn put_dense(buf: &mut BytesMut, m: &DenseMatrix) {
+    buf.put_u64(m.nrows() as u64);
+    buf.put_u64(m.ncols() as u64);
+    for &v in m.data() {
+        buf.put_f64(v);
+    }
+}
+
+fn get_dense(bytes: &mut Bytes) -> Result<DenseMatrix> {
+    let fail = |msg: &str| ServeError::Corrupt(format!("dense matrix: {msg}"));
+    if bytes.remaining() < 16 {
+        return Err(fail("truncated header"));
+    }
+    let nrows = bytes.get_u64() as usize;
+    let ncols = bytes.get_u64() as usize;
+    let count = nrows
+        .checked_mul(ncols)
+        .ok_or_else(|| fail("shape overflow"))?;
+    let data = get_f64s(bytes, count).ok_or_else(|| fail("truncated data"))?;
+    DenseMatrix::from_vec(nrows, ncols, data).map_err(|e| fail(&format!("bad shape: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvag_graph::toy::toy_mvag;
+
+    fn small_artifact() -> Artifact {
+        let mvag = toy_mvag(60, 2, 11);
+        let mut config = TrainConfig::default();
+        config.embed.dim = 8;
+        Artifact::train(&mvag, &config).unwrap()
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn train_produces_consistent_shapes() {
+        let a = small_artifact();
+        assert_eq!(a.meta.n, 60);
+        assert_eq!(a.meta.k, 2);
+        assert_eq!(a.meta.dim, 8);
+        assert_eq!(a.weights.len(), 3);
+        a.validate().unwrap();
+        let sum: f64 = a.weights.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "weights sum {sum}");
+    }
+
+    #[test]
+    fn encode_decode_bit_exact() {
+        let a = small_artifact();
+        let bytes = a.encode();
+        let back = Artifact::decode(bytes).unwrap();
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let a = small_artifact();
+        let dir = std::env::temp_dir().join("sgla-artifact-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.sgla");
+        a.save(&path).unwrap();
+        let back = Artifact::load(&path).unwrap();
+        assert_eq!(a, back);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flipped_byte_fails_checksum() {
+        let a = small_artifact();
+        let raw = a.encode().to_vec();
+        // Flip one byte somewhere in the body (after the 18-byte header).
+        for &pos in &[18, raw.len() / 2, raw.len() - 1] {
+            let mut bad = raw.clone();
+            bad[pos] ^= 0x01;
+            let err = Artifact::decode(Bytes::from(bad)).unwrap_err();
+            assert!(
+                matches!(err, ServeError::Corrupt(_)),
+                "pos {pos}: unexpected {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_rejected() {
+        let a = small_artifact();
+        let raw = a.encode().to_vec();
+        let mut bad = raw.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            Artifact::decode(Bytes::from(bad)).unwrap_err(),
+            ServeError::Corrupt(_)
+        ));
+        let mut bad = raw.clone();
+        bad[4] = 0xff; // version hi byte
+        let err = Artifact::decode(Bytes::from(bad)).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn every_truncation_errors_never_panics() {
+        let a = small_artifact();
+        let raw = a.encode().to_vec();
+        // Every 97th prefix plus all short ones: exhaustive is slow at
+        // this size, strided catches the same class of bounds bugs.
+        for len in (0..raw.len()).step_by(97).chain(0..32) {
+            let prefix = Bytes::from(raw[..len].to_vec());
+            assert!(Artifact::decode(prefix).is_err(), "prefix of {len} decoded");
+        }
+    }
+
+    #[test]
+    fn centroid_rows_are_cluster_means() {
+        let a = small_artifact();
+        for c in 0..a.meta.k {
+            let members: Vec<usize> = (0..a.meta.n).filter(|&i| a.labels[i] == c).collect();
+            assert!(!members.is_empty());
+            for d in 0..a.meta.dim {
+                let mean: f64 = members.iter().map(|&i| a.embedding.row(i)[d]).sum::<f64>()
+                    / members.len() as f64;
+                let got = a.centroids.row(c)[d];
+                assert!((mean - got).abs() < 1e-12, "cluster {c} dim {d}");
+            }
+        }
+    }
+}

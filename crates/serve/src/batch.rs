@@ -1,0 +1,185 @@
+//! Micro-batching of concurrent top-k queries.
+//!
+//! HTTP worker threads don't call the scoring kernel directly; they
+//! submit jobs to a [`Batcher`] and block on a reply channel. A single
+//! drain thread collects everything that queued up while the previous
+//! batch was computing (up to `max_batch`) and answers the whole batch
+//! with one [`QueryEngine::top_k_batch`] pass — so under concurrent
+//! load the embedding matrix is read once per *batch*, not once per
+//! *request*, and per-request latency amortizes the memory traffic.
+//! Under light load the queue is almost always length 1 and the drain
+//! thread behaves like a direct call — no artificial delay is added.
+
+use crate::engine::{Neighbor, QueryEngine};
+use crate::Result;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+struct Job {
+    node: usize,
+    k: usize,
+    reply: mpsc::Sender<Result<Vec<Neighbor>>>,
+}
+
+#[derive(Default)]
+struct Queue {
+    jobs: Vec<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    available: Condvar,
+}
+
+/// Batches concurrent top-k queries into single kernel passes.
+pub struct Batcher {
+    shared: Arc<Shared>,
+    worker: Option<JoinHandle<()>>,
+    /// Largest batch drained in one pass (observability).
+    max_batch: usize,
+}
+
+impl std::fmt::Debug for Batcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Batcher")
+            .field("max_batch", &self.max_batch)
+            .finish()
+    }
+}
+
+impl Batcher {
+    /// Starts the drain thread. `max_batch` bounds how many queued
+    /// queries one kernel pass may absorb.
+    pub fn new(engine: Arc<QueryEngine>, max_batch: usize) -> Batcher {
+        let max_batch = max_batch.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue::default()),
+            available: Condvar::new(),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("sgla-batcher".into())
+            .spawn(move || drain_loop(&worker_shared, &engine, max_batch))
+            .expect("spawn batcher thread");
+        Batcher {
+            shared,
+            worker: Some(worker),
+            max_batch,
+        }
+    }
+
+    /// Enqueues one query and blocks until its answer arrives.
+    ///
+    /// # Errors
+    /// Query errors from the engine; [`crate::ServeError::Server`] if
+    /// the batcher is shutting down.
+    pub fn top_k(&self, node: usize, k: usize) -> Result<Vec<Neighbor>> {
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut q = self.shared.queue.lock().expect("batch queue lock");
+            if q.shutdown {
+                return Err(crate::ServeError::Server("batcher is shut down".into()));
+            }
+            q.jobs.push(Job { node, k, reply: tx });
+        }
+        self.shared.available.notify_one();
+        rx.recv()
+            .map_err(|_| crate::ServeError::Server("batcher dropped the query".into()))?
+    }
+
+    /// Stops the drain thread; queued queries get a shutdown error.
+    pub fn shutdown(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().expect("batch queue lock");
+            q.shutdown = true;
+        }
+        self.shared.available.notify_all();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn drain_loop(shared: &Shared, engine: &QueryEngine, max_batch: usize) {
+    loop {
+        let batch: Vec<Job> = {
+            let mut q = shared.queue.lock().expect("batch queue lock");
+            while q.jobs.is_empty() && !q.shutdown {
+                q = shared.available.wait(q).expect("batch queue lock");
+            }
+            if q.jobs.is_empty() && q.shutdown {
+                return;
+            }
+            let take = q.jobs.len().min(max_batch);
+            q.jobs.drain(..take).collect()
+        };
+        let queries: Vec<(usize, usize)> = batch.iter().map(|j| (j.node, j.k)).collect();
+        let answers = engine.top_k_batch(&queries);
+        for (job, answer) in batch.into_iter().zip(answers) {
+            // A dropped receiver just means the client went away.
+            let _ = job.reply.send(answer);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::{Artifact, TrainConfig};
+    use crate::engine::EngineConfig;
+    use mvag_graph::toy::toy_mvag;
+
+    fn engine() -> Arc<QueryEngine> {
+        let mvag = toy_mvag(60, 2, 3);
+        let mut config = TrainConfig::default();
+        config.embed.dim = 6;
+        let artifact = Artifact::train(&mvag, &config).unwrap();
+        Arc::new(QueryEngine::new(artifact, EngineConfig::default()).unwrap())
+    }
+
+    #[test]
+    fn concurrent_submissions_match_direct_calls() {
+        let engine = engine();
+        let batcher = Arc::new(Batcher::new(Arc::clone(&engine), 32));
+        let mut handles = Vec::new();
+        for t in 0..8usize {
+            let batcher = Arc::clone(&batcher);
+            let engine = Arc::clone(&engine);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..25usize {
+                    let node = (t * 25 + i) % 60;
+                    let got = batcher.top_k(node, 5).unwrap();
+                    let want = engine.top_k_similar(node, 5).unwrap();
+                    assert_eq!(got, want, "node {node}");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn invalid_queries_get_their_own_error() {
+        let engine = engine();
+        let batcher = Batcher::new(engine, 8);
+        assert!(batcher.top_k(10_000, 5).is_err());
+        assert!(batcher.top_k(0, 5).is_ok());
+    }
+
+    #[test]
+    fn shutdown_rejects_new_queries() {
+        let engine = engine();
+        let mut batcher = Batcher::new(engine, 8);
+        batcher.shutdown();
+        assert!(batcher.top_k(0, 5).is_err());
+    }
+}

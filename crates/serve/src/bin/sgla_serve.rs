@@ -1,0 +1,181 @@
+//! `sgla-serve` — train an artifact, inspect it, or serve it.
+//!
+//! ```bash
+//! # Train on the synthetic toy dataset and write an artifact:
+//! sgla-serve train --out toy.sgla --n 300 --k 3 --seed 42
+//!
+//! # Train on a Table-II synthetic stand-in from the registry:
+//! sgla-serve train --out imdb.sgla --dataset imdb --scale 0.25
+//!
+//! # Inspect an artifact:
+//! sgla-serve info --artifact toy.sgla
+//!
+//! # Serve it:
+//! sgla-serve serve --artifact toy.sgla --addr 127.0.0.1:7878 --workers 8
+//! ```
+
+use sgla_serve::{Artifact, EngineConfig, QueryEngine, Server, ServerConfig, TrainConfig};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().map(String::as_str) else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command {
+        "train" => train(&args[1..]),
+        "info" => info(&args[1..]),
+        "serve" => serve(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  sgla-serve train --out <file> [--dataset toy|<registry name>] [--n N] [--k K]
+                   [--dim D] [--seed S] [--scale F]
+  sgla-serve info  --artifact <file>
+  sgla-serve serve --artifact <file> [--addr HOST:PORT] [--workers N]
+                   [--cache N] [--batch N]";
+
+/// Tiny flag parser: `--key value` pairs after the subcommand.
+struct Flags(Vec<(String, String)>);
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut pairs = Vec::new();
+        let mut it = args.iter();
+        while let Some(key) = it.next() {
+            let Some(name) = key.strip_prefix("--") else {
+                return Err(format!("expected --flag, got '{key}'"));
+            };
+            let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+            pairs.push((name.to_string(), value.clone()));
+        }
+        Ok(Flags(pairs))
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("--{name}: cannot parse '{raw}'")),
+        }
+    }
+}
+
+fn train(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let out = PathBuf::from(flags.get("out").ok_or("train needs --out <file>")?);
+    let dataset = flags.get("dataset").unwrap_or("toy");
+    let seed: u64 = flags.parse_num("seed", 42)?;
+    let scale: f64 = flags.parse_num("scale", 0.25)?;
+    let mvag = if dataset == "toy" {
+        let n: usize = flags.parse_num("n", 300)?;
+        let k: usize = flags.parse_num("k", 3)?;
+        mvag_data::toy_mvag(n, k, seed)
+    } else {
+        let spec = mvag_data::by_name(dataset).ok_or_else(|| {
+            let names: Vec<String> = mvag_data::full_registry()
+                .iter()
+                .map(|s| s.name.to_string())
+                .collect();
+            format!(
+                "unknown dataset '{dataset}' (try: toy, {})",
+                names.join(", ")
+            )
+        })?;
+        spec.generate(scale, seed).map_err(|e| e.to_string())?
+    };
+    println!("training on {}", mvag.summary());
+    let mut config = TrainConfig::default();
+    config.sgla.seed = seed;
+    config.embed.dim = flags.parse_num("dim", 64)?;
+    let started = std::time::Instant::now();
+    let artifact = Artifact::train(&mvag, &config).map_err(|e| e.to_string())?;
+    println!(
+        "trained in {:.2}s: weights {:?}",
+        started.elapsed().as_secs_f64(),
+        artifact.weights
+    );
+    // Encode once: save() would re-run the full encode (including the
+    // CRC pass) just to learn the byte count.
+    let encoded = artifact.encode();
+    std::fs::write(&out, encoded.as_ref()).map_err(|e| e.to_string())?;
+    println!("wrote {} ({} bytes)", out.display(), encoded.len());
+    Ok(())
+}
+
+fn info(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let path = flags
+        .get("artifact")
+        .ok_or("info needs --artifact <file>")?;
+    let artifact = Artifact::load(Path::new(path)).map_err(|e| e.to_string())?;
+    let m = &artifact.meta;
+    println!("artifact:  {path}");
+    println!("dataset:   {}", m.dataset);
+    println!("n:         {}", m.n);
+    println!("k:         {}", m.k);
+    println!("dim:       {}", m.dim);
+    println!("seed:      {}", m.seed);
+    println!("weights:   {:?}", artifact.weights);
+    println!("laplacian: {} nnz", artifact.laplacian.nnz());
+    Ok(())
+}
+
+fn serve(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let path = flags
+        .get("artifact")
+        .ok_or("serve needs --artifact <file>")?;
+    let artifact = Artifact::load(Path::new(path)).map_err(|e| e.to_string())?;
+    println!(
+        "loaded {} (n = {}, k = {}, dim = {})",
+        artifact.meta.dataset, artifact.meta.n, artifact.meta.k, artifact.meta.dim
+    );
+    let engine_config = EngineConfig {
+        cache_capacity: flags.parse_num("cache", 4096)?,
+        ..EngineConfig::default()
+    };
+    let engine = Arc::new(QueryEngine::new(artifact, engine_config).map_err(|e| e.to_string())?);
+    let server_config = ServerConfig {
+        addr: flags
+            .get("addr")
+            .unwrap_or("127.0.0.1:7878")
+            .parse()
+            .map_err(|e| format!("--addr: {e}"))?,
+        workers: flags.parse_num("workers", 8)?,
+        max_batch: flags.parse_num("batch", 64)?,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(engine, &server_config).map_err(|e| e.to_string())?;
+    println!("serving on http://{}", server.local_addr());
+    println!("endpoints: /healthz /stats /artifact /cluster/{{node}} /topk/{{node}}?k=K /embed");
+    println!("press Ctrl-C to stop");
+    // Foreground serve: park until killed. Workers own the sockets.
+    loop {
+        std::thread::park();
+    }
+}

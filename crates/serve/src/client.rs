@@ -1,0 +1,117 @@
+//! A minimal blocking HTTP/1.1 client for the serve API.
+//!
+//! Speaks just enough HTTP to drive [`crate::http::Server`] over a
+//! keep-alive connection — used by the integration tests, the
+//! `serve_bench` load driver, and the examples, so none of them need
+//! an external HTTP dependency.
+
+use crate::{Result, ServeError};
+use mvag_data::json::{self, Value};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One keep-alive connection to a serve endpoint.
+#[derive(Debug)]
+pub struct HttpClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    addr: SocketAddr,
+}
+
+/// A decoded response.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Parsed JSON body.
+    pub body: Value,
+}
+
+impl HttpClient {
+    /// Connects to `addr`.
+    ///
+    /// # Errors
+    /// Connection failures.
+    pub fn connect(addr: SocketAddr) -> Result<HttpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(HttpClient {
+            reader,
+            writer: stream,
+            addr,
+        })
+    }
+
+    /// The server address this client talks to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// `GET path` → parsed response.
+    ///
+    /// # Errors
+    /// Transport or JSON failures.
+    pub fn get(&mut self, path: &str) -> Result<HttpResponse> {
+        self.request("GET", path, None)
+    }
+
+    /// `POST path` with a JSON body → parsed response.
+    ///
+    /// # Errors
+    /// Transport or JSON failures.
+    pub fn post(&mut self, path: &str, body: &Value) -> Result<HttpResponse> {
+        self.request("POST", path, Some(body.to_string_compact()))
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: Option<String>) -> Result<HttpResponse> {
+        let body = body.unwrap_or_default();
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: sgla\r\ncontent-length: {}\r\nconnection: keep-alive\r\n\r\n",
+            body.len()
+        );
+        self.writer.write_all(head.as_bytes())?;
+        self.writer.write_all(body.as_bytes())?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> Result<HttpResponse> {
+        let bad = |msg: &str| ServeError::Server(format!("bad response: {msg}"));
+        let mut status_line = String::new();
+        if self.reader.read_line(&mut status_line)? == 0 {
+            return Err(bad("connection closed"));
+        }
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("malformed status line"))?;
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            if self.reader.read_line(&mut header)? == 0 {
+                return Err(bad("eof in headers"));
+            }
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| bad("bad content-length"))?;
+                }
+            }
+        }
+        let mut raw = vec![0u8; content_length];
+        self.reader.read_exact(&mut raw)?;
+        let text = String::from_utf8(raw).map_err(|_| bad("body not UTF-8"))?;
+        let body = json::parse(&text).map_err(|e| bad(&format!("body not JSON: {e}")))?;
+        Ok(HttpResponse { status, body })
+    }
+}

@@ -1,0 +1,422 @@
+//! The in-memory query engine over a loaded [`Artifact`].
+//!
+//! Answers the three serving queries:
+//!
+//! * [`QueryEngine::cluster_of`] — the trained cluster assignment plus
+//!   the distance to the assigned centroid;
+//! * [`QueryEngine::top_k_similar`] — the `k` nearest nodes by cosine
+//!   similarity in embedding space, via a cache-friendly blocked
+//!   dot-product kernel (reusing `mvag_sparse::vecops`) with an LRU
+//!   result cache in front;
+//! * [`QueryEngine::embed_batch`] — raw embedding rows for a batch of
+//!   nodes.
+//!
+//! The top-k kernel is batch-first: [`QueryEngine::top_k_batch`] scans
+//! the embedding matrix in row blocks and scores every queued query
+//! against the resident block before moving on, so concurrent queries
+//! share memory traffic instead of multiplying it. The HTTP front end
+//! funnels concurrent requests through [`crate::batch::Batcher`], which
+//! micro-batches them into exactly this entry point.
+
+use crate::artifact::Artifact;
+use crate::lru::LruCache;
+use crate::{Result, ServeError};
+use mvag_sparse::{parallel, vecops};
+use std::sync::Mutex;
+
+/// One scored neighbour from a top-k query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Node id.
+    pub node: usize,
+    /// Cosine similarity to the query node in embedding space.
+    pub score: f64,
+}
+
+/// Cluster assignment answer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterInfo {
+    /// The queried node.
+    pub node: usize,
+    /// Assigned cluster in `0..k`.
+    pub cluster: usize,
+    /// Euclidean distance to the assigned centroid in embedding space.
+    pub centroid_dist: f64,
+}
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads for batch kernels (0 → all cores).
+    pub threads: usize,
+    /// Entries in the top-k result LRU cache (0 disables caching).
+    pub cache_capacity: usize,
+    /// Rows per block in the blocked scoring kernel.
+    pub block_rows: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            threads: parallel::default_threads(),
+            cache_capacity: 4096,
+            block_rows: 64,
+        }
+    }
+}
+
+/// In-memory index over one artifact.
+#[derive(Debug)]
+pub struct QueryEngine {
+    artifact: Artifact,
+    /// Euclidean norm of each embedding row (precomputed for cosine).
+    norms: Vec<f64>,
+    cache: Mutex<LruCache<(usize, usize), Vec<Neighbor>>>,
+    config: EngineConfig,
+}
+
+impl QueryEngine {
+    /// Builds the engine (validates the artifact, precomputes norms).
+    ///
+    /// # Errors
+    /// [`ServeError::Corrupt`] if the artifact is inconsistent.
+    pub fn new(artifact: Artifact, config: EngineConfig) -> Result<Self> {
+        artifact.validate()?;
+        let norms = (0..artifact.meta.n)
+            .map(|i| vecops::norm2(artifact.embedding.row(i)))
+            .collect();
+        Ok(QueryEngine {
+            cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            artifact,
+            norms,
+            config,
+        })
+    }
+
+    /// The artifact being served.
+    pub fn artifact(&self) -> &Artifact {
+        &self.artifact
+    }
+
+    /// `(hits, misses)` of the top-k result cache.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.lock().expect("cache lock").stats()
+    }
+
+    fn check_node(&self, node: usize) -> Result<()> {
+        if node >= self.artifact.meta.n {
+            return Err(ServeError::InvalidQuery(format!(
+                "node {node} out of range (n = {})",
+                self.artifact.meta.n
+            )));
+        }
+        Ok(())
+    }
+
+    /// Cluster assignment and centroid distance for one node.
+    ///
+    /// # Errors
+    /// [`ServeError::InvalidQuery`] for out-of-range nodes.
+    pub fn cluster_of(&self, node: usize) -> Result<ClusterInfo> {
+        self.check_node(node)?;
+        let cluster = self.artifact.labels[node];
+        let centroid_dist = vecops::dist2(
+            self.artifact.embedding.row(node),
+            self.artifact.centroids.row(cluster),
+        )
+        .sqrt();
+        Ok(ClusterInfo {
+            node,
+            cluster,
+            centroid_dist,
+        })
+    }
+
+    /// Embedding rows for a batch of nodes.
+    ///
+    /// # Errors
+    /// [`ServeError::InvalidQuery`] if any node is out of range (the
+    /// whole batch is rejected, matching HTTP semantics).
+    pub fn embed_batch(&self, nodes: &[usize]) -> Result<Vec<Vec<f64>>> {
+        for &node in nodes {
+            self.check_node(node)?;
+        }
+        Ok(nodes
+            .iter()
+            .map(|&n| self.artifact.embedding.row(n).to_vec())
+            .collect())
+    }
+
+    /// The `k` most similar nodes to `node` (cosine in embedding
+    /// space), best first; ties break toward the smaller node id. The
+    /// query node itself is excluded. `k` is clamped to `n - 1`.
+    ///
+    /// # Errors
+    /// [`ServeError::InvalidQuery`] for out-of-range nodes or `k == 0`.
+    pub fn top_k_similar(&self, node: usize, k: usize) -> Result<Vec<Neighbor>> {
+        // Single query = batch of one: validation, clamping, and the
+        // cache protocol live in exactly one place.
+        self.top_k_batch(&[(node, k)]).pop().expect("one query")
+    }
+
+    /// Answers many top-k queries in one pass over the embedding
+    /// matrix (the micro-batching entry point). Results are in query
+    /// order; failed queries carry their individual error.
+    pub fn top_k_batch(&self, queries: &[(usize, usize)]) -> Vec<Result<Vec<Neighbor>>> {
+        // Partition into cache hits, invalid queries, and real work.
+        let n = self.artifact.meta.n;
+        let mut answers: Vec<Option<Result<Vec<Neighbor>>>> = Vec::with_capacity(queries.len());
+        let mut work: Vec<(usize, usize)> = Vec::new(); // (query index, slot)
+        let mut jobs: Vec<(usize, usize)> = Vec::new();
+        {
+            let mut cache = self.cache.lock().expect("cache lock");
+            for (qi, &(node, k)) in queries.iter().enumerate() {
+                if node >= n {
+                    answers.push(Some(Err(ServeError::InvalidQuery(format!(
+                        "node {node} out of range (n = {n})"
+                    )))));
+                    continue;
+                }
+                if k == 0 {
+                    answers.push(Some(Err(ServeError::InvalidQuery(
+                        "k must be at least 1".into(),
+                    ))));
+                    continue;
+                }
+                let k = k.min(n - 1);
+                if let Some(hit) = cache.get(&(node, k)) {
+                    answers.push(Some(Ok(hit.clone())));
+                } else {
+                    answers.push(None);
+                    work.push((qi, jobs.len()));
+                    jobs.push((node, k));
+                }
+            }
+        }
+        if !jobs.is_empty() {
+            let results = self.scan_block_topk(&jobs);
+            let mut cache = self.cache.lock().expect("cache lock");
+            for ((qi, slot), result) in work.into_iter().zip(results) {
+                cache.insert(jobs[slot], result.clone());
+                answers[qi] = Some(Ok(result));
+            }
+        }
+        answers
+            .into_iter()
+            .map(|a| a.expect("all slots filled"))
+            .collect()
+    }
+
+    /// The blocked scoring kernel: walks the embedding matrix in
+    /// blocks of [`EngineConfig::block_rows`] rows and scores every
+    /// query against the resident block, so a batch of queries reads
+    /// the matrix once instead of once per query. Queries are sharded
+    /// across threads; each shard keeps the blocked access pattern.
+    fn scan_block_topk(&self, jobs: &[(usize, usize)]) -> Vec<Vec<Neighbor>> {
+        let threads = self.config.threads.max(1).min(jobs.len().max(1));
+        if threads > 1 && jobs.len() > 1 {
+            let chunk = jobs.len().div_ceil(threads);
+            let shards: Vec<&[(usize, usize)]> = jobs.chunks(chunk).collect();
+            let mut out: Vec<Vec<Neighbor>> = Vec::with_capacity(jobs.len());
+            for mut shard_result in
+                parallel::par_map(shards.len(), shards.len(), |s| self.scan_shard(shards[s]))
+            {
+                out.append(&mut shard_result);
+            }
+            out
+        } else {
+            self.scan_shard(jobs)
+        }
+    }
+
+    fn scan_shard(&self, jobs: &[(usize, usize)]) -> Vec<Vec<Neighbor>> {
+        let emb = &self.artifact.embedding;
+        let n = self.artifact.meta.n;
+        let block = self.config.block_rows.max(1);
+        let mut heaps: Vec<TopKHeap> = jobs.iter().map(|&(_, k)| TopKHeap::new(k)).collect();
+        for block_start in (0..n).step_by(block) {
+            let block_end = (block_start + block).min(n);
+            for (job, heap) in jobs.iter().zip(heaps.iter_mut()) {
+                let (q, _) = *job;
+                let qrow = emb.row(q);
+                let qnorm = self.norms[q];
+                for row in block_start..block_end {
+                    if row == q {
+                        continue;
+                    }
+                    let denom = qnorm * self.norms[row];
+                    let score = if denom > 1e-300 {
+                        vecops::dot(qrow, emb.row(row)) / denom
+                    } else {
+                        0.0
+                    };
+                    heap.push(Neighbor { node: row, score });
+                }
+            }
+        }
+        heaps.into_iter().map(TopKHeap::into_sorted).collect()
+    }
+}
+
+/// Bounded worst-out collection of the best `k` neighbours. Ordering:
+/// higher score wins; equal scores prefer the smaller node id (total,
+/// deterministic order — embedding scores are finite by construction).
+#[derive(Debug)]
+struct TopKHeap {
+    k: usize,
+    /// Kept worst-first (simple insertion into a sorted Vec; `k` is
+    /// request-sized — tens, not thousands — so O(k) insert is fine
+    /// and beats heap constant factors at this size).
+    items: Vec<Neighbor>,
+}
+
+impl TopKHeap {
+    fn new(k: usize) -> Self {
+        TopKHeap {
+            k,
+            items: Vec::with_capacity(k + 1),
+        }
+    }
+
+    fn better(a: &Neighbor, b: &Neighbor) -> bool {
+        a.score > b.score || (a.score == b.score && a.node < b.node)
+    }
+
+    fn push(&mut self, cand: Neighbor) {
+        if self.items.len() == self.k {
+            // items[0] is the current worst.
+            if !Self::better(&cand, &self.items[0]) {
+                return;
+            }
+            self.items.remove(0);
+        }
+        let pos = self
+            .items
+            .iter()
+            .position(|existing| Self::better(existing, &cand))
+            .unwrap_or(self.items.len());
+        self.items.insert(pos, cand);
+    }
+
+    fn into_sorted(self) -> Vec<Neighbor> {
+        // Stored worst-first; answer is best-first.
+        let mut v = self.items;
+        v.reverse();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::TrainConfig;
+    use mvag_graph::toy::toy_mvag;
+
+    fn engine() -> QueryEngine {
+        let mvag = toy_mvag(80, 2, 7);
+        let mut config = TrainConfig::default();
+        config.embed.dim = 8;
+        let artifact = Artifact::train(&mvag, &config).unwrap();
+        QueryEngine::new(artifact, EngineConfig::default()).unwrap()
+    }
+
+    /// Reference top-k: full sort of all cosine scores.
+    fn brute_force(e: &QueryEngine, q: usize, k: usize) -> Vec<Neighbor> {
+        let emb = &e.artifact().embedding;
+        let mut all: Vec<Neighbor> = (0..e.artifact().meta.n)
+            .filter(|&i| i != q)
+            .map(|i| Neighbor {
+                node: i,
+                score: vecops::cosine(emb.row(q), emb.row(i)),
+            })
+            .collect();
+        all.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap()
+                .then(a.node.cmp(&b.node))
+        });
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn topk_matches_brute_force() {
+        let e = engine();
+        for q in [0usize, 7, 41, 79] {
+            let got = e.top_k_similar(q, 10).unwrap();
+            let want = brute_force(&e, q, 10);
+            assert_eq!(got.len(), 10);
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.node, w.node, "query {q}");
+                assert!((g.score - w.score).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_single_and_caches() {
+        let e = engine();
+        let queries: Vec<(usize, usize)> = (0..40).map(|i| (i * 2, 5)).collect();
+        let batch = e.top_k_batch(&queries);
+        for (q, res) in queries.iter().zip(&batch) {
+            let single = e.top_k_similar(q.0, q.1).unwrap();
+            assert_eq!(res.as_ref().unwrap(), &single);
+        }
+        let (hits, _) = e.cache_stats();
+        assert!(hits >= 40, "singles after batch should hit the cache");
+    }
+
+    #[test]
+    fn batch_mixes_valid_and_invalid() {
+        let e = engine();
+        let res = e.top_k_batch(&[(0, 3), (10_000, 3), (1, 0), (2, 3)]);
+        assert!(res[0].is_ok());
+        assert!(matches!(res[1], Err(ServeError::InvalidQuery(_))));
+        assert!(matches!(res[2], Err(ServeError::InvalidQuery(_))));
+        assert!(res[3].is_ok());
+    }
+
+    #[test]
+    fn k_clamped_to_population() {
+        let e = engine();
+        let all = e.top_k_similar(3, 10_000).unwrap();
+        assert_eq!(all.len(), e.artifact().meta.n - 1);
+        // Scores are non-increasing.
+        for w in all.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn cluster_of_matches_labels() {
+        let e = engine();
+        for node in 0..e.artifact().meta.n {
+            let info = e.cluster_of(node).unwrap();
+            assert_eq!(info.cluster, e.artifact().labels[node]);
+            assert!(info.centroid_dist.is_finite());
+        }
+        assert!(e.cluster_of(99_999).is_err());
+    }
+
+    #[test]
+    fn embed_batch_returns_rows() {
+        let e = engine();
+        let rows = e.embed_batch(&[0, 5, 9]).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[1], e.artifact().embedding.row(5).to_vec());
+        assert!(e.embed_batch(&[0, 99_999]).is_err());
+    }
+
+    #[test]
+    fn topk_heap_orders_and_bounds() {
+        let mut h = TopKHeap::new(3);
+        for (node, score) in [(0, 0.1), (1, 0.9), (2, 0.5), (3, 0.9), (4, -0.2)] {
+            h.push(Neighbor { node, score });
+        }
+        let out = h.into_sorted();
+        let nodes: Vec<usize> = out.iter().map(|x| x.node).collect();
+        // 0.9 tie prefers smaller id.
+        assert_eq!(nodes, vec![1, 3, 2]);
+    }
+}

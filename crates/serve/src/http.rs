@@ -1,0 +1,637 @@
+//! Dependency-light HTTP/1.1 JSON front end over [`QueryEngine`].
+//!
+//! Built directly on `std::net`: an acceptor thread hands connections
+//! to a fixed worker pool over a channel; each worker speaks enough
+//! HTTP/1.1 (request line, headers, `Content-Length` bodies,
+//! keep-alive) to serve the query API. Graceful shutdown: a flag plus
+//! a self-connect to unblock `accept`, then the pool drains.
+//!
+//! Endpoints:
+//!
+//! | Method/path            | Answer                                     |
+//! |------------------------|--------------------------------------------|
+//! | `GET /healthz`         | liveness + artifact name                   |
+//! | `GET /stats`           | per-endpoint latency/QPS counters          |
+//! | `GET /artifact`        | artifact metadata + learned view weights   |
+//! | `GET /cluster/{node}`  | cluster assignment + centroid distance     |
+//! | `GET /topk/{node}?k=K` | K nearest nodes by embedding cosine        |
+//! | `POST /embed`          | `{"nodes":[...]}` → embedding rows         |
+//!
+//! Top-k requests go through the [`Batcher`], so concurrent clients
+//! are micro-batched into shared kernel passes.
+
+use crate::batch::Batcher;
+use crate::engine::QueryEngine;
+use crate::metrics::MetricsRegistry;
+use crate::{Result, ServeError};
+use mvag_data::json::{self, Value};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port.
+    pub addr: SocketAddr,
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Upper bound on queries absorbed into one top-k kernel pass.
+    pub max_batch: usize,
+    /// Per-connection read timeout.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7878".parse().expect("static addr"),
+            workers: 8,
+            max_batch: 64,
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+struct ServerShared {
+    engine: Arc<QueryEngine>,
+    batcher: Batcher,
+    metrics: MetricsRegistry,
+    stop: AtomicBool,
+}
+
+/// A running server; dropping it (or calling [`Server::shutdown`])
+/// stops the acceptor and drains the worker pool.
+pub struct Server {
+    local_addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("local_addr", &self.local_addr)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl Server {
+    /// Binds, spawns the worker pool, and starts accepting.
+    ///
+    /// # Errors
+    /// [`ServeError::Io`] if the bind fails.
+    pub fn start(engine: Arc<QueryEngine>, config: &ServerConfig) -> Result<Server> {
+        let listener = TcpListener::bind(config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(ServerShared {
+            batcher: Batcher::new(Arc::clone(&engine), config.max_batch),
+            engine,
+            metrics: MetricsRegistry::new(),
+            stop: AtomicBool::new(false),
+        });
+
+        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let mut workers = Vec::with_capacity(config.workers.max(1));
+        for i in 0..config.workers.max(1) {
+            let rx = Arc::clone(&conn_rx);
+            let shared_ref = Arc::clone(&shared);
+            let read_timeout = config.read_timeout;
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("sgla-serve-{i}"))
+                    .spawn(move || worker_loop(&rx, &shared_ref, read_timeout))
+                    .map_err(|e| ServeError::Server(format!("spawn worker: {e}")))?,
+            );
+        }
+
+        // Nonblocking accept loop: the acceptor polls the stop flag
+        // instead of parking in accept(), so shutdown never depends on
+        // being able to open a wake-up connection to itself.
+        listener.set_nonblocking(true)?;
+        let acceptor_shared = Arc::clone(&shared);
+        let acceptor = std::thread::Builder::new()
+            .name("sgla-serve-accept".into())
+            .spawn(move || {
+                while !acceptor_shared.stop.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((s, _peer)) => {
+                            // Connection sockets must block; they do
+                            // not inherit nonblocking on all platforms,
+                            // so set it explicitly.
+                            if s.set_nonblocking(false).is_err() {
+                                continue;
+                            }
+                            // Dropping the send side stops workers; a
+                            // send failure means we're shutting down.
+                            if conn_tx.send(s).is_err() {
+                                break;
+                            }
+                        }
+                        Err(e)
+                            if e.kind() == std::io::ErrorKind::WouldBlock
+                                || e.kind() == std::io::ErrorKind::TimedOut =>
+                        {
+                            std::thread::sleep(ACCEPT_POLL);
+                        }
+                        Err(_) => continue,
+                    }
+                }
+                // conn_tx drops here; workers drain and exit.
+            })
+            .map_err(|e| ServeError::Server(format!("spawn acceptor: {e}")))?;
+
+        Ok(Server {
+            local_addr,
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The actually-bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Metrics for this server.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.shared.metrics
+    }
+
+    /// Graceful shutdown: stop accepting, drain workers, stop the
+    /// batcher. In-flight requests finish; keep-alive connections are
+    /// closed after their current request.
+    pub fn shutdown(mut self) {
+        self.stop_internal();
+    }
+
+    fn stop_internal(&mut self) {
+        if self.shared.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // The acceptor polls the stop flag (nonblocking accept), and
+        // idle workers poll it between requests, so joins are bounded.
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_internal();
+    }
+}
+
+fn worker_loop(
+    rx: &Mutex<mpsc::Receiver<TcpStream>>,
+    shared: &ServerShared,
+    read_timeout: Duration,
+) {
+    loop {
+        let stream = {
+            let guard = rx.lock().expect("conn queue lock");
+            guard.recv()
+        };
+        match stream {
+            Ok(s) => handle_connection(s, shared, read_timeout),
+            Err(_) => return, // acceptor gone: shutdown
+        }
+    }
+}
+
+/// One parsed request.
+struct Request {
+    method: String,
+    path: String,
+    query: String,
+    body: Vec<u8>,
+    keep_alive: bool,
+}
+
+/// Poll interval for idle keep-alive connections: workers waiting for
+/// the next request wake this often to observe the shutdown flag, so
+/// `Server::shutdown` never blocks on idle clients.
+const IDLE_POLL: Duration = Duration::from_millis(100);
+
+/// Poll interval of the nonblocking accept loop (bounds both accept
+/// latency under no load and shutdown latency).
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+fn handle_connection(stream: TcpStream, shared: &ServerShared, read_timeout: Duration) {
+    let _ = stream.set_nodelay(true);
+    let peer = stream.peer_addr().ok();
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    loop {
+        // Idle phase: wait for the first byte of the next request
+        // under a short timeout, re-checking the stop flag each wake.
+        // A connection idle past `read_timeout` is closed so silent
+        // clients cannot pin workers from the fixed pool forever.
+        let _ = reader.get_ref().set_read_timeout(Some(IDLE_POLL));
+        let idle_since = Instant::now();
+        loop {
+            if shared.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            match reader.fill_buf() {
+                Ok([]) => return, // clean EOF between requests
+                Ok(_) => break,   // request bytes waiting
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    if idle_since.elapsed() >= read_timeout {
+                        return; // idle deadline: free the worker
+                    }
+                    continue;
+                }
+                Err(_) => return,
+            }
+        }
+        // Request phase: the full read timeout applies.
+        let _ = reader.get_ref().set_read_timeout(Some(read_timeout));
+        let request = match read_request(&mut reader) {
+            Ok(Some(r)) => r,
+            Ok(None) => return, // clean EOF between requests
+            Err(e) => {
+                // Malformed request: answer 400 if the peer is still
+                // there, then drop the connection.
+                let body = error_body(&e.to_string());
+                let _ = write_response(&mut writer, 400, "Bad Request", &body, false);
+                return;
+            }
+        };
+        let _ = peer; // kept for future access logging
+        let keep_alive = request.keep_alive && !shared.stop.load(Ordering::SeqCst);
+        let started = Instant::now();
+        let (endpoint, status, body) = route(&request, shared);
+        if let Some(m) = shared.metrics.endpoint(endpoint) {
+            m.record(started.elapsed(), status < 400);
+        }
+        let reason = match status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            503 => "Service Unavailable",
+            _ => "Internal Server Error",
+        };
+        if write_response(&mut writer, status, reason, &body, keep_alive).is_err() || !keep_alive {
+            return;
+        }
+    }
+}
+
+/// 8 KiB cap on the request line plus all headers combined: hostile
+/// clients must not grow server memory by streaming an endless header
+/// section (the body has its own `MAX_BODY` cap).
+const MAX_HEADER_BYTES: usize = 8 << 10;
+
+/// Reads one CRLF/LF-terminated line, charging it against `budget`.
+/// `Ok(None)` means clean EOF before any byte; a line that exhausts
+/// the budget or hits EOF mid-line is an error.
+fn read_line_limited(
+    reader: &mut BufReader<TcpStream>,
+    budget: &mut usize,
+) -> std::io::Result<Option<String>> {
+    let mut raw = Vec::new();
+    let n = reader
+        .by_ref()
+        .take(*budget as u64 + 1)
+        .read_until(b'\n', &mut raw)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if raw.last() != Some(&b'\n') {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "header section too large or truncated",
+        ));
+    }
+    *budget -= n.min(*budget);
+    String::from_utf8(raw)
+        .map(Some)
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "header not UTF-8"))
+}
+
+fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option<Request>> {
+    let mut budget = MAX_HEADER_BYTES;
+    let Some(line) = read_line_limited(reader, &mut budget)? else {
+        return Ok(None);
+    };
+    let line = line.trim_end();
+    let mut parts = line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m.to_string(), t.to_string(), v.to_string()),
+        _ => {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "malformed request line",
+            ))
+        }
+    };
+    let mut content_length = 0usize;
+    // HTTP/1.1 defaults to keep-alive; HTTP/1.0 to close.
+    let mut keep_alive = version.eq_ignore_ascii_case("HTTP/1.1");
+    loop {
+        let Some(header) = read_line_limited(reader, &mut budget)? else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "eof inside headers",
+            ));
+        };
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.parse().map_err(|_| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, "bad content-length")
+                })?;
+                if content_length > MAX_BODY {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        "body too large",
+                    ));
+                }
+            } else if name.eq_ignore_ascii_case("transfer-encoding") {
+                // Chunked bodies are not implemented; accepting the
+                // request while ignoring the header would desync the
+                // keep-alive stream (the body would be parsed as the
+                // next request), so reject explicitly.
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "transfer-encoding not supported (send a content-length body)",
+                ));
+            } else if name.eq_ignore_ascii_case("connection") {
+                if value.eq_ignore_ascii_case("close") {
+                    keep_alive = false;
+                } else if value.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive = true;
+                }
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target, String::new()),
+    };
+    Ok(Some(Request {
+        method,
+        path,
+        query,
+        body,
+        keep_alive,
+    }))
+}
+
+/// 4 MiB request-body cap: the only body-bearing endpoint is `/embed`,
+/// whose batches are node-id lists.
+const MAX_BODY: usize = 4 << 20;
+
+/// Cap on ids per `/embed` request, bounding the response to
+/// `MAX_EMBED_NODES × dim` floats regardless of how many ids fit in
+/// `MAX_BODY`.
+const MAX_EMBED_NODES: usize = 4096;
+
+fn write_response(
+    writer: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n",
+        body.len()
+    );
+    writer.write_all(head.as_bytes())?;
+    writer.write_all(body.as_bytes())?;
+    writer.flush()
+}
+
+fn error_body(message: &str) -> String {
+    Value::object(vec![("error", Value::from(message))]).to_string_compact()
+}
+
+/// Dispatches one request. Returns `(endpoint label, status, body)`.
+fn route(request: &Request, shared: &ServerShared) -> (&'static str, u16, String) {
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => ("healthz", 200, healthz_body(shared)),
+        ("GET", ["stats"]) => ("stats", 200, stats_body(shared)),
+        ("GET", ["artifact"]) => ("artifact", 200, artifact_body(shared)),
+        ("GET", ["cluster", node]) => match parse_node(node) {
+            Ok(node) => match shared.engine.cluster_of(node) {
+                Ok(info) => (
+                    "cluster",
+                    200,
+                    Value::object(vec![
+                        ("node", Value::from(info.node)),
+                        ("cluster", Value::from(info.cluster)),
+                        ("centroid_dist", Value::from(info.centroid_dist)),
+                    ])
+                    .to_string_compact(),
+                ),
+                Err(e) => ("cluster", 400, error_body(&e.to_string())),
+            },
+            Err(msg) => ("cluster", 400, error_body(&msg)),
+        },
+        ("GET", ["topk", node]) => match (parse_node(node), parse_k(&request.query)) {
+            (Ok(node), Ok(k)) => match shared.batcher.top_k(node, k) {
+                Ok(neighbors) => {
+                    let items: Vec<Value> = neighbors
+                        .iter()
+                        .map(|nb| {
+                            Value::object(vec![
+                                ("node", Value::from(nb.node)),
+                                ("score", Value::from(nb.score)),
+                            ])
+                        })
+                        .collect();
+                    (
+                        "topk",
+                        200,
+                        Value::object(vec![
+                            ("node", Value::from(node)),
+                            ("k", Value::from(k)),
+                            ("neighbors", Value::Array(items)),
+                        ])
+                        .to_string_compact(),
+                    )
+                }
+                Err(e) => ("topk", error_status(&e), error_body(&e.to_string())),
+            },
+            (Err(msg), _) | (_, Err(msg)) => ("topk", 400, error_body(&msg)),
+        },
+        ("POST", ["embed"]) => embed_route(request, shared),
+        (_, ["healthz" | "stats" | "artifact" | "embed"]) | (_, ["cluster" | "topk", _]) => {
+            ("other", 405, error_body("method not allowed"))
+        }
+        _ => ("other", 404, error_body("no such endpoint")),
+    }
+}
+
+fn embed_route(request: &Request, shared: &ServerShared) -> (&'static str, u16, String) {
+    let parsed = std::str::from_utf8(&request.body)
+        .ok()
+        .and_then(|text| json::parse(text).ok());
+    let Some(doc) = parsed else {
+        return ("embed", 400, error_body("body must be JSON"));
+    };
+    let Some(node_vals) = doc.get("nodes").and_then(Value::as_array) else {
+        return ("embed", 400, error_body("body needs a \"nodes\" array"));
+    };
+    // Response size is nodes × dim floats; without this cap a 4 MiB
+    // body of repeated ids could demand a response of hundreds of MB.
+    if node_vals.len() > MAX_EMBED_NODES {
+        return (
+            "embed",
+            400,
+            error_body(&format!(
+                "at most {MAX_EMBED_NODES} nodes per embed request (got {})",
+                node_vals.len()
+            )),
+        );
+    }
+    let mut nodes = Vec::with_capacity(node_vals.len());
+    for v in node_vals {
+        match v.as_usize() {
+            Some(n) => nodes.push(n),
+            None => {
+                return (
+                    "embed",
+                    400,
+                    error_body("nodes must be non-negative integers"),
+                )
+            }
+        }
+    }
+    match shared.engine.embed_batch(&nodes) {
+        Ok(rows) => {
+            let rows: Vec<Value> = rows.into_iter().map(Value::from).collect();
+            (
+                "embed",
+                200,
+                Value::object(vec![
+                    ("nodes", Value::from(nodes)),
+                    ("dim", Value::from(shared.engine.artifact().meta.dim)),
+                    ("embeddings", Value::Array(rows)),
+                ])
+                .to_string_compact(),
+            )
+        }
+        Err(e) => ("embed", 400, error_body(&e.to_string())),
+    }
+}
+
+/// Maps engine/batcher errors to a status: the client's query being
+/// bad is 400; server-side faults (batcher shut down, dropped reply)
+/// are 503 so retry logic treats them as transient.
+fn error_status(e: &ServeError) -> u16 {
+    match e {
+        ServeError::InvalidQuery(_) | ServeError::InvalidArgument(_) => 400,
+        _ => 503,
+    }
+}
+
+fn parse_node(raw: &str) -> std::result::Result<usize, String> {
+    raw.parse::<usize>()
+        .map_err(|_| format!("bad node id '{raw}'"))
+}
+
+fn parse_k(query: &str) -> std::result::Result<usize, String> {
+    for pair in query.split('&') {
+        if let Some((key, value)) = pair.split_once('=') {
+            if key == "k" {
+                return value
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad k '{value}'"));
+            }
+        }
+    }
+    Ok(10) // default k
+}
+
+fn healthz_body(shared: &ServerShared) -> String {
+    Value::object(vec![
+        ("status", Value::from("ok")),
+        (
+            "artifact",
+            Value::from(shared.engine.artifact().meta.dataset.as_str()),
+        ),
+        ("n", Value::from(shared.engine.artifact().meta.n)),
+    ])
+    .to_string_compact()
+}
+
+fn artifact_body(shared: &ServerShared) -> String {
+    let meta = &shared.engine.artifact().meta;
+    Value::object(vec![
+        ("dataset", Value::from(meta.dataset.as_str())),
+        ("n", Value::from(meta.n)),
+        ("k", Value::from(meta.k)),
+        ("dim", Value::from(meta.dim)),
+        ("seed", Value::from(meta.seed)),
+        (
+            "weights",
+            Value::from(shared.engine.artifact().weights.clone()),
+        ),
+        (
+            "format_version",
+            Value::from(crate::artifact::FORMAT_VERSION as usize),
+        ),
+    ])
+    .to_string_compact()
+}
+
+fn stats_body(shared: &ServerShared) -> String {
+    let endpoints: Vec<Value> = shared
+        .metrics
+        .endpoints
+        .iter()
+        .map(|e| {
+            let snap = e.snapshot();
+            Value::object(vec![
+                ("endpoint", Value::from(snap.name)),
+                ("requests", Value::from(snap.requests)),
+                ("errors", Value::from(snap.errors)),
+                ("mean_us", Value::from(snap.mean_micros())),
+                ("p50_us", Value::from(snap.quantile_micros(0.50))),
+                ("p99_us", Value::from(snap.quantile_micros(0.99))),
+            ])
+        })
+        .collect();
+    let (cache_hits, cache_misses) = shared.engine.cache_stats();
+    Value::object(vec![
+        ("uptime_secs", Value::from(shared.metrics.uptime_secs())),
+        (
+            "total_requests",
+            Value::from(shared.metrics.total_requests()),
+        ),
+        ("qps", Value::from(shared.metrics.qps())),
+        ("cache_hits", Value::from(cache_hits)),
+        ("cache_misses", Value::from(cache_misses)),
+        ("endpoints", Value::Array(endpoints)),
+    ])
+    .to_string_compact()
+}

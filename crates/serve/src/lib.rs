@@ -1,0 +1,67 @@
+//! # sgla-serve — the query-serving subsystem
+//!
+//! Everything that happens *after* training: the paper's pipeline ends
+//! at an integrated Laplacian, cluster labels, and an embedding
+//! matrix; this crate turns that bundle into a durable artifact and a
+//! network service.
+//!
+//! Three layers:
+//!
+//! * [`artifact`] — versioned, checksummed binary persistence for a
+//!   trained bundle ([`Artifact`]): learned view weights `w*`, the
+//!   integrated Laplacian (CSR), cluster labels/centroids, and the
+//!   embedding matrix. [`Artifact::train`] runs the full pipeline;
+//!   `save`/`load` round-trip it bit-exactly, rejecting corrupt input
+//!   with typed errors.
+//! * [`engine`] — the in-memory [`QueryEngine`]: `cluster_of`,
+//!   `top_k_similar` (cache-friendly blocked dot-product kernel with
+//!   an LRU result cache), `embed_batch`; plus [`batch`], which
+//!   micro-batches concurrent top-k queries into shared kernel passes.
+//! * [`http`] — a dependency-light HTTP/1.1 JSON [`Server`] on
+//!   `std::net` with a worker thread pool, keep-alive, graceful
+//!   shutdown, and per-endpoint latency/QPS counters ([`metrics`]);
+//!   [`client`] is the matching minimal client used by tests and the
+//!   serve benchmark.
+//!
+//! ```no_run
+//! use sgla_serve::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let mvag = mvag_data::toy_mvag(200, 3, 42);
+//! let artifact = Artifact::train(&mvag, &TrainConfig::default()).unwrap();
+//! artifact.save(std::path::Path::new("toy.sgla")).unwrap();
+//!
+//! let engine = Arc::new(QueryEngine::new(artifact, EngineConfig::default()).unwrap());
+//! let server = Server::start(engine, &ServerConfig::default()).unwrap();
+//! println!("serving on {}", server.local_addr());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod batch;
+pub mod client;
+pub mod engine;
+pub mod error;
+pub mod http;
+pub mod lru;
+pub mod metrics;
+
+pub use artifact::{Artifact, ArtifactMeta, TrainConfig};
+pub use client::{HttpClient, HttpResponse};
+pub use engine::{ClusterInfo, EngineConfig, Neighbor, QueryEngine};
+pub use error::ServeError;
+pub use http::{Server, ServerConfig};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+/// Common imports for serving.
+pub mod prelude {
+    pub use crate::artifact::{Artifact, ArtifactMeta, TrainConfig};
+    pub use crate::client::HttpClient;
+    pub use crate::engine::{ClusterInfo, EngineConfig, Neighbor, QueryEngine};
+    pub use crate::http::{Server, ServerConfig};
+    pub use crate::ServeError;
+}

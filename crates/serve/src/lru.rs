@@ -1,0 +1,212 @@
+//! A fixed-capacity O(1) LRU cache for query results.
+//!
+//! Hand-rolled (no external deps): a slot arena doubly linked through
+//! indices plus a `HashMap` from key to slot. `get` promotes to
+//! most-recently-used; `insert` evicts the least-recently-used entry
+//! when full.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Slot<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// Fixed-capacity least-recently-used cache.
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    map: HashMap<K, usize>,
+    slots: Vec<Slot<K, V>>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries. A capacity
+    /// of 0 disables caching (every lookup misses, inserts are no-ops).
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            slots: Vec::with_capacity(capacity.min(1 << 20)),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// `(hits, misses)` counters since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = (self.slots[idx].prev, self.slots[idx].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn attach_front(&mut self, idx: usize) {
+        self.slots[idx].prev = NIL;
+        self.slots[idx].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Looks up `key`, promoting it to most-recently-used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        match self.map.get(key).copied() {
+            Some(idx) => {
+                self.hits += 1;
+                self.detach(idx);
+                self.attach_front(idx);
+                Some(&self.slots[idx].value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts or replaces `key`, evicting the least-recently-used
+    /// entry if at capacity.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&idx) = self.map.get(&key) {
+            self.slots[idx].value = value;
+            self.detach(idx);
+            self.attach_front(idx);
+            return;
+        }
+        let idx = if self.slots.len() < self.capacity {
+            self.slots.push(Slot {
+                key: key.clone(),
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.slots.len() - 1
+        } else {
+            // Reuse the LRU slot.
+            let idx = self.tail;
+            debug_assert_ne!(idx, NIL, "capacity > 0 but no tail");
+            self.detach(idx);
+            self.map.remove(&self.slots[idx].key);
+            self.slots[idx].key = key.clone();
+            self.slots[idx].value = value;
+            idx
+        };
+        self.map.insert(key, idx);
+        self.attach_front(idx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_and_promotion() {
+        let mut c: LruCache<u32, String> = LruCache::new(2);
+        assert!(c.get(&1).is_none());
+        c.insert(1, "one".into());
+        c.insert(2, "two".into());
+        assert_eq!(c.get(&1).unwrap(), "one"); // 1 now MRU
+        c.insert(3, "three".into()); // evicts 2
+        assert!(c.get(&2).is_none());
+        assert_eq!(c.get(&1).unwrap(), "one");
+        assert_eq!(c.get(&3).unwrap(), "three");
+        let (hits, misses) = c.stats();
+        assert_eq!(hits, 3);
+        assert_eq!(misses, 2);
+    }
+
+    #[test]
+    fn replace_updates_value() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(1, 11);
+        assert_eq!(c.len(), 1);
+        assert_eq!(*c.get(&1).unwrap(), 11);
+    }
+
+    #[test]
+    fn zero_capacity_is_disabled() {
+        let mut c: LruCache<u32, u32> = LruCache::new(0);
+        c.insert(1, 10);
+        assert!(c.get(&1).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn exhaustive_small_trace_matches_reference() {
+        // Cross-check against a naive Vec-based LRU on a pseudo-random
+        // trace of gets/inserts.
+        let cap = 4;
+        let mut fast: LruCache<u8, u64> = LruCache::new(cap);
+        let mut slow: Vec<(u8, u64)> = Vec::new(); // front = MRU
+        let mut x: u64 = 0x12345;
+        for step in 0..2000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let key = (x % 9) as u8;
+            if x & 1 == 0 {
+                let got = fast.get(&key).copied();
+                let pos = slow.iter().position(|&(k, _)| k == key);
+                let want = pos.map(|p| {
+                    let e = slow.remove(p);
+                    let v = e.1;
+                    slow.insert(0, e);
+                    v
+                });
+                assert_eq!(got, want, "step {step} get {key}");
+            } else {
+                fast.insert(key, step);
+                if let Some(p) = slow.iter().position(|&(k, _)| k == key) {
+                    slow.remove(p);
+                } else if slow.len() == cap {
+                    slow.pop();
+                }
+                slow.insert(0, (key, step));
+            }
+        }
+        assert_eq!(fast.len(), slow.len());
+    }
+}

@@ -1,0 +1,231 @@
+//! Per-endpoint latency/QPS counters for the HTTP front end.
+//!
+//! Lock-free on the hot path: each recorded request does one atomic
+//! add on a request counter and one on a log₂-bucketed latency
+//! histogram slot. Quantiles (p50/p99) are read from the histogram by
+//! linear interpolation inside the winning bucket, which is accurate
+//! to well under a factor of 2 — plenty for dashboards and the serve
+//! benchmark's regression tracking.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Number of log₂ latency buckets: bucket `i` holds durations in
+/// `[2^i, 2^{i+1})` microseconds; the last bucket is open-ended
+/// (≥ ~34 s — nothing a healthy endpoint produces).
+const BUCKETS: usize = 36;
+
+/// Counters for one endpoint.
+#[derive(Debug)]
+pub struct EndpointMetrics {
+    /// Endpoint label (e.g. `"topk"`).
+    pub name: &'static str,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    total_micros: AtomicU64,
+    histogram: [AtomicU64; BUCKETS],
+}
+
+impl EndpointMetrics {
+    fn new(name: &'static str) -> Self {
+        EndpointMetrics {
+            name,
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            total_micros: AtomicU64::new(0),
+            histogram: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn bucket_of(micros: u64) -> usize {
+        ((64 - micros.max(1).leading_zeros()) as usize - 1).min(BUCKETS - 1)
+    }
+
+    /// Records one completed request.
+    pub fn record(&self, latency: Duration, ok: bool) {
+        let micros = latency.as_micros().min(u64::MAX as u128) as u64;
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.total_micros.fetch_add(micros, Ordering::Relaxed);
+        self.histogram[Self::bucket_of(micros)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough copy of the counters.
+    pub fn snapshot(&self) -> EndpointSnapshot {
+        let histogram: Vec<u64> = self
+            .histogram
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        EndpointSnapshot {
+            name: self.name,
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            total_micros: self.total_micros.load(Ordering::Relaxed),
+            histogram,
+        }
+    }
+}
+
+/// Point-in-time copy of one endpoint's counters.
+#[derive(Debug, Clone)]
+pub struct EndpointSnapshot {
+    /// Endpoint label.
+    pub name: &'static str,
+    /// Requests served (including errors).
+    pub requests: u64,
+    /// Requests that returned a non-2xx status.
+    pub errors: u64,
+    /// Sum of request latencies in microseconds.
+    pub total_micros: u64,
+    /// Log₂ latency histogram (microsecond buckets).
+    pub histogram: Vec<u64>,
+}
+
+impl EndpointSnapshot {
+    /// Mean latency in microseconds.
+    pub fn mean_micros(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.total_micros as f64 / self.requests as f64
+        }
+    }
+
+    /// Approximate latency quantile (`q` in `[0, 1]`) in microseconds,
+    /// by linear interpolation within the winning histogram bucket.
+    pub fn quantile_micros(&self, q: f64) -> f64 {
+        let total: u64 = self.histogram.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &count) in self.histogram.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            if seen + count >= rank {
+                let lo = (1u64 << i) as f64;
+                let frac = (rank - seen) as f64 / count as f64;
+                return lo + frac * lo; // bucket spans [2^i, 2^{i+1})
+            }
+            seen += count;
+        }
+        (1u64 << (BUCKETS - 1)) as f64
+    }
+}
+
+/// All endpoints served by the front end, plus server-wide counters.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    /// Per-endpoint counters.
+    pub endpoints: Vec<EndpointMetrics>,
+    started: Instant,
+}
+
+/// Endpoint labels, in registry order. `other` collects requests that
+/// matched no route (404s, wrong methods).
+pub const ENDPOINTS: [&str; 7] = [
+    "healthz", "stats", "artifact", "cluster", "topk", "embed", "other",
+];
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// Fresh registry with one slot per endpoint in [`ENDPOINTS`].
+    pub fn new() -> Self {
+        MetricsRegistry {
+            endpoints: ENDPOINTS.iter().map(|n| EndpointMetrics::new(n)).collect(),
+            started: Instant::now(),
+        }
+    }
+
+    /// The counters for an endpoint label, if known.
+    pub fn endpoint(&self, name: &str) -> Option<&EndpointMetrics> {
+        self.endpoints.iter().find(|e| e.name == name)
+    }
+
+    /// Seconds since the registry (≈ server) started.
+    pub fn uptime_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Total requests across endpoints.
+    pub fn total_requests(&self) -> u64 {
+        self.endpoints
+            .iter()
+            .map(|e| e.requests.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Overall queries per second since start.
+    pub fn qps(&self) -> f64 {
+        let secs = self.uptime_secs();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.total_requests() as f64 / secs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketing_is_log2() {
+        assert_eq!(EndpointMetrics::bucket_of(0), 0);
+        assert_eq!(EndpointMetrics::bucket_of(1), 0);
+        assert_eq!(EndpointMetrics::bucket_of(2), 1);
+        assert_eq!(EndpointMetrics::bucket_of(3), 1);
+        assert_eq!(EndpointMetrics::bucket_of(4), 2);
+        assert_eq!(EndpointMetrics::bucket_of(1024), 10);
+        assert_eq!(EndpointMetrics::bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_bracket_recorded_latency() {
+        let m = EndpointMetrics::new("x");
+        for _ in 0..100 {
+            m.record(Duration::from_micros(100), true);
+        }
+        m.record(Duration::from_micros(90_000), false);
+        let snap = m.snapshot();
+        assert_eq!(snap.requests, 101);
+        assert_eq!(snap.errors, 1);
+        let p50 = snap.quantile_micros(0.5);
+        assert!((64.0..256.0).contains(&p50), "p50 = {p50}");
+        let p999 = snap.quantile_micros(0.999);
+        assert!(p999 >= 65_536.0, "p99.9 = {p999}");
+        assert!(snap.mean_micros() > 100.0);
+    }
+
+    #[test]
+    fn empty_snapshot_is_zero() {
+        let m = EndpointMetrics::new("x");
+        let snap = m.snapshot();
+        assert_eq!(snap.quantile_micros(0.5), 0.0);
+        assert_eq!(snap.mean_micros(), 0.0);
+    }
+
+    #[test]
+    fn registry_lookup_and_totals() {
+        let r = MetricsRegistry::new();
+        r.endpoint("topk")
+            .unwrap()
+            .record(Duration::from_micros(5), true);
+        r.endpoint("cluster")
+            .unwrap()
+            .record(Duration::from_micros(5), true);
+        assert!(r.endpoint("nope").is_none());
+        assert_eq!(r.total_requests(), 2);
+    }
+}

@@ -1,0 +1,268 @@
+//! End-to-end serving test: train on `toy_mvag`, save → load the
+//! artifact (bit-exact), serve it over a loopback socket, and check
+//! every HTTP answer against direct library calls.
+
+use mvag_data::json::Value;
+use sgla_serve::{
+    Artifact, EngineConfig, HttpClient, QueryEngine, Server, ServerConfig, TrainConfig,
+};
+use std::sync::Arc;
+
+fn trained_artifact() -> Artifact {
+    // Training dominates test wall-clock in debug builds; all four
+    // tests serve clones of one shared artifact.
+    static SHARED: std::sync::OnceLock<Artifact> = std::sync::OnceLock::new();
+    SHARED
+        .get_or_init(|| {
+            let mvag = mvag_data::toy_mvag(90, 3, 19);
+            let mut config = TrainConfig::default();
+            config.embed.dim = 8;
+            Artifact::train(&mvag, &config).unwrap()
+        })
+        .clone()
+}
+
+fn start_server(artifact: Artifact) -> (Server, Arc<QueryEngine>) {
+    let engine = Arc::new(QueryEngine::new(artifact, EngineConfig::default()).unwrap());
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".parse().unwrap(),
+        workers: 4,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(Arc::clone(&engine), &config).unwrap();
+    (server, engine)
+}
+
+#[test]
+fn save_load_serve_and_query() {
+    let artifact = trained_artifact();
+
+    // Bit-exact persistence round-trip through a real file.
+    let dir = std::env::temp_dir().join("sgla-e2e-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("e2e.sgla");
+    artifact.save(&path).unwrap();
+    let loaded = Artifact::load(&path).unwrap();
+    assert_eq!(artifact, loaded);
+    std::fs::remove_file(&path).ok();
+
+    let (server, engine) = start_server(loaded);
+    let mut client = HttpClient::connect(server.local_addr()).unwrap();
+
+    // Health.
+    let health = client.get("/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    assert_eq!(health.body.get("status").unwrap().as_str(), Some("ok"));
+
+    // Artifact metadata matches.
+    let meta = client.get("/artifact").unwrap();
+    assert_eq!(meta.status, 200);
+    assert_eq!(meta.body.get("n").unwrap().as_usize(), Some(90));
+    assert_eq!(meta.body.get("k").unwrap().as_usize(), Some(3));
+    let weights = meta.body.get("weights").unwrap().as_array().unwrap();
+    for (wire, direct) in weights.iter().zip(&engine.artifact().weights) {
+        assert_eq!(wire.as_f64().unwrap().to_bits(), direct.to_bits());
+    }
+
+    // Cluster answers match direct calls for every node.
+    for node in 0..90 {
+        let res = client.get(&format!("/cluster/{node}")).unwrap();
+        assert_eq!(res.status, 200);
+        let direct = engine.cluster_of(node).unwrap();
+        assert_eq!(
+            res.body.get("cluster").unwrap().as_usize(),
+            Some(direct.cluster)
+        );
+        let dist = res.body.get("centroid_dist").unwrap().as_f64().unwrap();
+        assert_eq!(dist.to_bits(), direct.centroid_dist.to_bits());
+    }
+
+    // Top-k answers match direct calls (node ids and bit-exact scores —
+    // the JSON writer is shortest-roundtrip).
+    for node in [0usize, 17, 44, 89] {
+        let res = client.get(&format!("/topk/{node}?k=7")).unwrap();
+        assert_eq!(res.status, 200);
+        let direct = engine.top_k_similar(node, 7).unwrap();
+        let neighbors = res.body.get("neighbors").unwrap().as_array().unwrap();
+        assert_eq!(neighbors.len(), direct.len());
+        for (wire, want) in neighbors.iter().zip(&direct) {
+            assert_eq!(wire.get("node").unwrap().as_usize(), Some(want.node));
+            let score = wire.get("score").unwrap().as_f64().unwrap();
+            assert_eq!(score.to_bits(), want.score.to_bits());
+        }
+    }
+
+    // Default k is 10 when the query string omits it.
+    let res = client.get("/topk/3").unwrap();
+    assert_eq!(
+        res.body.get("neighbors").unwrap().as_array().unwrap().len(),
+        10
+    );
+
+    // Embedding batches match the matrix rows.
+    let body = Value::object(vec![("nodes", Value::from(vec![0usize, 5, 89]))]);
+    let res = client.post("/embed", &body).unwrap();
+    assert_eq!(res.status, 200);
+    let rows = res.body.get("embeddings").unwrap().as_array().unwrap();
+    assert_eq!(rows.len(), 3);
+    for (row_val, &node) in rows.iter().zip(&[0usize, 5, 89]) {
+        let direct = engine.artifact().embedding.row(node);
+        let wire = row_val.as_array().unwrap();
+        assert_eq!(wire.len(), direct.len());
+        for (w, d) in wire.iter().zip(direct) {
+            assert_eq!(w.as_f64().unwrap().to_bits(), d.to_bits());
+        }
+    }
+
+    // Stats reflect the traffic we just generated.
+    let stats = client.get("/stats").unwrap();
+    assert_eq!(stats.status, 200);
+    assert!(stats.body.get("total_requests").unwrap().as_f64().unwrap() >= 90.0);
+
+    server.shutdown();
+}
+
+#[test]
+fn error_paths_are_typed_http_errors() {
+    let (server, _engine) = start_server(trained_artifact());
+    let mut client = HttpClient::connect(server.local_addr()).unwrap();
+
+    // Out-of-range node.
+    let res = client.get("/cluster/100000").unwrap();
+    assert_eq!(res.status, 400);
+    assert!(res.body.get("error").is_some());
+
+    // Bad node id.
+    assert_eq!(client.get("/cluster/notanumber").unwrap().status, 400);
+    // Bad k.
+    assert_eq!(client.get("/topk/1?k=frog").unwrap().status, 400);
+    // k = 0.
+    assert_eq!(client.get("/topk/1?k=0").unwrap().status, 400);
+    // Unknown route.
+    assert_eq!(client.get("/nope").unwrap().status, 404);
+    // Wrong method on a known route.
+    let res = client.post("/cluster/1", &Value::Null).unwrap();
+    assert_eq!(res.status, 405);
+    // Malformed embed bodies.
+    let res = client
+        .post("/embed", &Value::from("not an object"))
+        .unwrap();
+    assert_eq!(res.status, 400);
+    let res = client
+        .post(
+            "/embed",
+            &Value::object(vec![("nodes", Value::from(vec![-1.5_f64]))]),
+        )
+        .unwrap();
+    assert_eq!(res.status, 400);
+
+    // The connection survives all those errors (keep-alive) and still
+    // serves good requests.
+    assert_eq!(client.get("/healthz").unwrap().status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_get_consistent_answers() {
+    let (server, engine) = start_server(trained_artifact());
+    let addr = server.local_addr();
+    let mut handles = Vec::new();
+    for t in 0..8usize {
+        let engine = Arc::clone(&engine);
+        handles.push(std::thread::spawn(move || {
+            let mut client = HttpClient::connect(addr).unwrap();
+            for i in 0..30usize {
+                let node = (t * 13 + i * 7) % 90;
+                let res = client.get(&format!("/topk/{node}?k=5")).unwrap();
+                assert_eq!(res.status, 200);
+                let direct = engine.top_k_similar(node, 5).unwrap();
+                let neighbors = res.body.get("neighbors").unwrap().as_array().unwrap();
+                let got: Vec<usize> = neighbors
+                    .iter()
+                    .map(|v| v.get("node").unwrap().as_usize().unwrap())
+                    .collect();
+                let want: Vec<usize> = direct.iter().map(|nb| nb.node).collect();
+                assert_eq!(got, want, "node {node}");
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    server.shutdown();
+}
+
+#[test]
+fn chunked_transfer_encoding_rejected_explicitly() {
+    use std::io::{Read, Write};
+    let (server, _engine) = start_server(trained_artifact());
+    let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+    // A chunked body the server does not implement must be rejected
+    // up front, not half-read into a desynced keep-alive stream.
+    stream
+        .write_all(
+            b"POST /embed HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n2\r\n{}\r\n0\r\n\r\n",
+        )
+        .unwrap();
+    let mut response = Vec::new();
+    let _ = stream.read_to_end(&mut response);
+    let head = String::from_utf8_lossy(&response);
+    assert!(head.starts_with("HTTP/1.1 400"), "got: {head:.80}");
+    assert!(head.contains("transfer-encoding"), "got: {head:.200}");
+    server.shutdown();
+}
+
+#[test]
+fn oversized_header_section_rejected() {
+    use std::io::{Read, Write};
+    let (server, _engine) = start_server(trained_artifact());
+    let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+    // Stream far more header bytes than the 8 KiB cap; the server
+    // must answer 400 instead of buffering without bound.
+    stream.write_all(b"GET /healthz HTTP/1.1\r\n").unwrap();
+    let filler = b"x-junk: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n";
+    let mut rejected = false;
+    let mut response = Vec::new();
+    for _ in 0..4096 {
+        if stream.write_all(filler).is_err() {
+            // Server already closed on us mid-stream: also a rejection.
+            rejected = true;
+            break;
+        }
+    }
+    if !rejected {
+        let _ = stream.write_all(b"\r\n");
+        let _ = stream.read_to_end(&mut response);
+        let head = String::from_utf8_lossy(&response);
+        assert!(head.starts_with("HTTP/1.1 400"), "got: {head:.60}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_closes_cleanly() {
+    let (server, _engine) = start_server(trained_artifact());
+    let addr = server.local_addr();
+    let mut client = HttpClient::connect(addr).unwrap();
+    assert_eq!(client.get("/healthz").unwrap().status, 200);
+    // An idle keep-alive client must not stall shutdown (workers poll
+    // the stop flag between requests).
+    let started = std::time::Instant::now();
+    server.shutdown();
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(5),
+        "shutdown stalled {:?} on an idle keep-alive connection",
+        started.elapsed()
+    );
+    // New connections are refused or die immediately after shutdown.
+    let alive = HttpClient::connect(addr)
+        .and_then(|mut c| c.get("/healthz"))
+        .is_ok();
+    assert!(!alive, "server still answering after shutdown");
+}

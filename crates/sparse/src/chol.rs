@@ -218,12 +218,7 @@ mod tests {
     fn ridge_shrinks_towards_zero() {
         // Overdetermined consistent system: exact solution at alpha → 0,
         // shrunk norms as alpha grows.
-        let g = DenseMatrix::from_rows(&[
-            vec![1.0, 0.0],
-            vec![0.0, 1.0],
-            vec![1.0, 1.0],
-        ])
-        .unwrap();
+        let g = DenseMatrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]]).unwrap();
         let y = [1.0, 2.0, 3.0];
         let x0 = ridge_solve(&g, &y, 1e-12).unwrap();
         assert!((x0[0] - 1.0).abs() < 1e-5);

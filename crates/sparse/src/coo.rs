@@ -7,10 +7,9 @@
 //! contribute to the same cell.
 
 use crate::{CsrMatrix, Result, SparseError};
-use serde::{Deserialize, Serialize};
 
 /// A sparse matrix under construction, stored as unsorted triplets.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CooMatrix {
     nrows: usize,
     ncols: usize,

@@ -7,7 +7,6 @@
 
 use crate::parallel::par_chunks_mut;
 use crate::{CooMatrix, DenseMatrix, Result, SparseError};
-use serde::{Deserialize, Serialize};
 
 /// A sparse matrix in CSR (compressed sparse row) format.
 ///
@@ -15,7 +14,7 @@ use serde::{Deserialize, Serialize};
 /// * `indptr.len() == nrows + 1`, `indptr[0] == 0`, non-decreasing;
 /// * `cols`/`vals` have length `indptr[nrows]`;
 /// * within each row, column indices are strictly increasing and `< ncols`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CsrMatrix {
     nrows: usize,
     ncols: usize,
@@ -460,7 +459,9 @@ mod tests {
     #[test]
     fn from_raw_parts_validates() {
         assert!(CsrMatrix::from_raw_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
-        assert!(CsrMatrix::from_raw_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]).is_err());
+        assert!(
+            CsrMatrix::from_raw_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]).is_err()
+        );
         assert!(
             CsrMatrix::from_raw_parts(1, 2, vec![0, 2], vec![1, 0], vec![1.0, 1.0]).is_err(),
             "unsorted columns must be rejected"
@@ -505,7 +506,9 @@ mod tests {
         let mut state = 1u64;
         for i in 0..257usize {
             for _ in 0..8 {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let j = (state >> 33) as usize % 257;
                 coo.push(i, j, ((state >> 11) as f64) / (1u64 << 53) as f64)
                     .unwrap();

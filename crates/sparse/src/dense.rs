@@ -6,11 +6,10 @@
 //! and NetMF factorizes via sketched `n × (d + oversample)` panels.
 
 use crate::{Result, SparseError};
-use serde::{Deserialize, Serialize};
 use std::ops::{Index, IndexMut};
 
 /// A dense row-major `f64` matrix.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DenseMatrix {
     nrows: usize,
     ncols: usize,

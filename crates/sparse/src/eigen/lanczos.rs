@@ -139,7 +139,14 @@ fn run(op: &dyn LinOp, k: usize, opts: &EigOptions, want_vectors: bool) -> Resul
 
     // Phase 1: lock k pairs via deflated Lanczos passes.
     lock_pairs(
-        &b_op, shift, k, opts, max_dim, &mut rng, &mut matvecs, &mut locked,
+        &b_op,
+        shift,
+        k,
+        opts,
+        max_dim,
+        &mut rng,
+        &mut matvecs,
+        &mut locked,
         &mut all_converged,
     )?;
 
@@ -442,7 +449,11 @@ fn orthogonalize(w: &mut [f64], deflate: &[&[f64]], basis: &[Vec<f64>], threads:
                 }
             });
         } else {
-            for v in deflate.iter().copied().chain(basis.iter().map(|b| b.as_slice())) {
+            for v in deflate
+                .iter()
+                .copied()
+                .chain(basis.iter().map(|b| b.as_slice()))
+            {
                 let p = vecops::dot(v, w);
                 if p != 0.0 {
                     vecops::axpy(-p, v, w);

@@ -47,7 +47,10 @@ impl fmt::Display for SparseError {
             SparseError::NoConvergence {
                 algorithm,
                 iterations,
-            } => write!(f, "{algorithm} did not converge after {iterations} iterations"),
+            } => write!(
+                f,
+                "{algorithm} did not converge after {iterations} iterations"
+            ),
             SparseError::NumericalBreakdown(what) => {
                 write!(f, "numerical breakdown in {what}")
             }

@@ -130,6 +130,6 @@ mod tests {
     #[test]
     fn default_threads_positive() {
         let t = default_threads();
-        assert!(t >= 1 && t <= 16);
+        assert!((1..=16).contains(&t));
     }
 }

@@ -119,12 +119,7 @@ mod tests {
 
     #[test]
     fn detects_rank_deficiency() {
-        let a = DenseMatrix::from_rows(&[
-            vec![1.0, 2.0],
-            vec![2.0, 4.0],
-            vec![3.0, 6.0],
-        ])
-        .unwrap();
+        let a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]).unwrap();
         let (q, r) = qr_thin(&a).unwrap();
         assert_eq!(rank_from_r(&r, 1e-10), 1);
         check_orthonormal(&q, &[0]);
@@ -138,12 +133,8 @@ mod tests {
 
     #[test]
     fn orthonormalize_in_place() {
-        let mut a = DenseMatrix::from_rows(&[
-            vec![2.0, 0.0],
-            vec![0.0, 3.0],
-            vec![0.0, 0.0],
-        ])
-        .unwrap();
+        let mut a =
+            DenseMatrix::from_rows(&[vec![2.0, 0.0], vec![0.0, 3.0], vec![0.0, 0.0]]).unwrap();
         let rank = orthonormalize(&mut a).unwrap();
         assert_eq!(rank, 2);
         check_orthonormal(&a, &[0, 1]);
@@ -153,12 +144,7 @@ mod tests {
     fn near_dependent_columns_stay_orthogonal() {
         // Classic MGS stress: nearly parallel columns.
         let eps = 1e-10;
-        let a = DenseMatrix::from_rows(&[
-            vec![1.0, 1.0],
-            vec![eps, 0.0],
-            vec![0.0, eps],
-        ])
-        .unwrap();
+        let a = DenseMatrix::from_rows(&[vec![1.0, 1.0], vec![eps, 0.0], vec![0.0, eps]]).unwrap();
         let (q, _r) = qr_thin(&a).unwrap();
         let d = vecops::dot(&q.col(0), &q.col(1));
         assert!(d.abs() < 1e-8, "reorthogonalization failed: {d}");

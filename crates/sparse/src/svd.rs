@@ -89,7 +89,7 @@ pub fn rsvd(a: &DenseMatrix, rank: usize, opts: &RsvdOptions) -> Result<Truncate
         u_small.set_col(j, &eig.vectors.col(col));
     }
     let u = q.matmul(&u_small)?; // n × rank
-    // Vᵀ = Σ⁻¹ Ũᵀ B.
+                                 // Vᵀ = Σ⁻¹ Ũᵀ B.
     let ut_b = u_small.transpose().matmul(&b)?; // rank × m
     let mut vt = ut_b;
     for j in 0..rank {
@@ -179,7 +179,10 @@ fn matmul_tn_par(a: &DenseMatrix, b: &DenseMatrix, threads: usize) -> Result<Den
                 acc
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no panic"))
+            .collect()
     });
     let mut out = DenseMatrix::zeros(ka, kb);
     for p in partials {

@@ -8,34 +8,30 @@ use proptest::prelude::*;
 /// Strategy: a random sparse square matrix as triplets.
 fn coo_strategy(max_n: usize, max_nnz: usize) -> impl Strategy<Value = CooMatrix> {
     (2usize..max_n).prop_flat_map(move |n| {
-        proptest::collection::vec(
-            (0..n, 0..n, -10.0f64..10.0),
-            0..max_nnz,
+        proptest::collection::vec((0..n, 0..n, -10.0f64..10.0), 0..max_nnz).prop_map(
+            move |triplets| {
+                let mut coo = CooMatrix::new(n, n);
+                for (r, c, v) in triplets {
+                    coo.push(r, c, v).unwrap();
+                }
+                coo
+            },
         )
-        .prop_map(move |triplets| {
-            let mut coo = CooMatrix::new(n, n);
-            for (r, c, v) in triplets {
-                coo.push(r, c, v).unwrap();
-            }
-            coo
-        })
     })
 }
 
 /// Strategy: a random symmetric sparse matrix.
 fn sym_coo_strategy(max_n: usize, max_nnz: usize) -> impl Strategy<Value = CooMatrix> {
     (2usize..max_n).prop_flat_map(move |n| {
-        proptest::collection::vec(
-            (0..n, 0..n, -10.0f64..10.0),
-            0..max_nnz,
+        proptest::collection::vec((0..n, 0..n, -10.0f64..10.0), 0..max_nnz).prop_map(
+            move |triplets| {
+                let mut coo = CooMatrix::new(n, n);
+                for (r, c, v) in triplets {
+                    coo.push_sym(r, c, v).unwrap();
+                }
+                coo
+            },
         )
-        .prop_map(move |triplets| {
-            let mut coo = CooMatrix::new(n, n);
-            for (r, c, v) in triplets {
-                coo.push_sym(r, c, v).unwrap();
-            }
-            coo
-        })
     })
 }
 
@@ -124,9 +120,8 @@ proptest! {
         let opts = EigOptions::default();
         let lv = smallest_eigenvalues(&csr, k, &opts).unwrap();
         let jv = jacobi_eig(&csr.to_dense()).unwrap();
-        for j in 0..k {
-            prop_assert!((lv[j] - jv.values[j]).abs() < 1e-7,
-                "λ{} = {} vs {}", j, lv[j], jv.values[j]);
+        for (j, (a, b)) in lv.iter().zip(jv.values.iter()).enumerate().take(k) {
+            prop_assert!((a - b).abs() < 1e-7, "λ{} = {} vs {}", j, a, b);
         }
     }
 

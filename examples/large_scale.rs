@@ -72,11 +72,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Scalable embedding backend (SketchNE substitute): bottom eigenpairs
     // only, no dense n × n matrix.
     let t4 = Instant::now();
-    let embedding = embed(&outcome.laplacian, &EmbedParams {
-        dim: 64,
-        backend: EmbedBackend::Spectral,
-        ..Default::default()
-    })?;
+    let embedding = embed(
+        &outcome.laplacian,
+        &EmbedParams {
+            dim: 64,
+            backend: EmbedBackend::Spectral,
+            ..Default::default()
+        },
+    )?;
     println!(
         "spectral embedding: {} x {} in {:.1}s",
         embedding.nrows(),

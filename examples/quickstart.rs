@@ -43,10 +43,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 5. The same Laplacian powers node embedding.
-    let embedding = embed(&outcome.laplacian, &EmbedParams {
-        dim: 32,
-        ..Default::default()
-    })?;
+    let embedding = embed(
+        &outcome.laplacian,
+        &EmbedParams {
+            dim: 32,
+            ..Default::default()
+        },
+    )?;
     println!(
         "embedding: {} nodes x {} dims",
         embedding.nrows(),

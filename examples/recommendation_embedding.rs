@@ -36,10 +36,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .collect::<Vec<_>>()
     );
 
-    let embedding = embed(&outcome.laplacian, &EmbedParams {
-        dim: 64,
-        ..Default::default()
-    })?;
+    let embedding = embed(
+        &outcome.laplacian,
+        &EmbedParams {
+            dim: 64,
+            ..Default::default()
+        },
+    )?;
 
     // "Customers also bought": top-5 cosine neighbours of a product.
     let query = 0usize;

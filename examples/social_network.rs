@@ -33,7 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nper-view weights (which platforms carry community signal):");
     println!("view  kind       SGLA    SGLA+");
     for i in 0..views.r() {
-        let kind = if views.is_graph_view(i) { "graph" } else { "attrs" };
+        let kind = if views.is_graph_view(i) {
+            "graph"
+        } else {
+            "attrs"
+        };
         println!(
             "{:>4}  {:<9}  {:.3}   {:.3}",
             i + 1,
@@ -57,6 +61,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let m_naive = ClusterMetrics::compute(&naive, truth)?;
     println!("\ncommunity recovery (Acc / NMI):");
     println!("  SGLA+ weighting : {:.3} / {:.3}", m_ours.acc, m_ours.nmi);
-    println!("  equal weighting : {:.3} / {:.3}", m_naive.acc, m_naive.nmi);
+    println!(
+        "  equal weighting : {:.3} / {:.3}",
+        m_naive.acc, m_naive.nmi
+    );
     Ok(())
 }

@@ -26,9 +26,11 @@ pub use mvag_graph as graph;
 pub use mvag_optim as optim;
 pub use mvag_sparse as sparse;
 pub use sgla_core as core;
+pub use sgla_serve as serve;
 
 /// Convenience re-exports covering the common pipeline:
-/// dataset → view Laplacians → SGLA/SGLA+ → clustering/embedding → metrics.
+/// dataset → view Laplacians → SGLA/SGLA+ → clustering/embedding →
+/// metrics → trained artifact → query serving.
 pub mod prelude {
     pub use mvag_eval::cluster_metrics::ClusterMetrics;
     pub use mvag_graph::mvag::Mvag;
@@ -38,4 +40,5 @@ pub mod prelude {
     pub use sgla_core::sgla::{Sgla, SglaOutcome, SglaParams};
     pub use sgla_core::sgla_plus::SglaPlus;
     pub use sgla_core::views::{KnnParams, ViewLaplacians};
+    pub use sgla_serve::{Artifact, EngineConfig, QueryEngine, Server, ServerConfig, TrainConfig};
 }

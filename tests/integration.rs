@@ -44,14 +44,8 @@ fn sgla_and_sgla_plus_agree_roughly() {
         .unwrap();
     // Compare through the true objective rather than raw weights (the
     // surface can be flat around the optimum).
-    let obj = SglaObjective::new(
-        &views,
-        2,
-        0.5,
-        ObjectiveMode::Full,
-        EigOptions::default(),
-    )
-    .unwrap();
+    let obj =
+        SglaObjective::new(&views, 2, 0.5, ObjectiveMode::Full, EigOptions::default()).unwrap();
     let ha = obj.evaluate(&a.weights).unwrap().h;
     let hb = obj.evaluate(&b.weights).unwrap().h;
     assert!(
@@ -105,7 +99,11 @@ fn embedding_backends_classifiable() {
         // The spectral backend (SketchNE substitute) trades quality for
         // scalability; NetMF should be clearly better than chance and the
         // spectral one still usable.
-        let floor = if backend == EmbedBackend::NetMf { 0.8 } else { 0.7 };
+        let floor = if backend == EmbedBackend::NetMf {
+            0.8
+        } else {
+            0.7
+        };
         assert!(mif1 > floor, "{backend:?}: micro-f1 = {mif1}");
         assert!(maf1 > floor - 0.1, "{backend:?}: macro-f1 = {maf1}");
     }
@@ -149,8 +147,13 @@ fn tolerates_degenerate_views() {
     // Replace one view with an edgeless graph (all isolated nodes).
     let mut views_list: Vec<View> = good.views().to_vec();
     views_list[1] = View::Graph(Graph::from_unweighted_edges(150, &[]).unwrap());
-    let mvag = Mvag::new("degenerate", views_list, good.labels().map(<[usize]>::to_vec), 2)
-        .unwrap();
+    let mvag = Mvag::new(
+        "degenerate",
+        views_list,
+        good.labels().map(<[usize]>::to_vec),
+        2,
+    )
+    .unwrap();
     let views = ViewLaplacians::build(&mvag, &KnnParams::default()).unwrap();
     let out = SglaPlus::new(SglaParams::default())
         .integrate(&views, 2)
@@ -166,8 +169,13 @@ fn tolerates_degenerate_views() {
 fn two_view_mvag_end_to_end() {
     let base = toy_mvag(160, 2, 43);
     let views_list: Vec<View> = base.views()[..2].to_vec();
-    let mvag = Mvag::new("two-view", views_list, base.labels().map(<[usize]>::to_vec), 2)
-        .unwrap();
+    let mvag = Mvag::new(
+        "two-view",
+        views_list,
+        base.labels().map(<[usize]>::to_vec),
+        2,
+    )
+    .unwrap();
     let views = ViewLaplacians::build(&mvag, &KnnParams::default()).unwrap();
     for run in [
         Sgla::new(SglaParams::default()).integrate(&views, 2),
@@ -233,8 +241,12 @@ fn misuse_produces_errors_not_panics() {
     let views = ViewLaplacians::build(&mvag, &KnnParams::default()).unwrap();
     assert!(views.aggregate(&[0.5]).is_err());
     assert!(views.aggregate(&[f64::NAN, 0.5, 0.5]).is_err());
-    assert!(SglaPlus::new(SglaParams::default()).integrate(&views, 0).is_err());
-    assert!(SglaPlus::new(SglaParams::default()).integrate(&views, 1).is_err());
+    assert!(SglaPlus::new(SglaParams::default())
+        .integrate(&views, 0)
+        .is_err());
+    assert!(SglaPlus::new(SglaParams::default())
+        .integrate(&views, 1)
+        .is_err());
     assert!(spectral_clustering(&views.laplacians()[0], 101, 3).is_err());
     let tiny = DenseMatrix::zeros(3, 0);
     assert!(sgla::core::kmeans::kmeans(&tiny, &sgla::core::kmeans::KMeansParams::new(2)).is_err());

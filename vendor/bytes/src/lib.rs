@@ -1,0 +1,289 @@
+//! Offline shim for the subset of the `bytes` crate API this workspace
+//! uses: big-endian cursor reads ([`Buf`]), big-endian appends
+//! ([`BufMut`]), a cheaply cloneable immutable buffer ([`Bytes`]) and a
+//! growable builder ([`BytesMut`]). Semantics (including the big-endian
+//! byte order of the `get_*`/`put_*` families) match the real crate so
+//! on-disk formats produced before/after any future switch back to the
+//! real dependency stay compatible.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Bound, RangeBounds};
+use std::sync::Arc;
+
+/// Immutable, cheaply cloneable, sliceable byte buffer with a read
+/// cursor (the [`Buf`] methods consume from the front).
+#[derive(Debug, Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Bytes::from(Vec::new())
+    }
+
+    /// Remaining length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether no bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A sub-slice sharing the same backing storage.
+    ///
+    /// # Panics
+    /// If the range is out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let lo = match range.start_bound() {
+            Bound::Included(&b) => b,
+            Bound::Excluded(&b) => b + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&b) => b + 1,
+            Bound::Excluded(&b) => b,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+
+    /// Copies the remaining bytes into a new `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: v.into(),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::from(v.to_vec())
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+/// Growable byte buffer builder; freeze into [`Bytes`] when done.
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut {
+    vec: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty builder.
+    pub fn new() -> Self {
+        BytesMut { vec: Vec::new() }
+    }
+
+    /// Empty builder with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            vec: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    /// Whether the builder is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vec.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.vec)
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+macro_rules! get_be {
+    ($name:ident, $t:ty, $n:expr) => {
+        /// Reads a big-endian value, advancing the cursor.
+        ///
+        /// # Panics
+        /// If fewer than the required bytes remain (match the real
+        /// `bytes` crate; callers bounds-check with `remaining`).
+        fn $name(&mut self) -> $t {
+            let mut raw = [0u8; $n];
+            raw.copy_from_slice(self.take($n));
+            <$t>::from_be_bytes(raw)
+        }
+    };
+}
+
+/// Cursor reads from the front of a buffer. Byte order is big-endian,
+/// as in the real `bytes` crate.
+pub trait Buf {
+    /// Number of unread bytes.
+    fn remaining(&self) -> usize;
+
+    /// Consumes and returns the next `n` bytes as a slice.
+    fn take(&mut self, n: usize) -> &[u8];
+
+    /// Advances the cursor without reading.
+    fn advance(&mut self, n: usize) {
+        self.take(n);
+    }
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    get_be!(get_u16, u16, 2);
+    get_be!(get_u32, u32, 4);
+    get_be!(get_u64, u64, 8);
+    get_be!(get_i64, i64, 8);
+    get_be!(get_f64, f64, 8);
+
+    /// Consumes `n` bytes into an owned [`Bytes`].
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes {
+        Bytes::from(self.take(n))
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        assert!(n <= self.len(), "buffer underflow");
+        let at = self.start;
+        self.start += n;
+        &self.data[at..at + n]
+    }
+}
+
+macro_rules! put_be {
+    ($name:ident, $t:ty) => {
+        /// Appends a big-endian value.
+        fn $name(&mut self, v: $t) {
+            self.put_slice(&v.to_be_bytes());
+        }
+    };
+}
+
+/// Appends to the back of a buffer. Byte order is big-endian, as in the
+/// real `bytes` crate.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    put_be!(put_u16, u16);
+    put_be!(put_u32, u32);
+    put_be!(put_u64, u64);
+    put_be!(put_i64, i64);
+    put_be!(put_f64, f64);
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.vec.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u8(7);
+        buf.put_u16(0xBEEF);
+        buf.put_u32(0xDEAD_BEEF);
+        buf.put_u64(0x0123_4567_89AB_CDEF);
+        buf.put_f64(-1234.5678e-9);
+        buf.put_slice(b"tail");
+        let mut b = buf.freeze();
+        assert_eq!(b.remaining(), 1 + 2 + 4 + 8 + 8 + 4);
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u16(), 0xBEEF);
+        assert_eq!(b.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(b.get_u64(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(b.get_f64(), -1234.5678e-9);
+        assert_eq!(b.copy_to_bytes(4).to_vec(), b"tail");
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn big_endian_layout() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(0x0102_0304);
+        assert_eq!(buf.as_ref(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn slice_shares_and_narrows() {
+        let b = Bytes::from(vec![0, 1, 2, 3, 4, 5]);
+        let mut s = b.slice(2..5);
+        assert_eq!(s.to_vec(), vec![2, 3, 4]);
+        assert_eq!(s.get_u8(), 2);
+        assert_eq!(s.remaining(), 2);
+        let half = b.slice(..b.len() / 2);
+        assert_eq!(half.to_vec(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn underflow_panics() {
+        let mut b = Bytes::from(vec![1]);
+        let _ = b.get_u32();
+    }
+}

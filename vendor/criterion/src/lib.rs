@@ -1,0 +1,187 @@
+//! Offline shim for the subset of the `criterion` benchmark API this
+//! workspace uses: `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Instead of criterion's statistical machinery, each benchmark is
+//! warmed up once and then timed for a fixed number of batches; the
+//! mean, minimum, and maximum per-iteration times are printed. That is
+//! enough to compare kernels and track regressions by eye, with zero
+//! external dependencies. Honors `CRITERION_SHIM_ITERS` (per-batch
+//! iteration override) for quick smoke runs.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::Instant;
+
+/// Benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Drives the timed closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    /// Total measured nanoseconds across all iterations.
+    total_nanos: u128,
+}
+
+impl Bencher {
+    /// Times `f`, running it repeatedly.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up (also primes caches/allocations).
+        std::hint::black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.total_nanos = start.elapsed().as_nanos();
+    }
+}
+
+fn shim_iters() -> u64 {
+    std::env::var("CRITERION_SHIM_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(10)
+}
+
+fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters: shim_iters(),
+        total_nanos: 0,
+    };
+    f(&mut b);
+    let per_iter = b.total_nanos as f64 / b.iters as f64;
+    println!(
+        "bench {label:<48} {:>12.1} ns/iter ({} iters)",
+        per_iter, b.iters
+    );
+}
+
+/// Entry point handed to benchmark functions.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, &mut f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's fixed batch size is
+    /// controlled by `CRITERION_SHIM_ITERS` instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, &mut f);
+        self
+    }
+
+    /// Runs a parameterized benchmark in this group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Collects benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_smoke() {
+        std::env::set_var("CRITERION_SHIM_ITERS", "2");
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(10);
+            g.bench_function("f", |b| b.iter(|| ran += 1));
+            g.bench_with_input(BenchmarkId::new("p", 4), &4usize, |b, &n| {
+                b.iter(|| ran += n as u32)
+            });
+            g.finish();
+        }
+        c.bench_function("standalone", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+}
