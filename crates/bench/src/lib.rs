@@ -20,6 +20,7 @@
 
 pub mod cli;
 pub mod experiments;
+pub mod kernel_bench;
 pub mod pipeline;
 pub mod report;
 pub mod serve_bench;

@@ -180,26 +180,14 @@ fn netmf_small(l: &CsrMatrix, params: &EmbedParams) -> Result<DenseMatrix> {
     Ok(emb)
 }
 
-/// Sparse × dense product with row-parallelism (used for the NetMF power
-/// accumulation).
+/// Sparse × dense product for the NetMF power accumulation: one pooled
+/// traversal of each CSR row updates the whole dense block
+/// ([`CsrMatrix::matvec_block`] — the same fused kernel the block
+/// subspace eigensolver uses).
 fn spmm_par(a: &CsrMatrix, b: &DenseMatrix, threads: usize) -> DenseMatrix {
-    let n = a.nrows();
-    let m = b.ncols();
-    let mut out = vec![0.0f64; n * m];
-    let rows: Vec<&mut [f64]> = out.chunks_mut(m).collect();
-    let mut rows = rows;
-    mvag_sparse::parallel::par_chunks_mut(&mut rows, threads, |start, block| {
-        for (off, out_row) in block.iter_mut().enumerate() {
-            let r = start + off;
-            for (&c, &v) in a.row_cols(r).iter().zip(a.row_vals(r)) {
-                let brow = b.row(c);
-                for (o, &bv) in out_row.iter_mut().zip(brow) {
-                    *o += v * bv;
-                }
-            }
-        }
-    });
-    DenseMatrix::from_vec(n, m, out).expect("shape correct by construction")
+    let mut out = DenseMatrix::zeros(a.nrows(), b.ncols());
+    a.matvec_block(b, &mut out, threads);
+    out
 }
 
 fn spectral_embed(l: &CsrMatrix, params: &EmbedParams) -> Result<DenseMatrix> {

@@ -16,7 +16,7 @@ use crate::{Result, SglaError};
 use mvag_graph::knn::{knn_graph, KnnConfig};
 use mvag_graph::{Mvag, View};
 use mvag_sparse::linop::ScaledSumOp;
-use mvag_sparse::CsrMatrix;
+use mvag_sparse::{CsrMatrix, FusedSumOp};
 
 /// KNN construction parameters for attribute views.
 #[derive(Debug, Clone)]
@@ -158,6 +158,32 @@ impl ViewLaplacians {
             self.laplacians.iter().collect(),
             weights.to_vec(),
         ))
+    }
+
+    /// A fused aggregation operator: pattern analysis runs once here,
+    /// then [`FusedSumOp::set_weights`] refreshes the scratch CSR in
+    /// `O(Σ nnz)` per weight vector while every matvec streams a single
+    /// matrix instead of `r`. This is what the objective's inner
+    /// eigensolves use — weights are fixed for the duration of a solve,
+    /// so the refresh amortizes over hundreds of matvecs.
+    ///
+    /// # Errors
+    /// [`SglaError::InvalidArgument`] on weight-length mismatch.
+    pub fn fused_op(&self, weights: &[f64]) -> Result<FusedSumOp<'_>> {
+        self.check_weights(weights)?;
+        Ok(FusedSumOp::new(
+            self.laplacians.iter().collect(),
+            weights.to_vec(),
+        )?)
+    }
+
+    /// Validates a candidate weight vector against these views (length
+    /// and finiteness) without constructing anything.
+    ///
+    /// # Errors
+    /// [`SglaError::InvalidArgument`] on mismatch or non-finite entries.
+    pub fn validate_weights(&self, weights: &[f64]) -> Result<()> {
+        self.check_weights(weights)
     }
 
     /// Materializes the MVAG Laplacian `L = Σ wᵢ Lᵢ` (Eq. 1).

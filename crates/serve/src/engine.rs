@@ -47,7 +47,12 @@ pub struct ClusterInfo {
 /// Engine tuning knobs.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
-    /// Worker threads for batch kernels (0 → all cores).
+    /// Worker-pool width cap for batch kernels. Defaults to
+    /// `mvag_sparse::parallel::default_threads()` — the same sizing as
+    /// the process-wide compute pool (available parallelism capped at
+    /// 16 per the paper's setup, overridable with the `SGLA_THREADS`
+    /// environment variable), so serving and training never fight over
+    /// an inconsistent thread budget.
     pub threads: usize,
     /// Entries in the top-k result LRU cache (0 disables caching).
     pub cache_capacity: usize,
@@ -211,7 +216,8 @@ impl QueryEngine {
     /// blocks of [`EngineConfig::block_rows`] rows and scores every
     /// query against the resident block, so a batch of queries reads
     /// the matrix once instead of once per query. Queries are sharded
-    /// across threads; each shard keeps the blocked access pattern.
+    /// across the persistent worker pool (no per-batch thread spawns);
+    /// each shard keeps the blocked access pattern.
     fn scan_block_topk(&self, jobs: &[(usize, usize)]) -> Vec<Vec<Neighbor>> {
         let threads = self.config.threads.max(1).min(jobs.len().max(1));
         if threads > 1 && jobs.len() > 1 {

@@ -37,7 +37,11 @@ use std::time::{Duration, Instant};
 pub struct ServerConfig {
     /// Bind address; port 0 picks a free port.
     pub addr: SocketAddr,
-    /// Worker threads handling connections.
+    /// Worker threads handling connections. Defaults to the unified
+    /// `mvag_sparse::parallel::default_threads()` sizing (≤ 16,
+    /// `SGLA_THREADS` override) with a floor of 4: connection handlers
+    /// are I/O-bound, and on a 1–2 core host a single idle keep-alive
+    /// client must not pin the only worker.
     pub workers: usize,
     /// Upper bound on queries absorbed into one top-k kernel pass.
     pub max_batch: usize,
@@ -49,7 +53,7 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             addr: "127.0.0.1:7878".parse().expect("static addr"),
-            workers: 8,
+            workers: mvag_sparse::parallel::default_threads().max(4),
             max_batch: 64,
             read_timeout: Duration::from_secs(30),
         }

@@ -49,8 +49,10 @@ pub struct EigOptions {
     /// Run the multiplicity-verification sweep (default `true`). Disable
     /// only when the spectrum is known to be simple.
     pub verify_multiplicity: bool,
-    /// Worker threads for reorthogonalization on large problems (default:
-    /// autodetect, ≤ 16).
+    /// Worker-pool width cap for reorthogonalization on large problems
+    /// (default: [`default_threads`] — autodetect or `SGLA_THREADS`,
+    /// ≤ 16). Work runs on the persistent pool, so per-pass dispatch is
+    /// cheap even though a solve performs thousands of parallel regions.
     pub threads: usize,
 }
 

@@ -12,7 +12,6 @@
 use super::jacobi::jacobi_eig;
 use super::lanczos::EigResult;
 use crate::linop::{LinOp, ShiftedNegOp};
-use crate::parallel::par_map;
 use crate::qr::qr_thin;
 use crate::{vecops, DenseMatrix, Result, SparseError};
 use rand::rngs::StdRng;
@@ -121,20 +120,13 @@ pub fn smallest_eigenpairs_subspace(
     })
 }
 
-/// Applies `op` to every column of `q` (parallel over columns).
+/// Applies `op` to every column of `q` via the operator's batched
+/// kernel: for CSR-backed operators one traversal of each sparse row
+/// updates the whole block (see [`crate::CsrMatrix::matvec_block`]),
+/// instead of `b` independent walks over the index structure.
 fn block_matvec(op: &(dyn LinOp + Sync), q: &DenseMatrix, threads: usize) -> DenseMatrix {
-    let n = q.nrows();
-    let b = q.ncols();
-    let cols: Vec<Vec<f64>> = par_map(b, threads, |j| {
-        let x = q.col(j);
-        let mut y = vec![0.0f64; n];
-        op.matvec(&x, &mut y);
-        y
-    });
-    let mut out = DenseMatrix::zeros(n, b);
-    for (j, col) in cols.iter().enumerate() {
-        out.set_col(j, col);
-    }
+    let mut out = DenseMatrix::zeros(q.nrows(), q.ncols());
+    op.matvec_block(q, &mut out, threads);
     out
 }
 

@@ -17,6 +17,11 @@
 //! * [`LinOp`] — a matrix-free operator abstraction; the SGLA aggregation
 //!   `Σ wᵢ Lᵢ` is applied lazily through this trait without materializing
 //!   the sum.
+//! * [`FusedSumOp`] — the fused form of the aggregation: when weights are
+//!   fixed for a whole inner eigensolve, the sum is materialized once into
+//!   a reusable scratch CSR so each matvec streams one matrix, not `V`.
+//! * [`pool`] — a persistent worker pool (parked threads, atomic chunk
+//!   stealing) behind every data-parallel hot path in the workspace.
 //! * [`eigen`] — a Lanczos solver with full reorthogonalization for the
 //!   smallest eigenpairs of bounded symmetric operators, a symmetric
 //!   tridiagonal QL solver, and a cyclic Jacobi dense eigensolver.
@@ -25,7 +30,11 @@
 //! All floating point work is `f64`. All randomized routines take explicit
 //! seeds so results are reproducible.
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide and allowed back in exactly one place:
+// the lifetime-erasure + disjoint-slice core of [`pool`], where each use
+// carries a documented blocking-handshake invariant. Everything else is
+// safe Rust.
+#![deny(unsafe_code)]
 // Indexed loops over matched row/column structures are the clearest idiom
 // for the numerical kernels in this crate: the index relationships *are*
 // the algorithm. The iterator rewrites clippy suggests obscure them.
@@ -39,9 +48,11 @@ pub mod csr;
 pub mod dense;
 pub mod eigen;
 pub mod error;
+pub mod fused;
 pub mod linop;
 pub mod lu;
 pub mod parallel;
+pub mod pool;
 pub mod qr;
 pub mod svd;
 pub mod vecops;
@@ -50,6 +61,7 @@ pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use error::SparseError;
+pub use fused::FusedSumOp;
 pub use linop::{LinOp, ScaledSumOp, ShiftedNegOp};
 
 /// Crate-wide result alias.

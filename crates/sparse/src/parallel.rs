@@ -1,13 +1,24 @@
-//! Minimal data-parallel helpers built on std scoped threads.
+//! Data-parallel helpers over the persistent worker pool.
 //!
-//! The SGLA hot loops (SpMV over MAG-scale simulations, KNN construction)
-//! are embarrassingly parallel over rows. A full work-stealing pool is
-//! unnecessary; static row-block partitioning keeps the implementation
-//! dependency-free and predictable.
+//! The SGLA hot loops (SpMV over MAG-scale matrices, KNN construction,
+//! reorthogonalization sweeps, blocked top-k scoring) are embarrassingly
+//! parallel over rows. These helpers dispatch onto the process-wide
+//! [`WorkerPool`](crate::pool::WorkerPool) — parked threads woken per
+//! region — instead of spawning fresh OS threads per call; chunk stealing
+//! inside the pool absorbs skewed row costs. Results are identical to the
+//! sequential path bit-for-bit: every index is computed independently, so
+//! chunk boundaries cannot change any floating-point result.
+//!
+//! The pre-pool implementation (fresh `std::thread::scope` per region) is
+//! preserved under the `scoped-baseline` feature as [`scoped`] so the
+//! kernel benchmark can quantify the spawn overhead it removes.
 
-/// Splits `data` into `threads` contiguous chunks and runs `f(start, chunk)`
-/// on each from a scoped thread. `f` receives the starting index of its
-/// chunk in the original slice.
+use crate::pool::WorkerPool;
+
+/// Runs `f(start, chunk)` over contiguous chunks of `data` using up to
+/// `threads` parallel workers from the global pool; `start` is the
+/// chunk's offset in the original slice. Chunk boundaries are chosen by
+/// the pool (atomic stealing) and carry no semantic meaning.
 ///
 /// Runs inline when `threads <= 1` or the slice is empty.
 pub fn par_chunks_mut<T: Send, F>(data: &mut [T], threads: usize, f: F)
@@ -23,23 +34,11 @@ where
         f(0, data);
         return;
     }
-    let chunk = n.div_ceil(threads);
-    std::thread::scope(|scope| {
-        let mut rest = data;
-        let mut start = 0usize;
-        while !rest.is_empty() {
-            let take = chunk.min(rest.len());
-            let (head, tail) = rest.split_at_mut(take);
-            let fref = &f;
-            scope.spawn(move || fref(start, head));
-            start += take;
-            rest = tail;
-        }
-    });
+    WorkerPool::global().for_each_slice_chunk(data, threads, 1, f);
 }
 
-/// Runs `f(i)` for `i` in `0..count`, distributing indices over `threads`
-/// workers in contiguous ranges, and collects the results in index order.
+/// Runs `f(i)` for `i` in `0..count` with up to `threads` pool workers
+/// and collects the results in index order.
 pub fn par_map<R: Send, F>(count: usize, threads: usize, f: F) -> Vec<R>
 where
     F: Fn(usize) -> R + Sync,
@@ -51,26 +50,101 @@ where
     if threads == 1 {
         return (0..count).map(f).collect();
     }
-    let chunk = count.div_ceil(threads);
-    let mut out: Vec<Option<R>> = (0..count).map(|_| None).collect();
+    let mut out: Vec<Option<R>> = Vec::with_capacity(count);
+    out.resize_with(count, || None);
     par_chunks_mut(&mut out, threads, |start, slots| {
         for (off, slot) in slots.iter_mut().enumerate() {
             *slot = Some(f(start + off));
         }
     });
-    let _ = chunk;
     out.into_iter()
-        .map(|o| o.expect("all slots filled by par_chunks_mut"))
+        .map(|o| o.expect("pool covers every index exactly once"))
         .collect()
 }
 
-/// Number of worker threads to use by default: available parallelism capped
-/// at 16 (the paper's experimental setup allows at most 16 CPU threads).
+/// Number of worker threads to use by default: the `SGLA_THREADS`
+/// environment variable if set, otherwise the available parallelism;
+/// either way capped at 16 (the paper's experimental setup allows at
+/// most 16 CPU threads). Read once and cached — the global pool is sized
+/// from this value on first use.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(16)
+    use std::sync::OnceLock;
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(|| {
+        if let Some(v) = std::env::var("SGLA_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&v| v >= 1)
+        {
+            return v.min(16);
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(16)
+    })
+}
+
+/// The pre-pool scoped-thread implementations, kept only so the kernel
+/// benchmark can measure the spawn overhead the pool removes. Not used
+/// by any library code path.
+#[cfg(feature = "scoped-baseline")]
+pub mod scoped {
+    use crate::CsrMatrix;
+
+    /// Splits `data` into `threads` contiguous chunks and runs
+    /// `f(start, chunk)` on each from a freshly spawned scoped thread
+    /// (the pre-pool implementation: one spawn/join cycle per chunk per
+    /// call).
+    pub fn par_chunks_mut<T: Send, F>(data: &mut [T], threads: usize, f: F)
+    where
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        let n = data.len();
+        if n == 0 {
+            return;
+        }
+        let threads = threads.clamp(1, n);
+        if threads == 1 {
+            f(0, data);
+            return;
+        }
+        let chunk = n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            let mut rest = data;
+            let mut start = 0usize;
+            while !rest.is_empty() {
+                let take = chunk.min(rest.len());
+                let (head, tail) = rest.split_at_mut(take);
+                let fref = &f;
+                scope.spawn(move || fref(start, head));
+                start += take;
+                rest = tail;
+            }
+        });
+    }
+
+    /// `y ← A x` with scoped-thread row blocks, spawning threads on
+    /// every call regardless of size (benchmark baseline — the library
+    /// path is [`CsrMatrix::matvec_parallel`]).
+    pub fn matvec_parallel(a: &CsrMatrix, x: &[f64], y: &mut [f64], threads: usize) {
+        debug_assert_eq!(x.len(), a.ncols());
+        debug_assert_eq!(y.len(), a.nrows());
+        if threads <= 1 {
+            a.matvec(x, y);
+            return;
+        }
+        par_chunks_mut(y, threads, |start, chunk| {
+            for (off, yr) in chunk.iter_mut().enumerate() {
+                let r = start + off;
+                let mut acc = 0.0;
+                for (&c, &v) in a.row_cols(r).iter().zip(a.row_vals(r)) {
+                    acc += v * x[c];
+                }
+                *yr = acc;
+            }
+        });
+    }
 }
 
 #[cfg(test)]
@@ -125,6 +199,22 @@ mod tests {
         });
         assert_eq!(counter.load(Ordering::Relaxed), 200);
         assert_eq!(out.len(), 200);
+    }
+
+    #[test]
+    fn par_map_panic_does_not_poison_pool() {
+        let caught = std::panic::catch_unwind(|| {
+            par_map(64, 4, |i| {
+                if i == 13 {
+                    panic!("unlucky index");
+                }
+                i
+            })
+        });
+        assert!(caught.is_err());
+        // The global pool must keep serving after a panicking task.
+        let out = par_map(64, 4, |i| i + 1);
+        assert_eq!(out.iter().sum::<usize>(), (1..=64).sum::<usize>());
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! Property-based tests for the linear algebra substrate.
 
 use mvag_sparse::eigen::{jacobi_eig, smallest_eigenvalues, EigOptions};
+use mvag_sparse::pool::WorkerPool;
 use mvag_sparse::qr::qr_thin;
-use mvag_sparse::{vecops, CooMatrix, CsrMatrix, DenseMatrix};
+use mvag_sparse::{vecops, CooMatrix, CsrMatrix, DenseMatrix, FusedSumOp, LinOp};
 use proptest::prelude::*;
 
 /// Strategy: a random sparse square matrix as triplets.
@@ -160,6 +161,74 @@ proptest! {
     }
 
     #[test]
+    fn pooled_matvec_bit_identical_to_sequential(coo in coo_strategy(24, 80)) {
+        let csr = coo.to_csr();
+        let n = csr.nrows();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.61).cos() * 3.0).collect();
+        let mut y_seq = vec![0.0; n];
+        let mut y_par = vec![0.0; n];
+        csr.matvec(&x, &mut y_seq);
+        csr.matvec_parallel(&x, &mut y_par, 4);
+        prop_assert_eq!(y_seq, y_par);
+    }
+
+    #[test]
+    fn fused_csr_bit_identical_to_linear_combination(
+        coo1 in coo_strategy(20, 60),
+        coo2_triplets in proptest::collection::vec((0usize..20, 0usize..20, 0.1f64..10.0), 0..60),
+        w1 in 0.1f64..3.0,
+        w2 in 0.1f64..3.0,
+    ) {
+        // Strictly positive values and weights: no exact cancellation,
+        // so the fused union pattern equals the materialized
+        // linear-combination pattern and the per-entry accumulation
+        // order matches — results must agree bit-for-bit.
+        let mut csr1 = coo1.to_csr();
+        for v in csr1.values_mut() {
+            *v = v.abs() + 0.001;
+        }
+        let n = csr1.nrows();
+        let mut coo2 = CooMatrix::new(n, n);
+        for (r, c, v) in coo2_triplets {
+            coo2.push(r % n, c % n, v).unwrap();
+        }
+        let csr2 = coo2.to_csr();
+        let fused = FusedSumOp::new(vec![&csr1, &csr2], vec![w1, w2]).unwrap();
+        let reference = CsrMatrix::linear_combination(&[&csr1, &csr2], &[w1, w2]).unwrap();
+        prop_assert_eq!(fused.fused_matrix(), &reference);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.83).sin() * 2.0).collect();
+        let mut y_fused = vec![0.0; n];
+        let mut y_ref = vec![0.0; n];
+        fused.matvec(&x, &mut y_fused);
+        reference.matvec(&x, &mut y_ref);
+        prop_assert_eq!(y_fused, y_ref);
+    }
+
+    #[test]
+    fn matvec_block_bit_identical_to_columnwise(coo in coo_strategy(22, 70)) {
+        let csr = coo.to_csr();
+        let n = csr.nrows();
+        let b = 4;
+        let mut x = DenseMatrix::zeros(n, b);
+        for (i, v) in x.data_mut().iter_mut().enumerate() {
+            *v = ((i * 131) % 17) as f64 - 8.0;
+        }
+        let mut y = DenseMatrix::zeros(n, b);
+        csr.matvec_block(&x, &mut y, 4);
+        let mut xc = vec![0.0; n];
+        let mut yc = vec![0.0; n];
+        for j in 0..b {
+            for i in 0..n {
+                xc[i] = x[(i, j)];
+            }
+            csr.matvec(&xc, &mut yc);
+            for i in 0..n {
+                prop_assert_eq!(y[(i, j)], yc[i], "col {} row {}", j, i);
+            }
+        }
+    }
+
+    #[test]
     fn sym_normalized_spectrum_bounded(coo in sym_coo_strategy(16, 50)) {
         // For a nonnegative symmetric matrix, the normalized Laplacian
         // I − D^{-1/2} A D^{-1/2} has spectrum in [0, 2].
@@ -181,4 +250,120 @@ proptest! {
         prop_assert!(e.values[0] > -1e-9, "λmin = {}", e.values[0]);
         prop_assert!(e.values[n - 1] < 2.0 + 1e-9, "λmax = {}", e.values[n - 1]);
     }
+}
+
+/// Dense-enough matrix to cross `matvec_parallel`'s sequential cutoff,
+/// so the pool-dispatched path itself (not the fallback) is exercised.
+fn large_random_csr(n: usize, per_row: usize, seed: u64) -> CsrMatrix {
+    let mut coo = CooMatrix::new(n, n);
+    let mut state = seed | 1;
+    for i in 0..n {
+        for _ in 0..per_row {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % n;
+            let v = ((state >> 11) & 0xffff) as f64 / 4096.0 - 8.0;
+            coo.push(i, j, v).unwrap();
+        }
+    }
+    coo.to_csr()
+}
+
+#[test]
+fn pooled_matvec_bit_identical_above_cutoff() {
+    let a = large_random_csr(700, 16, 41); // nnz ≈ 11k > the 8192 cutoff
+    assert!(a.nnz() > 8192, "test must exercise the pooled path");
+    let x: Vec<f64> = (0..700).map(|i| (i as f64 * 0.13).sin()).collect();
+    let mut y_seq = vec![0.0; 700];
+    let mut y_par = vec![0.0; 700];
+    a.matvec(&x, &mut y_seq);
+    a.matvec_parallel(&x, &mut y_par, 8);
+    assert_eq!(y_seq, y_par);
+}
+
+#[test]
+fn block_matvec_bit_identical_above_cutoff() {
+    let a = large_random_csr(400, 8, 43);
+    let b = 8;
+    assert!(a.nnz() * b > 8192, "test must exercise the pooled path");
+    let mut x = DenseMatrix::zeros(400, b);
+    for (i, v) in x.data_mut().iter_mut().enumerate() {
+        *v = ((i * 97) % 23) as f64 - 11.0;
+    }
+    let mut y = DenseMatrix::zeros(400, b);
+    a.matvec_block(&x, &mut y, 8);
+    let mut xc = vec![0.0; 400];
+    let mut yc = vec![0.0; 400];
+    for j in 0..b {
+        for i in 0..400 {
+            xc[i] = x[(i, j)];
+        }
+        a.matvec(&xc, &mut yc);
+        for i in 0..400 {
+            assert_eq!(y[(i, j)], yc[i], "col {j} row {i}");
+        }
+    }
+}
+
+/// A panicking task must not poison the pool for subsequent submits —
+/// both on a private (injected) pool and on the shared global one that
+/// all library helpers dispatch to.
+#[test]
+fn pool_panic_containment() {
+    let pool = WorkerPool::new(4);
+    let blown = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        pool.for_each_chunk(256, 4, 1, |range| {
+            if range.contains(&200) {
+                panic!("task blew up");
+            }
+        });
+    }));
+    assert!(blown.is_err(), "the panic must reach the submitter");
+    // The same pool keeps serving.
+    let sum = std::sync::atomic::AtomicUsize::new(0);
+    pool.for_each_chunk(256, 4, 1, |range| {
+        sum.fetch_add(range.len(), std::sync::atomic::Ordering::Relaxed);
+    });
+    assert_eq!(sum.load(std::sync::atomic::Ordering::Relaxed), 256);
+
+    // And a panic inside a library helper leaves the global pool usable.
+    let a = large_random_csr(700, 16, 47);
+    let x: Vec<f64> = (0..700).map(|i| i as f64 * 0.01).collect();
+    let blown = std::panic::catch_unwind(|| {
+        mvag_sparse::parallel::par_map(700, 4, |i| {
+            if i == 500 {
+                panic!("helper task blew up");
+            }
+            i
+        })
+    });
+    assert!(blown.is_err());
+    let mut y_seq = vec![0.0; 700];
+    let mut y_par = vec![0.0; 700];
+    a.matvec(&x, &mut y_seq);
+    a.matvec_parallel(&x, &mut y_par, 4);
+    assert_eq!(y_seq, y_par, "global pool must survive a panicking task");
+}
+
+/// The fused operator's spectral bound (Gershgorin on the materialized
+/// sum) must dominate the true spectrum, like the lazy bound it replaces
+/// inside the eigensolver shift selection.
+#[test]
+fn fused_spectral_bound_dominates() {
+    // Symmetric views (the LinOp contract): Gershgorin on the fused
+    // matrix must dominate the true spectral radius of the sum.
+    let symmetrize =
+        |m: &CsrMatrix| CsrMatrix::linear_combination(&[m, &m.transpose()], &[0.5, 0.5]).unwrap();
+    let a = symmetrize(&large_random_csr(60, 4, 53));
+    let b = symmetrize(&large_random_csr(60, 4, 59));
+    let fused = FusedSumOp::new(vec![&a, &b], vec![0.7, 0.3]).unwrap();
+    let bound = LinOp::spectral_bound(&fused).unwrap();
+    let reference = CsrMatrix::linear_combination(&[&a, &b], &[0.7, 0.3]).unwrap();
+    let eig = jacobi_eig(&reference.to_dense()).unwrap();
+    let spec_max = eig.values.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+    assert!(
+        bound + 1e-9 >= spec_max,
+        "gershgorin {bound} vs spectral radius {spec_max}"
+    );
 }
