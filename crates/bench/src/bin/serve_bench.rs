@@ -1,9 +1,13 @@
 //! Serving load benchmark: ≥1000 concurrent top-k queries over HTTP
 //! against a freshly trained artifact, every response verified against
 //! direct library calls; p50/p99/QPS land in `BENCH_serve.json`.
+//! `--shards N` replays the same load against a shard router over the
+//! same artifact (verified bit-exactly against the monolithic engine)
+//! and reports both latency profiles.
 //!
 //! ```bash
 //! cargo run --release --bin serve_bench -- --clients 32 --queries 40
+//! cargo run --release --bin serve_bench -- --shards 4
 //! ```
 
 use mvag_bench::serve_bench::{run_to_file, ServeBenchConfig};
@@ -30,6 +34,7 @@ fn main() -> ExitCode {
             "--workers" => value.parse().map(|v| config.workers = v).is_ok(),
             "--batch" => value.parse().map(|v| config.max_batch = v).is_ok(),
             "--seed" => value.parse().map(|v| config.seed = v).is_ok(),
+            "--shards" => value.parse().map(|v| config.shards = v).is_ok(),
             "--out" => {
                 out = PathBuf::from(value);
                 true
@@ -71,6 +76,24 @@ fn main() -> ExitCode {
                 "cache:     {} hits / {} misses",
                 report.cache_hits, report.cache_misses
             );
+            if let Some(sharded) = &report.sharded {
+                println!(
+                    "sharded:   {} queries across {} shards (all verified vs monolithic)",
+                    sharded.total_queries, config.shards
+                );
+                println!(
+                    "  p50 {:.0} us / p99 {:.0} us / mean {:.0} us / {:.0} qps ({:+.1}% p50 vs monolithic)",
+                    sharded.p50_us,
+                    sharded.p99_us,
+                    sharded.mean_us,
+                    sharded.qps,
+                    if report.p50_us > 0.0 {
+                        (sharded.p50_us / report.p50_us - 1.0) * 100.0
+                    } else {
+                        0.0
+                    }
+                );
+            }
             println!("report:    {}", out.display());
             ExitCode::SUCCESS
         }

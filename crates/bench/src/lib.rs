@@ -12,6 +12,7 @@
 //!   `--out`) shared by all binaries.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 // Indexed loops over matched row/column structures are the clearest idiom
 // for the numerical kernels in this crate: the index relationships *are*
 // the algorithm. The iterator rewrites clippy suggests obscure them.

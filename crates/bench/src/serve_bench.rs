@@ -4,14 +4,21 @@
 //! with N concurrent keep-alive clients issuing top-k queries. Every
 //! response is verified against a direct [`QueryEngine`] call (node
 //! ids and bit-exact scores), so the benchmark doubles as a
-//! correctness check under concurrency. Reports client-side p50/p99
-//! latency and throughput plus the server's own counters, and writes
-//! everything to a JSON report (`BENCH_serve.json` by default).
+//! correctness check under concurrency. With `shards >= 2` the same
+//! load is replayed against a [`sgla_serve::ShardRouter`] over a
+//! sharded copy of the same artifact — every sharded response is
+//! verified bit-exactly against the *monolithic* engine, and the
+//! report carries both latency profiles side by side. Reports
+//! client-side p50/p99 latency and throughput plus the server's own
+//! counters, and writes everything to a JSON report
+//! (`BENCH_serve.json` by default).
 
 use mvag_data::json::Value;
 use sgla_serve::{
-    Artifact, EngineConfig, HttpClient, QueryEngine, Server, ServerConfig, TrainConfig,
+    Artifact, EngineConfig, HttpClient, QueryEngine, RouterConfig, Server, ServerConfig,
+    ShardRouter, TrainConfig,
 };
+use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -36,6 +43,8 @@ pub struct ServeBenchConfig {
     pub max_batch: usize,
     /// RNG seed (training + query mix).
     pub seed: u64,
+    /// Row-range shards for the sharded phase (`< 2` skips it).
+    pub shards: usize,
 }
 
 impl Default for ServeBenchConfig {
@@ -50,14 +59,54 @@ impl Default for ServeBenchConfig {
             workers: 8,
             max_batch: 64,
             seed: 42,
+            shards: 0,
         }
+    }
+}
+
+/// Latency/throughput summary of one load phase.
+#[derive(Debug, Clone)]
+pub struct PhaseStats {
+    /// Total queries issued.
+    pub total_queries: usize,
+    /// Queries whose response matched the direct library call.
+    pub verified: usize,
+    /// Mismatches (must be 0 for a healthy run).
+    pub mismatches: usize,
+    /// Client-observed median latency in microseconds.
+    pub p50_us: f64,
+    /// 99th percentile latency in microseconds.
+    pub p99_us: f64,
+    /// Mean latency in microseconds.
+    pub mean_us: f64,
+    /// Worst observed latency in microseconds.
+    pub max_us: f64,
+    /// Aggregate throughput over the loaded phase (queries/second).
+    pub qps: f64,
+    /// Wall-clock of the query phase in seconds.
+    pub wall_secs: f64,
+}
+
+impl PhaseStats {
+    fn to_json(&self) -> Value {
+        Value::object(vec![
+            ("total_queries", Value::from(self.total_queries)),
+            ("verified", Value::from(self.verified)),
+            ("mismatches", Value::from(self.mismatches)),
+            ("p50_us", Value::from(self.p50_us)),
+            ("p99_us", Value::from(self.p99_us)),
+            ("mean_us", Value::from(self.mean_us)),
+            ("max_us", Value::from(self.max_us)),
+            ("qps", Value::from(self.qps)),
+            ("wall_secs", Value::from(self.wall_secs)),
+        ])
     }
 }
 
 /// Outcome of one benchmark run.
 #[derive(Debug, Clone)]
 pub struct ServeBenchReport {
-    /// Total queries issued.
+    /// Total queries issued in the monolithic phase.
     pub total_queries: usize,
     /// Queries whose response matched the direct library call.
     pub verified: usize,
@@ -81,6 +130,9 @@ pub struct ServeBenchReport {
     pub cache_hits: u64,
     /// Top-k cache misses observed by the engine.
     pub cache_misses: u64,
+    /// The sharded-phase profile, when `shards >= 2` was requested.
+    /// Verified against the *monolithic* engine, bit-exactly.
+    pub sharded: Option<PhaseStats>,
     /// The full JSON document written to the report file.
     pub json: Value,
 }
@@ -93,41 +145,18 @@ fn percentile(sorted: &[u64], q: f64) -> f64 {
     sorted[rank - 1] as f64
 }
 
-/// Runs the benchmark. On success every response matched its direct
-/// library-call reference; any mismatch is an `Err`.
-///
-/// # Errors
-/// Training/serving failures, transport errors, or response
-/// mismatches, rendered as strings for the CLI.
-pub fn run(config: &ServeBenchConfig) -> Result<ServeBenchReport, String> {
-    let mvag = mvag_data::toy_mvag(config.n, config.k, config.seed);
-    let mut train_config = TrainConfig::default();
-    train_config.sgla.seed = config.seed;
-    train_config.embed.dim = config.dim;
-    let train_started = Instant::now();
-    let artifact = Artifact::train(&mvag, &train_config).map_err(|e| e.to_string())?;
-    let train_secs = train_started.elapsed().as_secs_f64();
+/// `(node, status, response body)` of one recorded query.
+type Recorded = (usize, u16, Value);
 
-    let engine =
-        Arc::new(QueryEngine::new(artifact, EngineConfig::default()).map_err(|e| e.to_string())?);
-    let server = Server::start(
-        Arc::clone(&engine),
-        &ServerConfig {
-            addr: "127.0.0.1:0".parse().expect("static addr"),
-            workers: config.workers,
-            max_batch: config.max_batch,
-            ..ServerConfig::default()
-        },
-    )
-    .map_err(|e| e.to_string())?;
-    let addr = server.local_addr();
-
-    // Drive the load: each client thread owns one keep-alive
-    // connection and a deterministic query mix. Responses are only
-    // *recorded* here — verification happens after the timed phase so
-    // the reported latencies/QPS measure the server, not the
-    // benchmark harness's own direct-call scans.
-    type Recorded = (usize, u16, Value); // (node, status, response body)
+/// Drives the full client load against `addr`: each client thread owns
+/// one keep-alive connection and a deterministic query mix. Responses
+/// are only *recorded* here — verification happens after the timed
+/// phase so the reported latencies/QPS measure the server, not the
+/// benchmark harness's own direct-call scans.
+fn drive_load(
+    addr: SocketAddr,
+    config: &ServeBenchConfig,
+) -> Result<(Vec<u64>, Vec<Recorded>, f64), String> {
     let phase_started = Instant::now();
     let mut handles = Vec::new();
     for client_id in 0..config.clients {
@@ -161,7 +190,6 @@ pub fn run(config: &ServeBenchConfig) -> Result<ServeBenchReport, String> {
             },
         ));
     }
-
     let mut latencies: Vec<u64> = Vec::new();
     let mut recorded: Vec<Recorded> = Vec::new();
     for handle in handles {
@@ -171,27 +199,25 @@ pub fn run(config: &ServeBenchConfig) -> Result<ServeBenchReport, String> {
         latencies.append(&mut lat);
         recorded.append(&mut rec);
     }
-    let wall_secs = phase_started.elapsed().as_secs_f64();
-    // Snapshot server-side counters before the verification pass adds
-    // its own direct calls to the engine's cache statistics.
-    let (cache_hits, cache_misses) = engine.cache_stats();
-    let server_stats = HttpClient::connect(addr)
-        .and_then(|mut c| c.get("/stats"))
-        .map(|r| r.body)
-        .unwrap_or(Value::Null);
-    server.shutdown();
+    Ok((latencies, recorded, phase_started.elapsed().as_secs_f64()))
+}
 
-    // Verification phase (untimed): every recorded response must match
-    // the direct library call — node ids and bit-exact scores.
+/// Verification pass (untimed): every recorded response must match the
+/// direct library call — node ids and bit-exact scores.
+fn verify_recorded(
+    recorded: &[Recorded],
+    engine: &QueryEngine,
+    topk: usize,
+) -> Result<(usize, usize), String> {
     let mut verified = 0usize;
     let mut mismatches = 0usize;
-    for (node, status, body) in &recorded {
+    for (node, status, body) in recorded {
         if *status != 200 {
             mismatches += 1;
             continue;
         }
         let direct = engine
-            .top_k_similar(*node, config.topk)
+            .top_k_similar(*node, topk)
             .map_err(|e| e.to_string())?;
         let matches = body
             .get("neighbors")
@@ -212,7 +238,15 @@ pub fn run(config: &ServeBenchConfig) -> Result<ServeBenchReport, String> {
             mismatches += 1;
         }
     }
+    Ok((verified, mismatches))
+}
 
+fn summarize(
+    mut latencies: Vec<u64>,
+    wall_secs: f64,
+    verified: usize,
+    mismatches: usize,
+) -> PhaseStats {
     latencies.sort_unstable();
     let total_queries = latencies.len();
     let mean_us = if total_queries == 0 {
@@ -220,7 +254,7 @@ pub fn run(config: &ServeBenchConfig) -> Result<ServeBenchReport, String> {
     } else {
         latencies.iter().sum::<u64>() as f64 / total_queries as f64
     };
-    let report = ServeBenchReport {
+    PhaseStats {
         total_queries,
         verified,
         mismatches,
@@ -234,20 +268,97 @@ pub fn run(config: &ServeBenchConfig) -> Result<ServeBenchReport, String> {
             0.0
         },
         wall_secs,
-        train_secs,
-        cache_hits,
-        cache_misses,
-        json: Value::Null,
+    }
+}
+
+/// Runs the benchmark. On success every response matched its direct
+/// library-call reference; any mismatch is an `Err`. With
+/// `config.shards >= 2` a second phase replays the same load against a
+/// shard router over the same artifact (still verified against the
+/// monolithic engine).
+///
+/// # Errors
+/// Training/serving failures, transport errors, or response
+/// mismatches, rendered as strings for the CLI.
+pub fn run(config: &ServeBenchConfig) -> Result<ServeBenchReport, String> {
+    let mvag = mvag_data::toy_mvag(config.n, config.k, config.seed);
+    let mut train_config = TrainConfig::default();
+    train_config.sgla.seed = config.seed;
+    train_config.embed.dim = config.dim;
+    let train_started = Instant::now();
+    let artifact = Artifact::train(&mvag, &train_config).map_err(|e| e.to_string())?;
+    let train_secs = train_started.elapsed().as_secs_f64();
+
+    let server_config = ServerConfig {
+        addr: "127.0.0.1:0".parse().expect("static addr"),
+        workers: config.workers,
+        max_batch: config.max_batch,
+        ..ServerConfig::default()
     };
-    if mismatches > 0 {
+
+    // Phase 1: monolithic engine.
+    let engine = Arc::new(
+        QueryEngine::new(artifact.clone(), EngineConfig::default()).map_err(|e| e.to_string())?,
+    );
+    let server = Server::start(Arc::clone(&engine), &server_config).map_err(|e| e.to_string())?;
+    let addr = server.local_addr();
+    let (latencies, recorded, wall_secs) = drive_load(addr, config)?;
+    // Snapshot server-side counters before the verification pass adds
+    // its own direct calls to the engine's cache statistics.
+    let (cache_hits, cache_misses) = engine.cache_stats();
+    let server_stats = HttpClient::connect(addr)
+        .and_then(|mut c| c.get("/stats"))
+        .map(|r| r.body)
+        .unwrap_or(Value::Null);
+    server.shutdown();
+    let (verified, mismatches) = verify_recorded(&recorded, &engine, config.topk)?;
+    let mono = summarize(latencies, wall_secs, verified, mismatches);
+    if mono.mismatches > 0 {
         return Err(format!(
-            "{mismatches} of {total_queries} responses did not match direct library calls"
+            "{} of {} monolithic responses did not match direct library calls",
+            mono.mismatches, mono.total_queries
         ));
     }
 
-    let json = Value::object(vec![
-        (
-            "config",
+    // Phase 2 (optional): the same load against a shard router over a
+    // sharded copy of the same artifact, verified against the same
+    // monolithic engine — the router must be indistinguishable.
+    let mut sharded: Option<PhaseStats> = None;
+    let mut sharded_server_stats = Value::Null;
+    if config.shards >= 2 {
+        let dir = std::env::temp_dir().join(format!(
+            "sgla-serve-bench-shards-{}-{}",
+            config.shards,
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        artifact
+            .save_sharded(&dir, config.shards)
+            .map_err(|e| e.to_string())?;
+        let router = ShardRouter::open(&dir, RouterConfig::default()).map_err(|e| e.to_string())?;
+        let server =
+            Server::start_backend(Arc::new(router), &server_config).map_err(|e| e.to_string())?;
+        let addr = server.local_addr();
+        let (latencies, recorded, wall_secs) = drive_load(addr, config)?;
+        sharded_server_stats = HttpClient::connect(addr)
+            .and_then(|mut c| c.get("/stats"))
+            .map(|r| r.body)
+            .unwrap_or(Value::Null);
+        server.shutdown();
+        let (verified, mismatches) = verify_recorded(&recorded, &engine, config.topk)?;
+        let stats = summarize(latencies, wall_secs, verified, mismatches);
+        std::fs::remove_dir_all(&dir).ok();
+        if stats.mismatches > 0 {
+            return Err(format!(
+                "{} of {} sharded responses did not match the monolithic engine",
+                stats.mismatches, stats.total_queries
+            ));
+        }
+        sharded = Some(stats);
+    }
+
+    let mut results = vec![
+        ("config", {
             Value::object(vec![
                 ("n", Value::from(config.n)),
                 ("k", Value::from(config.k)),
@@ -258,28 +369,50 @@ pub fn run(config: &ServeBenchConfig) -> Result<ServeBenchReport, String> {
                 ("workers", Value::from(config.workers)),
                 ("max_batch", Value::from(config.max_batch)),
                 ("seed", Value::from(config.seed)),
-            ]),
-        ),
-        (
-            "results",
-            Value::object(vec![
-                ("total_queries", Value::from(report.total_queries)),
-                ("verified", Value::from(report.verified)),
-                ("mismatches", Value::from(report.mismatches)),
-                ("p50_us", Value::from(report.p50_us)),
-                ("p99_us", Value::from(report.p99_us)),
-                ("mean_us", Value::from(report.mean_us)),
-                ("max_us", Value::from(report.max_us)),
-                ("qps", Value::from(report.qps)),
-                ("wall_secs", Value::from(report.wall_secs)),
-                ("train_secs", Value::from(report.train_secs)),
-                ("cache_hits", Value::from(report.cache_hits)),
-                ("cache_misses", Value::from(report.cache_misses)),
-            ]),
-        ),
+                ("shards", Value::from(config.shards)),
+            ])
+        }),
+        ("results", {
+            let mut obj = mono.to_json();
+            if let Value::Object(map) = &mut obj {
+                map.insert("train_secs".into(), Value::from(train_secs));
+                map.insert("cache_hits".into(), Value::from(cache_hits));
+                map.insert("cache_misses".into(), Value::from(cache_misses));
+            }
+            obj
+        }),
         ("server_stats", server_stats),
-    ]);
-    Ok(ServeBenchReport { json, ..report })
+    ];
+    if let Some(stats) = &sharded {
+        results.push(("results_sharded", stats.to_json()));
+        results.push((
+            "sharded_vs_monolithic_p50",
+            Value::from(if mono.p50_us > 0.0 {
+                stats.p50_us / mono.p50_us
+            } else {
+                0.0
+            }),
+        ));
+        results.push(("server_stats_sharded", sharded_server_stats));
+    }
+    let json = Value::object(results);
+
+    Ok(ServeBenchReport {
+        total_queries: mono.total_queries,
+        verified: mono.verified,
+        mismatches: mono.mismatches,
+        p50_us: mono.p50_us,
+        p99_us: mono.p99_us,
+        mean_us: mono.mean_us,
+        max_us: mono.max_us,
+        qps: mono.qps,
+        wall_secs: mono.wall_secs,
+        train_secs,
+        cache_hits,
+        cache_misses,
+        sharded,
+        json,
+    })
 }
 
 /// Runs the benchmark and writes the JSON report to `out`.
@@ -320,6 +453,30 @@ mod tests {
         assert!(report.p99_us >= report.p50_us);
         assert!(report.qps > 0.0);
         assert!(report.json.get("results").is_some());
+        assert!(report.sharded.is_none());
+        assert!(report.json.get("results_sharded").is_none());
+    }
+
+    #[test]
+    fn sharded_phase_verifies_against_monolithic() {
+        let config = ServeBenchConfig {
+            n: 80,
+            k: 2,
+            dim: 8,
+            clients: 4,
+            queries_per_client: 10,
+            topk: 5,
+            workers: 4,
+            shards: 3,
+            ..Default::default()
+        };
+        let report = run(&config).unwrap();
+        let sharded = report.sharded.expect("sharded phase ran");
+        assert_eq!(sharded.total_queries, 40);
+        assert_eq!(sharded.verified, 40);
+        assert_eq!(sharded.mismatches, 0);
+        assert!(report.json.get("results_sharded").is_some());
+        assert!(report.json.get("sharded_vs_monolithic_p50").is_some());
     }
 
     #[test]

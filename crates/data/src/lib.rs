@@ -14,6 +14,8 @@
 //!   [`registry::DatasetSpec::generate`];
 //! * [`io`] — JSON (diffable) and compact binary persistence for
 //!   [`Mvag`](mvag_graph::Mvag);
+//! * [`manifest`] — the JSON shard manifest of the sharded (v2)
+//!   artifact layout served by `sgla-serve`;
 //! * [`toy_mvag`] — re-export of the small fixture generator.
 
 #![forbid(unsafe_code)]
@@ -23,9 +25,11 @@ pub mod codec;
 pub mod error;
 pub mod io;
 pub mod json;
+pub mod manifest;
 pub mod registry;
 
 pub use error::DataError;
+pub use manifest::{ShardEntry, ShardManifest};
 pub use mvag_graph::toy::toy_mvag;
 pub use registry::{by_name, full_registry, DatasetSpec};
 

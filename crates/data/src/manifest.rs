@@ -1,0 +1,406 @@
+//! The shard manifest of a sharded (v2) artifact layout.
+//!
+//! A trained artifact too large for one host is split by contiguous
+//! row ranges into shard files, and a small JSON manifest describes
+//! the set: dataset metadata, the artifact format version the shards
+//! were encoded with, and one entry per shard (file name, row range,
+//! byte size, CRC-32 of the whole shard file). The manifest is the
+//! single file a shard router has to read up front — shard files can
+//! then be loaded lazily, verified against their recorded checksums.
+//!
+//! The manifest lives in `mvag-data` (not `sgla-serve`) because it is
+//! pure format: a JSON document with strict, versioned decoding, no
+//! serving behaviour. See `docs/ARCHITECTURE.md` for the full v1→v2
+//! artifact format specification.
+//!
+//! ```
+//! use mvag_data::manifest::{ShardEntry, ShardManifest};
+//!
+//! let manifest = ShardManifest {
+//!     dataset: "toy".into(),
+//!     n: 100,
+//!     k: 3,
+//!     dim: 16,
+//!     seed: 42,
+//!     artifact_format_version: 2,
+//!     shards: vec![
+//!         ShardEntry { file: "shard-00000.sgla".into(), row_start: 0, row_end: 50, bytes: 0, crc32: 0 },
+//!         ShardEntry { file: "shard-00001.sgla".into(), row_start: 50, row_end: 100, bytes: 0, crc32: 0 },
+//!     ],
+//! };
+//! manifest.validate().unwrap();
+//! let back = ShardManifest::from_json(&manifest.to_json()).unwrap();
+//! assert_eq!(manifest, back);
+//! assert_eq!(back.shard_of(73), Some(1));
+//! ```
+
+use crate::json::{self, Value};
+use crate::{DataError, Result};
+use std::fs;
+use std::path::Path;
+
+/// Format tag embedded in the JSON document; decoders reject others.
+pub const MANIFEST_FORMAT: &str = "sgla-shard-manifest/1";
+
+/// One shard of a row-range-sharded artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardEntry {
+    /// Shard file name, relative to the manifest's directory.
+    pub file: String,
+    /// First global row (node id) covered by this shard, inclusive.
+    pub row_start: usize,
+    /// One past the last global row covered by this shard.
+    pub row_end: usize,
+    /// Size of the shard file in bytes (0 = unknown, skip the check).
+    pub bytes: u64,
+    /// CRC-32 (IEEE) of the entire shard file (0 = unknown, skip the
+    /// check; the shard's own embedded body checksum still applies).
+    pub crc32: u32,
+}
+
+impl ShardEntry {
+    /// Rows covered by this shard.
+    pub fn rows(&self) -> usize {
+        self.row_end.saturating_sub(self.row_start)
+    }
+}
+
+/// The manifest of a sharded artifact: dataset metadata plus the
+/// ordered, contiguous list of row-range shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardManifest {
+    /// Name of the dataset the artifact was trained on.
+    pub dataset: String,
+    /// Total node count `n` across all shards.
+    pub n: usize,
+    /// Cluster count `k`.
+    pub k: usize,
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Seed the training run used (provenance).
+    pub seed: u64,
+    /// Binary format version of the shard files (2 for sharded).
+    pub artifact_format_version: u16,
+    /// Shards in ascending row order, covering `0..n` contiguously.
+    pub shards: Vec<ShardEntry>,
+}
+
+impl ShardManifest {
+    /// Structural checks: at least one shard, ranges non-empty, sorted,
+    /// and covering `0..n` with no gap or overlap.
+    ///
+    /// # Errors
+    /// [`DataError::Serde`] describing the first inconsistency.
+    pub fn validate(&self) -> Result<()> {
+        let fail = |msg: String| Err(DataError::Serde(format!("shard manifest: {msg}")));
+        if self.shards.is_empty() {
+            return fail("no shards".into());
+        }
+        let mut expected_start = 0usize;
+        for (i, s) in self.shards.iter().enumerate() {
+            if s.row_start != expected_start {
+                return fail(format!(
+                    "shard {i} starts at row {} (expected {expected_start})",
+                    s.row_start
+                ));
+            }
+            if s.row_end <= s.row_start {
+                return fail(format!(
+                    "shard {i} has empty range {}..{}",
+                    s.row_start, s.row_end
+                ));
+            }
+            if s.file.is_empty() {
+                return fail(format!("shard {i} has no file name"));
+            }
+            expected_start = s.row_end;
+        }
+        if expected_start != self.n {
+            return fail(format!("shards cover 0..{expected_start}, n = {}", self.n));
+        }
+        Ok(())
+    }
+
+    /// Index of the shard owning global row `node`, if in range.
+    pub fn shard_of(&self, node: usize) -> Option<usize> {
+        if node >= self.n {
+            return None;
+        }
+        // Ranges are sorted and contiguous: binary search on row_start.
+        let idx = self
+            .shards
+            .partition_point(|s| s.row_end <= node)
+            .min(self.shards.len().saturating_sub(1));
+        let s = &self.shards[idx];
+        (s.row_start <= node && node < s.row_end).then_some(idx)
+    }
+
+    /// Renders the manifest as a pretty JSON document.
+    pub fn to_json(&self) -> String {
+        let shards: Vec<Value> = self
+            .shards
+            .iter()
+            .map(|s| {
+                Value::object(vec![
+                    ("file", Value::from(s.file.as_str())),
+                    ("row_start", Value::from(s.row_start)),
+                    ("row_end", Value::from(s.row_end)),
+                    ("bytes", Value::from(s.bytes)),
+                    ("crc32", Value::from(s.crc32 as u64)),
+                ])
+            })
+            .collect();
+        Value::object(vec![
+            ("format", Value::from(MANIFEST_FORMAT)),
+            ("dataset", Value::from(self.dataset.as_str())),
+            ("n", Value::from(self.n)),
+            ("k", Value::from(self.k)),
+            ("dim", Value::from(self.dim)),
+            ("seed", Value::from(self.seed)),
+            (
+                "artifact_format_version",
+                Value::from(self.artifact_format_version as usize),
+            ),
+            ("shards", Value::Array(shards)),
+        ])
+        .to_string_pretty()
+    }
+
+    /// Parses and validates a manifest from its JSON text.
+    ///
+    /// # Errors
+    /// [`DataError::Serde`] on malformed JSON, a wrong/missing format
+    /// tag, missing fields, or inconsistent shard ranges.
+    pub fn from_json(text: &str) -> Result<ShardManifest> {
+        let fail = |msg: &str| DataError::Serde(format!("shard manifest: {msg}"));
+        let doc = json::parse(text).map_err(|e| fail(&format!("not JSON: {e}")))?;
+        match doc.get("format").and_then(Value::as_str) {
+            Some(MANIFEST_FORMAT) => {}
+            Some(other) => return Err(fail(&format!("unsupported format '{other}'"))),
+            None => return Err(fail("missing format tag")),
+        }
+        let str_field = |key: &str| {
+            doc.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| fail(&format!("missing {key}")))
+        };
+        let num_field = |key: &str| {
+            doc.get(key)
+                .and_then(Value::as_usize)
+                .ok_or_else(|| fail(&format!("missing {key}")))
+        };
+        // `Value::from(u64)` renders values above 2⁵³ as decimal
+        // strings (an f64-backed number would silently round them), so
+        // u64 fields must accept both encodings on the way back in.
+        let u64_field = |key: &str| {
+            let v = doc
+                .get(key)
+                .ok_or_else(|| fail(&format!("missing {key}")))?;
+            as_u64(v).ok_or_else(|| fail(&format!("bad {key}")))
+        };
+        let shard_vals = doc
+            .get("shards")
+            .and_then(Value::as_array)
+            .ok_or_else(|| fail("missing shards array"))?;
+        let mut shards = Vec::with_capacity(shard_vals.len());
+        for (i, sv) in shard_vals.iter().enumerate() {
+            let sfail = |msg: &str| fail(&format!("shard {i}: {msg}"));
+            let snum = |key: &str| {
+                sv.get(key)
+                    .and_then(Value::as_usize)
+                    .ok_or_else(|| sfail(&format!("missing {key}")))
+            };
+            shards.push(ShardEntry {
+                file: sv
+                    .get("file")
+                    .and_then(Value::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| sfail("missing file"))?,
+                row_start: snum("row_start")?,
+                row_end: snum("row_end")?,
+                bytes: sv
+                    .get("bytes")
+                    .and_then(as_u64)
+                    .ok_or_else(|| sfail("missing bytes"))?,
+                crc32: u32::try_from(snum("crc32")?).map_err(|_| sfail("crc32 out of range"))?,
+            });
+        }
+        let manifest = ShardManifest {
+            dataset: str_field("dataset")?,
+            n: num_field("n")?,
+            k: num_field("k")?,
+            dim: num_field("dim")?,
+            seed: u64_field("seed")?,
+            artifact_format_version: u16::try_from(num_field("artifact_format_version")?)
+                .map_err(|_| fail("artifact_format_version out of range"))?,
+            shards,
+        };
+        manifest.validate()?;
+        Ok(manifest)
+    }
+
+    /// Saves the manifest as pretty JSON.
+    ///
+    /// # Errors
+    /// I/O failures.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        fs::write(path, self.to_json())?;
+        Ok(())
+    }
+
+    /// Loads and validates a manifest from `path`.
+    ///
+    /// # Errors
+    /// I/O failures and [`DataError::Serde`] on malformed content.
+    pub fn load(path: &Path) -> Result<ShardManifest> {
+        let text = fs::read_to_string(path)?;
+        ShardManifest::from_json(&text)
+    }
+}
+
+/// Reads a `u64` from either JSON encoding `Value::from(u64)` emits: a
+/// number (values ≤ 2⁵³) or a decimal string (values above, which an
+/// f64-backed number would round).
+fn as_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::Number(_) => v.as_usize().map(|x| x as u64),
+        Value::String(s) => s.parse::<u64>().ok(),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ShardManifest {
+        ShardManifest {
+            dataset: "toy".into(),
+            n: 100,
+            k: 3,
+            dim: 16,
+            seed: 7,
+            artifact_format_version: 2,
+            shards: vec![
+                ShardEntry {
+                    file: "shard-00000.sgla".into(),
+                    row_start: 0,
+                    row_end: 34,
+                    bytes: 1234,
+                    crc32: 0xDEAD_BEEF,
+                },
+                ShardEntry {
+                    file: "shard-00001.sgla".into(),
+                    row_start: 34,
+                    row_end: 67,
+                    bytes: 1200,
+                    crc32: 0x0BAD_F00D,
+                },
+                ShardEntry {
+                    file: "shard-00002.sgla".into(),
+                    row_start: 67,
+                    row_end: 100,
+                    bytes: 1190,
+                    crc32: 42,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact() {
+        let m = sample();
+        let back = ShardManifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("sgla-manifest-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("manifest.json");
+        let m = sample();
+        m.save(&path).unwrap();
+        assert_eq!(ShardManifest::load(&path).unwrap(), m);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shard_of_routes_every_row() {
+        let m = sample();
+        for node in 0..m.n {
+            let s = m.shard_of(node).unwrap();
+            assert!(m.shards[s].row_start <= node && node < m.shards[s].row_end);
+        }
+        assert_eq!(m.shard_of(0), Some(0));
+        assert_eq!(m.shard_of(33), Some(0));
+        assert_eq!(m.shard_of(34), Some(1));
+        assert_eq!(m.shard_of(99), Some(2));
+        assert_eq!(m.shard_of(100), None);
+        assert_eq!(m.shard_of(usize::MAX), None);
+    }
+
+    #[test]
+    fn u64_fields_above_2_pow_53_roundtrip() {
+        // Value::from(u64) stringifies values > 2⁵³ to avoid f64
+        // rounding; the parser must accept them back.
+        let mut m = sample();
+        m.seed = u64::MAX - 1;
+        m.shards[0].bytes = (1u64 << 53) + 7;
+        let back = ShardManifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(back.seed, u64::MAX - 1);
+        assert_eq!(back.shards[0].bytes, (1u64 << 53) + 7);
+    }
+
+    #[test]
+    fn wrong_format_tag_rejected() {
+        let text = sample()
+            .to_json()
+            .replace(MANIFEST_FORMAT, "sgla-shard-manifest/99");
+        let err = ShardManifest::from_json(&text).unwrap_err();
+        assert!(err.to_string().contains("unsupported format"), "{err}");
+    }
+
+    #[test]
+    fn truncated_json_rejected() {
+        let text = sample().to_json();
+        // Every strict prefix must fail cleanly (JSON parse error or a
+        // missing-field error), never panic or yield a manifest.
+        for len in (0..text.len()).step_by(7) {
+            assert!(
+                ShardManifest::from_json(&text[..len]).is_err(),
+                "prefix of {len} decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn structural_problems_rejected() {
+        // Gap between shards.
+        let mut m = sample();
+        m.shards[1].row_start = 40;
+        assert!(m.validate().is_err());
+        // Overlap.
+        let mut m = sample();
+        m.shards[1].row_start = 30;
+        assert!(m.validate().is_err());
+        // Empty range.
+        let mut m = sample();
+        m.shards[2].row_end = m.shards[2].row_start;
+        assert!(m.validate().is_err());
+        // Doesn't reach n.
+        let mut m = sample();
+        m.n = 120;
+        assert!(m.validate().is_err());
+        // No shards at all.
+        let mut m = sample();
+        m.shards.clear();
+        assert!(m.validate().is_err());
+        // Missing fields in the JSON.
+        for key in ["\"n\"", "\"dataset\"", "\"shards\"", "\"row_end\""] {
+            let text = sample().to_json().replacen(key, "\"nope\"", 1);
+            assert!(ShardManifest::from_json(&text).is_err(), "dropped {key}");
+        }
+    }
+}

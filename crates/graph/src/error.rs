@@ -8,9 +8,9 @@ use std::fmt;
 pub enum GraphError {
     /// An underlying linear-algebra kernel failed.
     Sparse(SparseError),
-    /// The adjacency matrix handed to [`Graph::from_adjacency`]
-    /// (crate::Graph::from_adjacency) was not symmetric / nonnegative /
-    /// square.
+    /// The adjacency matrix handed to
+    /// [`Graph::from_adjacency`](crate::Graph::from_adjacency) was not
+    /// symmetric / nonnegative / square.
     InvalidAdjacency(String),
     /// An argument was structurally invalid (zero nodes, k > n, label
     /// length mismatch, ...).

@@ -4,7 +4,7 @@
 //! graph `G_K(Xⱼ)`: every node connects to its `K` most cosine-similar
 //! nodes, each edge weighted by the similarity. The result is symmetrized
 //! by keeping an edge if *either* endpoint selected the other (union),
-//! which is the prevalent convention (e.g. 2CMV [26]).
+//! which is the prevalent convention (e.g. 2CMV \[26\]).
 //!
 //! Complexity is the exact brute-force `O(n² d / threads)`; the paper's
 //! `qnK` terms count the *resulting* nonzeros, and the construction itself

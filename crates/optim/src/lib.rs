@@ -3,7 +3,7 @@
 //! The paper optimizes its spectrum-guided objective with two tools, both
 //! implemented here from scratch:
 //!
-//! * [`cobyla`] — a linear-approximation trust-region method in the style
+//! * [`mod@cobyla`] — a linear-approximation trust-region method in the style
 //!   of Powell's COBYLA \[40\]: linear interpolation models of the objective
 //!   and constraints over a simplex of points, a trust-region step on the
 //!   models, and geometry repair. Used by Algorithm 1 (line 6) and

@@ -2,7 +2,7 @@
 //!
 //! The paper motivates Cobyla by the cost of objective evaluations; this
 //! simplex-reflection method is the obvious derivative-free alternative and
-//! is benchmarked against [`cobyla`](crate::cobyla) in the optimizer
+//! is benchmarked against [`cobyla`](mod@crate::cobyla) in the optimizer
 //! ablation (it typically needs noticeably more evaluations to reach the
 //! same objective value on the SGLA surface).
 

@@ -1,0 +1,79 @@
+//! The query-backend abstraction the HTTP front end serves.
+//!
+//! [`QueryBackend`] is the narrow interface between the transport
+//! layer ([`crate::http`], [`crate::batch`]) and whatever answers
+//! queries behind it: a single in-memory [`QueryEngine`] for
+//! monolithic artifacts, or a [`crate::router::ShardRouter`] fronting
+//! many row-range shard engines. The HTTP server and the micro-batcher
+//! are written against `Arc<dyn QueryBackend>`, so sharded serving is
+//! a deployment choice, not a different server.
+
+use crate::artifact::ArtifactMeta;
+use crate::engine::{ClusterInfo, Neighbor, QueryEngine};
+use crate::Result;
+
+/// Anything that can answer the three serving queries over one
+/// artifact's id space.
+pub trait QueryBackend: Send + Sync {
+    /// Metadata of the (logical, full) artifact being served.
+    fn meta(&self) -> &ArtifactMeta;
+
+    /// Learned view weights `w*` (reported by `/artifact`).
+    fn weights(&self) -> &[f64];
+
+    /// Cluster assignment and centroid distance for one node.
+    ///
+    /// # Errors
+    /// [`crate::ServeError::InvalidQuery`] for out-of-range nodes.
+    fn cluster_of(&self, node: usize) -> Result<ClusterInfo>;
+
+    /// Answers many `(node, k)` top-k queries; results in query order,
+    /// failed queries carry their individual error.
+    fn top_k_batch(&self, queries: &[(usize, usize)]) -> Vec<Result<Vec<Neighbor>>>;
+
+    /// Embedding rows for a batch of nodes (whole batch rejected on
+    /// any invalid id).
+    ///
+    /// # Errors
+    /// [`crate::ServeError::InvalidQuery`] if any node is out of range.
+    fn embed_batch(&self, nodes: &[usize]) -> Result<Vec<Vec<f64>>>;
+
+    /// `(hits, misses)` of the backend's top-k result cache.
+    fn cache_stats(&self) -> (u64, u64);
+
+    /// How many row-range shards back this backend (1 = monolithic).
+    fn shard_count(&self) -> usize {
+        1
+    }
+
+    /// How many shards are currently resident in memory.
+    fn resident_shards(&self) -> usize {
+        1
+    }
+}
+
+impl QueryBackend for QueryEngine {
+    fn meta(&self) -> &ArtifactMeta {
+        &self.artifact().meta
+    }
+
+    fn weights(&self) -> &[f64] {
+        &self.artifact().weights
+    }
+
+    fn cluster_of(&self, node: usize) -> Result<ClusterInfo> {
+        QueryEngine::cluster_of(self, node)
+    }
+
+    fn top_k_batch(&self, queries: &[(usize, usize)]) -> Vec<Result<Vec<Neighbor>>> {
+        QueryEngine::top_k_batch(self, queries)
+    }
+
+    fn embed_batch(&self, nodes: &[usize]) -> Result<Vec<Vec<f64>>> {
+        QueryEngine::embed_batch(self, nodes)
+    }
+
+    fn cache_stats(&self) -> (u64, u64) {
+        QueryEngine::cache_stats(self)
+    }
+}

@@ -4,13 +4,17 @@
 //! submit jobs to a [`Batcher`] and block on a reply channel. A single
 //! drain thread collects everything that queued up while the previous
 //! batch was computing (up to `max_batch`) and answers the whole batch
-//! with one [`QueryEngine::top_k_batch`] pass — so under concurrent
+//! with one [`QueryBackend::top_k_batch`] pass — so under concurrent
 //! load the embedding matrix is read once per *batch*, not once per
 //! *request*, and per-request latency amortizes the memory traffic.
 //! Under light load the queue is almost always length 1 and the drain
 //! thread behaves like a direct call — no artificial delay is added.
+//!
+//! The batcher is transport- and backend-agnostic: it runs over any
+//! [`QueryBackend`] — a monolithic engine or a shard router alike.
 
-use crate::engine::{Neighbor, QueryEngine};
+use crate::backend::QueryBackend;
+use crate::engine::Neighbor;
 use crate::Result;
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
@@ -34,6 +38,24 @@ struct Shared {
 }
 
 /// Batches concurrent top-k queries into single kernel passes.
+///
+/// ```
+/// use sgla_serve::batch::Batcher;
+/// use sgla_serve::{Artifact, EngineConfig, QueryEngine, TrainConfig};
+/// use std::sync::Arc;
+///
+/// let mvag = mvag_data::toy_mvag(40, 2, 7);
+/// let mut config = TrainConfig::default();
+/// config.embed.dim = 4;
+/// let engine = Arc::new(
+///     QueryEngine::new(Artifact::train(&mvag, &config).unwrap(), EngineConfig::default())
+///         .unwrap(),
+/// );
+///
+/// let batcher = Batcher::new(engine.clone(), 16);
+/// let via_batcher = batcher.top_k(5, 3).unwrap();
+/// assert_eq!(via_batcher, engine.top_k_similar(5, 3).unwrap());
+/// ```
 pub struct Batcher {
     shared: Arc<Shared>,
     worker: Option<JoinHandle<()>>,
@@ -50,9 +72,9 @@ impl std::fmt::Debug for Batcher {
 }
 
 impl Batcher {
-    /// Starts the drain thread. `max_batch` bounds how many queued
-    /// queries one kernel pass may absorb.
-    pub fn new(engine: Arc<QueryEngine>, max_batch: usize) -> Batcher {
+    /// Starts the drain thread over any backend. `max_batch` bounds
+    /// how many queued queries one kernel pass may absorb.
+    pub fn new(backend: Arc<dyn QueryBackend>, max_batch: usize) -> Batcher {
         let max_batch = max_batch.max(1);
         let shared = Arc::new(Shared {
             queue: Mutex::new(Queue::default()),
@@ -61,7 +83,7 @@ impl Batcher {
         let worker_shared = Arc::clone(&shared);
         let worker = std::thread::Builder::new()
             .name("sgla-batcher".into())
-            .spawn(move || drain_loop(&worker_shared, &engine, max_batch))
+            .spawn(move || drain_loop(&worker_shared, backend.as_ref(), max_batch))
             .expect("spawn batcher thread");
         Batcher {
             shared,
@@ -108,7 +130,7 @@ impl Drop for Batcher {
     }
 }
 
-fn drain_loop(shared: &Shared, engine: &QueryEngine, max_batch: usize) {
+fn drain_loop(shared: &Shared, backend: &dyn QueryBackend, max_batch: usize) {
     loop {
         let batch: Vec<Job> = {
             let mut q = shared.queue.lock().expect("batch queue lock");
@@ -122,7 +144,7 @@ fn drain_loop(shared: &Shared, engine: &QueryEngine, max_batch: usize) {
             q.jobs.drain(..take).collect()
         };
         let queries: Vec<(usize, usize)> = batch.iter().map(|j| (j.node, j.k)).collect();
-        let answers = engine.top_k_batch(&queries);
+        let answers = backend.top_k_batch(&queries);
         for (job, answer) in batch.into_iter().zip(answers) {
             // A dropped receiver just means the client went away.
             let _ = job.reply.send(answer);
@@ -134,7 +156,7 @@ fn drain_loop(shared: &Shared, engine: &QueryEngine, max_batch: usize) {
 mod tests {
     use super::*;
     use crate::artifact::{Artifact, TrainConfig};
-    use crate::engine::EngineConfig;
+    use crate::engine::{EngineConfig, QueryEngine};
     use mvag_graph::toy::toy_mvag;
 
     fn engine() -> Arc<QueryEngine> {
@@ -148,7 +170,7 @@ mod tests {
     #[test]
     fn concurrent_submissions_match_direct_calls() {
         let engine = engine();
-        let batcher = Arc::new(Batcher::new(Arc::clone(&engine), 32));
+        let batcher = Arc::new(Batcher::new(engine.clone(), 32));
         let mut handles = Vec::new();
         for t in 0..8usize {
             let batcher = Arc::clone(&batcher);

@@ -4,17 +4,25 @@
 //! # Train on the synthetic toy dataset and write an artifact:
 //! sgla-serve train --out toy.sgla --n 300 --k 3 --seed 42
 //!
+//! # Train and write a sharded layout (directory with manifest.json):
+//! sgla-serve train --out toy-sharded/ --shards 4 --n 300 --k 3
+//!
 //! # Train on a Table-II synthetic stand-in from the registry:
 //! sgla-serve train --out imdb.sgla --dataset imdb --scale 0.25
 //!
-//! # Inspect an artifact:
+//! # Inspect an artifact (single file, manifest, or shard directory):
 //! sgla-serve info --artifact toy.sgla
+//! sgla-serve info --artifact toy-sharded/
 //!
-//! # Serve it:
+//! # Serve it (sharded layouts are detected automatically):
 //! sgla-serve serve --artifact toy.sgla --addr 127.0.0.1:7878 --workers 8
+//! sgla-serve serve --artifact toy-sharded/ --max-resident 2
 //! ```
 
-use sgla_serve::{Artifact, EngineConfig, QueryEngine, Server, ServerConfig, TrainConfig};
+use sgla_serve::{
+    Artifact, EngineConfig, QueryBackend, QueryEngine, RouterConfig, Server, ServerConfig,
+    ShardRouter, TrainConfig,
+};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -45,11 +53,11 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  sgla-serve train --out <file> [--dataset toy|<registry name>] [--n N] [--k K]
-                   [--dim D] [--seed S] [--scale F]
-  sgla-serve info  --artifact <file>
-  sgla-serve serve --artifact <file> [--addr HOST:PORT] [--workers N]
-                   [--cache N] [--batch N]";
+  sgla-serve train --out <file|dir> [--shards N] [--dataset toy|<registry name>]
+                   [--n N] [--k K] [--dim D] [--seed S] [--scale F]
+  sgla-serve info  --artifact <file|manifest.json|shard dir>
+  sgla-serve serve --artifact <file|manifest.json|shard dir> [--addr HOST:PORT]
+                   [--workers N] [--cache N] [--batch N] [--max-resident N]";
 
 /// Tiny flag parser: `--key value` pairs after the subcommand.
 struct Flags(Vec<(String, String)>);
@@ -112,6 +120,8 @@ fn train(args: &[String]) -> Result<(), String> {
     let mut config = TrainConfig::default();
     config.sgla.seed = seed;
     config.embed.dim = flags.parse_num("dim", 64)?;
+    // Parse before training: a bad value must not cost a training run.
+    let shards: usize = flags.parse_num("shards", 1)?;
     let started = std::time::Instant::now();
     let artifact = Artifact::train(&mvag, &config).map_err(|e| e.to_string())?;
     println!(
@@ -119,12 +129,55 @@ fn train(args: &[String]) -> Result<(), String> {
         started.elapsed().as_secs_f64(),
         artifact.weights
     );
-    // Encode once: save() would re-run the full encode (including the
-    // CRC pass) just to learn the byte count.
-    let encoded = artifact.encode();
-    std::fs::write(&out, encoded.as_ref()).map_err(|e| e.to_string())?;
-    println!("wrote {} ({} bytes)", out.display(), encoded.len());
+    if shards > 1 {
+        // Sharded layout: --out is a directory holding the manifest
+        // plus one self-contained v2 artifact per row-range shard.
+        let manifest = artifact
+            .save_sharded(&out, shards)
+            .map_err(|e| e.to_string())?;
+        let total: u64 = manifest.shards.iter().map(|s| s.bytes).sum();
+        println!(
+            "wrote {} shards + {} to {} ({total} bytes total)",
+            manifest.shards.len(),
+            Artifact::MANIFEST_FILE,
+            out.display()
+        );
+        print_shard_table(&manifest);
+    } else {
+        // Encode once: save() would re-run the full encode (including
+        // the CRC pass) just to learn the byte count.
+        let encoded = artifact.encode();
+        std::fs::write(&out, encoded.as_ref()).map_err(|e| e.to_string())?;
+        println!("wrote {} ({} bytes)", out.display(), encoded.len());
+    }
     Ok(())
+}
+
+/// Is `path` a sharded layout (a directory with a manifest, or the
+/// manifest file itself) rather than a single artifact file? Files are
+/// decided by content, not extension: a monolithic artifact starts
+/// with the binary `SGLA` magic, a manifest is JSON text — so an
+/// artifact trained to a `.json` name still loads as an artifact.
+fn is_sharded_path(path: &Path) -> bool {
+    if path.is_dir() {
+        return true;
+    }
+    use std::io::Read;
+    let mut head = [0u8; 4];
+    match std::fs::File::open(path).and_then(|mut f| f.read_exact(&mut head)) {
+        Ok(()) => head != *b"SGLA",
+        // Unreadable/short files: let Artifact::load produce the error.
+        Err(_) => false,
+    }
+}
+
+fn print_shard_table(manifest: &mvag_data::ShardManifest) {
+    for s in &manifest.shards {
+        println!(
+            "  {}  rows {:>6}..{:<6}  {} bytes  crc32 {:08x}",
+            s.file, s.row_start, s.row_end, s.bytes, s.crc32
+        );
+    }
 }
 
 fn info(args: &[String]) -> Result<(), String> {
@@ -132,14 +185,33 @@ fn info(args: &[String]) -> Result<(), String> {
     let path = flags
         .get("artifact")
         .ok_or("info needs --artifact <file>")?;
-    let artifact = Artifact::load(Path::new(path)).map_err(|e| e.to_string())?;
+    let path = Path::new(path);
+    if is_sharded_path(path) {
+        let router = ShardRouter::open(path, RouterConfig::default()).map_err(|e| e.to_string())?;
+        let manifest = router.manifest();
+        println!(
+            "layout:    sharded (format v{})",
+            manifest.artifact_format_version
+        );
+        println!("dataset:   {}", manifest.dataset);
+        println!("n:         {}", manifest.n);
+        println!("k:         {}", manifest.k);
+        println!("dim:       {}", manifest.dim);
+        println!("seed:      {}", manifest.seed);
+        println!("weights:   {:?}", router.weights());
+        println!("shards:    {}", manifest.shards.len());
+        print_shard_table(manifest);
+        return Ok(());
+    }
+    let artifact = Artifact::load(path).map_err(|e| e.to_string())?;
     let m = &artifact.meta;
-    println!("artifact:  {path}");
+    println!("artifact:  {}", path.display());
     println!("dataset:   {}", m.dataset);
     println!("n:         {}", m.n);
     println!("k:         {}", m.k);
     println!("dim:       {}", m.dim);
     println!("seed:      {}", m.seed);
+    println!("rows:      {}..{}", m.row_start, m.row_end);
     println!("weights:   {:?}", artifact.weights);
     println!("laplacian: {} nnz", artifact.laplacian.nnz());
     Ok(())
@@ -150,16 +222,37 @@ fn serve(args: &[String]) -> Result<(), String> {
     let path = flags
         .get("artifact")
         .ok_or("serve needs --artifact <file>")?;
-    let artifact = Artifact::load(Path::new(path)).map_err(|e| e.to_string())?;
-    println!(
-        "loaded {} (n = {}, k = {}, dim = {})",
-        artifact.meta.dataset, artifact.meta.n, artifact.meta.k, artifact.meta.dim
-    );
+    let path = Path::new(path);
     let engine_config = EngineConfig {
         cache_capacity: flags.parse_num("cache", 4096)?,
         ..EngineConfig::default()
     };
-    let engine = Arc::new(QueryEngine::new(artifact, engine_config).map_err(|e| e.to_string())?);
+    let backend: Arc<dyn QueryBackend> = if is_sharded_path(path) {
+        let router_config = RouterConfig {
+            // --cache sizes the router's merged-answer cache here (the
+            // per-shard engine caches are disabled by the router).
+            cache_capacity: engine_config.cache_capacity,
+            engine: engine_config,
+            max_resident: flags.parse_num("max-resident", 0)?,
+        };
+        let router = ShardRouter::open(path, router_config).map_err(|e| e.to_string())?;
+        println!(
+            "loaded sharded {} (n = {}, k = {}, dim = {}, {} shards)",
+            router.meta().dataset,
+            router.meta().n,
+            router.meta().k,
+            router.meta().dim,
+            router.manifest().shards.len()
+        );
+        Arc::new(router)
+    } else {
+        let artifact = Artifact::load(path).map_err(|e| e.to_string())?;
+        println!(
+            "loaded {} (n = {}, k = {}, dim = {})",
+            artifact.meta.dataset, artifact.meta.n, artifact.meta.k, artifact.meta.dim
+        );
+        Arc::new(QueryEngine::new(artifact, engine_config).map_err(|e| e.to_string())?)
+    };
     let server_config = ServerConfig {
         addr: flags
             .get("addr")
@@ -170,7 +263,7 @@ fn serve(args: &[String]) -> Result<(), String> {
         max_batch: flags.parse_num("batch", 64)?,
         ..ServerConfig::default()
     };
-    let server = Server::start(engine, &server_config).map_err(|e| e.to_string())?;
+    let server = Server::start_backend(backend, &server_config).map_err(|e| e.to_string())?;
     println!("serving on http://{}", server.local_addr());
     println!("endpoints: /healthz /stats /artifact /cluster/{{node}} /topk/{{node}}?k=K /embed");
     println!("press Ctrl-C to stop");

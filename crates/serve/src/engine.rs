@@ -17,6 +17,13 @@
 //! share memory traffic instead of multiplying it. The HTTP front end
 //! funnels concurrent requests through [`crate::batch::Batcher`], which
 //! micro-batches them into exactly this entry point.
+//!
+//! An engine serves whatever row range its artifact covers: a full
+//! artifact behaves exactly as before, while a shard artifact answers
+//! for its global row range only — [`QueryEngine::top_k_for_query`]
+//! additionally scores an *external* query vector against the local
+//! rows, which is how [`crate::router::ShardRouter`] fans one query
+//! out across many shard engines.
 
 use crate::artifact::Artifact;
 use crate::lru::LruCache;
@@ -70,11 +77,31 @@ impl Default for EngineConfig {
     }
 }
 
-/// In-memory index over one artifact.
+/// In-memory index over one artifact (full or a row-range shard).
+///
+/// All node ids in the query API are *global*: a shard engine answers
+/// for nodes in its artifact's `[row_start, row_end)` and rejects the
+/// rest with [`ServeError::InvalidQuery`].
+///
+/// ```
+/// use sgla_serve::{Artifact, EngineConfig, QueryEngine, TrainConfig};
+///
+/// let mvag = mvag_data::toy_mvag(40, 2, 7);
+/// let mut config = TrainConfig::default();
+/// config.embed.dim = 4;
+/// let artifact = Artifact::train(&mvag, &config).unwrap();
+/// let engine = QueryEngine::new(artifact, EngineConfig::default()).unwrap();
+///
+/// let info = engine.cluster_of(3).unwrap();
+/// assert!(info.cluster < 2);
+/// let neighbors = engine.top_k_similar(3, 5).unwrap();
+/// assert_eq!(neighbors.len(), 5);
+/// ```
 #[derive(Debug)]
 pub struct QueryEngine {
     artifact: Artifact,
-    /// Euclidean norm of each embedding row (precomputed for cosine).
+    /// Euclidean norm of each local embedding row (precomputed for
+    /// cosine).
     norms: Vec<f64>,
     cache: Mutex<LruCache<(usize, usize), Vec<Neighbor>>>,
     config: EngineConfig,
@@ -87,7 +114,7 @@ impl QueryEngine {
     /// [`ServeError::Corrupt`] if the artifact is inconsistent.
     pub fn new(artifact: Artifact, config: EngineConfig) -> Result<Self> {
         artifact.validate()?;
-        let norms = (0..artifact.meta.n)
+        let norms = (0..artifact.meta.rows())
             .map(|i| vecops::norm2(artifact.embedding.row(i)))
             .collect();
         Ok(QueryEngine {
@@ -109,24 +136,38 @@ impl QueryEngine {
     }
 
     fn check_node(&self, node: usize) -> Result<()> {
-        if node >= self.artifact.meta.n {
+        let m = &self.artifact.meta;
+        if node >= m.n {
             return Err(ServeError::InvalidQuery(format!(
                 "node {node} out of range (n = {})",
-                self.artifact.meta.n
+                m.n
+            )));
+        }
+        if node < m.row_start || node >= m.row_end {
+            return Err(ServeError::InvalidQuery(format!(
+                "node {node} outside this shard's rows {}..{}",
+                m.row_start, m.row_end
             )));
         }
         Ok(())
     }
 
+    /// Local row index of a (checked) global node id.
+    fn local(&self, node: usize) -> usize {
+        node - self.artifact.meta.row_start
+    }
+
     /// Cluster assignment and centroid distance for one node.
     ///
     /// # Errors
-    /// [`ServeError::InvalidQuery`] for out-of-range nodes.
+    /// [`ServeError::InvalidQuery`] for nodes outside this engine's
+    /// row range.
     pub fn cluster_of(&self, node: usize) -> Result<ClusterInfo> {
         self.check_node(node)?;
-        let cluster = self.artifact.labels[node];
+        let local = self.local(node);
+        let cluster = self.artifact.labels[local];
         let centroid_dist = vecops::dist2(
-            self.artifact.embedding.row(node),
+            self.artifact.embedding.row(local),
             self.artifact.centroids.row(cluster),
         )
         .sqrt();
@@ -148,8 +189,24 @@ impl QueryEngine {
         }
         Ok(nodes
             .iter()
-            .map(|&n| self.artifact.embedding.row(n).to_vec())
+            .map(|&n| self.artifact.embedding.row(self.local(n)).to_vec())
             .collect())
+    }
+
+    /// The embedding row and its precomputed Euclidean norm for one
+    /// node — the query vector a [`crate::router::ShardRouter`] hands
+    /// to every other shard when fanning a top-k query out.
+    ///
+    /// # Errors
+    /// [`ServeError::InvalidQuery`] for nodes outside this engine's
+    /// row range.
+    pub fn query_vector(&self, node: usize) -> Result<(Vec<f64>, f64)> {
+        self.check_node(node)?;
+        let local = self.local(node);
+        Ok((
+            self.artifact.embedding.row(local).to_vec(),
+            self.norms[local],
+        ))
     }
 
     /// The `k` most similar nodes to `node` (cosine in embedding
@@ -176,10 +233,8 @@ impl QueryEngine {
         {
             let mut cache = self.cache.lock().expect("cache lock");
             for (qi, &(node, k)) in queries.iter().enumerate() {
-                if node >= n {
-                    answers.push(Some(Err(ServeError::InvalidQuery(format!(
-                        "node {node} out of range (n = {n})"
-                    )))));
+                if let Err(e) = self.check_node(node) {
+                    answers.push(Some(Err(e)));
                     continue;
                 }
                 if k == 0 {
@@ -236,27 +291,75 @@ impl QueryEngine {
     }
 
     fn scan_shard(&self, jobs: &[(usize, usize)]) -> Vec<Vec<Neighbor>> {
+        let vjobs: Vec<VectorJob> = jobs
+            .iter()
+            .map(|&(q, k)| {
+                let local = self.local(q);
+                VectorJob {
+                    qrow: self.artifact.embedding.row(local),
+                    qnorm: self.norms[local],
+                    exclude: Some(q),
+                    k,
+                }
+            })
+            .collect();
+        self.scan_vector_jobs(&vjobs)
+    }
+
+    /// Scores an external query vector against this engine's rows and
+    /// returns its `k` best neighbours (global ids, best first, same
+    /// ordering as [`QueryEngine::top_k_similar`]). `exclude` skips one
+    /// global id — the query node itself when this engine owns it.
+    ///
+    /// This is the per-shard half of a fanned-out top-k: the caller
+    /// (see [`crate::router::ShardRouter`]) merges the per-shard
+    /// answers, so this scan stays sequential and the caller decides
+    /// where the parallelism goes.
+    pub fn top_k_for_query(
+        &self,
+        qrow: &[f64],
+        qnorm: f64,
+        k: usize,
+        exclude: Option<usize>,
+    ) -> Vec<Neighbor> {
+        self.scan_vector_jobs(&[VectorJob {
+            qrow,
+            qnorm,
+            exclude,
+            k,
+        }])
+        .pop()
+        .expect("one job")
+    }
+
+    /// The blocked scan over this engine's local rows. Scores are
+    /// bit-identical to the monolithic path: the same `dot / (norm ·
+    /// norm)` on the same row data, visited in the same ascending row
+    /// order.
+    fn scan_vector_jobs(&self, jobs: &[VectorJob]) -> Vec<Vec<Neighbor>> {
         let emb = &self.artifact.embedding;
-        let n = self.artifact.meta.n;
+        let rows = self.artifact.meta.rows();
+        let offset = self.artifact.meta.row_start;
         let block = self.config.block_rows.max(1);
-        let mut heaps: Vec<TopKHeap> = jobs.iter().map(|&(_, k)| TopKHeap::new(k)).collect();
-        for block_start in (0..n).step_by(block) {
-            let block_end = (block_start + block).min(n);
+        let mut heaps: Vec<TopKHeap> = jobs.iter().map(|j| TopKHeap::new(j.k)).collect();
+        for block_start in (0..rows).step_by(block) {
+            let block_end = (block_start + block).min(rows);
             for (job, heap) in jobs.iter().zip(heaps.iter_mut()) {
-                let (q, _) = *job;
-                let qrow = emb.row(q);
-                let qnorm = self.norms[q];
                 for row in block_start..block_end {
-                    if row == q {
+                    let global = offset + row;
+                    if Some(global) == job.exclude {
                         continue;
                     }
-                    let denom = qnorm * self.norms[row];
+                    let denom = job.qnorm * self.norms[row];
                     let score = if denom > 1e-300 {
-                        vecops::dot(qrow, emb.row(row)) / denom
+                        vecops::dot(job.qrow, emb.row(row)) / denom
                     } else {
                         0.0
                     };
-                    heap.push(Neighbor { node: row, score });
+                    heap.push(Neighbor {
+                        node: global,
+                        score,
+                    });
                 }
             }
         }
@@ -264,11 +367,23 @@ impl QueryEngine {
     }
 }
 
+/// One scoring job against this engine's rows: an external query
+/// vector, its norm, and an optional global id to skip.
+struct VectorJob<'a> {
+    qrow: &'a [f64],
+    qnorm: f64,
+    exclude: Option<usize>,
+    k: usize,
+}
+
 /// Bounded worst-out collection of the best `k` neighbours. Ordering:
 /// higher score wins; equal scores prefer the smaller node id (total,
 /// deterministic order — embedding scores are finite by construction).
+/// Also used by the shard router to merge per-shard top-k lists: the
+/// order is total on distinct node ids, so the top-k of a union equals
+/// the top-k of the per-shard top-k's regardless of insertion order.
 #[derive(Debug)]
-struct TopKHeap {
+pub(crate) struct TopKHeap {
     k: usize,
     /// Kept worst-first (simple insertion into a sorted Vec; `k` is
     /// request-sized — tens, not thousands — so O(k) insert is fine
@@ -277,7 +392,7 @@ struct TopKHeap {
 }
 
 impl TopKHeap {
-    fn new(k: usize) -> Self {
+    pub(crate) fn new(k: usize) -> Self {
         TopKHeap {
             k,
             items: Vec::with_capacity(k + 1),
@@ -288,7 +403,7 @@ impl TopKHeap {
         a.score > b.score || (a.score == b.score && a.node < b.node)
     }
 
-    fn push(&mut self, cand: Neighbor) {
+    pub(crate) fn push(&mut self, cand: Neighbor) {
         if self.items.len() == self.k {
             // items[0] is the current worst.
             if !Self::better(&cand, &self.items[0]) {
@@ -304,7 +419,7 @@ impl TopKHeap {
         self.items.insert(pos, cand);
     }
 
-    fn into_sorted(self) -> Vec<Neighbor> {
+    pub(crate) fn into_sorted(self) -> Vec<Neighbor> {
         // Stored worst-first; answer is best-first.
         let mut v = self.items;
         v.reverse();

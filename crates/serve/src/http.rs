@@ -20,6 +20,7 @@
 //! Top-k requests go through the [`Batcher`], so concurrent clients
 //! are micro-batched into shared kernel passes.
 
+use crate::backend::QueryBackend;
 use crate::batch::Batcher;
 use crate::engine::QueryEngine;
 use crate::metrics::MetricsRegistry;
@@ -61,7 +62,7 @@ impl Default for ServerConfig {
 }
 
 struct ServerShared {
-    engine: Arc<QueryEngine>,
+    backend: Arc<dyn QueryBackend>,
     batcher: Batcher,
     metrics: MetricsRegistry,
     stop: AtomicBool,
@@ -86,16 +87,27 @@ impl std::fmt::Debug for Server {
 }
 
 impl Server {
-    /// Binds, spawns the worker pool, and starts accepting.
+    /// Binds, spawns the worker pool, and starts accepting — serving a
+    /// single in-memory [`QueryEngine`].
     ///
     /// # Errors
     /// [`ServeError::Io`] if the bind fails.
     pub fn start(engine: Arc<QueryEngine>, config: &ServerConfig) -> Result<Server> {
+        Server::start_backend(engine, config)
+    }
+
+    /// Binds, spawns the worker pool, and starts accepting over any
+    /// [`QueryBackend`] — a monolithic engine or a
+    /// [`ShardRouter`](crate::router::ShardRouter).
+    ///
+    /// # Errors
+    /// [`ServeError::Io`] if the bind fails.
+    pub fn start_backend(backend: Arc<dyn QueryBackend>, config: &ServerConfig) -> Result<Server> {
         let listener = TcpListener::bind(config.addr)?;
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(ServerShared {
-            batcher: Batcher::new(Arc::clone(&engine), config.max_batch),
-            engine,
+            batcher: Batcher::new(Arc::clone(&backend), config.max_batch),
+            backend,
             metrics: MetricsRegistry::new(),
             stop: AtomicBool::new(false),
         });
@@ -445,7 +457,7 @@ fn route(request: &Request, shared: &ServerShared) -> (&'static str, u16, String
         ("GET", ["stats"]) => ("stats", 200, stats_body(shared)),
         ("GET", ["artifact"]) => ("artifact", 200, artifact_body(shared)),
         ("GET", ["cluster", node]) => match parse_node(node) {
-            Ok(node) => match shared.engine.cluster_of(node) {
+            Ok(node) => match shared.backend.cluster_of(node) {
                 Ok(info) => (
                     "cluster",
                     200,
@@ -456,7 +468,9 @@ fn route(request: &Request, shared: &ServerShared) -> (&'static str, u16, String
                     ])
                     .to_string_compact(),
                 ),
-                Err(e) => ("cluster", 400, error_body(&e.to_string())),
+                // error_status: a bad query is 400; a shard-load fault
+                // behind the router is 503 (transient, retryable).
+                Err(e) => ("cluster", error_status(&e), error_body(&e.to_string())),
             },
             Err(msg) => ("cluster", 400, error_body(&msg)),
         },
@@ -530,7 +544,7 @@ fn embed_route(request: &Request, shared: &ServerShared) -> (&'static str, u16, 
             }
         }
     }
-    match shared.engine.embed_batch(&nodes) {
+    match shared.backend.embed_batch(&nodes) {
         Ok(rows) => {
             let rows: Vec<Value> = rows.into_iter().map(Value::from).collect();
             (
@@ -538,13 +552,13 @@ fn embed_route(request: &Request, shared: &ServerShared) -> (&'static str, u16, 
                 200,
                 Value::object(vec![
                     ("nodes", Value::from(nodes)),
-                    ("dim", Value::from(shared.engine.artifact().meta.dim)),
+                    ("dim", Value::from(shared.backend.meta().dim)),
                     ("embeddings", Value::Array(rows)),
                 ])
                 .to_string_compact(),
             )
         }
-        Err(e) => ("embed", 400, error_body(&e.to_string())),
+        Err(e) => ("embed", error_status(&e), error_body(&e.to_string())),
     }
 }
 
@@ -581,29 +595,27 @@ fn healthz_body(shared: &ServerShared) -> String {
         ("status", Value::from("ok")),
         (
             "artifact",
-            Value::from(shared.engine.artifact().meta.dataset.as_str()),
+            Value::from(shared.backend.meta().dataset.as_str()),
         ),
-        ("n", Value::from(shared.engine.artifact().meta.n)),
+        ("n", Value::from(shared.backend.meta().n)),
     ])
     .to_string_compact()
 }
 
 fn artifact_body(shared: &ServerShared) -> String {
-    let meta = &shared.engine.artifact().meta;
+    let meta = shared.backend.meta();
     Value::object(vec![
         ("dataset", Value::from(meta.dataset.as_str())),
         ("n", Value::from(meta.n)),
         ("k", Value::from(meta.k)),
         ("dim", Value::from(meta.dim)),
         ("seed", Value::from(meta.seed)),
-        (
-            "weights",
-            Value::from(shared.engine.artifact().weights.clone()),
-        ),
+        ("weights", Value::from(shared.backend.weights().to_vec())),
         (
             "format_version",
             Value::from(crate::artifact::FORMAT_VERSION as usize),
         ),
+        ("shards", Value::from(shared.backend.shard_count())),
     ])
     .to_string_compact()
 }
@@ -625,7 +637,7 @@ fn stats_body(shared: &ServerShared) -> String {
             ])
         })
         .collect();
-    let (cache_hits, cache_misses) = shared.engine.cache_stats();
+    let (cache_hits, cache_misses) = shared.backend.cache_stats();
     Value::object(vec![
         ("uptime_secs", Value::from(shared.metrics.uptime_secs())),
         (
@@ -635,6 +647,11 @@ fn stats_body(shared: &ServerShared) -> String {
         ("qps", Value::from(shared.metrics.qps())),
         ("cache_hits", Value::from(cache_hits)),
         ("cache_misses", Value::from(cache_misses)),
+        ("shards", Value::from(shared.backend.shard_count())),
+        (
+            "resident_shards",
+            Value::from(shared.backend.resident_shards()),
+        ),
         ("endpoints", Value::Array(endpoints)),
     ])
     .to_string_compact()

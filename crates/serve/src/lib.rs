@@ -5,41 +5,58 @@
 //! matrix; this crate turns that bundle into a durable artifact and a
 //! network service.
 //!
-//! Three layers:
+//! Four layers:
 //!
 //! * [`artifact`] — versioned, checksummed binary persistence for a
 //!   trained bundle ([`Artifact`]): learned view weights `w*`, the
 //!   integrated Laplacian (CSR), cluster labels/centroids, and the
 //!   embedding matrix. [`Artifact::train`] runs the full pipeline;
 //!   `save`/`load` round-trip it bit-exactly, rejecting corrupt input
-//!   with typed errors.
+//!   with typed errors. [`Artifact::save_sharded`] writes the v2
+//!   row-range-sharded layout (shard files + JSON manifest) for
+//!   artifacts too large for one host's memory.
 //! * [`engine`] — the in-memory [`QueryEngine`]: `cluster_of`,
 //!   `top_k_similar` (cache-friendly blocked dot-product kernel with
 //!   an LRU result cache), `embed_batch`; plus [`batch`], which
 //!   micro-batches concurrent top-k queries into shared kernel passes.
+//! * [`router`] — the [`ShardRouter`]: the same query API over a
+//!   sharded layout, routing point queries by row range and fanning
+//!   top-k out across lazily-loaded shard engines with a
+//!   bit-identical merge.
 //! * [`http`] — a dependency-light HTTP/1.1 JSON [`Server`] on
 //!   `std::net` with a worker thread pool, keep-alive, graceful
 //!   shutdown, and per-endpoint latency/QPS counters ([`metrics`]);
 //!   [`client`] is the matching minimal client used by tests and the
-//!   serve benchmark.
+//!   serve benchmark. The server runs over any [`QueryBackend`] —
+//!   monolithic engine or shard router.
 //!
-//! ```no_run
+//! ```
 //! use sgla_serve::prelude::*;
 //! use std::sync::Arc;
 //!
-//! let mvag = mvag_data::toy_mvag(200, 3, 42);
-//! let artifact = Artifact::train(&mvag, &TrainConfig::default()).unwrap();
-//! artifact.save(std::path::Path::new("toy.sgla")).unwrap();
+//! let mvag = mvag_data::toy_mvag(40, 2, 42);
+//! let mut train = TrainConfig::default();
+//! train.embed.dim = 4;
+//! let artifact = Artifact::train(&mvag, &train).unwrap();
 //!
 //! let engine = Arc::new(QueryEngine::new(artifact, EngineConfig::default()).unwrap());
-//! let server = Server::start(engine, &ServerConfig::default()).unwrap();
-//! println!("serving on {}", server.local_addr());
+//! let config = ServerConfig {
+//!     addr: "127.0.0.1:0".parse().unwrap(), // port 0: pick a free port
+//!     ..ServerConfig::default()
+//! };
+//! let server = Server::start(Arc::clone(&engine), &config).unwrap();
+//!
+//! let mut client = HttpClient::connect(server.local_addr()).unwrap();
+//! let health = client.get("/healthz").unwrap();
+//! assert_eq!(health.status, 200);
+//! server.shutdown();
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod artifact;
+pub mod backend;
 pub mod batch;
 pub mod client;
 pub mod engine;
@@ -47,12 +64,15 @@ pub mod error;
 pub mod http;
 pub mod lru;
 pub mod metrics;
+pub mod router;
 
 pub use artifact::{Artifact, ArtifactMeta, TrainConfig};
+pub use backend::QueryBackend;
 pub use client::{HttpClient, HttpResponse};
 pub use engine::{ClusterInfo, EngineConfig, Neighbor, QueryEngine};
 pub use error::ServeError;
 pub use http::{Server, ServerConfig};
+pub use router::{RouterConfig, ShardRouter};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, ServeError>;
@@ -60,8 +80,10 @@ pub type Result<T> = std::result::Result<T, ServeError>;
 /// Common imports for serving.
 pub mod prelude {
     pub use crate::artifact::{Artifact, ArtifactMeta, TrainConfig};
+    pub use crate::backend::QueryBackend;
     pub use crate::client::HttpClient;
     pub use crate::engine::{ClusterInfo, EngineConfig, Neighbor, QueryEngine};
     pub use crate::http::{Server, ServerConfig};
+    pub use crate::router::{RouterConfig, ShardRouter};
     pub use crate::ServeError;
 }

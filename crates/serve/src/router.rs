@@ -1,0 +1,652 @@
+//! The shard router: one query front end over many row-range shards.
+//!
+//! A [`ShardRouter`] opens a sharded artifact layout (shard files plus
+//! the [`ShardManifest`] written by
+//! [`Artifact::save_sharded`](crate::Artifact::save_sharded)) and
+//! serves the same query API as a monolithic [`QueryEngine`]:
+//!
+//! * **`cluster_of` / `embed_batch`** are *routed*: the manifest maps
+//!   each global node id to its owning shard by row range, and only
+//!   that shard answers.
+//! * **`top_k_similar` / `top_k_batch`** are *fanned out*: the owning
+//!   shard supplies the query's embedding row, every shard scores it
+//!   against its local rows, and the per-shard top-k lists are merged
+//!   under the same total order (score desc, node id asc) the
+//!   monolithic kernel uses — so the merged answer is **bit-identical**
+//!   to scanning one big embedding matrix (proptested in
+//!   `tests/shard_equivalence.rs`).
+//! * **Residency** is lazy: shards load from disk on first touch
+//!   (verified against the manifest's per-file size and CRC-32).
+//!   With [`RouterConfig::max_resident`] `> 0` the router keeps at
+//!   most that many shards in memory, evicting the least-recently-used
+//!   — a host can then serve an artifact larger than its RAM, paying a
+//!   reload on cold shards. When all shards are resident, top-k fan-out
+//!   runs in parallel on the persistent `mvag_sparse` worker pool; in
+//!   memory-capped mode it streams shard by shard so residency stays
+//!   bounded during the scan.
+//!
+//! ```
+//! use sgla_serve::prelude::*;
+//! use sgla_serve::router::{RouterConfig, ShardRouter};
+//!
+//! let mvag = mvag_data::toy_mvag(40, 2, 7);
+//! let mut config = TrainConfig::default();
+//! config.embed.dim = 4;
+//! let artifact = Artifact::train(&mvag, &config).unwrap();
+//!
+//! let dir = std::env::temp_dir().join(format!("sgla-doc-router-{}", std::process::id()));
+//! artifact.save_sharded(&dir, 3).unwrap();
+//!
+//! let engine = QueryEngine::new(artifact, EngineConfig::default()).unwrap();
+//! let router = ShardRouter::open(&dir, RouterConfig::default()).unwrap();
+//!
+//! // The sharded answer is bit-identical to the monolithic one.
+//! let direct = engine.top_k_similar(11, 5).unwrap();
+//! let routed = router.top_k_similar(11, 5).unwrap();
+//! assert_eq!(direct, routed);
+//! std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+use crate::artifact::{crc32, Artifact, ArtifactMeta, FORMAT_VERSION};
+use crate::backend::QueryBackend;
+use crate::engine::{ClusterInfo, EngineConfig, Neighbor, QueryEngine, TopKHeap};
+use crate::lru::LruCache;
+use crate::{Result, ServeError};
+use mvag_data::manifest::ShardManifest;
+use mvag_sparse::parallel;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Router tuning knobs.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Per-shard engine configuration. Shard engines are created with
+    /// their own result caches disabled (the router caches merged
+    /// answers instead); `threads` sizes the top-k fan-out.
+    pub engine: EngineConfig,
+    /// Maximum shards resident in memory at once; `0` means unbounded
+    /// (every shard stays resident after first touch, fan-out runs in
+    /// parallel). With a bound, top-k streams shard by shard and the
+    /// least-recently-used shard is evicted when the budget overflows.
+    pub max_resident: usize,
+    /// Entries in the router's merged top-k LRU cache (0 disables).
+    pub cache_capacity: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            engine: EngineConfig::default(),
+            max_resident: 0,
+            cache_capacity: 4096,
+        }
+    }
+}
+
+/// One shard slot: the lazily-loaded engine plus an LRU tick.
+struct Slot {
+    engine: Option<Arc<QueryEngine>>,
+    last_used: u64,
+}
+
+/// Routes and fans queries out across row-range shard engines.
+pub struct ShardRouter {
+    manifest: ShardManifest,
+    dir: PathBuf,
+    meta: ArtifactMeta,
+    weights: Vec<f64>,
+    config: RouterConfig,
+    slots: Mutex<Vec<Slot>>,
+    clock: AtomicU64,
+    cache: Mutex<LruCache<(usize, usize), Vec<Neighbor>>>,
+    loads: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for ShardRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardRouter")
+            .field("dataset", &self.meta.dataset)
+            .field("n", &self.meta.n)
+            .field("shards", &self.manifest.shards.len())
+            .field("resident", &self.resident_count())
+            .finish()
+    }
+}
+
+impl ShardRouter {
+    /// Opens a sharded layout. `path` may be the manifest file itself
+    /// or the directory containing a `manifest.json`. The first shard
+    /// is loaded eagerly to pick up the learned view weights and to
+    /// fail fast on a broken layout; the rest load on first touch.
+    ///
+    /// # Errors
+    /// I/O failures, [`ServeError::Corrupt`] for a malformed manifest
+    /// or a shard that does not match it.
+    pub fn open(path: &Path, config: RouterConfig) -> Result<ShardRouter> {
+        let manifest_path = if path.is_dir() {
+            path.join(Artifact::MANIFEST_FILE)
+        } else {
+            path.to_path_buf()
+        };
+        let manifest =
+            ShardManifest::load(&manifest_path).map_err(|e| ServeError::Corrupt(e.to_string()))?;
+        if manifest.artifact_format_version != FORMAT_VERSION {
+            return Err(ServeError::Corrupt(format!(
+                "manifest references artifact format v{}, this build reads v{FORMAT_VERSION}",
+                manifest.artifact_format_version
+            )));
+        }
+        let dir = manifest_path
+            .parent()
+            .map(Path::to_path_buf)
+            .unwrap_or_else(|| PathBuf::from("."));
+        let meta = ArtifactMeta {
+            dataset: manifest.dataset.clone(),
+            n: manifest.n,
+            k: manifest.k,
+            dim: manifest.dim,
+            seed: manifest.seed,
+            row_start: 0,
+            row_end: manifest.n,
+        };
+        let slots = (0..manifest.shards.len())
+            .map(|_| Slot {
+                engine: None,
+                last_used: 0,
+            })
+            .collect();
+        let router = ShardRouter {
+            cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            manifest,
+            dir,
+            meta,
+            weights: Vec::new(),
+            config,
+            slots: Mutex::new(slots),
+            clock: AtomicU64::new(1),
+            loads: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        };
+        // Weights are global state carried in every shard; take them
+        // from shard 0 (which this also validates end to end).
+        let first = router.engine_for(0)?;
+        let weights = first.artifact().weights.clone();
+        Ok(ShardRouter { weights, ..router })
+    }
+
+    /// The manifest this router serves.
+    pub fn manifest(&self) -> &ShardManifest {
+        &self.manifest
+    }
+
+    /// Metadata of the logical full artifact.
+    pub fn meta(&self) -> &ArtifactMeta {
+        &self.meta
+    }
+
+    /// `(shard loads, evictions)` since open — observability for the
+    /// lazy-residency machinery.
+    pub fn residency_stats(&self) -> (u64, u64) {
+        (
+            self.loads.load(Ordering::Relaxed),
+            self.evictions.load(Ordering::Relaxed),
+        )
+    }
+
+    fn resident_count(&self) -> usize {
+        self.slots
+            .lock()
+            .expect("slot lock")
+            .iter()
+            .filter(|s| s.engine.is_some())
+            .count()
+    }
+
+    /// Returns the engine for shard `idx`, loading (and possibly
+    /// evicting another shard) if needed. The returned `Arc` keeps the
+    /// shard alive for the caller even if it is evicted concurrently.
+    fn engine_for(&self, idx: usize) -> Result<Arc<QueryEngine>> {
+        let tick = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        {
+            let mut slots = self.slots.lock().expect("slot lock");
+            if let Some(engine) = &slots[idx].engine {
+                let engine = Arc::clone(engine);
+                slots[idx].last_used = tick;
+                return Ok(engine);
+            }
+        }
+        // Load outside the lock: a slow disk must not serialize
+        // queries against already-resident shards. Two threads may
+        // race to load the same shard; the loser's copy is dropped.
+        let engine = Arc::new(self.load_shard(idx)?);
+        let mut slots = self.slots.lock().expect("slot lock");
+        if slots[idx].engine.is_none() {
+            slots[idx].engine = Some(Arc::clone(&engine));
+            self.loads.fetch_add(1, Ordering::Relaxed);
+            self.evict_over_budget(&mut slots, idx);
+        }
+        slots[idx].last_used = tick;
+        Ok(engine)
+    }
+
+    fn evict_over_budget(&self, slots: &mut [Slot], keep: usize) {
+        if self.config.max_resident == 0 {
+            return;
+        }
+        loop {
+            let resident = slots.iter().filter(|s| s.engine.is_some()).count();
+            if resident <= self.config.max_resident.max(1) {
+                return;
+            }
+            let victim = slots
+                .iter()
+                .enumerate()
+                .filter(|(i, s)| *i != keep && s.engine.is_some())
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(i, _)| i);
+            match victim {
+                Some(i) => {
+                    slots[i].engine = None;
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => return, // only `keep` is resident
+            }
+        }
+    }
+
+    /// Reads, checksums, decodes, and cross-checks one shard file.
+    fn load_shard(&self, idx: usize) -> Result<QueryEngine> {
+        let entry = &self.manifest.shards[idx];
+        let path = self.dir.join(&entry.file);
+        let raw = std::fs::read(&path)?;
+        let fail =
+            |msg: String| ServeError::Corrupt(format!("shard {idx} ({}): {msg}", entry.file));
+        if entry.bytes != 0 && raw.len() as u64 != entry.bytes {
+            return Err(fail(format!(
+                "file is {} bytes, manifest says {}",
+                raw.len(),
+                entry.bytes
+            )));
+        }
+        if entry.crc32 != 0 && crc32(&raw) != entry.crc32 {
+            return Err(fail("file checksum does not match the manifest".into()));
+        }
+        let artifact = Artifact::decode(bytes::Bytes::from(raw))?;
+        let m = &artifact.meta;
+        if m.row_start != entry.row_start || m.row_end != entry.row_end {
+            return Err(fail(format!(
+                "covers rows {}..{}, manifest says {}..{}",
+                m.row_start, m.row_end, entry.row_start, entry.row_end
+            )));
+        }
+        if m.n != self.manifest.n
+            || m.k != self.manifest.k
+            || m.dim != self.manifest.dim
+            || m.dataset != self.manifest.dataset
+        {
+            return Err(fail("shard metadata disagrees with the manifest".into()));
+        }
+        // Shard engines keep no per-shard result cache: the router
+        // caches merged answers, and per-shard partials are useless on
+        // their own.
+        let engine_config = EngineConfig {
+            cache_capacity: 0,
+            ..self.config.engine.clone()
+        };
+        QueryEngine::new(artifact, engine_config)
+    }
+
+    fn check_node(&self, node: usize) -> Result<usize> {
+        self.manifest.shard_of(node).ok_or_else(|| {
+            ServeError::InvalidQuery(format!("node {node} out of range (n = {})", self.meta.n))
+        })
+    }
+
+    /// Cluster assignment and centroid distance for one node, answered
+    /// by the shard owning its row.
+    ///
+    /// # Errors
+    /// [`ServeError::InvalidQuery`] for out-of-range nodes; shard-load
+    /// failures surface as [`ServeError::Corrupt`] / [`ServeError::Io`].
+    pub fn cluster_of(&self, node: usize) -> Result<ClusterInfo> {
+        let shard = self.check_node(node)?;
+        self.engine_for(shard)?.cluster_of(node)
+    }
+
+    /// Embedding rows for a batch of nodes, each fetched from its
+    /// owning shard; the whole batch is rejected if any id is invalid
+    /// (matching [`QueryEngine::embed_batch`] semantics).
+    ///
+    /// # Errors
+    /// [`ServeError::InvalidQuery`] if any node is out of range.
+    pub fn embed_batch(&self, nodes: &[usize]) -> Result<Vec<Vec<f64>>> {
+        let mut owners = Vec::with_capacity(nodes.len());
+        for &node in nodes {
+            owners.push(self.check_node(node)?);
+        }
+        // Group by owning shard: an interleaved node order must cost
+        // one engine resolution per *shard*, not per node — under a
+        // residency cap the per-node path could reload a shard from
+        // disk for every single row.
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.manifest.shards.len()];
+        for (pos, &owner) in owners.iter().enumerate() {
+            by_shard[owner].push(pos);
+        }
+        let mut rows: Vec<Vec<f64>> = vec![Vec::new(); nodes.len()];
+        for (owner, positions) in by_shard.into_iter().enumerate() {
+            if positions.is_empty() {
+                continue;
+            }
+            let engine = self.engine_for(owner)?;
+            let shard_nodes: Vec<usize> = positions.iter().map(|&p| nodes[p]).collect();
+            for (pos, row) in positions.into_iter().zip(engine.embed_batch(&shard_nodes)?) {
+                rows[pos] = row;
+            }
+        }
+        Ok(rows)
+    }
+
+    /// The `k` most similar nodes to `node` across *all* shards —
+    /// bit-identical to [`QueryEngine::top_k_similar`] on the
+    /// monolithic artifact the shards were cut from.
+    ///
+    /// # Errors
+    /// [`ServeError::InvalidQuery`] for out-of-range nodes or `k == 0`.
+    pub fn top_k_similar(&self, node: usize, k: usize) -> Result<Vec<Neighbor>> {
+        self.top_k_batch(&[(node, k)]).pop().expect("one query")
+    }
+
+    /// Answers many top-k queries, fanning each across all shards and
+    /// merging the per-shard top-k lists. Results are in query order;
+    /// failed queries carry their individual error.
+    pub fn top_k_batch(&self, queries: &[(usize, usize)]) -> Vec<Result<Vec<Neighbor>>> {
+        let n = self.meta.n;
+        let mut answers: Vec<Option<Result<Vec<Neighbor>>>> = Vec::with_capacity(queries.len());
+        let mut work: Vec<usize> = Vec::new(); // answer slot per job
+        let mut jobs: Vec<(usize, usize)> = Vec::new(); // (node, clamped k)
+        {
+            let mut cache = self.cache.lock().expect("router cache lock");
+            for &(node, k) in queries.iter() {
+                if node >= n {
+                    answers.push(Some(Err(ServeError::InvalidQuery(format!(
+                        "node {node} out of range (n = {n})"
+                    )))));
+                    continue;
+                }
+                if k == 0 {
+                    answers.push(Some(Err(ServeError::InvalidQuery(
+                        "k must be at least 1".into(),
+                    ))));
+                    continue;
+                }
+                let k = k.min(n - 1);
+                if let Some(hit) = cache.get(&(node, k)) {
+                    answers.push(Some(Ok(hit.clone())));
+                } else {
+                    work.push(answers.len());
+                    answers.push(None);
+                    jobs.push((node, k));
+                }
+            }
+        }
+        if !jobs.is_empty() {
+            match self.fan_out(&jobs) {
+                Ok(results) => {
+                    let mut cache = self.cache.lock().expect("router cache lock");
+                    for ((slot, job), result) in work.into_iter().zip(&jobs).zip(results) {
+                        cache.insert(*job, result.clone());
+                        answers[slot] = Some(Ok(result));
+                    }
+                }
+                Err(e) => {
+                    // A shard-load failure poisons the whole uncached
+                    // batch — each job reports the same fault.
+                    let msg = e.to_string();
+                    for slot in work {
+                        answers[slot] = Some(Err(ServeError::Server(msg.clone())));
+                    }
+                }
+            }
+        }
+        answers
+            .into_iter()
+            .map(|a| a.expect("all slots filled"))
+            .collect()
+    }
+
+    /// Scores every job against every shard and merges. Parallel over
+    /// shards whenever the residency budget admits every shard at
+    /// once; sequential shard-at-a-time when memory-capped, so at most
+    /// `max_resident + 1` shards are ever resident mid-scan.
+    fn fan_out(&self, jobs: &[(usize, usize)]) -> Result<Vec<Vec<Neighbor>>> {
+        let shard_count = self.manifest.shards.len();
+        // The owning shard of each query supplies its embedding row.
+        // Grouped by owner (like embed_batch): under a residency cap a
+        // query order alternating between shards must cost one engine
+        // resolution per shard, not one reload per query.
+        let mut by_owner: Vec<Vec<usize>> = vec![Vec::new(); shard_count];
+        for (j, &(node, _)) in jobs.iter().enumerate() {
+            by_owner[self.check_node(node)?].push(j);
+        }
+        let mut vectors: Vec<Option<(Vec<f64>, f64)>> = vec![None; jobs.len()];
+        for (owner, job_indices) in by_owner.into_iter().enumerate() {
+            if job_indices.is_empty() {
+                continue;
+            }
+            let engine = self.engine_for(owner)?;
+            for j in job_indices {
+                vectors[j] = Some(engine.query_vector(jobs[j].0)?);
+            }
+        }
+        let vectors: Vec<(Vec<f64>, f64)> = vectors
+            .into_iter()
+            .map(|v| v.expect("every job has an owner"))
+            .collect();
+        let scan = |engine: &QueryEngine| -> Vec<Vec<Neighbor>> {
+            jobs.iter()
+                .zip(&vectors)
+                .map(|(&(node, k), (qrow, qnorm))| {
+                    engine.top_k_for_query(qrow, *qnorm, k, Some(node))
+                })
+                .collect()
+        };
+        // per_shard[s][j]: shard s's best k for job j.
+        let unbounded = self.config.max_resident == 0 || self.config.max_resident >= shard_count;
+        let per_shard: Vec<Result<Vec<Vec<Neighbor>>>> = if unbounded {
+            let threads = self.config.engine.threads.max(1);
+            parallel::par_map(shard_count, threads, |s| {
+                self.engine_for(s).map(|engine| scan(&engine))
+            })
+        } else {
+            (0..shard_count)
+                .map(|s| self.engine_for(s).map(|engine| scan(&engine)))
+                .collect()
+        };
+        let mut merged: Vec<TopKHeap> = jobs.iter().map(|&(_, k)| TopKHeap::new(k)).collect();
+        for shard_results in per_shard {
+            let shard_results = shard_results?;
+            for (heap, partial) in merged.iter_mut().zip(shard_results) {
+                for neighbor in partial {
+                    heap.push(neighbor);
+                }
+            }
+        }
+        Ok(merged.into_iter().map(TopKHeap::into_sorted).collect())
+    }
+}
+
+impl QueryBackend for ShardRouter {
+    fn meta(&self) -> &ArtifactMeta {
+        &self.meta
+    }
+
+    fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    fn cluster_of(&self, node: usize) -> Result<ClusterInfo> {
+        ShardRouter::cluster_of(self, node)
+    }
+
+    fn top_k_batch(&self, queries: &[(usize, usize)]) -> Vec<Result<Vec<Neighbor>>> {
+        ShardRouter::top_k_batch(self, queries)
+    }
+
+    fn embed_batch(&self, nodes: &[usize]) -> Result<Vec<Vec<f64>>> {
+        ShardRouter::embed_batch(self, nodes)
+    }
+
+    fn cache_stats(&self) -> (u64, u64) {
+        self.cache.lock().expect("router cache lock").stats()
+    }
+
+    fn shard_count(&self) -> usize {
+        self.manifest.shards.len()
+    }
+
+    fn resident_shards(&self) -> usize {
+        self.resident_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::TrainConfig;
+
+    fn trained() -> Artifact {
+        let mvag = mvag_graph::toy::toy_mvag(72, 3, 13);
+        let mut config = TrainConfig::default();
+        config.embed.dim = 8;
+        Artifact::train(&mvag, &config).unwrap()
+    }
+
+    fn sharded_dir(artifact: &Artifact, shards: usize, tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("sgla-router-test-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        artifact.save_sharded(&dir, shards).unwrap();
+        dir
+    }
+
+    #[test]
+    fn routed_queries_match_monolithic_bit_exactly() {
+        let artifact = trained();
+        let dir = sharded_dir(&artifact, 4, "exact");
+        let engine = QueryEngine::new(artifact, EngineConfig::default()).unwrap();
+        let router = ShardRouter::open(&dir, RouterConfig::default()).unwrap();
+
+        for node in [0usize, 17, 35, 36, 54, 71] {
+            let direct = engine.top_k_similar(node, 7).unwrap();
+            let routed = router.top_k_similar(node, 7).unwrap();
+            assert_eq!(direct.len(), routed.len());
+            for (d, r) in direct.iter().zip(&routed) {
+                assert_eq!(d.node, r.node, "query {node}");
+                assert_eq!(d.score.to_bits(), r.score.to_bits(), "query {node}");
+            }
+            assert_eq!(
+                engine.cluster_of(node).unwrap(),
+                router.cluster_of(node).unwrap()
+            );
+        }
+        assert_eq!(
+            engine.embed_batch(&[3, 40, 70]).unwrap(),
+            router.embed_batch(&[3, 40, 70]).unwrap()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batch_and_cache_paths_agree() {
+        let artifact = trained();
+        let dir = sharded_dir(&artifact, 3, "batch");
+        let engine = QueryEngine::new(artifact, EngineConfig::default()).unwrap();
+        let router = ShardRouter::open(&dir, RouterConfig::default()).unwrap();
+        let queries: Vec<(usize, usize)> = (0..24).map(|i| (i * 3 % 72, 5)).collect();
+        let routed = router.top_k_batch(&queries);
+        let direct = engine.top_k_batch(&queries);
+        for ((r, d), q) in routed.iter().zip(&direct).zip(&queries) {
+            assert_eq!(r.as_ref().unwrap(), d.as_ref().unwrap(), "query {q:?}");
+        }
+        // Repeats hit the router cache and still agree.
+        let again = router.top_k_batch(&queries);
+        for (a, d) in again.iter().zip(&direct) {
+            assert_eq!(a.as_ref().unwrap(), d.as_ref().unwrap());
+        }
+        let (hits, _) = QueryBackend::cache_stats(&router);
+        assert!(hits >= queries.len() as u64);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn invalid_queries_get_individual_errors() {
+        let artifact = trained();
+        let dir = sharded_dir(&artifact, 2, "invalid");
+        let router = ShardRouter::open(&dir, RouterConfig::default()).unwrap();
+        let res = router.top_k_batch(&[(0, 3), (9_999, 3), (1, 0), (2, 3)]);
+        assert!(res[0].is_ok());
+        assert!(matches!(res[1], Err(ServeError::InvalidQuery(_))));
+        assert!(matches!(res[2], Err(ServeError::InvalidQuery(_))));
+        assert!(res[3].is_ok());
+        assert!(router.cluster_of(9_999).is_err());
+        assert!(router.embed_batch(&[0, 9_999]).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn memory_capped_residency_evicts_lru_and_stays_exact() {
+        let artifact = trained();
+        let dir = sharded_dir(&artifact, 6, "evict");
+        let engine = QueryEngine::new(artifact, EngineConfig::default()).unwrap();
+        let router = ShardRouter::open(
+            &dir,
+            RouterConfig {
+                max_resident: 2,
+                ..RouterConfig::default()
+            },
+        )
+        .unwrap();
+        // Touch every shard via routed point queries, then fan out.
+        for node in (0..72).step_by(5) {
+            assert_eq!(
+                engine.cluster_of(node).unwrap(),
+                router.cluster_of(node).unwrap()
+            );
+            assert!(QueryBackend::resident_shards(&router) <= 2);
+        }
+        let direct = engine.top_k_similar(50, 9).unwrap();
+        let routed = router.top_k_similar(50, 9).unwrap();
+        assert_eq!(direct, routed);
+        let (loads, evictions) = router.residency_stats();
+        assert!(loads > 6, "expected reloads after eviction, got {loads}");
+        assert!(evictions > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_shard_or_manifest_rejected() {
+        let artifact = trained();
+        let dir = sharded_dir(&artifact, 3, "corrupt");
+        // Flip a byte in shard 1: open() succeeds (shard 1 is lazy),
+        // first touch fails with Corrupt.
+        let shard1 = dir.join(Artifact::shard_file_name(1));
+        let mut raw = std::fs::read(&shard1).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0x40;
+        std::fs::write(&shard1, &raw).unwrap();
+        let router = ShardRouter::open(&dir, RouterConfig::default()).unwrap();
+        let node_in_shard1 = router.manifest().shards[1].row_start;
+        assert!(matches!(
+            router.cluster_of(node_in_shard1),
+            Err(ServeError::Corrupt(_))
+        ));
+        // A fan-out over the broken shard fails as a server-side error.
+        assert!(router.top_k_similar(0, 3).is_err());
+        // Mangle the manifest: open() itself must fail.
+        std::fs::write(dir.join(Artifact::MANIFEST_FILE), "{not json").unwrap();
+        assert!(ShardRouter::open(&dir, RouterConfig::default()).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -123,6 +123,75 @@ fn save_load_serve_and_query() {
 }
 
 #[test]
+fn sharded_server_is_indistinguishable_over_http() {
+    use sgla_serve::{RouterConfig, ShardRouter};
+
+    let artifact = trained_artifact();
+    let dir = std::env::temp_dir().join(format!("sgla-e2e-sharded-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    artifact.save_sharded(&dir, 4).unwrap();
+
+    let (mono_server, engine) = start_server(artifact);
+    let router = ShardRouter::open(&dir, RouterConfig::default()).unwrap();
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".parse().unwrap(),
+        workers: 4,
+        ..ServerConfig::default()
+    };
+    let shard_server = Server::start_backend(Arc::new(router), &config).unwrap();
+
+    let mut mono = HttpClient::connect(mono_server.local_addr()).unwrap();
+    let mut shard = HttpClient::connect(shard_server.local_addr()).unwrap();
+
+    // /artifact differs only in the shard count.
+    let a_mono = mono.get("/artifact").unwrap().body;
+    let a_shard = shard.get("/artifact").unwrap().body;
+    for key in [
+        "dataset",
+        "n",
+        "k",
+        "dim",
+        "seed",
+        "weights",
+        "format_version",
+    ] {
+        assert_eq!(a_mono.get(key), a_shard.get(key), "{key}");
+    }
+    assert_eq!(a_mono.get("shards").unwrap().as_usize(), Some(1));
+    assert_eq!(a_shard.get("shards").unwrap().as_usize(), Some(4));
+
+    // Every query endpoint answers byte-identically (the JSON writer
+    // is deterministic and scores are bit-identical by construction).
+    for node in (0..90).step_by(7) {
+        let m = mono.get(&format!("/cluster/{node}")).unwrap();
+        let s = shard.get(&format!("/cluster/{node}")).unwrap();
+        assert_eq!(m.body, s.body, "cluster {node}");
+        let m = mono.get(&format!("/topk/{node}?k=6")).unwrap();
+        let s = shard.get(&format!("/topk/{node}?k=6")).unwrap();
+        assert_eq!(m.body, s.body, "topk {node}");
+    }
+    let body = Value::object(vec![("nodes", Value::from(vec![0usize, 45, 89]))]);
+    assert_eq!(
+        mono.post("/embed", &body).unwrap().body,
+        shard.post("/embed", &body).unwrap().body
+    );
+
+    // Error paths agree too.
+    assert_eq!(shard.get("/cluster/100000").unwrap().status, 400);
+    assert_eq!(shard.get("/topk/1?k=0").unwrap().status, 400);
+
+    // /stats reports shard residency.
+    let stats = shard.get("/stats").unwrap().body;
+    assert_eq!(stats.get("shards").unwrap().as_usize(), Some(4));
+    assert_eq!(stats.get("resident_shards").unwrap().as_usize(), Some(4));
+
+    drop(engine);
+    mono_server.shutdown();
+    shard_server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn error_paths_are_typed_http_errors() {
     let (server, _engine) = start_server(trained_artifact());
     let mut client = HttpClient::connect(server.local_addr()).unwrap();

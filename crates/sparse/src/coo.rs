@@ -2,7 +2,7 @@
 //!
 //! Graph construction (edge lists, KNN results) naturally produces
 //! unordered `(row, col, value)` triplets; [`CooMatrix`] accumulates them
-//! and converts to [`CsrMatrix`](crate::CsrMatrix) with duplicate summing,
+//! and converts to [`CsrMatrix`] with duplicate summing,
 //! which is exactly the semantics needed when multiple edge sources
 //! contribute to the same cell.
 

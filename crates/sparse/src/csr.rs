@@ -186,6 +186,13 @@ impl CsrMatrix {
         &self.vals
     }
 
+    /// All stored column indices (rows concatenated; delimit rows with
+    /// [`Self::indptr`]), parallel to [`Self::values`].
+    #[inline]
+    pub fn column_indices(&self) -> &[usize] {
+        &self.cols
+    }
+
     /// Mutable access to all stored values (pattern is immutable).
     #[inline]
     pub fn values_mut(&mut self) -> &mut [f64] {

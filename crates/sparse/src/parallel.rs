@@ -3,7 +3,7 @@
 //! The SGLA hot loops (SpMV over MAG-scale matrices, KNN construction,
 //! reorthogonalization sweeps, blocked top-k scoring) are embarrassingly
 //! parallel over rows. These helpers dispatch onto the process-wide
-//! [`WorkerPool`](crate::pool::WorkerPool) — parked threads woken per
+//! [`WorkerPool`] — parked threads woken per
 //! region — instead of spawning fresh OS threads per call; chunk stealing
 //! inside the pool absorbs skewed row costs. Results are identical to the
 //! sequential path bit-for-bit: every index is computed independently, so

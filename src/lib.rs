@@ -20,6 +20,9 @@
 //! assert_eq!(labels.len(), 120);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use mvag_data as data;
 pub use mvag_eval as eval;
 pub use mvag_graph as graph;
@@ -40,5 +43,8 @@ pub mod prelude {
     pub use sgla_core::sgla::{Sgla, SglaOutcome, SglaParams};
     pub use sgla_core::sgla_plus::SglaPlus;
     pub use sgla_core::views::{KnnParams, ViewLaplacians};
-    pub use sgla_serve::{Artifact, EngineConfig, QueryEngine, Server, ServerConfig, TrainConfig};
+    pub use sgla_serve::{
+        Artifact, EngineConfig, QueryBackend, QueryEngine, RouterConfig, Server, ServerConfig,
+        ShardRouter, TrainConfig,
+    };
 }
