@@ -3,11 +3,16 @@
 //! direct library calls; p50/p99/QPS land in `BENCH_serve.json`.
 //! `--shards N` replays the same load against a shard router over the
 //! same artifact (verified bit-exactly against the monolithic engine)
-//! and reports both latency profiles.
+//! and reports both latency profiles. `--index ivf [--nlist N]
+//! [--nprobe N]` replays it as approximate queries against an
+//! IVF-indexed engine, with the exact engine as the recall oracle —
+//! the run fails below recall@k 0.9 or when probes stop being
+//! sublinear.
 //!
 //! ```bash
 //! cargo run --release --bin serve_bench -- --clients 32 --queries 40
 //! cargo run --release --bin serve_bench -- --shards 4
+//! cargo run --release --bin serve_bench -- --index ivf --nprobe 4
 //! ```
 
 use mvag_bench::serve_bench::{run_to_file, ServeBenchConfig};
@@ -35,6 +40,16 @@ fn main() -> ExitCode {
             "--batch" => value.parse().map(|v| config.max_batch = v).is_ok(),
             "--seed" => value.parse().map(|v| config.seed = v).is_ok(),
             "--shards" => value.parse().map(|v| config.shards = v).is_ok(),
+            "--index" => {
+                if value != "ivf" {
+                    eprintln!("--index: unknown kind '{value}' (try ivf)");
+                    return ExitCode::FAILURE;
+                }
+                config.index = true;
+                true
+            }
+            "--nlist" => value.parse().map(|v| config.nlist = v).is_ok(),
+            "--nprobe" => value.parse().map(|v| config.nprobe = v).is_ok(),
             "--out" => {
                 out = PathBuf::from(value);
                 true
@@ -76,6 +91,32 @@ fn main() -> ExitCode {
                 "cache:     {} hits / {} misses",
                 report.cache_hits, report.cache_misses
             );
+            if let Some(approx) = &report.approx {
+                println!(
+                    "approx:    {} queries via ivf (nlist={}, nprobe={})",
+                    approx.stats.total_queries, approx.nlist, approx.nprobe
+                );
+                println!(
+                    "  recall@{} {:.3} vs exact oracle; {:.0} rows scanned/query \
+                     ({:.0}% of n-1)",
+                    config.topk,
+                    approx.recall,
+                    approx.avg_rows_scanned,
+                    approx.scan_fraction * 100.0
+                );
+                println!(
+                    "  p50 {:.0} us / p99 {:.0} us / mean {:.0} us / {:.0} qps ({:+.1}% p50 vs exact)",
+                    approx.stats.p50_us,
+                    approx.stats.p99_us,
+                    approx.stats.mean_us,
+                    approx.stats.qps,
+                    if report.p50_us > 0.0 {
+                        (approx.stats.p50_us / report.p50_us - 1.0) * 100.0
+                    } else {
+                        0.0
+                    }
+                );
+            }
             if let Some(sharded) = &report.sharded {
                 println!(
                     "sharded:   {} queries across {} shards (all verified vs monolithic)",

@@ -8,19 +8,33 @@
 //! load is replayed against a [`sgla_serve::ShardRouter`] over a
 //! sharded copy of the same artifact — every sharded response is
 //! verified bit-exactly against the *monolithic* engine, and the
-//! report carries both latency profiles side by side. Reports
+//! report carries both latency profiles side by side. With
+//! `index = true` a third phase replays the load as
+//! `mode=approx` queries against an IVF-indexed engine: the exact
+//! engine acts as the recall oracle (recall@k is *measured*, the run
+//! fails below [`MIN_RECALL`]), returned scores must bit-match the
+//! exact cosine of their pair, and the report records how many rows
+//! the probes actually scanned (the sublinearity evidence). Reports
 //! client-side p50/p99 latency and throughput plus the server's own
 //! counters, and writes everything to a JSON report
 //! (`BENCH_serve.json` by default).
 
 use mvag_data::json::Value;
 use sgla_serve::{
-    Artifact, EngineConfig, HttpClient, QueryEngine, RouterConfig, Server, ServerConfig,
+    Artifact, EngineConfig, HttpClient, IvfConfig, QueryEngine, RouterConfig, Server, ServerConfig,
     ShardRouter, TrainConfig,
 };
 use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// An approx phase whose measured recall@k falls below this fails the
+/// whole run: approximation is a latency trade, not silent decay.
+pub const MIN_RECALL: f64 = 0.9;
+
+/// An approx phase that scans more than this fraction of the rows per
+/// query is not approximating anything — fail loudly.
+pub const MAX_SCAN_FRACTION: f64 = 0.75;
 
 /// Benchmark configuration.
 #[derive(Debug, Clone)]
@@ -45,6 +59,12 @@ pub struct ServeBenchConfig {
     pub seed: u64,
     /// Row-range shards for the sharded phase (`< 2` skips it).
     pub shards: usize,
+    /// Run the IVF approx phase (`--index ivf`).
+    pub index: bool,
+    /// Inverted lists for the approx phase (0 = auto, `⌈√n⌉`).
+    pub nlist: usize,
+    /// Lists probed per approx query (0 = index default, `⌈√nlist⌉`).
+    pub nprobe: usize,
 }
 
 impl Default for ServeBenchConfig {
@@ -60,6 +80,9 @@ impl Default for ServeBenchConfig {
             max_batch: 64,
             seed: 42,
             shards: 0,
+            index: false,
+            nlist: 0,
+            nprobe: 0,
         }
     }
 }
@@ -133,8 +156,29 @@ pub struct ServeBenchReport {
     /// The sharded-phase profile, when `shards >= 2` was requested.
     /// Verified against the *monolithic* engine, bit-exactly.
     pub sharded: Option<PhaseStats>,
+    /// The approx-phase profile, when `index` was requested. Recall
+    /// and scan work are measured against the exact oracle.
+    pub approx: Option<ApproxPhase>,
     /// The full JSON document written to the report file.
     pub json: Value,
+}
+
+/// Outcome of the IVF approx phase: latency profile plus the measured
+/// quality/work trade against the exact oracle.
+#[derive(Debug, Clone)]
+pub struct ApproxPhase {
+    /// Latency/throughput of the approx load.
+    pub stats: PhaseStats,
+    /// Measured recall@k against the exact engine.
+    pub recall: f64,
+    /// Inverted lists in the index.
+    pub nlist: usize,
+    /// Lists probed per query (the effective width used).
+    pub nprobe: usize,
+    /// Mean candidate rows scored per approx query.
+    pub avg_rows_scanned: f64,
+    /// `avg_rows_scanned / (n - 1)` — the sublinearity evidence.
+    pub scan_fraction: f64,
 }
 
 fn percentile(sorted: &[u64], q: f64) -> f64 {
@@ -149,18 +193,22 @@ fn percentile(sorted: &[u64], q: f64) -> f64 {
 type Recorded = (usize, u16, Value);
 
 /// Drives the full client load against `addr`: each client thread owns
-/// one keep-alive connection and a deterministic query mix. Responses
-/// are only *recorded* here — verification happens after the timed
-/// phase so the reported latencies/QPS measure the server, not the
-/// benchmark harness's own direct-call scans.
+/// one keep-alive connection and a deterministic query mix.
+/// `query_suffix` is appended to every `/topk` query string (the
+/// approx phase passes `&mode=approx...`). Responses are only
+/// *recorded* here — verification happens after the timed phase so the
+/// reported latencies/QPS measure the server, not the benchmark
+/// harness's own direct-call scans.
 fn drive_load(
     addr: SocketAddr,
     config: &ServeBenchConfig,
+    query_suffix: &str,
 ) -> Result<(Vec<u64>, Vec<Recorded>, f64), String> {
     let phase_started = Instant::now();
     let mut handles = Vec::new();
     for client_id in 0..config.clients {
         let config = config.clone();
+        let suffix = query_suffix.to_string();
         handles.push(std::thread::spawn(
             move || -> Result<(Vec<u64>, Vec<Recorded>), String> {
                 let mut client =
@@ -181,7 +229,7 @@ fn drive_load(
                     let node = (state >> 33) as usize % config.n;
                     let started = Instant::now();
                     let res = client
-                        .get(&format!("/topk/{node}?k={}", config.topk))
+                        .get(&format!("/topk/{node}?k={}{suffix}", config.topk))
                         .map_err(|e| format!("client {client_id}: {e}"))?;
                     latencies.push(started.elapsed().as_micros() as u64);
                     recorded.push((node, res.status, res.body));
@@ -239,6 +287,73 @@ fn verify_recorded(
         }
     }
     Ok((verified, mismatches))
+}
+
+/// Approx verification pass (untimed): every response must be
+/// well-formed with the right neighbor count, and every returned
+/// `(node, score)` must bit-match the exact cosine the oracle engine
+/// computes for that pair — approximation may drop true neighbors,
+/// never corrupt scores. Returns `(verified, mismatches, recall@k)`.
+fn verify_recorded_approx(
+    recorded: &[Recorded],
+    oracle: &QueryEngine,
+    topk: usize,
+) -> Result<(usize, usize, f64), String> {
+    use std::collections::HashMap;
+    let mut verified = 0usize;
+    let mut mismatches = 0usize;
+    let mut hit = 0usize;
+    let mut total = 0usize;
+    for (node, status, body) in recorded {
+        if *status != 200 {
+            mismatches += 1;
+            continue;
+        }
+        // Full exact ranking of this node (k clamps to n - 1; the
+        // oracle's LRU makes repeats cheap).
+        let full = oracle
+            .top_k_similar(*node, usize::MAX)
+            .map_err(|e| e.to_string())?;
+        let exact_bits: HashMap<usize, u64> = full
+            .iter()
+            .map(|nb| (nb.node, nb.score.to_bits()))
+            .collect();
+        let want_len = topk.min(full.len());
+        let Some(neighbors) = body.get("neighbors").and_then(Value::as_array) else {
+            mismatches += 1;
+            continue;
+        };
+        let well_formed = neighbors.len() == want_len
+            && neighbors.iter().all(|wire| {
+                let id = wire.get("node").and_then(Value::as_usize);
+                let score = wire.get("score").and_then(Value::as_f64);
+                match (id, score) {
+                    (Some(id), Some(score)) => exact_bits.get(&id) == Some(&score.to_bits()),
+                    _ => false,
+                }
+            });
+        if !well_formed {
+            mismatches += 1;
+            continue;
+        }
+        verified += 1;
+        let returned: Vec<usize> = neighbors
+            .iter()
+            .filter_map(|wire| wire.get("node").and_then(Value::as_usize))
+            .collect();
+        total += want_len;
+        hit += full
+            .iter()
+            .take(want_len)
+            .filter(|nb| returned.contains(&nb.node))
+            .count();
+    }
+    let recall = if total == 0 {
+        0.0
+    } else {
+        hit as f64 / total as f64
+    };
+    Ok((verified, mismatches, recall))
 }
 
 fn summarize(
@@ -302,7 +417,7 @@ pub fn run(config: &ServeBenchConfig) -> Result<ServeBenchReport, String> {
     );
     let server = Server::start(Arc::clone(&engine), &server_config).map_err(|e| e.to_string())?;
     let addr = server.local_addr();
-    let (latencies, recorded, wall_secs) = drive_load(addr, config)?;
+    let (latencies, recorded, wall_secs) = drive_load(addr, config, "")?;
     // Snapshot server-side counters before the verification pass adds
     // its own direct calls to the engine's cache statistics.
     let (cache_hits, cache_misses) = engine.cache_stats();
@@ -339,7 +454,7 @@ pub fn run(config: &ServeBenchConfig) -> Result<ServeBenchReport, String> {
         let server =
             Server::start_backend(Arc::new(router), &server_config).map_err(|e| e.to_string())?;
         let addr = server.local_addr();
-        let (latencies, recorded, wall_secs) = drive_load(addr, config)?;
+        let (latencies, recorded, wall_secs) = drive_load(addr, config, "")?;
         sharded_server_stats = HttpClient::connect(addr)
             .and_then(|mut c| c.get("/stats"))
             .map(|r| r.body)
@@ -357,6 +472,82 @@ pub fn run(config: &ServeBenchConfig) -> Result<ServeBenchReport, String> {
         sharded = Some(stats);
     }
 
+    // Phase 3 (optional): the same load as mode=approx queries against
+    // an IVF-indexed engine over the same artifact. The exact engine
+    // is the oracle: recall@k is measured per response, every returned
+    // score must bit-match the exact cosine of its pair, and the
+    // index's own scan counters prove the probes were sublinear.
+    let mut approx: Option<ApproxPhase> = None;
+    let mut approx_server_stats = Value::Null;
+    if config.index {
+        let engine_approx = Arc::new(
+            QueryEngine::new(
+                artifact.clone(),
+                EngineConfig {
+                    index: Some(IvfConfig {
+                        nlist: config.nlist,
+                        seed: config.seed,
+                    }),
+                    ..EngineConfig::default()
+                },
+            )
+            .map_err(|e| e.to_string())?,
+        );
+        let index = engine_approx.index().expect("index was configured");
+        let nlist = index.nlist();
+        let nprobe = if config.nprobe == 0 {
+            index.default_nprobe()
+        } else {
+            config.nprobe.min(nlist)
+        };
+        let server =
+            Server::start(Arc::clone(&engine_approx), &server_config).map_err(|e| e.to_string())?;
+        let addr = server.local_addr();
+        let suffix = format!("&mode=approx&nprobe={nprobe}");
+        let (latencies, recorded, wall_secs) = drive_load(addr, config, &suffix)?;
+        // Scan-work counters before verification touches anything.
+        let index_stats = engine_approx.index_stats();
+        approx_server_stats = HttpClient::connect(addr)
+            .and_then(|mut c| c.get("/stats"))
+            .map(|r| r.body)
+            .unwrap_or(Value::Null);
+        server.shutdown();
+        let (verified, mismatches, recall) =
+            verify_recorded_approx(&recorded, &engine, config.topk)?;
+        let stats = summarize(latencies, wall_secs, verified, mismatches);
+        if stats.mismatches > 0 {
+            return Err(format!(
+                "{} of {} approx responses were malformed or carried non-exact scores",
+                stats.mismatches, stats.total_queries
+            ));
+        }
+        if recall < MIN_RECALL {
+            return Err(format!(
+                "approx recall@{} = {recall:.3} below the {MIN_RECALL} floor \
+                 (nlist = {nlist}, nprobe = {nprobe})",
+                config.topk
+            ));
+        }
+        let avg_rows_scanned =
+            index_stats.rows_scanned as f64 / index_stats.approx_queries.max(1) as f64;
+        let scan_fraction = avg_rows_scanned / (config.n.saturating_sub(1)) as f64;
+        if scan_fraction > MAX_SCAN_FRACTION {
+            return Err(format!(
+                "approx queries scanned {:.0}% of the rows on average — not sublinear \
+                 (nlist = {nlist}, nprobe = {nprobe})",
+                scan_fraction * 100.0
+            ));
+        }
+        approx = Some(ApproxPhase {
+            stats,
+            recall,
+            nlist,
+            nprobe,
+            avg_rows_scanned,
+            scan_fraction,
+        });
+    }
+
     let mut results = vec![
         ("config", {
             Value::object(vec![
@@ -370,6 +561,9 @@ pub fn run(config: &ServeBenchConfig) -> Result<ServeBenchReport, String> {
                 ("max_batch", Value::from(config.max_batch)),
                 ("seed", Value::from(config.seed)),
                 ("shards", Value::from(config.shards)),
+                ("index", Value::Bool(config.index)),
+                ("nlist", Value::from(config.nlist)),
+                ("nprobe", Value::from(config.nprobe)),
             ])
         }),
         ("results", {
@@ -395,6 +589,31 @@ pub fn run(config: &ServeBenchConfig) -> Result<ServeBenchReport, String> {
         ));
         results.push(("server_stats_sharded", sharded_server_stats));
     }
+    if let Some(phase) = &approx {
+        results.push(("results_approx", {
+            let mut obj = phase.stats.to_json();
+            if let Value::Object(map) = &mut obj {
+                map.insert("recall_at_k".into(), Value::from(phase.recall));
+                map.insert("nlist".into(), Value::from(phase.nlist));
+                map.insert("nprobe".into(), Value::from(phase.nprobe));
+                map.insert(
+                    "avg_rows_scanned".into(),
+                    Value::from(phase.avg_rows_scanned),
+                );
+                map.insert("scan_fraction".into(), Value::from(phase.scan_fraction));
+            }
+            obj
+        }));
+        results.push((
+            "approx_vs_exact_p50",
+            Value::from(if mono.p50_us > 0.0 {
+                phase.stats.p50_us / mono.p50_us
+            } else {
+                0.0
+            }),
+        ));
+        results.push(("server_stats_approx", approx_server_stats));
+    }
     let json = Value::object(results);
 
     Ok(ServeBenchReport {
@@ -411,6 +630,7 @@ pub fn run(config: &ServeBenchConfig) -> Result<ServeBenchReport, String> {
         cache_hits,
         cache_misses,
         sharded,
+        approx,
         json,
     })
 }
@@ -455,6 +675,39 @@ mod tests {
         assert!(report.json.get("results").is_some());
         assert!(report.sharded.is_none());
         assert!(report.json.get("results_sharded").is_none());
+        assert!(report.approx.is_none());
+        assert!(report.json.get("results_approx").is_none());
+    }
+
+    #[test]
+    fn approx_phase_measures_recall_and_sublinear_scans() {
+        let config = ServeBenchConfig {
+            n: 160,
+            k: 2,
+            dim: 8,
+            clients: 4,
+            queries_per_client: 10,
+            topk: 5,
+            workers: 4,
+            index: true,
+            nlist: 8,
+            nprobe: 3,
+            ..Default::default()
+        };
+        let report = run(&config).unwrap();
+        let approx = report.approx.expect("approx phase ran");
+        assert_eq!(approx.stats.total_queries, 40);
+        assert_eq!(approx.stats.mismatches, 0);
+        assert!(approx.recall >= MIN_RECALL, "recall {}", approx.recall);
+        assert!(
+            approx.scan_fraction <= MAX_SCAN_FRACTION,
+            "scan fraction {}",
+            approx.scan_fraction
+        );
+        assert_eq!(approx.nlist, 8);
+        assert_eq!(approx.nprobe, 3);
+        assert!(report.json.get("results_approx").is_some());
+        assert!(report.json.get("approx_vs_exact_p50").is_some());
     }
 
     #[test]

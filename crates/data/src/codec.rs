@@ -9,6 +9,22 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
+/// CRC-32 (IEEE 802.3), bitwise-reflected, no lookup table — codec
+/// bodies are read once at startup, so simplicity beats throughput.
+/// Shared by the `sgla-serve` artifact store and the `mvag-index`
+/// inverted-file index, so both formats checksum identically.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = !0;
+    for &byte in data {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            let mask = 0u32.wrapping_sub(crc & 1);
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
 /// Appends a u32-length-prefixed UTF-8 string.
 pub fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_u32(s.len() as u32);
@@ -67,6 +83,13 @@ pub fn get_u32s(bytes: &mut Bytes, count: usize) -> Option<Vec<usize>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
 
     #[test]
     fn str_roundtrip_and_truncation() {

@@ -1,0 +1,67 @@
+//! Error type for the index subsystem.
+
+use std::fmt;
+
+/// Errors raised by index construction, search, and persistence.
+#[derive(Debug)]
+pub enum IndexError {
+    /// Filesystem I/O failed.
+    Io(std::io::Error),
+    /// An index file failed structural validation while decoding: bad
+    /// magic, unsupported version, truncation, or checksum mismatch.
+    Corrupt(String),
+    /// Structurally invalid input (shapes, parameters).
+    InvalidArgument(String),
+    /// Training the coarse quantizer failed.
+    Train(sgla_core::SglaError),
+}
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexError::Io(e) => write!(f, "io error: {e}"),
+            IndexError::Corrupt(msg) => write!(f, "corrupt index: {msg}"),
+            IndexError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            IndexError::Train(e) => write!(f, "quantizer training failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IndexError::Io(e) => Some(e),
+            IndexError::Train(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for IndexError {
+    fn from(e: std::io::Error) -> Self {
+        IndexError::Io(e)
+    }
+}
+
+impl From<sgla_core::SglaError> for IndexError {
+    fn from(e: sgla_core::SglaError) -> Self {
+        IndexError::Train(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(IndexError::Corrupt("x".into())
+            .to_string()
+            .contains("corrupt"));
+        assert!(IndexError::InvalidArgument("x".into())
+            .to_string()
+            .contains("argument"));
+        let io: IndexError = std::io::Error::new(std::io::ErrorKind::NotFound, "n").into();
+        assert!(io.to_string().contains("io error"));
+    }
+}

@@ -410,6 +410,32 @@ impl Artifact {
         format!("shard-{index:05}.sgla")
     }
 
+    /// Conventional file name of the IVF index sidecar of shard
+    /// `index` inside a sharded layout directory.
+    pub fn shard_index_file_name(index: usize) -> String {
+        format!("shard-{index:05}.ivf")
+    }
+
+    /// Sidecar index path of a monolithic artifact file: the artifact
+    /// path with `.ivf` appended (`toy.sgla` → `toy.sgla.ivf`), so the
+    /// pairing survives any artifact file name.
+    pub fn index_sidecar_path(artifact_path: &Path) -> std::path::PathBuf {
+        let mut s = artifact_path.as_os_str().to_os_string();
+        s.push(".ivf");
+        std::path::PathBuf::from(s)
+    }
+
+    /// Trains an IVF approximate top-k index over this artifact's
+    /// embedding rows (full artifact or shard — the index covers
+    /// whatever row range the artifact does).
+    ///
+    /// # Errors
+    /// [`ServeError::InvalidArgument`] if index construction fails.
+    pub fn build_ivf(&self, config: &mvag_index::IvfConfig) -> Result<mvag_index::IvfIndex> {
+        mvag_index::IvfIndex::train(&self.embedding, self.meta.row_start, self.meta.n, config)
+            .map_err(|e| ServeError::InvalidArgument(format!("building IVF index: {e}")))
+    }
+
     /// Conventional manifest file name inside a sharded layout
     /// directory.
     pub const MANIFEST_FILE: &'static str = "manifest.json";
@@ -543,19 +569,7 @@ fn centroids_of(embedding: &DenseMatrix, labels: &[usize], k: usize) -> Result<D
 // ---------------------------------------------------------------------
 // Codec helpers (same style as mvag_data::io, plus CRC-32).
 
-/// CRC-32 (IEEE 802.3), bitwise-reflected, no lookup table — artifact
-/// bodies are read once at startup, so simplicity beats throughput.
-pub fn crc32(data: &[u8]) -> u32 {
-    let mut crc: u32 = !0;
-    for &byte in data {
-        crc ^= byte as u32;
-        for _ in 0..8 {
-            let mask = 0u32.wrapping_sub(crc & 1);
-            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
-        }
-    }
-    !crc
-}
+pub use mvag_data::codec::crc32;
 
 fn put_csr(buf: &mut BytesMut, m: &CsrMatrix) {
     buf.put_u64(m.nrows() as u64);
@@ -627,13 +641,6 @@ mod tests {
         let mut config = TrainConfig::default();
         config.embed.dim = 8;
         Artifact::train(&mvag, &config).unwrap()
-    }
-
-    #[test]
-    fn crc32_known_vectors() {
-        // Standard check value for "123456789".
-        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b""), 0);
     }
 
     #[test]

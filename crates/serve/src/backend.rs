@@ -9,8 +9,30 @@
 //! a deployment choice, not a different server.
 
 use crate::artifact::ArtifactMeta;
-use crate::engine::{ClusterInfo, Neighbor, QueryEngine};
+use crate::engine::{ApproxQuery, ClusterInfo, Neighbor, QueryEngine};
 use crate::Result;
+
+/// Point-in-time counters of a backend's approximate-index machinery:
+/// whether an IVF index is attached, its list count, the exact/approx
+/// query mix, and the scan work the approx path actually did (probed
+/// lists and candidate rows — the numbers that make "sublinear"
+/// measurable instead of assumed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Whether approximate top-k is available on this backend.
+    pub enabled: bool,
+    /// Inverted lists of the attached index (per shard, for routers;
+    /// 0 when disabled).
+    pub nlist: usize,
+    /// Approximate top-k queries answered.
+    pub approx_queries: u64,
+    /// Exact top-k queries answered.
+    pub exact_queries: u64,
+    /// Total inverted lists scanned by approx queries.
+    pub lists_scanned: u64,
+    /// Total candidate rows scored by approx queries.
+    pub rows_scanned: u64,
+}
 
 /// Anything that can answer the three serving queries over one
 /// artifact's id space.
@@ -30,6 +52,22 @@ pub trait QueryBackend: Send + Sync {
     /// Answers many `(node, k)` top-k queries; results in query order,
     /// failed queries carry their individual error.
     fn top_k_batch(&self, queries: &[(usize, usize)]) -> Vec<Result<Vec<Neighbor>>>;
+
+    /// Answers many `(node, k, nprobe)` *approximate* top-k queries
+    /// via an IVF index (`nprobe = 0` = index default). Backends
+    /// without an index reject each query individually.
+    fn top_k_batch_approx(&self, queries: &[ApproxQuery]) -> Vec<Result<Vec<Neighbor>>> {
+        queries
+            .iter()
+            .map(|_| Err(crate::engine::no_index_error()))
+            .collect()
+    }
+
+    /// Counters of the approximate-index machinery (disabled/zero by
+    /// default).
+    fn index_stats(&self) -> IndexStats {
+        IndexStats::default()
+    }
 
     /// Embedding rows for a batch of nodes (whole batch rejected on
     /// any invalid id).
@@ -67,6 +105,14 @@ impl QueryBackend for QueryEngine {
 
     fn top_k_batch(&self, queries: &[(usize, usize)]) -> Vec<Result<Vec<Neighbor>>> {
         QueryEngine::top_k_batch(self, queries)
+    }
+
+    fn top_k_batch_approx(&self, queries: &[ApproxQuery]) -> Vec<Result<Vec<Neighbor>>> {
+        QueryEngine::top_k_batch_approx(self, queries)
+    }
+
+    fn index_stats(&self) -> IndexStats {
+        QueryEngine::index_stats(self)
     }
 
     fn embed_batch(&self, nodes: &[usize]) -> Result<Vec<Vec<f64>>> {

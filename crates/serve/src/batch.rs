@@ -20,9 +20,19 @@ use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
+/// How one queued query wants to be answered.
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    /// Full scan (bit-exact).
+    Exact,
+    /// IVF probe of `nprobe` lists (`0` = backend default width).
+    Approx { nprobe: usize },
+}
+
 struct Job {
     node: usize,
     k: usize,
+    mode: Mode,
     reply: mpsc::Sender<Result<Vec<Neighbor>>>,
 }
 
@@ -92,19 +102,39 @@ impl Batcher {
         }
     }
 
-    /// Enqueues one query and blocks until its answer arrives.
+    /// Enqueues one exact query and blocks until its answer arrives.
     ///
     /// # Errors
     /// Query errors from the engine; [`crate::ServeError::Server`] if
     /// the batcher is shutting down.
     pub fn top_k(&self, node: usize, k: usize) -> Result<Vec<Neighbor>> {
+        self.submit(node, k, Mode::Exact)
+    }
+
+    /// Enqueues one approximate (IVF-probed) query and blocks until
+    /// its answer arrives. `nprobe = 0` uses the backend's default
+    /// probe width.
+    ///
+    /// # Errors
+    /// Query errors from the engine (including "no index attached");
+    /// [`crate::ServeError::Server`] if the batcher is shutting down.
+    pub fn top_k_approx(&self, node: usize, k: usize, nprobe: usize) -> Result<Vec<Neighbor>> {
+        self.submit(node, k, Mode::Approx { nprobe })
+    }
+
+    fn submit(&self, node: usize, k: usize, mode: Mode) -> Result<Vec<Neighbor>> {
         let (tx, rx) = mpsc::channel();
         {
             let mut q = self.shared.queue.lock().expect("batch queue lock");
             if q.shutdown {
                 return Err(crate::ServeError::Server("batcher is shut down".into()));
             }
-            q.jobs.push(Job { node, k, reply: tx });
+            q.jobs.push(Job {
+                node,
+                k,
+                mode,
+                reply: tx,
+            });
         }
         self.shared.available.notify_one();
         rx.recv()
@@ -143,11 +173,33 @@ fn drain_loop(shared: &Shared, backend: &dyn QueryBackend, max_batch: usize) {
             let take = q.jobs.len().min(max_batch);
             q.jobs.drain(..take).collect()
         };
-        let queries: Vec<(usize, usize)> = batch.iter().map(|j| (j.node, j.k)).collect();
-        let answers = backend.top_k_batch(&queries);
+        // One drained batch may mix exact and approx queries; each
+        // flavor gets its own kernel pass (they share the pass with
+        // their own kind — the shapes of the two scans differ).
+        let mut exact: Vec<(usize, (usize, usize))> = Vec::new();
+        let mut approx: Vec<(usize, (usize, usize, usize))> = Vec::new();
+        for (pos, job) in batch.iter().enumerate() {
+            match job.mode {
+                Mode::Exact => exact.push((pos, (job.node, job.k))),
+                Mode::Approx { nprobe } => approx.push((pos, (job.node, job.k, nprobe))),
+            }
+        }
+        let mut answers: Vec<Option<Result<Vec<Neighbor>>>> = batch.iter().map(|_| None).collect();
+        if !exact.is_empty() {
+            let queries: Vec<(usize, usize)> = exact.iter().map(|&(_, q)| q).collect();
+            for (&(pos, _), answer) in exact.iter().zip(backend.top_k_batch(&queries)) {
+                answers[pos] = Some(answer);
+            }
+        }
+        if !approx.is_empty() {
+            let queries: Vec<(usize, usize, usize)> = approx.iter().map(|&(_, q)| q).collect();
+            for (&(pos, _), answer) in approx.iter().zip(backend.top_k_batch_approx(&queries)) {
+                answers[pos] = Some(answer);
+            }
+        }
         for (job, answer) in batch.into_iter().zip(answers) {
             // A dropped receiver just means the client went away.
-            let _ = job.reply.send(answer);
+            let _ = job.reply.send(answer.expect("every job answered"));
         }
     }
 }
@@ -187,6 +239,48 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn mixed_exact_and_approx_batches_route_correctly() {
+        let mvag = toy_mvag(60, 2, 3);
+        let mut config = TrainConfig::default();
+        config.embed.dim = 6;
+        let artifact = Artifact::train(&mvag, &config).unwrap();
+        let engine = Arc::new(
+            QueryEngine::new(
+                artifact,
+                EngineConfig {
+                    index: Some(mvag_index::IvfConfig { nlist: 4, seed: 1 }),
+                    ..EngineConfig::default()
+                },
+            )
+            .unwrap(),
+        );
+        let batcher = Arc::new(Batcher::new(engine.clone(), 32));
+        let mut handles = Vec::new();
+        for t in 0..6usize {
+            let batcher = Arc::clone(&batcher);
+            let engine = Arc::clone(&engine);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..20usize {
+                    let node = (t * 20 + i) % 60;
+                    if (t + i) % 2 == 0 {
+                        let got = batcher.top_k(node, 5).unwrap();
+                        assert_eq!(got, engine.top_k_similar(node, 5).unwrap());
+                    } else {
+                        // Full probe: deterministic, equals exact.
+                        let got = batcher.top_k_approx(node, 5, usize::MAX).unwrap();
+                        assert_eq!(got, engine.top_k_similar(node, 5).unwrap());
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = engine.index_stats();
+        assert!(stats.approx_queries > 0 && stats.exact_queries > 0);
     }
 
     #[test]

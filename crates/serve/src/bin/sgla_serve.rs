@@ -7,6 +7,9 @@
 //! # Train and write a sharded layout (directory with manifest.json):
 //! sgla-serve train --out toy-sharded/ --shards 4 --n 300 --k 3
 //!
+//! # Also build the IVF approximate top-k index (sidecar file(s)):
+//! sgla-serve train --out toy.sgla --index ivf --nlist 32
+//!
 //! # Train on a Table-II synthetic stand-in from the registry:
 //! sgla-serve train --out imdb.sgla --dataset imdb --scale 0.25
 //!
@@ -14,14 +17,17 @@
 //! sgla-serve info --artifact toy.sgla
 //! sgla-serve info --artifact toy-sharded/
 //!
-//! # Serve it (sharded layouts are detected automatically):
+//! # Serve it (sharded layouts and index sidecars are detected
+//! # automatically; --index ivf builds an index at startup if no
+//! # sidecar exists):
 //! sgla-serve serve --artifact toy.sgla --addr 127.0.0.1:7878 --workers 8
 //! sgla-serve serve --artifact toy-sharded/ --max-resident 2
+//! sgla-serve serve --artifact toy.sgla --index ivf
 //! ```
 
 use sgla_serve::{
-    Artifact, EngineConfig, QueryBackend, QueryEngine, RouterConfig, Server, ServerConfig,
-    ShardRouter, TrainConfig,
+    Artifact, EngineConfig, IvfConfig, IvfIndex, QueryBackend, QueryEngine, RouterConfig, Server,
+    ServerConfig, ShardRouter, TrainConfig,
 };
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -53,11 +59,13 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  sgla-serve train --out <file|dir> [--shards N] [--dataset toy|<registry name>]
+  sgla-serve train --out <file|dir> [--shards N] [--index ivf] [--nlist N]
+                   [--dataset toy|<registry name>]
                    [--n N] [--k K] [--dim D] [--seed S] [--scale F]
   sgla-serve info  --artifact <file|manifest.json|shard dir>
   sgla-serve serve --artifact <file|manifest.json|shard dir> [--addr HOST:PORT]
-                   [--workers N] [--cache N] [--batch N] [--max-resident N]";
+                   [--workers N] [--cache N] [--batch N] [--max-resident N]
+                   [--index ivf] [--nlist N]";
 
 /// Tiny flag parser: `--key value` pairs after the subcommand.
 struct Flags(Vec<(String, String)>);
@@ -91,6 +99,19 @@ impl Flags {
                 .map_err(|_| format!("--{name}: cannot parse '{raw}'")),
         }
     }
+
+    /// `--index ivf [--nlist N]` → an IVF config (`None` without the
+    /// flag; only `ivf` is a known index kind).
+    fn parse_index(&self) -> Result<Option<IvfConfig>, String> {
+        match self.get("index") {
+            None => Ok(None),
+            Some("ivf") => Ok(Some(IvfConfig {
+                nlist: self.parse_num("nlist", 0)?,
+                ..IvfConfig::default()
+            })),
+            Some(other) => Err(format!("--index: unknown kind '{other}' (try ivf)")),
+        }
+    }
 }
 
 fn train(args: &[String]) -> Result<(), String> {
@@ -122,6 +143,7 @@ fn train(args: &[String]) -> Result<(), String> {
     config.embed.dim = flags.parse_num("dim", 64)?;
     // Parse before training: a bad value must not cost a training run.
     let shards: usize = flags.parse_num("shards", 1)?;
+    let index_config = flags.parse_index()?;
     let started = std::time::Instant::now();
     let artifact = Artifact::train(&mvag, &config).map_err(|e| e.to_string())?;
     println!(
@@ -143,12 +165,42 @@ fn train(args: &[String]) -> Result<(), String> {
             out.display()
         );
         print_shard_table(&manifest);
+        if let Some(ivf) = &index_config {
+            // One IVF sidecar per shard, over that shard's rows, so
+            // the router can probe shards independently.
+            for (i, entry) in manifest.shards.iter().enumerate() {
+                let shard = artifact
+                    .shard(entry.row_start, entry.row_end)
+                    .map_err(|e| e.to_string())?;
+                let index = shard.build_ivf(ivf).map_err(|e| e.to_string())?;
+                let path = out.join(Artifact::shard_index_file_name(i));
+                index.save(&path).map_err(|e| e.to_string())?;
+                println!(
+                    "  {}  ivf nlist={} over rows {}..{}",
+                    path.file_name().and_then(|f| f.to_str()).unwrap_or("?"),
+                    index.nlist(),
+                    entry.row_start,
+                    entry.row_end
+                );
+            }
+        }
     } else {
         // Encode once: save() would re-run the full encode (including
         // the CRC pass) just to learn the byte count.
         let encoded = artifact.encode();
         std::fs::write(&out, encoded.as_ref()).map_err(|e| e.to_string())?;
         println!("wrote {} ({} bytes)", out.display(), encoded.len());
+        if let Some(ivf) = &index_config {
+            let index = artifact.build_ivf(ivf).map_err(|e| e.to_string())?;
+            let path = Artifact::index_sidecar_path(&out);
+            index.save(&path).map_err(|e| e.to_string())?;
+            println!(
+                "wrote {} (ivf, nlist={}, {} rows)",
+                path.display(),
+                index.nlist(),
+                index.rows()
+            );
+        }
     }
     Ok(())
 }
@@ -214,6 +266,15 @@ fn info(args: &[String]) -> Result<(), String> {
     println!("rows:      {}..{}", m.row_start, m.row_end);
     println!("weights:   {:?}", artifact.weights);
     println!("laplacian: {} nnz", artifact.laplacian.nnz());
+    let sidecar = Artifact::index_sidecar_path(path);
+    if sidecar.is_file() {
+        let index = IvfIndex::load(&sidecar).map_err(|e| e.to_string())?;
+        println!(
+            "index:     ivf ({}, nlist={})",
+            sidecar.display(),
+            index.nlist()
+        );
+    }
     Ok(())
 }
 
@@ -225,6 +286,9 @@ fn serve(args: &[String]) -> Result<(), String> {
     let path = Path::new(path);
     let engine_config = EngineConfig {
         cache_capacity: flags.parse_num("cache", 4096)?,
+        // With --index ivf the backend builds an index at startup
+        // wherever no persisted sidecar exists; sidecars always load.
+        index: flags.parse_index()?,
         ..EngineConfig::default()
     };
     let backend: Arc<dyn QueryBackend> = if is_sharded_path(path) {
@@ -237,12 +301,17 @@ fn serve(args: &[String]) -> Result<(), String> {
         };
         let router = ShardRouter::open(path, router_config).map_err(|e| e.to_string())?;
         println!(
-            "loaded sharded {} (n = {}, k = {}, dim = {}, {} shards)",
+            "loaded sharded {} (n = {}, k = {}, dim = {}, {} shards{})",
             router.meta().dataset,
             router.meta().n,
             router.meta().k,
             router.meta().dim,
-            router.manifest().shards.len()
+            router.manifest().shards.len(),
+            if QueryBackend::index_stats(&router).enabled {
+                ", ivf index"
+            } else {
+                ""
+            }
         );
         Arc::new(router)
     } else {
@@ -251,7 +320,26 @@ fn serve(args: &[String]) -> Result<(), String> {
             "loaded {} (n = {}, k = {}, dim = {})",
             artifact.meta.dataset, artifact.meta.n, artifact.meta.k, artifact.meta.dim
         );
-        Arc::new(QueryEngine::new(artifact, engine_config).map_err(|e| e.to_string())?)
+        let sidecar = Artifact::index_sidecar_path(path);
+        let engine = if sidecar.is_file() {
+            let index = IvfIndex::load(&sidecar).map_err(|e| e.to_string())?;
+            println!(
+                "loaded index {} (ivf, nlist={})",
+                sidecar.display(),
+                index.nlist()
+            );
+            let engine_config = EngineConfig {
+                index: None,
+                ..engine_config
+            };
+            QueryEngine::with_index(artifact, engine_config, index).map_err(|e| e.to_string())?
+        } else {
+            if engine_config.index.is_some() {
+                println!("building ivf index (no sidecar found; see train --index ivf)");
+            }
+            QueryEngine::new(artifact, engine_config).map_err(|e| e.to_string())?
+        };
+        Arc::new(engine)
     };
     let server_config = ServerConfig {
         addr: flags
@@ -265,7 +353,10 @@ fn serve(args: &[String]) -> Result<(), String> {
     };
     let server = Server::start_backend(backend, &server_config).map_err(|e| e.to_string())?;
     println!("serving on http://{}", server.local_addr());
-    println!("endpoints: /healthz /stats /artifact /cluster/{{node}} /topk/{{node}}?k=K /embed");
+    println!(
+        "endpoints: /healthz /stats /metrics /artifact /cluster/{{node}} \
+         /topk/{{node}}?k=K[&mode=approx&nprobe=N] /embed"
+    );
     println!("press Ctrl-C to stop");
     // Foreground serve: park until killed. Workers own the sockets.
     loop {

@@ -58,6 +58,20 @@ impl HttpClient {
         self.request("GET", path, None)
     }
 
+    /// `GET path` → `(status, raw body)` without JSON parsing — for
+    /// text endpoints like `/metrics`.
+    ///
+    /// # Errors
+    /// Transport failures.
+    pub fn get_text(&mut self, path: &str) -> Result<(u16, String)> {
+        let head = format!(
+            "GET {path} HTTP/1.1\r\nhost: sgla\r\ncontent-length: 0\r\nconnection: keep-alive\r\n\r\n"
+        );
+        self.writer.write_all(head.as_bytes())?;
+        self.writer.flush()?;
+        self.read_raw()
+    }
+
     /// `POST path` with a JSON body → parsed response.
     ///
     /// # Errors
@@ -79,6 +93,13 @@ impl HttpClient {
     }
 
     fn read_response(&mut self) -> Result<HttpResponse> {
+        let bad = |msg: &str| ServeError::Server(format!("bad response: {msg}"));
+        let (status, text) = self.read_raw()?;
+        let body = json::parse(&text).map_err(|e| bad(&format!("body not JSON: {e}")))?;
+        Ok(HttpResponse { status, body })
+    }
+
+    fn read_raw(&mut self) -> Result<(u16, String)> {
         let bad = |msg: &str| ServeError::Server(format!("bad response: {msg}"));
         let mut status_line = String::new();
         if self.reader.read_line(&mut status_line)? == 0 {
@@ -111,7 +132,6 @@ impl HttpClient {
         let mut raw = vec![0u8; content_length];
         self.reader.read_exact(&mut raw)?;
         let text = String::from_utf8(raw).map_err(|_| bad("body not UTF-8"))?;
-        let body = json::parse(&text).map_err(|e| bad(&format!("body not JSON: {e}")))?;
-        Ok(HttpResponse { status, body })
+        Ok((status, text))
     }
 }

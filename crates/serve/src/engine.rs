@@ -26,9 +26,12 @@
 //! out across many shard engines.
 
 use crate::artifact::Artifact;
+use crate::backend::IndexStats;
 use crate::lru::LruCache;
 use crate::{Result, ServeError};
+use mvag_index::{IvfConfig, IvfIndex, IvfSearchStats};
 use mvag_sparse::{parallel, vecops};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// One scored neighbour from a top-k query.
@@ -65,6 +68,11 @@ pub struct EngineConfig {
     pub cache_capacity: usize,
     /// Rows per block in the blocked scoring kernel.
     pub block_rows: usize,
+    /// When set, an IVF approximate top-k index is trained over the
+    /// artifact's embedding rows at engine construction (unless a
+    /// pre-built index is attached via [`QueryEngine::with_index`]).
+    /// `None` serves exact-only.
+    pub index: Option<IvfConfig>,
 }
 
 impl Default for EngineConfig {
@@ -73,6 +81,41 @@ impl Default for EngineConfig {
             threads: parallel::default_threads(),
             cache_capacity: 4096,
             block_rows: 64,
+            index: None,
+        }
+    }
+}
+
+/// An approximate top-k query: `(node, k, nprobe)`, with `nprobe = 0`
+/// meaning the index's default probe width.
+pub type ApproxQuery = (usize, usize, usize);
+
+/// Cumulative counters of the approximate-index machinery (atomics;
+/// shared-reference updates from the query paths).
+#[derive(Debug, Default)]
+pub(crate) struct IndexCounters {
+    pub(crate) approx_queries: AtomicU64,
+    pub(crate) exact_queries: AtomicU64,
+    pub(crate) lists_scanned: AtomicU64,
+    pub(crate) rows_scanned: AtomicU64,
+}
+
+impl IndexCounters {
+    pub(crate) fn record_search(&self, stats: &IvfSearchStats) {
+        self.lists_scanned
+            .fetch_add(stats.lists_scanned as u64, Ordering::Relaxed);
+        self.rows_scanned
+            .fetch_add(stats.rows_scanned as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self, enabled: bool, nlist: usize) -> IndexStats {
+        IndexStats {
+            enabled,
+            nlist,
+            approx_queries: self.approx_queries.load(Ordering::Relaxed),
+            exact_queries: self.exact_queries.load(Ordering::Relaxed),
+            lists_scanned: self.lists_scanned.load(Ordering::Relaxed),
+            rows_scanned: self.rows_scanned.load(Ordering::Relaxed),
         }
     }
 }
@@ -105,14 +148,43 @@ pub struct QueryEngine {
     norms: Vec<f64>,
     cache: Mutex<LruCache<(usize, usize), Vec<Neighbor>>>,
     config: EngineConfig,
+    /// Optional IVF index for approximate top-k over the local rows.
+    index: Option<IvfIndex>,
+    counters: IndexCounters,
 }
 
 impl QueryEngine {
     /// Builds the engine (validates the artifact, precomputes norms).
+    /// With [`EngineConfig::index`] set, an IVF index is trained over
+    /// the artifact's embedding rows here.
     ///
     /// # Errors
-    /// [`ServeError::Corrupt`] if the artifact is inconsistent.
+    /// [`ServeError::Corrupt`] if the artifact is inconsistent;
+    /// [`ServeError::InvalidArgument`] if index training fails.
     pub fn new(artifact: Artifact, config: EngineConfig) -> Result<Self> {
+        let index = match &config.index {
+            Some(ivf) => Some(artifact.build_ivf(ivf)?),
+            None => None,
+        };
+        Self::assemble(artifact, config, index)
+    }
+
+    /// Builds the engine around a pre-built (typically loaded from a
+    /// sidecar file) IVF index instead of training one, verifying the
+    /// index covers exactly this artifact's rows.
+    ///
+    /// # Errors
+    /// [`ServeError::Corrupt`] if the artifact is inconsistent or the
+    /// index does not match it.
+    pub fn with_index(artifact: Artifact, config: EngineConfig, index: IvfIndex) -> Result<Self> {
+        let m = &artifact.meta;
+        index
+            .check_compatible(m.n, m.dim, m.row_start, m.row_end)
+            .map_err(|e| ServeError::Corrupt(format!("index does not match artifact: {e}")))?;
+        Self::assemble(artifact, config, Some(index))
+    }
+
+    fn assemble(artifact: Artifact, config: EngineConfig, index: Option<IvfIndex>) -> Result<Self> {
         artifact.validate()?;
         let norms = (0..artifact.meta.rows())
             .map(|i| vecops::norm2(artifact.embedding.row(i)))
@@ -122,12 +194,27 @@ impl QueryEngine {
             artifact,
             norms,
             config,
+            index,
+            counters: IndexCounters::default(),
         })
     }
 
     /// The artifact being served.
     pub fn artifact(&self) -> &Artifact {
         &self.artifact
+    }
+
+    /// The attached IVF index, if any.
+    pub fn index(&self) -> Option<&IvfIndex> {
+        self.index.as_ref()
+    }
+
+    /// Snapshot of the exact/approx query mix and index scan work.
+    pub fn index_stats(&self) -> IndexStats {
+        self.counters.snapshot(
+            self.index.is_some(),
+            self.index.as_ref().map_or(0, IvfIndex::nlist),
+        )
     }
 
     /// `(hits, misses)` of the top-k result cache.
@@ -244,6 +331,7 @@ impl QueryEngine {
                     continue;
                 }
                 let k = k.min(n - 1);
+                self.counters.exact_queries.fetch_add(1, Ordering::Relaxed);
                 if let Some(hit) = cache.get(&(node, k)) {
                     answers.push(Some(Ok(hit.clone())));
                 } else {
@@ -265,6 +353,135 @@ impl QueryEngine {
             .into_iter()
             .map(|a| a.expect("all slots filled"))
             .collect()
+    }
+
+    /// Approximate top-k via the attached IVF index: only the `nprobe`
+    /// best-matching inverted lists are scanned (`nprobe = 0` uses the
+    /// index default, `nprobe >= nlist` is bit-identical to
+    /// [`QueryEngine::top_k_similar`]). Same validation, clamping, and
+    /// ordering as the exact path; results are **not** cached (they
+    /// are cheap and parameterized by `nprobe`).
+    ///
+    /// # Errors
+    /// [`ServeError::InvalidQuery`] for out-of-range nodes, `k == 0`,
+    /// or when no index is attached.
+    pub fn top_k_approx(&self, node: usize, k: usize, nprobe: usize) -> Result<Vec<Neighbor>> {
+        self.top_k_batch_approx(&[(node, k, nprobe)])
+            .pop()
+            .expect("one query")
+    }
+
+    /// Answers many approximate top-k queries (the approx half of the
+    /// micro-batching entry point). Queries shard across the worker
+    /// pool like the exact batch path; each query scans only its
+    /// probed lists.
+    pub fn top_k_batch_approx(&self, queries: &[ApproxQuery]) -> Vec<Result<Vec<Neighbor>>> {
+        let n = self.artifact.meta.n;
+        let Some(index) = &self.index else {
+            return queries.iter().map(|_| Err(no_index_error())).collect();
+        };
+        let mut answers: Vec<Option<Result<Vec<Neighbor>>>> = Vec::with_capacity(queries.len());
+        let mut work: Vec<usize> = Vec::new(); // answer slot per job
+        let mut jobs: Vec<ApproxQuery> = Vec::new();
+        for &(node, k, nprobe) in queries {
+            if let Err(e) = self.check_node(node) {
+                answers.push(Some(Err(e)));
+                continue;
+            }
+            if k == 0 {
+                answers.push(Some(Err(ServeError::InvalidQuery(
+                    "k must be at least 1".into(),
+                ))));
+                continue;
+            }
+            self.counters.approx_queries.fetch_add(1, Ordering::Relaxed);
+            work.push(answers.len());
+            answers.push(None);
+            jobs.push((node, k.min(n - 1), nprobe));
+        }
+        if !jobs.is_empty() {
+            // One concurrent query parallelizes over its probed lists;
+            // a batch parallelizes across queries instead (same policy
+            // as the exact kernel: the batch is the unit of work).
+            let search = |&(node, k, nprobe): &ApproxQuery| {
+                let local = self.local(node);
+                index.search(
+                    &self.artifact.embedding,
+                    &self.norms,
+                    self.artifact.embedding.row(local),
+                    self.norms[local],
+                    k,
+                    nprobe,
+                    Some(node),
+                    if jobs.len() == 1 {
+                        self.config.threads
+                    } else {
+                        1
+                    },
+                )
+            };
+            let threads = self.config.threads.max(1).min(jobs.len());
+            let results = if threads > 1 && jobs.len() > 1 {
+                parallel::par_map(jobs.len(), threads, |j| search(&jobs[j]))
+            } else {
+                jobs.iter().map(search).collect()
+            };
+            for (slot, (scored, stats)) in work.into_iter().zip(results) {
+                self.counters.record_search(&stats);
+                answers[slot] = Some(Ok(scored
+                    .into_iter()
+                    .map(|s| Neighbor {
+                        node: s.id,
+                        score: s.score,
+                    })
+                    .collect()));
+            }
+        }
+        answers
+            .into_iter()
+            .map(|a| a.expect("all slots filled"))
+            .collect()
+    }
+
+    /// The per-shard half of a fanned-out *approximate* top-k: scores
+    /// an external query vector against this engine's probed lists
+    /// only, returning global ids plus the scan-work accounting (the
+    /// caller merges and aggregates — see
+    /// [`crate::router::ShardRouter`]).
+    ///
+    /// # Errors
+    /// [`ServeError::InvalidQuery`] when no index is attached.
+    pub fn top_k_for_query_approx(
+        &self,
+        qrow: &[f64],
+        qnorm: f64,
+        k: usize,
+        nprobe: usize,
+        exclude: Option<usize>,
+    ) -> Result<(Vec<Neighbor>, IvfSearchStats)> {
+        let Some(index) = &self.index else {
+            return Err(no_index_error());
+        };
+        let (scored, stats) = index.search(
+            &self.artifact.embedding,
+            &self.norms,
+            qrow,
+            qnorm,
+            k,
+            nprobe,
+            exclude,
+            1, // the router owns cross-shard parallelism
+        );
+        Ok((
+            scored
+                .into_iter()
+                .map(|s| Neighbor {
+                    node: s.id,
+                    score: s.score,
+                })
+                .collect(),
+            stats,
+        ))
     }
 
     /// The blocked scoring kernel: walks the embedding matrix in
@@ -367,6 +584,15 @@ impl QueryEngine {
     }
 }
 
+/// The error every approx entry point returns when the backend has no
+/// index attached.
+pub(crate) fn no_index_error() -> ServeError {
+    ServeError::InvalidQuery(
+        "no approximate index loaded (train with --index ivf, or serve with --index ivf to build one)"
+            .into(),
+    )
+}
+
 /// One scoring job against this engine's rows: an external query
 /// vector, its norm, and an optional global id to skip.
 struct VectorJob<'a> {
@@ -376,12 +602,15 @@ struct VectorJob<'a> {
     k: usize,
 }
 
-/// Bounded worst-out collection of the best `k` neighbours. Ordering:
-/// higher score wins; equal scores prefer the smaller node id (total,
-/// deterministic order — embedding scores are finite by construction).
-/// Also used by the shard router to merge per-shard top-k lists: the
-/// order is total on distinct node ids, so the top-k of a union equals
-/// the top-k of the per-shard top-k's regardless of insertion order.
+/// Bounded worst-out collection of the best `k` neighbours under the
+/// serving total order ([`mvag_index::ranks_before`] — the single
+/// definition shared with the IVF search path, so exact and approx
+/// results can never diverge on ordering): higher score wins; equal
+/// scores prefer the smaller node id (total, deterministic order —
+/// embedding scores are finite by construction). Also used by the
+/// shard router to merge per-shard top-k lists: the order is total on
+/// distinct node ids, so the top-k of a union equals the top-k of the
+/// per-shard top-k's regardless of insertion order.
 #[derive(Debug)]
 pub(crate) struct TopKHeap {
     k: usize,
@@ -400,7 +629,7 @@ impl TopKHeap {
     }
 
     fn better(a: &Neighbor, b: &Neighbor) -> bool {
-        a.score > b.score || (a.score == b.score && a.node < b.node)
+        mvag_index::ranks_before(a.score, a.node, b.score, b.node)
     }
 
     pub(crate) fn push(&mut self, cand: Neighbor) {
@@ -527,6 +756,99 @@ mod tests {
         assert_eq!(rows.len(), 3);
         assert_eq!(rows[1], e.artifact().embedding.row(5).to_vec());
         assert!(e.embed_batch(&[0, 99_999]).is_err());
+    }
+
+    fn engine_with_index(nlist: usize) -> QueryEngine {
+        let mvag = toy_mvag(80, 2, 7);
+        let mut config = TrainConfig::default();
+        config.embed.dim = 8;
+        let artifact = Artifact::train(&mvag, &config).unwrap();
+        QueryEngine::new(
+            artifact,
+            EngineConfig {
+                index: Some(mvag_index::IvfConfig { nlist, seed: 5 }),
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn approx_full_probe_bit_identical_to_exact() {
+        let e = engine_with_index(6);
+        for q in [0usize, 7, 41, 79] {
+            let exact = e.top_k_similar(q, 10).unwrap();
+            let approx = e.top_k_approx(q, 10, e.index().unwrap().nlist()).unwrap();
+            assert_eq!(exact.len(), approx.len());
+            for (x, a) in exact.iter().zip(&approx) {
+                assert_eq!(x.node, a.node, "query {q}");
+                assert_eq!(x.score.to_bits(), a.score.to_bits(), "query {q}");
+            }
+        }
+        // Huge nprobe clamps to nlist; zero uses the default width.
+        assert_eq!(
+            e.top_k_approx(3, 5, usize::MAX).unwrap(),
+            e.top_k_approx(3, 5, 6).unwrap()
+        );
+        assert_eq!(e.top_k_approx(3, 5, 0).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn approx_counters_and_partial_probe_scan_less() {
+        let e = engine_with_index(8);
+        e.top_k_approx(10, 5, 2).unwrap();
+        let stats = e.index_stats();
+        assert!(stats.enabled);
+        assert_eq!(stats.nlist, 8);
+        assert_eq!(stats.approx_queries, 1);
+        assert_eq!(stats.lists_scanned, 2);
+        assert!(
+            stats.rows_scanned < 79,
+            "partial probe scanned {} of 79 rows",
+            stats.rows_scanned
+        );
+        e.top_k_similar(10, 5).unwrap();
+        assert_eq!(e.index_stats().exact_queries, 1);
+    }
+
+    #[test]
+    fn approx_batch_mixes_valid_and_invalid() {
+        let e = engine_with_index(4);
+        let res = e.top_k_batch_approx(&[(0, 3, 2), (10_000, 3, 2), (1, 0, 2), (2, 3, 0)]);
+        assert!(res[0].is_ok());
+        assert!(matches!(res[1], Err(ServeError::InvalidQuery(_))));
+        assert!(matches!(res[2], Err(ServeError::InvalidQuery(_))));
+        assert!(res[3].is_ok());
+    }
+
+    #[test]
+    fn approx_without_index_is_a_clean_error() {
+        let e = engine();
+        assert!(matches!(
+            e.top_k_approx(0, 5, 1),
+            Err(ServeError::InvalidQuery(_))
+        ));
+        assert!(!e.index_stats().enabled);
+    }
+
+    #[test]
+    fn prebuilt_index_attaches_and_mismatches_are_rejected() {
+        let mvag = toy_mvag(80, 2, 7);
+        let mut config = TrainConfig::default();
+        config.embed.dim = 8;
+        let artifact = Artifact::train(&mvag, &config).unwrap();
+        let index = artifact
+            .build_ivf(&mvag_index::IvfConfig { nlist: 5, seed: 1 })
+            .unwrap();
+        let e = QueryEngine::with_index(artifact.clone(), EngineConfig::default(), index.clone())
+            .unwrap();
+        assert_eq!(e.index().unwrap().nlist(), 5);
+        // An index over a different row range must be rejected.
+        let shard = artifact.shard(0, 40).unwrap();
+        assert!(matches!(
+            QueryEngine::with_index(shard, EngineConfig::default(), index),
+            Err(ServeError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -11,14 +11,19 @@
 //! | Method/path            | Answer                                     |
 //! |------------------------|--------------------------------------------|
 //! | `GET /healthz`         | liveness + artifact name                   |
-//! | `GET /stats`           | per-endpoint latency/QPS counters          |
+//! | `GET /stats`           | per-endpoint latency/QPS counters (add     |
+//! |                        | `?reset=true` for reset-on-read deltas)    |
+//! | `GET /metrics`         | Prometheus text exposition (cumulative)    |
 //! | `GET /artifact`        | artifact metadata + learned view weights   |
 //! | `GET /cluster/{node}`  | cluster assignment + centroid distance     |
-//! | `GET /topk/{node}?k=K` | K nearest nodes by embedding cosine        |
+//! | `GET /topk/{node}?k=K` | K nearest nodes by embedding cosine;       |
+//! |                        | `&mode=approx[&nprobe=N]` probes the IVF   |
+//! |                        | index instead of scanning every row        |
 //! | `POST /embed`          | `{"nodes":[...]}` → embedding rows         |
 //!
 //! Top-k requests go through the [`Batcher`], so concurrent clients
-//! are micro-batched into shared kernel passes.
+//! are micro-batched into shared kernel passes (exact and approx
+//! queries each share passes with their own kind).
 
 use crate::backend::QueryBackend;
 use crate::batch::Batcher;
@@ -287,7 +292,14 @@ fn handle_connection(stream: TcpStream, shared: &ServerShared, read_timeout: Dur
                 // Malformed request: answer 400 if the peer is still
                 // there, then drop the connection.
                 let body = error_body(&e.to_string());
-                let _ = write_response(&mut writer, 400, "Bad Request", &body, false);
+                let _ = write_response(
+                    &mut writer,
+                    400,
+                    "Bad Request",
+                    "application/json",
+                    &body,
+                    false,
+                );
                 return;
             }
         };
@@ -298,6 +310,13 @@ fn handle_connection(stream: TcpStream, shared: &ServerShared, read_timeout: Dur
         if let Some(m) = shared.metrics.endpoint(endpoint) {
             m.record(started.elapsed(), status < 400);
         }
+        // The metrics page is the one non-JSON endpoint (Prometheus
+        // text exposition format).
+        let content_type = if endpoint == "metrics" && status == 200 {
+            "text/plain; version=0.0.4"
+        } else {
+            "application/json"
+        };
         let reason = match status {
             200 => "OK",
             400 => "Bad Request",
@@ -306,7 +325,9 @@ fn handle_connection(stream: TcpStream, shared: &ServerShared, read_timeout: Dur
             503 => "Service Unavailable",
             _ => "Internal Server Error",
         };
-        if write_response(&mut writer, status, reason, &body, keep_alive).is_err() || !keep_alive {
+        if write_response(&mut writer, status, reason, content_type, &body, keep_alive).is_err()
+            || !keep_alive
+        {
             return;
         }
     }
@@ -432,12 +453,13 @@ fn write_response(
     writer: &mut TcpStream,
     status: u16,
     reason: &str,
+    content_type: &str,
     body: &str,
     keep_alive: bool,
 ) -> std::io::Result<()> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
     let head = format!(
-        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n",
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n",
         body.len()
     );
     writer.write_all(head.as_bytes())?;
@@ -454,7 +476,12 @@ fn route(request: &Request, shared: &ServerShared) -> (&'static str, u16, String
     let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
     match (request.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => ("healthz", 200, healthz_body(shared)),
-        ("GET", ["stats"]) => ("stats", 200, stats_body(shared)),
+        ("GET", ["stats"]) => (
+            "stats",
+            200,
+            stats_body(shared, query_flag(&request.query, "reset")),
+        ),
+        ("GET", ["metrics"]) => ("metrics", 200, metrics_body(shared)),
         ("GET", ["artifact"]) => ("artifact", 200, artifact_body(shared)),
         ("GET", ["cluster", node]) => match parse_node(node) {
             Ok(node) => match shared.backend.cluster_of(node) {
@@ -474,37 +501,47 @@ fn route(request: &Request, shared: &ServerShared) -> (&'static str, u16, String
             },
             Err(msg) => ("cluster", 400, error_body(&msg)),
         },
-        ("GET", ["topk", node]) => match (parse_node(node), parse_k(&request.query)) {
-            (Ok(node), Ok(k)) => match shared.batcher.top_k(node, k) {
-                Ok(neighbors) => {
-                    let items: Vec<Value> = neighbors
-                        .iter()
-                        .map(|nb| {
+        ("GET", ["topk", node]) => match (parse_node(node), parse_topk_params(&request.query)) {
+            (Ok(node), Ok(params)) => {
+                let answer = match params.mode {
+                    TopKMode::Exact => shared.batcher.top_k(node, params.k),
+                    TopKMode::Approx => shared.batcher.top_k_approx(node, params.k, params.nprobe),
+                };
+                match answer {
+                    Ok(neighbors) => {
+                        let items: Vec<Value> = neighbors
+                            .iter()
+                            .map(|nb| {
+                                Value::object(vec![
+                                    ("node", Value::from(nb.node)),
+                                    ("score", Value::from(nb.score)),
+                                ])
+                            })
+                            .collect();
+                        let mode = match params.mode {
+                            TopKMode::Exact => "exact",
+                            TopKMode::Approx => "approx",
+                        };
+                        (
+                            "topk",
+                            200,
                             Value::object(vec![
-                                ("node", Value::from(nb.node)),
-                                ("score", Value::from(nb.score)),
+                                ("node", Value::from(node)),
+                                ("k", Value::from(params.k)),
+                                ("mode", Value::from(mode)),
+                                ("neighbors", Value::Array(items)),
                             ])
-                        })
-                        .collect();
-                    (
-                        "topk",
-                        200,
-                        Value::object(vec![
-                            ("node", Value::from(node)),
-                            ("k", Value::from(k)),
-                            ("neighbors", Value::Array(items)),
-                        ])
-                        .to_string_compact(),
-                    )
+                            .to_string_compact(),
+                        )
+                    }
+                    Err(e) => ("topk", error_status(&e), error_body(&e.to_string())),
                 }
-                Err(e) => ("topk", error_status(&e), error_body(&e.to_string())),
-            },
+            }
             (Err(msg), _) | (_, Err(msg)) => ("topk", 400, error_body(&msg)),
         },
         ("POST", ["embed"]) => embed_route(request, shared),
-        (_, ["healthz" | "stats" | "artifact" | "embed"]) | (_, ["cluster" | "topk", _]) => {
-            ("other", 405, error_body("method not allowed"))
-        }
+        (_, ["healthz" | "stats" | "metrics" | "artifact" | "embed"])
+        | (_, ["cluster" | "topk", _]) => ("other", 405, error_body("method not allowed")),
         _ => ("other", 404, error_body("no such endpoint")),
     }
 }
@@ -577,17 +614,56 @@ fn parse_node(raw: &str) -> std::result::Result<usize, String> {
         .map_err(|_| format!("bad node id '{raw}'"))
 }
 
-fn parse_k(query: &str) -> std::result::Result<usize, String> {
-    for pair in query.split('&') {
-        if let Some((key, value)) = pair.split_once('=') {
-            if key == "k" {
-                return value
-                    .parse::<usize>()
-                    .map_err(|_| format!("bad k '{value}'"));
+/// How a `/topk` request wants to be answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TopKMode {
+    Exact,
+    Approx,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TopKParams {
+    k: usize,
+    mode: TopKMode,
+    /// Lists to probe in approx mode; 0 = backend default.
+    nprobe: usize,
+}
+
+/// The value of `key` in a raw query string, if present.
+fn query_param<'q>(query: &'q str, key: &str) -> Option<&'q str> {
+    query.split('&').find_map(|pair| {
+        pair.split_once('=')
+            .filter(|(name, _)| *name == key)
+            .map(|(_, value)| value)
+    })
+}
+
+/// Whether a boolean query flag is set (`?reset=true` / `?reset=1`).
+fn query_flag(query: &str, key: &str) -> bool {
+    matches!(query_param(query, key), Some("true") | Some("1"))
+}
+
+fn parse_topk_params(query: &str) -> std::result::Result<TopKParams, String> {
+    let k = match query_param(query, "k") {
+        Some(raw) => raw.parse::<usize>().map_err(|_| format!("bad k '{raw}'"))?,
+        None => 10, // default k
+    };
+    let mode = match query_param(query, "mode") {
+        None | Some("exact") => TopKMode::Exact,
+        Some("approx") => TopKMode::Approx,
+        Some(other) => return Err(format!("bad mode '{other}' (exact or approx)")),
+    };
+    let nprobe = match query_param(query, "nprobe") {
+        Some(raw) => {
+            if mode != TopKMode::Approx {
+                return Err("nprobe only applies to mode=approx".into());
             }
+            raw.parse::<usize>()
+                .map_err(|_| format!("bad nprobe '{raw}'"))?
         }
-    }
-    Ok(10) // default k
+        None => 0,
+    };
+    Ok(TopKParams { k, mode, nprobe })
 }
 
 fn healthz_body(shared: &ServerShared) -> String {
@@ -620,13 +696,20 @@ fn artifact_body(shared: &ServerShared) -> String {
     .to_string_compact()
 }
 
-fn stats_body(shared: &ServerShared) -> String {
-    let endpoints: Vec<Value> = shared
-        .metrics
-        .endpoints
+/// `/stats` body. With `reset` the per-endpoint numbers are
+/// reset-on-read deltas since the previous reset-read (plus the window
+/// length); without it they are cumulative since start. Backend
+/// counters (cache, index) are always cumulative.
+fn stats_body(shared: &ServerShared, reset: bool) -> String {
+    let (snapshots, window_secs) = if reset {
+        shared.metrics.delta_snapshots()
+    } else {
+        (shared.metrics.snapshots(), shared.metrics.uptime_secs())
+    };
+    let window_requests: u64 = snapshots.iter().map(|s| s.requests).sum();
+    let endpoints: Vec<Value> = snapshots
         .iter()
-        .map(|e| {
-            let snap = e.snapshot();
+        .map(|snap| {
             Value::object(vec![
                 ("endpoint", Value::from(snap.name)),
                 ("requests", Value::from(snap.requests)),
@@ -638,13 +721,24 @@ fn stats_body(shared: &ServerShared) -> String {
         })
         .collect();
     let (cache_hits, cache_misses) = shared.backend.cache_stats();
+    let index = shared.backend.index_stats();
     Value::object(vec![
         ("uptime_secs", Value::from(shared.metrics.uptime_secs())),
+        ("window_secs", Value::from(window_secs)),
+        ("reset", Value::Bool(reset)),
         (
             "total_requests",
             Value::from(shared.metrics.total_requests()),
         ),
-        ("qps", Value::from(shared.metrics.qps())),
+        ("window_requests", Value::from(window_requests)),
+        (
+            "qps",
+            Value::from(if window_secs > 0.0 {
+                window_requests as f64 / window_secs
+            } else {
+                0.0
+            }),
+        ),
         ("cache_hits", Value::from(cache_hits)),
         ("cache_misses", Value::from(cache_misses)),
         ("shards", Value::from(shared.backend.shard_count())),
@@ -652,7 +746,66 @@ fn stats_body(shared: &ServerShared) -> String {
             "resident_shards",
             Value::from(shared.backend.resident_shards()),
         ),
+        (
+            "index",
+            Value::object(vec![
+                ("enabled", Value::Bool(index.enabled)),
+                ("nlist", Value::from(index.nlist)),
+                ("approx_queries", Value::from(index.approx_queries)),
+                ("exact_queries", Value::from(index.exact_queries)),
+                ("lists_scanned", Value::from(index.lists_scanned)),
+                ("rows_scanned", Value::from(index.rows_scanned)),
+            ]),
+        ),
         ("endpoints", Value::Array(endpoints)),
     ])
     .to_string_compact()
+}
+
+/// `/metrics` body: the Prometheus text exposition page — endpoint
+/// counters/histograms from the registry plus backend gauges
+/// (cache, shards, approx-index scan work).
+fn metrics_body(shared: &ServerShared) -> String {
+    use std::fmt::Write;
+    let mut page = String::with_capacity(4096);
+    shared.metrics.render_prometheus(&mut page);
+    let (cache_hits, cache_misses) = shared.backend.cache_stats();
+    page.push_str("# TYPE sgla_cache_hits_total counter\n");
+    let _ = writeln!(page, "sgla_cache_hits_total {cache_hits}");
+    page.push_str("# TYPE sgla_cache_misses_total counter\n");
+    let _ = writeln!(page, "sgla_cache_misses_total {cache_misses}");
+    page.push_str("# TYPE sgla_shards gauge\n");
+    let _ = writeln!(page, "sgla_shards {}", shared.backend.shard_count());
+    page.push_str("# TYPE sgla_resident_shards gauge\n");
+    let _ = writeln!(
+        page,
+        "sgla_resident_shards {}",
+        shared.backend.resident_shards()
+    );
+    let index = shared.backend.index_stats();
+    page.push_str("# TYPE sgla_index_enabled gauge\n");
+    let _ = writeln!(page, "sgla_index_enabled {}", u8::from(index.enabled));
+    page.push_str("# TYPE sgla_index_nlist gauge\n");
+    let _ = writeln!(page, "sgla_index_nlist {}", index.nlist);
+    page.push_str("# TYPE sgla_index_approx_queries_total counter\n");
+    let _ = writeln!(
+        page,
+        "sgla_index_approx_queries_total {}",
+        index.approx_queries
+    );
+    page.push_str("# TYPE sgla_index_exact_queries_total counter\n");
+    let _ = writeln!(
+        page,
+        "sgla_index_exact_queries_total {}",
+        index.exact_queries
+    );
+    page.push_str("# TYPE sgla_index_lists_scanned_total counter\n");
+    let _ = writeln!(
+        page,
+        "sgla_index_lists_scanned_total {}",
+        index.lists_scanned
+    );
+    page.push_str("# TYPE sgla_index_rows_scanned_total counter\n");
+    let _ = writeln!(page, "sgla_index_rows_scanned_total {}", index.rows_scanned);
+    page
 }

@@ -17,8 +17,11 @@
 //!   artifacts too large for one host's memory.
 //! * [`engine`] — the in-memory [`QueryEngine`]: `cluster_of`,
 //!   `top_k_similar` (cache-friendly blocked dot-product kernel with
-//!   an LRU result cache), `embed_batch`; plus [`batch`], which
-//!   micro-batches concurrent top-k queries into shared kernel passes.
+//!   an LRU result cache), `embed_batch`, plus the approximate
+//!   `top_k_approx` path over an optional `mvag_index` IVF index
+//!   (sublinear probes; the exact scan stays the verification oracle);
+//!   [`batch`] micro-batches concurrent top-k queries into shared
+//!   kernel passes.
 //! * [`router`] — the [`ShardRouter`]: the same query API over a
 //!   sharded layout, routing point queries by row range and fanning
 //!   top-k out across lazily-loaded shard engines with a
@@ -67,11 +70,12 @@ pub mod metrics;
 pub mod router;
 
 pub use artifact::{Artifact, ArtifactMeta, TrainConfig};
-pub use backend::QueryBackend;
+pub use backend::{IndexStats, QueryBackend};
 pub use client::{HttpClient, HttpResponse};
-pub use engine::{ClusterInfo, EngineConfig, Neighbor, QueryEngine};
+pub use engine::{ApproxQuery, ClusterInfo, EngineConfig, Neighbor, QueryEngine};
 pub use error::ServeError;
 pub use http::{Server, ServerConfig};
+pub use mvag_index::{IvfConfig, IvfIndex};
 pub use router::{RouterConfig, ShardRouter};
 
 /// Crate-wide result alias.
@@ -80,10 +84,11 @@ pub type Result<T> = std::result::Result<T, ServeError>;
 /// Common imports for serving.
 pub mod prelude {
     pub use crate::artifact::{Artifact, ArtifactMeta, TrainConfig};
-    pub use crate::backend::QueryBackend;
+    pub use crate::backend::{IndexStats, QueryBackend};
     pub use crate::client::HttpClient;
     pub use crate::engine::{ClusterInfo, EngineConfig, Neighbor, QueryEngine};
     pub use crate::http::{Server, ServerConfig};
     pub use crate::router::{RouterConfig, ShardRouter};
     pub use crate::ServeError;
+    pub use mvag_index::{IvfConfig, IvfIndex};
 }

@@ -6,8 +6,19 @@
 //! linear interpolation inside the winning bucket, which is accurate
 //! to well under a factor of 2 — plenty for dashboards and the serve
 //! benchmark's regression tracking.
+//!
+//! Two read modes over the same counters:
+//!
+//! * **cumulative** — what `/metrics` (Prometheus text format) and the
+//!   plain `/stats` endpoint report; counters only ever grow.
+//! * **reset-on-read deltas** — `/stats?reset=true` reports activity
+//!   *since the previous reset-read* ([`MetricsRegistry::delta_snapshots`]):
+//!   the registry remembers the last-read snapshot as a baseline and
+//!   subtracts, so scrapers without their own rate() machinery get
+//!   per-window numbers while the cumulative view stays intact.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Number of log₂ latency buckets: bucket `i` holds durations in
@@ -94,6 +105,24 @@ impl EndpointSnapshot {
         }
     }
 
+    /// The counters accumulated since `baseline` was taken
+    /// (element-wise saturating subtraction — a fresh baseline of
+    /// zeros yields the cumulative view).
+    pub fn delta_since(&self, baseline: &EndpointSnapshot) -> EndpointSnapshot {
+        EndpointSnapshot {
+            name: self.name,
+            requests: self.requests.saturating_sub(baseline.requests),
+            errors: self.errors.saturating_sub(baseline.errors),
+            total_micros: self.total_micros.saturating_sub(baseline.total_micros),
+            histogram: self
+                .histogram
+                .iter()
+                .zip(&baseline.histogram)
+                .map(|(c, b)| c.saturating_sub(*b))
+                .collect(),
+        }
+    }
+
     /// Approximate latency quantile (`q` in `[0, 1]`) in microseconds,
     /// by linear interpolation within the winning histogram bucket.
     pub fn quantile_micros(&self, q: f64) -> f64 {
@@ -124,12 +153,17 @@ pub struct MetricsRegistry {
     /// Per-endpoint counters.
     pub endpoints: Vec<EndpointMetrics>,
     started: Instant,
+    /// Baseline of the last reset-read (`/stats?reset=true`): the
+    /// snapshots handed out then, plus when. Cumulative atomics are
+    /// never zeroed, so `/metrics` keeps monotone counters while
+    /// delta reads subtract against this.
+    baseline: Mutex<(Vec<EndpointSnapshot>, Instant)>,
 }
 
 /// Endpoint labels, in registry order. `other` collects requests that
 /// matched no route (404s, wrong methods).
-pub const ENDPOINTS: [&str; 7] = [
-    "healthz", "stats", "artifact", "cluster", "topk", "embed", "other",
+pub const ENDPOINTS: [&str; 8] = [
+    "healthz", "stats", "metrics", "artifact", "cluster", "topk", "embed", "other",
 ];
 
 impl Default for MetricsRegistry {
@@ -141,10 +175,100 @@ impl Default for MetricsRegistry {
 impl MetricsRegistry {
     /// Fresh registry with one slot per endpoint in [`ENDPOINTS`].
     pub fn new() -> Self {
+        let endpoints: Vec<EndpointMetrics> =
+            ENDPOINTS.iter().map(|n| EndpointMetrics::new(n)).collect();
+        let zero = endpoints.iter().map(|e| e.snapshot()).collect();
         MetricsRegistry {
-            endpoints: ENDPOINTS.iter().map(|n| EndpointMetrics::new(n)).collect(),
+            endpoints,
             started: Instant::now(),
+            baseline: Mutex::new((zero, Instant::now())),
         }
+    }
+
+    /// Cumulative snapshots of every endpoint, in registry order.
+    pub fn snapshots(&self) -> Vec<EndpointSnapshot> {
+        self.endpoints.iter().map(|e| e.snapshot()).collect()
+    }
+
+    /// Reset-on-read: per-endpoint deltas since the previous call
+    /// (or since start, for the first), plus the window length in
+    /// seconds. Advances the baseline — the cumulative counters
+    /// themselves are untouched.
+    pub fn delta_snapshots(&self) -> (Vec<EndpointSnapshot>, f64) {
+        // Snapshot *inside* the baseline lock: two concurrent
+        // reset-reads must see disjoint, gap-free windows (a snapshot
+        // taken outside could be older than the baseline another
+        // reader just installed, zeroing its whole window).
+        let mut guard = self.baseline.lock().expect("metrics baseline lock");
+        let current = self.snapshots();
+        let (prev, since) = &mut *guard;
+        let window = since.elapsed().as_secs_f64();
+        let delta = current
+            .iter()
+            .zip(prev.iter())
+            .map(|(c, p)| c.delta_since(p))
+            .collect();
+        *prev = current;
+        *since = Instant::now();
+        (delta, window)
+    }
+
+    /// Renders the endpoint counters in the Prometheus text exposition
+    /// format (cumulative; the log₂ histogram becomes a classic
+    /// `_bucket{le=...}` series). The caller appends its own gauges
+    /// (cache, shards, index work) before serving the page.
+    pub fn render_prometheus(&self, out: &mut String) {
+        use std::fmt::Write;
+        let snaps = self.snapshots();
+        out.push_str("# TYPE sgla_requests_total counter\n");
+        for s in &snaps {
+            let _ = writeln!(
+                out,
+                "sgla_requests_total{{endpoint=\"{}\"}} {}",
+                s.name, s.requests
+            );
+        }
+        out.push_str("# TYPE sgla_request_errors_total counter\n");
+        for s in &snaps {
+            let _ = writeln!(
+                out,
+                "sgla_request_errors_total{{endpoint=\"{}\"}} {}",
+                s.name, s.errors
+            );
+        }
+        out.push_str("# TYPE sgla_request_latency_us histogram\n");
+        for s in &snaps {
+            let mut cumulative = 0u64;
+            for (i, &count) in s.histogram.iter().enumerate() {
+                cumulative += count;
+                if count == 0 && i + 1 != s.histogram.len() {
+                    continue; // keep the page small: emit touched buckets + the tail
+                }
+                let _ = writeln!(
+                    out,
+                    "sgla_request_latency_us_bucket{{endpoint=\"{}\",le=\"{}\"}} {cumulative}",
+                    s.name,
+                    1u128 << (i + 1)
+                );
+            }
+            let _ = writeln!(
+                out,
+                "sgla_request_latency_us_bucket{{endpoint=\"{}\",le=\"+Inf\"}} {cumulative}",
+                s.name
+            );
+            let _ = writeln!(
+                out,
+                "sgla_request_latency_us_sum{{endpoint=\"{}\"}} {}",
+                s.name, s.total_micros
+            );
+            let _ = writeln!(
+                out,
+                "sgla_request_latency_us_count{{endpoint=\"{}\"}} {}",
+                s.name, s.requests
+            );
+        }
+        out.push_str("# TYPE sgla_uptime_seconds gauge\n");
+        let _ = writeln!(out, "sgla_uptime_seconds {}", self.uptime_secs());
     }
 
     /// The counters for an endpoint label, if known.
@@ -227,5 +351,46 @@ mod tests {
             .record(Duration::from_micros(5), true);
         assert!(r.endpoint("nope").is_none());
         assert_eq!(r.total_requests(), 2);
+    }
+
+    #[test]
+    fn delta_snapshots_reset_on_read_without_losing_totals() {
+        let r = MetricsRegistry::new();
+        let topk = r.endpoint("topk").unwrap();
+        topk.record(Duration::from_micros(10), true);
+        topk.record(Duration::from_micros(10), false);
+        let (d1, w1) = r.delta_snapshots();
+        let topk_d1 = d1.iter().find(|s| s.name == "topk").unwrap();
+        assert_eq!(topk_d1.requests, 2);
+        assert_eq!(topk_d1.errors, 1);
+        assert!(w1 >= 0.0);
+        // Nothing since the reset: the next delta is empty...
+        let (d2, _) = r.delta_snapshots();
+        assert_eq!(d2.iter().find(|s| s.name == "topk").unwrap().requests, 0);
+        // ...one more request shows up as exactly one...
+        topk.record(Duration::from_micros(10), true);
+        let (d3, _) = r.delta_snapshots();
+        let topk_d3 = d3.iter().find(|s| s.name == "topk").unwrap();
+        assert_eq!(topk_d3.requests, 1);
+        assert_eq!(topk_d3.errors, 0);
+        assert_eq!(topk_d3.quantile_micros(0.5), 16.0, "delta histograms work");
+        // ...and the cumulative view never lost anything.
+        assert_eq!(r.total_requests(), 3);
+    }
+
+    #[test]
+    fn prometheus_rendering_has_counters_and_histogram() {
+        let r = MetricsRegistry::new();
+        r.endpoint("topk")
+            .unwrap()
+            .record(Duration::from_micros(100), true);
+        let mut page = String::new();
+        r.render_prometheus(&mut page);
+        assert!(page.contains("# TYPE sgla_requests_total counter"));
+        assert!(page.contains("sgla_requests_total{endpoint=\"topk\"} 1"));
+        assert!(page.contains("sgla_request_latency_us_bucket{endpoint=\"topk\",le=\"128\"} 1"));
+        assert!(page.contains("sgla_request_latency_us_bucket{endpoint=\"topk\",le=\"+Inf\"} 1"));
+        assert!(page.contains("sgla_request_latency_us_sum{endpoint=\"topk\"} 100"));
+        assert!(page.contains("sgla_uptime_seconds"));
     }
 }

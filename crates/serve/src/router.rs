@@ -48,11 +48,14 @@
 //! ```
 
 use crate::artifact::{crc32, Artifact, ArtifactMeta, FORMAT_VERSION};
-use crate::backend::QueryBackend;
-use crate::engine::{ClusterInfo, EngineConfig, Neighbor, QueryEngine, TopKHeap};
+use crate::backend::{IndexStats, QueryBackend};
+use crate::engine::{
+    ApproxQuery, ClusterInfo, EngineConfig, IndexCounters, Neighbor, QueryEngine, TopKHeap,
+};
 use crate::lru::LruCache;
 use crate::{Result, ServeError};
 use mvag_data::manifest::ShardManifest;
+use mvag_index::IvfIndex;
 use mvag_sparse::parallel;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -102,6 +105,19 @@ pub struct ShardRouter {
     cache: Mutex<LruCache<(usize, usize), Vec<Neighbor>>>,
     loads: AtomicU64,
     evictions: AtomicU64,
+    /// Router-level exact/approx counters (per-shard engine counters
+    /// would be lost on eviction, so fan-out accounting lives here).
+    counters: IndexCounters,
+    /// Indexes trained at shard load when no sidecar exists
+    /// ([`EngineConfig::index`]), kept across evictions: an index is
+    /// tiny next to its shard, and re-running quantizer training on
+    /// every reload would dwarf the scan savings it provides.
+    trained_indexes: Mutex<Vec<Option<IvfIndex>>>,
+    /// Whether approx serving is available (shard 0 carried an index
+    /// at open — via sidecar or [`EngineConfig::index`]) and its list
+    /// count, captured once at open.
+    index_enabled: bool,
+    index_nlist: usize,
 }
 
 impl std::fmt::Debug for ShardRouter {
@@ -151,7 +167,8 @@ impl ShardRouter {
             row_start: 0,
             row_end: manifest.n,
         };
-        let slots = (0..manifest.shards.len())
+        let shard_count = manifest.shards.len();
+        let slots = (0..shard_count)
             .map(|_| Slot {
                 engine: None,
                 last_used: 0,
@@ -168,12 +185,24 @@ impl ShardRouter {
             clock: AtomicU64::new(1),
             loads: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            counters: IndexCounters::default(),
+            trained_indexes: Mutex::new((0..shard_count).map(|_| None).collect()),
+            index_enabled: false,
+            index_nlist: 0,
         };
         // Weights are global state carried in every shard; take them
-        // from shard 0 (which this also validates end to end).
+        // from shard 0 (which this also validates end to end). The
+        // same load reveals whether shards come with an IVF index.
         let first = router.engine_for(0)?;
         let weights = first.artifact().weights.clone();
-        Ok(ShardRouter { weights, ..router })
+        let index_enabled = first.index().is_some();
+        let index_nlist = first.index().map_or(0, IvfIndex::nlist);
+        Ok(ShardRouter {
+            weights,
+            index_enabled,
+            index_nlist,
+            ..router
+        })
     }
 
     /// The manifest this router serves.
@@ -295,7 +324,35 @@ impl ShardRouter {
             cache_capacity: 0,
             ..self.config.engine.clone()
         };
-        QueryEngine::new(artifact, engine_config)
+        // A persisted per-shard index sidecar (written by
+        // `sgla-serve train --index ivf`) takes precedence over
+        // retraining one; without a sidecar, `EngineConfig::index`
+        // decides whether the shard trains its own at *first* load —
+        // the trained index is cached router-side so an evicted shard
+        // never re-runs quantizer training on reload.
+        let index_path = self.dir.join(Artifact::shard_index_file_name(idx));
+        if index_path.is_file() {
+            let index = IvfIndex::load(&index_path)
+                .map_err(|e| fail(format!("index sidecar {}: {e}", index_path.display())))?;
+            let engine_config = EngineConfig {
+                index: None,
+                ..engine_config
+            };
+            return QueryEngine::with_index(artifact, engine_config, index);
+        }
+        let cached = self.trained_indexes.lock().expect("trained index lock")[idx].clone();
+        if let Some(index) = cached {
+            let engine_config = EngineConfig {
+                index: None,
+                ..engine_config
+            };
+            return QueryEngine::with_index(artifact, engine_config, index);
+        }
+        let engine = QueryEngine::new(artifact, engine_config)?;
+        if let Some(index) = engine.index() {
+            self.trained_indexes.lock().expect("trained index lock")[idx] = Some(index.clone());
+        }
+        Ok(engine)
     }
 
     fn check_node(&self, node: usize) -> Result<usize> {
@@ -382,6 +439,7 @@ impl ShardRouter {
                     continue;
                 }
                 let k = k.min(n - 1);
+                self.counters.exact_queries.fetch_add(1, Ordering::Relaxed);
                 if let Some(hit) = cache.get(&(node, k)) {
                     answers.push(Some(Ok(hit.clone())));
                 } else {
@@ -416,58 +474,170 @@ impl ShardRouter {
             .collect()
     }
 
-    /// Scores every job against every shard and merges. Parallel over
-    /// shards whenever the residency budget admits every shard at
-    /// once; sequential shard-at-a-time when memory-capped, so at most
-    /// `max_resident + 1` shards are ever resident mid-scan.
-    fn fan_out(&self, jobs: &[(usize, usize)]) -> Result<Vec<Vec<Neighbor>>> {
+    /// Fetches the embedding row + norm of every query node from its
+    /// owning shard, grouped by owner: under a residency cap a query
+    /// order alternating between shards must cost one engine
+    /// resolution per shard, not one reload per query.
+    fn gather_query_vectors(&self, nodes: &[usize]) -> Result<Vec<(Vec<f64>, f64)>> {
         let shard_count = self.manifest.shards.len();
-        // The owning shard of each query supplies its embedding row.
-        // Grouped by owner (like embed_batch): under a residency cap a
-        // query order alternating between shards must cost one engine
-        // resolution per shard, not one reload per query.
         let mut by_owner: Vec<Vec<usize>> = vec![Vec::new(); shard_count];
-        for (j, &(node, _)) in jobs.iter().enumerate() {
+        for (j, &node) in nodes.iter().enumerate() {
             by_owner[self.check_node(node)?].push(j);
         }
-        let mut vectors: Vec<Option<(Vec<f64>, f64)>> = vec![None; jobs.len()];
+        let mut vectors: Vec<Option<(Vec<f64>, f64)>> = vec![None; nodes.len()];
         for (owner, job_indices) in by_owner.into_iter().enumerate() {
             if job_indices.is_empty() {
                 continue;
             }
             let engine = self.engine_for(owner)?;
             for j in job_indices {
-                vectors[j] = Some(engine.query_vector(jobs[j].0)?);
+                vectors[j] = Some(engine.query_vector(nodes[j])?);
             }
         }
-        let vectors: Vec<(Vec<f64>, f64)> = vectors
+        Ok(vectors
             .into_iter()
             .map(|v| v.expect("every job has an owner"))
-            .collect();
-        let scan = |engine: &QueryEngine| -> Vec<Vec<Neighbor>> {
-            jobs.iter()
+            .collect())
+    }
+
+    /// Runs `scan` against every shard engine and hands each per-shard
+    /// result to the caller. Parallel over shards whenever the
+    /// residency budget admits every shard at once; sequential
+    /// shard-at-a-time when memory-capped, so at most
+    /// `max_resident + 1` shards are ever resident mid-scan.
+    fn scan_all_shards<R: Send>(
+        &self,
+        scan: impl Fn(&QueryEngine) -> Result<R> + Sync,
+    ) -> Vec<Result<R>> {
+        let shard_count = self.manifest.shards.len();
+        let unbounded = self.config.max_resident == 0 || self.config.max_resident >= shard_count;
+        if unbounded {
+            let threads = self.config.engine.threads.max(1);
+            parallel::par_map(shard_count, threads, |s| {
+                self.engine_for(s).and_then(|engine| scan(&engine))
+            })
+        } else {
+            (0..shard_count)
+                .map(|s| self.engine_for(s).and_then(|engine| scan(&engine)))
+                .collect()
+        }
+    }
+
+    /// Scores every job against every shard and merges (the exact
+    /// path: each shard scans all of its rows).
+    fn fan_out(&self, jobs: &[(usize, usize)]) -> Result<Vec<Vec<Neighbor>>> {
+        let nodes: Vec<usize> = jobs.iter().map(|&(node, _)| node).collect();
+        let vectors = self.gather_query_vectors(&nodes)?;
+        // per_shard[s][j]: shard s's best k for job j.
+        let per_shard = self.scan_all_shards(|engine| {
+            Ok(jobs
+                .iter()
                 .zip(&vectors)
                 .map(|(&(node, k), (qrow, qnorm))| {
                     engine.top_k_for_query(qrow, *qnorm, k, Some(node))
                 })
-                .collect()
-        };
-        // per_shard[s][j]: shard s's best k for job j.
-        let unbounded = self.config.max_resident == 0 || self.config.max_resident >= shard_count;
-        let per_shard: Vec<Result<Vec<Vec<Neighbor>>>> = if unbounded {
-            let threads = self.config.engine.threads.max(1);
-            parallel::par_map(shard_count, threads, |s| {
-                self.engine_for(s).map(|engine| scan(&engine))
-            })
-        } else {
-            (0..shard_count)
-                .map(|s| self.engine_for(s).map(|engine| scan(&engine)))
-                .collect()
-        };
+                .collect::<Vec<Vec<Neighbor>>>())
+        });
         let mut merged: Vec<TopKHeap> = jobs.iter().map(|&(_, k)| TopKHeap::new(k)).collect();
         for shard_results in per_shard {
-            let shard_results = shard_results?;
-            for (heap, partial) in merged.iter_mut().zip(shard_results) {
+            for (heap, partial) in merged.iter_mut().zip(shard_results?) {
+                for neighbor in partial {
+                    heap.push(neighbor);
+                }
+            }
+        }
+        Ok(merged.into_iter().map(TopKHeap::into_sorted).collect())
+    }
+
+    /// The `k` most similar nodes to `node` via per-shard IVF probes
+    /// (`nprobe` lists per shard; `0` = per-shard default,
+    /// `nprobe >= nlist` is bit-identical to
+    /// [`ShardRouter::top_k_similar`]).
+    ///
+    /// # Errors
+    /// [`ServeError::InvalidQuery`] for out-of-range nodes, `k == 0`,
+    /// or shards without an index.
+    pub fn top_k_approx(&self, node: usize, k: usize, nprobe: usize) -> Result<Vec<Neighbor>> {
+        self.top_k_batch_approx(&[(node, k, nprobe)])
+            .pop()
+            .expect("one query")
+    }
+
+    /// Answers many approximate top-k queries, fanning each across all
+    /// shards' IVF indexes and merging the per-shard probe results
+    /// under the same total order as the exact path. Results are not
+    /// cached (cheap, and parameterized by `nprobe`).
+    pub fn top_k_batch_approx(&self, queries: &[ApproxQuery]) -> Vec<Result<Vec<Neighbor>>> {
+        let n = self.meta.n;
+        let mut answers: Vec<Option<Result<Vec<Neighbor>>>> = Vec::with_capacity(queries.len());
+        let mut work: Vec<usize> = Vec::new(); // answer slot per job
+        let mut jobs: Vec<ApproxQuery> = Vec::new();
+        for &(node, k, nprobe) in queries {
+            if node >= n {
+                answers.push(Some(Err(ServeError::InvalidQuery(format!(
+                    "node {node} out of range (n = {n})"
+                )))));
+                continue;
+            }
+            if k == 0 {
+                answers.push(Some(Err(ServeError::InvalidQuery(
+                    "k must be at least 1".into(),
+                ))));
+                continue;
+            }
+            self.counters.approx_queries.fetch_add(1, Ordering::Relaxed);
+            work.push(answers.len());
+            answers.push(None);
+            jobs.push((node, k.min(n - 1), nprobe));
+        }
+        if !jobs.is_empty() {
+            match self.fan_out_approx(&jobs) {
+                Ok(results) => {
+                    for (slot, result) in work.into_iter().zip(results) {
+                        answers[slot] = Some(Ok(result));
+                    }
+                }
+                Err(e) => {
+                    // Preserve the error class: a missing index is the
+                    // client's 400, a shard-load fault is a 503.
+                    let invalid = matches!(e, ServeError::InvalidQuery(_));
+                    let msg = e.to_string();
+                    for slot in work {
+                        answers[slot] = Some(Err(if invalid {
+                            ServeError::InvalidQuery(msg.clone())
+                        } else {
+                            ServeError::Server(msg.clone())
+                        }));
+                    }
+                }
+            }
+        }
+        answers
+            .into_iter()
+            .map(|a| a.expect("all slots filled"))
+            .collect()
+    }
+
+    /// Probes every shard's index for every job and merges — the
+    /// approximate analogue of [`ShardRouter::fan_out`], with the same
+    /// residency/parallelism policy. Per-shard scan work feeds the
+    /// router's counters (per-shard engine counters would be lost on
+    /// eviction).
+    fn fan_out_approx(&self, jobs: &[ApproxQuery]) -> Result<Vec<Vec<Neighbor>>> {
+        let nodes: Vec<usize> = jobs.iter().map(|&(node, _, _)| node).collect();
+        let vectors = self.gather_query_vectors(&nodes)?;
+        let per_shard = self.scan_all_shards(|engine| {
+            jobs.iter()
+                .zip(&vectors)
+                .map(|(&(node, k, nprobe), (qrow, qnorm))| {
+                    engine.top_k_for_query_approx(qrow, *qnorm, k, nprobe, Some(node))
+                })
+                .collect::<Result<Vec<_>>>()
+        });
+        let mut merged: Vec<TopKHeap> = jobs.iter().map(|&(_, k, _)| TopKHeap::new(k)).collect();
+        for shard_results in per_shard {
+            for (heap, (partial, stats)) in merged.iter_mut().zip(shard_results?) {
+                self.counters.record_search(&stats);
                 for neighbor in partial {
                     heap.push(neighbor);
                 }
@@ -492,6 +662,14 @@ impl QueryBackend for ShardRouter {
 
     fn top_k_batch(&self, queries: &[(usize, usize)]) -> Vec<Result<Vec<Neighbor>>> {
         ShardRouter::top_k_batch(self, queries)
+    }
+
+    fn top_k_batch_approx(&self, queries: &[ApproxQuery]) -> Vec<Result<Vec<Neighbor>>> {
+        ShardRouter::top_k_batch_approx(self, queries)
+    }
+
+    fn index_stats(&self) -> IndexStats {
+        self.counters.snapshot(self.index_enabled, self.index_nlist)
     }
 
     fn embed_batch(&self, nodes: &[usize]) -> Result<Vec<Vec<f64>>> {
@@ -622,6 +800,131 @@ mod tests {
         let (loads, evictions) = router.residency_stats();
         assert!(loads > 6, "expected reloads after eviction, got {loads}");
         assert!(evictions > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn approx_fan_out_full_probe_matches_exact_and_counts_work() {
+        let artifact = trained();
+        let dir = sharded_dir(&artifact, 3, "approx");
+        let engine = QueryEngine::new(artifact, EngineConfig::default()).unwrap();
+        let config = RouterConfig {
+            engine: EngineConfig {
+                index: Some(mvag_index::IvfConfig { nlist: 4, seed: 3 }),
+                ..EngineConfig::default()
+            },
+            ..RouterConfig::default()
+        };
+        let router = ShardRouter::open(&dir, config).unwrap();
+        assert!(QueryBackend::index_stats(&router).enabled);
+        // Full probe: bit-identical to the monolithic exact engine.
+        for node in [0usize, 17, 36, 71] {
+            let exact = engine.top_k_similar(node, 7).unwrap();
+            let approx = router.top_k_approx(node, 7, usize::MAX).unwrap();
+            assert_eq!(exact.len(), approx.len());
+            for (x, a) in exact.iter().zip(&approx) {
+                assert_eq!(x.node, a.node, "query {node}");
+                assert_eq!(x.score.to_bits(), a.score.to_bits(), "query {node}");
+            }
+        }
+        // Partial probe scans fewer rows than shards hold in total.
+        let before = QueryBackend::index_stats(&router);
+        router.top_k_approx(5, 5, 1).unwrap();
+        let after = QueryBackend::index_stats(&router);
+        assert_eq!(after.approx_queries, before.approx_queries + 1);
+        assert!(after.rows_scanned - before.rows_scanned < 71);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn router_trained_indexes_survive_eviction() {
+        let artifact = trained();
+        let dir = sharded_dir(&artifact, 4, "evict-index");
+        let engine = QueryEngine::new(artifact, EngineConfig::default()).unwrap();
+        let router = ShardRouter::open(
+            &dir,
+            RouterConfig {
+                engine: EngineConfig {
+                    index: Some(mvag_index::IvfConfig { nlist: 3, seed: 5 }),
+                    ..EngineConfig::default()
+                },
+                max_resident: 1,
+                ..RouterConfig::default()
+            },
+        )
+        .unwrap();
+        // First fan-out loads (and trains) every shard; the indexes
+        // must be cached even though shards evict down to one.
+        let first = router.top_k_approx(10, 6, usize::MAX).unwrap();
+        assert_eq!(first, engine.top_k_similar(10, 6).unwrap());
+        assert!(router
+            .trained_indexes
+            .lock()
+            .unwrap()
+            .iter()
+            .all(Option::is_some));
+        // Subsequent fan-outs reload evicted shards but reuse the
+        // cached indexes (the with_index path) — answers stay exact
+        // at full probe and evictions keep happening.
+        let (loads_before, _) = router.residency_stats();
+        let again = router.top_k_approx(60, 6, usize::MAX).unwrap();
+        assert_eq!(again, engine.top_k_similar(60, 6).unwrap());
+        let (loads_after, evictions) = router.residency_stats();
+        assert!(loads_after > loads_before, "memory cap forces reloads");
+        assert!(evictions > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn approx_without_indexes_is_a_clean_per_query_error() {
+        let artifact = trained();
+        let dir = sharded_dir(&artifact, 2, "approx-none");
+        let router = ShardRouter::open(&dir, RouterConfig::default()).unwrap();
+        assert!(!QueryBackend::index_stats(&router).enabled);
+        let res = router.top_k_batch_approx(&[(0, 3, 1), (9_999, 3, 1)]);
+        assert!(matches!(res[0], Err(ServeError::InvalidQuery(_))));
+        assert!(matches!(res[1], Err(ServeError::InvalidQuery(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn index_sidecars_load_and_serve_approx() {
+        let artifact = trained();
+        let dir = sharded_dir(&artifact, 3, "sidecar");
+        // Write per-shard index sidecars the way `train --index ivf`
+        // does, then open WITHOUT an index config: sidecars alone must
+        // enable approx serving.
+        for (i, entry) in artifact
+            .save_sharded(&dir, 3)
+            .unwrap()
+            .shards
+            .iter()
+            .enumerate()
+        {
+            let shard = artifact.shard(entry.row_start, entry.row_end).unwrap();
+            let index = shard
+                .build_ivf(&mvag_index::IvfConfig { nlist: 3, seed: 9 })
+                .unwrap();
+            index
+                .save(&dir.join(Artifact::shard_index_file_name(i)))
+                .unwrap();
+        }
+        let engine = QueryEngine::new(artifact, EngineConfig::default()).unwrap();
+        let router = ShardRouter::open(&dir, RouterConfig::default()).unwrap();
+        let stats = QueryBackend::index_stats(&router);
+        assert!(stats.enabled);
+        assert_eq!(stats.nlist, 3);
+        let exact = engine.top_k_similar(40, 6).unwrap();
+        let approx = router.top_k_approx(40, 6, usize::MAX).unwrap();
+        assert_eq!(exact, approx);
+        // A corrupt sidecar is rejected at shard load.
+        let sidecar = dir.join(Artifact::shard_index_file_name(1));
+        let mut raw = std::fs::read(&sidecar).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0x10;
+        std::fs::write(&sidecar, &raw).unwrap();
+        let fresh = ShardRouter::open(&dir, RouterConfig::default()).unwrap();
+        assert!(fresh.top_k_approx(40, 6, 1).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

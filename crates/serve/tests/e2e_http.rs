@@ -192,6 +192,118 @@ fn sharded_server_is_indistinguishable_over_http() {
 }
 
 #[test]
+fn approx_mode_metrics_and_stats_reset_over_http() {
+    use sgla_serve::IvfConfig;
+
+    let engine = Arc::new(
+        QueryEngine::new(
+            trained_artifact(),
+            EngineConfig {
+                index: Some(IvfConfig { nlist: 6, seed: 3 }),
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap(),
+    );
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".parse().unwrap(),
+        workers: 4,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(Arc::clone(&engine), &config).unwrap();
+    let mut client = HttpClient::connect(server.local_addr()).unwrap();
+
+    // Full probe over HTTP is byte-identical to the exact endpoint
+    // (modulo the mode tag).
+    for node in [0usize, 33, 89] {
+        let exact = client.get(&format!("/topk/{node}?k=6")).unwrap();
+        let approx = client
+            .get(&format!("/topk/{node}?k=6&mode=approx&nprobe=6"))
+            .unwrap();
+        assert_eq!(exact.status, 200);
+        assert_eq!(approx.status, 200);
+        assert_eq!(exact.body.get("mode").unwrap().as_str(), Some("exact"));
+        assert_eq!(approx.body.get("mode").unwrap().as_str(), Some("approx"));
+        assert_eq!(
+            exact.body.get("neighbors").unwrap(),
+            approx.body.get("neighbors").unwrap(),
+            "node {node}"
+        );
+    }
+    // Default-nprobe approx answers are well-formed.
+    let res = client.get("/topk/5?k=4&mode=approx").unwrap();
+    assert_eq!(res.status, 200);
+    assert_eq!(
+        res.body.get("neighbors").unwrap().as_array().unwrap().len(),
+        4
+    );
+    // Bad parameter combinations are 400s.
+    assert_eq!(client.get("/topk/5?mode=frog").unwrap().status, 400);
+    assert_eq!(client.get("/topk/5?nprobe=3").unwrap().status, 400);
+    assert_eq!(
+        client.get("/topk/5?mode=approx&nprobe=x").unwrap().status,
+        400
+    );
+
+    // /stats carries the index counters.
+    let stats = client.get("/stats").unwrap().body;
+    let index = stats.get("index").unwrap();
+    assert_eq!(index.get("enabled").unwrap().as_bool(), Some(true));
+    assert_eq!(index.get("nlist").unwrap().as_usize(), Some(6));
+    assert!(index.get("approx_queries").unwrap().as_f64().unwrap() >= 4.0);
+    assert!(index.get("rows_scanned").unwrap().as_f64().unwrap() > 0.0);
+
+    // Reset-on-read: the first reset drains the window, a second
+    // reset right after reports (almost) nothing, while cumulative
+    // totals survive.
+    let first = client.get("/stats?reset=true").unwrap().body;
+    assert!(first.get("window_requests").unwrap().as_f64().unwrap() >= 8.0);
+    let second = client.get("/stats?reset=1").unwrap().body;
+    // Only the intervening /stats request itself can be in the window.
+    assert!(second.get("window_requests").unwrap().as_f64().unwrap() <= 2.0);
+    assert!(second.get("total_requests").unwrap().as_f64().unwrap() >= 8.0);
+
+    // /metrics is a Prometheus text page with the index counters.
+    let (status, page) = client.get_text("/metrics").unwrap();
+    assert_eq!(status, 200);
+    assert!(page.contains("# TYPE sgla_requests_total counter"));
+    assert!(page.contains("sgla_requests_total{endpoint=\"topk\"}"));
+    assert!(page.contains("sgla_index_enabled 1"));
+    assert!(page.contains("sgla_index_rows_scanned_total"));
+    // The metrics page itself shows up in endpoint counters, and the
+    // client connection stays usable after the text response.
+    assert_eq!(client.get("/healthz").unwrap().status, 200);
+
+    server.shutdown();
+}
+
+#[test]
+fn approx_without_index_is_400_over_http() {
+    let (server, _engine) = start_server(trained_artifact());
+    let mut client = HttpClient::connect(server.local_addr()).unwrap();
+    let res = client.get("/topk/5?k=4&mode=approx").unwrap();
+    assert_eq!(res.status, 400);
+    assert!(res
+        .body
+        .get("error")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("index"));
+    let stats = client.get("/stats").unwrap().body;
+    assert_eq!(
+        stats
+            .get("index")
+            .unwrap()
+            .get("enabled")
+            .unwrap()
+            .as_bool(),
+        Some(false)
+    );
+    server.shutdown();
+}
+
+#[test]
 fn error_paths_are_typed_http_errors() {
     let (server, _engine) = start_server(trained_artifact());
     let mut client = HttpClient::connect(server.local_addr()).unwrap();

@@ -16,7 +16,13 @@
 //! * **contiguous row-range partitioning with atomic chunk stealing**
 //!   ([`WorkerPool::for_each_chunk`]): participants repeatedly claim the
 //!   next contiguous index range from an atomic cursor, so skewed CSR
-//!   rows cannot stall a statically-partitioned worker;
+//!   rows cannot stall a statically-partitioned worker. On an
+//!   *oversubscribed* pool (more participants than hardware threads —
+//!   e.g. `SGLA_THREADS=4` on a 1-CPU box) the pool switches to static
+//!   contiguous assignment instead: time-shared participants cannot
+//!   usefully steal, and the cursor traffic measurably taxed
+//!   bandwidth-bound SpMV (the n ≥ 20k plain-SpMV regression tracked
+//!   in `BENCH_kernels.json`);
 //! * **panic safety**: a panicking task is caught on the worker, carried
 //!   back, and re-raised on the submitting thread; the workers stay
 //!   parked and healthy for subsequent submits;
@@ -115,6 +121,14 @@ pub struct WorkerPool {
     handles: Vec<JoinHandle<()>>,
     /// Logical width: spawned workers + the participating submitter.
     threads: usize,
+    /// More participants than hardware threads. Chunk stealing is
+    /// counterproductive here: participants time-share cores, so
+    /// "idle worker steals from busy worker" never happens — the
+    /// atomic cursor traffic is pure overhead on bandwidth-bound
+    /// kernels (measured 10–14% p50 on plain SpMV at n ≥ 20k with 4
+    /// threads on 1 CPU). Oversubscribed pools use static contiguous
+    /// partitioning instead.
+    oversubscribed: bool,
 }
 
 impl std::fmt::Debug for WorkerPool {
@@ -164,6 +178,7 @@ impl WorkerPool {
             submit: Mutex::new(()),
             handles,
             threads,
+            oversubscribed: threads > hw,
         }
     }
 
@@ -264,6 +279,25 @@ impl WorkerPool {
             return;
         }
         let parts = width.min(self.threads);
+        if self.oversubscribed {
+            // Static contiguous assignment — one chunk per
+            // participant. With the pool oversubscribed onto fewer
+            // hardware threads, stealing cannot rebalance anything
+            // (every participant is time-sliced on the same cores),
+            // while its shared-cursor traffic taxes bandwidth-bound
+            // kernels. `grain` still bounds how small a chunk may get.
+            let chunk = total.div_ceil(parts).max(grain.max(1));
+            self.broadcast(&|participant| {
+                if participant >= parts {
+                    return;
+                }
+                let start = participant * chunk;
+                if start < total {
+                    f(start..(start + chunk).min(total));
+                }
+            });
+            return;
+        }
         // Aim for ~4 chunks per participant so stealing can rebalance
         // skew without excessive cursor traffic.
         let chunk = total.div_ceil(parts * 4).max(grain.max(1));
@@ -433,6 +467,48 @@ mod tests {
         let pool = WorkerPool::new(3);
         let hits: Vec<AtomicUsize> = (0..1013).map(|_| AtomicUsize::new(0)).collect();
         pool.for_each_chunk(hits.len(), 8, 1, |range| {
+            for i in range {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    /// A pool wider than the hardware must take the static-assignment
+    /// path; coverage and disjointness must hold there too (both
+    /// `for_each_chunk` and the unsafe slice variant lean on it).
+    #[test]
+    fn oversubscribed_static_partition_covers_exactly_once() {
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let pool = WorkerPool::new(hw * 2 + 1);
+        assert!(pool.oversubscribed);
+        for total in [1usize, 7, 97, 1013] {
+            let hits: Vec<AtomicUsize> = (0..total).map(|_| AtomicUsize::new(0)).collect();
+            pool.for_each_chunk(total, pool.threads(), 1, |range| {
+                for i in range {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "total {total}: some index not covered exactly once"
+            );
+        }
+        // Slice variant over the static path.
+        let mut data = vec![0usize; 517];
+        pool.for_each_slice_chunk(&mut data, pool.threads(), 1, |start, chunk| {
+            for (off, x) in chunk.iter_mut().enumerate() {
+                *x = start + off + 1;
+            }
+        });
+        for (i, x) in data.iter().enumerate() {
+            assert_eq!(*x, i + 1);
+        }
+        // A raised grain must not lose coverage either.
+        let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        pool.for_each_chunk(100, pool.threads(), 64, |range| {
             for i in range {
                 hits[i].fetch_add(1, Ordering::Relaxed);
             }

@@ -26,6 +26,7 @@
 pub use mvag_data as data;
 pub use mvag_eval as eval;
 pub use mvag_graph as graph;
+pub use mvag_index as index;
 pub use mvag_optim as optim;
 pub use mvag_sparse as sparse;
 pub use sgla_core as core;
