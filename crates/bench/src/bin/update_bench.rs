@@ -1,0 +1,89 @@
+//! Incremental-update benchmark: warm-started `Artifact::update` vs a
+//! from-scratch retrain on the same appended graph, with the update
+//! verified against the retrain (Hungarian-aligned labels, embedding
+//! subspace) before any timing is reported. `BENCH_update.json` gets
+//! the numbers; the run fails if the update is not faster (`--smoke`)
+//! or misses the committed ≤ 0.5× ratio (full run), or if
+//! verification diverges.
+//!
+//! ```bash
+//! cargo run --release --bin update_bench
+//! cargo run --release --bin update_bench -- --smoke true --n 300
+//! ```
+
+use mvag_bench::update_bench::{run_to_file, UpdateBenchConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut config = UpdateBenchConfig::default();
+    let mut out = PathBuf::from("BENCH_update.json");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        // `--smoke` may appear bare (CI convenience) or with a value.
+        if flag == "--smoke" {
+            match it.clone().next().map(String::as_str) {
+                Some("true") | Some("1") => {
+                    it.next();
+                }
+                Some("false") | Some("0") => {
+                    it.next();
+                    continue;
+                }
+                _ => {}
+            }
+            config.smoke = true;
+            continue;
+        }
+        let Some(value) = it.next() else {
+            eprintln!("{flag} needs a value");
+            return ExitCode::FAILURE;
+        };
+        let parsed = match flag.as_str() {
+            "--n" => value.parse().map(|v| config.n = v).is_ok(),
+            "--k" => value.parse().map(|v| config.k = v).is_ok(),
+            "--dim" => value.parse().map(|v| config.dim = v).is_ok(),
+            "--add-frac" => value.parse().map(|v| config.add_frac = v).is_ok(),
+            "--seed" => value.parse().map(|v| config.seed = v).is_ok(),
+            "--out" => {
+                out = PathBuf::from(value);
+                true
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if !parsed {
+            eprintln!("{flag}: cannot parse '{value}'");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    println!(
+        "update_bench: n={} k={} dim={} add_frac={} seed={} smoke={}",
+        config.n, config.k, config.dim, config.add_frac, config.seed, config.smoke
+    );
+    match run_to_file(&config, &out) {
+        Ok(report) => {
+            println!("appended:  {} nodes", report.added_nodes);
+            println!("retrain:   {:.3}s (from scratch)", report.retrain_secs);
+            println!("update:    {:.3}s (warm-started)", report.update_secs);
+            println!(
+                "ratio:     {:.3} (update/retrain; lower is better)",
+                report.warm_ratio
+            );
+            println!(
+                "verified:  label agreement {:.4}, subspace residual {:.4}",
+                report.label_agreement, report.subspace_residual
+            );
+            println!("report:    {}", out.display());
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("update_bench failed: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

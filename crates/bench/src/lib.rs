@@ -25,3 +25,4 @@ pub mod kernel_bench;
 pub mod pipeline;
 pub mod report;
 pub mod serve_bench;
+pub mod update_bench;

@@ -1,0 +1,360 @@
+//! Benchmark + verification gate for the incremental artifact-update
+//! path.
+//!
+//! Trains a base artifact, synthesizes a structure-preserving append
+//! delta (5% of the nodes by default), and measures two ways of
+//! reaching the updated artifact:
+//!
+//! * **full retrain** — `Artifact::train` on the updated MVAG: view
+//!   Laplacians from scratch, `r + 1` SGLA+ objective eigensolves, a
+//!   cold-started clustering eigensolve, a cold-started embedding;
+//! * **warm update** — `Artifact::update` with the base run's cached
+//!   view Laplacians: only changed views refreshed, weights reused
+//!   (no SGLA+ optimization at all), clustering and embedding
+//!   eigensolves warm-started from the previous artifact.
+//!
+//! The update is *verified* against the retrain before any number is
+//! reported: cluster labels must agree after Hungarian alignment
+//! (≥ [`MIN_LABEL_AGREEMENT`]), the embedding must span the same
+//! subspace (projection residual ≤ [`MAX_SUBSPACE_RESIDUAL`]), and
+//! the updated artifact must round-trip the v3 codec with its lineage
+//! counter bumped. A run whose warm update is not faster than the
+//! retrain fails (`--smoke`); the full run additionally enforces the
+//! committed ≤ [`MAX_WARM_RATIO`] speedup target. Results land in
+//! `BENCH_update.json`.
+
+use mvag_data::json::Value;
+use mvag_eval::hungarian::hungarian_min;
+use mvag_graph::generators::{
+    balanced_labels, gaussian_attributes, random_append_delta, sbm, AppendConfig,
+    GaussianAttrConfig, SbmConfig,
+};
+use mvag_graph::{Mvag, View};
+use mvag_sparse::DenseMatrix;
+use sgla_core::embedding::EmbedBackend;
+use sgla_serve::{Artifact, TrainConfig};
+use std::time::Instant;
+
+/// Full runs fail when the warm update costs more than this fraction
+/// of the full retrain (the committed speedup target).
+pub const MAX_WARM_RATIO: f64 = 0.5;
+/// Smoke runs (CI) only require the update to actually be faster —
+/// small smoke sizes leave less room for the skipped eigensolves to
+/// dominate, and CI boxes are noisy.
+pub const MAX_WARM_RATIO_SMOKE: f64 = 1.0;
+/// Minimum Hungarian-aligned label agreement between the updated and
+/// retrained artifacts.
+pub const MIN_LABEL_AGREEMENT: f64 = 0.99;
+/// Maximum relative Frobenius residual of projecting the updated
+/// embedding onto the retrained embedding's column span.
+pub const MAX_SUBSPACE_RESIDUAL: f64 = 0.35;
+
+/// Benchmark configuration.
+#[derive(Debug, Clone)]
+pub struct UpdateBenchConfig {
+    /// Nodes in the base MVAG.
+    pub n: usize,
+    /// Planted clusters.
+    pub k: usize,
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Appended nodes as a fraction of `n` (default 0.05).
+    pub add_frac: f64,
+    /// RNG seed (base graph, delta, training).
+    pub seed: u64,
+    /// Smoke mode: smaller thresholds suitable for CI gating.
+    pub smoke: bool,
+}
+
+impl Default for UpdateBenchConfig {
+    fn default() -> Self {
+        UpdateBenchConfig {
+            n: 1200,
+            k: 3,
+            dim: 32,
+            add_frac: 0.05,
+            seed: 42,
+            smoke: false,
+        }
+    }
+}
+
+/// Outcome of one benchmark run.
+#[derive(Debug, Clone)]
+pub struct UpdateBenchReport {
+    /// Seconds for the from-scratch retrain of the updated graph.
+    pub retrain_secs: f64,
+    /// Seconds for the warm-started incremental update.
+    pub update_secs: f64,
+    /// `update_secs / retrain_secs` — the headline number.
+    pub warm_ratio: f64,
+    /// Hungarian-aligned label agreement between update and retrain.
+    pub label_agreement: f64,
+    /// Embedding subspace projection residual (update vs retrain).
+    pub subspace_residual: f64,
+    /// Nodes appended by the delta.
+    pub added_nodes: usize,
+    /// The full JSON document written to the report file.
+    pub json: Value,
+}
+
+/// A cleanly separated benchmark MVAG: two fully informative SBM views
+/// plus one well-separated Gaussian attribute view. The verification
+/// requires label identity up to borderline nodes, so the fixture must
+/// not plant any.
+fn bench_mvag(n: usize, k: usize, seed: u64) -> Mvag {
+    let labels = balanced_labels(n, k).expect("bench sizes are valid");
+    let g1 = sbm(
+        &labels,
+        &SbmConfig {
+            p_in: (28.0 / n as f64).min(0.45),
+            p_out: 2.0 / n as f64,
+            ..Default::default()
+        },
+        seed,
+    )
+    .expect("bench SBM parameters are valid");
+    let g2 = sbm(
+        &labels,
+        &SbmConfig {
+            p_in: (22.0 / n as f64).min(0.4),
+            p_out: 2.5 / n as f64,
+            ..Default::default()
+        },
+        seed.wrapping_add(1),
+    )
+    .expect("bench SBM parameters are valid");
+    let x = gaussian_attributes(
+        &labels,
+        &GaussianAttrConfig {
+            dim: 16,
+            separation: 3.0,
+            noise: 0.8,
+            informative_fraction: 1.0,
+        },
+        seed.wrapping_add(2),
+    )
+    .expect("bench attribute parameters are valid");
+    Mvag::new(
+        format!("update-bench-n{n}-k{k}"),
+        vec![View::Graph(g1), View::Graph(g2), View::Attributes(x)],
+        Some(labels),
+        k,
+    )
+    .expect("bench MVAG is valid")
+}
+
+/// Hungarian-aligned label agreement: the fraction of nodes whose
+/// labels match under the cluster-relabeling permutation that
+/// maximizes matches.
+fn aligned_agreement(a: &[usize], b: &[usize], k: usize) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let mut counts = DenseMatrix::zeros(k, k);
+    for (&x, &y) in a.iter().zip(b) {
+        counts[(x, y)] += 1.0;
+    }
+    // Maximize matches = minimize negated counts.
+    let mut cost = DenseMatrix::zeros(k, k);
+    for i in 0..k {
+        for j in 0..k {
+            cost[(i, j)] = -counts[(i, j)];
+        }
+    }
+    let (_, total) = hungarian_min(&cost).expect("square finite cost");
+    -total / a.len() as f64
+}
+
+/// Subspace-agreement metric shared with the serve property tests
+/// (one implementation, in `mvag_sparse::qr`).
+fn subspace_residual(e: &DenseMatrix, reference: &DenseMatrix) -> f64 {
+    mvag_sparse::qr::subspace_residual(e, reference).expect("shape-compatible embeddings")
+}
+
+/// Runs the benchmark: train base → delta → (timed) full retrain vs
+/// (timed) warm update → verify → report.
+///
+/// # Errors
+/// Pipeline failures, or any verification/speedup gate failing,
+/// rendered as strings for the CLI.
+pub fn run(config: &UpdateBenchConfig) -> Result<UpdateBenchReport, String> {
+    let mvag = bench_mvag(config.n, config.k, config.seed);
+    let mut train_config = TrainConfig::default();
+    train_config.sgla.seed = config.seed;
+    train_config.embed.dim = config.dim;
+    // The spectral backend is the scalable path (NetMF densifies an
+    // n × n matrix) and the one whose eigensolvers accept warm starts;
+    // both sides of the comparison use it.
+    train_config.embed.backend = EmbedBackend::Spectral;
+
+    let started = Instant::now();
+    let (artifact, views) =
+        Artifact::train_with_views(&mvag, &train_config).map_err(|e| e.to_string())?;
+    let base_train_secs = started.elapsed().as_secs_f64();
+
+    let added = ((config.n as f64 * config.add_frac).round() as usize).max(1);
+    let delta = random_append_delta(
+        &mvag,
+        &AppendConfig {
+            added_nodes: added,
+            edges_per_node: 10,
+            within_cluster: 0.95,
+            seed: config.seed.wrapping_add(7),
+            ..Default::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    let updated_mvag = mvag.apply_delta(&delta).map_err(|e| e.to_string())?;
+
+    // Both sides are deterministic pure functions, so smoke mode (the
+    // CI gate, run at small sizes on noisy shared runners) times each
+    // twice and takes the per-side minimum — a single scheduling stall
+    // must not flip a wall-clock comparison gate.
+    let timing_runs = if config.smoke { 2 } else { 1 };
+
+    // Timed: from-scratch retrain of the updated graph.
+    let mut retrain_secs = f64::INFINITY;
+    let mut retrained = None;
+    for _ in 0..timing_runs {
+        let started = Instant::now();
+        let run = Artifact::train(&updated_mvag, &train_config).map_err(|e| e.to_string())?;
+        retrain_secs = retrain_secs.min(started.elapsed().as_secs_f64());
+        retrained = Some(run);
+    }
+    let retrained = retrained.expect("at least one retrain run");
+
+    // Timed: warm-started incremental update (cached base views, the
+    // state any resident trainer holds).
+    let mut update_secs = f64::INFINITY;
+    let mut outcome = None;
+    for _ in 0..timing_runs {
+        let started = Instant::now();
+        let run = artifact
+            .update(&views, &mvag, &delta, &train_config)
+            .map_err(|e| e.to_string())?;
+        update_secs = update_secs.min(started.elapsed().as_secs_f64());
+        outcome = Some(run);
+    }
+    let updated = outcome.expect("at least one update run").artifact;
+
+    // Verification before any number is trusted.
+    if updated.meta.n != config.n + added || updated.meta.update_count != 1 {
+        return Err(format!(
+            "updated artifact has n = {}, update_count = {} (expected {} / 1)",
+            updated.meta.n,
+            updated.meta.update_count,
+            config.n + added
+        ));
+    }
+    let roundtrip = Artifact::decode(updated.encode().map_err(|e| e.to_string())?)
+        .map_err(|e| e.to_string())?;
+    if roundtrip != updated {
+        return Err("updated artifact did not round-trip the v3 codec bit-exactly".into());
+    }
+    let label_agreement = aligned_agreement(&updated.labels, &retrained.labels, config.k);
+    if label_agreement < MIN_LABEL_AGREEMENT {
+        return Err(format!(
+            "update/retrain label agreement {label_agreement:.4} below {MIN_LABEL_AGREEMENT} \
+             after Hungarian alignment"
+        ));
+    }
+    let residual = subspace_residual(&updated.embedding, &retrained.embedding);
+    if residual > MAX_SUBSPACE_RESIDUAL {
+        return Err(format!(
+            "update/retrain embedding subspace residual {residual:.4} above \
+             {MAX_SUBSPACE_RESIDUAL}"
+        ));
+    }
+
+    let warm_ratio = update_secs / retrain_secs.max(1e-12);
+    let max_ratio = if config.smoke {
+        MAX_WARM_RATIO_SMOKE
+    } else {
+        MAX_WARM_RATIO
+    };
+    if warm_ratio >= max_ratio {
+        return Err(format!(
+            "warm update took {update_secs:.3}s vs {retrain_secs:.3}s retrain \
+             (ratio {warm_ratio:.2} >= {max_ratio})"
+        ));
+    }
+
+    let json = Value::object(vec![
+        ("config", {
+            Value::object(vec![
+                ("n", Value::from(config.n)),
+                ("k", Value::from(config.k)),
+                ("dim", Value::from(config.dim)),
+                ("add_frac", Value::from(config.add_frac)),
+                ("added_nodes", Value::from(added)),
+                ("seed", Value::from(config.seed)),
+                ("smoke", Value::Bool(config.smoke)),
+            ])
+        }),
+        ("results", {
+            Value::object(vec![
+                ("base_train_secs", Value::from(base_train_secs)),
+                ("retrain_secs", Value::from(retrain_secs)),
+                ("update_secs", Value::from(update_secs)),
+                ("warm_ratio", Value::from(warm_ratio)),
+                ("label_agreement", Value::from(label_agreement)),
+                ("subspace_residual", Value::from(residual)),
+                ("update_count", Value::from(updated.meta.update_count)),
+            ])
+        }),
+    ]);
+    Ok(UpdateBenchReport {
+        retrain_secs,
+        update_secs,
+        warm_ratio,
+        label_agreement,
+        subspace_residual: residual,
+        added_nodes: added,
+        json,
+    })
+}
+
+/// Runs the benchmark and writes the JSON report to `out`.
+///
+/// # Errors
+/// See [`run`]; additionally I/O failures writing the report.
+pub fn run_to_file(
+    config: &UpdateBenchConfig,
+    out: &std::path::Path,
+) -> Result<UpdateBenchReport, String> {
+    let report = run(config)?;
+    std::fs::write(out, report.json.to_string_pretty())
+        .map_err(|e| format!("writing {}: {e}", out.display()))?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_verifies_and_reports() {
+        let config = UpdateBenchConfig {
+            n: 240,
+            k: 2,
+            dim: 12,
+            smoke: true,
+            ..Default::default()
+        };
+        let report = run(&config).unwrap();
+        assert_eq!(report.added_nodes, 12);
+        assert!(report.warm_ratio < MAX_WARM_RATIO_SMOKE);
+        assert!(report.label_agreement >= MIN_LABEL_AGREEMENT);
+        assert!(report.subspace_residual <= MAX_SUBSPACE_RESIDUAL);
+        assert!(report.json.get("results").is_some());
+    }
+
+    #[test]
+    fn aligned_agreement_handles_permuted_labels() {
+        let a = [0usize, 0, 1, 1, 2, 2];
+        let b = [2usize, 2, 0, 0, 1, 1];
+        assert!((aligned_agreement(&a, &b, 3) - 1.0).abs() < 1e-12);
+        let c = [2usize, 2, 0, 0, 1, 0];
+        let agreement = aligned_agreement(&a, &c, 3);
+        assert!((agreement - 5.0 / 6.0).abs() < 1e-12, "{agreement}");
+    }
+}

@@ -80,7 +80,36 @@ impl Default for EmbedParams {
 /// [`SglaError::InvalidArgument`] for non-square input or
 /// `dim >= n`; propagates eigensolver/SVD failures.
 pub fn embed(l: &CsrMatrix, params: &EmbedParams) -> Result<DenseMatrix> {
+    embed_warm(l, params, None)
+}
+
+/// [`embed`] with an optional warm start: `warm` is an `n × c` block
+/// whose column span approximates the sought embedding subspace —
+/// typically the previous embedding of a slightly perturbed graph,
+/// padded with an approximate row per appended node. Only the
+/// [`EmbedBackend::Spectral`] path can exploit it (its eigensolvers
+/// accept initial blocks and stop early once warm Ritz values settle);
+/// NetMF is a dense factorization with no iterative state and ignores
+/// the guess. Results differ from a cold [`embed`] only within the
+/// eigensolver's embedding-grade tolerance.
+///
+/// # Errors
+/// As [`embed`], plus [`SglaError::InvalidArgument`] when `warm` has
+/// the wrong row count.
+pub fn embed_warm(
+    l: &CsrMatrix,
+    params: &EmbedParams,
+    warm: Option<&DenseMatrix>,
+) -> Result<DenseMatrix> {
     let n = l.nrows();
+    if let Some(w) = warm {
+        if w.nrows() != n {
+            return Err(SglaError::InvalidArgument(format!(
+                "warm-start block has {} rows for n = {n}",
+                w.nrows()
+            )));
+        }
+    }
     if l.ncols() != n {
         return Err(SglaError::InvalidArgument(format!(
             "laplacian is {}x{}, must be square",
@@ -111,7 +140,7 @@ pub fn embed(l: &CsrMatrix, params: &EmbedParams) -> Result<DenseMatrix> {
     };
     match backend {
         EmbedBackend::NetMf => netmf_small(l, params),
-        EmbedBackend::Spectral => spectral_embed(l, params),
+        EmbedBackend::Spectral => spectral_embed(l, params, warm),
         EmbedBackend::Auto => unreachable!("resolved above"),
     }
 }
@@ -190,8 +219,28 @@ fn spmm_par(a: &CsrMatrix, b: &DenseMatrix, threads: usize) -> DenseMatrix {
     out
 }
 
-fn spectral_embed(l: &CsrMatrix, params: &EmbedParams) -> Result<DenseMatrix> {
+fn spectral_embed(
+    l: &CsrMatrix,
+    params: &EmbedParams,
+    warm: Option<&DenseMatrix>,
+) -> Result<DenseMatrix> {
     let n = l.nrows();
+    // The eigensolver seed block: the (near-)trivial λ ≈ 0 direction
+    // up front — cheap and always right for a normalized Laplacian —
+    // followed by the caller's warm columns (previous embedding
+    // directions).
+    let init = warm.map(|w| {
+        let c = w.ncols().min(params.dim);
+        let mut block = DenseMatrix::zeros(n, c + 1);
+        let flat = 1.0 / (n as f64).sqrt();
+        for i in 0..n {
+            block[(i, 0)] = flat;
+        }
+        for j in 0..c {
+            block.set_col(j + 1, &w.col(j));
+        }
+        block
+    });
     // dim + 1 pairs: the first (trivial, λ ≈ 0) carries no discriminative
     // signal and is dropped. For the many-eigenpair regime (embeddings)
     // block subspace iteration is far cheaper than Lanczos with full
@@ -203,6 +252,11 @@ fn spectral_embed(l: &CsrMatrix, params: &EmbedParams) -> Result<DenseMatrix> {
             &SubspaceOptions {
                 seed: params.seed,
                 threads: params.threads,
+                // Warm runs may stop sweeping once Ritz values settle
+                // to embedding grade; cold runs keep the historical
+                // fixed sweep count.
+                tol: if init.is_some() { 1e-3 } else { 0.0 },
+                init: init.clone(),
                 ..Default::default()
             },
         )?
@@ -210,6 +264,7 @@ fn spectral_embed(l: &CsrMatrix, params: &EmbedParams) -> Result<DenseMatrix> {
         let mut eig_opts = EigOptions::default();
         eig_opts.seed = params.seed;
         eig_opts.threads = params.threads;
+        eig_opts.init = init;
         smallest_eigenpairs(l, params.dim + 1, &eig_opts)?
     };
     let mut emb = DenseMatrix::zeros(n, params.dim);
@@ -327,6 +382,39 @@ mod tests {
             .map(|(a, b)| (a - b).abs())
             .sum();
         assert!(diff > 1e-6, "backends should differ");
+    }
+
+    #[test]
+    fn warm_embed_agrees_with_cold_subspace() {
+        let (l, labels) = planted_laplacian(400, 21);
+        // dim 26 > 24 routes through block subspace iteration (the
+        // warm-exploiting path).
+        let params = EmbedParams {
+            dim: 26,
+            backend: EmbedBackend::Spectral,
+            ..Default::default()
+        };
+        let cold = embed(&l, &params).unwrap();
+        let warm = embed_warm(&l, &params, Some(&cold)).unwrap();
+        assert_eq!(warm.nrows(), 400);
+        assert_eq!(warm.ncols(), 26);
+        // Same cluster separation quality as the cold run.
+        let (cw, ca) = separation(&cold, &labels);
+        let (ww, wa) = separation(&warm, &labels);
+        assert!(ww > wa + 0.2, "warm within {ww} vs across {wa}");
+        assert!((cw - ww).abs() < 0.1 && (ca - wa).abs() < 0.1);
+        // Wrong-sized warm blocks are rejected.
+        assert!(embed_warm(&l, &params, Some(&DenseMatrix::zeros(3, 2))).is_err());
+        // The Lanczos path (small dim) accepts a warm block too.
+        let small = EmbedParams {
+            dim: 6,
+            backend: EmbedBackend::Spectral,
+            ..Default::default()
+        };
+        let cold_small = embed(&l, &small).unwrap();
+        let warm_small = embed_warm(&l, &small, Some(&cold_small)).unwrap();
+        let (sw, sa) = separation(&warm_small, &labels);
+        assert!(sw > sa + 0.2, "warm lanczos within {sw} vs across {sa}");
     }
 
     #[test]

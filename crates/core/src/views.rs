@@ -97,6 +97,95 @@ impl ViewLaplacians {
         })
     }
 
+    /// Incrementally refreshes these view Laplacians for an updated
+    /// MVAG (same views, `updated.n() >= self.n()` after an
+    /// append-only delta): views flagged in `changed` are rebuilt from
+    /// `updated` exactly as [`ViewLaplacians::build`] would, while
+    /// unchanged views reuse their existing Laplacian, extended with
+    /// identity rows for the appended (necessarily isolated) nodes —
+    /// which is *bit-identical* to rebuilding them, at `O(nnz)` copy
+    /// cost instead of a KNN search or Laplacian recomputation.
+    ///
+    /// Callers derive `changed` from
+    /// [`MvagDelta::changed_views`](mvag_graph::MvagDelta::changed_views):
+    /// a graph view changes only when it gains edges; an attribute
+    /// view changes whenever rows are appended.
+    ///
+    /// # Errors
+    /// [`SglaError::InvalidArgument`] if `updated` does not line up
+    /// with these views (count, kind, shrunken node count); propagates
+    /// KNN-construction failures for rebuilt attribute views.
+    pub fn update(
+        &self,
+        updated: &Mvag,
+        knn: &KnnParams,
+        changed: &[bool],
+    ) -> Result<ViewLaplacians> {
+        if updated.r() != self.r() || changed.len() != self.r() {
+            return Err(SglaError::InvalidArgument(format!(
+                "update: {} views / {} changed flags for {} existing Laplacians",
+                updated.r(),
+                changed.len(),
+                self.r()
+            )));
+        }
+        if updated.n() < self.n {
+            return Err(SglaError::InvalidArgument(format!(
+                "update: node count shrank from {} to {} (deltas are append-only)",
+                self.n,
+                updated.n()
+            )));
+        }
+        let n_new = updated.n();
+        let mut laplacians = Vec::with_capacity(self.r());
+        let mut is_graph = Vec::with_capacity(self.r());
+        let mut attr_idx = 0usize;
+        for (i, view) in updated.views().iter().enumerate() {
+            match view {
+                View::Graph(g) => {
+                    if !self.is_graph[i] {
+                        return Err(SglaError::InvalidArgument(format!(
+                            "update: view {i} changed kind (was an attribute view)"
+                        )));
+                    }
+                    if changed[i] {
+                        laplacians.push(g.normalized_laplacian());
+                    } else {
+                        laplacians.push(extend_laplacian(&self.laplacians[i], n_new)?);
+                    }
+                    is_graph.push(true);
+                }
+                View::Attributes(x) => {
+                    if self.is_graph[i] {
+                        return Err(SglaError::InvalidArgument(format!(
+                            "update: view {i} changed kind (was a graph view)"
+                        )));
+                    }
+                    if changed[i] {
+                        let k = knn.k_for(attr_idx).min(x.nrows().saturating_sub(1)).max(1);
+                        let g = knn_graph(
+                            x,
+                            &KnnConfig {
+                                k,
+                                threads: knn.threads,
+                            },
+                        )?;
+                        laplacians.push(g.normalized_laplacian());
+                    } else {
+                        laplacians.push(extend_laplacian(&self.laplacians[i], n_new)?);
+                    }
+                    is_graph.push(false);
+                    attr_idx += 1;
+                }
+            }
+        }
+        Ok(ViewLaplacians {
+            laplacians,
+            n: n_new,
+            is_graph,
+        })
+    }
+
     /// Wraps pre-built Laplacians (all `n × n`, symmetric).
     ///
     /// # Errors
@@ -196,6 +285,11 @@ impl ViewLaplacians {
         Ok(CsrMatrix::linear_combination(&refs, weights)?)
     }
 
+    /// The `r` changed-flags of a no-op refresh (rebuild everything).
+    pub fn all_changed(&self) -> Vec<bool> {
+        vec![true; self.r()]
+    }
+
     fn check_weights(&self, weights: &[f64]) -> Result<()> {
         if weights.len() != self.r() {
             return Err(SglaError::InvalidArgument(format!(
@@ -209,6 +303,33 @@ impl ViewLaplacians {
         }
         Ok(())
     }
+}
+
+/// Extends an `n × n` normalized Laplacian to `n_new × n_new` by
+/// adding identity rows/columns for appended isolated nodes — exactly
+/// what `L(G) = I − D^{-1/2} A D^{-1/2}` yields for a graph whose new
+/// nodes have no edges (the existing block is untouched because no
+/// existing degree changes).
+fn extend_laplacian(l: &CsrMatrix, n_new: usize) -> Result<CsrMatrix> {
+    let n_old = l.nrows();
+    if n_new == n_old {
+        return Ok(l.clone());
+    }
+    let added = n_new - n_old;
+    let nnz_old = l.nnz();
+    let mut indptr = Vec::with_capacity(n_new + 1);
+    indptr.extend_from_slice(l.indptr());
+    let mut cols = Vec::with_capacity(nnz_old + added);
+    cols.extend_from_slice(l.column_indices());
+    let mut vals = Vec::with_capacity(nnz_old + added);
+    vals.extend_from_slice(l.values());
+    for i in n_old..n_new {
+        cols.push(i);
+        vals.push(1.0);
+        indptr.push(cols.len());
+    }
+    CsrMatrix::from_raw_parts(n_new, n_new, indptr, cols, vals)
+        .map_err(|e| SglaError::InvalidArgument(format!("extending Laplacian: {e}")))
 }
 
 #[cfg(test)]
@@ -262,6 +383,59 @@ mod tests {
         };
         assert_eq!(p.k_for(0), 10);
         assert_eq!(p.k_for(1), 3);
+    }
+
+    #[test]
+    fn incremental_update_is_bit_identical_to_full_rebuild() {
+        use mvag_graph::generators::{random_append_delta, AppendConfig};
+        let base = mvag_graph::toy::toy_mvag(60, 3, 11);
+        let knn = KnnParams::default();
+        let views = ViewLaplacians::build(&base, &knn).unwrap();
+
+        // Append delta touching every view.
+        let delta = random_append_delta(
+            &base,
+            &AppendConfig {
+                added_nodes: 5,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let updated = base.apply_delta(&delta).unwrap();
+        let changed = delta.changed_views(&base).unwrap();
+        let incremental = views.update(&updated, &knn, &changed).unwrap();
+        let fresh = ViewLaplacians::build(&updated, &knn).unwrap();
+        assert_eq!(incremental.n(), 65);
+        for (a, b) in incremental.laplacians().iter().zip(fresh.laplacians()) {
+            assert_eq!(a, b, "incremental Laplacian diverged from rebuild");
+        }
+
+        // Edge-only delta: only the touched graph view is rebuilt; the
+        // untouched views are reused (and still match a full rebuild).
+        let edges_only = mvag_graph::MvagDelta {
+            added_nodes: 0,
+            views: vec![
+                mvag_graph::ViewDelta::Edges(vec![(0, 59, 1.0)]),
+                mvag_graph::ViewDelta::Edges(vec![]),
+                mvag_graph::ViewDelta::Rows(mvag_sparse::DenseMatrix::zeros(0, 0)),
+            ],
+            added_labels: Some(vec![]),
+        };
+        let changed = edges_only.changed_views(&base).unwrap();
+        assert_eq!(changed, vec![true, false, false]);
+        let patched = base.apply_delta(&edges_only).unwrap();
+        let incremental = views.update(&patched, &knn, &changed).unwrap();
+        let fresh = ViewLaplacians::build(&patched, &knn).unwrap();
+        for (a, b) in incremental.laplacians().iter().zip(fresh.laplacians()) {
+            assert_eq!(a, b);
+        }
+
+        // Misaligned inputs are rejected.
+        assert!(views.update(&updated, &knn, &[true]).is_err());
+        assert!(ViewLaplacians::build(&updated, &knn)
+            .unwrap()
+            .update(&base, &knn, &views.all_changed())
+            .is_err());
     }
 
     #[test]

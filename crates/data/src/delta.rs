@@ -1,0 +1,259 @@
+//! Binary persistence for append-only MVAG deltas.
+//!
+//! An [`MvagDelta`] is the unit of change the incremental
+//! artifact-update pipeline consumes (`Artifact::update`,
+//! `sgla-serve update`): new nodes, per-view new edges / attribute
+//! rows, and the appended nodes' planted labels. Persisting deltas
+//! makes updates *replayable* — an operator can generate a delta once,
+//! apply it to a serving artifact, and keep the file as the update's
+//! provenance record.
+//!
+//! Same container conventions as every other codec in the workspace:
+//! magic + format version + body length + CRC-32 of the body, all
+//! integers big-endian, every body read bounds-checked so truncated or
+//! hostile input yields a typed [`DataError`], never a panic.
+
+use crate::codec::{crc32, get_f64s, get_u64s};
+use crate::{DataError, Result};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use mvag_graph::{MvagDelta, ViewDelta};
+use mvag_sparse::DenseMatrix;
+use std::fs;
+use std::path::Path;
+
+/// `"SGLD"` in ASCII (SGLa Delta).
+const MAGIC: u32 = 0x5347_4C44;
+/// Current delta file format version.
+pub const DELTA_FORMAT_VERSION: u16 = 1;
+
+/// Per-view kind tags on the wire.
+const KIND_EDGES: u8 = 0;
+const KIND_ROWS: u8 = 1;
+
+/// Encodes a delta into the versioned, checksummed binary format.
+pub fn encode_delta(delta: &MvagDelta) -> Bytes {
+    let mut body = BytesMut::with_capacity(1 << 12);
+    body.put_u64(delta.added_nodes as u64);
+    body.put_u64(delta.views.len() as u64);
+    for view in &delta.views {
+        match view {
+            ViewDelta::Edges(edges) => {
+                body.put_u8(KIND_EDGES);
+                body.put_u64(edges.len() as u64);
+                for &(u, v, w) in edges {
+                    body.put_u64(u as u64);
+                    body.put_u64(v as u64);
+                    body.put_f64(w);
+                }
+            }
+            ViewDelta::Rows(rows) => {
+                body.put_u8(KIND_ROWS);
+                body.put_u64(rows.nrows() as u64);
+                body.put_u64(rows.ncols() as u64);
+                for &v in rows.data() {
+                    body.put_f64(v);
+                }
+            }
+        }
+    }
+    match &delta.added_labels {
+        Some(labels) => {
+            body.put_u8(1);
+            body.put_u64(labels.len() as u64);
+            for &l in labels {
+                body.put_u64(l as u64);
+            }
+        }
+        None => body.put_u8(0),
+    }
+    let body = body.freeze();
+    let mut out = BytesMut::with_capacity(body.len() + 18);
+    out.put_u32(MAGIC);
+    out.put_u16(DELTA_FORMAT_VERSION);
+    out.put_u64(body.len() as u64);
+    out.put_u32(crc32(body.as_ref()));
+    out.put_slice(body.as_ref());
+    out.freeze()
+}
+
+/// Decodes a delta, verifying magic, version, length, and checksum
+/// before touching the payload. Structural validation against a
+/// concrete MVAG (view count/kinds, label ranges) happens later, in
+/// [`Mvag::apply_delta`](mvag_graph::Mvag::apply_delta).
+///
+/// # Errors
+/// [`DataError::Serde`] on any structural problem.
+pub fn decode_delta(mut bytes: Bytes) -> Result<MvagDelta> {
+    let fail = |msg: &str| DataError::Serde(format!("MVAG delta: {msg}"));
+    if bytes.remaining() < 18 {
+        return Err(fail("shorter than the fixed header"));
+    }
+    if bytes.get_u32() != MAGIC {
+        return Err(fail("bad magic (not an SGLA delta)"));
+    }
+    let version = bytes.get_u16();
+    if version != DELTA_FORMAT_VERSION {
+        return Err(fail(&format!(
+            "unsupported format version {version} (expected {DELTA_FORMAT_VERSION})"
+        )));
+    }
+    let body_len = bytes.get_u64();
+    let expect_crc = bytes.get_u32();
+    if bytes.remaining() as u64 != body_len {
+        return Err(fail(&format!(
+            "body length mismatch: header says {body_len}, got {}",
+            bytes.remaining()
+        )));
+    }
+    if crc32(bytes.as_ref()) != expect_crc {
+        return Err(fail("checksum mismatch (delta bytes were altered)"));
+    }
+    if bytes.remaining() < 16 {
+        return Err(fail("truncated counts"));
+    }
+    let added_nodes = bytes.get_u64() as usize;
+    let num_views = bytes.get_u64() as usize;
+    // A view entry is at least 9 bytes; an absurd count cannot demand
+    // a huge allocation.
+    if num_views > bytes.remaining() / 9 + 1 {
+        return Err(fail("view count exceeds the body"));
+    }
+    let mut views = Vec::with_capacity(num_views);
+    for i in 0..num_views {
+        if bytes.remaining() < 9 {
+            return Err(fail(&format!("truncated view entry {i}")));
+        }
+        match bytes.get_u8() {
+            KIND_EDGES => {
+                let count = bytes.get_u64() as usize;
+                if count > bytes.remaining() / 24 {
+                    return Err(fail(&format!("view {i}: edge count exceeds the body")));
+                }
+                let mut edges = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let u = bytes.get_u64() as usize;
+                    let v = bytes.get_u64() as usize;
+                    let w = bytes.get_f64();
+                    edges.push((u, v, w));
+                }
+                views.push(ViewDelta::Edges(edges));
+            }
+            KIND_ROWS => {
+                if bytes.remaining() < 16 {
+                    return Err(fail(&format!("view {i}: truncated row header")));
+                }
+                let nrows = bytes.get_u64() as usize;
+                let ncols = bytes.get_u64() as usize;
+                let count = nrows
+                    .checked_mul(ncols)
+                    .ok_or_else(|| fail(&format!("view {i}: row shape overflow")))?;
+                let data = get_f64s(&mut bytes, count)
+                    .ok_or_else(|| fail(&format!("view {i}: truncated row data")))?;
+                let rows = DenseMatrix::from_vec(nrows, ncols, data)
+                    .map_err(|e| fail(&format!("view {i}: bad row shape: {e}")))?;
+                views.push(ViewDelta::Rows(rows));
+            }
+            other => return Err(fail(&format!("view {i}: unknown kind tag {other}"))),
+        }
+    }
+    if bytes.remaining() < 1 {
+        return Err(fail("truncated label flag"));
+    }
+    let added_labels = match bytes.get_u8() {
+        0 => None,
+        1 => {
+            if bytes.remaining() < 8 {
+                return Err(fail("truncated label count"));
+            }
+            let count = bytes.get_u64() as usize;
+            Some(get_u64s(&mut bytes, count).ok_or_else(|| fail("truncated labels"))?)
+        }
+        other => return Err(fail(&format!("bad label flag {other}"))),
+    };
+    if bytes.remaining() != 0 {
+        return Err(fail("trailing bytes after payload"));
+    }
+    Ok(MvagDelta {
+        added_nodes,
+        views,
+        added_labels,
+    })
+}
+
+/// Saves a delta to `path`.
+///
+/// # Errors
+/// I/O failures.
+pub fn save_delta(delta: &MvagDelta, path: &Path) -> Result<()> {
+    fs::write(path, encode_delta(delta))?;
+    Ok(())
+}
+
+/// Loads and verifies a delta from `path`.
+///
+/// # Errors
+/// I/O failures and [`DataError::Serde`] for malformed content.
+pub fn load_delta(path: &Path) -> Result<MvagDelta> {
+    decode_delta(Bytes::from(fs::read(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvag_graph::generators::{random_append_delta, AppendConfig};
+
+    fn sample_delta() -> MvagDelta {
+        let mvag = crate::toy_mvag(40, 2, 9);
+        random_append_delta(
+            &mvag,
+            &AppendConfig {
+                added_nodes: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_bit_exact() {
+        let delta = sample_delta();
+        let back = decode_delta(encode_delta(&delta)).unwrap();
+        assert_eq!(delta, back);
+        // Label-less deltas round-trip too.
+        let unlabeled = MvagDelta {
+            added_labels: None,
+            ..delta
+        };
+        assert_eq!(unlabeled, decode_delta(encode_delta(&unlabeled)).unwrap());
+    }
+
+    #[test]
+    fn file_roundtrip_and_apply() {
+        let mvag = crate::toy_mvag(40, 2, 9);
+        let delta = sample_delta();
+        let path = std::env::temp_dir().join(format!("sgla-delta-test-{}.mvd", std::process::id()));
+        save_delta(&delta, &path).unwrap();
+        let back = load_delta(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let updated = mvag.apply_delta(&back).unwrap();
+        assert_eq!(updated.n(), 44);
+    }
+
+    #[test]
+    fn corrupt_and_truncated_input_errors() {
+        let raw = encode_delta(&sample_delta()).to_vec();
+        // Bad magic, bad version, flipped body byte.
+        for (pos, flip) in [(0usize, 0xffu8), (5, 0x7f), (raw.len() - 1, 0x01)] {
+            let mut bad = raw.clone();
+            bad[pos] ^= flip;
+            assert!(decode_delta(Bytes::from(bad)).is_err(), "pos {pos}");
+        }
+        // Every strided truncation errors, never panics.
+        for len in (0..raw.len()).step_by(13).chain(0..24) {
+            assert!(
+                decode_delta(Bytes::from(raw[..len].to_vec())).is_err(),
+                "prefix of {len} decoded"
+            );
+        }
+    }
+}

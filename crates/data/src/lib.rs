@@ -14,6 +14,9 @@
 //!   [`registry::DatasetSpec::generate`];
 //! * [`io`] — JSON (diffable) and compact binary persistence for
 //!   [`Mvag`](mvag_graph::Mvag);
+//! * [`delta`] — binary persistence for append-only
+//!   [`MvagDelta`](mvag_graph::MvagDelta)s, the replayable unit of the
+//!   incremental artifact-update pipeline;
 //! * [`manifest`] — the JSON shard manifest of the sharded (v2)
 //!   artifact layout served by `sgla-serve`;
 //! * [`toy_mvag`] — re-export of the small fixture generator.
@@ -22,12 +25,14 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod delta;
 pub mod error;
 pub mod io;
 pub mod json;
 pub mod manifest;
 pub mod registry;
 
+pub use delta::{load_delta, save_delta};
 pub use error::DataError;
 pub use manifest::{ShardEntry, ShardManifest};
 pub use mvag_graph::toy::toy_mvag;

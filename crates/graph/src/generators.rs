@@ -18,7 +18,7 @@
 //! Edge sampling uses geometric skipping (`O(expected edges)`), so
 //! million-edge views are generated in milliseconds rather than `O(n²)`.
 
-use crate::{Graph, GraphError, Result};
+use crate::{Graph, GraphError, Mvag, MvagDelta, Result, View, ViewDelta};
 use mvag_sparse::DenseMatrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -392,6 +392,158 @@ pub fn random_labels(n: usize, k: usize, seed: u64) -> Result<Vec<usize>> {
     }
 }
 
+/// Configuration for [`random_append_delta`].
+#[derive(Debug, Clone)]
+pub struct AppendConfig {
+    /// Nodes to append.
+    pub added_nodes: usize,
+    /// Expected edges wired per appended node, per graph view.
+    pub edges_per_node: usize,
+    /// Probability that a wired edge stays within the appended node's
+    /// own (planted) cluster — mirrors the informativeness knob of the
+    /// SBM generators so appends preserve the community structure the
+    /// base views encode.
+    pub within_cluster: f64,
+    /// Relative Gaussian noise added to bootstrapped attribute rows.
+    pub attr_noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AppendConfig {
+    fn default() -> Self {
+        AppendConfig {
+            added_nodes: 1,
+            edges_per_node: 8,
+            within_cluster: 0.85,
+            attr_noise: 0.1,
+            seed: 97,
+        }
+    }
+}
+
+/// Generates a structure-preserving random append delta for `mvag`:
+/// appended nodes draw planted labels round-robin, graph views wire
+/// each appended node to mostly same-cluster targets, and attribute
+/// views bootstrap each appended row from a random same-cluster
+/// existing row plus scaled Gaussian noise. The result is the
+/// synthetic stand-in for "new users arriving" that the incremental
+/// artifact-update path ([`MvagDelta`]) consumes.
+///
+/// # Errors
+/// [`GraphError::InvalidArgument`] for invalid configuration.
+pub fn random_append_delta(mvag: &Mvag, cfg: &AppendConfig) -> Result<MvagDelta> {
+    if !(0.0..=1.0).contains(&cfg.within_cluster) {
+        return Err(GraphError::InvalidArgument(format!(
+            "within_cluster {} outside [0, 1]",
+            cfg.within_cluster
+        )));
+    }
+    if !cfg.attr_noise.is_finite() || cfg.attr_noise < 0.0 {
+        return Err(GraphError::InvalidArgument(format!(
+            "attr_noise {} must be finite and nonnegative",
+            cfg.attr_noise
+        )));
+    }
+    let n = mvag.n();
+    let k = mvag.k();
+    let added = cfg.added_nodes;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // Planted labels for the new nodes: round-robin keeps clusters
+    // balanced; without ground truth everyone shares cluster 0 for the
+    // wiring heuristics (labels are then omitted from the delta).
+    let new_labels: Vec<usize> = (0..added).map(|i| i % k).collect();
+    let base_labels: Vec<usize> = match mvag.labels() {
+        Some(l) => l.to_vec(),
+        None => vec![0; n],
+    };
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (i, &l) in base_labels.iter().enumerate() {
+        members[l.min(k - 1)].push(i);
+    }
+    let label_of = |node: usize| -> usize {
+        if node < n {
+            base_labels[node].min(k - 1)
+        } else {
+            new_labels[node - n]
+        }
+    };
+    let mut views = Vec::with_capacity(mvag.r());
+    for view in mvag.views() {
+        match view {
+            View::Graph(_) => {
+                let mut edges = Vec::with_capacity(added * cfg.edges_per_node);
+                for new in 0..added {
+                    let u = n + new;
+                    let lu = label_of(u);
+                    for _ in 0..cfg.edges_per_node {
+                        let same = rng.gen::<f64>() < cfg.within_cluster;
+                        // Targets span old and previously appended
+                        // nodes, so the appended block is internally
+                        // connected too.
+                        let v = if same && !members[lu].is_empty() {
+                            let pool = &members[lu];
+                            let extra = new_labels[..new].iter().filter(|&&l| l == lu).count();
+                            let pick = rng.gen_range(0..pool.len() + extra);
+                            if pick < pool.len() {
+                                pool[pick]
+                            } else {
+                                // The (pick - pool.len())-th earlier
+                                // appended node with the same label.
+                                let mut left = pick - pool.len();
+                                let mut found = 0;
+                                for (j, &l) in new_labels[..new].iter().enumerate() {
+                                    if l == lu {
+                                        if left == 0 {
+                                            found = n + j;
+                                            break;
+                                        }
+                                        left -= 1;
+                                    }
+                                }
+                                found
+                            }
+                        } else {
+                            rng.gen_range(0..u)
+                        };
+                        if v != u {
+                            edges.push((u, v, 1.0));
+                        }
+                    }
+                }
+                views.push(ViewDelta::Edges(edges));
+            }
+            View::Attributes(x) => {
+                let d = x.ncols();
+                let mut rows = DenseMatrix::zeros(added, d);
+                for new in 0..added {
+                    let lu = new_labels[new];
+                    let src = if members[lu].is_empty() {
+                        rng.gen_range(0..n)
+                    } else {
+                        members[lu][rng.gen_range(0..members[lu].len())]
+                    };
+                    let base_row = x.row(src).to_vec();
+                    let scale: f64 = {
+                        let norm: f64 = base_row.iter().map(|v| v * v).sum::<f64>().sqrt();
+                        cfg.attr_noise * (norm / (d as f64).sqrt()).max(1e-3)
+                    };
+                    let dst = rows.row_mut(new);
+                    for (slot, &b) in dst.iter_mut().zip(&base_row) {
+                        *slot = b + normal(&mut rng) * scale;
+                    }
+                }
+                views.push(ViewDelta::Rows(rows));
+            }
+        }
+    }
+    Ok(MvagDelta {
+        added_nodes: added,
+        views,
+        added_labels: mvag.labels().map(|_| new_labels),
+    })
+}
+
 /// Standard normal sample (Box–Muller, one value per call).
 pub(crate) fn normal(rng: &mut StdRng) -> f64 {
     let u1: f64 = rng.gen::<f64>().max(1e-300);
@@ -629,6 +781,35 @@ mod tests {
         let x1 = gaussian_attributes(&labels, &GaussianAttrConfig::default(), 8).unwrap();
         let x2 = gaussian_attributes(&labels, &GaussianAttrConfig::default(), 8).unwrap();
         assert_eq!(x1, x2);
+    }
+
+    #[test]
+    fn random_append_delta_is_valid_and_deterministic() {
+        let mvag = crate::toy::toy_mvag(60, 3, 5);
+        let cfg = AppendConfig {
+            added_nodes: 6,
+            ..Default::default()
+        };
+        let delta = random_append_delta(&mvag, &cfg).unwrap();
+        assert_eq!(delta.added_nodes, 6);
+        assert_eq!(delta.views.len(), mvag.r());
+        assert_eq!(delta.added_labels.as_deref().unwrap().len(), 6);
+        // The delta applies cleanly and preserves cluster count.
+        let updated = mvag.apply_delta(&delta).unwrap();
+        assert_eq!(updated.n(), 66);
+        assert_eq!(updated.k(), 3);
+        assert!(updated.total_edges() > mvag.total_edges());
+        // Deterministic given the seed.
+        assert_eq!(delta, random_append_delta(&mvag, &cfg).unwrap());
+        // Bad config rejected.
+        assert!(random_append_delta(
+            &mvag,
+            &AppendConfig {
+                within_cluster: 1.5,
+                ..cfg.clone()
+            }
+        )
+        .is_err());
     }
 
     #[test]

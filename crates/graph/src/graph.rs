@@ -130,6 +130,43 @@ impl Graph {
         self.adj.sym_normalized()
     }
 
+    /// Returns a graph on `n + added` nodes carrying every existing
+    /// edge plus `new_edges` (undirected, symmetrized; weights of
+    /// parallel edges are summed, exactly like [`Graph::from_edges`]).
+    /// New nodes with no incident `new_edges` stay isolated. This is
+    /// the append primitive behind
+    /// [`Mvag::apply_delta`](crate::Mvag::apply_delta).
+    ///
+    /// # Errors
+    /// [`GraphError::InvalidArgument`] for endpoints outside
+    /// `0..n + added` or non-finite/negative weights.
+    pub fn append_nodes(&self, added: usize, new_edges: &[(usize, usize, f64)]) -> Result<Self> {
+        let n_new = self.n() + added;
+        let mut coo = CooMatrix::with_capacity(n_new, n_new, self.adj.nnz() + new_edges.len() * 2);
+        // Existing entries are already symmetric with zero diagonal;
+        // copy them verbatim.
+        for (r, c, v) in self.adj.iter() {
+            coo.push(r, c, v).expect("existing entries are in range");
+        }
+        for &(u, v, w) in new_edges {
+            if u >= n_new || v >= n_new {
+                return Err(GraphError::InvalidArgument(format!(
+                    "appended edge ({u}, {v}) out of range for n = {n_new}"
+                )));
+            }
+            if !w.is_finite() || w < 0.0 {
+                return Err(GraphError::InvalidArgument(format!(
+                    "appended edge ({u}, {v}) has invalid weight {w}"
+                )));
+            }
+            if u == v || w == 0.0 {
+                continue;
+            }
+            coo.push_sym(u, v, w).map_err(GraphError::from)?;
+        }
+        Ok(Graph { adj: coo.to_csr() })
+    }
+
     /// Indices of isolated (degree-0) nodes.
     pub fn isolated_nodes(&self) -> Vec<usize> {
         self.degrees()
@@ -244,6 +281,29 @@ mod tests {
         let (cols, vals) = g.neighbors(1);
         assert_eq!(cols, &[0, 2]);
         assert_eq!(vals, &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn append_nodes_extends_and_validates() {
+        let g = triangle();
+        // No delta: same adjacency, two extra isolated nodes.
+        let bigger = g.append_nodes(2, &[]).unwrap();
+        assert_eq!(bigger.n(), 5);
+        assert_eq!(bigger.num_edges(), 3);
+        assert_eq!(bigger.isolated_nodes(), vec![3, 4]);
+        // Wiring a new node in: edges count, symmetry, weight sum with
+        // an existing edge.
+        let wired = g.append_nodes(1, &[(3, 0, 2.0), (0, 1, 0.5)]).unwrap();
+        assert_eq!(wired.n(), 4);
+        assert_eq!(wired.adjacency().get(3, 0), 2.0);
+        assert_eq!(wired.adjacency().get(0, 3), 2.0);
+        assert_eq!(wired.adjacency().get(0, 1), 1.5);
+        // The appended graph passes the constructor invariants.
+        Graph::from_adjacency(wired.adjacency().clone()).unwrap();
+        // Bad edges rejected.
+        assert!(g.append_nodes(1, &[(0, 4, 1.0)]).is_err());
+        assert!(g.append_nodes(1, &[(0, 3, -1.0)]).is_err());
+        assert!(g.append_nodes(1, &[(0, 3, f64::NAN)]).is_err());
     }
 
     #[test]

@@ -31,6 +31,81 @@ impl View {
     }
 }
 
+/// The per-view half of an [`MvagDelta`]: what one view gains in an
+/// append.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ViewDelta {
+    /// New undirected edges for a graph view. Endpoints may reference
+    /// both existing and appended nodes; an empty list leaves the view
+    /// untouched beyond isolated appended nodes.
+    Edges(Vec<(usize, usize, f64)>),
+    /// Attribute rows for the appended nodes (`added_nodes × dⱼ`).
+    /// Required (with exactly `added_nodes` rows) whenever nodes are
+    /// appended; a `0 × dⱼ` matrix otherwise.
+    Rows(DenseMatrix),
+}
+
+/// An append-only change to an [`Mvag`]: `added_nodes` new nodes plus
+/// one [`ViewDelta`] per view (same order as [`Mvag::views`]).
+///
+/// Deltas are append-only by design — node ids are stable, existing
+/// edges and attribute rows are never rewritten — which is exactly the
+/// regime where a trained artifact can be *updated* (warm-started
+/// eigensolves over a slightly perturbed Laplacian) instead of
+/// retrained from scratch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MvagDelta {
+    /// Number of appended nodes.
+    pub added_nodes: usize,
+    /// One entry per view, in view order.
+    pub views: Vec<ViewDelta>,
+    /// Ground-truth labels of the appended nodes; must be present iff
+    /// the base MVAG carries labels.
+    pub added_labels: Option<Vec<usize>>,
+}
+
+impl MvagDelta {
+    /// Whether the delta changes nothing at all.
+    pub fn is_noop(&self) -> bool {
+        self.added_nodes == 0
+            && self.views.iter().all(|v| match v {
+                ViewDelta::Edges(e) => e.is_empty(),
+                ViewDelta::Rows(x) => x.nrows() == 0,
+            })
+    }
+
+    /// Per-view "content changed" flags against a base MVAG: a graph
+    /// view changes only when it gains edges (appended nodes alone
+    /// just extend its Laplacian with isolated rows); an attribute
+    /// view changes whenever rows are appended (its KNN graph must be
+    /// rebuilt).
+    ///
+    /// # Errors
+    /// [`GraphError::InvalidArgument`] if the delta's view list does
+    /// not line up with the base.
+    pub fn changed_views(&self, base: &Mvag) -> Result<Vec<bool>> {
+        if self.views.len() != base.r() {
+            return Err(GraphError::InvalidArgument(format!(
+                "delta has {} view entries for {} views",
+                self.views.len(),
+                base.r()
+            )));
+        }
+        self.views
+            .iter()
+            .zip(base.views())
+            .enumerate()
+            .map(|(i, (d, v))| match (d, v) {
+                (ViewDelta::Edges(e), View::Graph(_)) => Ok(!e.is_empty()),
+                (ViewDelta::Rows(x), View::Attributes(_)) => Ok(x.nrows() > 0),
+                _ => Err(GraphError::InvalidArgument(format!(
+                    "delta entry {i} does not match the kind of view {i}"
+                ))),
+            })
+            .collect()
+    }
+}
+
 /// A multi-view attributed graph with optional ground-truth labels.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Mvag {
@@ -150,6 +225,80 @@ impl Mvag {
             .sum()
     }
 
+    /// Applies an append-only [`MvagDelta`], producing the updated
+    /// MVAG: every graph view gains the delta's edges (appended nodes
+    /// without edges stay isolated), every attribute view gains the
+    /// delta's rows, labels are extended.
+    ///
+    /// # Errors
+    /// [`GraphError::InvalidArgument`] when the delta does not line up
+    /// with this MVAG: wrong view count or kinds, attribute row
+    /// count/width mismatches, out-of-range edge endpoints, or label
+    /// problems.
+    pub fn apply_delta(&self, delta: &MvagDelta) -> Result<Mvag> {
+        // Kind/lineup validation up front (also used by callers to
+        // plan incremental Laplacian refreshes).
+        delta.changed_views(self)?;
+        let n_new = self.n() + delta.added_nodes;
+        let mut views = Vec::with_capacity(self.r());
+        for (i, (view, vd)) in self.views.iter().zip(&delta.views).enumerate() {
+            match (view, vd) {
+                (View::Graph(g), ViewDelta::Edges(edges)) => {
+                    views.push(View::Graph(g.append_nodes(delta.added_nodes, edges)?));
+                }
+                (View::Attributes(x), ViewDelta::Rows(rows)) => {
+                    if rows.nrows() != delta.added_nodes {
+                        return Err(GraphError::InvalidArgument(format!(
+                            "view {i}: {} appended attribute rows for {} appended nodes",
+                            rows.nrows(),
+                            delta.added_nodes
+                        )));
+                    }
+                    if delta.added_nodes > 0 && rows.ncols() != x.ncols() {
+                        return Err(GraphError::InvalidArgument(format!(
+                            "view {i}: appended rows have {} columns, view has {}",
+                            rows.ncols(),
+                            x.ncols()
+                        )));
+                    }
+                    let mut data = Vec::with_capacity((x.nrows() + rows.nrows()) * x.ncols());
+                    data.extend_from_slice(x.data());
+                    data.extend_from_slice(rows.data());
+                    let stacked = DenseMatrix::from_vec(n_new, x.ncols(), data)
+                        .expect("row counts add up by construction");
+                    views.push(View::Attributes(stacked));
+                }
+                _ => unreachable!("kinds checked by changed_views"),
+            }
+        }
+        let labels = match (&self.labels, &delta.added_labels) {
+            (Some(old), Some(add)) => {
+                if add.len() != delta.added_nodes {
+                    return Err(GraphError::InvalidArgument(format!(
+                        "{} appended labels for {} appended nodes",
+                        add.len(),
+                        delta.added_nodes
+                    )));
+                }
+                let mut l = old.clone();
+                l.extend_from_slice(add);
+                Some(l)
+            }
+            (None, None) => None,
+            (Some(_), None) => {
+                return Err(GraphError::InvalidArgument(
+                    "base MVAG has labels; the delta must supply added_labels".into(),
+                ))
+            }
+            (None, Some(_)) => {
+                return Err(GraphError::InvalidArgument(
+                    "base MVAG has no labels; the delta must not supply added_labels".into(),
+                ))
+            }
+        };
+        Mvag::new(self.name.clone(), views, labels, self.k)
+    }
+
     /// One-line statistics summary (mirrors the paper's Table II row).
     pub fn summary(&self) -> String {
         let edge_counts: Vec<String> = self
@@ -246,6 +395,98 @@ mod tests {
     #[test]
     fn rejects_small_k() {
         assert!(Mvag::new("x", vec![graph_view(4), attr_view(4, 2)], None, 1).is_err());
+    }
+
+    #[test]
+    fn apply_delta_appends_nodes_edges_rows_labels() {
+        let base = Mvag::new(
+            "test",
+            vec![graph_view(4), attr_view(4, 3)],
+            Some(vec![0, 0, 1, 1]),
+            2,
+        )
+        .unwrap();
+        let delta = MvagDelta {
+            added_nodes: 2,
+            views: vec![
+                ViewDelta::Edges(vec![(4, 0, 1.0), (5, 2, 2.0), (4, 5, 1.0)]),
+                ViewDelta::Rows(DenseMatrix::from_vec(2, 3, vec![1.0; 6]).unwrap()),
+            ],
+            added_labels: Some(vec![0, 1]),
+        };
+        assert!(!delta.is_noop());
+        assert_eq!(delta.changed_views(&base).unwrap(), vec![true, true]);
+        let updated = base.apply_delta(&delta).unwrap();
+        assert_eq!(updated.n(), 6);
+        assert_eq!(updated.labels().unwrap(), &[0, 0, 1, 1, 0, 1]);
+        assert_eq!(updated.total_edges(), 1 + 3);
+        match &updated.views()[1] {
+            View::Attributes(x) => {
+                assert_eq!(x.nrows(), 6);
+                assert_eq!(x.row(4), &[1.0, 1.0, 1.0]);
+            }
+            View::Graph(_) => panic!("view 1 should stay an attribute view"),
+        }
+        // Edge-only delta: attribute view untouched, graph view changed.
+        let edges_only = MvagDelta {
+            added_nodes: 0,
+            views: vec![
+                ViewDelta::Edges(vec![(2, 3, 1.0)]),
+                ViewDelta::Rows(DenseMatrix::zeros(0, 0)),
+            ],
+            added_labels: Some(vec![]),
+        };
+        assert_eq!(edges_only.changed_views(&base).unwrap(), vec![true, false]);
+        let patched = base.apply_delta(&edges_only).unwrap();
+        assert_eq!(patched.n(), 4);
+        assert_eq!(patched.total_edges(), 2);
+    }
+
+    #[test]
+    fn apply_delta_rejects_malformed_deltas() {
+        let base = Mvag::new(
+            "test",
+            vec![graph_view(4), attr_view(4, 3)],
+            Some(vec![0, 0, 1, 1]),
+            2,
+        )
+        .unwrap();
+        let rows = |n: usize, d: usize| ViewDelta::Rows(DenseMatrix::zeros(n, d));
+        // Wrong view count / kind order.
+        let bad = MvagDelta {
+            added_nodes: 0,
+            views: vec![ViewDelta::Edges(vec![])],
+            added_labels: Some(vec![]),
+        };
+        assert!(base.apply_delta(&bad).is_err());
+        let swapped = MvagDelta {
+            added_nodes: 0,
+            views: vec![rows(0, 3), ViewDelta::Edges(vec![])],
+            added_labels: Some(vec![]),
+        };
+        assert!(base.apply_delta(&swapped).is_err());
+        // Row-count, width, label-count, label-range, missing-label errors.
+        for (added, v1, labels) in [
+            (2, rows(1, 3), Some(vec![0, 1])),
+            (2, rows(2, 4), Some(vec![0, 1])),
+            (2, rows(2, 3), Some(vec![0])),
+            (2, rows(2, 3), Some(vec![0, 7])),
+            (2, rows(2, 3), None),
+        ] {
+            let delta = MvagDelta {
+                added_nodes: added,
+                views: vec![ViewDelta::Edges(vec![]), v1.clone()],
+                added_labels: labels,
+            };
+            assert!(base.apply_delta(&delta).is_err(), "{delta:?}");
+        }
+        // Out-of-range appended edge.
+        let bad_edge = MvagDelta {
+            added_nodes: 1,
+            views: vec![ViewDelta::Edges(vec![(0, 9, 1.0)]), rows(1, 3)],
+            added_labels: Some(vec![0]),
+        };
+        assert!(base.apply_delta(&bad_edge).is_err());
     }
 
     #[test]

@@ -225,6 +225,27 @@ impl IvfIndex {
         self.dim
     }
 
+    /// Seed the quantizer was trained with (0 for externally supplied
+    /// centroids).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The training configuration that reproduces this index's shape:
+    /// same list count, same quantizer seed. This is what the
+    /// incremental-update pipeline uses to *retrain* a sidecar index
+    /// after its artifact's rows changed — a stale index must never be
+    /// served (its lists would not cover the appended rows; engines
+    /// reject the mismatch at load via
+    /// [`IvfIndex::check_compatible`]), so invalidation means
+    /// rebuilding with the original parameters over the new rows.
+    pub fn config(&self) -> IvfConfig {
+        IvfConfig {
+            nlist: self.nlist(),
+            seed: self.seed,
+        }
+    }
+
     /// The probe width used when a caller passes `nprobe = 0`:
     /// `⌈√nlist⌉` — sublinear in the list count while still covering a
     /// meaningful neighborhood of the query's cell.

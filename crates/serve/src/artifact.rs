@@ -11,13 +11,13 @@
 //! hostile or truncated input surfaces as a typed
 //! [`ServeError::Corrupt`], never a panic or huge allocation.
 //!
-//! Two on-disk layouts share the codec (see `docs/ARCHITECTURE.md` for
-//! the byte-level specification):
+//! Three on-disk layouts share the codec (see `docs/ARCHITECTURE.md`
+//! for the byte-level specification):
 //!
 //! * **v1 (monolithic, legacy)** — one file holding the whole artifact.
-//!   Still loadable; decoding normalizes it to a v2 artifact covering
-//!   rows `0..n`.
-//! * **v2 (row-ranged)** — the same layout plus an explicit
+//!   Still loadable; decoding normalizes it to a full-range artifact
+//!   covering rows `0..n`.
+//! * **v2 (row-ranged, legacy)** — the same layout plus an explicit
 //!   `[row_start, row_end)` global row range. A *full* artifact covers
 //!   `0..n`; a *shard* produced by [`Artifact::shard`] covers a slice
 //!   of the rows (its labels, embedding rows, and Laplacian rows are
@@ -27,15 +27,20 @@
 //!   a [`ShardManifest`] that a
 //!   [`ShardRouter`](crate::router::ShardRouter) can serve without
 //!   ever holding the whole embedding in memory.
+//! * **v3 (lineage)** — v2 plus the update-lineage header (`parent_seed`
+//!   of the root training run, `update_count` of incremental updates
+//!   applied since), with every length field a uniform `u64`.
+//!   [`Artifact::update`] produces v3 artifacts with the counter
+//!   bumped; v1/v2 files still decode, gaining a fresh lineage.
 
 use crate::{Result, ServeError};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use mvag_data::codec::{get_f64s, get_str, get_u32s, get_u64s, put_str};
 use mvag_data::manifest::{ShardEntry, ShardManifest};
-use mvag_graph::Mvag;
+use mvag_graph::{Mvag, MvagDelta};
 use mvag_sparse::{CsrMatrix, DenseMatrix};
-use sgla_core::clustering::{spectral_clustering_with, SpectralParams};
-use sgla_core::embedding::{embed, EmbedParams};
+use sgla_core::clustering::{label_indicator_init, spectral_clustering_with, SpectralParams};
+use sgla_core::embedding::{embed, embed_warm, EmbedParams};
 use sgla_core::sgla::SglaParams;
 use sgla_core::sgla_plus::SglaPlus;
 use sgla_core::views::{KnnParams, ViewLaplacians};
@@ -44,9 +49,13 @@ use std::path::Path;
 
 /// `"SGLA"` in ASCII.
 const MAGIC: u32 = 0x5347_4C41;
-/// Current format: v2 adds an explicit global row range so shards are
-/// first-class artifacts. Encoders always write this version.
-pub const FORMAT_VERSION: u16 = 2;
+/// Current format: v3 adds the update-lineage header (parent seed +
+/// update counter) and makes every length field a uniform `u64` (v1/v2
+/// wrote the weight count as `u32`). Encoders always write this
+/// version.
+pub const FORMAT_VERSION: u16 = 3;
+/// The row-ranged layout without lineage; still decodable.
+pub const FORMAT_VERSION_V2: u16 = 2;
 /// The legacy monolithic layout (no row range); still decodable.
 pub const FORMAT_VERSION_V1: u16 = 1;
 
@@ -69,6 +78,15 @@ pub struct ArtifactMeta {
     /// One past the last global row covered. A full artifact has
     /// `row_end == n`.
     pub row_end: usize,
+    /// Update lineage: the seed of the *root* training run this
+    /// artifact descends from. A freshly trained artifact has
+    /// `parent_seed == seed`; [`Artifact::update`] carries it through,
+    /// so any artifact can be traced back to the cold-start run that
+    /// anchored its chain.
+    pub parent_seed: u64,
+    /// Number of incremental updates applied since the root training
+    /// run (`0` for a fresh artifact).
+    pub update_count: u64,
 }
 
 impl ArtifactMeta {
@@ -101,7 +119,7 @@ impl ArtifactMeta {
 /// assert!(artifact.meta.is_full());
 ///
 /// // The binary codec round-trips bit-exactly.
-/// let back = Artifact::decode(artifact.encode()).unwrap();
+/// let back = Artifact::decode(artifact.encode().unwrap()).unwrap();
 /// assert_eq!(artifact, back);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
@@ -119,6 +137,20 @@ pub struct Artifact {
     pub centroids: DenseMatrix,
     /// Embedding rows for the row range (`rows × dim`).
     pub embedding: DenseMatrix,
+}
+
+/// Everything [`Artifact::update`] produces: the refreshed artifact
+/// plus the state a caller needs to chain further updates (the updated
+/// MVAG and its per-view Laplacians).
+#[derive(Debug, Clone)]
+pub struct UpdateOutcome {
+    /// The updated artifact (lineage header bumped).
+    pub artifact: Artifact,
+    /// Refreshed per-view Laplacians — pass these to the next
+    /// [`Artifact::update`] call.
+    pub views: ViewLaplacians,
+    /// The updated MVAG (`base.apply_delta(delta)`).
+    pub mvag: Mvag,
 }
 
 /// Training configuration for [`Artifact::train`].
@@ -140,17 +172,32 @@ impl Artifact {
     /// SGLA+ integration → spectral clustering → embedding → centroids.
     ///
     /// # Errors
-    /// Propagates pipeline failures as [`ServeError::Train`].
+    /// Propagates pipeline failures as [`ServeError::Train`]; rejects
+    /// untrainable tiny graphs (`n <= 2`) up front.
     pub fn train(mvag: &Mvag, config: &TrainConfig) -> Result<Artifact> {
+        Ok(Artifact::train_with_views(mvag, config)?.0)
+    }
+
+    /// [`Artifact::train`], additionally returning the per-view
+    /// Laplacians the run built. A long-lived trainer keeps them: they
+    /// are the reusable half of the pipeline's state, and handing them
+    /// back to [`Artifact::update`] lets an append-only graph change
+    /// skip the KNN searches for untouched attribute views entirely.
+    ///
+    /// # Errors
+    /// See [`Artifact::train`].
+    pub fn train_with_views(
+        mvag: &Mvag,
+        config: &TrainConfig,
+    ) -> Result<(Artifact, ViewLaplacians)> {
+        check_trainable(mvag.n())?;
         let views = ViewLaplacians::build(mvag, &config.knn)?;
         let outcome = SglaPlus::new(config.sgla.clone()).integrate(&views, mvag.k())?;
         let spectral = spectral_clustering_with(&outcome.laplacian, mvag.k(), &config.spectral)?;
-        let mut embed_params = config.embed.clone();
-        // Keep tiny demo graphs embeddable: dim must satisfy dim+1 < n.
-        embed_params.dim = embed_params.dim.min(mvag.n().saturating_sub(2)).max(1);
+        let embed_params = clamp_embed_params(config, mvag.n());
         let embedding = embed(&outcome.laplacian, &embed_params)?;
         let centroids = centroids_of(&embedding, &spectral.labels, mvag.k())?;
-        Ok(Artifact {
+        let artifact = Artifact {
             meta: ArtifactMeta {
                 dataset: mvag.name.clone(),
                 n: mvag.n(),
@@ -159,18 +206,169 @@ impl Artifact {
                 seed: config.sgla.seed,
                 row_start: 0,
                 row_end: mvag.n(),
+                parent_seed: config.sgla.seed,
+                update_count: 0,
             },
             weights: outcome.weights,
             laplacian: outcome.laplacian,
             labels: spectral.labels,
             centroids,
             embedding,
+        };
+        Ok((artifact, views))
+    }
+
+    /// Incrementally updates this (full) artifact for an append-only
+    /// graph change, without re-running the expensive cold-start
+    /// pipeline:
+    ///
+    /// 1. the delta is applied to `base` and the per-view Laplacians
+    ///    are refreshed only where the graph actually changed
+    ///    ([`ViewLaplacians::update`] — untouched views are extended,
+    ///    not recomputed);
+    /// 2. the learned view weights `w*` are **reused** — under small
+    ///    perturbations the integrated objective changes smoothly, so
+    ///    the previous simplex optimum stays near-optimal and the
+    ///    `r + 1` eigensolves of a fresh SGLA+ run are skipped; the
+    ///    integrated operator is refreshed through the fused-sum
+    ///    machinery ([`mvag_sparse::FusedSumOp`]) at `O(Σ nnz)`;
+    /// 3. spectral clustering and the embedding are **warm-started**
+    ///    from the previous artifact (cluster-indicator seed for the
+    ///    clustering eigensolve; the previous embedding block — padded
+    ///    with each appended node's cluster centroid — for the
+    ///    embedding solver), so both converge in a fraction of their
+    ///    cold iteration counts;
+    /// 4. labels, centroids, and the lineage header are refreshed
+    ///    (`update_count + 1`, `parent_seed` carried through).
+    ///
+    /// `base_views` are the per-view Laplacians of `base` (from
+    /// [`Artifact::train_with_views`] or a previous update's outcome).
+    /// The updated artifact stays verifiable: `update_bench` and the
+    /// serve proptests check labels (after Hungarian alignment) and
+    /// the embedding subspace against a from-scratch retrain of the
+    /// updated graph.
+    ///
+    /// # Errors
+    /// [`ServeError::InvalidArgument`] when the artifact, views, and
+    /// base do not describe the same graph or the artifact is not
+    /// full; [`ServeError::Train`] for pipeline failures.
+    pub fn update(
+        &self,
+        base_views: &ViewLaplacians,
+        base: &Mvag,
+        delta: &MvagDelta,
+        config: &TrainConfig,
+    ) -> Result<UpdateOutcome> {
+        if !self.meta.is_full() {
+            return Err(ServeError::InvalidArgument(
+                "can only update a full artifact (update shards via their full parent)".into(),
+            ));
+        }
+        let m = &self.meta;
+        if m.n != base.n() || m.k != base.k() || m.dataset != base.name {
+            return Err(ServeError::InvalidArgument(format!(
+                "artifact was trained on '{}' (n = {}, k = {}), base is '{}' (n = {}, k = {})",
+                m.dataset,
+                m.n,
+                m.k,
+                base.name,
+                base.n(),
+                base.k()
+            )));
+        }
+        if base_views.n() != base.n() || base_views.r() != base.r() {
+            return Err(ServeError::InvalidArgument(format!(
+                "base views cover {} nodes / {} views, base MVAG has {} / {}",
+                base_views.n(),
+                base_views.r(),
+                base.n(),
+                base.r()
+            )));
+        }
+        if self.weights.len() != base.r() {
+            return Err(ServeError::InvalidArgument(format!(
+                "{} learned weights for {} views",
+                self.weights.len(),
+                base.r()
+            )));
+        }
+        let updated = base
+            .apply_delta(delta)
+            .map_err(|e| ServeError::InvalidArgument(format!("applying delta: {e}")))?;
+        let n_new = updated.n();
+        check_trainable(n_new)?;
+        let changed = delta
+            .changed_views(base)
+            .map_err(|e| ServeError::InvalidArgument(format!("delta views: {e}")))?;
+        let views = base_views.update(&updated, &config.knn, &changed)?;
+
+        // Reuse w*: refresh the integrated operator through the fused
+        // scratch-CSR (one pattern analysis + one set_weights-style
+        // value scatter — no optimizer, no objective eigensolves).
+        let fused = views.fused_op(&self.weights)?;
+        let laplacian = fused.fused_matrix().clone();
+
+        // Warm-started spectral clustering: the previous labels'
+        // indicator matrix seeds the eigensolver (appended rows get a
+        // flat membership).
+        let mut spectral_params = config.spectral.clone();
+        spectral_params.init = Some(label_indicator_init(&self.labels, m.k, n_new)?);
+        let spectral = spectral_clustering_with(&laplacian, m.k, &spectral_params)?;
+
+        // Warm-started embedding: previous embedding rows, appended
+        // rows approximated by their cluster's centroid (`embed_warm`
+        // truncates the guess if the target dimension shrank).
+        let embed_params = clamp_embed_params(config, n_new);
+        let warm = {
+            let mut block = DenseMatrix::zeros(n_new, m.dim);
+            let rows = m.rows();
+            block.data_mut()[..rows * m.dim].copy_from_slice(self.embedding.data());
+            for i in rows..n_new {
+                let centroid = self.centroids.row(spectral.labels[i].min(m.k - 1));
+                block.row_mut(i).copy_from_slice(centroid);
+            }
+            block
+        };
+        let embedding = embed_warm(&laplacian, &embed_params, Some(&warm))?;
+        let centroids = centroids_of(&embedding, &spectral.labels, m.k)?;
+
+        let artifact = Artifact {
+            meta: ArtifactMeta {
+                dataset: updated.name.clone(),
+                n: n_new,
+                k: m.k,
+                dim: embedding.ncols(),
+                seed: m.seed,
+                row_start: 0,
+                row_end: n_new,
+                parent_seed: m.parent_seed,
+                update_count: m.update_count + 1,
+            },
+            weights: self.weights.clone(),
+            laplacian,
+            labels: spectral.labels,
+            centroids,
+            embedding,
+        };
+        artifact.validate()?;
+        Ok(UpdateOutcome {
+            artifact,
+            views,
+            mvag: updated,
         })
     }
 
     /// Encodes the artifact into the versioned, checksummed binary
-    /// format.
-    pub fn encode(&self) -> Bytes {
+    /// format (always the current v3 layout: lineage header, uniform
+    /// `u64` length fields).
+    ///
+    /// # Errors
+    /// [`ServeError::InvalidArgument`] if a label cannot be
+    /// represented on the wire (`> u32::MAX` — labels are stored as
+    /// `u32`; any valid artifact has `label < k`, so this only fires
+    /// on hand-built inconsistent state that would otherwise be
+    /// silently truncated).
+    pub fn encode(&self) -> Result<Bytes> {
         let mut body = BytesMut::with_capacity(1 << 16);
         put_str(&mut body, &self.meta.dataset);
         body.put_u64(self.meta.n as u64);
@@ -179,14 +377,21 @@ impl Artifact {
         body.put_u64(self.meta.seed);
         body.put_u64(self.meta.row_start as u64);
         body.put_u64(self.meta.row_end as u64);
-        body.put_u32(self.weights.len() as u32);
+        body.put_u64(self.meta.parent_seed);
+        body.put_u64(self.meta.update_count);
+        body.put_u64(self.weights.len() as u64);
         for &w in &self.weights {
             body.put_f64(w);
         }
         put_csr(&mut body, &self.laplacian);
         body.put_u64(self.labels.len() as u64);
-        for &l in &self.labels {
-            body.put_u32(l as u32);
+        for (i, &l) in self.labels.iter().enumerate() {
+            let wire = u32::try_from(l).map_err(|_| {
+                ServeError::InvalidArgument(format!(
+                    "label {l} at row {i} exceeds u32::MAX and cannot be encoded"
+                ))
+            })?;
+            body.put_u32(wire);
         }
         put_dense(&mut body, &self.centroids);
         put_dense(&mut body, &self.embedding);
@@ -198,15 +403,19 @@ impl Artifact {
         out.put_u64(body.len() as u64);
         out.put_u32(crc32(body.as_ref()));
         out.put_slice(body.as_ref());
-        out.freeze()
+        Ok(out.freeze())
     }
 
-    /// Decodes an artifact (v1 or v2), verifying magic, version,
-    /// length, and checksum before touching the payload. A v1 artifact
-    /// is normalized to a full-range v2 artifact in memory.
+    /// Decodes an artifact (v1, v2, or v3), verifying magic, version,
+    /// length, and checksum before touching the payload. Older
+    /// versions are normalized in memory: a v1 artifact becomes a
+    /// full-range artifact, and v1/v2 artifacts get a fresh lineage
+    /// header (`parent_seed = seed`, `update_count = 0`).
     ///
     /// # Errors
-    /// [`ServeError::Corrupt`] on any structural problem.
+    /// [`ServeError::Corrupt`] on any structural problem — including
+    /// length fields that do not fit the remaining body (a corrupt
+    /// count errors instead of mis-framing the sections after it).
     pub fn decode(mut bytes: Bytes) -> Result<Artifact> {
         let fail = |msg: &str| ServeError::Corrupt(msg.to_string());
         if bytes.remaining() < 18 {
@@ -216,9 +425,10 @@ impl Artifact {
             return Err(fail("bad magic (not an SGLA artifact)"));
         }
         let version = bytes.get_u16();
-        if version != FORMAT_VERSION && version != FORMAT_VERSION_V1 {
+        if ![FORMAT_VERSION, FORMAT_VERSION_V2, FORMAT_VERSION_V1].contains(&version) {
             return Err(fail(&format!(
-                "unsupported format version {version} (expected {FORMAT_VERSION_V1} or {FORMAT_VERSION})"
+                "unsupported format version {version} (expected {FORMAT_VERSION_V1}, \
+                 {FORMAT_VERSION_V2}, or {FORMAT_VERSION})"
             )));
         }
         let body_len = bytes.get_u64();
@@ -251,17 +461,56 @@ impl Artifact {
             }
             (bytes.get_u64() as usize, bytes.get_u64() as usize)
         };
-        if bytes.remaining() < 4 {
-            return Err(fail("truncated weight count"));
+        // v3 adds the update-lineage header; older files get a fresh
+        // one anchored at their own seed.
+        let (parent_seed, update_count) = if version == FORMAT_VERSION {
+            if bytes.remaining() < 16 {
+                return Err(fail("truncated lineage header"));
+            }
+            (bytes.get_u64(), bytes.get_u64())
+        } else {
+            (seed, 0)
+        };
+        // v1/v2 wrote the weight count as u32 (the one non-u64 length
+        // field of those layouts); v3 is uniformly u64. Either way the
+        // count must fit the remaining body before any allocation.
+        let num_weights = if version == FORMAT_VERSION {
+            if bytes.remaining() < 8 {
+                return Err(fail("truncated weight count"));
+            }
+            let raw = bytes.get_u64();
+            usize::try_from(raw).map_err(|_| fail("weight count overflows usize"))?
+        } else {
+            if bytes.remaining() < 4 {
+                return Err(fail("truncated weight count"));
+            }
+            bytes.get_u32() as usize
+        };
+        if num_weights
+            .checked_mul(8)
+            .is_none_or(|bytes_needed| bytes_needed > bytes.remaining())
+        {
+            return Err(fail(&format!(
+                "weight count {num_weights} exceeds the remaining body"
+            )));
         }
-        let num_weights = bytes.get_u32() as usize;
         let weights = get_f64s(&mut bytes, num_weights).ok_or_else(|| fail("truncated weights"))?;
         let laplacian = get_csr(&mut bytes)?;
         if bytes.remaining() < 8 {
             return Err(fail("truncated label count"));
         }
         let num_labels = bytes.get_u64() as usize;
+        if num_labels
+            .checked_mul(4)
+            .is_none_or(|bytes_needed| bytes_needed > bytes.remaining())
+        {
+            return Err(fail(&format!(
+                "label count {num_labels} exceeds the remaining body"
+            )));
+        }
         let labels = get_u32s(&mut bytes, num_labels).ok_or_else(|| fail("truncated labels"))?;
+        // Label range (`l < k`) is enforced by the validate() call
+        // below, along with every other cross-field invariant.
         let centroids = get_dense(&mut bytes)?;
         let embedding = get_dense(&mut bytes)?;
         if bytes.remaining() != 0 {
@@ -277,6 +526,8 @@ impl Artifact {
                 seed,
                 row_start,
                 row_end,
+                parent_seed,
+                update_count,
             },
             weights,
             laplacian,
@@ -350,7 +601,7 @@ impl Artifact {
     /// # Errors
     /// I/O failures.
     pub fn save(&self, path: &Path) -> Result<()> {
-        fs::write(path, self.encode())?;
+        fs::write(path, self.encode()?)?;
         Ok(())
     }
 
@@ -486,7 +737,7 @@ impl Artifact {
             let rows = base + usize::from(i < extra);
             let row_end = row_start + rows;
             let shard = self.shard(row_start, row_end)?;
-            let encoded = shard.encode();
+            let encoded = shard.encode()?;
             let file = Self::shard_file_name(i);
             fs::write(dir.join(&file), encoded.as_ref())?;
             entries.push(ShardEntry {
@@ -515,6 +766,31 @@ impl Artifact {
             .map_err(|e| ServeError::Server(format!("writing manifest: {e}")))?;
         Ok(manifest)
     }
+}
+
+/// Up-front trainability gate: with `n <= 2` the embedding dimension
+/// cannot satisfy `dim + 1 < n` even after clamping (`dim >= 1`
+/// always), so the eigensolver would fail deep inside the pipeline
+/// with an opaque message. Reject early and clearly instead.
+fn check_trainable(n: usize) -> Result<()> {
+    if n <= 2 {
+        return Err(ServeError::Train(sgla_core::SglaError::InvalidArgument(
+            format!(
+                "graph has n = {n} nodes; training needs n >= 3 (the embedding requires \
+                 dim + 1 < n with dim >= 1)"
+            ),
+        )));
+    }
+    Ok(())
+}
+
+/// The embedding parameters actually used for an `n`-node graph: the
+/// configured dimension clamped so tiny demo graphs stay embeddable
+/// (`dim + 1 < n` must hold).
+fn clamp_embed_params(config: &TrainConfig, n: usize) -> EmbedParams {
+    let mut embed_params = config.embed.clone();
+    embed_params.dim = embed_params.dim.min(n.saturating_sub(2)).max(1);
+    embed_params
 }
 
 /// Extracts rows `[row_start, row_end)` of a CSR matrix as a new
@@ -658,7 +934,7 @@ mod tests {
     #[test]
     fn encode_decode_bit_exact() {
         let a = small_artifact();
-        let bytes = a.encode();
+        let bytes = a.encode().unwrap();
         let back = Artifact::decode(bytes).unwrap();
         assert_eq!(a, back);
     }
@@ -678,7 +954,7 @@ mod tests {
     #[test]
     fn flipped_byte_fails_checksum() {
         let a = small_artifact();
-        let raw = a.encode().to_vec();
+        let raw = a.encode().unwrap().to_vec();
         // Flip one byte somewhere in the body (after the 18-byte header).
         for &pos in &[18, raw.len() / 2, raw.len() - 1] {
             let mut bad = raw.clone();
@@ -694,7 +970,7 @@ mod tests {
     #[test]
     fn bad_magic_and_version_rejected() {
         let a = small_artifact();
-        let raw = a.encode().to_vec();
+        let raw = a.encode().unwrap().to_vec();
         let mut bad = raw.clone();
         bad[0] = b'X';
         assert!(matches!(
@@ -710,7 +986,7 @@ mod tests {
     #[test]
     fn every_truncation_errors_never_panics() {
         let a = small_artifact();
-        let raw = a.encode().to_vec();
+        let raw = a.encode().unwrap().to_vec();
         // Every 97th prefix plus all short ones: exhaustive is slow at
         // this size, strided catches the same class of bounds bugs.
         for len in (0..raw.len()).step_by(97).chain(0..32) {
@@ -769,6 +1045,207 @@ mod tests {
         }
     }
 
+    /// Byte-for-byte replica of the PR-3 era (v2) encoder: row-range
+    /// fields, `u32` weight count, no lineage header. Kept in tests as
+    /// the second backward-compatibility oracle.
+    fn encode_v2(a: &Artifact) -> Bytes {
+        let mut body = BytesMut::with_capacity(1 << 16);
+        put_str(&mut body, &a.meta.dataset);
+        body.put_u64(a.meta.n as u64);
+        body.put_u64(a.meta.k as u64);
+        body.put_u64(a.meta.dim as u64);
+        body.put_u64(a.meta.seed);
+        body.put_u64(a.meta.row_start as u64);
+        body.put_u64(a.meta.row_end as u64);
+        body.put_u32(a.weights.len() as u32);
+        for &w in &a.weights {
+            body.put_f64(w);
+        }
+        put_csr(&mut body, &a.laplacian);
+        body.put_u64(a.labels.len() as u64);
+        for &l in &a.labels {
+            body.put_u32(l as u32);
+        }
+        put_dense(&mut body, &a.centroids);
+        put_dense(&mut body, &a.embedding);
+        let body = body.freeze();
+        let mut out = BytesMut::with_capacity(body.len() + 18);
+        out.put_u32(MAGIC);
+        out.put_u16(FORMAT_VERSION_V2);
+        out.put_u64(body.len() as u64);
+        out.put_u32(crc32(body.as_ref()));
+        out.put_slice(body.as_ref());
+        out.freeze()
+    }
+
+    #[test]
+    fn v2_artifact_still_decodes_bit_exactly() {
+        let a = small_artifact();
+        let back = Artifact::decode(encode_v2(&a)).unwrap();
+        // A fresh artifact's lineage is exactly what v2 normalization
+        // synthesizes (parent_seed = seed, update_count = 0), so the
+        // round-trip is equal in every field — shards included.
+        assert_eq!(a, back);
+        let shard = a.shard(5, 30).unwrap();
+        assert_eq!(shard, Artifact::decode(encode_v2(&shard)).unwrap());
+        // Truncations of the v2 stream still fail cleanly.
+        let raw = encode_v2(&a).to_vec();
+        for len in (0..raw.len()).step_by(131).chain(0..24) {
+            assert!(
+                Artifact::decode(Bytes::from(raw[..len].to_vec())).is_err(),
+                "v2 prefix of {len} decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn lineage_header_roundtrips_and_survives_sharding() {
+        let mut a = small_artifact();
+        assert_eq!(a.meta.parent_seed, a.meta.seed);
+        assert_eq!(a.meta.update_count, 0);
+        a.meta.parent_seed = 777;
+        a.meta.update_count = 5;
+        let back = Artifact::decode(a.encode().unwrap()).unwrap();
+        assert_eq!(back.meta.parent_seed, 777);
+        assert_eq!(back.meta.update_count, 5);
+        let shard = a.shard(0, 10).unwrap();
+        assert_eq!(shard.meta.parent_seed, 777);
+        assert_eq!(shard.meta.update_count, 5);
+    }
+
+    #[test]
+    fn label_overflow_is_a_typed_encode_error() {
+        let mut a = small_artifact();
+        // Hand-built inconsistent state: a label that cannot fit the
+        // u32 wire format must error, not silently truncate to 1.
+        a.labels[3] = (u32::MAX as usize) + 2;
+        let err = a.encode().unwrap_err();
+        assert!(
+            matches!(err, ServeError::InvalidArgument(_)),
+            "unexpected {err}"
+        );
+        assert!(err.to_string().contains("u32::MAX"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_label_rejected_on_decode() {
+        let a = small_artifact();
+        let raw = a.encode().unwrap().to_vec();
+        // Locate the label section: it sits right before the two dense
+        // matrices (centroids k×dim, embedding n×dim) at the tail.
+        let dense_bytes = |rows: usize, cols: usize| 16 + rows * cols * 8;
+        let tail = dense_bytes(a.meta.k, a.meta.dim) + dense_bytes(a.meta.n, a.meta.dim);
+        let first_label_at = raw.len() - tail - a.meta.n * 4;
+        let mut bad = raw.clone();
+        // Overwrite label 0 with k (out of range) and re-stamp the CRC
+        // so only the label check can reject it.
+        bad[first_label_at..first_label_at + 4].copy_from_slice(&(a.meta.k as u32).to_be_bytes());
+        let crc = crc32(&bad[18..]);
+        bad[14..18].copy_from_slice(&crc.to_be_bytes());
+        let err = Artifact::decode(Bytes::from(bad)).unwrap_err();
+        assert!(matches!(err, ServeError::Corrupt(_)), "unexpected {err}");
+        assert!(err.to_string().contains(">= k"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_length_fields_error_instead_of_misframing() {
+        let a = small_artifact();
+        let raw = a.encode().unwrap().to_vec();
+        // The u64 weight count lives right after the fixed meta:
+        // 18-byte container header, dataset string (4 + len), 8 u64s.
+        let weights_at = 18 + 4 + a.meta.dataset.len() + 8 * 8;
+        for huge in [u64::MAX, (raw.len() as u64) * 2] {
+            let mut bad = raw.clone();
+            bad[weights_at..weights_at + 8].copy_from_slice(&huge.to_be_bytes());
+            let crc = crc32(&bad[18..]);
+            bad[14..18].copy_from_slice(&crc.to_be_bytes());
+            let err = Artifact::decode(Bytes::from(bad)).unwrap_err();
+            assert!(matches!(err, ServeError::Corrupt(_)), "unexpected {err}");
+            assert!(err.to_string().contains("weight count"), "{err}");
+        }
+    }
+
+    #[test]
+    fn tiny_graphs_rejected_up_front_n3_trains() {
+        // n ∈ {1, 2}: a clear up-front error, not an eigensolver
+        // failure from deep inside the pipeline.
+        for n in [1usize, 2] {
+            let views = vec![
+                mvag_graph::View::Graph(mvag_graph::Graph::from_unweighted_edges(n, &[]).unwrap()),
+                mvag_graph::View::Attributes(DenseMatrix::zeros(n, 2)),
+            ];
+            let mvag = Mvag::new(format!("tiny-{n}"), views, None, 2).unwrap();
+            let err = Artifact::train(&mvag, &TrainConfig::default()).unwrap_err();
+            assert!(matches!(err, ServeError::Train(_)), "n = {n}: {err}");
+            assert!(err.to_string().contains("n >= 3"), "n = {n}: {err}");
+        }
+        // n = 3 is the smallest trainable graph: dim clamps to 1 and
+        // the full pipeline must succeed.
+        let views = vec![
+            mvag_graph::View::Graph(
+                mvag_graph::Graph::from_unweighted_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap(),
+            ),
+            mvag_graph::View::Attributes(
+                DenseMatrix::from_vec(3, 2, vec![0.0, 0.1, 1.0, 0.9, 0.5, 0.4]).unwrap(),
+            ),
+        ];
+        let mvag = Mvag::new("tiny-3", views, None, 2).unwrap();
+        let artifact = Artifact::train(&mvag, &TrainConfig::default()).unwrap();
+        assert_eq!(artifact.meta.n, 3);
+        assert_eq!(artifact.meta.dim, 1);
+        artifact.validate().unwrap();
+    }
+
+    #[test]
+    fn update_refreshes_artifact_and_bumps_lineage() {
+        use mvag_graph::generators::{random_append_delta, AppendConfig};
+        let mvag = toy_mvag(60, 2, 11);
+        let mut config = TrainConfig::default();
+        config.embed.dim = 8;
+        let (artifact, views) = Artifact::train_with_views(&mvag, &config).unwrap();
+        let delta = random_append_delta(
+            &mvag,
+            &AppendConfig {
+                added_nodes: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let outcome = artifact.update(&views, &mvag, &delta, &config).unwrap();
+        let updated = &outcome.artifact;
+        updated.validate().unwrap();
+        assert_eq!(updated.meta.n, 63);
+        assert_eq!(updated.meta.update_count, 1);
+        assert_eq!(updated.meta.parent_seed, artifact.meta.seed);
+        assert_eq!(updated.meta.seed, artifact.meta.seed);
+        assert_eq!(updated.weights, artifact.weights);
+        assert_eq!(outcome.mvag.n(), 63);
+        assert_eq!(outcome.views.n(), 63);
+        // Chained update: the outcome feeds the next round.
+        let delta2 = random_append_delta(
+            &outcome.mvag,
+            &AppendConfig {
+                added_nodes: 2,
+                seed: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let outcome2 = updated
+            .update(&outcome.views, &outcome.mvag, &delta2, &config)
+            .unwrap();
+        assert_eq!(outcome2.artifact.meta.n, 65);
+        assert_eq!(outcome2.artifact.meta.update_count, 2);
+        // The updated artifact round-trips through the v3 codec.
+        let back = Artifact::decode(outcome2.artifact.encode().unwrap()).unwrap();
+        assert_eq!(outcome2.artifact, back);
+        // Mismatched inputs are rejected.
+        let other = toy_mvag(50, 2, 12);
+        assert!(artifact.update(&views, &other, &delta, &config).is_err());
+        let shard = artifact.shard(0, 30).unwrap();
+        assert!(shard.update(&views, &mvag, &delta, &config).is_err());
+    }
+
     #[test]
     fn shard_slices_every_field_consistently() {
         let a = small_artifact();
@@ -790,7 +1267,7 @@ mod tests {
             );
         }
         // A shard is itself codec-roundtrippable.
-        let back = Artifact::decode(s.encode()).unwrap();
+        let back = Artifact::decode(s.encode().unwrap()).unwrap();
         assert_eq!(s, back);
         // Bad ranges and sharding a shard are rejected.
         assert!(a.shard(10, 10).is_err());

@@ -36,12 +36,16 @@ pub struct IndexStats {
 
 /// Anything that can answer the three serving queries over one
 /// artifact's id space.
+///
+/// Metadata accessors return owned values (not references into the
+/// backend): a [`crate::swap::HotSwapBackend`] can replace its inner
+/// backend at any moment, so no borrow may outlive a single call.
 pub trait QueryBackend: Send + Sync {
     /// Metadata of the (logical, full) artifact being served.
-    fn meta(&self) -> &ArtifactMeta;
+    fn meta(&self) -> ArtifactMeta;
 
     /// Learned view weights `w*` (reported by `/artifact`).
-    fn weights(&self) -> &[f64];
+    fn weights(&self) -> Vec<f64>;
 
     /// Cluster assignment and centroid distance for one node.
     ///
@@ -91,12 +95,12 @@ pub trait QueryBackend: Send + Sync {
 }
 
 impl QueryBackend for QueryEngine {
-    fn meta(&self) -> &ArtifactMeta {
-        &self.artifact().meta
+    fn meta(&self) -> ArtifactMeta {
+        self.artifact().meta.clone()
     }
 
-    fn weights(&self) -> &[f64] {
-        &self.artifact().weights
+    fn weights(&self) -> Vec<f64> {
+        self.artifact().weights.clone()
     }
 
     fn cluster_of(&self, node: usize) -> Result<ClusterInfo> {

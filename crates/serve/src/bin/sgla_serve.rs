@@ -23,11 +23,22 @@
 //! sgla-serve serve --artifact toy.sgla --addr 127.0.0.1:7878 --workers 8
 //! sgla-serve serve --artifact toy-sharded/ --max-resident 2
 //! sgla-serve serve --artifact toy.sgla --index ivf
+//!
+//! # Incrementally update a served artifact (append 5% new nodes,
+//! # retrain any IVF sidecar over the new rows, save the delta for
+//! # replay, hot-swap the running server):
+//! sgla-serve update --artifact toy.sgla --n 300 --k 3 --seed 42 \
+//!                   --delta-out d1.mvd --notify 127.0.0.1:7878
+//!
+//! # A second update replays the first delta to reconstruct the base:
+//! sgla-serve update --artifact toy.sgla --n 300 --k 3 --seed 42 \
+//!                   --replay d1.mvd --notify 127.0.0.1:7878
 //! ```
 
+use mvag_graph::generators::{random_append_delta, AppendConfig};
 use sgla_serve::{
-    Artifact, EngineConfig, IvfConfig, IvfIndex, QueryBackend, QueryEngine, RouterConfig, Server,
-    ServerConfig, ShardRouter, TrainConfig,
+    Artifact, BackendLoader, EngineConfig, IvfConfig, IvfIndex, QueryBackend, QueryEngine,
+    RouterConfig, Server, ServerConfig, ShardRouter, TrainConfig,
 };
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -43,6 +54,7 @@ fn main() -> ExitCode {
         "train" => train(&args[1..]),
         "info" => info(&args[1..]),
         "serve" => serve(&args[1..]),
+        "update" => update(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -59,13 +71,19 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  sgla-serve train --out <file|dir> [--shards N] [--index ivf] [--nlist N]
-                   [--dataset toy|<registry name>]
-                   [--n N] [--k K] [--dim D] [--seed S] [--scale F]
-  sgla-serve info  --artifact <file|manifest.json|shard dir>
-  sgla-serve serve --artifact <file|manifest.json|shard dir> [--addr HOST:PORT]
-                   [--workers N] [--cache N] [--batch N] [--max-resident N]
-                   [--index ivf] [--nlist N]";
+  sgla-serve train  --out <file|dir> [--shards N] [--index ivf] [--nlist N]
+                    [--dataset toy|<registry name>]
+                    [--n N] [--k K] [--dim D] [--seed S] [--scale F]
+  sgla-serve info   --artifact <file|manifest.json|shard dir>
+  sgla-serve serve  --artifact <file|manifest.json|shard dir> [--addr HOST:PORT]
+                    [--workers N] [--cache N] [--batch N] [--max-resident N]
+                    [--index ivf] [--nlist N]
+  sgla-serve update --artifact <file> [--out <file|dir>] [--shards N]
+                    [--dataset toy|<name>] [--n N] [--k K] [--dim D] [--seed S]
+                    [--scale F] [--replay d1.mvd,d2.mvd]
+                    [--add-nodes M] [--update-seed S]
+                    [--delta file.mvd] [--delta-out file.mvd]
+                    [--index ivf] [--nlist N] [--notify HOST:PORT]";
 
 /// Tiny flag parser: `--key value` pairs after the subcommand.
 struct Flags(Vec<(String, String)>);
@@ -114,16 +132,18 @@ impl Flags {
     }
 }
 
-fn train(args: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(args)?;
-    let out = PathBuf::from(flags.get("out").ok_or("train needs --out <file>")?);
+/// Deterministically regenerates the dataset described by the common
+/// `--dataset/--n/--k/--seed/--scale` flags (shared by `train` and
+/// `update` — the update path must be able to reconstruct the base
+/// graph an artifact was trained on).
+fn generate_mvag(flags: &Flags) -> Result<mvag_graph::Mvag, String> {
     let dataset = flags.get("dataset").unwrap_or("toy");
     let seed: u64 = flags.parse_num("seed", 42)?;
     let scale: f64 = flags.parse_num("scale", 0.25)?;
-    let mvag = if dataset == "toy" {
+    if dataset == "toy" {
         let n: usize = flags.parse_num("n", 300)?;
         let k: usize = flags.parse_num("k", 3)?;
-        mvag_data::toy_mvag(n, k, seed)
+        Ok(mvag_data::toy_mvag(n, k, seed))
     } else {
         let spec = mvag_data::by_name(dataset).ok_or_else(|| {
             let names: Vec<String> = mvag_data::full_registry()
@@ -135,8 +155,15 @@ fn train(args: &[String]) -> Result<(), String> {
                 names.join(", ")
             )
         })?;
-        spec.generate(scale, seed).map_err(|e| e.to_string())?
-    };
+        spec.generate(scale, seed).map_err(|e| e.to_string())
+    }
+}
+
+fn train(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let out = PathBuf::from(flags.get("out").ok_or("train needs --out <file>")?);
+    let seed: u64 = flags.parse_num("seed", 42)?;
+    let mvag = generate_mvag(&flags)?;
     println!("training on {}", mvag.summary());
     let mut config = TrainConfig::default();
     config.sgla.seed = seed;
@@ -187,7 +214,7 @@ fn train(args: &[String]) -> Result<(), String> {
     } else {
         // Encode once: save() would re-run the full encode (including
         // the CRC pass) just to learn the byte count.
-        let encoded = artifact.encode();
+        let encoded = artifact.encode().map_err(|e| e.to_string())?;
         std::fs::write(&out, encoded.as_ref()).map_err(|e| e.to_string())?;
         println!("wrote {} ({} bytes)", out.display(), encoded.len());
         if let Some(ivf) = &index_config {
@@ -264,6 +291,10 @@ fn info(args: &[String]) -> Result<(), String> {
     println!("dim:       {}", m.dim);
     println!("seed:      {}", m.seed);
     println!("rows:      {}..{}", m.row_start, m.row_end);
+    println!(
+        "lineage:   parent seed {}, {} update(s) applied",
+        m.parent_seed, m.update_count
+    );
     println!("weights:   {:?}", artifact.weights);
     println!("laplacian: {} nnz", artifact.laplacian.nnz());
     let sidecar = Artifact::index_sidecar_path(path);
@@ -278,12 +309,85 @@ fn info(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Builds the serving backend for `path` with the given configs —
+/// used both at startup and on every `POST /reload` (the loader
+/// re-reads the files from disk, so a hot-swap picks up whatever
+/// `sgla-serve update` wrote there).
+fn load_backend(
+    path: &Path,
+    engine_config: &EngineConfig,
+    max_resident: usize,
+    quiet: bool,
+) -> Result<Arc<dyn QueryBackend>, sgla_serve::ServeError> {
+    if is_sharded_path(path) {
+        let router_config = RouterConfig {
+            // --cache sizes the router's merged-answer cache here (the
+            // per-shard engine caches are disabled by the router).
+            cache_capacity: engine_config.cache_capacity,
+            engine: engine_config.clone(),
+            max_resident,
+        };
+        let router = ShardRouter::open(path, router_config)?;
+        if !quiet {
+            println!(
+                "loaded sharded {} (n = {}, k = {}, dim = {}, {} shards{})",
+                router.meta().dataset,
+                router.meta().n,
+                router.meta().k,
+                router.meta().dim,
+                router.manifest().shards.len(),
+                if QueryBackend::index_stats(&router).enabled {
+                    ", ivf index"
+                } else {
+                    ""
+                }
+            );
+        }
+        Ok(Arc::new(router))
+    } else {
+        let artifact = Artifact::load(path)?;
+        if !quiet {
+            println!(
+                "loaded {} (n = {}, k = {}, dim = {}, {} update(s))",
+                artifact.meta.dataset,
+                artifact.meta.n,
+                artifact.meta.k,
+                artifact.meta.dim,
+                artifact.meta.update_count
+            );
+        }
+        let sidecar = Artifact::index_sidecar_path(path);
+        let engine = if sidecar.is_file() {
+            let index = IvfIndex::load(&sidecar)
+                .map_err(|e| sgla_serve::ServeError::Corrupt(e.to_string()))?;
+            if !quiet {
+                println!(
+                    "loaded index {} (ivf, nlist={})",
+                    sidecar.display(),
+                    index.nlist()
+                );
+            }
+            let engine_config = EngineConfig {
+                index: None,
+                ..engine_config.clone()
+            };
+            QueryEngine::with_index(artifact, engine_config, index)?
+        } else {
+            if engine_config.index.is_some() && !quiet {
+                println!("building ivf index (no sidecar found; see train --index ivf)");
+            }
+            QueryEngine::new(artifact, engine_config.clone())?
+        };
+        Ok(Arc::new(engine))
+    }
+}
+
 fn serve(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
     let path = flags
         .get("artifact")
         .ok_or("serve needs --artifact <file>")?;
-    let path = Path::new(path);
+    let path = PathBuf::from(path);
     let engine_config = EngineConfig {
         cache_capacity: flags.parse_num("cache", 4096)?,
         // With --index ivf the backend builds an index at startup
@@ -291,56 +395,7 @@ fn serve(args: &[String]) -> Result<(), String> {
         index: flags.parse_index()?,
         ..EngineConfig::default()
     };
-    let backend: Arc<dyn QueryBackend> = if is_sharded_path(path) {
-        let router_config = RouterConfig {
-            // --cache sizes the router's merged-answer cache here (the
-            // per-shard engine caches are disabled by the router).
-            cache_capacity: engine_config.cache_capacity,
-            engine: engine_config,
-            max_resident: flags.parse_num("max-resident", 0)?,
-        };
-        let router = ShardRouter::open(path, router_config).map_err(|e| e.to_string())?;
-        println!(
-            "loaded sharded {} (n = {}, k = {}, dim = {}, {} shards{})",
-            router.meta().dataset,
-            router.meta().n,
-            router.meta().k,
-            router.meta().dim,
-            router.manifest().shards.len(),
-            if QueryBackend::index_stats(&router).enabled {
-                ", ivf index"
-            } else {
-                ""
-            }
-        );
-        Arc::new(router)
-    } else {
-        let artifact = Artifact::load(path).map_err(|e| e.to_string())?;
-        println!(
-            "loaded {} (n = {}, k = {}, dim = {})",
-            artifact.meta.dataset, artifact.meta.n, artifact.meta.k, artifact.meta.dim
-        );
-        let sidecar = Artifact::index_sidecar_path(path);
-        let engine = if sidecar.is_file() {
-            let index = IvfIndex::load(&sidecar).map_err(|e| e.to_string())?;
-            println!(
-                "loaded index {} (ivf, nlist={})",
-                sidecar.display(),
-                index.nlist()
-            );
-            let engine_config = EngineConfig {
-                index: None,
-                ..engine_config
-            };
-            QueryEngine::with_index(artifact, engine_config, index).map_err(|e| e.to_string())?
-        } else {
-            if engine_config.index.is_some() {
-                println!("building ivf index (no sidecar found; see train --index ivf)");
-            }
-            QueryEngine::new(artifact, engine_config).map_err(|e| e.to_string())?
-        };
-        Arc::new(engine)
-    };
+    let max_resident: usize = flags.parse_num("max-resident", 0)?;
     let server_config = ServerConfig {
         addr: flags
             .get("addr")
@@ -351,15 +406,251 @@ fn serve(args: &[String]) -> Result<(), String> {
         max_batch: flags.parse_num("batch", 64)?,
         ..ServerConfig::default()
     };
-    let server = Server::start_backend(backend, &server_config).map_err(|e| e.to_string())?;
+    // Reloadable serving: the loader closure re-reads the same path on
+    // POST /reload, and the fresh backend is hot-swapped in while
+    // in-flight queries finish on the old one.
+    let first_load = std::sync::atomic::AtomicBool::new(true);
+    let loader: BackendLoader = Box::new(move || {
+        let quiet = !first_load.swap(false, std::sync::atomic::Ordering::Relaxed);
+        load_backend(&path, &engine_config, max_resident, quiet)
+    });
+    let server = Server::start_reloadable(loader, &server_config).map_err(|e| e.to_string())?;
     println!("serving on http://{}", server.local_addr());
     println!(
         "endpoints: /healthz /stats /metrics /artifact /cluster/{{node}} \
-         /topk/{{node}}?k=K[&mode=approx&nprobe=N] /embed"
+         /topk/{{node}}?k=K[&mode=approx&nprobe=N] /embed /reload (POST)"
     );
     println!("press Ctrl-C to stop");
     // Foreground serve: park until killed. Workers own the sockets.
     loop {
         std::thread::park();
     }
+}
+
+/// `sgla-serve update` — incremental artifact refresh for an
+/// append-only graph change, without a full retrain:
+///
+/// 1. loads the full artifact and regenerates its base MVAG from the
+///    same `--dataset/--n/--k/--seed` flags `train` used (replaying
+///    any previously saved deltas via `--replay` for artifacts that
+///    have already been updated — the lineage header records how many
+///    are expected);
+/// 2. obtains the delta: `--delta file.mvd` loads a saved one,
+///    otherwise a structure-preserving random append of `--add-nodes`
+///    nodes (default 5% of n) is synthesized (persist it with
+///    `--delta-out` to keep the update replayable);
+/// 3. runs `Artifact::update` (reused weights, warm-started
+///    eigensolves, incremental centroid/label refresh) and writes the
+///    updated v3 artifact (monolithic, or a re-manifested sharded
+///    layout with `--shards N`);
+/// 4. invalidates IVF sidecars: any existing index over the old rows
+///    is retrained over the updated artifact with its original
+///    parameters and overwritten (stale shard files/sidecars beyond
+///    the new shard count are deleted), so approximate top-k can never
+///    serve rows the index does not cover;
+/// 5. with `--notify HOST:PORT`, POSTs `/reload` to a running
+///    `sgla-serve serve` so it hot-swaps the updated artifact in.
+fn update(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let artifact_path = PathBuf::from(
+        flags
+            .get("artifact")
+            .ok_or("update needs --artifact <file>")?,
+    );
+    if is_sharded_path(&artifact_path) {
+        return Err(
+            "update needs the full (monolithic) artifact file; keep it alongside sharded \
+             layouts and re-shard with --shards N"
+                .into(),
+        );
+    }
+    let artifact = Artifact::load(&artifact_path).map_err(|e| e.to_string())?;
+    let out = flags
+        .get("out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| artifact_path.clone());
+    let shards: usize = flags.parse_num("shards", 1)?;
+
+    // Reconstruct the base MVAG the artifact describes: regenerate the
+    // root dataset, then replay any persisted deltas.
+    let mut base = generate_mvag(&flags)?;
+    let mut replayed = 0u64;
+    if let Some(list) = flags.get("replay") {
+        for file in list.split(',').filter(|s| !s.is_empty()) {
+            let delta = mvag_data::load_delta(Path::new(file)).map_err(|e| e.to_string())?;
+            base = base.apply_delta(&delta).map_err(|e| e.to_string())?;
+            replayed += 1;
+        }
+    }
+    let m = &artifact.meta;
+    if base.n() != m.n || base.k() != m.k || base.name != m.dataset {
+        return Err(format!(
+            "regenerated base is '{}' (n = {}, k = {}) but the artifact was trained on '{}' \
+             (n = {}, k = {}, {} update(s) applied); pass the training flags \
+             (--dataset/--n/--k/--seed) and --replay the {} saved delta(s)",
+            base.name,
+            base.n(),
+            base.k(),
+            m.dataset,
+            m.n,
+            m.k,
+            m.update_count,
+            m.update_count
+        ));
+    }
+    // The lineage counter exists precisely to catch a wrong history:
+    // an edge-only delta leaves n unchanged, so the size check above
+    // cannot detect a missing --replay. Hard error, not a note — a
+    // base reconstructed from the wrong history would be warm-updated
+    // and served silently wrong.
+    if replayed != m.update_count {
+        return Err(format!(
+            "replayed {replayed} delta(s) but the artifact's lineage records {} update(s); \
+             pass every saved delta in order via --replay (see --delta-out)",
+            m.update_count
+        ));
+    }
+
+    // The delta: loaded, or synthesized (default 5% append).
+    let delta = match flags.get("delta") {
+        Some(file) => mvag_data::load_delta(Path::new(file)).map_err(|e| e.to_string())?,
+        None => {
+            let added: usize = flags.parse_num("add-nodes", (m.n / 20).max(1))?;
+            let update_seed: u64 = flags.parse_num("update-seed", m.seed ^ (m.update_count + 1))?;
+            random_append_delta(
+                &base,
+                &AppendConfig {
+                    added_nodes: added,
+                    seed: update_seed,
+                    ..Default::default()
+                },
+            )
+            .map_err(|e| e.to_string())?
+        }
+    };
+    if let Some(delta_out) = flags.get("delta-out") {
+        mvag_data::save_delta(&delta, Path::new(delta_out)).map_err(|e| e.to_string())?;
+        println!("wrote {delta_out} (replayable delta)");
+    }
+    println!(
+        "updating {} (n = {} -> {}, update {} -> {})",
+        m.dataset,
+        m.n,
+        m.n + delta.added_nodes,
+        m.update_count,
+        m.update_count + 1
+    );
+
+    let mut config = TrainConfig::default();
+    config.sgla.seed = m.seed;
+    config.embed.dim = flags.parse_num("dim", m.dim)?;
+    let started = std::time::Instant::now();
+    let views =
+        sgla_core::views::ViewLaplacians::build(&base, &config.knn).map_err(|e| e.to_string())?;
+    let views_secs = started.elapsed().as_secs_f64();
+    let started = std::time::Instant::now();
+    let outcome = artifact
+        .update(&views, &base, &delta, &config)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "updated in {:.2}s (+{:.2}s rebuilding base view Laplacians — a resident trainer \
+         keeps these cached)",
+        started.elapsed().as_secs_f64(),
+        views_secs
+    );
+    let updated = &outcome.artifact;
+
+    if shards > 1 {
+        let manifest = updated
+            .save_sharded(&out, shards)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "wrote {} shards + {} to {}",
+            manifest.shards.len(),
+            Artifact::MANIFEST_FILE,
+            out.display()
+        );
+        // Sidecar invalidation: retrain per-shard indexes if the old
+        // layout had any (same parameters as shard 0's old index), and
+        // delete stale files beyond the new shard count.
+        let old_sidecar = out.join(Artifact::shard_index_file_name(0));
+        let ivf = match flags.parse_index()? {
+            Some(cfg) => Some(cfg),
+            None => match IvfIndex::load(&old_sidecar) {
+                Ok(old) => Some(old.config()),
+                Err(_) => None,
+            },
+        };
+        if let Some(ivf) = &ivf {
+            for (i, entry) in manifest.shards.iter().enumerate() {
+                let shard = updated
+                    .shard(entry.row_start, entry.row_end)
+                    .map_err(|e| e.to_string())?;
+                let index = shard.build_ivf(ivf).map_err(|e| e.to_string())?;
+                index
+                    .save(&out.join(Artifact::shard_index_file_name(i)))
+                    .map_err(|e| e.to_string())?;
+            }
+            println!(
+                "retrained {} ivf sidecar(s) (nlist={}) over the updated rows",
+                manifest.shards.len(),
+                ivf.nlist
+            );
+        }
+        // Remove leftovers of a previously larger layout: a stale
+        // shard or index past the new count must never be picked up.
+        let mut stale = manifest.shards.len();
+        loop {
+            let shard_file = out.join(Artifact::shard_file_name(stale));
+            let index_file = out.join(Artifact::shard_index_file_name(stale));
+            let any = std::fs::remove_file(&shard_file).is_ok()
+                | std::fs::remove_file(&index_file).is_ok();
+            if !any {
+                break;
+            }
+            stale += 1;
+        }
+    } else {
+        let encoded = updated.encode().map_err(|e| e.to_string())?;
+        std::fs::write(&out, encoded.as_ref()).map_err(|e| e.to_string())?;
+        println!("wrote {} ({} bytes)", out.display(), encoded.len());
+        // Sidecar invalidation: a stale monolithic index no longer
+        // covers the appended rows — retrain it with its original
+        // parameters (or --index ivf's) and overwrite.
+        let sidecar = Artifact::index_sidecar_path(&out);
+        let ivf = match flags.parse_index()? {
+            Some(cfg) => Some(cfg),
+            None => match IvfIndex::load(&sidecar) {
+                Ok(old) => Some(old.config()),
+                Err(_) => None,
+            },
+        };
+        if let Some(ivf) = &ivf {
+            let index = updated.build_ivf(ivf).map_err(|e| e.to_string())?;
+            index.save(&sidecar).map_err(|e| e.to_string())?;
+            println!(
+                "retrained ivf sidecar {} (nlist={}, {} rows)",
+                sidecar.display(),
+                index.nlist(),
+                index.rows()
+            );
+        }
+    }
+
+    if let Some(addr) = flags.get("notify") {
+        let addr: std::net::SocketAddr = addr.parse().map_err(|e| format!("--notify: {e}"))?;
+        let mut client = sgla_serve::HttpClient::connect(addr).map_err(|e| e.to_string())?;
+        let response = client
+            .post("/reload", &mvag_data::json::Value::object(vec![]))
+            .map_err(|e| e.to_string())?;
+        if response.status == 200 {
+            println!("notified {addr}: server hot-swapped the updated artifact");
+        } else {
+            return Err(format!(
+                "notify {addr}: POST /reload answered {} ({})",
+                response.status, response.body
+            ));
+        }
+    }
+    Ok(())
 }

@@ -20,6 +20,9 @@
 //! |                        | `&mode=approx[&nprobe=N]` probes the IVF   |
 //! |                        | index instead of scanning every row        |
 //! | `POST /embed`          | `{"nodes":[...]}` → embedding rows         |
+//! | `POST /reload`         | re-load the artifact and hot-swap it in    |
+//! |                        | (reloadable servers only — see             |
+//! |                        | [`Server::start_reloadable`])              |
 //!
 //! Top-k requests go through the [`Batcher`], so concurrent clients
 //! are micro-batched into shared kernel passes (exact and approx
@@ -29,6 +32,7 @@ use crate::backend::QueryBackend;
 use crate::batch::Batcher;
 use crate::engine::QueryEngine;
 use crate::metrics::MetricsRegistry;
+use crate::swap::HotSwapBackend;
 use crate::{Result, ServeError};
 use mvag_data::json::{self, Value};
 use std::io::{BufRead, BufReader, Read, Write};
@@ -66,11 +70,25 @@ impl Default for ServerConfig {
     }
 }
 
+/// Builds a replacement backend for `POST /reload` — typically by
+/// re-reading the artifact path the server was started with. Runs on
+/// the request's worker thread; a failure leaves the old backend
+/// serving untouched.
+pub type BackendLoader = Box<dyn Fn() -> Result<Arc<dyn QueryBackend>> + Send + Sync>;
+
+/// The hot-swap half of a reloadable server.
+struct ReloadState {
+    swap: Arc<HotSwapBackend>,
+    loader: BackendLoader,
+}
+
 struct ServerShared {
     backend: Arc<dyn QueryBackend>,
     batcher: Batcher,
     metrics: MetricsRegistry,
     stop: AtomicBool,
+    /// `Some` only for servers started via [`Server::start_reloadable`].
+    reload: Option<ReloadState>,
 }
 
 /// A running server; dropping it (or calling [`Server::shutdown`])
@@ -108,6 +126,32 @@ impl Server {
     /// # Errors
     /// [`ServeError::Io`] if the bind fails.
     pub fn start_backend(backend: Arc<dyn QueryBackend>, config: &ServerConfig) -> Result<Server> {
+        Server::start_inner(backend, None, config)
+    }
+
+    /// Starts a *reloadable* server: the initial backend comes from
+    /// `loader()`, is wrapped in a [`HotSwapBackend`], and
+    /// `POST /reload` re-runs the loader and atomically swaps the
+    /// fresh backend in — in-flight queries finish on the backend they
+    /// started on, and a failed reload leaves the old one serving.
+    /// This is how a serving process picks up an incrementally updated
+    /// artifact (`sgla-serve update` + `POST /reload`) with zero
+    /// downtime.
+    ///
+    /// # Errors
+    /// [`ServeError::Io`] if the bind fails; loader failures building
+    /// the initial backend.
+    pub fn start_reloadable(loader: BackendLoader, config: &ServerConfig) -> Result<Server> {
+        let swap = Arc::new(HotSwapBackend::new(loader()?));
+        let backend: Arc<dyn QueryBackend> = Arc::clone(&swap) as Arc<dyn QueryBackend>;
+        Server::start_inner(backend, Some(ReloadState { swap, loader }), config)
+    }
+
+    fn start_inner(
+        backend: Arc<dyn QueryBackend>,
+        reload: Option<ReloadState>,
+        config: &ServerConfig,
+    ) -> Result<Server> {
         let listener = TcpListener::bind(config.addr)?;
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(ServerShared {
@@ -115,6 +159,7 @@ impl Server {
             backend,
             metrics: MetricsRegistry::new(),
             stop: AtomicBool::new(false),
+            reload,
         });
 
         let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
@@ -540,9 +585,49 @@ fn route(request: &Request, shared: &ServerShared) -> (&'static str, u16, String
             (Err(msg), _) | (_, Err(msg)) => ("topk", 400, error_body(&msg)),
         },
         ("POST", ["embed"]) => embed_route(request, shared),
-        (_, ["healthz" | "stats" | "metrics" | "artifact" | "embed"])
+        ("POST", ["reload"]) => reload_route(shared),
+        (_, ["healthz" | "stats" | "metrics" | "artifact" | "embed" | "reload"])
         | (_, ["cluster" | "topk", _]) => ("other", 405, error_body("method not allowed")),
         _ => ("other", 404, error_body("no such endpoint")),
+    }
+}
+
+/// `POST /reload`: rebuild the backend via the server's loader and
+/// hot-swap it in. Only available on servers started with
+/// [`Server::start_reloadable`]; a loader failure keeps the old
+/// backend serving and reports 503 (the operator retries after fixing
+/// the artifact on disk).
+fn reload_route(shared: &ServerShared) -> (&'static str, u16, String) {
+    let Some(reload) = &shared.reload else {
+        return (
+            "reload",
+            400,
+            error_body("this server was not started reloadable (no artifact path to re-read)"),
+        );
+    };
+    match (reload.loader)() {
+        Ok(next) => {
+            let old = reload.swap.swap(next);
+            let meta = shared.backend.meta();
+            (
+                "reload",
+                200,
+                Value::object(vec![
+                    ("status", Value::from("reloaded")),
+                    ("dataset", Value::from(meta.dataset.as_str())),
+                    ("n", Value::from(meta.n)),
+                    ("previous_n", Value::from(old.meta().n)),
+                    ("update_count", Value::from(meta.update_count)),
+                    ("swaps", Value::from(reload.swap.swap_count())),
+                ])
+                .to_string_compact(),
+            )
+        }
+        Err(e) => (
+            "reload",
+            503,
+            error_body(&format!("reload failed, old artifact still serving: {e}")),
+        ),
     }
 }
 
@@ -667,13 +752,11 @@ fn parse_topk_params(query: &str) -> std::result::Result<TopKParams, String> {
 }
 
 fn healthz_body(shared: &ServerShared) -> String {
+    let meta = shared.backend.meta();
     Value::object(vec![
         ("status", Value::from("ok")),
-        (
-            "artifact",
-            Value::from(shared.backend.meta().dataset.as_str()),
-        ),
-        ("n", Value::from(shared.backend.meta().n)),
+        ("artifact", Value::from(meta.dataset.as_str())),
+        ("n", Value::from(meta.n)),
     ])
     .to_string_compact()
 }
@@ -686,7 +769,9 @@ fn artifact_body(shared: &ServerShared) -> String {
         ("k", Value::from(meta.k)),
         ("dim", Value::from(meta.dim)),
         ("seed", Value::from(meta.seed)),
-        ("weights", Value::from(shared.backend.weights().to_vec())),
+        ("parent_seed", Value::from(meta.parent_seed)),
+        ("update_count", Value::from(meta.update_count)),
+        ("weights", Value::from(shared.backend.weights())),
         (
             "format_version",
             Value::from(crate::artifact::FORMAT_VERSION as usize),

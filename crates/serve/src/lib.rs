@@ -68,15 +68,17 @@ pub mod http;
 pub mod lru;
 pub mod metrics;
 pub mod router;
+pub mod swap;
 
-pub use artifact::{Artifact, ArtifactMeta, TrainConfig};
+pub use artifact::{Artifact, ArtifactMeta, TrainConfig, UpdateOutcome};
 pub use backend::{IndexStats, QueryBackend};
 pub use client::{HttpClient, HttpResponse};
 pub use engine::{ApproxQuery, ClusterInfo, EngineConfig, Neighbor, QueryEngine};
 pub use error::ServeError;
-pub use http::{Server, ServerConfig};
+pub use http::{BackendLoader, Server, ServerConfig};
 pub use mvag_index::{IvfConfig, IvfIndex};
 pub use router::{RouterConfig, ShardRouter};
+pub use swap::HotSwapBackend;
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, ServeError>;

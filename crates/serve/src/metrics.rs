@@ -162,8 +162,8 @@ pub struct MetricsRegistry {
 
 /// Endpoint labels, in registry order. `other` collects requests that
 /// matched no route (404s, wrong methods).
-pub const ENDPOINTS: [&str; 8] = [
-    "healthz", "stats", "metrics", "artifact", "cluster", "topk", "embed", "other",
+pub const ENDPOINTS: [&str; 9] = [
+    "healthz", "stats", "metrics", "artifact", "cluster", "topk", "embed", "reload", "other",
 ];
 
 impl Default for MetricsRegistry {

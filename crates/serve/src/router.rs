@@ -47,7 +47,7 @@
 //! std::fs::remove_dir_all(&dir).ok();
 //! ```
 
-use crate::artifact::{crc32, Artifact, ArtifactMeta, FORMAT_VERSION};
+use crate::artifact::{crc32, Artifact, ArtifactMeta, FORMAT_VERSION, FORMAT_VERSION_V2};
 use crate::backend::{IndexStats, QueryBackend};
 use crate::engine::{
     ApproxQuery, ClusterInfo, EngineConfig, IndexCounters, Neighbor, QueryEngine, TopKHeap,
@@ -148,9 +148,12 @@ impl ShardRouter {
         };
         let manifest =
             ShardManifest::load(&manifest_path).map_err(|e| ServeError::Corrupt(e.to_string()))?;
-        if manifest.artifact_format_version != FORMAT_VERSION {
+        if manifest.artifact_format_version != FORMAT_VERSION
+            && manifest.artifact_format_version != FORMAT_VERSION_V2
+        {
             return Err(ServeError::Corrupt(format!(
-                "manifest references artifact format v{}, this build reads v{FORMAT_VERSION}",
+                "manifest references artifact format v{}, this build reads v{FORMAT_VERSION_V2} \
+                 or v{FORMAT_VERSION}",
                 manifest.artifact_format_version
             )));
         }
@@ -166,6 +169,10 @@ impl ShardRouter {
             seed: manifest.seed,
             row_start: 0,
             row_end: manifest.n,
+            // Lineage is carried in the shard files, not the manifest;
+            // patched in below from shard 0.
+            parent_seed: manifest.seed,
+            update_count: 0,
         };
         let shard_count = manifest.shards.len();
         let slots = (0..shard_count)
@@ -190,17 +197,24 @@ impl ShardRouter {
             index_enabled: false,
             index_nlist: 0,
         };
-        // Weights are global state carried in every shard; take them
-        // from shard 0 (which this also validates end to end). The
-        // same load reveals whether shards come with an IVF index.
+        // Weights and the lineage header are global state carried in
+        // every shard; take them from shard 0 (which this also
+        // validates end to end). The same load reveals whether shards
+        // come with an IVF index.
         let first = router.engine_for(0)?;
         let weights = first.artifact().weights.clone();
         let index_enabled = first.index().is_some();
         let index_nlist = first.index().map_or(0, IvfIndex::nlist);
+        let meta = ArtifactMeta {
+            parent_seed: first.artifact().meta.parent_seed,
+            update_count: first.artifact().meta.update_count,
+            ..router.meta.clone()
+        };
         Ok(ShardRouter {
             weights,
             index_enabled,
             index_nlist,
+            meta,
             ..router
         })
     }
@@ -648,12 +662,12 @@ impl ShardRouter {
 }
 
 impl QueryBackend for ShardRouter {
-    fn meta(&self) -> &ArtifactMeta {
-        &self.meta
+    fn meta(&self) -> ArtifactMeta {
+        self.meta.clone()
     }
 
-    fn weights(&self) -> &[f64] {
-        &self.weights
+    fn weights(&self) -> Vec<f64> {
+        self.weights.clone()
     }
 
     fn cluster_of(&self, node: usize) -> Result<ClusterInfo> {

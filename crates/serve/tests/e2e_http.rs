@@ -447,3 +447,122 @@ fn graceful_shutdown_closes_cleanly() {
         .is_ok();
     assert!(!alive, "server still answering after shutdown");
 }
+
+#[test]
+fn live_reload_hot_swaps_the_updated_artifact() {
+    // The operator flow end to end: serve an artifact from disk,
+    // update the file behind the server (sgla-serve update would do
+    // this), POST /reload, and observe the swapped state — with the
+    // updated answers bit-identical to a fresh load of the new file.
+    let mvag = mvag_data::toy_mvag(60, 2, 31);
+    let mut config = TrainConfig::default();
+    config.embed.dim = 6;
+    let (artifact, views) = Artifact::train_with_views(&mvag, &config).unwrap();
+
+    let dir = std::env::temp_dir().join(format!("sgla-e2e-reload-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("live.sgla");
+    artifact.save(&path).unwrap();
+
+    let loader_path = path.clone();
+    let loader: sgla_serve::BackendLoader = Box::new(move || {
+        let artifact = Artifact::load(&loader_path)?;
+        Ok(
+            Arc::new(QueryEngine::new(artifact, EngineConfig::default())?)
+                as Arc<dyn sgla_serve::QueryBackend>,
+        )
+    });
+    let server_config = ServerConfig {
+        addr: "127.0.0.1:0".parse().unwrap(),
+        workers: 4,
+        ..ServerConfig::default()
+    };
+    let server = Server::start_reloadable(loader, &server_config).unwrap();
+    let mut client = HttpClient::connect(server.local_addr()).unwrap();
+
+    // Initial state: n = 60, update_count = 0; node 60 does not exist.
+    let meta = client.get("/artifact").unwrap();
+    assert_eq!(meta.body.get("n").unwrap().as_usize(), Some(60));
+    assert_eq!(meta.body.get("update_count").unwrap().as_usize(), Some(0));
+    assert_eq!(client.get("/cluster/60").unwrap().status, 400);
+
+    // Reloading without a changed file is a harmless no-op swap.
+    let noop = client.post("/reload", &Value::object(vec![])).unwrap();
+    assert_eq!(noop.status, 200);
+    assert_eq!(noop.body.get("n").unwrap().as_usize(), Some(60));
+
+    // Update the artifact on disk (append 4 nodes), then reload.
+    let delta = mvag_graph::generators::random_append_delta(
+        &mvag,
+        &mvag_graph::generators::AppendConfig {
+            added_nodes: 4,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let updated = artifact
+        .update(&views, &mvag, &delta, &config)
+        .unwrap()
+        .artifact;
+    updated.save(&path).unwrap();
+    let reloaded = client.post("/reload", &Value::object(vec![])).unwrap();
+    assert_eq!(reloaded.status, 200);
+    assert_eq!(reloaded.body.get("n").unwrap().as_usize(), Some(64));
+    assert_eq!(
+        reloaded.body.get("previous_n").unwrap().as_usize(),
+        Some(60)
+    );
+    assert_eq!(
+        reloaded.body.get("update_count").unwrap().as_usize(),
+        Some(1)
+    );
+
+    // Served answers now come from the updated artifact, bit-identical
+    // to a fresh engine over it — including the appended nodes.
+    let fresh = QueryEngine::new(updated, EngineConfig::default()).unwrap();
+    for node in [0usize, 35, 60, 63] {
+        let wire = client.get(&format!("/topk/{node}?k=5")).unwrap();
+        assert_eq!(wire.status, 200);
+        let direct = fresh.top_k_similar(node, 5).unwrap();
+        let neighbors = wire.body.get("neighbors").unwrap().as_array().unwrap();
+        assert_eq!(neighbors.len(), direct.len());
+        for (w, d) in neighbors.iter().zip(&direct) {
+            assert_eq!(w.get("node").unwrap().as_usize(), Some(d.node));
+            assert_eq!(
+                w.get("score").unwrap().as_f64().unwrap().to_bits(),
+                d.score.to_bits()
+            );
+        }
+    }
+
+    // A broken file on disk fails the reload and keeps the old
+    // backend serving.
+    std::fs::write(&path, b"garbage").unwrap();
+    let failed = client.post("/reload", &Value::object(vec![])).unwrap();
+    assert_eq!(failed.status, 503);
+    assert_eq!(
+        client
+            .get("/artifact")
+            .unwrap()
+            .body
+            .get("n")
+            .unwrap()
+            .as_usize(),
+        Some(64)
+    );
+    assert_eq!(client.get("/topk/63?k=3").unwrap().status, 200);
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn reload_on_non_reloadable_server_is_400() {
+    let (server, _engine) = start_server(trained_artifact());
+    let mut client = HttpClient::connect(server.local_addr()).unwrap();
+    let res = client.post("/reload", &Value::object(vec![])).unwrap();
+    assert_eq!(res.status, 400);
+    // Wrong method on /reload is 405.
+    assert_eq!(client.get("/reload").unwrap().status, 405);
+    server.shutdown();
+}

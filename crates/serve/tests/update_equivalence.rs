@@ -1,0 +1,250 @@
+//! Property tests for the incremental-update subsystem.
+//!
+//! Two guarantees:
+//!
+//! 1. **Update ≈ retrain.** `Artifact::update` over a random append
+//!    delta must agree with a from-scratch `Artifact::train` of the
+//!    updated graph: identical labels after Hungarian-style alignment,
+//!    and an embedding whose column span lies within a small principal
+//!    angle of the retrained one. (Exact equality is impossible — the
+//!    retrain re-optimizes the view weights and cold-starts its
+//!    eigensolves — but on a well-clustered graph the partition and
+//!    subspace must survive.)
+//! 2. **Hot swap = fresh load.** A [`HotSwapBackend`] that swaps from
+//!    the old artifact to the updated one must answer every query
+//!    *bit-identically* to a freshly constructed backend over the
+//!    updated artifact — monolithic engine and shard router alike.
+
+use proptest::prelude::*;
+use sgla_serve::{
+    Artifact, EngineConfig, HotSwapBackend, QueryBackend, QueryEngine, RouterConfig, ShardRouter,
+    TrainConfig,
+};
+use std::sync::{Arc, OnceLock};
+
+const N: usize = 72;
+const K: usize = 3;
+
+fn config() -> TrainConfig {
+    let mut config = TrainConfig::default();
+    config.embed.dim = 8;
+    config.sgla.seed = 23;
+    config
+}
+
+/// A cleanly separated base MVAG: fully informative SBM views plus a
+/// well-separated Gaussian attribute view. The update-vs-retrain
+/// guarantee is about the *pipeline* (reused weights + warm starts
+/// must land on the same partition a cold retrain finds), so the
+/// fixture must not carry borderline nodes that flip on any
+/// infinitesimal weight change.
+fn separated_mvag() -> mvag_graph::Mvag {
+    use mvag_graph::generators::{balanced_labels, gaussian_attributes, sbm, SbmConfig};
+    use mvag_graph::{Mvag, View};
+    let labels = balanced_labels(N, K).unwrap();
+    let g1 = sbm(
+        &labels,
+        &SbmConfig {
+            p_in: 0.45,
+            p_out: 0.02,
+            ..Default::default()
+        },
+        5,
+    )
+    .unwrap();
+    let g2 = sbm(
+        &labels,
+        &SbmConfig {
+            p_in: 0.4,
+            p_out: 0.03,
+            ..Default::default()
+        },
+        6,
+    )
+    .unwrap();
+    let x = gaussian_attributes(
+        &labels,
+        &mvag_graph::generators::GaussianAttrConfig {
+            dim: 12,
+            separation: 3.0,
+            noise: 0.8,
+            informative_fraction: 1.0,
+        },
+        7,
+    )
+    .unwrap();
+    Mvag::new(
+        "update-equiv",
+        vec![View::Graph(g1), View::Graph(g2), View::Attributes(x)],
+        Some(labels),
+        K,
+    )
+    .unwrap()
+}
+
+/// Training dominates wall-clock; every case reuses one base.
+fn base() -> &'static (mvag_graph::Mvag, Artifact, sgla_core::views::ViewLaplacians) {
+    static SHARED: OnceLock<(mvag_graph::Mvag, Artifact, sgla_core::views::ViewLaplacians)> =
+        OnceLock::new();
+    SHARED.get_or_init(|| {
+        let mvag = separated_mvag();
+        let (artifact, views) = Artifact::train_with_views(&mvag, &config()).unwrap();
+        (mvag, artifact, views)
+    })
+}
+
+/// Exact label agreement up to a cluster-relabeling permutation
+/// (brute force over k! permutations — k is 3 here).
+fn labels_match_aligned(a: &[usize], b: &[usize], k: usize) -> bool {
+    fn permutations(k: usize) -> Vec<Vec<usize>> {
+        if k == 1 {
+            return vec![vec![0]];
+        }
+        let mut out = Vec::new();
+        for rest in permutations(k - 1) {
+            for pos in 0..k {
+                let mut p = rest.clone();
+                p.insert(pos, k - 1);
+                out.push(p);
+            }
+        }
+        out
+    }
+    permutations(k)
+        .into_iter()
+        .any(|p| a.iter().zip(b).all(|(&x, &y)| p[x] == y))
+}
+
+/// Subspace-agreement metric shared with `update_bench` (one
+/// implementation, in `mvag_sparse::qr`).
+fn subspace_residual(e: &mvag_sparse::DenseMatrix, basis_of: &mvag_sparse::DenseMatrix) -> f64 {
+    mvag_sparse::qr::subspace_residual(e, basis_of).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn update_matches_from_scratch_retrain(
+        added in 1usize..6,
+        delta_seed in 0u64..1000,
+    ) {
+        let (mvag, artifact, views) = base();
+        let delta = mvag_graph::generators::random_append_delta(
+            mvag,
+            &mvag_graph::generators::AppendConfig {
+                added_nodes: added,
+                edges_per_node: 10,
+                within_cluster: 0.95,
+                seed: delta_seed,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let outcome = artifact.update(views, mvag, &delta, &config()).unwrap();
+        let updated = outcome.artifact;
+        let retrained = Artifact::train(&outcome.mvag, &config()).unwrap();
+
+        prop_assert_eq!(updated.meta.n, N + added);
+        prop_assert_eq!(updated.meta.update_count, 1);
+        prop_assert_eq!(retrained.meta.update_count, 0);
+        // Labels identical after cluster-relabeling alignment.
+        prop_assert!(
+            labels_match_aligned(&updated.labels, &retrained.labels, K),
+            "update labels {:?} vs retrain {:?}",
+            &updated.labels,
+            &retrained.labels
+        );
+        // Embedding subspace within tolerance of the retrained one.
+        let residual = subspace_residual(&updated.embedding, &retrained.embedding);
+        prop_assert!(
+            residual < 0.35,
+            "embedding subspace residual {residual} (added {added}, seed {delta_seed})"
+        );
+    }
+
+    #[test]
+    fn hot_swap_is_bit_identical_to_fresh_load(
+        added in 1usize..5,
+        shards in 2usize..5,
+        queries in proptest::collection::vec((0usize..N, 1usize..15), 1..10),
+        case in 0u64..u64::MAX,
+    ) {
+        let (mvag, artifact, views) = base();
+        let delta = mvag_graph::generators::random_append_delta(
+            mvag,
+            &mvag_graph::generators::AppendConfig {
+                added_nodes: added,
+                seed: case,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let updated = artifact.update(views, mvag, &delta, &config()).unwrap().artifact;
+
+        // --- Monolithic: swap old -> updated engine. ---
+        let old_engine: Arc<dyn QueryBackend> = Arc::new(
+            QueryEngine::new(artifact.clone(), EngineConfig::default()).unwrap(),
+        );
+        let swap = HotSwapBackend::new(old_engine);
+        prop_assert_eq!(QueryBackend::meta(&swap).n, N);
+        swap.swap(Arc::new(
+            QueryEngine::new(updated.clone(), EngineConfig::default()).unwrap(),
+        ));
+        let fresh = QueryEngine::new(updated.clone(), EngineConfig::default()).unwrap();
+        prop_assert_eq!(QueryBackend::meta(&swap).n, N + added);
+        for (swapped, direct) in swap
+            .top_k_batch(&queries)
+            .into_iter()
+            .zip(fresh.top_k_batch(&queries))
+        {
+            let (s, d) = (swapped.unwrap(), direct.unwrap());
+            prop_assert_eq!(s.len(), d.len());
+            for (a, b) in s.iter().zip(&d) {
+                prop_assert_eq!(a.node, b.node);
+                prop_assert_eq!(a.score.to_bits(), b.score.to_bits());
+            }
+        }
+        for &(node, _) in &queries {
+            prop_assert_eq!(
+                swap.cluster_of(node).unwrap(),
+                fresh.cluster_of(node).unwrap()
+            );
+        }
+        // Appended nodes are servable post-swap.
+        prop_assert!(swap.cluster_of(N + added - 1).is_ok());
+
+        // --- Sharded: swap the monolithic engine for a router over a
+        // sharded layout of the updated artifact. ---
+        let dir = std::env::temp_dir().join(format!(
+            "sgla-update-swap-{shards}-{case}-{:?}",
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        updated.save_sharded(&dir, shards).unwrap();
+        swap.swap(Arc::new(
+            ShardRouter::open(&dir, RouterConfig::default()).unwrap(),
+        ));
+        let fresh_router = ShardRouter::open(&dir, RouterConfig::default()).unwrap();
+        prop_assert_eq!(swap.shard_count(), shards.min(N + added));
+        prop_assert_eq!(QueryBackend::meta(&swap).update_count, 1);
+        for (swapped, direct) in swap
+            .top_k_batch(&queries)
+            .into_iter()
+            .zip(fresh_router.top_k_batch(&queries))
+        {
+            let (s, d) = (swapped.unwrap(), direct.unwrap());
+            prop_assert_eq!(s.len(), d.len());
+            for (a, b) in s.iter().zip(&d) {
+                prop_assert_eq!(a.node, b.node);
+                prop_assert_eq!(a.score.to_bits(), b.score.to_bits());
+            }
+        }
+        let nodes: Vec<usize> = queries.iter().map(|&(node, _)| node).collect();
+        prop_assert_eq!(
+            swap.embed_batch(&nodes).unwrap(),
+            fresh_router.embed_batch(&nodes).unwrap()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -54,6 +54,15 @@ pub struct EigOptions {
     /// ≤ 16). Work runs on the persistent pool, so per-pass dispatch is
     /// cheap even though a solve performs thousands of parallel regions.
     pub threads: usize,
+    /// Optional warm-start block: an `n × c` matrix whose columns
+    /// approximate the sought eigenvectors (e.g. the previous solve's
+    /// output on a slightly perturbed operator). Columns are consumed
+    /// as start directions — the first column seeds the first Lanczos
+    /// pass, later columns seed breakdown restarts and deflated
+    /// passes — so a good guess collapses each pass's Krylov growth.
+    /// Results are identical in the limit; only convergence speed
+    /// changes. Ignored on the dense fallback path. Default `None`.
+    pub init: Option<DenseMatrix>,
 }
 
 impl Default for EigOptions {
@@ -65,6 +74,7 @@ impl Default for EigOptions {
             dense_fallback: 96,
             verify_multiplicity: true,
             threads: default_threads(),
+            init: None,
         }
     }
 }
@@ -120,6 +130,19 @@ fn run(op: &dyn LinOp, k: usize, opts: &EigOptions, want_vectors: bool) -> Resul
     if n <= opts.dense_fallback || k + 2 >= n {
         return dense_path(op, k, want_vectors);
     }
+    // Warm-start columns are popped front-first as start directions.
+    let mut init_cols: std::collections::VecDeque<Vec<f64>> = match &opts.init {
+        Some(block) => {
+            if block.nrows() != n {
+                return Err(SparseError::InvalidArgument(format!(
+                    "warm-start block has {} rows for an {n}-dimensional operator",
+                    block.nrows()
+                )));
+            }
+            (0..block.ncols()).map(|j| block.col(j)).collect()
+        }
+        None => std::collections::VecDeque::new(),
+    };
 
     let shift = match op.spectral_bound() {
         Some(b) => b * (1.0 + 1e-10) + 1e-12,
@@ -147,6 +170,7 @@ fn run(op: &dyn LinOp, k: usize, opts: &EigOptions, want_vectors: bool) -> Resul
         opts,
         max_dim,
         &mut rng,
+        &mut init_cols,
         &mut matvecs,
         &mut locked,
         &mut all_converged,
@@ -176,6 +200,7 @@ fn run(op: &dyn LinOp, k: usize, opts: &EigOptions, want_vectors: bool) -> Resul
                 &verify_opts,
                 max_dim,
                 &mut rng,
+                &mut init_cols,
                 &mut matvecs,
                 &mut ProbeInto {
                     base: &locked,
@@ -283,6 +308,7 @@ fn lock_pairs<S: LockSink>(
     opts: &EigOptions,
     max_dim: usize,
     rng: &mut StdRng,
+    init: &mut std::collections::VecDeque<Vec<f64>>,
     matvecs: &mut usize,
     sink: &mut S,
     all_converged: &mut bool,
@@ -306,7 +332,7 @@ fn lock_pairs<S: LockSink>(
         let need = target - sink.locked_count();
         let m_pass = m.min(n - deflate.len());
         let (basis, alphas, betas, exhausted) =
-            lanczos_factorization(b_op, m_pass, &deflate, rng, matvecs, opts.threads)?;
+            lanczos_factorization(b_op, m_pass, &deflate, rng, init, matvecs, opts.threads)?;
         let m_eff = alphas.len();
         if m_eff == 0 {
             return Ok(());
@@ -354,12 +380,13 @@ fn lock_pairs<S: LockSink>(
 /// `(basis, alphas, betas, exhausted)`; `betas[j]` couples basis vectors
 /// `j` and `j+1`, a zero entry marking a breakdown restart (block
 /// boundary). `exhausted` means basis + deflation span the full space.
-#[allow(clippy::type_complexity)]
+#[allow(clippy::type_complexity, clippy::too_many_arguments)]
 fn lanczos_factorization(
     op: &dyn LinOp,
     m: usize,
     deflate: &[&[f64]],
     rng: &mut StdRng,
+    init: &mut std::collections::VecDeque<Vec<f64>>,
     matvecs: &mut usize,
     threads: usize,
 ) -> Result<(Vec<Vec<f64>>, Vec<f64>, Vec<f64>, bool)> {
@@ -371,7 +398,7 @@ fn lanczos_factorization(
     let mut w = vec![0.0f64; n];
     let mut exhausted = false;
 
-    let v0 = match fresh_direction(n, deflate, &basis, rng, threads) {
+    let v0 = match fresh_direction(n, deflate, &basis, rng, init, threads) {
         Some(v) => v,
         None => return Ok((basis, alphas, betas, true)),
     };
@@ -399,7 +426,7 @@ fn lanczos_factorization(
         } else {
             // Invariant subspace: restart with a fresh orthogonal direction.
             betas.push(0.0);
-            match fresh_direction(n, deflate, &basis, rng, threads) {
+            match fresh_direction(n, deflate, &basis, rng, init, threads) {
                 Some(fresh) => basis.push(fresh),
                 None => {
                     exhausted = true;
@@ -484,10 +511,20 @@ fn fresh_direction(
     deflate: &[&[f64]],
     basis: &[Vec<f64>],
     rng: &mut StdRng,
+    init: &mut std::collections::VecDeque<Vec<f64>>,
     threads: usize,
 ) -> Option<Vec<f64>> {
     if deflate.len() + basis.len() >= n {
         return None;
+    }
+    // Prefer warm-start columns: each is consumed once; one whose
+    // direction is already spanned (tiny residual) falls through to
+    // the next column or the random fallback.
+    while let Some(mut w) = init.pop_front() {
+        orthogonalize(&mut w, deflate, basis, threads);
+        if vecops::normalize(&mut w) > 1e-8 {
+            return Some(w);
+        }
     }
     for _attempt in 0..6 {
         let mut w: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() - 0.5).collect();
@@ -732,6 +769,35 @@ mod tests {
                 dense.values[j]
             );
         }
+    }
+
+    #[test]
+    fn warm_start_converges_faster_to_the_same_values() {
+        let l = cycle_norm_laplacian(400);
+        let cold = smallest_eigenpairs(&l, 5, &EigOptions::default()).unwrap();
+        // Warm-start from the cold solve's own vectors (the ideal
+        // guess): values must match and the operator-application count
+        // must drop.
+        let warm_opts = EigOptions {
+            init: Some(cold.vectors.clone()),
+            ..EigOptions::default()
+        };
+        let warm = smallest_eigenpairs(&l, 5, &warm_opts).unwrap();
+        for (a, b) in cold.values.iter().zip(&warm.values) {
+            assert!((a - b).abs() < 1e-7, "warm {b} vs cold {a}");
+        }
+        assert!(
+            warm.matvecs < cold.matvecs,
+            "warm {} matvecs vs cold {}",
+            warm.matvecs,
+            cold.matvecs
+        );
+        // A wrong-sized warm block is rejected.
+        let bad = EigOptions {
+            init: Some(DenseMatrix::zeros(7, 2)),
+            ..EigOptions::default()
+        };
+        assert!(smallest_eigenpairs(&l, 5, &bad).is_err());
     }
 
     #[test]

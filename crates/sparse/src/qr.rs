@@ -79,6 +79,25 @@ pub fn orthonormalize(a: &mut DenseMatrix) -> Result<usize> {
     Ok(rank_from_r(&r, 1e-12))
 }
 
+/// Relative Frobenius residual of projecting `e` onto the column span
+/// of `reference`: `‖E − Q Qᵀ E‖_F / ‖E‖_F` with `Q` an orthonormal
+/// basis of `reference` (thin QR). `0` means `e`'s columns lie inside
+/// the reference span; `1` means they are orthogonal to it. This is
+/// the subspace-agreement metric the incremental-update verification
+/// uses to compare a warm-updated embedding against a from-scratch
+/// retrain.
+///
+/// # Errors
+/// Propagates [`qr_thin`] errors; [`SparseError::ShapeMismatch`] if
+/// the row counts differ.
+pub fn subspace_residual(e: &DenseMatrix, reference: &DenseMatrix) -> Result<f64> {
+    let (q, _) = qr_thin(reference)?;
+    let proj = q.gram(e)?; // Qᵀ E
+    let total = e.frobenius_norm();
+    let captured = proj.frobenius_norm();
+    Ok(((total * total - captured * captured).max(0.0)).sqrt() / total.max(1e-300))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,6 +157,19 @@ mod tests {
         let rank = orthonormalize(&mut a).unwrap();
         assert_eq!(rank, 2);
         check_orthonormal(&a, &[0, 1]);
+    }
+
+    #[test]
+    fn subspace_residual_detects_span_membership() {
+        // e inside the reference span → residual 0; orthogonal → 1.
+        let reference =
+            DenseMatrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![0.0, 0.0]]).unwrap();
+        let inside = DenseMatrix::from_rows(&[vec![2.0], vec![-3.0], vec![0.0]]).unwrap();
+        assert!(subspace_residual(&inside, &reference).unwrap() < 1e-12);
+        let outside = DenseMatrix::from_rows(&[vec![0.0], vec![0.0], vec![5.0]]).unwrap();
+        assert!((subspace_residual(&outside, &reference).unwrap() - 1.0).abs() < 1e-12);
+        // Row-count mismatch is rejected.
+        assert!(subspace_residual(&DenseMatrix::zeros(2, 1), &reference).is_err());
     }
 
     #[test]

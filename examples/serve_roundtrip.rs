@@ -21,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Persist and reload — the store is versioned and checksummed,
     //    and the round-trip is bit-exact. Encode once and reuse the
     //    bytes for both the size report and the file write.
-    let encoded = artifact.encode();
+    let encoded = artifact.encode()?;
     println!(
         "trained: weights {:?}, {} bytes encoded",
         artifact.weights,
