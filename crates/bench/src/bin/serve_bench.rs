@@ -7,12 +7,17 @@
 //! [--nprobe N]` replays it as approximate queries against an
 //! IVF-indexed engine, with the exact engine as the recall oracle —
 //! the run fails below recall@k 0.9 or when probes stop being
-//! sublinear.
+//! sublinear. `--obs-gate 1` additionally replays the load with
+//! tracing disabled and enabled, fails the run when tracing overhead
+//! breaches its p50 bounds, and scrape-validates the live `/metrics`
+//! page. Every run records the queue-wait vs backend-time split from
+//! the tracing stages.
 //!
 //! ```bash
 //! cargo run --release --bin serve_bench -- --clients 32 --queries 40
 //! cargo run --release --bin serve_bench -- --shards 4
 //! cargo run --release --bin serve_bench -- --index ivf --nprobe 4
+//! cargo run --release --bin serve_bench -- --obs-gate 1
 //! ```
 
 use mvag_bench::serve_bench::{run_to_file, ServeBenchConfig};
@@ -50,6 +55,10 @@ fn main() -> ExitCode {
             }
             "--nlist" => value.parse().map(|v| config.nlist = v).is_ok(),
             "--nprobe" => value.parse().map(|v| config.nprobe = v).is_ok(),
+            "--obs-gate" => {
+                config.obs_gate = matches!(value.as_str(), "1" | "true" | "on");
+                true
+            }
             "--out" => {
                 out = PathBuf::from(value);
                 true
@@ -91,6 +100,45 @@ fn main() -> ExitCode {
                 "cache:     {} hits / {} misses",
                 report.cache_hits, report.cache_misses
             );
+            let split = &report.stage_split;
+            if let (Some(queue), Some(backend), Some(share)) = (
+                split.get("queue_wait_mean_us").and_then(|v| v.as_f64()),
+                split.get("backend_mean_us").and_then(|v| v.as_f64()),
+                split.get("queue_wait_share").and_then(|v| v.as_f64()),
+            ) {
+                println!(
+                    "stages:    queue wait {queue:.0} us / backend {backend:.0} us per query \
+                     ({:.0}% of traced time in queue)",
+                    share * 100.0
+                );
+            }
+            if let Some(gate) = &report.obs_overhead {
+                println!(
+                    "obs gate:  pass — p50 baseline {:.0} us / disabled {:.0} us ({:+.1}%) / \
+                     enabled {:.0} us ({:+.1}%); /metrics validated",
+                    gate.get("baseline_p50_us")
+                        .and_then(|v| v.as_f64())
+                        .unwrap_or(0.0),
+                    gate.get("disabled_p50_us")
+                        .and_then(|v| v.as_f64())
+                        .unwrap_or(0.0),
+                    (gate
+                        .get("disabled_ratio")
+                        .and_then(|v| v.as_f64())
+                        .unwrap_or(1.0)
+                        - 1.0)
+                        * 100.0,
+                    gate.get("enabled_p50_us")
+                        .and_then(|v| v.as_f64())
+                        .unwrap_or(0.0),
+                    (gate
+                        .get("enabled_ratio")
+                        .and_then(|v| v.as_f64())
+                        .unwrap_or(1.0)
+                        - 1.0)
+                        * 100.0,
+                );
+            }
             if let Some(approx) = &report.approx {
                 println!(
                     "approx:    {} queries via ivf (nlist={}, nprobe={})",

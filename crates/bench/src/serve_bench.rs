@@ -65,6 +65,11 @@ pub struct ServeBenchConfig {
     pub nlist: usize,
     /// Lists probed per approx query (0 = index default, `⌈√nlist⌉`).
     pub nprobe: usize,
+    /// Run the tracing-overhead gate: repeat the monolithic load with
+    /// tracing disabled and enabled, fail when p50 regresses past
+    /// [`OBS_DISABLED_MAX_RATIO`] / [`OBS_ENABLED_MAX_RATIO`], and
+    /// scrape-validate the live `/metrics` page.
+    pub obs_gate: bool,
 }
 
 impl Default for ServeBenchConfig {
@@ -83,9 +88,29 @@ impl Default for ServeBenchConfig {
             index: false,
             nlist: 0,
             nprobe: 0,
+            obs_gate: false,
         }
     }
 }
+
+/// Tracing-disabled p50 may exceed the untraced baseline p50 by at
+/// most this factor (instrumentation off the hot path must cost no
+/// more than an atomic load per site).
+pub const OBS_DISABLED_MAX_RATIO: f64 = 1.03;
+
+/// Tracing-enabled p50 may exceed the untraced baseline p50 by at
+/// most this factor.
+pub const OBS_ENABLED_MAX_RATIO: f64 = 1.10;
+
+/// Interleaved repeats per mode in the overhead gate; latencies pool
+/// across repeats so machine drift hits every mode equally.
+const OBS_GATE_REPEATS: usize = 3;
+
+/// Absolute slack added on top of the relative gate bounds: loopback
+/// p50s sit in the tens-to-hundreds of microseconds, where timer
+/// quantization and scheduler noise alone move medians by more than
+/// 3% between back-to-back identical runs.
+const OBS_GATE_SLACK_US: f64 = 25.0;
 
 /// Latency/throughput summary of one load phase.
 #[derive(Debug, Clone)]
@@ -159,6 +184,13 @@ pub struct ServeBenchReport {
     /// The approx-phase profile, when `index` was requested. Recall
     /// and scan work are measured against the exact oracle.
     pub approx: Option<ApproxPhase>,
+    /// Queue-wait vs backend-time split measured from the tracing
+    /// stages over a short traced replay (`stage_split` in the JSON).
+    pub stage_split: Value,
+    /// The tracing-overhead gate result when `obs_gate` was requested
+    /// (`obs_overhead` in the JSON). `Some` means the gate passed —
+    /// a breached bound fails the whole run instead.
+    pub obs_overhead: Option<Value>,
     /// The full JSON document written to the report file.
     pub json: Value,
 }
@@ -386,6 +418,153 @@ fn summarize(
     }
 }
 
+/// `(count, sum_us)` of one obs stage histogram, zero when the stage
+/// has never fired.
+fn stage_totals(name: &str) -> (u64, u64) {
+    mvag_obs::stage(name)
+        .map(|s| (s.count, s.sum_us))
+        .unwrap_or((0, 0))
+}
+
+/// Replays a short traced load against the still-running server and
+/// reports where request time went: batcher queue wait vs backend
+/// (kernel) time, from the `serve.queue_wait` / `serve.backend` span
+/// stages. Runs after the timed phase so tracing cost cannot pollute
+/// the headline latencies.
+fn measure_stage_split(addr: SocketAddr, config: &ServeBenchConfig) -> Result<Value, String> {
+    let split_config = ServeBenchConfig {
+        clients: config.clients.clamp(1, 4),
+        queries_per_client: config.queries_per_client.clamp(1, 16),
+        ..config.clone()
+    };
+    let was_enabled = mvag_obs::enabled();
+    let queue_before = stage_totals("serve.queue_wait");
+    let backend_before = stage_totals("serve.backend");
+    mvag_obs::set_enabled(true);
+    let driven = drive_load(addr, &split_config, "");
+    mvag_obs::set_enabled(was_enabled);
+    driven?;
+    let (queue_after, backend_after) = (
+        stage_totals("serve.queue_wait"),
+        stage_totals("serve.backend"),
+    );
+    let queue_count = queue_after.0 - queue_before.0;
+    let queue_us = queue_after.1 - queue_before.1;
+    let backend_count = backend_after.0 - backend_before.0;
+    let backend_us = backend_after.1 - backend_before.1;
+    let mean = |sum: u64, count: u64| sum as f64 / count.max(1) as f64;
+    Ok(Value::object(vec![
+        (
+            "queries",
+            Value::from(split_config.clients * split_config.queries_per_client),
+        ),
+        ("queue_wait_count", Value::from(queue_count)),
+        ("queue_wait_total_us", Value::from(queue_us)),
+        (
+            "queue_wait_mean_us",
+            Value::from(mean(queue_us, queue_count)),
+        ),
+        ("backend_count", Value::from(backend_count)),
+        ("backend_total_us", Value::from(backend_us)),
+        (
+            "backend_mean_us",
+            Value::from(mean(backend_us, backend_count)),
+        ),
+        (
+            "queue_wait_share",
+            Value::from(queue_us as f64 / (queue_us + backend_us).max(1) as f64),
+        ),
+    ]))
+}
+
+/// The tracing-overhead gate: interleaved repeats of the same load in
+/// three modes — untraced baseline, instrumentation compiled in but
+/// disabled (the shipping default; baseline and disabled run the same
+/// code path, so this leg measures that the per-site atomic load stays
+/// inside run-to-run noise), and tracing fully enabled. Pools
+/// latencies per mode across repeats, gates the disabled/enabled p50s
+/// against the baseline, and scrape-validates the live `/metrics`
+/// page while the stage histograms are populated.
+fn run_obs_gate(addr: SocketAddr, config: &ServeBenchConfig) -> Result<Value, String> {
+    let gate_config = ServeBenchConfig {
+        clients: config.clients.clamp(1, 8),
+        queries_per_client: config.queries_per_client.clamp(20, 200),
+        ..config.clone()
+    };
+    let was_enabled = mvag_obs::enabled();
+    // Warmup: fault in connections, caches, and batcher threads.
+    mvag_obs::set_enabled(false);
+    drive_load(addr, &gate_config, "")?;
+    let mut pooled: [Vec<u64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for _rep in 0..OBS_GATE_REPEATS {
+        for (mode, bucket) in pooled.iter_mut().enumerate() {
+            mvag_obs::set_enabled(mode == 2);
+            let driven = drive_load(addr, &gate_config, "");
+            mvag_obs::set_enabled(false);
+            let (mut latencies, _, _) = driven?;
+            bucket.append(&mut latencies);
+        }
+    }
+
+    // The enabled legs populated the sgla_stage_* histograms; the
+    // exported page must be conformant Prometheus text format.
+    let (status, page) = HttpClient::connect(addr)
+        .and_then(|mut c| c.get_text("/metrics"))
+        .map_err(|e| format!("scraping /metrics: {e}"))?;
+    mvag_obs::set_enabled(was_enabled);
+    if status != 200 {
+        return Err(format!("/metrics answered {status}"));
+    }
+    sgla_serve::metrics::validate_prometheus(&page)
+        .map_err(|e| format!("/metrics failed Prometheus validation: {e}"))?;
+    if !page.contains("sgla_stage_duration_us_bucket") {
+        return Err("no sgla_stage_duration_us series on /metrics after traced load".into());
+    }
+
+    let p50_of = |latencies: &mut Vec<u64>| {
+        latencies.sort_unstable();
+        percentile(latencies, 0.50)
+    };
+    let [mut baseline, mut disabled, mut enabled] = pooled;
+    let baseline_p50 = p50_of(&mut baseline);
+    let disabled_p50 = p50_of(&mut disabled);
+    let enabled_p50 = p50_of(&mut enabled);
+    let disabled_limit = baseline_p50 * OBS_DISABLED_MAX_RATIO + OBS_GATE_SLACK_US;
+    let enabled_limit = baseline_p50 * OBS_ENABLED_MAX_RATIO + OBS_GATE_SLACK_US;
+    if disabled_p50 > disabled_limit {
+        return Err(format!(
+            "tracing-disabled p50 {disabled_p50:.0} us exceeds {disabled_limit:.0} us \
+             (baseline {baseline_p50:.0} us × {OBS_DISABLED_MAX_RATIO} + {OBS_GATE_SLACK_US} us)"
+        ));
+    }
+    if enabled_p50 > enabled_limit {
+        return Err(format!(
+            "tracing-enabled p50 {enabled_p50:.0} us exceeds {enabled_limit:.0} us \
+             (baseline {baseline_p50:.0} us × {OBS_ENABLED_MAX_RATIO} + {OBS_GATE_SLACK_US} us)"
+        ));
+    }
+    let ratio = |p: f64| {
+        if baseline_p50 > 0.0 {
+            p / baseline_p50
+        } else {
+            0.0
+        }
+    };
+    Ok(Value::object(vec![
+        ("repeats", Value::from(OBS_GATE_REPEATS)),
+        ("samples_per_mode", Value::from(baseline.len())),
+        ("baseline_p50_us", Value::from(baseline_p50)),
+        ("disabled_p50_us", Value::from(disabled_p50)),
+        ("enabled_p50_us", Value::from(enabled_p50)),
+        ("disabled_ratio", Value::from(ratio(disabled_p50))),
+        ("enabled_ratio", Value::from(ratio(enabled_p50))),
+        ("disabled_limit_us", Value::from(disabled_limit)),
+        ("enabled_limit_us", Value::from(enabled_limit)),
+        ("metrics_page_validated", Value::Bool(true)),
+        ("gate", Value::from("pass")),
+    ]))
+}
+
 /// Runs the benchmark. On success every response matched its direct
 /// library-call reference; any mismatch is an `Err`. With
 /// `config.shards >= 2` a second phase replays the same load against a
@@ -425,6 +604,15 @@ pub fn run(config: &ServeBenchConfig) -> Result<ServeBenchReport, String> {
         .and_then(|mut c| c.get("/stats"))
         .map(|r| r.body)
         .unwrap_or(Value::Null);
+    // Traced replay + optional overhead gate run against the
+    // still-live server, after the timed phase so neither can touch
+    // the headline numbers.
+    let stage_split = measure_stage_split(addr, config)?;
+    let obs_overhead = if config.obs_gate {
+        Some(run_obs_gate(addr, config)?)
+    } else {
+        None
+    };
     server.shutdown();
     let (verified, mismatches) = verify_recorded(&recorded, &engine, config.topk)?;
     let mono = summarize(latencies, wall_secs, verified, mismatches);
@@ -576,7 +764,11 @@ pub fn run(config: &ServeBenchConfig) -> Result<ServeBenchReport, String> {
             obj
         }),
         ("server_stats", server_stats),
+        ("stage_split", stage_split.clone()),
     ];
+    if let Some(gate) = &obs_overhead {
+        results.push(("obs_overhead", gate.clone()));
+    }
     if let Some(stats) = &sharded {
         results.push(("results_sharded", stats.to_json()));
         results.push((
@@ -631,6 +823,8 @@ pub fn run(config: &ServeBenchConfig) -> Result<ServeBenchReport, String> {
         cache_misses,
         sharded,
         approx,
+        stage_split,
+        obs_overhead,
         json,
     })
 }
@@ -653,6 +847,16 @@ pub fn run_to_file(
 mod tests {
     use super::*;
 
+    /// The stage split (and the gate) toggle the process-global
+    /// tracing flag and read global stage histograms; runs must not
+    /// overlap.
+    static RUN_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn locked_run(config: &ServeBenchConfig) -> Result<ServeBenchReport, String> {
+        let _guard = RUN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        run(config)
+    }
+
     #[test]
     fn small_load_run_verifies_all_responses() {
         let config = ServeBenchConfig {
@@ -665,7 +869,7 @@ mod tests {
             workers: 4,
             ..Default::default()
         };
-        let report = run(&config).unwrap();
+        let report = locked_run(&config).unwrap();
         assert_eq!(report.total_queries, 40);
         assert_eq!(report.verified, 40);
         assert_eq!(report.mismatches, 0);
@@ -694,7 +898,7 @@ mod tests {
             nprobe: 3,
             ..Default::default()
         };
-        let report = run(&config).unwrap();
+        let report = locked_run(&config).unwrap();
         let approx = report.approx.expect("approx phase ran");
         assert_eq!(approx.stats.total_queries, 40);
         assert_eq!(approx.stats.mismatches, 0);
@@ -723,13 +927,48 @@ mod tests {
             shards: 3,
             ..Default::default()
         };
-        let report = run(&config).unwrap();
+        let report = locked_run(&config).unwrap();
         let sharded = report.sharded.expect("sharded phase ran");
         assert_eq!(sharded.total_queries, 40);
         assert_eq!(sharded.verified, 40);
         assert_eq!(sharded.mismatches, 0);
         assert!(report.json.get("results_sharded").is_some());
         assert!(report.json.get("sharded_vs_monolithic_p50").is_some());
+    }
+
+    #[test]
+    fn obs_gate_passes_and_split_is_recorded() {
+        let config = ServeBenchConfig {
+            n: 80,
+            k: 2,
+            dim: 8,
+            clients: 4,
+            queries_per_client: 10,
+            topk: 5,
+            workers: 4,
+            obs_gate: true,
+            ..Default::default()
+        };
+        let report = locked_run(&config).unwrap();
+        // Every run measures the queue-wait vs backend split from the
+        // tracing stages.
+        let split = &report.stage_split;
+        assert!(split.get("queue_wait_count").unwrap().as_f64().unwrap() > 0.0);
+        assert!(split.get("backend_count").unwrap().as_f64().unwrap() > 0.0);
+        assert!(split.get("backend_mean_us").unwrap().as_f64().unwrap() > 0.0);
+        let share = split.get("queue_wait_share").unwrap().as_f64().unwrap();
+        assert!((0.0..=1.0).contains(&share), "share {share}");
+        // The gate ran, passed, and validated the live /metrics page.
+        let gate = report.obs_overhead.expect("gate requested");
+        assert_eq!(gate.get("gate").unwrap().as_str(), Some("pass"));
+        assert_eq!(
+            gate.get("metrics_page_validated").unwrap().as_bool(),
+            Some(true)
+        );
+        assert!(gate.get("baseline_p50_us").unwrap().as_f64().unwrap() > 0.0);
+        assert!(gate.get("samples_per_mode").unwrap().as_usize().unwrap() >= 60);
+        assert!(report.json.get("obs_overhead").is_some());
+        assert!(report.json.get("stage_split").is_some());
     }
 
     #[test]

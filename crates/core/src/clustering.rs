@@ -107,7 +107,15 @@ pub fn spectral_clustering_with(
     if let Some(init) = &params.init {
         eig_opts.init = Some(init.clone());
     }
+    // Stays open through rounding so `train.kmeans` nests inside it.
+    let mut spectral_span = mvag_obs::span("train.spectral");
     let pairs = smallest_eigenpairs(l, k, &eig_opts)?;
+    if spectral_span.is_live() {
+        spectral_span.counter("matvecs", pairs.matvecs as u64);
+        spectral_span.counter("rounds", pairs.stats.rounds as u64);
+        spectral_span.counter("restarts", pairs.stats.restarts as u64);
+        spectral_span.counter("reortho_sweeps", pairs.stats.reortho_sweeps as u64);
+    }
     let mut u = pairs.vectors;
     // Row-normalize (Ng–Jordan–Weiss); zero rows (isolated nodes with no
     // spectral mass) are left as-is and fall into whichever cluster owns
@@ -122,14 +130,17 @@ pub fn spectral_clustering_with(
             }
         }
     }
-    let labels = match params.rounding {
-        Rounding::KMeans => {
-            let mut km = KMeansParams::new(k);
-            km.restarts = params.restarts;
-            km.seed = params.seed;
-            kmeans(&u, &km)?.labels
+    let labels = {
+        let _rounding = mvag_obs::span("train.kmeans");
+        match params.rounding {
+            Rounding::KMeans => {
+                let mut km = KMeansParams::new(k);
+                km.restarts = params.restarts;
+                km.seed = params.seed;
+                kmeans(&u, &km)?.labels
+            }
+            Rounding::Discretize => discretize(&u, params.seed)?,
         }
-        Rounding::Discretize => discretize(&u, params.seed)?,
     };
     Ok(SpectralOutcome {
         labels,

@@ -138,6 +138,8 @@ pub fn embed_warm(
         }
         b => b,
     };
+    let mut span = mvag_obs::span("train.embed");
+    span.counter("dim", params.dim as u64);
     match backend {
         EmbedBackend::NetMf => netmf_small(l, params),
         EmbedBackend::Spectral => spectral_embed(l, params, warm),

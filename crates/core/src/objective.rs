@@ -28,7 +28,7 @@
 
 use crate::views::ViewLaplacians;
 use crate::{Result, SglaError};
-use mvag_sparse::eigen::{smallest_eigenvalues, EigOptions};
+use mvag_sparse::eigen::{smallest_eigenvalues_full, EigOptions};
 use mvag_sparse::FusedSumOp;
 use std::cell::{Cell, RefCell};
 
@@ -137,7 +137,20 @@ impl<'a> SglaObjective<'a> {
         self.views.validate_weights(weights)?;
         let mut op = self.fused.borrow_mut();
         op.set_weights(weights);
-        let eigenvalues = smallest_eigenvalues(&*op, self.k + 1, &self.eig)?;
+        // Each evaluation is one eigensolve — the expensive inner step
+        // of Algorithm 2. The span carries the solver's work counters
+        // so a trace shows *why* a given evaluation was slow
+        // (restarts, extra deflation rounds) and not just that it was.
+        let mut span = mvag_obs::span("train.eigensolve");
+        let eig_res = smallest_eigenvalues_full(&*op, self.k + 1, &self.eig)?;
+        if span.is_live() {
+            span.counter("matvecs", eig_res.matvecs as u64);
+            span.counter("rounds", eig_res.stats.rounds as u64);
+            span.counter("restarts", eig_res.stats.restarts as u64);
+            span.counter("reortho_sweeps", eig_res.stats.reortho_sweeps as u64);
+        }
+        drop(span);
+        let eigenvalues = eig_res.values;
         self.evaluations.set(self.evaluations.get() + 1);
         let lambda2 = eigenvalues[1];
         let lambda_k = eigenvalues[self.k - 1];

@@ -93,6 +93,7 @@ impl SglaPlus {
     /// # Errors
     /// Propagates objective, regression, and optimizer failures.
     pub fn integrate(&self, views: &ViewLaplacians, k: usize) -> Result<SglaOutcome> {
+        let _phase = mvag_obs::span("train.integrate");
         let obj = SglaObjective::new(views, k, self.params.gamma, self.params.mode, {
             let mut eig = self.params.eig.clone();
             eig.seed = self.params.seed;
@@ -116,6 +117,7 @@ impl SglaPlus {
         }
 
         // Line 7: regression for Θ*.
+        let mut surrogate_span = mvag_obs::span("train.surrogate");
         let surrogate = QuadraticSurrogate::fit(&samples, &values, self.params.alpha_r)?;
 
         // Lines 8–14: optimize the cheap surrogate.
@@ -135,8 +137,11 @@ impl SglaPlus {
         )?;
         let mut weights = expand_weights(&res.x);
         project_simplex(&mut weights);
+        surrogate_span.counter("surrogate_evals", res.evals as u64);
+        drop(surrogate_span);
 
         // Line 15: materialize L at w†.
+        let _agg = mvag_obs::span("train.aggregate");
         let laplacian = views.aggregate(&weights)?;
         if weights.iter().any(|w| !w.is_finite()) {
             return Err(SglaError::InvalidArgument(

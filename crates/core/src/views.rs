@@ -66,10 +66,13 @@ impl ViewLaplacians {
     /// # Errors
     /// Propagates KNN-construction failures (e.g. `K ≥ n`).
     pub fn build(mvag: &Mvag, knn: &KnnParams) -> Result<Self> {
+        let _phase = mvag_obs::span("train.views");
         let mut laplacians = Vec::with_capacity(mvag.r());
         let mut is_graph = Vec::with_capacity(mvag.r());
         let mut attr_idx = 0usize;
-        for view in mvag.views() {
+        for (view_idx, view) in mvag.views().iter().enumerate() {
+            let mut span = mvag_obs::span("train.view_laplacian");
+            span.counter("view", view_idx as u64);
             match view {
                 View::Graph(g) => {
                     laplacians.push(g.normalized_laplacian());
@@ -77,6 +80,7 @@ impl ViewLaplacians {
                 }
                 View::Attributes(x) => {
                     let k = knn.k_for(attr_idx).min(x.nrows().saturating_sub(1)).max(1);
+                    span.counter("knn_k", k as u64);
                     let g = knn_graph(
                         x,
                         &KnnConfig {
@@ -136,6 +140,7 @@ impl ViewLaplacians {
                 updated.n()
             )));
         }
+        let _phase = mvag_obs::span("train.views");
         let n_new = updated.n();
         let mut laplacians = Vec::with_capacity(self.r());
         let mut is_graph = Vec::with_capacity(self.r());

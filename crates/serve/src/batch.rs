@@ -34,6 +34,13 @@ struct Job {
     k: usize,
     mode: Mode,
     reply: mpsc::Sender<Result<Vec<Neighbor>>>,
+    /// Trace (request) id captured at submit time, so the drain
+    /// thread can attribute queue wait and kernel time to the HTTP
+    /// request even though it runs on its own thread. 0 = untraced.
+    trace: u64,
+    /// Submit timestamp (µs since the tracing epoch; 0 when tracing
+    /// was off at submit).
+    enqueued_us: u64,
 }
 
 #[derive(Default)]
@@ -129,11 +136,14 @@ impl Batcher {
             if q.shutdown {
                 return Err(crate::ServeError::Server("batcher is shut down".into()));
             }
+            let traced = mvag_obs::enabled();
             q.jobs.push(Job {
                 node,
                 k,
                 mode,
                 reply: tx,
+                trace: if traced { mvag_obs::current_trace() } else { 0 },
+                enqueued_us: if traced { mvag_obs::now_us() } else { 0 },
             });
         }
         self.shared.available.notify_one();
@@ -176,6 +186,22 @@ fn drain_loop(shared: &Shared, backend: &dyn QueryBackend, max_batch: usize) {
         // One drained batch may mix exact and approx queries; each
         // flavor gets its own kernel pass (they share the pass with
         // their own kind — the shapes of the two scans differ).
+        let traced = mvag_obs::enabled();
+        if traced {
+            // Queue wait per request: submit → pickup by this drain.
+            let picked_up = mvag_obs::now_us();
+            for job in &batch {
+                if job.enqueued_us != 0 {
+                    mvag_obs::record(
+                        job.trace,
+                        "serve.queue_wait",
+                        job.enqueued_us,
+                        picked_up.saturating_sub(job.enqueued_us),
+                        1,
+                    );
+                }
+            }
+        }
         let mut exact: Vec<(usize, (usize, usize))> = Vec::new();
         let mut approx: Vec<(usize, (usize, usize, usize))> = Vec::new();
         for (pos, job) in batch.iter().enumerate() {
@@ -185,15 +211,49 @@ fn drain_loop(shared: &Shared, backend: &dyn QueryBackend, max_batch: usize) {
             }
         }
         let mut answers: Vec<Option<Result<Vec<Neighbor>>>> = batch.iter().map(|_| None).collect();
+        // Runs one kernel pass with the first traced job's id as the
+        // ambient trace (so backend-internal spans — router fan-out,
+        // lazy shard loads — attach to *a* request of the batch; when
+        // batches are bigger than one, siblings share those inner
+        // spans), then records the pass as a `serve.backend` stage on
+        // *every* job's trace — the per-request backend-time stage.
+        let run_pass = |members: &[usize], pass: &dyn Fn() -> Vec<Result<Vec<Neighbor>>>| {
+            if !traced {
+                return pass();
+            }
+            let pass_trace = members
+                .iter()
+                .map(|&pos| batch[pos].trace)
+                .find(|&t| t != 0)
+                .unwrap_or(0);
+            let start_us = mvag_obs::now_us();
+            let results = mvag_obs::with_trace(pass_trace, pass);
+            let dur_us = mvag_obs::now_us().saturating_sub(start_us);
+            for &pos in members {
+                mvag_obs::record_with(
+                    batch[pos].trace,
+                    "serve.backend",
+                    start_us,
+                    dur_us,
+                    1,
+                    vec![("batch", members.len() as u64)],
+                );
+            }
+            results
+        };
         if !exact.is_empty() {
             let queries: Vec<(usize, usize)> = exact.iter().map(|&(_, q)| q).collect();
-            for (&(pos, _), answer) in exact.iter().zip(backend.top_k_batch(&queries)) {
+            let members: Vec<usize> = exact.iter().map(|&(pos, _)| pos).collect();
+            let results = run_pass(&members, &|| backend.top_k_batch(&queries));
+            for (&(pos, _), answer) in exact.iter().zip(results) {
                 answers[pos] = Some(answer);
             }
         }
         if !approx.is_empty() {
             let queries: Vec<(usize, usize, usize)> = approx.iter().map(|&(_, q)| q).collect();
-            for (&(pos, _), answer) in approx.iter().zip(backend.top_k_batch_approx(&queries)) {
+            let members: Vec<usize> = approx.iter().map(|&(pos, _)| pos).collect();
+            let results = run_pass(&members, &|| backend.top_k_batch_approx(&queries));
+            for (&(pos, _), answer) in approx.iter().zip(results) {
                 answers[pos] = Some(answer);
             }
         }

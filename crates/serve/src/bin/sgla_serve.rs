@@ -74,16 +74,45 @@ const USAGE: &str = "usage:
   sgla-serve train  --out <file|dir> [--shards N] [--index ivf] [--nlist N]
                     [--dataset toy|<registry name>]
                     [--n N] [--k K] [--dim D] [--seed S] [--scale F]
+                    [--trace out.json]
   sgla-serve info   --artifact <file|manifest.json|shard dir>
   sgla-serve serve  --artifact <file|manifest.json|shard dir> [--addr HOST:PORT]
                     [--workers N] [--cache N] [--batch N] [--max-resident N]
-                    [--index ivf] [--nlist N]
+                    [--index ivf] [--nlist N] [--trace on]
   sgla-serve update --artifact <file> [--out <file|dir>] [--shards N]
                     [--dataset toy|<name>] [--n N] [--k K] [--dim D] [--seed S]
                     [--scale F] [--replay d1.mvd,d2.mvd]
                     [--add-nodes M] [--update-seed S]
                     [--delta file.mvd] [--delta-out file.mvd]
-                    [--index ivf] [--nlist N] [--notify HOST:PORT]";
+                    [--index ivf] [--nlist N] [--notify HOST:PORT]
+                    [--trace out.json]
+
+  train/update --trace writes a Chrome trace-event JSON file of the
+  pipeline's phase spans (open in chrome://tracing or Perfetto);
+  serve --trace on enables request tracing (GET /traces).";
+
+/// Arms pipeline tracing when `--trace <path>` was passed: clears any
+/// stale spans and returns the output path.
+fn trace_path(flags: &Flags) -> Option<PathBuf> {
+    let path = flags.get("trace").map(PathBuf::from)?;
+    mvag_obs::set_enabled(true);
+    mvag_obs::clear();
+    Some(path)
+}
+
+/// Drains the recorded spans into a Chrome trace-event JSON file.
+fn write_trace(path: &Path) -> Result<(), String> {
+    let records = mvag_obs::drain();
+    mvag_obs::set_enabled(false);
+    std::fs::write(path, mvag_obs::chrome_trace_json(&records))
+        .map_err(|e| format!("--trace {}: {e}", path.display()))?;
+    println!(
+        "wrote {} ({} spans, chrome://tracing / Perfetto format)",
+        path.display(),
+        records.len()
+    );
+    Ok(())
+}
 
 /// Tiny flag parser: `--key value` pairs after the subcommand.
 struct Flags(Vec<(String, String)>);
@@ -171,13 +200,22 @@ fn train(args: &[String]) -> Result<(), String> {
     // Parse before training: a bad value must not cost a training run.
     let shards: usize = flags.parse_num("shards", 1)?;
     let index_config = flags.parse_index()?;
+    let trace_out = trace_path(&flags);
     let started = std::time::Instant::now();
-    let artifact = Artifact::train(&mvag, &config).map_err(|e| e.to_string())?;
+    // One trace id for the whole pipeline run, so the exported spans
+    // group like a single request.
+    let artifact = mvag_obs::with_trace(mvag_obs::next_request_id(), || {
+        Artifact::train(&mvag, &config)
+    })
+    .map_err(|e| e.to_string())?;
     println!(
         "trained in {:.2}s: weights {:?}",
         started.elapsed().as_secs_f64(),
         artifact.weights
     );
+    if let Some(path) = &trace_out {
+        write_trace(path)?;
+    }
     if shards > 1 {
         // Sharded layout: --out is a directory holding the manifest
         // plus one self-contained v2 artifact per row-range shard.
@@ -404,6 +442,7 @@ fn serve(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("--addr: {e}"))?,
         workers: flags.parse_num("workers", 8)?,
         max_batch: flags.parse_num("batch", 64)?,
+        trace: matches!(flags.get("trace"), Some("on" | "true" | "1")),
         ..ServerConfig::default()
     };
     // Reloadable serving: the loader closure re-reads the same path on
@@ -544,20 +583,28 @@ fn update(args: &[String]) -> Result<(), String> {
     let mut config = TrainConfig::default();
     config.sgla.seed = m.seed;
     config.embed.dim = flags.parse_num("dim", m.dim)?;
+    let trace_out = trace_path(&flags);
+    let update_trace = mvag_obs::next_request_id();
     let started = std::time::Instant::now();
-    let views =
-        sgla_core::views::ViewLaplacians::build(&base, &config.knn).map_err(|e| e.to_string())?;
+    let views = mvag_obs::with_trace(update_trace, || {
+        sgla_core::views::ViewLaplacians::build(&base, &config.knn)
+    })
+    .map_err(|e| e.to_string())?;
     let views_secs = started.elapsed().as_secs_f64();
     let started = std::time::Instant::now();
-    let outcome = artifact
-        .update(&views, &base, &delta, &config)
-        .map_err(|e| e.to_string())?;
+    let outcome = mvag_obs::with_trace(update_trace, || {
+        artifact.update(&views, &base, &delta, &config)
+    })
+    .map_err(|e| e.to_string())?;
     println!(
         "updated in {:.2}s (+{:.2}s rebuilding base view Laplacians — a resident trainer \
          keeps these cached)",
         started.elapsed().as_secs_f64(),
         views_secs
     );
+    if let Some(path) = &trace_out {
+        write_trace(path)?;
+    }
     let updated = &outcome.artifact;
 
     if shards > 1 {

@@ -26,6 +26,9 @@ pub struct HttpResponse {
     pub status: u16,
     /// Parsed JSON body.
     pub body: Value,
+    /// The `x-request-id` header the server stamped on the response,
+    /// if present.
+    pub request_id: Option<String>,
 }
 
 impl HttpClient {
@@ -69,7 +72,8 @@ impl HttpClient {
         );
         self.writer.write_all(head.as_bytes())?;
         self.writer.flush()?;
-        self.read_raw()
+        let (status, text, _) = self.read_raw()?;
+        Ok((status, text))
     }
 
     /// `POST path` with a JSON body → parsed response.
@@ -94,12 +98,16 @@ impl HttpClient {
 
     fn read_response(&mut self) -> Result<HttpResponse> {
         let bad = |msg: &str| ServeError::Server(format!("bad response: {msg}"));
-        let (status, text) = self.read_raw()?;
+        let (status, text, request_id) = self.read_raw()?;
         let body = json::parse(&text).map_err(|e| bad(&format!("body not JSON: {e}")))?;
-        Ok(HttpResponse { status, body })
+        Ok(HttpResponse {
+            status,
+            body,
+            request_id,
+        })
     }
 
-    fn read_raw(&mut self) -> Result<(u16, String)> {
+    fn read_raw(&mut self) -> Result<(u16, String, Option<String>)> {
         let bad = |msg: &str| ServeError::Server(format!("bad response: {msg}"));
         let mut status_line = String::new();
         if self.reader.read_line(&mut status_line)? == 0 {
@@ -111,6 +119,7 @@ impl HttpClient {
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| bad("malformed status line"))?;
         let mut content_length = 0usize;
+        let mut request_id = None;
         loop {
             let mut header = String::new();
             if self.reader.read_line(&mut header)? == 0 {
@@ -126,12 +135,14 @@ impl HttpClient {
                         .trim()
                         .parse()
                         .map_err(|_| bad("bad content-length"))?;
+                } else if name.eq_ignore_ascii_case("x-request-id") {
+                    request_id = Some(value.trim().to_string());
                 }
             }
         }
         let mut raw = vec![0u8; content_length];
         self.reader.read_exact(&mut raw)?;
         let text = String::from_utf8(raw).map_err(|_| bad("body not UTF-8"))?;
-        Ok((status, text))
+        Ok((status, text, request_id))
     }
 }

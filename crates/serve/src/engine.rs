@@ -342,7 +342,14 @@ impl QueryEngine {
             }
         }
         if !jobs.is_empty() {
+            let mut span = mvag_obs::span("serve.scan");
+            span.counter("queries", jobs.len() as u64);
+            span.counter(
+                "rows_scanned",
+                (jobs.len() * self.artifact.meta.rows().saturating_sub(1)) as u64,
+            );
             let results = self.scan_block_topk(&jobs);
+            drop(span);
             let mut cache = self.cache.lock().expect("cache lock");
             for ((qi, slot), result) in work.into_iter().zip(results) {
                 cache.insert(jobs[slot], result.clone());
@@ -400,6 +407,8 @@ impl QueryEngine {
             jobs.push((node, k.min(n - 1), nprobe));
         }
         if !jobs.is_empty() {
+            let mut probe_span = mvag_obs::span("serve.ivf_probe");
+            probe_span.counter("queries", jobs.len() as u64);
             // One concurrent query parallelizes over its probed lists;
             // a batch parallelizes across queries instead (same policy
             // as the exact kernel: the batch is the unit of work).
@@ -428,6 +437,8 @@ impl QueryEngine {
             };
             for (slot, (scored, stats)) in work.into_iter().zip(results) {
                 self.counters.record_search(&stats);
+                probe_span.counter("lists_scanned", stats.lists_scanned as u64);
+                probe_span.counter("rows_scanned", stats.rows_scanned as u64);
                 answers[slot] = Some(Ok(scored
                     .into_iter()
                     .map(|s| Neighbor {

@@ -23,10 +23,19 @@
 //! | `POST /reload`         | re-load the artifact and hot-swap it in    |
 //! |                        | (reloadable servers only — see             |
 //! |                        | [`Server::start_reloadable`])              |
+//! | `GET /traces?n=K`      | the K most recent request traces (span     |
+//! |                        | trees from the `mvag_obs` ring buffer)     |
+//! | `GET /traces/slow`     | recent requests slower than                |
+//! |                        | `?threshold_us=T` (the slow-query log)     |
 //!
 //! Top-k requests go through the [`Batcher`], so concurrent clients
 //! are micro-batched into shared kernel passes (exact and approx
 //! queries each share passes with their own kind).
+//!
+//! Every response (including early 400s for malformed requests and
+//! 5xx error paths) carries an `x-request-id: req-<16 hex digits>`
+//! header; with [`ServerConfig::trace`] enabled the same id is the
+//! trace id of the request's span tree in `/traces`.
 
 use crate::backend::QueryBackend;
 use crate::batch::Batcher;
@@ -57,6 +66,11 @@ pub struct ServerConfig {
     pub max_batch: usize,
     /// Per-connection read timeout.
     pub read_timeout: Duration,
+    /// Enable request tracing at startup (`mvag_obs::set_enabled`):
+    /// every request records a span tree served back on `/traces`.
+    /// Off by default — the disabled instrumentation path is a single
+    /// atomic load per site.
+    pub trace: bool,
 }
 
 impl Default for ServerConfig {
@@ -66,6 +80,7 @@ impl Default for ServerConfig {
             workers: mvag_sparse::parallel::default_threads().max(4),
             max_batch: 64,
             read_timeout: Duration::from_secs(30),
+            trace: false,
         }
     }
 }
@@ -152,6 +167,9 @@ impl Server {
         reload: Option<ReloadState>,
         config: &ServerConfig,
     ) -> Result<Server> {
+        if config.trace {
+            mvag_obs::set_enabled(true);
+        }
         let listener = TcpListener::bind(config.addr)?;
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(ServerShared {
@@ -335,7 +353,8 @@ fn handle_connection(stream: TcpStream, shared: &ServerShared, read_timeout: Dur
             Ok(None) => return, // clean EOF between requests
             Err(e) => {
                 // Malformed request: answer 400 if the peer is still
-                // there, then drop the connection.
+                // there, then drop the connection. Even this path gets
+                // a request id, so the failure is referenceable.
                 let body = error_body(&e.to_string());
                 let _ = write_response(
                     &mut writer,
@@ -344,14 +363,25 @@ fn handle_connection(stream: TcpStream, shared: &ServerShared, read_timeout: Dur
                     "application/json",
                     &body,
                     false,
+                    mvag_obs::next_request_id(),
                 );
                 return;
             }
         };
         let _ = peer; // kept for future access logging
         let keep_alive = request.keep_alive && !shared.stop.load(Ordering::SeqCst);
+        // One id per request, allocated at accept: it rides the
+        // response as `x-request-id` and — when tracing is on — is the
+        // trace id every span of this request attaches to, all the way
+        // down through the batcher and the shard fan-out.
+        let request_id = mvag_obs::next_request_id();
         let started = Instant::now();
-        let (endpoint, status, body) = route(&request, shared);
+        let (endpoint, status, body) = mvag_obs::with_trace(request_id, || {
+            let mut root = mvag_obs::span("serve.request");
+            let out = route(&request, shared);
+            root.counter("status", u64::from(out.1));
+            out
+        });
         if let Some(m) = shared.metrics.endpoint(endpoint) {
             m.record(started.elapsed(), status < 400);
         }
@@ -370,9 +400,16 @@ fn handle_connection(stream: TcpStream, shared: &ServerShared, read_timeout: Dur
             503 => "Service Unavailable",
             _ => "Internal Server Error",
         };
-        if write_response(&mut writer, status, reason, content_type, &body, keep_alive).is_err()
-            || !keep_alive
-        {
+        let written = write_response(
+            &mut writer,
+            status,
+            reason,
+            content_type,
+            &body,
+            keep_alive,
+            request_id,
+        );
+        if written.is_err() || !keep_alive {
             return;
         }
     }
@@ -494,6 +531,13 @@ const MAX_BODY: usize = 4 << 20;
 /// `MAX_BODY`.
 const MAX_EMBED_NODES: usize = 4096;
 
+/// Formats a request id the way it appears in the `x-request-id`
+/// header and in `/traces` bodies.
+fn format_request_id(id: u64) -> String {
+    format!("req-{id:016x}")
+}
+
+#[allow(clippy::too_many_arguments)]
 fn write_response(
     writer: &mut TcpStream,
     status: u16,
@@ -501,11 +545,13 @@ fn write_response(
     content_type: &str,
     body: &str,
     keep_alive: bool,
+    request_id: u64,
 ) -> std::io::Result<()> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
     let head = format!(
-        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n",
-        body.len()
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {connection}\r\nx-request-id: {}\r\n\r\n",
+        body.len(),
+        format_request_id(request_id)
     );
     writer.write_all(head.as_bytes())?;
     writer.write_all(body.as_bytes())?;
@@ -586,7 +632,9 @@ fn route(request: &Request, shared: &ServerShared) -> (&'static str, u16, String
         },
         ("POST", ["embed"]) => embed_route(request, shared),
         ("POST", ["reload"]) => reload_route(shared),
-        (_, ["healthz" | "stats" | "metrics" | "artifact" | "embed" | "reload"])
+        ("GET", ["traces"]) => ("traces", 200, traces_body(&request.query, false)),
+        ("GET", ["traces", "slow"]) => ("traces", 200, traces_body(&request.query, true)),
+        (_, ["healthz" | "stats" | "metrics" | "artifact" | "embed" | "reload" | "traces"])
         | (_, ["cluster" | "topk", _]) => ("other", 405, error_body("method not allowed")),
         _ => ("other", 404, error_body("no such endpoint")),
     }
@@ -807,6 +855,7 @@ fn stats_body(shared: &ServerShared, reset: bool) -> String {
         .collect();
     let (cache_hits, cache_misses) = shared.backend.cache_stats();
     let index = shared.backend.index_stats();
+    let pool = mvag_sparse::pool::WorkerPool::global().stats();
     Value::object(vec![
         ("uptime_secs", Value::from(shared.metrics.uptime_secs())),
         ("window_secs", Value::from(window_secs)),
@@ -842,9 +891,114 @@ fn stats_body(shared: &ServerShared, reset: bool) -> String {
                 ("rows_scanned", Value::from(index.rows_scanned)),
             ]),
         ),
+        // The resolved worker-pool configuration (after SGLA_THREADS
+        // resolution) plus its dispatch counters — the answer to "how
+        // many threads is this server actually using, and is dispatch
+        // latency eating the fan-out win?".
+        (
+            "pool",
+            Value::object(vec![
+                ("threads", Value::from(pool.threads)),
+                ("kind", Value::from(pool.kind)),
+                ("jobs", Value::from(pool.jobs)),
+                ("inline_jobs", Value::from(pool.inline_jobs)),
+                (
+                    "dispatch_wait_us",
+                    Value::from(pool.dispatch_wait_ns / 1_000),
+                ),
+                ("parks", Value::from(pool.parks)),
+                ("unparks", Value::from(pool.unparks)),
+            ]),
+        ),
+        ("tracing", Value::Bool(mvag_obs::enabled())),
         ("endpoints", Value::Array(endpoints)),
     ])
     .to_string_compact()
+}
+
+/// Default number of traces `/traces` returns.
+const DEFAULT_TRACES: usize = 16;
+
+/// Cap on `?n=` for `/traces`: bounds the response size (the ring
+/// holds at most [`mvag_obs::ring_capacity`] spans anyway).
+const MAX_TRACES: usize = 256;
+
+/// Default `?threshold_us=` for `/traces/slow`.
+const DEFAULT_SLOW_THRESHOLD_US: u64 = 10_000;
+
+/// `/traces` and `/traces/slow` body: recent request span trees from
+/// the `mvag_obs` ring buffer, newest first. A trace qualifies when it
+/// has a `serve.request` root span; `/traces/slow` additionally
+/// filters to roots at least `?threshold_us=T` long (the slow-query
+/// log). Empty (with `"enabled": false`) when tracing is off.
+fn traces_body(query: &str, slow_only: bool) -> String {
+    use std::collections::BTreeMap;
+    let n = query_param(query, "n")
+        .and_then(|raw| raw.parse::<usize>().ok())
+        .unwrap_or(DEFAULT_TRACES)
+        .clamp(1, MAX_TRACES);
+    let threshold_us = query_param(query, "threshold_us")
+        .and_then(|raw| raw.parse::<u64>().ok())
+        .unwrap_or(DEFAULT_SLOW_THRESHOLD_US);
+    let mut by_trace: BTreeMap<u64, Vec<mvag_obs::SpanRecord>> = BTreeMap::new();
+    for r in mvag_obs::snapshot() {
+        if r.trace != 0 {
+            by_trace.entry(r.trace).or_default().push(r);
+        }
+    }
+    // (trace, root start, root duration, spans)
+    let mut traces: Vec<(u64, u64, u64, Vec<mvag_obs::SpanRecord>)> = Vec::new();
+    for (trace, spans) in by_trace {
+        let Some(root) = spans.iter().find(|r| r.name == "serve.request") else {
+            continue; // training/background trace or truncated by the ring
+        };
+        let (start, dur) = (root.start_us, root.dur_us);
+        if slow_only && dur < threshold_us {
+            continue;
+        }
+        traces.push((trace, start, dur, spans));
+    }
+    traces.sort_by_key(|&(_, start, _, _)| std::cmp::Reverse(start));
+    traces.truncate(n);
+    let items: Vec<Value> = traces
+        .into_iter()
+        .map(|(trace, start, dur, spans)| {
+            let span_items: Vec<Value> = spans
+                .iter()
+                .map(|r| {
+                    let counters: Vec<(&str, Value)> = r
+                        .counters
+                        .iter()
+                        .map(|&(key, value)| (key, Value::from(value)))
+                        .collect();
+                    Value::object(vec![
+                        ("name", Value::from(r.name)),
+                        ("start_us", Value::from(r.start_us)),
+                        ("dur_us", Value::from(r.dur_us)),
+                        ("depth", Value::from(usize::from(r.depth))),
+                        ("thread", Value::from(r.thread)),
+                        ("counters", Value::object(counters)),
+                    ])
+                })
+                .collect();
+            Value::object(vec![
+                ("request_id", Value::from(format_request_id(trace).as_str())),
+                ("trace", Value::from(trace)),
+                ("start_us", Value::from(start)),
+                ("dur_us", Value::from(dur)),
+                ("spans", Value::Array(span_items)),
+            ])
+        })
+        .collect();
+    let mut fields = vec![
+        ("enabled", Value::Bool(mvag_obs::enabled())),
+        ("count", Value::from(items.len())),
+    ];
+    if slow_only {
+        fields.push(("threshold_us", Value::from(threshold_us)));
+    }
+    fields.push(("traces", Value::Array(items)));
+    Value::object(fields).to_string_compact()
 }
 
 /// `/metrics` body: the Prometheus text exposition page — endpoint
@@ -892,5 +1046,7 @@ fn metrics_body(shared: &ServerShared) -> String {
     );
     page.push_str("# TYPE sgla_index_rows_scanned_total counter\n");
     let _ = writeln!(page, "sgla_index_rows_scanned_total {}", index.rows_scanned);
+    // Pipeline-stage histograms (sgla_stage_*) and worker-pool gauges.
+    crate::metrics::render_observability(&mut page);
     page
 }

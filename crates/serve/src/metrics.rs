@@ -160,10 +160,12 @@ pub struct MetricsRegistry {
     baseline: Mutex<(Vec<EndpointSnapshot>, Instant)>,
 }
 
-/// Endpoint labels, in registry order. `other` collects requests that
+/// Endpoint labels, in registry order. `traces` covers both
+/// `/traces` and `/traces/slow`; `other` collects requests that
 /// matched no route (404s, wrong methods).
-pub const ENDPOINTS: [&str; 9] = [
-    "healthz", "stats", "metrics", "artifact", "cluster", "topk", "embed", "reload", "other",
+pub const ENDPOINTS: [&str; 10] = [
+    "healthz", "stats", "metrics", "artifact", "cluster", "topk", "embed", "reload", "traces",
+    "other",
 ];
 
 impl Default for MetricsRegistry {
@@ -220,6 +222,7 @@ impl MetricsRegistry {
     pub fn render_prometheus(&self, out: &mut String) {
         use std::fmt::Write;
         let snaps = self.snapshots();
+        out.push_str("# HELP sgla_requests_total Requests served per endpoint.\n");
         out.push_str("# TYPE sgla_requests_total counter\n");
         for s in &snaps {
             let _ = writeln!(
@@ -228,6 +231,7 @@ impl MetricsRegistry {
                 s.name, s.requests
             );
         }
+        out.push_str("# HELP sgla_request_errors_total Non-2xx responses per endpoint.\n");
         out.push_str("# TYPE sgla_request_errors_total counter\n");
         for s in &snaps {
             let _ = writeln!(
@@ -236,6 +240,9 @@ impl MetricsRegistry {
                 s.name, s.errors
             );
         }
+        out.push_str(
+            "# HELP sgla_request_latency_us Request latency per endpoint (microseconds).\n",
+        );
         out.push_str("# TYPE sgla_request_latency_us histogram\n");
         for s in &snaps {
             let mut cumulative = 0u64;
@@ -267,6 +274,7 @@ impl MetricsRegistry {
                 s.name, s.requests
             );
         }
+        out.push_str("# HELP sgla_uptime_seconds Seconds since the server started.\n");
         out.push_str("# TYPE sgla_uptime_seconds gauge\n");
         let _ = writeln!(out, "sgla_uptime_seconds {}", self.uptime_secs());
     }
@@ -298,6 +306,214 @@ impl MetricsRegistry {
             self.total_requests() as f64 / secs
         }
     }
+}
+
+/// Appends the pipeline-stage duration histograms collected by
+/// `mvag_obs` (one `sgla_stage_duration_us{stage=...}` series per
+/// distinct span name) and the worker-pool gauges from the process
+/// pool to a Prometheus text page. Stage counters are cumulative
+/// since process start and only grow while tracing is enabled.
+pub fn render_observability(out: &mut String) {
+    use std::fmt::Write;
+    let stages = mvag_obs::stage_snapshot();
+    out.push_str(
+        "# HELP sgla_stage_duration_us Duration of pipeline stages (training phases and \
+         serve request stages), microseconds.\n",
+    );
+    out.push_str("# TYPE sgla_stage_duration_us histogram\n");
+    for s in &stages {
+        let mut cumulative = 0u64;
+        for (i, &count) in s.buckets.iter().enumerate() {
+            cumulative += count;
+            if count == 0 && i + 1 != s.buckets.len() {
+                continue; // same compaction as the endpoint histograms
+            }
+            let _ = writeln!(
+                out,
+                "sgla_stage_duration_us_bucket{{stage=\"{}\",le=\"{}\"}} {cumulative}",
+                s.name,
+                1u128 << (i + 1)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "sgla_stage_duration_us_bucket{{stage=\"{}\",le=\"+Inf\"}} {cumulative}",
+            s.name
+        );
+        let _ = writeln!(
+            out,
+            "sgla_stage_duration_us_sum{{stage=\"{}\"}} {}",
+            s.name, s.sum_us
+        );
+        let _ = writeln!(
+            out,
+            "sgla_stage_duration_us_count{{stage=\"{}\"}} {}",
+            s.name, s.count
+        );
+    }
+    let pool = mvag_sparse::pool::WorkerPool::global().stats();
+    out.push_str("# HELP sgla_pool_threads Persistent worker-pool threads (resolved size).\n");
+    out.push_str("# TYPE sgla_pool_threads gauge\n");
+    let _ = writeln!(out, "sgla_pool_threads {}", pool.threads);
+    out.push_str("# HELP sgla_pool_jobs_total Broadcasts dispatched to the worker pool.\n");
+    out.push_str("# TYPE sgla_pool_jobs_total counter\n");
+    let _ = writeln!(out, "sgla_pool_jobs_total {}", pool.jobs);
+    out.push_str(
+        "# HELP sgla_pool_inline_jobs_total Broadcasts run inline (reentrant or single-thread).\n",
+    );
+    out.push_str("# TYPE sgla_pool_inline_jobs_total counter\n");
+    let _ = writeln!(out, "sgla_pool_inline_jobs_total {}", pool.inline_jobs);
+    out.push_str(
+        "# HELP sgla_pool_dispatch_wait_seconds_total Time the dispatching thread spent \
+         waiting for workers to pick up broadcasts.\n",
+    );
+    out.push_str("# TYPE sgla_pool_dispatch_wait_seconds_total counter\n");
+    let _ = writeln!(
+        out,
+        "sgla_pool_dispatch_wait_seconds_total {}",
+        pool.dispatch_wait_ns as f64 / 1e9
+    );
+    out.push_str("# HELP sgla_pool_parks_total Times a pool worker parked on the condvar.\n");
+    out.push_str("# TYPE sgla_pool_parks_total counter\n");
+    let _ = writeln!(out, "sgla_pool_parks_total {}", pool.parks);
+    out.push_str("# HELP sgla_pool_unparks_total Times a parked pool worker was woken.\n");
+    out.push_str("# TYPE sgla_pool_unparks_total counter\n");
+    let _ = writeln!(out, "sgla_pool_unparks_total {}", pool.unparks);
+}
+
+/// Validates a Prometheus text-exposition page:
+///
+/// * every sample's metric family is preceded by a `# TYPE` line;
+/// * histogram `_bucket` series have strictly increasing `le` bounds
+///   with non-decreasing cumulative counts, end in `le="+Inf"`, and
+///   the `+Inf` count equals the family's `_count` sample;
+/// * every `sgla_stage_*` and `sgla_pool_*` family carries a `# HELP`.
+///
+/// Shared by the e2e conformance test and the serve benchmark's
+/// scrape-and-validate step.
+///
+/// # Errors
+/// A human-readable description of the first violation found.
+pub fn validate_prometheus(page: &str) -> std::result::Result<(), String> {
+    use std::collections::{BTreeMap, HashMap, HashSet};
+    let mut types: HashMap<String, String> = HashMap::new();
+    let mut helps: HashSet<String> = HashSet::new();
+    // (family, labels-without-le) → ordered (le, cumulative count).
+    let mut buckets: BTreeMap<(String, String), Vec<(f64, f64)>> = BTreeMap::new();
+    let mut counts: HashMap<(String, String), f64> = HashMap::new();
+    for (lineno, line) in page.lines().enumerate() {
+        let where_ = |msg: String| format!("line {}: {msg}", lineno + 1);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let (Some(name), Some(kind)) = (it.next(), it.next()) else {
+                return Err(where_("malformed # TYPE line".into()));
+            };
+            types.insert(name.to_string(), kind.to_string());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let Some(name) = rest.split_whitespace().next() else {
+                return Err(where_("malformed # HELP line".into()));
+            };
+            helps.insert(name.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // arbitrary comment
+        }
+        // Sample: name[{labels}] value
+        let (name_labels, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| where_("sample line without a value".into()))?;
+        let value: f64 = value
+            .parse()
+            .map_err(|_| where_(format!("unparsable sample value '{value}'")))?;
+        let (name, labels) = match name_labels.split_once('{') {
+            Some((n, rest)) => {
+                let labels = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| where_("unterminated label set".into()))?;
+                (n, labels)
+            }
+            None => (name_labels, ""),
+        };
+        // Resolve the family: histogram sample suffixes collapse.
+        let family = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suffix| {
+                name.strip_suffix(suffix)
+                    .filter(|base| types.get(*base).map(String::as_str) == Some("histogram"))
+            })
+            .unwrap_or(name);
+        if !types.contains_key(family) {
+            return Err(where_(format!("sample '{name}' has no preceding # TYPE")));
+        }
+        let base_labels: String = labels
+            .split(',')
+            .filter(|l| !l.starts_with("le=") && !l.is_empty())
+            .collect::<Vec<_>>()
+            .join(",");
+        let key = (family.to_string(), base_labels);
+        if name.ends_with("_bucket") && types.get(family).map(String::as_str) == Some("histogram") {
+            let le_raw = labels
+                .split(',')
+                .find_map(|l| l.strip_prefix("le=\"").and_then(|v| v.strip_suffix('"')))
+                .ok_or_else(|| where_(format!("bucket sample '{name}' without le label")))?;
+            let le = if le_raw == "+Inf" {
+                f64::INFINITY
+            } else {
+                le_raw
+                    .parse()
+                    .map_err(|_| where_(format!("unparsable le bound '{le_raw}'")))?
+            };
+            buckets.entry(key).or_default().push((le, value));
+        } else if name.ends_with("_count")
+            && types.get(family).map(String::as_str) == Some("histogram")
+        {
+            counts.insert(key, value);
+        }
+    }
+    for ((family, labels), series) in &buckets {
+        let label = if labels.is_empty() {
+            family.clone()
+        } else {
+            format!("{family}{{{labels}}}")
+        };
+        for pair in series.windows(2) {
+            if pair[1].0 <= pair[0].0 {
+                return Err(format!("{label}: le bounds not increasing"));
+            }
+            if pair[1].1 < pair[0].1 {
+                return Err(format!("{label}: bucket counts not cumulative"));
+            }
+        }
+        let Some(&(last_le, last_count)) = series.last() else {
+            continue;
+        };
+        if !last_le.is_infinite() {
+            return Err(format!("{label}: histogram missing le=\"+Inf\" bucket"));
+        }
+        match counts.get(&(family.clone(), labels.clone())) {
+            Some(&count) if count == last_count => {}
+            Some(&count) => {
+                return Err(format!(
+                    "{label}: +Inf bucket {last_count} != _count {count}"
+                ))
+            }
+            None => return Err(format!("{label}: histogram without a _count sample")),
+        }
+    }
+    for family in types.keys() {
+        if (family.starts_with("sgla_stage_") || family.starts_with("sgla_pool_"))
+            && !helps.contains(family)
+        {
+            return Err(format!("{family}: observability family without # HELP"));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -392,5 +608,46 @@ mod tests {
         assert!(page.contains("sgla_request_latency_us_bucket{endpoint=\"topk\",le=\"+Inf\"} 1"));
         assert!(page.contains("sgla_request_latency_us_sum{endpoint=\"topk\"} 100"));
         assert!(page.contains("sgla_uptime_seconds"));
+    }
+
+    #[test]
+    fn rendered_page_passes_validation() {
+        let r = MetricsRegistry::new();
+        r.endpoint("topk")
+            .unwrap()
+            .record(Duration::from_micros(100), true);
+        r.endpoint("embed")
+            .unwrap()
+            .record(Duration::from_micros(7), false);
+        let mut page = String::new();
+        r.render_prometheus(&mut page);
+        render_observability(&mut page);
+        validate_prometheus(&page).unwrap();
+        assert!(page.contains("# HELP sgla_pool_threads"));
+        assert!(page.contains("sgla_pool_threads "));
+    }
+
+    #[test]
+    fn validator_rejects_violations() {
+        // Sample before its TYPE line.
+        let page = "sgla_x_total 1\n# TYPE sgla_x_total counter\n";
+        assert!(validate_prometheus(page).unwrap_err().contains("# TYPE"));
+        // Non-cumulative buckets.
+        let page = "# TYPE h histogram\n\
+                    h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\n\
+                    h_count 5\nh_sum 9\n";
+        assert!(validate_prometheus(page)
+            .unwrap_err()
+            .contains("cumulative"));
+        // +Inf bucket disagrees with _count.
+        let page = "# TYPE h histogram\n\
+                    h_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 5\nh_count 6\nh_sum 9\n";
+        assert!(validate_prometheus(page).unwrap_err().contains("_count"));
+        // Missing +Inf bucket entirely.
+        let page = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_count 5\nh_sum 9\n";
+        assert!(validate_prometheus(page).unwrap_err().contains("+Inf"));
+        // Observability family without HELP.
+        let page = "# TYPE sgla_pool_threads gauge\nsgla_pool_threads 4\n";
+        assert!(validate_prometheus(page).unwrap_err().contains("# HELP"));
     }
 }

@@ -263,7 +263,10 @@ impl ShardRouter {
         // Load outside the lock: a slow disk must not serialize
         // queries against already-resident shards. Two threads may
         // race to load the same shard; the loser's copy is dropped.
+        let mut span = mvag_obs::span("serve.shard_load");
+        span.counter("shard", idx as u64);
         let engine = Arc::new(self.load_shard(idx)?);
+        drop(span);
         let mut slots = self.slots.lock().expect("slot lock");
         if slots[idx].engine.is_none() {
             slots[idx].engine = Some(Arc::clone(&engine));
@@ -527,8 +530,14 @@ impl ShardRouter {
         let unbounded = self.config.max_resident == 0 || self.config.max_resident >= shard_count;
         if unbounded {
             let threads = self.config.engine.threads.max(1);
+            // Pool workers have no ambient trace of their own; carry
+            // the caller's over so per-shard spans (lazy loads, probe
+            // scans) attach to the request being fanned out.
+            let trace = mvag_obs::current_trace();
             parallel::par_map(shard_count, threads, |s| {
-                self.engine_for(s).and_then(|engine| scan(&engine))
+                mvag_obs::with_trace(trace, || {
+                    self.engine_for(s).and_then(|engine| scan(&engine))
+                })
             })
         } else {
             (0..shard_count)
@@ -540,10 +549,19 @@ impl ShardRouter {
     /// Scores every job against every shard and merges (the exact
     /// path: each shard scans all of its rows).
     fn fan_out(&self, jobs: &[(usize, usize)]) -> Result<Vec<Vec<Neighbor>>> {
+        let mut span = mvag_obs::span("serve.fan_out");
+        span.counter("jobs", jobs.len() as u64);
+        span.counter("shards", self.manifest.shards.len() as u64);
         let nodes: Vec<usize> = jobs.iter().map(|&(node, _)| node).collect();
         let vectors = self.gather_query_vectors(&nodes)?;
         // per_shard[s][j]: shard s's best k for job j.
         let per_shard = self.scan_all_shards(|engine| {
+            let mut scan = mvag_obs::span("serve.scan");
+            scan.counter("queries", jobs.len() as u64);
+            scan.counter(
+                "rows_scanned",
+                (jobs.len() * engine.artifact().meta.rows()) as u64,
+            );
             Ok(jobs
                 .iter()
                 .zip(&vectors)
@@ -552,6 +570,7 @@ impl ShardRouter {
                 })
                 .collect::<Vec<Vec<Neighbor>>>())
         });
+        let _merge = mvag_obs::span("serve.merge");
         let mut merged: Vec<TopKHeap> = jobs.iter().map(|&(_, k)| TopKHeap::new(k)).collect();
         for shard_results in per_shard {
             for (heap, partial) in merged.iter_mut().zip(shard_results?) {
@@ -638,20 +657,34 @@ impl ShardRouter {
     /// router's counters (per-shard engine counters would be lost on
     /// eviction).
     fn fan_out_approx(&self, jobs: &[ApproxQuery]) -> Result<Vec<Vec<Neighbor>>> {
+        let mut span = mvag_obs::span("serve.fan_out");
+        span.counter("jobs", jobs.len() as u64);
+        span.counter("shards", self.manifest.shards.len() as u64);
         let nodes: Vec<usize> = jobs.iter().map(|&(node, _, _)| node).collect();
         let vectors = self.gather_query_vectors(&nodes)?;
         let per_shard = self.scan_all_shards(|engine| {
-            jobs.iter()
+            let mut probe = mvag_obs::span("serve.ivf_probe");
+            probe.counter("queries", jobs.len() as u64);
+            let shard_results = jobs
+                .iter()
                 .zip(&vectors)
                 .map(|(&(node, k, nprobe), (qrow, qnorm))| {
                     engine.top_k_for_query_approx(qrow, *qnorm, k, nprobe, Some(node))
                 })
-                .collect::<Result<Vec<_>>>()
+                .collect::<Result<Vec<_>>>()?;
+            for (_, stats) in &shard_results {
+                probe.counter("lists_scanned", stats.lists_scanned as u64);
+                probe.counter("rows_scanned", stats.rows_scanned as u64);
+            }
+            Ok(shard_results)
         });
+        let _merge = mvag_obs::span("serve.merge");
         let mut merged: Vec<TopKHeap> = jobs.iter().map(|&(_, k, _)| TopKHeap::new(k)).collect();
         for shard_results in per_shard {
             for (heap, (partial, stats)) in merged.iter_mut().zip(shard_results?) {
                 self.counters.record_search(&stats);
+                span.counter("lists_scanned", stats.lists_scanned as u64);
+                span.counter("rows_scanned", stats.rows_scanned as u64);
                 for neighbor in partial {
                     heap.push(neighbor);
                 }

@@ -114,10 +114,15 @@ fn save_load_serve_and_query() {
         }
     }
 
-    // Stats reflect the traffic we just generated.
+    // Stats reflect the traffic we just generated, and report the
+    // resolved worker-pool configuration.
     let stats = client.get("/stats").unwrap();
     assert_eq!(stats.status, 200);
     assert!(stats.body.get("total_requests").unwrap().as_f64().unwrap() >= 90.0);
+    let pool = stats.body.get("pool").unwrap();
+    assert!(pool.get("threads").unwrap().as_usize().unwrap() >= 1);
+    let kind = pool.get("kind").unwrap().as_str().unwrap();
+    assert!(["inline", "static", "steal"].contains(&kind), "{kind}");
 
     server.shutdown();
 }
@@ -263,13 +268,18 @@ fn approx_mode_metrics_and_stats_reset_over_http() {
     assert!(second.get("window_requests").unwrap().as_f64().unwrap() <= 2.0);
     assert!(second.get("total_requests").unwrap().as_f64().unwrap() >= 8.0);
 
-    // /metrics is a Prometheus text page with the index counters.
+    // /metrics is a Prometheus text page with the index counters, and
+    // the whole page conforms to the text exposition format (TYPE
+    // lines, cumulative monotone buckets, +Inf == _count).
     let (status, page) = client.get_text("/metrics").unwrap();
     assert_eq!(status, 200);
     assert!(page.contains("# TYPE sgla_requests_total counter"));
     assert!(page.contains("sgla_requests_total{endpoint=\"topk\"}"));
     assert!(page.contains("sgla_index_enabled 1"));
     assert!(page.contains("sgla_index_rows_scanned_total"));
+    sgla_serve::metrics::validate_prometheus(&page)
+        .unwrap_or_else(|e| panic!("/metrics not conformant: {e}"));
+    assert!(page.contains("# TYPE sgla_pool_threads gauge"));
     // The metrics page itself shows up in endpoint counters, and the
     // client connection stays usable after the text response.
     assert_eq!(client.get("/healthz").unwrap().status, 200);
@@ -554,6 +564,79 @@ fn live_reload_hot_swaps_the_updated_artifact() {
 
     server.shutdown();
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn every_response_carries_a_request_id() {
+    let (server, _engine) = start_server(trained_artifact());
+    let mut client = HttpClient::connect(server.local_addr()).unwrap();
+
+    let id_of = |res: &sgla_serve::HttpResponse| {
+        let id = res
+            .request_id
+            .clone()
+            .unwrap_or_else(|| panic!("no x-request-id on status {}", res.status));
+        assert!(id.starts_with("req-") && id.len() == 20, "got {id}");
+        id
+    };
+
+    // Success and every error class: 200, 400, 404, 405.
+    let ok = id_of(&client.get("/healthz").unwrap());
+    let bad = client.get("/cluster/notanumber").unwrap();
+    assert_eq!(bad.status, 400);
+    id_of(&bad);
+    let missing = client.get("/nope").unwrap();
+    assert_eq!(missing.status, 404);
+    id_of(&missing);
+    let wrong_method = client.post("/cluster/1", &Value::Null).unwrap();
+    assert_eq!(wrong_method.status, 405);
+    id_of(&wrong_method);
+    let no_reload = client.post("/reload", &Value::object(vec![])).unwrap();
+    assert_eq!(no_reload.status, 400);
+    id_of(&no_reload);
+
+    // Ids are fresh per request.
+    assert_ne!(ok, id_of(&client.get("/healthz").unwrap()));
+
+    // Even a request the parser rejects outright gets one.
+    {
+        use std::io::{Read, Write};
+        let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+            .unwrap();
+        stream.write_all(b"BOGUS\r\n\r\n").unwrap();
+        let mut response = Vec::new();
+        let _ = stream.read_to_end(&mut response);
+        let head = String::from_utf8_lossy(&response);
+        assert!(head.starts_with("HTTP/1.1 400"), "got: {head:.80}");
+        assert!(head.to_ascii_lowercase().contains("x-request-id: req-"));
+    }
+    server.shutdown();
+
+    // A failed hot-reload (503) is stamped too: the loader below works
+    // once at startup, then refuses.
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let armed = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&armed);
+    let loader: sgla_serve::BackendLoader = Box::new(move || {
+        if flag.swap(true, Ordering::SeqCst) {
+            return Err(sgla_serve::ServeError::Server("loader down".into()));
+        }
+        let engine = QueryEngine::new(trained_artifact(), EngineConfig::default())?;
+        Ok(Arc::new(engine) as Arc<dyn sgla_serve::QueryBackend>)
+    });
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".parse().unwrap(),
+        workers: 2,
+        ..ServerConfig::default()
+    };
+    let reloadable = Server::start_reloadable(loader, &config).unwrap();
+    let mut client = HttpClient::connect(reloadable.local_addr()).unwrap();
+    let failed = client.post("/reload", &Value::object(vec![])).unwrap();
+    assert_eq!(failed.status, 503);
+    id_of(&failed);
+    reloadable.shutdown();
 }
 
 #[test]

@@ -91,12 +91,41 @@ pub struct EigResult {
     pub matvecs: usize,
     /// Whether all requested pairs met the residual tolerance.
     pub converged: bool,
+    /// Iteration-level work counters (observability; zero on the dense
+    /// fallback path, which performs none of the counted steps).
+    pub stats: EigStats,
+}
+
+/// Work counters of one Lanczos solve, surfaced so callers (training
+/// spans, benchmarks) can attribute time without instrumenting the
+/// solver's hot loops themselves.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EigStats {
+    /// Deflated Lanczos passes run (locking rounds plus
+    /// multiplicity-verification probes).
+    pub rounds: usize,
+    /// Breakdown restarts: invariant subspaces hit mid-pass, each
+    /// answered with a fresh orthogonal start direction.
+    pub restarts: usize,
+    /// Full reorthogonalization sweeps performed (each sweep is two
+    /// projection passes over deflation set + basis).
+    pub reortho_sweeps: usize,
 }
 
 /// Computes the `k` smallest eigenvalues (no eigenvector matrix assembled)
 /// of a symmetric operator. See [`smallest_eigenpairs`].
 pub fn smallest_eigenvalues(op: &dyn LinOp, k: usize, opts: &EigOptions) -> Result<Vec<f64>> {
     run(op, k, opts, false).map(|r| r.values)
+}
+
+/// Like [`smallest_eigenvalues`] but returns the full [`EigResult`]
+/// (with an empty eigenvector matrix) so callers can read the matvec
+/// and iteration counters alongside the values.
+///
+/// # Errors
+/// See [`smallest_eigenpairs`].
+pub fn smallest_eigenvalues_full(op: &dyn LinOp, k: usize, opts: &EigOptions) -> Result<EigResult> {
+    run(op, k, opts, false)
 }
 
 /// Computes the `k` smallest eigenpairs of a symmetric operator.
@@ -156,6 +185,7 @@ fn run(op: &dyn LinOp, k: usize, opts: &EigOptions, want_vectors: bool) -> Resul
     };
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let mut matvecs = 0usize;
+    let mut stats = EigStats::default();
     let mut locked = Locked {
         values: Vec::with_capacity(k + 4),
         vectors: Vec::with_capacity(k + 4),
@@ -172,6 +202,7 @@ fn run(op: &dyn LinOp, k: usize, opts: &EigOptions, want_vectors: bool) -> Resul
         &mut rng,
         &mut init_cols,
         &mut matvecs,
+        &mut stats,
         &mut locked,
         &mut all_converged,
     )?;
@@ -202,6 +233,7 @@ fn run(op: &dyn LinOp, k: usize, opts: &EigOptions, want_vectors: bool) -> Resul
                 &mut rng,
                 &mut init_cols,
                 &mut matvecs,
+                &mut stats,
                 &mut ProbeInto {
                     base: &locked,
                     extra: &mut probe,
@@ -244,6 +276,7 @@ fn run(op: &dyn LinOp, k: usize, opts: &EigOptions, want_vectors: bool) -> Resul
         vectors,
         matvecs,
         converged: all_converged,
+        stats,
     })
 }
 
@@ -310,6 +343,7 @@ fn lock_pairs<S: LockSink>(
     rng: &mut StdRng,
     init: &mut std::collections::VecDeque<Vec<f64>>,
     matvecs: &mut usize,
+    stats: &mut EigStats,
     sink: &mut S,
     all_converged: &mut bool,
 ) -> Result<()> {
@@ -318,6 +352,7 @@ fn lock_pairs<S: LockSink>(
     let mut rounds = 0usize;
     while sink.locked_count() < target {
         rounds += 1;
+        stats.rounds += 1;
         if rounds > 64 {
             return Err(SparseError::NoConvergence {
                 algorithm: "lanczos deflation loop",
@@ -331,8 +366,16 @@ fn lock_pairs<S: LockSink>(
         }
         let need = target - sink.locked_count();
         let m_pass = m.min(n - deflate.len());
-        let (basis, alphas, betas, exhausted) =
-            lanczos_factorization(b_op, m_pass, &deflate, rng, init, matvecs, opts.threads)?;
+        let (basis, alphas, betas, exhausted) = lanczos_factorization(
+            b_op,
+            m_pass,
+            &deflate,
+            rng,
+            init,
+            matvecs,
+            stats,
+            opts.threads,
+        )?;
         let m_eff = alphas.len();
         if m_eff == 0 {
             return Ok(());
@@ -388,6 +431,7 @@ fn lanczos_factorization(
     rng: &mut StdRng,
     init: &mut std::collections::VecDeque<Vec<f64>>,
     matvecs: &mut usize,
+    stats: &mut EigStats,
     threads: usize,
 ) -> Result<(Vec<Vec<f64>>, Vec<f64>, Vec<f64>, bool)> {
     let n = op.dim();
@@ -398,7 +442,7 @@ fn lanczos_factorization(
     let mut w = vec![0.0f64; n];
     let mut exhausted = false;
 
-    let v0 = match fresh_direction(n, deflate, &basis, rng, init, threads) {
+    let v0 = match fresh_direction(n, deflate, &basis, rng, init, stats, threads) {
         Some(v) => v,
         None => return Ok((basis, alphas, betas, true)),
     };
@@ -414,6 +458,7 @@ fn lanczos_factorization(
             vecops::axpy(-betas[j - 1], &basis[j - 1], &mut w);
         }
         orthogonalize(&mut w, deflate, &basis, threads);
+        stats.reortho_sweeps += 1;
         let beta = vecops::norm2(&w);
         if j + 1 == m {
             betas.push(beta);
@@ -426,7 +471,8 @@ fn lanczos_factorization(
         } else {
             // Invariant subspace: restart with a fresh orthogonal direction.
             betas.push(0.0);
-            match fresh_direction(n, deflate, &basis, rng, init, threads) {
+            stats.restarts += 1;
+            match fresh_direction(n, deflate, &basis, rng, init, stats, threads) {
                 Some(fresh) => basis.push(fresh),
                 None => {
                     exhausted = true;
@@ -506,12 +552,14 @@ fn assemble_ritz(basis: &[Vec<f64>], tri_vectors: &DenseMatrix, col: usize) -> V
     out
 }
 
+#[allow(clippy::too_many_arguments)]
 fn fresh_direction(
     n: usize,
     deflate: &[&[f64]],
     basis: &[Vec<f64>],
     rng: &mut StdRng,
     init: &mut std::collections::VecDeque<Vec<f64>>,
+    stats: &mut EigStats,
     threads: usize,
 ) -> Option<Vec<f64>> {
     if deflate.len() + basis.len() >= n {
@@ -522,6 +570,7 @@ fn fresh_direction(
     // the next column or the random fallback.
     while let Some(mut w) = init.pop_front() {
         orthogonalize(&mut w, deflate, basis, threads);
+        stats.reortho_sweeps += 1;
         if vecops::normalize(&mut w) > 1e-8 {
             return Some(w);
         }
@@ -529,6 +578,7 @@ fn fresh_direction(
     for _attempt in 0..6 {
         let mut w: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() - 0.5).collect();
         orthogonalize(&mut w, deflate, basis, threads);
+        stats.reortho_sweeps += 1;
         if vecops::normalize(&mut w) > 1e-8 {
             return Some(w);
         }
@@ -585,6 +635,7 @@ fn dense_path(op: &dyn LinOp, k: usize, want_vectors: bool) -> Result<EigResult>
         vectors,
         matvecs: n,
         converged: true,
+        stats: EigStats::default(),
     })
 }
 

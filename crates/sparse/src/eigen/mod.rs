@@ -17,6 +17,9 @@ pub mod subspace;
 pub mod tridiag;
 
 pub use jacobi::jacobi_eig;
-pub use lanczos::{smallest_eigenpairs, smallest_eigenvalues, EigOptions, EigResult};
+pub use lanczos::{
+    smallest_eigenpairs, smallest_eigenvalues, smallest_eigenvalues_full, EigOptions, EigResult,
+    EigStats,
+};
 pub use subspace::{smallest_eigenpairs_subspace, SubspaceOptions};
 pub use tridiag::SymTridiag;

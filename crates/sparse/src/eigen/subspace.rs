@@ -177,6 +177,7 @@ pub fn smallest_eigenpairs_subspace(
         vectors,
         matvecs,
         converged: true,
+        stats: super::lanczos::EigStats::default(),
     })
 }
 

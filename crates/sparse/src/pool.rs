@@ -49,6 +49,7 @@ use std::ops::Range;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Lifetime-erased pointer to the active task. Only ever dereferenced
 /// while the submitting `broadcast` call is blocked waiting for it.
@@ -96,6 +97,27 @@ struct Shared {
     /// oversubscribed CPU wastes whole scheduler quanta and *adds*
     /// latency, so oversubscribed pools go straight to the condvar.
     spin_limit: u32,
+    /// Observability counters (relaxed atomics, touched only on paths
+    /// that already pay a lock or a futex — never in task bodies).
+    counters: Counters,
+}
+
+/// Relaxed-atomic observability counters for one pool. All monotone;
+/// read out as gauges by [`WorkerPool::stats`].
+#[derive(Default)]
+struct Counters {
+    /// Broadcasts dispatched to parked workers.
+    jobs: AtomicU64,
+    /// Broadcasts that ran inline (width-1 pool or nested submit).
+    inline_jobs: AtomicU64,
+    /// Total nanoseconds submitters spent in the completion handshake
+    /// (spin + condvar wait) after finishing their own share — the
+    /// pool's dispatch/synchronization overhead, excluding task time.
+    dispatch_wait_ns: AtomicU64,
+    /// Times a worker gave up spinning and parked on the condvar.
+    parks: AtomicU64,
+    /// Times a parked worker returned from a condvar wait.
+    unparks: AtomicU64,
 }
 
 impl Shared {
@@ -111,6 +133,28 @@ thread_local! {
     /// True while the current thread is executing a pool task (worker
     /// threads permanently; the submitter during its own participation).
     static IN_POOL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Point-in-time copy of a pool's observability counters, suitable for
+/// rendering as metrics gauges. All counts are cumulative since pool
+/// creation; see [`WorkerPool::stats`].
+#[derive(Debug, Clone, Copy)]
+pub struct PoolStats {
+    /// Logical parallel width (participants per broadcast).
+    pub threads: usize,
+    /// Scheduling strategy label (see [`WorkerPool::kind`]).
+    pub kind: &'static str,
+    /// Broadcasts dispatched to parked workers.
+    pub jobs: u64,
+    /// Broadcasts that ran inline (width-1 pool or nested submit).
+    pub inline_jobs: u64,
+    /// Total nanoseconds submitters spent waiting for workers to finish
+    /// after completing their own share (dispatch/sync overhead).
+    pub dispatch_wait_ns: u64,
+    /// Times a worker parked on the condvar after spinning out.
+    pub parks: u64,
+    /// Times a parked worker returned from a condvar wait.
+    pub unparks: u64,
 }
 
 /// A persistent pool of parked worker threads. See the module docs.
@@ -162,6 +206,7 @@ impl WorkerPool {
             epoch_hint: AtomicU64::new(0),
             remaining_hint: AtomicUsize::new(0),
             spin_limit: if threads <= hw { 4096 } else { 0 },
+            counters: Counters::default(),
         });
         let mut handles = Vec::with_capacity(threads - 1);
         for i in 0..threads - 1 {
@@ -194,6 +239,34 @@ impl WorkerPool {
         self.threads
     }
 
+    /// Short label for the pool's scheduling strategy: `"inline"`
+    /// (width 1, no workers), `"static"` (oversubscribed, static
+    /// contiguous partitioning), or `"steal"` (atomic chunk stealing).
+    pub fn kind(&self) -> &'static str {
+        if self.handles.is_empty() {
+            "inline"
+        } else if self.oversubscribed {
+            "static"
+        } else {
+            "steal"
+        }
+    }
+
+    /// Snapshot of the pool's observability counters (cumulative since
+    /// pool creation).
+    pub fn stats(&self) -> PoolStats {
+        let c = &self.shared.counters;
+        PoolStats {
+            threads: self.threads,
+            kind: self.kind(),
+            jobs: c.jobs.load(Ordering::Relaxed),
+            inline_jobs: c.inline_jobs.load(Ordering::Relaxed),
+            dispatch_wait_ns: c.dispatch_wait_ns.load(Ordering::Relaxed),
+            parks: c.parks.load(Ordering::Relaxed),
+            unparks: c.unparks.load(Ordering::Relaxed),
+        }
+    }
+
     /// Runs `task(participant)` once on every participant (the submitter
     /// is participant 0, workers are `1..threads`) and returns when all
     /// are done. A panic in any participant is re-raised here after the
@@ -203,6 +276,10 @@ impl WorkerPool {
     /// of width 1, the task runs inline on the current thread only.
     pub fn broadcast(&self, task: &(dyn Fn(usize) + Sync)) {
         if self.handles.is_empty() || IN_POOL.with(|f| f.get()) {
+            self.shared
+                .counters
+                .inline_jobs
+                .fetch_add(1, Ordering::Relaxed);
             task(0);
             return;
         }
@@ -238,6 +315,7 @@ impl WorkerPool {
         // Workers usually finish within the tail of one chunk; spin
         // briefly before sleeping on the condvar so the common case
         // skips a futex round-trip (skipped on oversubscribed CPUs).
+        let wait_started = Instant::now();
         let mut spins = 0u32;
         while spins < self.shared.spin_limit
             && self.shared.remaining_hint.load(Ordering::Acquire) > 0
@@ -252,6 +330,11 @@ impl WorkerPool {
             }
             st.panic.take()
         };
+        self.shared
+            .counters
+            .dispatch_wait_ns
+            .fetch_add(wait_started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.shared.counters.jobs.fetch_add(1, Ordering::Relaxed);
         drop(guard);
         if let Err(payload) = own {
             std::panic::resume_unwind(payload);
@@ -404,6 +487,7 @@ fn worker_loop(shared: &Shared, participant: usize) {
         }
         let (job, epoch) = {
             let mut st = shared.lock();
+            let mut parked = false;
             loop {
                 if st.shutdown {
                     return;
@@ -413,7 +497,14 @@ fn worker_loop(shared: &Shared, participant: usize) {
                         break (job, st.epoch);
                     }
                 }
+                // One park per idle period, however many spurious wakes
+                // the condvar delivers; every wait return is an unpark.
+                if !parked {
+                    parked = true;
+                    shared.counters.parks.fetch_add(1, Ordering::Relaxed);
+                }
                 st = shared.work.wait(st).unwrap_or_else(|e| e.into_inner());
+                shared.counters.unparks.fetch_add(1, Ordering::Relaxed);
             }
         };
         last_epoch = epoch;
@@ -599,6 +690,31 @@ mod tests {
             j.join().unwrap();
         }
         assert_eq!(total.load(Ordering::Relaxed), 4 * 50 * 97);
+    }
+
+    #[test]
+    fn stats_count_jobs_and_parks() {
+        let pool = WorkerPool::new(3);
+        let before = pool.stats();
+        assert_eq!(before.threads, 3);
+        assert_eq!(before.kind, pool.kind());
+        for _ in 0..10 {
+            pool.broadcast(&|_p| {});
+        }
+        // Let the workers spin out and park, then dispatch once more.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        pool.broadcast(&|_p| {});
+        let after = pool.stats();
+        assert_eq!(after.jobs, before.jobs + 11);
+        assert!(after.parks >= before.parks);
+        assert!(after.unparks >= after.parks.saturating_sub(2));
+        // Width-1 pools only ever run inline.
+        let inline_pool = WorkerPool::new(1);
+        inline_pool.broadcast(&|_p| {});
+        let s = inline_pool.stats();
+        assert_eq!(s.kind, "inline");
+        assert_eq!(s.jobs, 0);
+        assert_eq!(s.inline_jobs, 1);
     }
 
     #[test]
