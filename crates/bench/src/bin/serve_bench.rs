@@ -1,20 +1,27 @@
 //! Serving load benchmark: ≥1000 concurrent top-k queries over HTTP
 //! against a freshly trained artifact, every response verified against
 //! direct library calls; p50/p99/QPS land in `BENCH_serve.json`.
-//! `--shards N` replays the same load against a shard router over the
-//! same artifact (verified bit-exactly against the monolithic engine)
-//! and reports both latency profiles. `--index ivf [--nlist N]
-//! [--nprobe N]` replays it as approximate queries against an
-//! IVF-indexed engine, with the exact engine as the recall oracle —
-//! the run fails below recall@k 0.9 or when probes stop being
-//! sublinear. `--obs-gate 1` additionally replays the load with
-//! tracing disabled and enabled, fails the run when tracing overhead
-//! breaches its p50 bounds, and scrape-validates the live `/metrics`
-//! page. Every run records the queue-wait vs backend-time split from
-//! the tracing stages.
+//! `--backend threaded|evented|both` picks the transport(s): with both
+//! (the default) the threaded run is the latency oracle and the
+//! evented p99 is gated against it; above 64 clients the threaded
+//! phase auto-skips and the evented phase multiplexes the whole fleet
+//! over a bounded driver-thread pool, asserting the server's own open
+//! gauge saw every connection at once. `--shards N` replays the same
+//! load against a shard router over the same artifact (verified
+//! bit-exactly against the monolithic engine) and reports both latency
+//! profiles. `--index ivf [--nlist N] [--nprobe N]` replays it as
+//! approximate queries against an IVF-indexed engine, with the exact
+//! engine as the recall oracle — the run fails below recall@k 0.9 or
+//! when probes stop being sublinear. `--obs-gate 1` additionally
+//! replays the load with tracing disabled and enabled, fails the run
+//! when tracing overhead breaches its p50 bounds, and scrape-validates
+//! the live `/metrics` page. Every run records the queue-wait vs
+//! backend-time split from the tracing stages. `--smoke 1` shrinks the
+//! workload to CI scale before the remaining flags apply.
 //!
 //! ```bash
 //! cargo run --release --bin serve_bench -- --clients 32 --queries 40
+//! cargo run --release --bin serve_bench -- --clients 1000 --backend evented
 //! cargo run --release --bin serve_bench -- --shards 4
 //! cargo run --release --bin serve_bench -- --index ivf --nprobe 4
 //! cargo run --release --bin serve_bench -- --obs-gate 1
@@ -28,6 +35,18 @@ fn main() -> ExitCode {
     let mut config = ServeBenchConfig::default();
     let mut out = PathBuf::from("BENCH_serve.json");
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // --smoke applies its defaults first so any explicit flag wins
+    // regardless of argument order.
+    let smoke = args
+        .windows(2)
+        .any(|w| w[0] == "--smoke" && matches!(w[1].as_str(), "1" | "true" | "on"));
+    if smoke {
+        config.n = 200;
+        config.k = 3;
+        config.dim = 8;
+        config.queries_per_client = 3;
+        config.topk = 5;
+    }
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let Some(value) = it.next() else {
@@ -35,6 +54,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         };
         let parsed = match flag.as_str() {
+            "--smoke" => true, // handled in the pre-scan above
+            "--backend" => match value.parse() {
+                Ok(backend) => {
+                    config.backend = backend;
+                    true
+                }
+                Err(msg) => {
+                    eprintln!("--backend: {msg}");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--n" => value.parse().map(|v| config.n = v).is_ok(),
             "--k" => value.parse().map(|v| config.k = v).is_ok(),
             "--dim" => value.parse().map(|v| config.dim = v).is_ok(),
@@ -75,7 +105,8 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "serve_bench: n={} clients={} queries/client={} topk={} workers={} max_batch={}",
+        "serve_bench: backend={} n={} clients={} queries/client={} topk={} workers={} max_batch={}",
+        config.backend.as_str(),
         config.n,
         config.clients,
         config.queries_per_client,
@@ -100,6 +131,32 @@ fn main() -> ExitCode {
                 "cache:     {} hits / {} misses",
                 report.cache_hits, report.cache_misses
             );
+            // A dedicated evented section only when the threaded phase
+            // also ran (otherwise the headline numbers above already
+            // are the evented phase).
+            if report.json.get("results_evented").is_some() {
+                if let Some(evented) = &report.evented {
+                    println!(
+                        "evented:   p50 {:.0} us / p99 {:.0} us / mean {:.0} us / {:.0} qps \
+                         ({:+.1}% p99 vs threaded; gate ≤ ×3 + 5000 us)",
+                        evented.p50_us,
+                        evented.p99_us,
+                        evented.mean_us,
+                        evented.qps,
+                        if report.p99_us > 0.0 {
+                            (evented.p99_us / report.p99_us - 1.0) * 100.0
+                        } else {
+                            0.0
+                        }
+                    );
+                }
+            }
+            if let Some(open) = report.concurrent_connections {
+                println!(
+                    "conns:     {open} simultaneously open keep-alive connections \
+                     (server gauge, full fleet connected)"
+                );
+            }
             let split = &report.stage_split;
             if let (Some(queue), Some(backend), Some(share)) = (
                 split.get("queue_wait_mean_us").and_then(|v| v.as_f64()),

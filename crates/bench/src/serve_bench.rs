@@ -21,8 +21,8 @@
 
 use mvag_data::json::Value;
 use sgla_serve::{
-    Artifact, EngineConfig, HttpClient, IvfConfig, QueryEngine, RouterConfig, Server, ServerConfig,
-    ShardRouter, TrainConfig,
+    Artifact, EngineConfig, HttpClient, IvfConfig, QueryEngine, RouterConfig, ServeBackend, Server,
+    ServerConfig, ShardRouter, TrainConfig,
 };
 use std::net::SocketAddr;
 use std::sync::Arc;
@@ -36,9 +36,79 @@ pub const MIN_RECALL: f64 = 0.9;
 /// query is not approximating anything — fail loudly.
 pub const MAX_SCAN_FRACTION: f64 = 0.75;
 
+/// Which transport backend(s) to load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BenchBackend {
+    /// Thread-per-connection pool only.
+    Threaded,
+    /// Epoll readiness loop only.
+    Evented,
+    /// Both, with the evented p99 gated against the threaded oracle.
+    #[default]
+    Both,
+}
+
+impl BenchBackend {
+    fn wants_threaded(self) -> bool {
+        matches!(self, BenchBackend::Threaded | BenchBackend::Both)
+    }
+
+    fn wants_evented(self) -> bool {
+        matches!(self, BenchBackend::Evented | BenchBackend::Both)
+    }
+
+    /// Flag-style name, as accepted by `--backend`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BenchBackend::Threaded => "threaded",
+            BenchBackend::Evented => "evented",
+            BenchBackend::Both => "both",
+        }
+    }
+}
+
+impl std::str::FromStr for BenchBackend {
+    type Err = String;
+
+    fn from_str(raw: &str) -> Result<BenchBackend, String> {
+        match raw {
+            "threaded" => Ok(BenchBackend::Threaded),
+            "evented" => Ok(BenchBackend::Evented),
+            "both" => Ok(BenchBackend::Both),
+            other => Err(format!(
+                "unknown backend '{other}' (threaded, evented, or both)"
+            )),
+        }
+    }
+}
+
+/// Above this many clients the thread-per-connection pieces stop being
+/// meaningful on small hosts (the threaded server pins one worker per
+/// keep-alive connection and the plain driver spawns one OS thread per
+/// client): the threaded phase auto-skips and the evented phase
+/// switches to the multiplexed driver.
+pub const MAX_THREADED_CLIENTS: usize = 64;
+
+/// Driver threads for the high-concurrency mode; each multiplexes
+/// `clients / MAX_DRIVER_THREADS` keep-alive connections.
+const MAX_DRIVER_THREADS: usize = 32;
+
+/// When both backends run, the evented p99 may exceed the threaded p99
+/// by at most this factor (plus [`EVENTED_P99_SLACK_US`]) — the CI
+/// regression gate. Generous: the point is catching a collapsed event
+/// loop, not benchmarking noise.
+pub const EVENTED_P99_MAX_RATIO: f64 = 3.0;
+
+/// Absolute slack on the evented-vs-threaded p99 gate; tiny smoke
+/// workloads have p99s of a few hundred microseconds where a single
+/// scheduler hiccup swamps any ratio.
+pub const EVENTED_P99_SLACK_US: f64 = 5000.0;
+
 /// Benchmark configuration.
 #[derive(Debug, Clone)]
 pub struct ServeBenchConfig {
+    /// Which transport backend(s) to load.
+    pub backend: BenchBackend,
     /// Nodes in the synthetic training MVAG.
     pub n: usize,
     /// Planted clusters.
@@ -75,6 +145,7 @@ pub struct ServeBenchConfig {
 impl Default for ServeBenchConfig {
     fn default() -> Self {
         ServeBenchConfig {
+            backend: BenchBackend::default(),
             n: 400,
             k: 3,
             dim: 32,
@@ -178,6 +249,15 @@ pub struct ServeBenchReport {
     pub cache_hits: u64,
     /// Top-k cache misses observed by the engine.
     pub cache_misses: u64,
+    /// The evented-phase profile whenever that transport was loaded.
+    /// When the threaded phase was skipped (high client counts or
+    /// `backend = evented`) these numbers are also the headline
+    /// fields above.
+    pub evented: Option<PhaseStats>,
+    /// Open connections the server's own gauge reported with the
+    /// whole fleet connected — high-concurrency evented mode only,
+    /// asserted `>= clients` before the run can pass.
+    pub concurrent_connections: Option<usize>,
     /// The sharded-phase profile, when `shards >= 2` was requested.
     /// Verified against the *monolithic* engine, bit-exactly.
     pub sharded: Option<PhaseStats>,
@@ -280,6 +360,101 @@ fn drive_load(
         recorded.append(&mut rec);
     }
     Ok((latencies, recorded, phase_started.elapsed().as_secs_f64()))
+}
+
+/// High-concurrency driver for the evented backend: the whole fleet of
+/// keep-alive connections is opened up front and held open for the
+/// entire phase, but multiplexed over at most [`MAX_DRIVER_THREADS`]
+/// OS threads (round-robin within each thread) — 1000 connections must
+/// not need 1000 *client* threads any more than they need 1000 server
+/// threads. Returns the usual latency/record vectors plus the
+/// open-connection count the server itself reported mid-phase, with
+/// every connection up.
+fn drive_load_multiplexed(
+    addr: SocketAddr,
+    config: &ServeBenchConfig,
+) -> Result<(Vec<u64>, Vec<Recorded>, f64, usize), String> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let threads = config.clients.clamp(1, MAX_DRIVER_THREADS);
+    let barrier = Arc::new(std::sync::Barrier::new(threads));
+    let observed_open = Arc::new(AtomicUsize::new(0));
+    let phase_started = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let config = config.clone();
+        let barrier = Arc::clone(&barrier);
+        let observed_open = Arc::clone(&observed_open);
+        handles.push(std::thread::spawn(
+            move || -> Result<(Vec<u64>, Vec<Recorded>), String> {
+                // This thread owns connections t, t+threads, ... of
+                // the fleet, each with its own deterministic node mix.
+                let ids: Vec<usize> = (t..config.clients).step_by(threads).collect();
+                let mut conns = Vec::with_capacity(ids.len());
+                for &id in &ids {
+                    conns.push(HttpClient::connect(addr).map_err(|e| format!("conn {id}: {e}"))?);
+                }
+                let mut states: Vec<u64> = ids
+                    .iter()
+                    .map(|&id| {
+                        config
+                            .seed
+                            .wrapping_add(id as u64)
+                            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                            | 1
+                    })
+                    .collect();
+                // Every connection in the fleet is open before any
+                // query: the server gauge must see the full count.
+                barrier.wait();
+                if t == 0 {
+                    let open = conns[0]
+                        .get("/stats")
+                        .ok()
+                        .and_then(|r| {
+                            r.body
+                                .get("connections")
+                                .and_then(|c| c.get("open"))
+                                .and_then(Value::as_usize)
+                        })
+                        .unwrap_or(0);
+                    observed_open.store(open, Ordering::SeqCst);
+                }
+                let mut latencies = Vec::with_capacity(ids.len() * config.queries_per_client);
+                let mut recorded = Vec::with_capacity(ids.len() * config.queries_per_client);
+                for _ in 0..config.queries_per_client {
+                    for (ci, client) in conns.iter_mut().enumerate() {
+                        let state = &mut states[ci];
+                        *state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        let node = (*state >> 33) as usize % config.n;
+                        let started = Instant::now();
+                        let res = client
+                            .get(&format!("/topk/{node}?k={}", config.topk))
+                            .map_err(|e| format!("conn {}: {e}", ids[ci]))?;
+                        latencies.push(started.elapsed().as_micros() as u64);
+                        recorded.push((node, res.status, res.body));
+                    }
+                }
+                Ok((latencies, recorded))
+            },
+        ));
+    }
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut recorded: Vec<Recorded> = Vec::new();
+    for handle in handles {
+        let (mut lat, mut rec) = handle
+            .join()
+            .map_err(|_| "driver thread panicked".to_string())??;
+        latencies.append(&mut lat);
+        recorded.append(&mut rec);
+    }
+    Ok((
+        latencies,
+        recorded,
+        phase_started.elapsed().as_secs_f64(),
+        observed_open.load(std::sync::atomic::Ordering::SeqCst),
+    ))
 }
 
 /// Verification pass (untimed): every recorded response must match the
@@ -575,6 +750,27 @@ fn run_obs_gate(addr: SocketAddr, config: &ServeBenchConfig) -> Result<Value, St
 /// Training/serving failures, transport errors, or response
 /// mismatches, rendered as strings for the CLI.
 pub fn run(config: &ServeBenchConfig) -> Result<ServeBenchReport, String> {
+    // The threaded backend pins one worker per keep-alive connection
+    // and the plain driver spawns one OS thread per client — neither
+    // survives a 1000-client fleet on a small host, so that phase
+    // auto-skips above the cutoff rather than deadlocking.
+    let run_threaded = config.backend.wants_threaded() && config.clients <= MAX_THREADED_CLIENTS;
+    let run_evented = config.backend.wants_evented() && cfg!(target_os = "linux");
+    if !run_threaded && !run_evented {
+        return Err(format!(
+            "no backend to load: backend = {}, clients = {} (the threaded phase skips above \
+             {MAX_THREADED_CLIENTS} clients; the evented backend needs Linux)",
+            config.backend.as_str(),
+            config.clients
+        ));
+    }
+    if (config.shards >= 2 || config.index) && config.clients > MAX_THREADED_CLIENTS {
+        return Err(format!(
+            "the sharded/approx phases use the thread-per-client driver; \
+             run them with clients <= {MAX_THREADED_CLIENTS}"
+        ));
+    }
+
     let mvag = mvag_data::toy_mvag(config.n, config.k, config.seed);
     let mut train_config = TrainConfig::default();
     train_config.sgla.seed = config.seed;
@@ -590,38 +786,132 @@ pub fn run(config: &ServeBenchConfig) -> Result<ServeBenchReport, String> {
         ..ServerConfig::default()
     };
 
-    // Phase 1: monolithic engine.
+    // Phase 1: monolithic engine, loaded through each requested
+    // transport. The threaded run doubles as the latency oracle for
+    // the evented p99 gate; both serve the *same* engine, so the
+    // verification pass proves byte-level agreement between backends.
     let engine = Arc::new(
         QueryEngine::new(artifact.clone(), EngineConfig::default()).map_err(|e| e.to_string())?,
     );
-    let server = Server::start(Arc::clone(&engine), &server_config).map_err(|e| e.to_string())?;
-    let addr = server.local_addr();
-    let (latencies, recorded, wall_secs) = drive_load(addr, config, "")?;
-    // Snapshot server-side counters before the verification pass adds
-    // its own direct calls to the engine's cache statistics.
-    let (cache_hits, cache_misses) = engine.cache_stats();
-    let server_stats = HttpClient::connect(addr)
-        .and_then(|mut c| c.get("/stats"))
-        .map(|r| r.body)
-        .unwrap_or(Value::Null);
-    // Traced replay + optional overhead gate run against the
-    // still-live server, after the timed phase so neither can touch
-    // the headline numbers.
-    let stage_split = measure_stage_split(addr, config)?;
-    let obs_overhead = if config.obs_gate {
-        Some(run_obs_gate(addr, config)?)
-    } else {
-        None
-    };
-    server.shutdown();
-    let (verified, mismatches) = verify_recorded(&recorded, &engine, config.topk)?;
-    let mono = summarize(latencies, wall_secs, verified, mismatches);
-    if mono.mismatches > 0 {
-        return Err(format!(
-            "{} of {} monolithic responses did not match direct library calls",
-            mono.mismatches, mono.total_queries
-        ));
+    let mut threaded: Option<PhaseStats> = None;
+    let mut evented: Option<PhaseStats> = None;
+    let mut cache_counts: Option<(u64, u64)> = None;
+    let mut threaded_server_stats = Value::Null;
+    let mut evented_server_stats = Value::Null;
+    let mut stage_split = Value::Null;
+    let mut obs_overhead: Option<Value> = None;
+    let mut concurrent_connections: Option<usize> = None;
+
+    if run_threaded {
+        let server =
+            Server::start(Arc::clone(&engine), &server_config).map_err(|e| e.to_string())?;
+        let addr = server.local_addr();
+        let (latencies, recorded, wall_secs) = drive_load(addr, config, "")?;
+        // Snapshot server-side counters before the verification pass
+        // adds its own direct calls to the engine's cache statistics.
+        if cache_counts.is_none() {
+            cache_counts = Some(engine.cache_stats());
+        }
+        threaded_server_stats = HttpClient::connect(addr)
+            .and_then(|mut c| c.get("/stats"))
+            .map(|r| r.body)
+            .unwrap_or(Value::Null);
+        // Traced replay + optional overhead gate run against the
+        // still-live server, after the timed phase so neither can
+        // touch the headline numbers. They attach to the evented
+        // server when that phase runs (the primary transport), so
+        // only run them here when this is the sole phase.
+        if !run_evented {
+            stage_split = measure_stage_split(addr, config)?;
+            if config.obs_gate {
+                obs_overhead = Some(run_obs_gate(addr, config)?);
+            }
+        }
+        server.shutdown();
+        let (verified, mismatches) = verify_recorded(&recorded, &engine, config.topk)?;
+        let stats = summarize(latencies, wall_secs, verified, mismatches);
+        if stats.mismatches > 0 {
+            return Err(format!(
+                "{} of {} threaded responses did not match direct library calls",
+                stats.mismatches, stats.total_queries
+            ));
+        }
+        threaded = Some(stats);
     }
+
+    if run_evented {
+        let evented_config = ServerConfig {
+            backend: ServeBackend::Evented,
+            ..server_config.clone()
+        };
+        let server =
+            Server::start(Arc::clone(&engine), &evented_config).map_err(|e| e.to_string())?;
+        let addr = server.local_addr();
+        let (latencies, recorded, wall_secs) = if config.clients > MAX_THREADED_CLIENTS {
+            let (latencies, recorded, wall_secs, open) = drive_load_multiplexed(addr, config)?;
+            // The server's own gauge, read with the whole fleet
+            // connected, is the concurrency evidence.
+            if open < config.clients {
+                return Err(format!(
+                    "server reported {open} open connections with the full fleet connected; \
+                     expected at least {}",
+                    config.clients
+                ));
+            }
+            concurrent_connections = Some(open);
+            (latencies, recorded, wall_secs)
+        } else {
+            drive_load(addr, config, "")?
+        };
+        if cache_counts.is_none() {
+            cache_counts = Some(engine.cache_stats());
+        }
+        evented_server_stats = HttpClient::connect(addr)
+            .and_then(|mut c| c.get("/stats"))
+            .map(|r| r.body)
+            .unwrap_or(Value::Null);
+        stage_split = measure_stage_split(addr, config)?;
+        if config.obs_gate {
+            obs_overhead = Some(run_obs_gate(addr, config)?);
+        }
+        server.shutdown();
+        let (verified, mismatches) = verify_recorded(&recorded, &engine, config.topk)?;
+        let stats = summarize(latencies, wall_secs, verified, mismatches);
+        if stats.mismatches > 0 {
+            return Err(format!(
+                "{} of {} evented responses did not match direct library calls",
+                stats.mismatches, stats.total_queries
+            ));
+        }
+        evented = Some(stats);
+    }
+
+    // Regression gate: with both transports loaded, a collapsed event
+    // loop shows up as a blown-out evented p99 relative to the
+    // threaded oracle.
+    if let (Some(t), Some(e)) = (&threaded, &evented) {
+        let limit = t.p99_us * EVENTED_P99_MAX_RATIO + EVENTED_P99_SLACK_US;
+        if e.p99_us > limit {
+            return Err(format!(
+                "evented p99 {:.0} us exceeds the gate {:.0} us \
+                 (threaded p99 {:.0} us × {EVENTED_P99_MAX_RATIO} + {EVENTED_P99_SLACK_US} us)",
+                e.p99_us, limit, t.p99_us
+            ));
+        }
+    }
+
+    // Headline numbers: the threaded phase when it ran (back-compat
+    // with every earlier report), otherwise the evented phase.
+    let mono = threaded
+        .clone()
+        .or_else(|| evented.clone())
+        .expect("at least one backend ran");
+    let (cache_hits, cache_misses) = cache_counts.unwrap_or((0, 0));
+    let server_stats = if threaded.is_some() {
+        threaded_server_stats
+    } else {
+        evented_server_stats.clone()
+    };
 
     // Phase 2 (optional): the same load against a shard router over a
     // sharded copy of the same artifact, verified against the same
@@ -739,6 +1029,7 @@ pub fn run(config: &ServeBenchConfig) -> Result<ServeBenchReport, String> {
     let mut results = vec![
         ("config", {
             Value::object(vec![
+                ("backend", Value::from(config.backend.as_str())),
                 ("n", Value::from(config.n)),
                 ("k", Value::from(config.k)),
                 ("dim", Value::from(config.dim)),
@@ -766,6 +1057,24 @@ pub fn run(config: &ServeBenchConfig) -> Result<ServeBenchReport, String> {
         ("server_stats", server_stats),
         ("stage_split", stage_split.clone()),
     ];
+    // With both transports loaded, the evented phase gets its own
+    // section plus the gate ratio; with only the evented transport its
+    // numbers already *are* "results".
+    if let (Some(t), Some(e)) = (&threaded, &evented) {
+        results.push(("results_evented", e.to_json()));
+        results.push((
+            "evented_vs_threaded_p99",
+            Value::from(if t.p99_us > 0.0 {
+                e.p99_us / t.p99_us
+            } else {
+                0.0
+            }),
+        ));
+        results.push(("server_stats_evented", evented_server_stats.clone()));
+    }
+    if let Some(open) = concurrent_connections {
+        results.push(("concurrent_connections", Value::from(open)));
+    }
     if let Some(gate) = &obs_overhead {
         results.push(("obs_overhead", gate.clone()));
     }
@@ -821,6 +1130,8 @@ pub fn run(config: &ServeBenchConfig) -> Result<ServeBenchReport, String> {
         train_secs,
         cache_hits,
         cache_misses,
+        evented,
+        concurrent_connections,
         sharded,
         approx,
         stage_split,

@@ -1,6 +1,7 @@
 //! Micro-batching of concurrent top-k queries.
 //!
-//! HTTP worker threads don't call the scoring kernel directly; they
+//! Request threads — threaded-backend workers and evented-backend
+//! executors alike — don't call the scoring kernel directly; they
 //! submit jobs to a [`Batcher`] and block on a reply channel. A single
 //! drain thread collects everything that queued up while the previous
 //! batch was computing (up to `max_batch`) and answers the whole batch

@@ -43,6 +43,7 @@ use sgla_serve::{
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -77,7 +78,9 @@ const USAGE: &str = "usage:
                     [--trace out.json]
   sgla-serve info   --artifact <file|manifest.json|shard dir>
   sgla-serve serve  --artifact <file|manifest.json|shard dir> [--addr HOST:PORT]
-                    [--workers N] [--cache N] [--batch N] [--max-resident N]
+                    [--backend threaded|evented] [--workers N]
+                    [--max-conns N] [--idle-timeout SECS]
+                    [--cache N] [--batch N] [--max-resident N]
                     [--index ivf] [--nlist N] [--trace on]
   sgla-serve update --artifact <file> [--out <file|dir>] [--shards N]
                     [--dataset toy|<name>] [--n N] [--k K] [--dim D] [--seed S]
@@ -89,7 +92,10 @@ const USAGE: &str = "usage:
 
   train/update --trace writes a Chrome trace-event JSON file of the
   pipeline's phase spans (open in chrome://tracing or Perfetto);
-  serve --trace on enables request tracing (GET /traces).";
+  serve --trace on enables request tracing (GET /traces).
+  serve --backend evented runs the single-threaded epoll loop (Linux);
+  --max-conns caps open connections (503 shed beyond it, 0 = off) and
+  --idle-timeout reaps silent keep-alive connections.";
 
 /// Arms pipeline tracing when `--trace <path>` was passed: clears any
 /// stale spans and returns the output path.
@@ -440,10 +446,16 @@ fn serve(args: &[String]) -> Result<(), String> {
             .unwrap_or("127.0.0.1:7878")
             .parse()
             .map_err(|e| format!("--addr: {e}"))?,
+        backend: flags
+            .get("backend")
+            .map(str::parse)
+            .transpose()?
+            .unwrap_or_default(),
         workers: flags.parse_num("workers", 8)?,
         max_batch: flags.parse_num("batch", 64)?,
+        max_connections: flags.parse_num("max-conns", 10_000)?,
+        read_timeout: Duration::from_secs(flags.parse_num("idle-timeout", 30)?),
         trace: matches!(flags.get("trace"), Some("on" | "true" | "1")),
-        ..ServerConfig::default()
     };
     // Reloadable serving: the loader closure re-reads the same path on
     // POST /reload, and the fresh backend is hot-swapped in while

@@ -53,6 +53,16 @@ impl HttpClient {
         self.addr
     }
 
+    /// Overrides the default 30 s read timeout — tests waiting on a
+    /// server-side idle reap (or `None` to block indefinitely).
+    ///
+    /// # Errors
+    /// Socket option failures.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)?;
+        Ok(())
+    }
+
     /// `GET path` → parsed response.
     ///
     /// # Errors

@@ -1,0 +1,621 @@
+//! Evented HTTP backend: one epoll readiness loop owning all I/O.
+//!
+//! The thread-per-connection backend in [`crate::http`] caps
+//! concurrent keep-alive clients at the worker count — an idle client
+//! pins a worker. Here a single loop thread multiplexes every
+//! connection over level-triggered epoll (see [`crate::sys`]), so
+//! idle connections cost one registration and ~no memory, and the
+//! achievable connection count is bounded by fds, not threads.
+//!
+//! Per-connection state machine:
+//!
+//! ```text
+//!           EPOLLIN: read → parse_request
+//!   ┌─────────┐ Complete  ┌──────┐ completion ┌─────────┐
+//!   │ Reading ├──────────►│ Busy ├───────────►│ Writing │
+//!   └─────────┘ (dispatch)└──────┘ (response  └────┬────┘
+//!        ▲    Partial: keep interest,  queued)     │ write_buf drained
+//!        │    Bad: stage 400 → Writing             │ (EPOLLOUT while full)
+//!        └─────────────────────────────────────────┘
+//!          keep-alive: re-parse leftover (pipelining), else close
+//! ```
+//!
+//! Compute never runs on the loop thread: a `Busy` connection's
+//! request is handed to a small executor pool (which calls the same
+//! [`route`](crate::http)/[`Batcher`](crate::batch::Batcher) stack as
+//! the threaded backend, spans and request ids included); finished
+//! responses land on a mutex-protected completion queue and an
+//! eventfd wakes the loop to stage them. Backpressure is structural:
+//! a `Busy`/`Writing` connection has its `EPOLLIN` interest dropped,
+//! so a client cannot buffer unbounded pipelined requests, and slow
+//! readers hold their own response bytes, not a worker thread.
+//!
+//! Overload behavior is defined, not accidental: connections idle
+//! past the configured timeout are reaped (silent close when nothing
+//! was sent, `408` with a request id for a half-sent request — the
+//! slowloris guard), and accepts beyond the connection cap get a
+//! best-effort `503` and an immediate close ("shedding").
+
+use crate::http::{self, ServerShared};
+use crate::parser::{self, Parse, Request};
+use crate::sys::{Epoll, EpollEvent, EventFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+use crate::{Result, ServeError};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Token of the listening socket in the epoll registration.
+const LISTENER_TOKEN: u64 = 0;
+/// Token of the completion-queue eventfd.
+const WAKER_TOKEN: u64 = 1;
+/// First token handed to an accepted connection.
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// Upper bound on readiness events drained per `epoll_wait`.
+const EVENT_BATCH: usize = 256;
+
+/// `epoll_wait` timeout: bounds both shutdown latency (the stop flag
+/// is re-checked each wake) and idle-sweep granularity.
+const WAIT_MS: i32 = 250;
+
+/// How often the idle sweep walks the connection table.
+const SWEEP_INTERVAL: Duration = Duration::from_millis(500);
+
+/// Read chunk size per `read(2)` call on a ready connection.
+const READ_CHUNK: usize = 16 << 10;
+
+/// One request handed from the loop to the executor pool.
+struct Job {
+    token: u64,
+    request: Request,
+    request_id: u64,
+    enqueued: Instant,
+}
+
+/// One finished response travelling back to the loop.
+struct Completion {
+    token: u64,
+    bytes: Vec<u8>,
+    keep_alive: bool,
+}
+
+/// What the loop is doing with a connection right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnState {
+    /// Waiting for (more of) a request; `EPOLLIN` armed.
+    Reading,
+    /// A request is with the executor pool; all interest dropped.
+    Busy,
+    /// A response is (partially) buffered; `EPOLLOUT` armed until the
+    /// peer drains it.
+    Writing,
+}
+
+struct Conn {
+    stream: TcpStream,
+    state: ConnState,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    written: usize,
+    /// Keep the connection after the buffered response is flushed?
+    keep_alive_after: bool,
+    /// Currently-armed epoll interest mask.
+    interest: u32,
+    last_activity: Instant,
+}
+
+/// Handles to a running evented backend; created by
+/// [`EventedRuntime::start`], stopped via the server's stop flag plus
+/// [`EventedRuntime::wake`], then joined.
+pub(crate) struct EventedRuntime {
+    loop_handle: Option<JoinHandle<()>>,
+    executors: Vec<JoinHandle<()>>,
+    waker: Arc<EventFd>,
+}
+
+impl EventedRuntime {
+    /// Spawns the event-loop thread and `executors` compute threads
+    /// over an already-bound listener.
+    pub(crate) fn start(
+        listener: TcpListener,
+        shared: Arc<ServerShared>,
+        executors: usize,
+        max_connections: usize,
+        idle_timeout: Duration,
+    ) -> Result<EventedRuntime> {
+        let server_err = |what: &str, e: std::io::Error| ServeError::Server(format!("{what}: {e}"));
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| server_err("listener nonblocking", e))?;
+        let epoll = Epoll::new().map_err(|e| server_err("epoll_create1", e))?;
+        let waker = Arc::new(EventFd::new().map_err(|e| server_err("eventfd", e))?);
+        let completions: Arc<Mutex<Vec<Completion>>> = Arc::new(Mutex::new(Vec::new()));
+        let (job_tx, job_rx) = mpsc::channel::<Job>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let mut pool = Vec::with_capacity(executors.max(1));
+        for i in 0..executors.max(1) {
+            let rx = Arc::clone(&job_rx);
+            let shared_ref = Arc::clone(&shared);
+            let done = Arc::clone(&completions);
+            let bell = Arc::clone(&waker);
+            pool.push(
+                std::thread::Builder::new()
+                    .name(format!("sgla-exec-{i}"))
+                    .spawn(move || executor_loop(&rx, &shared_ref, &done, &bell))
+                    .map_err(|e| ServeError::Server(format!("spawn executor: {e}")))?,
+            );
+        }
+        let loop_waker = Arc::clone(&waker);
+        let loop_handle = std::thread::Builder::new()
+            .name("sgla-serve-loop".into())
+            .spawn(move || {
+                EventLoop {
+                    epoll,
+                    listener,
+                    waker: loop_waker,
+                    completions,
+                    job_tx,
+                    shared,
+                    conns: HashMap::new(),
+                    next_token: FIRST_CONN_TOKEN,
+                    max_connections,
+                    idle_timeout,
+                }
+                .run();
+            })
+            .map_err(|e| ServeError::Server(format!("spawn event loop: {e}")))?;
+        Ok(EventedRuntime {
+            loop_handle: Some(loop_handle),
+            executors: pool,
+            waker,
+        })
+    }
+
+    /// Kicks the loop out of `epoll_wait` (shutdown path; the caller
+    /// sets the stop flag first).
+    pub(crate) fn wake(&self) {
+        self.waker.wake();
+    }
+
+    /// Joins the loop thread, then the executors (the loop dropping
+    /// its job sender is what releases them).
+    pub(crate) fn join(&mut self) {
+        if let Some(handle) = self.loop_handle.take() {
+            let _ = handle.join();
+        }
+        for exec in self.executors.drain(..) {
+            let _ = exec.join();
+        }
+    }
+}
+
+/// Executor thread: blocking half of the backend. Pulls parsed
+/// requests, runs the shared route/batcher stack (span tree and
+/// request id exactly as on the threaded path), and rings the loop's
+/// doorbell with the rendered response.
+fn executor_loop(
+    rx: &Mutex<mpsc::Receiver<Job>>,
+    shared: &ServerShared,
+    completions: &Mutex<Vec<Completion>>,
+    waker: &EventFd,
+) {
+    loop {
+        let job = {
+            let guard = rx.lock().expect("evented job queue lock");
+            guard.recv()
+        };
+        let Ok(job) = job else {
+            return; // loop thread gone: shutdown
+        };
+        let keep_alive = job.request.keep_alive && !shared.stop.load(Ordering::SeqCst);
+        // Latency is measured from enqueue, so the recorded endpoint
+        // metrics include executor queue wait — same meaning as the
+        // threaded path's read-to-response clock.
+        let bytes = http::process_request(
+            &job.request,
+            shared,
+            job.request_id,
+            job.enqueued,
+            keep_alive,
+        );
+        completions
+            .lock()
+            .expect("completion queue lock")
+            .push(Completion {
+                token: job.token,
+                bytes,
+                keep_alive,
+            });
+        waker.wake();
+    }
+}
+
+struct EventLoop {
+    epoll: Epoll,
+    listener: TcpListener,
+    waker: Arc<EventFd>,
+    completions: Arc<Mutex<Vec<Completion>>>,
+    job_tx: mpsc::Sender<Job>,
+    shared: Arc<ServerShared>,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    /// Open-connection cap (0 = unlimited); accepts beyond it shed.
+    max_connections: usize,
+    idle_timeout: Duration,
+}
+
+impl EventLoop {
+    fn run(mut self) {
+        if self
+            .epoll
+            .add(self.listener.as_raw_fd(), EPOLLIN, LISTENER_TOKEN)
+            .is_err()
+        {
+            return;
+        }
+        if self
+            .epoll
+            .add(self.waker.as_raw_fd(), EPOLLIN, WAKER_TOKEN)
+            .is_err()
+        {
+            return;
+        }
+        let mut events = vec![EpollEvent::default(); EVENT_BATCH];
+        let mut last_sweep = Instant::now();
+        while !self.shared.stop.load(Ordering::SeqCst) {
+            let Ok(n) = self.epoll.wait(&mut events, WAIT_MS) else {
+                return; // a broken epoll fd is unrecoverable
+            };
+            if self.shared.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            for ev in &events[..n] {
+                // Copy out of the (packed) event before matching.
+                let (token, mask) = (ev.token, ev.events);
+                match token {
+                    LISTENER_TOKEN => self.accept_ready(),
+                    WAKER_TOKEN => self.waker.drain(),
+                    token => self.conn_ready(token, mask),
+                }
+            }
+            self.drain_completions();
+            if last_sweep.elapsed() >= SWEEP_INTERVAL {
+                self.sweep_idle();
+                last_sweep = Instant::now();
+            }
+        }
+        // Dropping `self` closes every connection and the job sender;
+        // executors drain in-flight jobs and exit on the closed queue.
+    }
+
+    /// Accepts until the backlog is dry; beyond the connection cap,
+    /// sheds with a best-effort 503.
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    self.shared.conns.accepted();
+                    if self.max_connections > 0 && self.conns.len() >= self.max_connections {
+                        self.shed(stream);
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    // Through the fcntl binding rather than std: the
+                    // loop owns raw-fd readiness either way.
+                    if crate::sys::set_nonblocking(stream.as_raw_fd()).is_err() {
+                        continue;
+                    }
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    let interest = EPOLLIN | EPOLLRDHUP;
+                    if self.epoll.add(stream.as_raw_fd(), interest, token).is_err() {
+                        continue;
+                    }
+                    self.shared.conns.opened();
+                    self.conns.insert(
+                        token,
+                        Conn {
+                            stream,
+                            state: ConnState::Reading,
+                            read_buf: Vec::new(),
+                            write_buf: Vec::new(),
+                            written: 0,
+                            keep_alive_after: true,
+                            interest,
+                            last_activity: Instant::now(),
+                        },
+                    );
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(_) => return, // transient (ECONNABORTED etc.): retry on next readiness
+            }
+        }
+    }
+
+    /// Best-effort 503 to a connection over the cap, then close. The
+    /// socket is fresh, so the single write almost always lands in
+    /// the (empty) send buffer even nonblocking.
+    fn shed(&self, stream: TcpStream) {
+        self.shared.conns.shed();
+        let _ = stream.set_nonblocking(true);
+        let body = http::error_body(&format!(
+            "server at connection capacity ({} open)",
+            self.conns.len()
+        ));
+        let bytes = http::response_bytes(
+            503,
+            "Service Unavailable",
+            "application/json",
+            &body,
+            false,
+            mvag_obs::next_request_id(),
+        );
+        let mut stream = stream;
+        let _ = stream.write(&bytes);
+        // Dropped: closed.
+    }
+
+    fn conn_ready(&mut self, token: u64, mask: u32) {
+        if mask & (EPOLLERR | EPOLLHUP) != 0 {
+            self.close(token);
+            return;
+        }
+        let Some(conn) = self.conns.get(&token) else {
+            return; // stale event for an already-closed token
+        };
+        match conn.state {
+            // RDHUP without IN still goes through the read path: it
+            // drains anything buffered, then sees EOF and closes.
+            ConnState::Reading if mask & (EPOLLIN | EPOLLRDHUP) != 0 => self.read_ready(token),
+            ConnState::Writing if mask & EPOLLOUT != 0 => self.write_conn(token),
+            _ => {}
+        }
+    }
+
+    /// Reads until the socket is dry or a request completes. One
+    /// request is in flight per connection at a time: a completed
+    /// parse stops reading (interest drops), which is what bounds the
+    /// read buffer under a pipelining flood.
+    fn read_ready(&mut self, token: u64) {
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    // EOF: a partial request dies with the connection
+                    // (there is no one left to answer).
+                    self.close(token);
+                    return;
+                }
+                Ok(n) => {
+                    conn.read_buf.extend_from_slice(&chunk[..n]);
+                    conn.last_activity = Instant::now();
+                    self.shared.conns.observe_read_buf(conn.read_buf.len());
+                    if self.advance(token) {
+                        return; // dispatched or staged a 400
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    // ECONNRESET and friends: drop the connection,
+                    // keep the loop alive.
+                    self.close(token);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Tries to advance a `Reading` connection from buffered bytes:
+    /// dispatches a complete request or stages a 400 for a malformed
+    /// one. Returns `true` when the connection left `Reading`.
+    fn advance(&mut self, token: u64) -> bool {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return true;
+        };
+        match parser::parse_request(&conn.read_buf) {
+            Parse::Complete(request, consumed) => {
+                conn.read_buf.drain(..consumed);
+                self.dispatch(token, request);
+                true
+            }
+            Parse::Partial => {
+                self.set_interest(token, EPOLLIN | EPOLLRDHUP);
+                false
+            }
+            Parse::Bad(msg) => {
+                // Same contract as the threaded path: a malformed
+                // request gets a 400 with its own request id, then
+                // the connection closes.
+                let body = http::error_body(&msg);
+                let bytes = http::response_bytes(
+                    400,
+                    "Bad Request",
+                    "application/json",
+                    &body,
+                    false,
+                    mvag_obs::next_request_id(),
+                );
+                self.stage_response(token, bytes, false);
+                true
+            }
+        }
+    }
+
+    /// Hands a parsed request to the executor pool and parks the
+    /// connection in `Busy` with no epoll interest.
+    fn dispatch(&mut self, token: u64, request: Request) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        conn.state = ConnState::Busy;
+        let job = Job {
+            token,
+            request,
+            request_id: mvag_obs::next_request_id(),
+            enqueued: Instant::now(),
+        };
+        if self.job_tx.send(job).is_err() {
+            // Executors are gone (shutdown race): nothing can answer.
+            self.close(token);
+            return;
+        }
+        self.set_interest(token, 0);
+    }
+
+    /// Moves finished responses from the completion queue onto their
+    /// connections' write buffers and starts flushing immediately.
+    fn drain_completions(&mut self) {
+        let done: Vec<Completion> = {
+            let mut guard = self.completions.lock().expect("completion queue lock");
+            std::mem::take(&mut *guard)
+        };
+        for completion in done {
+            // The connection may have died (reset, error) while its
+            // request was computing; the response is simply dropped.
+            if self.conns.contains_key(&completion.token) {
+                self.stage_response(completion.token, completion.bytes, completion.keep_alive);
+            }
+        }
+    }
+
+    /// Queues `bytes` as the connection's response and writes as much
+    /// as the socket accepts now; the rest waits on `EPOLLOUT`.
+    fn stage_response(&mut self, token: u64, bytes: Vec<u8>, keep_alive: bool) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        self.shared.conns.observe_write_buf(bytes.len());
+        conn.state = ConnState::Writing;
+        conn.write_buf = bytes;
+        conn.written = 0;
+        conn.keep_alive_after = keep_alive;
+        conn.last_activity = Instant::now();
+        self.write_conn(token);
+    }
+
+    /// Flushes the write buffer as far as the socket allows. Write
+    /// errors mid-response (EPIPE, ECONNRESET) close the connection
+    /// and nothing else.
+    fn write_conn(&mut self, token: u64) {
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if conn.written >= conn.write_buf.len() {
+                self.finish_write(token);
+                return;
+            }
+            match conn.stream.write(&conn.write_buf[conn.written..]) {
+                Ok(0) => {
+                    self.close(token);
+                    return;
+                }
+                Ok(n) => {
+                    conn.written += n;
+                    conn.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    // Peer's receive window is full: backpressure.
+                    // Park until EPOLLOUT; the idle sweep reaps peers
+                    // that never drain.
+                    self.set_interest(token, EPOLLOUT);
+                    return;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(token);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// A response went out in full: close, or return to `Reading` —
+    /// first re-parsing any pipelined bytes that arrived alongside
+    /// the previous request.
+    fn finish_write(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if !conn.keep_alive_after {
+            self.close(token);
+            return;
+        }
+        conn.write_buf = Vec::new();
+        conn.written = 0;
+        conn.state = ConnState::Reading;
+        conn.last_activity = Instant::now();
+        self.advance(token);
+    }
+
+    /// The slowloris guard: reaps connections idle past the timeout.
+    /// Silent idlers close quietly; a half-sent request is answered
+    /// `408` (with a request id) before closing; a peer that stopped
+    /// draining its response is cut off. `Busy` connections are
+    /// exempt — the server owes them an answer.
+    fn sweep_idle(&mut self) {
+        let mut silent = Vec::new();
+        let mut half_sent = Vec::new();
+        for (&token, conn) in &self.conns {
+            if conn.last_activity.elapsed() < self.idle_timeout {
+                continue;
+            }
+            match conn.state {
+                ConnState::Busy => {}
+                ConnState::Reading if conn.read_buf.is_empty() => silent.push(token),
+                ConnState::Reading => half_sent.push(token),
+                ConnState::Writing => silent.push(token),
+            }
+        }
+        for token in silent {
+            self.shared.conns.timed_out();
+            self.close(token);
+        }
+        for token in half_sent {
+            self.shared.conns.timed_out();
+            let body = http::error_body("request timed out");
+            let bytes = http::response_bytes(
+                408,
+                "Request Timeout",
+                "application/json",
+                &body,
+                false,
+                mvag_obs::next_request_id(),
+            );
+            self.stage_response(token, bytes, false);
+        }
+    }
+
+    /// Re-arms the epoll interest if it changed.
+    fn set_interest(&mut self, token: u64, events: u32) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.interest == events {
+            return;
+        }
+        if self
+            .epoll
+            .modify(conn.stream.as_raw_fd(), events, token)
+            .is_ok()
+        {
+            conn.interest = events;
+        }
+    }
+
+    fn close(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            let _ = self.epoll.delete(conn.stream.as_raw_fd());
+            self.shared.conns.closed();
+        }
+    }
+}

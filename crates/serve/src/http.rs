@@ -40,32 +40,82 @@
 use crate::backend::QueryBackend;
 use crate::batch::Batcher;
 use crate::engine::QueryEngine;
-use crate::metrics::MetricsRegistry;
+use crate::metrics::{ConnGauges, MetricsRegistry};
+use crate::parser::{self, Request};
 use crate::swap::HotSwapBackend;
 use crate::{Result, ServeError};
 use mvag_data::json::{self, Value};
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// Which transport backend a [`Server`] runs connections on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServeBackend {
+    /// Thread-per-connection over blocking `std::net`: an acceptor
+    /// thread hands sockets to a fixed worker pool. Simple, portable,
+    /// and kept as the correctness oracle — but an idle keep-alive
+    /// client pins a worker, so concurrency caps at the pool size.
+    #[default]
+    Threaded,
+    /// Single-threaded epoll readiness loop (Linux only): one loop
+    /// thread owns all connection I/O, compute runs on an executor
+    /// pool, and idle connections cost one epoll registration — see
+    /// the `evented` module.
+    Evented,
+}
+
+impl ServeBackend {
+    /// The label `/stats` reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ServeBackend::Threaded => "threaded",
+            ServeBackend::Evented => "evented",
+        }
+    }
+}
+
+impl std::str::FromStr for ServeBackend {
+    type Err = String;
+
+    fn from_str(raw: &str) -> std::result::Result<ServeBackend, String> {
+        match raw {
+            "threaded" => Ok(ServeBackend::Threaded),
+            "evented" => Ok(ServeBackend::Evented),
+            other => Err(format!("unknown backend '{other}' (threaded or evented)")),
+        }
+    }
+}
+
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Bind address; port 0 picks a free port.
     pub addr: SocketAddr,
-    /// Worker threads handling connections. Defaults to the unified
+    /// Transport backend (see [`ServeBackend`]).
+    pub backend: ServeBackend,
+    /// Threaded backend: worker threads handling connections.
+    /// Defaults to the unified
     /// `mvag_sparse::parallel::default_threads()` sizing (≤ 16,
     /// `SGLA_THREADS` override) with a floor of 4: connection handlers
     /// are I/O-bound, and on a 1–2 core host a single idle keep-alive
-    /// client must not pin the only worker.
+    /// client must not pin the only worker. The evented backend
+    /// spawns this many compute executors instead (its I/O needs no
+    /// threads).
     pub workers: usize,
     /// Upper bound on queries absorbed into one top-k kernel pass.
     pub max_batch: usize,
-    /// Per-connection read timeout.
+    /// Per-connection read timeout; on the evented backend this is
+    /// the idle timeout after which silent connections are reaped
+    /// (half-sent requests get a 408).
     pub read_timeout: Duration,
+    /// Evented backend: cap on simultaneously open connections —
+    /// accepts beyond it are answered with a best-effort 503 and
+    /// closed (load shedding). `0` means unlimited.
+    pub max_connections: usize,
     /// Enable request tracing at startup (`mvag_obs::set_enabled`):
     /// every request records a span tree served back on `/traces`.
     /// Off by default — the disabled instrumentation path is a single
@@ -77,9 +127,11 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             addr: "127.0.0.1:7878".parse().expect("static addr"),
+            backend: ServeBackend::default(),
             workers: mvag_sparse::parallel::default_threads().max(4),
             max_batch: 64,
             read_timeout: Duration::from_secs(30),
+            max_connections: 10_000,
             trace: false,
         }
     }
@@ -97,29 +149,45 @@ struct ReloadState {
     loader: BackendLoader,
 }
 
-struct ServerShared {
+pub(crate) struct ServerShared {
     backend: Arc<dyn QueryBackend>,
     batcher: Batcher,
-    metrics: MetricsRegistry,
-    stop: AtomicBool,
+    pub(crate) metrics: MetricsRegistry,
+    pub(crate) stop: AtomicBool,
+    /// Connection-level counters (accepts, open, timeouts, shed,
+    /// buffer high-water marks) surfaced on `/stats` and `/metrics`.
+    pub(crate) conns: ConnGauges,
     /// `Some` only for servers started via [`Server::start_reloadable`].
     reload: Option<ReloadState>,
+    /// Which transport backend is serving (reported on `/stats`).
+    backend_kind: ServeBackend,
+    max_connections: usize,
+    idle_timeout: Duration,
+}
+
+/// The backend-specific thread handles of a running server.
+enum Runtime {
+    Threaded {
+        acceptor: Option<JoinHandle<()>>,
+        workers: Vec<JoinHandle<()>>,
+    },
+    #[cfg(target_os = "linux")]
+    Evented(crate::evented::EventedRuntime),
 }
 
 /// A running server; dropping it (or calling [`Server::shutdown`])
-/// stops the acceptor and drains the worker pool.
+/// stops the transport and drains in-flight requests.
 pub struct Server {
     local_addr: SocketAddr,
     shared: Arc<ServerShared>,
-    acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    runtime: Runtime,
 }
 
 impl std::fmt::Debug for Server {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Server")
             .field("local_addr", &self.local_addr)
-            .field("workers", &self.workers.len())
+            .field("backend", &self.shared.backend_kind)
             .finish()
     }
 }
@@ -177,8 +245,34 @@ impl Server {
             backend,
             metrics: MetricsRegistry::new(),
             stop: AtomicBool::new(false),
+            conns: ConnGauges::new(),
             reload,
+            backend_kind: config.backend,
+            max_connections: config.max_connections,
+            idle_timeout: config.read_timeout,
         });
+
+        if config.backend == ServeBackend::Evented {
+            #[cfg(target_os = "linux")]
+            {
+                let runtime = crate::evented::EventedRuntime::start(
+                    listener,
+                    Arc::clone(&shared),
+                    config.workers.max(1),
+                    config.max_connections,
+                    config.read_timeout,
+                )?;
+                return Ok(Server {
+                    local_addr,
+                    shared,
+                    runtime: Runtime::Evented(runtime),
+                });
+            }
+            #[cfg(not(target_os = "linux"))]
+            return Err(ServeError::Server(
+                "the evented backend requires Linux (epoll); use ServeBackend::Threaded".into(),
+            ));
+        }
 
         let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
         let conn_rx = Arc::new(Mutex::new(conn_rx));
@@ -206,6 +300,7 @@ impl Server {
                 while !acceptor_shared.stop.load(Ordering::SeqCst) {
                     match listener.accept() {
                         Ok((s, _peer)) => {
+                            acceptor_shared.conns.accepted();
                             // Connection sockets must block; they do
                             // not inherit nonblocking on all platforms,
                             // so set it explicitly.
@@ -234,8 +329,10 @@ impl Server {
         Ok(Server {
             local_addr,
             shared,
-            acceptor: Some(acceptor),
-            workers,
+            runtime: Runtime::Threaded {
+                acceptor: Some(acceptor),
+                workers,
+            },
         })
     }
 
@@ -260,13 +357,25 @@ impl Server {
         if self.shared.stop.swap(true, Ordering::SeqCst) {
             return;
         }
-        // The acceptor polls the stop flag (nonblocking accept), and
-        // idle workers poll it between requests, so joins are bounded.
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
-        }
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
+        match &mut self.runtime {
+            // The acceptor polls the stop flag (nonblocking accept),
+            // and idle workers poll it between requests, so joins are
+            // bounded.
+            Runtime::Threaded { acceptor, workers } => {
+                if let Some(acceptor) = acceptor.take() {
+                    let _ = acceptor.join();
+                }
+                for worker in workers.drain(..) {
+                    let _ = worker.join();
+                }
+            }
+            // The eventfd kicks the loop out of epoll_wait; the loop
+            // dropping its job queue releases the executors.
+            #[cfg(target_os = "linux")]
+            Runtime::Evented(runtime) => {
+                runtime.wake();
+                runtime.join();
+            }
         }
     }
 }
@@ -294,15 +403,6 @@ fn worker_loop(
     }
 }
 
-/// One parsed request.
-struct Request {
-    method: String,
-    path: String,
-    query: String,
-    body: Vec<u8>,
-    keep_alive: bool,
-}
-
 /// Poll interval for idle keep-alive connections: workers waiting for
 /// the next request wake this often to observe the shutdown flag, so
 /// `Server::shutdown` never blocks on idle clients.
@@ -312,7 +412,19 @@ const IDLE_POLL: Duration = Duration::from_millis(100);
 /// latency under no load and shutdown latency).
 const ACCEPT_POLL: Duration = Duration::from_millis(20);
 
+/// Counts a connection open against the gauges and guarantees the
+/// matching close on every exit path of `handle_connection`.
+struct OpenScope<'a>(&'a ConnGauges);
+
+impl Drop for OpenScope<'_> {
+    fn drop(&mut self) {
+        self.0.closed();
+    }
+}
+
 fn handle_connection(stream: TcpStream, shared: &ServerShared, read_timeout: Duration) {
+    shared.conns.opened();
+    let _open = OpenScope(&shared.conns);
     let _ = stream.set_nodelay(true);
     let peer = stream.peer_addr().ok();
     let mut reader = BufReader::new(match stream.try_clone() {
@@ -339,7 +451,9 @@ fn handle_connection(stream: TcpStream, shared: &ServerShared, read_timeout: Dur
                         || e.kind() == std::io::ErrorKind::TimedOut =>
                 {
                     if idle_since.elapsed() >= read_timeout {
-                        return; // idle deadline: free the worker
+                        // Idle deadline: free the worker.
+                        shared.conns.timed_out();
+                        return;
                     }
                     continue;
                 }
@@ -348,23 +462,22 @@ fn handle_connection(stream: TcpStream, shared: &ServerShared, read_timeout: Dur
         }
         // Request phase: the full read timeout applies.
         let _ = reader.get_ref().set_read_timeout(Some(read_timeout));
-        let request = match read_request(&mut reader) {
+        let request = match parser::read_request(&mut reader) {
             Ok(Some(r)) => r,
             Ok(None) => return, // clean EOF between requests
             Err(e) => {
                 // Malformed request: answer 400 if the peer is still
                 // there, then drop the connection. Even this path gets
                 // a request id, so the failure is referenceable.
-                let body = error_body(&e.to_string());
-                let _ = write_response(
-                    &mut writer,
+                let bytes = response_bytes(
                     400,
                     "Bad Request",
                     "application/json",
-                    &body,
+                    &error_body(&e.to_string()),
                     false,
                     mvag_obs::next_request_id(),
                 );
+                let _ = writer.write_all(&bytes);
                 return;
             }
         };
@@ -375,160 +488,17 @@ fn handle_connection(stream: TcpStream, shared: &ServerShared, read_timeout: Dur
         // trace id every span of this request attaches to, all the way
         // down through the batcher and the shard fan-out.
         let request_id = mvag_obs::next_request_id();
-        let started = Instant::now();
-        let (endpoint, status, body) = mvag_obs::with_trace(request_id, || {
-            let mut root = mvag_obs::span("serve.request");
-            let out = route(&request, shared);
-            root.counter("status", u64::from(out.1));
-            out
-        });
-        if let Some(m) = shared.metrics.endpoint(endpoint) {
-            m.record(started.elapsed(), status < 400);
-        }
-        // The metrics page is the one non-JSON endpoint (Prometheus
-        // text exposition format).
-        let content_type = if endpoint == "metrics" && status == 200 {
-            "text/plain; version=0.0.4"
-        } else {
-            "application/json"
-        };
-        let reason = match status {
-            200 => "OK",
-            400 => "Bad Request",
-            404 => "Not Found",
-            405 => "Method Not Allowed",
-            503 => "Service Unavailable",
-            _ => "Internal Server Error",
-        };
-        let written = write_response(
-            &mut writer,
-            status,
-            reason,
-            content_type,
-            &body,
-            keep_alive,
-            request_id,
-        );
+        let bytes = process_request(&request, shared, request_id, Instant::now(), keep_alive);
+        let written = writer.write_all(&bytes).and_then(|()| writer.flush());
         if written.is_err() || !keep_alive {
             return;
         }
     }
 }
 
-/// 8 KiB cap on the request line plus all headers combined: hostile
-/// clients must not grow server memory by streaming an endless header
-/// section (the body has its own `MAX_BODY` cap).
-const MAX_HEADER_BYTES: usize = 8 << 10;
-
-/// Reads one CRLF/LF-terminated line, charging it against `budget`.
-/// `Ok(None)` means clean EOF before any byte; a line that exhausts
-/// the budget or hits EOF mid-line is an error.
-fn read_line_limited(
-    reader: &mut BufReader<TcpStream>,
-    budget: &mut usize,
-) -> std::io::Result<Option<String>> {
-    let mut raw = Vec::new();
-    let n = reader
-        .by_ref()
-        .take(*budget as u64 + 1)
-        .read_until(b'\n', &mut raw)?;
-    if n == 0 {
-        return Ok(None);
-    }
-    if raw.last() != Some(&b'\n') {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            "header section too large or truncated",
-        ));
-    }
-    *budget -= n.min(*budget);
-    String::from_utf8(raw)
-        .map(Some)
-        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "header not UTF-8"))
-}
-
-fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option<Request>> {
-    let mut budget = MAX_HEADER_BYTES;
-    let Some(line) = read_line_limited(reader, &mut budget)? else {
-        return Ok(None);
-    };
-    let line = line.trim_end();
-    let mut parts = line.split_whitespace();
-    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
-        (Some(m), Some(t), Some(v)) => (m.to_string(), t.to_string(), v.to_string()),
-        _ => {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                "malformed request line",
-            ))
-        }
-    };
-    let mut content_length = 0usize;
-    // HTTP/1.1 defaults to keep-alive; HTTP/1.0 to close.
-    let mut keep_alive = version.eq_ignore_ascii_case("HTTP/1.1");
-    loop {
-        let Some(header) = read_line_limited(reader, &mut budget)? else {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "eof inside headers",
-            ));
-        };
-        let header = header.trim_end();
-        if header.is_empty() {
-            break;
-        }
-        if let Some((name, value)) = header.split_once(':') {
-            let value = value.trim();
-            if name.eq_ignore_ascii_case("content-length") {
-                content_length = value.parse().map_err(|_| {
-                    std::io::Error::new(std::io::ErrorKind::InvalidData, "bad content-length")
-                })?;
-                if content_length > MAX_BODY {
-                    return Err(std::io::Error::new(
-                        std::io::ErrorKind::InvalidData,
-                        "body too large",
-                    ));
-                }
-            } else if name.eq_ignore_ascii_case("transfer-encoding") {
-                // Chunked bodies are not implemented; accepting the
-                // request while ignoring the header would desync the
-                // keep-alive stream (the body would be parsed as the
-                // next request), so reject explicitly.
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    "transfer-encoding not supported (send a content-length body)",
-                ));
-            } else if name.eq_ignore_ascii_case("connection") {
-                if value.eq_ignore_ascii_case("close") {
-                    keep_alive = false;
-                } else if value.eq_ignore_ascii_case("keep-alive") {
-                    keep_alive = true;
-                }
-            }
-        }
-    }
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
-    let (path, query) = match target.split_once('?') {
-        Some((p, q)) => (p.to_string(), q.to_string()),
-        None => (target, String::new()),
-    };
-    Ok(Some(Request {
-        method,
-        path,
-        query,
-        body,
-        keep_alive,
-    }))
-}
-
-/// 4 MiB request-body cap: the only body-bearing endpoint is `/embed`,
-/// whose batches are node-id lists.
-const MAX_BODY: usize = 4 << 20;
-
 /// Cap on ids per `/embed` request, bounding the response to
 /// `MAX_EMBED_NODES × dim` floats regardless of how many ids fit in
-/// `MAX_BODY`.
+/// [`parser::MAX_BODY`].
 const MAX_EMBED_NODES: usize = 4096;
 
 /// Formats a request id the way it appears in the `x-request-id`
@@ -537,28 +507,82 @@ fn format_request_id(id: u64) -> String {
     format!("req-{id:016x}")
 }
 
-#[allow(clippy::too_many_arguments)]
-fn write_response(
-    writer: &mut TcpStream,
+/// Routes one parsed request, records its span tree and endpoint
+/// metrics, and renders the full response — the single request path
+/// both backends share (the threaded worker writes the bytes
+/// directly; the evented executor queues them for the loop). Latency
+/// is measured from `started`, which the caller sets at read/enqueue
+/// time so queueing is part of the recorded number.
+pub(crate) fn process_request(
+    request: &Request,
+    shared: &ServerShared,
+    request_id: u64,
+    started: Instant,
+    keep_alive: bool,
+) -> Vec<u8> {
+    let (endpoint, status, body) = mvag_obs::with_trace(request_id, || {
+        let mut root = mvag_obs::span("serve.request");
+        let out = route(request, shared);
+        root.counter("status", u64::from(out.1));
+        out
+    });
+    if let Some(m) = shared.metrics.endpoint(endpoint) {
+        m.record(started.elapsed(), status < 400);
+    }
+    // The metrics page is the one non-JSON endpoint (Prometheus
+    // text exposition format).
+    let content_type = if endpoint == "metrics" && status == 200 {
+        "text/plain; version=0.0.4"
+    } else {
+        "application/json"
+    };
+    response_bytes(
+        status,
+        reason_for(status),
+        content_type,
+        &body,
+        keep_alive,
+        request_id,
+    )
+}
+
+/// The canonical reason phrase for the statuses this server emits.
+pub(crate) fn reason_for(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Renders a complete response (status line, headers, body) as one
+/// byte vector — shared by the threaded writer, the evented staging
+/// path, and the shed/timeout short-circuits.
+pub(crate) fn response_bytes(
     status: u16,
     reason: &str,
     content_type: &str,
     body: &str,
     keep_alive: bool,
     request_id: u64,
-) -> std::io::Result<()> {
+) -> Vec<u8> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
     let head = format!(
         "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {connection}\r\nx-request-id: {}\r\n\r\n",
         body.len(),
         format_request_id(request_id)
     );
-    writer.write_all(head.as_bytes())?;
-    writer.write_all(body.as_bytes())?;
-    writer.flush()
+    let mut bytes = Vec::with_capacity(head.len() + body.len());
+    bytes.extend_from_slice(head.as_bytes());
+    bytes.extend_from_slice(body.as_bytes());
+    bytes
 }
 
-fn error_body(message: &str) -> String {
+pub(crate) fn error_body(message: &str) -> String {
     Value::object(vec![("error", Value::from(message))]).to_string_compact()
 }
 
@@ -856,6 +880,7 @@ fn stats_body(shared: &ServerShared, reset: bool) -> String {
     let (cache_hits, cache_misses) = shared.backend.cache_stats();
     let index = shared.backend.index_stats();
     let pool = mvag_sparse::pool::WorkerPool::global().stats();
+    let conns = shared.conns.snapshot();
     Value::object(vec![
         ("uptime_secs", Value::from(shared.metrics.uptime_secs())),
         ("window_secs", Value::from(window_secs)),
@@ -911,6 +936,31 @@ fn stats_body(shared: &ServerShared, reset: bool) -> String {
             ]),
         ),
         ("tracing", Value::Bool(mvag_obs::enabled())),
+        // Which transport is serving and under which limits — the
+        // evented/threaded split matters when reading the connection
+        // numbers below.
+        (
+            "server",
+            Value::object(vec![
+                ("backend", Value::from(shared.backend_kind.as_str())),
+                ("max_connections", Value::from(shared.max_connections)),
+                (
+                    "idle_timeout_secs",
+                    Value::from(shared.idle_timeout.as_secs_f64()),
+                ),
+            ]),
+        ),
+        (
+            "connections",
+            Value::object(vec![
+                ("open", Value::from(conns.open)),
+                ("accepts", Value::from(conns.accepts)),
+                ("timeouts", Value::from(conns.timeouts)),
+                ("shed", Value::from(conns.shed)),
+                ("read_buf_hwm_bytes", Value::from(conns.read_buf_hwm)),
+                ("write_buf_hwm_bytes", Value::from(conns.write_buf_hwm)),
+            ]),
+        ),
         ("endpoints", Value::Array(endpoints)),
     ])
     .to_string_compact()
@@ -1008,6 +1058,7 @@ fn metrics_body(shared: &ServerShared) -> String {
     use std::fmt::Write;
     let mut page = String::with_capacity(4096);
     shared.metrics.render_prometheus(&mut page);
+    shared.conns.render_prometheus(&mut page);
     let (cache_hits, cache_misses) = shared.backend.cache_stats();
     page.push_str("# TYPE sgla_cache_hits_total counter\n");
     let _ = writeln!(page, "sgla_cache_hits_total {cache_hits}");

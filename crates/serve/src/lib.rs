@@ -26,11 +26,16 @@
 //!   sharded layout, routing point queries by row range and fanning
 //!   top-k out across lazily-loaded shard engines with a
 //!   bit-identical merge.
-//! * [`http`] — a dependency-light HTTP/1.1 JSON [`Server`] on
-//!   `std::net` with a worker thread pool, keep-alive, graceful
-//!   shutdown, and per-endpoint latency/QPS counters ([`metrics`]);
-//!   [`client`] is the matching minimal client used by tests and the
-//!   serve benchmark. The server runs over any [`QueryBackend`] —
+//! * [`http`] — a dependency-light HTTP/1.1 JSON [`Server`] with two
+//!   transports selected by [`ServerConfig::backend`]: the classic
+//!   thread-per-connection pool (`threaded`, the correctness oracle)
+//!   and a single-threaded epoll readiness loop (`evented`, Linux
+//!   only) that holds thousands of keep-alive connections while
+//!   compute runs on a small executor pool. Both share one request
+//!   path ([`parser`] + routing), keep-alive, graceful shutdown, and
+//!   per-endpoint latency/QPS counters ([`metrics`]); [`client`] is
+//!   the matching minimal client used by tests and the serve
+//!   benchmark. The server runs over any [`QueryBackend`] —
 //!   monolithic engine or shard router.
 //!
 //! ```
@@ -55,7 +60,10 @@
 //! server.shutdown();
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the epoll bindings in `sys` are the one
+// module allowed to opt out (see its module docs); everything else in
+// the crate stays safe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod artifact;
@@ -64,18 +72,23 @@ pub mod batch;
 pub mod client;
 pub mod engine;
 pub mod error;
+#[cfg(target_os = "linux")]
+mod evented;
 pub mod http;
 pub mod lru;
 pub mod metrics;
+pub mod parser;
 pub mod router;
 pub mod swap;
+#[cfg(target_os = "linux")]
+mod sys;
 
 pub use artifact::{Artifact, ArtifactMeta, TrainConfig, UpdateOutcome};
 pub use backend::{IndexStats, QueryBackend};
 pub use client::{HttpClient, HttpResponse};
 pub use engine::{ApproxQuery, ClusterInfo, EngineConfig, Neighbor, QueryEngine};
 pub use error::ServeError;
-pub use http::{BackendLoader, Server, ServerConfig};
+pub use http::{BackendLoader, ServeBackend, Server, ServerConfig};
 pub use mvag_index::{IvfConfig, IvfIndex};
 pub use router::{RouterConfig, ShardRouter};
 pub use swap::HotSwapBackend;
@@ -89,7 +102,7 @@ pub mod prelude {
     pub use crate::backend::{IndexStats, QueryBackend};
     pub use crate::client::HttpClient;
     pub use crate::engine::{ClusterInfo, EngineConfig, Neighbor, QueryEngine};
-    pub use crate::http::{Server, ServerConfig};
+    pub use crate::http::{ServeBackend, Server, ServerConfig};
     pub use crate::router::{RouterConfig, ShardRouter};
     pub use crate::ServeError;
     pub use mvag_index::{IvfConfig, IvfIndex};

@@ -308,6 +308,146 @@ impl MetricsRegistry {
     }
 }
 
+/// Connection-level counters shared by both transport backends:
+/// accepts, currently-open connections, idle-timeout reaps, shed
+/// (503-at-capacity) closes, and read/write buffer high-water marks.
+/// All atomics, all relaxed — the evented loop touches these on every
+/// accept/close and must not synchronize with anything.
+#[derive(Debug)]
+pub struct ConnGauges {
+    accepts: AtomicU64,
+    open: AtomicU64,
+    timeouts: AtomicU64,
+    shed: AtomicU64,
+    read_buf_hwm: AtomicU64,
+    write_buf_hwm: AtomicU64,
+}
+
+/// A point-in-time copy of [`ConnGauges`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnSnapshot {
+    /// Connections currently open (accepted and not yet closed).
+    pub open: u64,
+    /// Total connections accepted since start.
+    pub accepts: u64,
+    /// Connections reaped by the idle/slowloris timeout.
+    pub timeouts: u64,
+    /// Connections shed with a 503 at the connection cap.
+    pub shed: u64,
+    /// Largest per-connection read buffer observed (bytes).
+    pub read_buf_hwm: u64,
+    /// Largest per-connection staged write buffer observed (bytes).
+    pub write_buf_hwm: u64,
+}
+
+impl ConnGauges {
+    pub(crate) fn new() -> ConnGauges {
+        ConnGauges {
+            accepts: AtomicU64::new(0),
+            open: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            read_buf_hwm: AtomicU64::new(0),
+            write_buf_hwm: AtomicU64::new(0),
+        }
+    }
+
+    /// A connection was accepted (counted even if immediately shed).
+    pub(crate) fn accepted(&self) {
+        self.accepts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An accepted connection entered service.
+    pub(crate) fn opened(&self) {
+        self.open.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An in-service connection closed (any reason).
+    pub(crate) fn closed(&self) {
+        self.open.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// A connection was reaped by the idle timeout.
+    pub(crate) fn timed_out(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection was refused with a 503 at the cap.
+    pub(crate) fn shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn raise_hwm(slot: &AtomicU64, observed: u64) {
+        let mut current = slot.load(Ordering::Relaxed);
+        while observed > current {
+            match slot.compare_exchange_weak(
+                current,
+                observed,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(now) => current = now,
+            }
+        }
+    }
+
+    /// Folds a read-buffer length into the high-water mark.
+    pub(crate) fn observe_read_buf(&self, bytes: usize) {
+        Self::raise_hwm(&self.read_buf_hwm, bytes as u64);
+    }
+
+    /// Folds a staged write-buffer length into the high-water mark.
+    pub(crate) fn observe_write_buf(&self, bytes: usize) {
+        Self::raise_hwm(&self.write_buf_hwm, bytes as u64);
+    }
+
+    /// A consistent-enough copy of the counters.
+    pub fn snapshot(&self) -> ConnSnapshot {
+        ConnSnapshot {
+            open: self.open.load(Ordering::Relaxed),
+            accepts: self.accepts.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            read_buf_hwm: self.read_buf_hwm.load(Ordering::Relaxed),
+            write_buf_hwm: self.write_buf_hwm.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Appends the connection gauges/counters to a Prometheus text
+    /// page (every `sgla_conn_*` family carries `# HELP` + `# TYPE`,
+    /// as [`validate_prometheus`] requires).
+    pub fn render_prometheus(&self, out: &mut String) {
+        use std::fmt::Write;
+        let s = self.snapshot();
+        out.push_str("# HELP sgla_conn_open Connections currently open.\n");
+        out.push_str("# TYPE sgla_conn_open gauge\n");
+        let _ = writeln!(out, "sgla_conn_open {}", s.open);
+        out.push_str("# HELP sgla_conn_accepts_total Connections accepted since start.\n");
+        out.push_str("# TYPE sgla_conn_accepts_total counter\n");
+        let _ = writeln!(out, "sgla_conn_accepts_total {}", s.accepts);
+        out.push_str("# HELP sgla_conn_timeouts_total Connections reaped by the idle timeout.\n");
+        out.push_str("# TYPE sgla_conn_timeouts_total counter\n");
+        let _ = writeln!(out, "sgla_conn_timeouts_total {}", s.timeouts);
+        out.push_str(
+            "# HELP sgla_conn_shed_total Connections shed with a 503 at the connection cap.\n",
+        );
+        out.push_str("# TYPE sgla_conn_shed_total counter\n");
+        let _ = writeln!(out, "sgla_conn_shed_total {}", s.shed);
+        out.push_str(
+            "# HELP sgla_conn_read_buf_hwm_bytes Largest per-connection read buffer observed.\n",
+        );
+        out.push_str("# TYPE sgla_conn_read_buf_hwm_bytes gauge\n");
+        let _ = writeln!(out, "sgla_conn_read_buf_hwm_bytes {}", s.read_buf_hwm);
+        out.push_str(
+            "# HELP sgla_conn_write_buf_hwm_bytes Largest per-connection staged write buffer \
+             observed.\n",
+        );
+        out.push_str("# TYPE sgla_conn_write_buf_hwm_bytes gauge\n");
+        let _ = writeln!(out, "sgla_conn_write_buf_hwm_bytes {}", s.write_buf_hwm);
+    }
+}
+
 /// Appends the pipeline-stage duration histograms collected by
 /// `mvag_obs` (one `sgla_stage_duration_us{stage=...}` series per
 /// distinct span name) and the worker-pool gauges from the process
@@ -387,7 +527,8 @@ pub fn render_observability(out: &mut String) {
 /// * histogram `_bucket` series have strictly increasing `le` bounds
 ///   with non-decreasing cumulative counts, end in `le="+Inf"`, and
 ///   the `+Inf` count equals the family's `_count` sample;
-/// * every `sgla_stage_*` and `sgla_pool_*` family carries a `# HELP`.
+/// * every `sgla_stage_*`, `sgla_pool_*`, and `sgla_conn_*` family
+///   carries a `# HELP`.
 ///
 /// Shared by the e2e conformance test and the serve benchmark's
 /// scrape-and-validate step.
@@ -507,7 +648,9 @@ pub fn validate_prometheus(page: &str) -> std::result::Result<(), String> {
         }
     }
     for family in types.keys() {
-        if (family.starts_with("sgla_stage_") || family.starts_with("sgla_pool_"))
+        if (family.starts_with("sgla_stage_")
+            || family.starts_with("sgla_pool_")
+            || family.starts_with("sgla_conn_"))
             && !helps.contains(family)
         {
             return Err(format!("{family}: observability family without # HELP"));

@@ -1,0 +1,383 @@
+//! HTTP/1.1 request parsing, shared by both server backends.
+//!
+//! Two entry points over the same grammar and limits:
+//!
+//! * [`read_request`] — the blocking one-shot reader used by the
+//!   threaded backend: pulls one request off a `BufReader`, waiting
+//!   for bytes as needed.
+//! * [`parse_request`] — the incremental parser used by the evented
+//!   backend: inspects a byte buffer as it stands and answers
+//!   [`Parse::Complete`], [`Parse::Partial`] (keep reading), or
+//!   [`Parse::Bad`] (answer 400 and close). It never blocks and never
+//!   commits to a partial request, so it tolerates requests split at
+//!   any byte boundary and pipelined requests back to back — calling
+//!   it again on the remainder after [`Parse::Complete`] yields the
+//!   next request.
+//!
+//! Both enforce the same caps ([`MAX_HEADER_BYTES`], [`MAX_BODY`]),
+//! reject `Transfer-Encoding` with the same message, and produce the
+//! same [`Request`] for the same bytes — a property pinned down by the
+//! `parser_proptests` suite, which diffs them at every split point.
+
+use std::io::{BufRead, BufReader, Read};
+
+/// 8 KiB cap on the request line plus all headers combined: hostile
+/// clients must not grow server memory by streaming an endless header
+/// section (the body has its own [`MAX_BODY`] cap).
+pub const MAX_HEADER_BYTES: usize = 8 << 10;
+
+/// 4 MiB request-body cap: the only body-bearing endpoint is `/embed`,
+/// whose batches are node-id lists.
+pub const MAX_BODY: usize = 4 << 20;
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, ...), as sent.
+    pub method: String,
+    /// Path component of the request target (before any `?`).
+    pub path: String,
+    /// Raw query string (after `?`), empty when absent.
+    pub query: String,
+    /// Request body (`Content-Length` bytes).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response
+    /// (HTTP/1.1 default, overridden by a `Connection` header).
+    pub keep_alive: bool,
+}
+
+/// Outcome of one [`parse_request`] attempt over a byte buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Parse {
+    /// A full request; `.1` is how many bytes of the buffer it
+    /// consumed (the remainder may hold pipelined follow-ups).
+    Complete(Request, usize),
+    /// The buffer holds a valid prefix; more bytes are needed.
+    Partial,
+    /// The bytes can never become a valid request: answer 400 with
+    /// this message and close the connection.
+    Bad(String),
+}
+
+/// One header-section line pulled out of the buffer, budget-charged.
+enum Line<'a> {
+    /// The line without its terminator, trimmed of trailing whitespace.
+    Some(&'a str),
+    /// No full line in the buffer yet (within budget).
+    NeedMore,
+    /// No newline within the remaining budget — the header section can
+    /// only get too large from here.
+    TooBig,
+}
+
+/// Finds the next LF-terminated line at `pos`, charging its length
+/// (including the terminator) against `budget` — the same accounting
+/// as the blocking reader's `take(budget + 1)` guard.
+fn next_line<'a>(buf: &'a [u8], pos: &mut usize, budget: &mut usize) -> Result<Line<'a>, String> {
+    let window = &buf[*pos..];
+    let limit = window.len().min(*budget + 1);
+    match window[..limit].iter().position(|&b| b == b'\n') {
+        Some(idx) => {
+            let n = idx + 1;
+            let raw = &window[..idx]; // terminator stripped
+            *budget -= n.min(*budget);
+            *pos += n;
+            let line = std::str::from_utf8(raw).map_err(|_| "header not UTF-8".to_string())?;
+            Ok(Line::Some(line.trim_end()))
+        }
+        None if window.len() > *budget => Ok(Line::TooBig),
+        None => Ok(Line::NeedMore),
+    }
+}
+
+/// Parsed header section (everything before the body).
+struct Head {
+    method: String,
+    target: String,
+    keep_alive: bool,
+    content_length: usize,
+}
+
+/// Parses the request line and headers starting at `pos`. `Ok(None)`
+/// means the buffer ran out before the blank line (keep reading).
+fn parse_head(buf: &[u8], pos: &mut usize) -> Result<Option<Head>, String> {
+    let mut budget = MAX_HEADER_BYTES;
+    let too_big = || "header section too large or truncated".to_string();
+    let line = match next_line(buf, pos, &mut budget)? {
+        Line::Some(line) => line,
+        Line::NeedMore => return Ok(None),
+        Line::TooBig => return Err(too_big()),
+    };
+    let mut parts = line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m.to_string(), t.to_string(), v),
+        _ => return Err("malformed request line".to_string()),
+    };
+    let mut content_length = 0usize;
+    // HTTP/1.1 defaults to keep-alive; HTTP/1.0 to close.
+    let mut keep_alive = version.eq_ignore_ascii_case("HTTP/1.1");
+    loop {
+        let header = match next_line(buf, pos, &mut budget)? {
+            Line::Some(line) => line,
+            Line::NeedMore => return Ok(None),
+            Line::TooBig => return Err(too_big()),
+        };
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .parse()
+                    .map_err(|_| "bad content-length".to_string())?;
+                if content_length > MAX_BODY {
+                    return Err("body too large".to_string());
+                }
+            } else if name.eq_ignore_ascii_case("transfer-encoding") {
+                // Chunked bodies are not implemented; accepting the
+                // request while ignoring the header would desync the
+                // keep-alive stream (the body would be parsed as the
+                // next request), so reject explicitly.
+                return Err(
+                    "transfer-encoding not supported (send a content-length body)".to_string(),
+                );
+            } else if name.eq_ignore_ascii_case("connection") {
+                if value.eq_ignore_ascii_case("close") {
+                    keep_alive = false;
+                } else if value.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive = true;
+                }
+            }
+        }
+    }
+    Ok(Some(Head {
+        method,
+        target,
+        keep_alive,
+        content_length,
+    }))
+}
+
+/// Attempts to parse one request from the front of `buf` without
+/// consuming it — the caller drains the reported byte count on
+/// [`Parse::Complete`]. Stateless: re-parsing a grown buffer repeats
+/// the (cheap, allocation-light) scan from the start, which keeps
+/// torn-request handling trivially correct.
+pub fn parse_request(buf: &[u8]) -> Parse {
+    let mut pos = 0usize;
+    let head = match parse_head(buf, &mut pos) {
+        Ok(Some(head)) => head,
+        Ok(None) => return Parse::Partial,
+        Err(msg) => return Parse::Bad(msg),
+    };
+    if buf.len() - pos < head.content_length {
+        return Parse::Partial;
+    }
+    let body = buf[pos..pos + head.content_length].to_vec();
+    let (path, query) = split_target(head.target);
+    Parse::Complete(
+        Request {
+            method: head.method,
+            path,
+            query,
+            body,
+            keep_alive: head.keep_alive,
+        },
+        pos + head.content_length,
+    )
+}
+
+fn split_target(target: String) -> (String, String) {
+    match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target, String::new()),
+    }
+}
+
+/// Reads one CRLF/LF-terminated line, charging it against `budget`.
+/// `Ok(None)` means clean EOF before any byte; a line that exhausts
+/// the budget or hits EOF mid-line is an error.
+fn read_line_limited<R: Read>(
+    reader: &mut BufReader<R>,
+    budget: &mut usize,
+) -> std::io::Result<Option<String>> {
+    let mut raw = Vec::new();
+    let n = reader
+        .by_ref()
+        .take(*budget as u64 + 1)
+        .read_until(b'\n', &mut raw)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if raw.last() != Some(&b'\n') {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "header section too large or truncated",
+        ));
+    }
+    *budget -= n.min(*budget);
+    String::from_utf8(raw)
+        .map(Some)
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "header not UTF-8"))
+}
+
+/// Blocking one-shot reader: pulls one request off `reader`, waiting
+/// for bytes as the transport delivers them. `Ok(None)` is a clean EOF
+/// before any request byte (keep-alive connection closed between
+/// requests). Same grammar, limits, and error messages as
+/// [`parse_request`].
+///
+/// # Errors
+/// Transport errors, plus `InvalidData` for malformed or over-limit
+/// requests and `UnexpectedEof` for connections torn mid-request.
+pub fn read_request<R: Read>(reader: &mut BufReader<R>) -> std::io::Result<Option<Request>> {
+    let invalid = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let mut budget = MAX_HEADER_BYTES;
+    let Some(line) = read_line_limited(reader, &mut budget)? else {
+        return Ok(None);
+    };
+    let line = line.trim_end();
+    let mut parts = line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m.to_string(), t.to_string(), v.to_string()),
+        _ => return Err(invalid("malformed request line")),
+    };
+    let mut content_length = 0usize;
+    let mut keep_alive = version.eq_ignore_ascii_case("HTTP/1.1");
+    loop {
+        let Some(header) = read_line_limited(reader, &mut budget)? else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "eof inside headers",
+            ));
+        };
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.parse().map_err(|_| invalid("bad content-length"))?;
+                if content_length > MAX_BODY {
+                    return Err(invalid("body too large"));
+                }
+            } else if name.eq_ignore_ascii_case("transfer-encoding") {
+                return Err(invalid(
+                    "transfer-encoding not supported (send a content-length body)",
+                ));
+            } else if name.eq_ignore_ascii_case("connection") {
+                if value.eq_ignore_ascii_case("close") {
+                    keep_alive = false;
+                } else if value.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive = true;
+                }
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let (path, query) = split_target(target);
+    Ok(Some(Request {
+        method,
+        path,
+        query,
+        body,
+        keep_alive,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_get_with_query() {
+        let raw = b"GET /topk/3?k=5 HTTP/1.1\r\nhost: x\r\n\r\n";
+        let Parse::Complete(req, consumed) = parse_request(raw) else {
+            panic!("expected complete");
+        };
+        assert_eq!(consumed, raw.len());
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/topk/3");
+        assert_eq!(req.query, "k=5");
+        assert!(req.keep_alive);
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn post_body_and_pipelined_follow_up() {
+        let raw =
+            b"POST /embed HTTP/1.1\r\ncontent-length: 4\r\n\r\nabcdGET /healthz HTTP/1.1\r\n\r\n";
+        let Parse::Complete(req, consumed) = parse_request(raw) else {
+            panic!("expected complete");
+        };
+        assert_eq!(req.body, b"abcd");
+        let Parse::Complete(next, rest) = parse_request(&raw[consumed..]) else {
+            panic!("expected pipelined follow-up");
+        };
+        assert_eq!(next.path, "/healthz");
+        assert_eq!(consumed + rest, raw.len());
+    }
+
+    #[test]
+    fn every_prefix_is_partial_until_complete() {
+        let raw = b"POST /embed HTTP/1.1\r\ncontent-length: 3\r\nconnection: close\r\n\r\nxyz";
+        let Parse::Complete(req, consumed) = parse_request(raw) else {
+            panic!("expected complete");
+        };
+        assert_eq!(consumed, raw.len());
+        assert!(!req.keep_alive);
+        for cut in 0..raw.len() {
+            assert_eq!(parse_request(&raw[..cut]), Parse::Partial, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_inputs_are_bad_never_partial() {
+        assert!(matches!(
+            parse_request(b"nonsense\r\n\r\n"),
+            Parse::Bad(msg) if msg.contains("request line")
+        ));
+        assert!(matches!(
+            parse_request(b"GET / HTTP/1.1\r\ncontent-length: eleven\r\n\r\n"),
+            Parse::Bad(msg) if msg.contains("content-length")
+        ));
+        assert!(matches!(
+            parse_request(b"GET / HTTP/1.1\r\ncontent-length: 99999999\r\n\r\n"),
+            Parse::Bad(msg) if msg.contains("too large")
+        ));
+        assert!(matches!(
+            parse_request(b"GET / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n"),
+            Parse::Bad(msg) if msg.contains("transfer-encoding")
+        ));
+        assert!(matches!(
+            parse_request(b"GET /\xff\xfe HTTP/1.1\r\n\r\n"),
+            Parse::Bad(msg) if msg.contains("UTF-8")
+        ));
+    }
+
+    #[test]
+    fn oversized_header_section_is_bad() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        raw.extend_from_slice(b"x-junk: ");
+        raw.extend(std::iter::repeat_n(b'a', MAX_HEADER_BYTES));
+        // No terminator yet, but the budget is already unreachable.
+        assert!(matches!(parse_request(&raw), Parse::Bad(_)));
+    }
+
+    #[test]
+    fn blocking_reader_matches_incremental() {
+        let raw: &[u8] =
+            b"POST /embed?x=1 HTTP/1.0\r\ncontent-length: 2\r\nconnection: keep-alive\r\n\r\nok";
+        let Parse::Complete(incremental, consumed) = parse_request(raw) else {
+            panic!("expected complete");
+        };
+        assert_eq!(consumed, raw.len());
+        let mut reader = BufReader::new(std::io::Cursor::new(raw));
+        let blocking = read_request(&mut reader).unwrap().unwrap();
+        assert_eq!(blocking, incremental);
+        assert!(blocking.keep_alive, "explicit keep-alive on HTTP/1.0");
+    }
+}

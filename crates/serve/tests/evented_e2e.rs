@@ -1,0 +1,442 @@
+//! End-to-end tests for the evented (epoll) backend: byte-identity
+//! against the threaded oracle, idle/slowloris reaping, malformed and
+//! torn requests, mid-write disconnects, load shedding at the
+//! connection cap, pipelining, and concurrent keep-alive load — the
+//! overload and failure behavior the readiness loop makes defined.
+
+#![cfg(target_os = "linux")]
+
+use mvag_data::json::Value;
+use sgla_serve::{
+    Artifact, EngineConfig, HttpClient, QueryEngine, ServeBackend, Server, ServerConfig,
+    TrainConfig,
+};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn trained_artifact() -> Artifact {
+    // Training dominates test wall-clock in debug builds; every test
+    // serves clones of one shared artifact.
+    static SHARED: std::sync::OnceLock<Artifact> = std::sync::OnceLock::new();
+    SHARED
+        .get_or_init(|| {
+            let mvag = mvag_data::toy_mvag(90, 3, 19);
+            let mut config = TrainConfig::default();
+            config.embed.dim = 8;
+            Artifact::train(&mvag, &config).unwrap()
+        })
+        .clone()
+}
+
+fn start(backend: ServeBackend, configure: impl FnOnce(&mut ServerConfig)) -> Server {
+    let engine = Arc::new(QueryEngine::new(trained_artifact(), EngineConfig::default()).unwrap());
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:0".parse().unwrap(),
+        backend,
+        workers: 4,
+        ..ServerConfig::default()
+    };
+    configure(&mut config);
+    Server::start(engine, &config).unwrap()
+}
+
+/// Reads exactly one HTTP response (head + `content-length` body) off
+/// the stream, returning the raw bytes.
+fn read_response(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
+    let mut raw = Vec::new();
+    let mut byte = [0u8; 1];
+    while !raw.ends_with(b"\r\n\r\n") {
+        match stream.read(&mut byte)? {
+            0 => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    format!("eof inside head after {} bytes", raw.len()),
+                ))
+            }
+            _ => raw.push(byte[0]),
+        }
+    }
+    let head = String::from_utf8_lossy(&raw).to_string();
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| {
+            l.to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .map(str::trim)
+                .map(String::from)
+        })
+        .and_then(|v| v.parse().ok())
+        .expect("response without content-length");
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body)?;
+    raw.extend_from_slice(&body);
+    Ok(raw)
+}
+
+/// One raw request/response round trip on a fresh connection.
+fn raw_roundtrip(addr: SocketAddr, request: &[u8]) -> Vec<u8> {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(request).unwrap();
+    read_response(&mut stream).unwrap()
+}
+
+/// Blanks the value of the `x-request-id` header (the one legitimately
+/// server-specific byte sequence) so responses can be compared
+/// byte-for-byte across backends.
+fn normalize_request_id(raw: &[u8]) -> Vec<u8> {
+    let text = String::from_utf8_lossy(raw);
+    let mut out = String::with_capacity(text.len());
+    for (i, line) in text.split("\r\n").enumerate() {
+        if i > 0 {
+            out.push_str("\r\n");
+        }
+        if line.starts_with("x-request-id: req-") {
+            out.push_str("x-request-id: req-<normalized>");
+        } else {
+            out.push_str(line);
+        }
+    }
+    out.into_bytes()
+}
+
+/// `SO_LINGER { on, 0 }`: closing the socket sends RST instead of FIN
+/// (std's `set_linger` is still unstable).
+fn set_linger_zero(stream: &TcpStream) {
+    use std::os::unix::io::AsRawFd;
+    #[repr(C)]
+    struct Linger {
+        l_onoff: i32,
+        l_linger: i32,
+    }
+    extern "C" {
+        fn setsockopt(
+            fd: i32,
+            level: i32,
+            name: i32,
+            value: *const std::ffi::c_void,
+            len: u32,
+        ) -> i32;
+    }
+    const SOL_SOCKET: i32 = 1;
+    const SO_LINGER: i32 = 13;
+    let linger = Linger {
+        l_onoff: 1,
+        l_linger: 0,
+    };
+    let ret = unsafe {
+        setsockopt(
+            stream.as_raw_fd(),
+            SOL_SOCKET,
+            SO_LINGER,
+            (&raw const linger).cast(),
+            std::mem::size_of::<Linger>() as u32,
+        )
+    };
+    assert_eq!(
+        ret,
+        0,
+        "setsockopt(SO_LINGER): {}",
+        std::io::Error::last_os_error()
+    );
+}
+
+fn request_id_of(raw: &[u8]) -> Option<String> {
+    String::from_utf8_lossy(raw)
+        .split("\r\n")
+        .find_map(|l| l.strip_prefix("x-request-id: ").map(String::from))
+}
+
+/// The tentpole's correctness bar: the two backends produce
+/// byte-identical responses (modulo the request id) for the same
+/// requests — success paths, error paths, and keep-alive semantics.
+#[test]
+fn evented_matches_threaded_byte_for_byte() {
+    let threaded = start(ServeBackend::Threaded, |_| {});
+    let evented = start(ServeBackend::Evented, |_| {});
+    let requests: Vec<Vec<u8>> = vec![
+        b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n".to_vec(),
+        b"GET /artifact HTTP/1.1\r\n\r\n".to_vec(),
+        b"GET /cluster/17 HTTP/1.1\r\n\r\n".to_vec(),
+        b"GET /topk/44?k=7 HTTP/1.1\r\n\r\n".to_vec(),
+        b"GET /topk/3 HTTP/1.1\r\nconnection: close\r\n\r\n".to_vec(),
+        b"GET /cluster/99999 HTTP/1.1\r\n\r\n".to_vec(), // out of range: 400
+        b"GET /no/such/path HTTP/1.1\r\n\r\n".to_vec(),  // 404
+        b"DELETE /healthz HTTP/1.1\r\n\r\n".to_vec(),    // 405
+        {
+            let body = Value::object(vec![("nodes", Value::from(vec![0usize, 5, 89]))])
+                .to_string_compact();
+            format!(
+                "POST /embed HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .into_bytes()
+        },
+    ];
+    for request in &requests {
+        let from_threaded = raw_roundtrip(threaded.local_addr(), request);
+        let from_evented = raw_roundtrip(evented.local_addr(), request);
+        assert_eq!(
+            normalize_request_id(&from_threaded),
+            normalize_request_id(&from_evented),
+            "backends disagree on {:?}",
+            String::from_utf8_lossy(request)
+        );
+    }
+    threaded.shutdown();
+    evented.shutdown();
+}
+
+/// A client that connects and never sends a byte is reaped within the
+/// idle timeout (plus one sweep interval) — the slowloris guard.
+#[test]
+fn silent_connection_is_reaped() {
+    let server = start(ServeBackend::Evented, |c| {
+        c.read_timeout = Duration::from_millis(300);
+    });
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let started = Instant::now();
+    let mut buf = [0u8; 64];
+    // A silent idler gets no response bytes, just a close.
+    let n = stream.read(&mut buf).unwrap();
+    assert_eq!(n, 0, "expected a quiet close, got {:?}", &buf[..n]);
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "reap took {:?}",
+        started.elapsed()
+    );
+    server.shutdown();
+}
+
+/// A half-sent request gets a `408` with an `x-request-id` stamped,
+/// then the connection closes.
+#[test]
+fn torn_request_gets_408_with_request_id() {
+    let server = start(ServeBackend::Evented, |c| {
+        c.read_timeout = Duration::from_millis(300);
+    });
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(b"GET /healthz HT").unwrap(); // torn mid-request-line
+    let raw = read_response(&mut stream).unwrap();
+    let text = String::from_utf8_lossy(&raw);
+    assert!(
+        text.starts_with("HTTP/1.1 408 Request Timeout\r\n"),
+        "{text}"
+    );
+    assert!(
+        request_id_of(&raw).is_some_and(|id| id.starts_with("req-")),
+        "{text}"
+    );
+    // After the 408 the server closes its end.
+    let mut rest = Vec::new();
+    assert_eq!(stream.read_to_end(&mut rest).unwrap(), 0);
+    server.shutdown();
+}
+
+/// A malformed request gets an immediate `400` with an `x-request-id`,
+/// same contract as the threaded backend.
+#[test]
+fn malformed_request_gets_400_with_request_id() {
+    let server = start(ServeBackend::Evented, |_| {});
+    let raw = raw_roundtrip(server.local_addr(), b"nonsense\r\n\r\n");
+    let text = String::from_utf8_lossy(&raw);
+    assert!(text.starts_with("HTTP/1.1 400 Bad Request\r\n"), "{text}");
+    assert!(text.contains("malformed request line"), "{text}");
+    assert!(request_id_of(&raw).is_some(), "{text}");
+    server.shutdown();
+}
+
+/// The loop survives peers that vanish mid-exchange (RST / EPIPE /
+/// ECONNRESET): later requests on fresh connections still work.
+#[test]
+fn loop_survives_abrupt_disconnects() {
+    let server = start(ServeBackend::Evented, |_| {});
+    for _ in 0..8 {
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        // SO_LINGER 0: closing sends RST instead of FIN, so the
+        // server sees ECONNRESET on its next read/write.
+        set_linger_zero(&stream);
+        stream
+            .write_all(b"GET /topk/10?k=5 HTTP/1.1\r\n\r\n")
+            .unwrap();
+        drop(stream); // RST while the request may still be computing
+    }
+    // The loop must still be serving.
+    let mut client = HttpClient::connect(server.local_addr()).unwrap();
+    let health = client.get("/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    server.shutdown();
+}
+
+/// Beyond `max_connections` open connections, new accepts are shed
+/// with a best-effort `503` and closed; capacity frees up again when
+/// an occupant leaves.
+#[test]
+fn connection_cap_sheds_with_503() {
+    let server = start(ServeBackend::Evented, |c| {
+        c.max_connections = 2;
+    });
+    // Two occupants, verified live with a request each.
+    let mut occupants = Vec::new();
+    for _ in 0..2 {
+        let mut c = HttpClient::connect(server.local_addr()).unwrap();
+        assert_eq!(c.get("/healthz").unwrap().status, 200);
+        occupants.push(c);
+    }
+    // The third connection is shed.
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let raw = read_response(&mut stream).unwrap();
+    let text = String::from_utf8_lossy(&raw);
+    assert!(
+        text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"),
+        "{text}"
+    );
+    assert!(text.contains("connection capacity"), "{text}");
+    // Shedding is visible on /stats via an occupant's connection.
+    let stats = occupants[0].get("/stats").unwrap();
+    let conns = stats.body.get("connections").unwrap();
+    assert!(conns.get("shed").unwrap().as_usize().unwrap() >= 1);
+    assert_eq!(conns.get("open").unwrap().as_usize(), Some(2));
+    // An occupant leaving frees a slot.
+    drop(occupants.pop());
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let mut c = HttpClient::connect(server.local_addr()).unwrap();
+        match c.get("/healthz") {
+            Ok(r) if r.status == 200 => break,
+            _ if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(50)),
+            other => panic!("slot never freed: {other:?}"),
+        }
+    }
+    server.shutdown();
+}
+
+/// Two requests written in one packet come back as two in-order
+/// responses on the same connection (pipelining via the leftover
+/// re-parse after each response).
+#[test]
+fn pipelined_requests_answer_in_order() {
+    let server = start(ServeBackend::Evented, |_| {});
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(b"GET /cluster/1 HTTP/1.1\r\n\r\nGET /cluster/2 HTTP/1.1\r\n\r\n")
+        .unwrap();
+    let first = read_response(&mut stream).unwrap();
+    let second = read_response(&mut stream).unwrap();
+    let first_id = request_id_of(&first).unwrap();
+    let second_id = request_id_of(&second).unwrap();
+    assert_ne!(
+        first_id, second_id,
+        "each pipelined request gets its own id"
+    );
+    assert!(String::from_utf8_lossy(&first).starts_with("HTTP/1.1 200 OK\r\n"));
+    assert!(String::from_utf8_lossy(&second).starts_with("HTTP/1.1 200 OK\r\n"));
+    server.shutdown();
+}
+
+/// Many keep-alive clients at once — far more connections than
+/// executor threads — all served correctly, with the open-connection
+/// gauge seeing them and every answer matching the direct engine call.
+#[test]
+fn concurrent_keep_alive_clients() {
+    const CLIENTS: usize = 48;
+    const ROUNDS: usize = 4;
+    let engine = Arc::new(QueryEngine::new(trained_artifact(), EngineConfig::default()).unwrap());
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".parse().unwrap(),
+        backend: ServeBackend::Evented,
+        workers: 2,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(Arc::clone(&engine), &config).unwrap();
+    let addr = server.local_addr();
+    let barrier = Arc::new(std::sync::Barrier::new(CLIENTS));
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            let barrier = Arc::clone(&barrier);
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || {
+                let mut client = HttpClient::connect(addr).unwrap();
+                barrier.wait();
+                for round in 0..ROUNDS {
+                    let node = (i * 7 + round * 13) % 90;
+                    let res = client.get(&format!("/topk/{node}?k=5")).unwrap();
+                    assert_eq!(res.status, 200);
+                    let direct = engine.top_k_similar(node, 5).unwrap();
+                    let wire = res.body.get("neighbors").unwrap().as_array().unwrap();
+                    assert_eq!(wire.len(), direct.len());
+                    for (got, want) in wire.iter().zip(&direct) {
+                        assert_eq!(got.get("node").unwrap().as_usize(), Some(want.node));
+                    }
+                }
+                // Every client holds its connection across this
+                // barrier, so one of them can observe all of them on
+                // the open-connections gauge.
+                barrier.wait();
+                if i == 0 {
+                    let stats = client.get("/stats").unwrap();
+                    let open = stats
+                        .body
+                        .get("connections")
+                        .unwrap()
+                        .get("open")
+                        .unwrap()
+                        .as_usize()
+                        .unwrap();
+                    assert!(open >= CLIENTS, "only {open} connections open");
+                }
+                barrier.wait(); // nobody disconnects before the check
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    server.shutdown();
+}
+
+/// `/metrics` carries the `sgla_conn_*` families and the whole page
+/// still passes the Prometheus conformance check.
+#[test]
+fn conn_metrics_render_and_validate() {
+    let server = start(ServeBackend::Evented, |_| {});
+    let mut client = HttpClient::connect(server.local_addr()).unwrap();
+    assert_eq!(client.get("/healthz").unwrap().status, 200);
+    let (status, page) = client.get_text("/metrics").unwrap();
+    assert_eq!(status, 200);
+    for family in [
+        "sgla_conn_open",
+        "sgla_conn_accepts_total",
+        "sgla_conn_timeouts_total",
+        "sgla_conn_shed_total",
+        "sgla_conn_read_buf_hwm_bytes",
+        "sgla_conn_write_buf_hwm_bytes",
+    ] {
+        assert!(page.contains(&format!("# HELP {family} ")), "{family}");
+        assert!(page.contains(&format!("\n{family} ")), "{family}");
+    }
+    sgla_serve::metrics::validate_prometheus(&page).unwrap();
+    // The read-buffer high-water mark saw our requests.
+    let conns_open: Vec<&str> = page
+        .lines()
+        .filter(|l| l.starts_with("sgla_conn_open "))
+        .collect();
+    assert_eq!(conns_open.len(), 1);
+    server.shutdown();
+}

@@ -1,0 +1,195 @@
+//! Property tests for the shared HTTP/1.1 parser (`sgla_serve::parser`).
+//!
+//! The evented backend feeds the incremental [`parse_request`] from a
+//! growing per-connection buffer, so its contract is stronger than the
+//! blocking reader's: a request split at *any* byte boundary must be
+//! `Partial` for every strict prefix and `Complete` only on the full
+//! bytes, pipelined requests must come out back to back, and hostile
+//! input (oversized headers, torn requests, random bytes) must settle
+//! on `Bad` or `Partial` — never a panic, never a hang, and never a
+//! disagreement with the one-shot [`read_request`] oracle the threaded
+//! backend uses.
+
+use proptest::prelude::*;
+use sgla_serve::parser::{parse_request, read_request, Parse, Request, MAX_HEADER_BYTES};
+use std::io::BufReader;
+
+/// A generated request: the raw bytes and what parsing must yield.
+#[derive(Debug, Clone)]
+struct GenRequest {
+    raw: Vec<u8>,
+    expect: Request,
+}
+
+/// Strategy for a well-formed request assembled from small component
+/// pools (method, path, query, extra headers, body, keep-alive form).
+fn request_strategy() -> impl Strategy<Value = GenRequest> {
+    let methods = ["GET", "POST", "PUT", "DELETE"];
+    let paths = ["/", "/healthz", "/topk/17", "/embed", "/stats", "/a/b/c"];
+    let queries = ["", "k=5", "k=5&mode=approx", "reset=true"];
+    // ((method, path, query), (connection-variant, body, junk headers))
+    (
+        (
+            0usize..methods.len(),
+            0usize..paths.len(),
+            0usize..queries.len(),
+        ),
+        (0usize..4, collection::vec(0u8..=255u8, 0..64), 0usize..4),
+    )
+        .prop_map(move |((m, p, q), (conn, body, junk))| {
+            let method = methods[m];
+            let path = paths[p];
+            let query = queries[q];
+            let target = if query.is_empty() {
+                path.to_string()
+            } else {
+                format!("{path}?{query}")
+            };
+            let mut raw = format!("{method} {target} HTTP/1.1\r\n").into_bytes();
+            // Headers the parser must skip over without tripping.
+            for j in 0..junk {
+                raw.extend_from_slice(format!("x-junk-{j}: value {j}\r\n").as_bytes());
+            }
+            let keep_alive = match conn {
+                0 => true, // HTTP/1.1 default
+                1 => {
+                    raw.extend_from_slice(b"connection: keep-alive\r\n");
+                    true
+                }
+                2 => {
+                    raw.extend_from_slice(b"connection: close\r\n");
+                    false
+                }
+                _ => {
+                    raw.extend_from_slice(b"Connection: Close\r\n"); // case-insensitive
+                    false
+                }
+            };
+            if !body.is_empty() {
+                raw.extend_from_slice(format!("content-length: {}\r\n", body.len()).as_bytes());
+            }
+            raw.extend_from_slice(b"\r\n");
+            raw.extend_from_slice(&body);
+            GenRequest {
+                raw,
+                expect: Request {
+                    method: method.to_string(),
+                    path: path.to_string(),
+                    query: query.to_string(),
+                    body,
+                    keep_alive,
+                },
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every strict prefix parses `Partial`; the full bytes parse
+    /// `Complete` with the exact request and full consumption — the
+    /// "split at every byte boundary" guarantee the evented read path
+    /// leans on.
+    #[test]
+    fn every_byte_split_is_partial_then_complete(generated in request_strategy()) {
+        let raw = &generated.raw;
+        for cut in 0..raw.len() {
+            prop_assert_eq!(parse_request(&raw[..cut]), Parse::Partial, "cut {}", cut);
+        }
+        let Parse::Complete(req, consumed) = parse_request(raw) else {
+            panic!("full request must be complete");
+        };
+        prop_assert_eq!(consumed, raw.len());
+        prop_assert_eq!(req, generated.expect.clone());
+    }
+
+    /// The incremental parser and the blocking one-shot reader agree
+    /// on every generated request.
+    #[test]
+    fn incremental_matches_blocking_oracle(generated in request_strategy()) {
+        let Parse::Complete(incremental, _) = parse_request(&generated.raw) else {
+            panic!("full request must be complete");
+        };
+        let mut reader = BufReader::new(std::io::Cursor::new(generated.raw.clone()));
+        let blocking = read_request(&mut reader)
+            .expect("blocking parse failed")
+            .expect("blocking parse saw EOF");
+        prop_assert_eq!(blocking, incremental);
+    }
+
+    /// Two requests back to back parse out in order, consuming exactly
+    /// their own bytes (pipelining), at every split point of the
+    /// concatenated stream.
+    #[test]
+    fn pipelined_pair_parses_in_order(
+        first in request_strategy(),
+        second in request_strategy(),
+        split_seed in 0u64..1 << 32,
+    ) {
+        let mut stream = first.raw.clone();
+        stream.extend_from_slice(&second.raw);
+        // One arbitrary split point per case (the per-request loop
+        // above already covers every boundary of a single request).
+        let cut = (split_seed as usize) % (stream.len() + 1);
+        let (a, b) = stream.split_at(cut);
+        let mut buf = a.to_vec();
+        let outcome = parse_request(&buf);
+        if cut < first.raw.len() {
+            prop_assert_eq!(outcome, Parse::Partial);
+        }
+        buf.extend_from_slice(b);
+        let Parse::Complete(got_first, consumed) = parse_request(&buf) else {
+            panic!("first of pipelined pair must complete");
+        };
+        prop_assert_eq!(got_first, first.expect.clone());
+        prop_assert_eq!(consumed, first.raw.len());
+        let Parse::Complete(got_second, rest) = parse_request(&buf[consumed..]) else {
+            panic!("second of pipelined pair must complete");
+        };
+        prop_assert_eq!(got_second, second.expect.clone());
+        prop_assert_eq!(consumed + rest, stream.len());
+    }
+
+    /// A header section that outgrows the budget is `Bad` — with or
+    /// without a terminating newline in the buffer — matching the
+    /// blocking reader's verdict on the same bytes.
+    #[test]
+    fn oversized_headers_are_bad(extra in 0usize..128, terminated in 0u8..2) {
+        let mut raw = b"GET / HTTP/1.1\r\nx-flood: ".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX_HEADER_BYTES + extra));
+        if terminated == 1 {
+            raw.extend_from_slice(b"\r\n\r\n");
+        }
+        prop_assert!(matches!(parse_request(&raw), Parse::Bad(_)));
+        let mut reader = BufReader::new(std::io::Cursor::new(raw));
+        prop_assert!(read_request(&mut reader).is_err());
+    }
+
+    /// A request torn anywhere stays `Partial` (the loop keeps the
+    /// connection and waits for the idle sweep) and the blocking
+    /// reader reports an error or clean EOF — neither side fabricates
+    /// a request from a truncated stream.
+    #[test]
+    fn torn_requests_never_fabricate(generated in request_strategy(), cut_seed in 0u64..1 << 32) {
+        let full = &generated.raw;
+        let cut = (cut_seed as usize) % full.len();
+        let torn = &full[..cut];
+        prop_assert_eq!(parse_request(torn), Parse::Partial);
+        let mut reader = BufReader::new(std::io::Cursor::new(torn.to_vec()));
+        match read_request(&mut reader) {
+            Ok(None) | Err(_) => {} // clean EOF before any byte, or torn-stream error
+            Ok(Some(req)) => panic!("blocking reader fabricated {req:?} from a torn stream"),
+        }
+    }
+
+    /// Arbitrary bytes never panic the parser and always reach a
+    /// verdict in one pass (the parser is a pure function of the
+    /// buffer — calling it is the proof there is no hang).
+    #[test]
+    fn random_bytes_reach_a_verdict(noise in collection::vec(0u8..=255u8, 0..512)) {
+        match parse_request(&noise) {
+            Parse::Complete(_, consumed) => prop_assert!(consumed <= noise.len()),
+            Parse::Partial | Parse::Bad(_) => {}
+        }
+    }
+}
