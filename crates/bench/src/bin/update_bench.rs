@@ -6,34 +6,52 @@
 //! or misses the committed ≤ 0.5× ratio (full run), or if
 //! verification diverges.
 //!
+//! `--crud-smoke` runs the delete/edit/compact gate instead: a
+//! tombstoning CRUD delta via the warm update path, verified live-row
+//! -for-live-row against a retrain, then a sharded compaction whose
+//! write amplification must stay within 2× the dirty-shard bytes and
+//! whose answers must match the monolithic compaction to the bit. Its
+//! fragment merges into the same report under `"crud_smoke"`.
+//!
 //! ```bash
 //! cargo run --release --bin update_bench
 //! cargo run --release --bin update_bench -- --smoke true --n 300
+//! cargo run --release --bin update_bench -- --crud-smoke --n 300
 //! ```
 
-use mvag_bench::update_bench::{run_to_file, UpdateBenchConfig};
+use mvag_bench::update_bench::{run_crud_smoke_to_file, run_to_file, UpdateBenchConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut config = UpdateBenchConfig::default();
+    let mut crud = false;
     let mut out = PathBuf::from("BENCH_update.json");
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
-        // `--smoke` may appear bare (CI convenience) or with a value.
-        if flag == "--smoke" {
-            match it.clone().next().map(String::as_str) {
+        // `--smoke` / `--crud-smoke` may appear bare (CI convenience)
+        // or with a value.
+        if flag == "--smoke" || flag == "--crud-smoke" {
+            let enabled = match it.clone().next().map(String::as_str) {
                 Some("true") | Some("1") => {
                     it.next();
+                    true
                 }
                 Some("false") | Some("0") => {
                     it.next();
-                    continue;
+                    false
                 }
-                _ => {}
+                _ => true,
+            };
+            if flag == "--crud-smoke" {
+                crud = enabled;
+                // The CRUD gate is a smoke gate: noisy-runner timing
+                // thresholds, repeated timing runs.
+                config.smoke = config.smoke || enabled;
+            } else {
+                config.smoke = enabled;
             }
-            config.smoke = true;
             continue;
         }
         let Some(value) = it.next() else {
@@ -62,9 +80,40 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "update_bench: n={} k={} dim={} add_frac={} seed={} smoke={}",
-        config.n, config.k, config.dim, config.add_frac, config.seed, config.smoke
+        "update_bench: n={} k={} dim={} add_frac={} seed={} smoke={} crud={}",
+        config.n, config.k, config.dim, config.add_frac, config.seed, config.smoke, crud
     );
+    if crud {
+        return match run_crud_smoke_to_file(&config, &out) {
+            Ok(report) => {
+                println!(
+                    "deleted:   {} nodes (plus 2 in-place edits)",
+                    report.removed_nodes
+                );
+                println!("retrain:   {:.3}s (from scratch)", report.retrain_secs);
+                println!("update:    {:.3}s (warm-started CRUD)", report.update_secs);
+                println!(
+                    "ratio:     {:.3} (update/retrain; lower is better)",
+                    report.warm_ratio
+                );
+                println!(
+                    "verified:  live label agreement {:.4}, live subspace residual {:.4}",
+                    report.live_label_agreement, report.live_subspace_residual
+                );
+                println!(
+                    "compact:   write amplification {:.2}x dirty bytes (bound 2x), \
+                     sharded == monolithic to the bit",
+                    report.write_amp
+                );
+                println!("report:    {} (key \"crud_smoke\")", out.display());
+                ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                eprintln!("update_bench --crud-smoke failed: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     match run_to_file(&config, &out) {
         Ok(report) => {
             println!("appended:  {} nodes", report.added_nodes);

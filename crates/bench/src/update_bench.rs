@@ -24,15 +24,19 @@
 //! `BENCH_update.json`.
 
 use mvag_data::json::Value;
+use mvag_data::FsWriter;
 use mvag_eval::hungarian::hungarian_min;
 use mvag_graph::generators::{
     balanced_labels, gaussian_attributes, random_append_delta, sbm, AppendConfig,
     GaussianAttrConfig, SbmConfig,
 };
-use mvag_graph::{Mvag, View};
+use mvag_graph::{DeltaEdit, Mvag, MvagDelta, View, ViewDelta};
 use mvag_sparse::DenseMatrix;
 use sgla_core::embedding::EmbedBackend;
-use sgla_serve::{Artifact, TrainConfig};
+use sgla_serve::{
+    compact_sharded, Artifact, EngineConfig, QueryBackend, QueryEngine, RouterConfig, ShardRouter,
+    TrainConfig,
+};
 use std::time::Instant;
 
 /// Full runs fail when the warm update costs more than this fraction
@@ -48,6 +52,10 @@ pub const MIN_LABEL_AGREEMENT: f64 = 0.99;
 /// Maximum relative Frobenius residual of projecting the updated
 /// embedding onto the retrained embedding's column span.
 pub const MAX_SUBSPACE_RESIDUAL: f64 = 0.35;
+/// Maximum bytes a sharded compaction may write per dirty byte it
+/// rewrites (the committed write-amplification bound: dirty shards are
+/// rewritten once, plus the manifest and id-map sidecar).
+pub const MAX_COMPACT_WRITE_AMP: f64 = 2.0;
 
 /// Benchmark configuration.
 #[derive(Debug, Clone)]
@@ -327,6 +335,303 @@ pub fn run_to_file(
     Ok(report)
 }
 
+/// Outcome of one CRUD smoke run (`--crud-smoke`).
+#[derive(Debug, Clone)]
+pub struct CrudSmokeReport {
+    /// Seconds for the from-scratch retrain of the mutated graph.
+    pub retrain_secs: f64,
+    /// Seconds for the warm-started CRUD update.
+    pub update_secs: f64,
+    /// `update_secs / retrain_secs`.
+    pub warm_ratio: f64,
+    /// Hungarian-aligned label agreement over *live* (untombstoned)
+    /// nodes between the compacted update and the retrain.
+    pub live_label_agreement: f64,
+    /// Embedding subspace residual over live rows (update vs retrain).
+    pub live_subspace_residual: f64,
+    /// Nodes the delta tombstoned.
+    pub removed_nodes: usize,
+    /// Bytes a sharded compaction wrote per dirty byte rewritten.
+    pub write_amp: f64,
+    /// The JSON fragment merged into the report file.
+    pub json: Value,
+}
+
+/// One empty [`ViewDelta`] per view (the shape of a delete/edit-only
+/// delta).
+fn empty_views(mvag: &Mvag) -> Vec<ViewDelta> {
+    mvag.views()
+        .iter()
+        .map(|v| match v {
+            View::Graph(_) => ViewDelta::Edges(vec![]),
+            View::Attributes(x) => ViewDelta::Rows(DenseMatrix::zeros(0, x.ncols())),
+        })
+        .collect()
+}
+
+/// The CRUD gate: a delete + edit delta applied via the warm
+/// [`Artifact::update`] path, verified live-row-for-live-row against a
+/// from-scratch retrain of the mutated graph, then pushed through a
+/// sharded compaction whose write amplification must stay within
+/// [`MAX_COMPACT_WRITE_AMP`] of the dirty bytes and whose answers must
+/// match the monolithic compacted artifact to the bit.
+///
+/// # Errors
+/// Pipeline failures, or any verification/speedup/write-amp gate
+/// failing, rendered as strings for the CLI.
+pub fn run_crud_smoke(config: &UpdateBenchConfig) -> Result<CrudSmokeReport, String> {
+    let mvag = bench_mvag(config.n, config.k, config.seed);
+    let mut train_config = TrainConfig::default();
+    train_config.sgla.seed = config.seed;
+    train_config.embed.dim = config.dim;
+    train_config.embed.backend = EmbedBackend::Spectral;
+    let (artifact, views) =
+        Artifact::train_with_views(&mvag, &train_config).map_err(|e| e.to_string())?;
+
+    // ~3% deletions spread across the row (and shard) range, plus a
+    // few in-place edits of live nodes.
+    let removed: Vec<usize> = (0..(config.n / 32).max(2))
+        .map(|i| i * 32 + 1)
+        .take_while(|&r| r < config.n)
+        .collect();
+    let live = |node: usize| !removed.contains(&node);
+    let mut live_iter = (0..config.n).filter(|&x| live(x));
+    let mut next_live = || live_iter.next().expect("more live nodes than edits");
+    let (a, b, c) = (next_live(), next_live(), next_live());
+    let attr_view = mvag
+        .views()
+        .iter()
+        .position(|v| matches!(v, View::Attributes(_)))
+        .expect("bench MVAG has an attribute view");
+    let attr_width = match &mvag.views()[attr_view] {
+        View::Attributes(x) => x.ncols(),
+        View::Graph(_) => unreachable!(),
+    };
+    let delta = MvagDelta {
+        added_nodes: 0,
+        views: empty_views(&mvag),
+        added_labels: Some(vec![]),
+        removed_nodes: removed.clone(),
+        edits: vec![
+            DeltaEdit::EdgeWeight {
+                view: 0,
+                u: a,
+                v: b,
+                w: 2.0,
+            },
+            DeltaEdit::AttrRow {
+                view: attr_view,
+                node: c,
+                row: vec![0.25; attr_width],
+            },
+        ],
+    };
+    let updated_mvag = mvag.apply_delta(&delta).map_err(|e| e.to_string())?;
+
+    let timing_runs = if config.smoke { 2 } else { 1 };
+    let mut retrain_secs = f64::INFINITY;
+    let mut retrained = None;
+    for _ in 0..timing_runs {
+        let started = Instant::now();
+        let run = Artifact::train(&updated_mvag, &train_config).map_err(|e| e.to_string())?;
+        retrain_secs = retrain_secs.min(started.elapsed().as_secs_f64());
+        retrained = Some(run);
+    }
+    let retrained = retrained.expect("at least one retrain run");
+
+    let mut update_secs = f64::INFINITY;
+    let mut outcome = None;
+    for _ in 0..timing_runs {
+        let started = Instant::now();
+        let run = artifact
+            .update(&views, &mvag, &delta, &train_config)
+            .map_err(|e| e.to_string())?;
+        update_secs = update_secs.min(started.elapsed().as_secs_f64());
+        outcome = Some(run);
+    }
+    let updated = outcome.expect("at least one update run").artifact;
+
+    // Verification: the update tombstoned (not dropped) the removals,
+    // round-trips the codec, and — compacted — matches the retrain on
+    // every live row.
+    if updated.meta.n != config.n || updated.tombstone_count() != removed.len() {
+        return Err(format!(
+            "CRUD update has n = {}, tombstones = {} (expected {} / {})",
+            updated.meta.n,
+            updated.tombstone_count(),
+            config.n,
+            removed.len()
+        ));
+    }
+    let roundtrip = Artifact::decode(updated.encode().map_err(|e| e.to_string())?)
+        .map_err(|e| e.to_string())?;
+    if roundtrip != updated {
+        return Err("CRUD-updated artifact did not round-trip the codec bit-exactly".into());
+    }
+    let (compacted, id_map) = updated.compact().map_err(|e| e.to_string())?;
+    let live_old: Vec<usize> = (0..config.n).filter(|&o| id_map.map(o).is_some()).collect();
+    if compacted.meta.n != live_old.len() {
+        return Err(format!(
+            "compaction kept {} rows, expected {}",
+            compacted.meta.n,
+            live_old.len()
+        ));
+    }
+    let retrained_live_labels: Vec<usize> = live_old.iter().map(|&o| retrained.labels[o]).collect();
+    let live_label_agreement =
+        aligned_agreement(&compacted.labels, &retrained_live_labels, config.k);
+    if live_label_agreement < MIN_LABEL_AGREEMENT {
+        return Err(format!(
+            "CRUD update/retrain live-label agreement {live_label_agreement:.4} below \
+             {MIN_LABEL_AGREEMENT}"
+        ));
+    }
+    let retrained_live_embedding = {
+        let mut data = Vec::with_capacity(live_old.len() * config.dim);
+        for &o in &live_old {
+            data.extend_from_slice(retrained.embedding.row(o));
+        }
+        DenseMatrix::from_vec(live_old.len(), config.dim, data)
+            .expect("live rows stack into a matrix")
+    };
+    let live_subspace_residual = subspace_residual(&compacted.embedding, &retrained_live_embedding);
+    if live_subspace_residual > MAX_SUBSPACE_RESIDUAL {
+        return Err(format!(
+            "CRUD update/retrain live subspace residual {live_subspace_residual:.4} above \
+             {MAX_SUBSPACE_RESIDUAL}"
+        ));
+    }
+    let warm_ratio = update_secs / retrain_secs.max(1e-12);
+    let max_ratio = if config.smoke {
+        MAX_WARM_RATIO_SMOKE
+    } else {
+        MAX_WARM_RATIO
+    };
+    if warm_ratio >= max_ratio {
+        return Err(format!(
+            "CRUD update took {update_secs:.3}s vs {retrain_secs:.3}s retrain \
+             (ratio {warm_ratio:.2} >= {max_ratio})"
+        ));
+    }
+
+    // Sharded compaction leg: write amplification bounded by the dirty
+    // bytes, answers bit-identical to the monolithic compaction.
+    let dir = std::env::temp_dir().join(format!("sgla-crud-smoke-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let result = (|| {
+        updated.save_sharded(&dir, 4).map_err(|e| e.to_string())?;
+        let stats = compact_sharded(&dir, &mut FsWriter).map_err(|e| e.to_string())?;
+        if stats.purged != removed.len() {
+            return Err(format!(
+                "sharded compaction purged {} rows, expected {}",
+                stats.purged,
+                removed.len()
+            ));
+        }
+        let write_amp = stats.bytes_written as f64 / (stats.dirty_bytes_before as f64).max(1.0);
+        if write_amp > MAX_COMPACT_WRITE_AMP {
+            return Err(format!(
+                "sharded compaction wrote {} bytes for {} dirty bytes \
+                 (amplification {write_amp:.2} > {MAX_COMPACT_WRITE_AMP})",
+                stats.bytes_written, stats.dirty_bytes_before
+            ));
+        }
+        let router = ShardRouter::open(&dir, RouterConfig::default()).map_err(|e| e.to_string())?;
+        let engine = QueryEngine::new(compacted.clone(), EngineConfig::default())
+            .map_err(|e| e.to_string())?;
+        if QueryBackend::meta(&router).n != compacted.meta.n {
+            return Err("sharded and monolithic compaction disagree on n".into());
+        }
+        for node in [0, compacted.meta.n / 2, compacted.meta.n - 1] {
+            let (a, b) = (
+                router.cluster_of(node).map_err(|e| e.to_string())?,
+                engine.cluster_of(node).map_err(|e| e.to_string())?,
+            );
+            let (ea, eb) = (
+                router.embed_batch(&[node]).map_err(|e| e.to_string())?,
+                engine.embed_batch(&[node]).map_err(|e| e.to_string())?,
+            );
+            if a.cluster != b.cluster
+                || a.centroid_dist.to_bits() != b.centroid_dist.to_bits()
+                || ea[0]
+                    .iter()
+                    .zip(&eb[0])
+                    .any(|(x, y)| x.to_bits() != y.to_bits())
+            {
+                return Err(format!(
+                    "sharded compaction diverges from monolithic at node {node}"
+                ));
+            }
+        }
+        Ok(write_amp)
+    })();
+    std::fs::remove_dir_all(&dir).ok();
+    let write_amp = result?;
+
+    let json = Value::object(vec![
+        ("config", {
+            Value::object(vec![
+                ("n", Value::from(config.n)),
+                ("k", Value::from(config.k)),
+                ("dim", Value::from(config.dim)),
+                ("removed_nodes", Value::from(removed.len())),
+                ("edits", Value::from(2usize)),
+                ("seed", Value::from(config.seed)),
+                ("smoke", Value::Bool(config.smoke)),
+            ])
+        }),
+        ("results", {
+            Value::object(vec![
+                ("retrain_secs", Value::from(retrain_secs)),
+                ("update_secs", Value::from(update_secs)),
+                ("warm_ratio", Value::from(warm_ratio)),
+                ("live_label_agreement", Value::from(live_label_agreement)),
+                (
+                    "live_subspace_residual",
+                    Value::from(live_subspace_residual),
+                ),
+                ("compaction_write_amp", Value::from(write_amp)),
+            ])
+        }),
+    ]);
+    Ok(CrudSmokeReport {
+        retrain_secs,
+        update_secs,
+        warm_ratio,
+        live_label_agreement,
+        live_subspace_residual,
+        removed_nodes: removed.len(),
+        write_amp,
+        json,
+    })
+}
+
+/// Runs the CRUD smoke and merges its fragment into `out` under the
+/// `"crud_smoke"` key — an existing append-bench report in the same
+/// file is preserved, so both gates land in one `BENCH_update.json`.
+///
+/// # Errors
+/// See [`run_crud_smoke`]; additionally I/O failures writing `out`.
+pub fn run_crud_smoke_to_file(
+    config: &UpdateBenchConfig,
+    out: &std::path::Path,
+) -> Result<CrudSmokeReport, String> {
+    let report = run_crud_smoke(config)?;
+    let mut doc = std::fs::read_to_string(out)
+        .ok()
+        .and_then(|text| mvag_data::json::parse(&text).ok())
+        .unwrap_or_else(|| Value::object(vec![]));
+    if !matches!(doc, Value::Object(_)) {
+        doc = Value::object(vec![]);
+    }
+    if let Value::Object(map) = &mut doc {
+        map.insert("crud_smoke".to_string(), report.json.clone());
+    }
+    std::fs::write(out, doc.to_string_pretty())
+        .map_err(|e| format!("writing {}: {e}", out.display()))?;
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -346,6 +651,41 @@ mod tests {
         assert!(report.label_agreement >= MIN_LABEL_AGREEMENT);
         assert!(report.subspace_residual <= MAX_SUBSPACE_RESIDUAL);
         assert!(report.json.get("results").is_some());
+    }
+
+    #[test]
+    fn crud_smoke_run_verifies_and_reports() {
+        let config = UpdateBenchConfig {
+            n: 240,
+            k: 2,
+            dim: 12,
+            smoke: true,
+            ..Default::default()
+        };
+        let report = run_crud_smoke(&config).unwrap();
+        assert!(report.removed_nodes >= 2);
+        assert!(report.write_amp <= MAX_COMPACT_WRITE_AMP);
+        assert!(report.live_label_agreement >= MIN_LABEL_AGREEMENT);
+        assert!(report.live_subspace_residual <= MAX_SUBSPACE_RESIDUAL);
+        assert!(report.json.get("results").is_some());
+    }
+
+    #[test]
+    fn crud_smoke_report_merges_into_an_existing_document() {
+        // Only the file plumbing: an existing append report must
+        // survive the merge. The heavy pipeline is covered above.
+        let out = std::env::temp_dir().join(format!("sgla-crud-merge-{}.json", std::process::id()));
+        std::fs::write(&out, "{\"results\": {\"warm_ratio\": 0.5}}").unwrap();
+        let existing = std::fs::read_to_string(&out).unwrap();
+        let mut doc = mvag_data::json::parse(&existing).unwrap();
+        if let Value::Object(map) = &mut doc {
+            map.insert("crud_smoke".to_string(), Value::object(vec![]));
+        }
+        std::fs::write(&out, doc.to_string_pretty()).unwrap();
+        let merged = mvag_data::json::parse(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        assert!(merged.get("results").is_some());
+        assert!(merged.get("crud_smoke").is_some());
+        std::fs::remove_file(&out).ok();
     }
 
     #[test]

@@ -417,15 +417,15 @@ mod tests {
 
         // Edge-only delta: only the touched graph view is rebuilt; the
         // untouched views are reused (and still match a full rebuild).
-        let edges_only = mvag_graph::MvagDelta {
-            added_nodes: 0,
-            views: vec![
+        let edges_only = mvag_graph::MvagDelta::append(
+            0,
+            vec![
                 mvag_graph::ViewDelta::Edges(vec![(0, 59, 1.0)]),
                 mvag_graph::ViewDelta::Edges(vec![]),
                 mvag_graph::ViewDelta::Rows(mvag_sparse::DenseMatrix::zeros(0, 0)),
             ],
-            added_labels: Some(vec![]),
-        };
+            Some(vec![]),
+        );
         let changed = edges_only.changed_views(&base).unwrap();
         assert_eq!(changed, vec![true, false, false]);
         let patched = base.apply_delta(&edges_only).unwrap();

@@ -12,6 +12,12 @@ pub enum DataError {
     Io(std::io::Error),
     /// (De)serialization failed.
     Serde(String),
+    /// A persisted file failed framing or checksum verification —
+    /// truncated, bit-flipped, mis-versioned, or otherwise not the
+    /// bytes that were written. Distinct from [`DataError::Serde`] so
+    /// storage-engine callers can treat corruption as a first-class,
+    /// retryable-from-backup condition.
+    Corrupt(String),
     /// Structurally invalid input.
     InvalidArgument(String),
 }
@@ -22,6 +28,7 @@ impl fmt::Display for DataError {
             DataError::Graph(e) => write!(f, "graph error: {e}"),
             DataError::Io(e) => write!(f, "io error: {e}"),
             DataError::Serde(msg) => write!(f, "serialization error: {msg}"),
+            DataError::Corrupt(msg) => write!(f, "corrupt file: {msg}"),
             DataError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
         }
     }
@@ -67,6 +74,9 @@ mod tests {
         assert!(DataError::Serde("bad".into())
             .to_string()
             .contains("serialization"));
+        assert!(DataError::Corrupt("crc".into())
+            .to_string()
+            .contains("corrupt"));
         let io: DataError = std::io::Error::new(std::io::ErrorKind::NotFound, "nope").into();
         assert!(io.to_string().contains("io error"));
     }

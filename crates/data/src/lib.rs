@@ -14,11 +14,17 @@
 //!   [`registry::DatasetSpec::generate`];
 //! * [`io`] — JSON (diffable) and compact binary persistence for
 //!   [`Mvag`](mvag_graph::Mvag);
-//! * [`delta`] — binary persistence for append-only
-//!   [`MvagDelta`](mvag_graph::MvagDelta)s, the replayable unit of the
+//! * [`delta`] — binary persistence for
+//!   [`MvagDelta`](mvag_graph::MvagDelta)s (appends, tombstone
+//!   removals, edge/row edits), the replayable unit of the
 //!   incremental artifact-update pipeline;
 //! * [`manifest`] — the JSON shard manifest of the sharded (v2)
 //!   artifact layout served by `sgla-serve`;
+//! * [`idmap`] — the id-remap sidecar a compaction writes so
+//!   unrewritten shard files can be rebased at load time;
+//! * [`failpoint`] — the [`failpoint::LayoutWriter`] filesystem
+//!   indirection that lets crash-consistency tests tear a layout
+//!   rewrite at any byte boundary;
 //! * [`toy_mvag`] — re-export of the small fixture generator.
 
 #![forbid(unsafe_code)]
@@ -27,6 +33,8 @@
 pub mod codec;
 pub mod delta;
 pub mod error;
+pub mod failpoint;
+pub mod idmap;
 pub mod io;
 pub mod json;
 pub mod manifest;
@@ -34,6 +42,8 @@ pub mod registry;
 
 pub use delta::{load_delta, save_delta};
 pub use error::DataError;
+pub use failpoint::{FailpointWriter, FsWriter, LayoutWriter};
+pub use idmap::IdMap;
 pub use manifest::{ShardEntry, ShardManifest};
 pub use mvag_graph::toy::toy_mvag;
 pub use registry::{by_name, full_registry, DatasetSpec};

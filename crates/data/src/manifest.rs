@@ -24,9 +24,10 @@
 //!     seed: 42,
 //!     artifact_format_version: 2,
 //!     shards: vec![
-//!         ShardEntry { file: "shard-00000.sgla".into(), row_start: 0, row_end: 50, bytes: 0, crc32: 0 },
-//!         ShardEntry { file: "shard-00001.sgla".into(), row_start: 50, row_end: 100, bytes: 0, crc32: 0 },
+//!         ShardEntry { file: "shard-00000.sgla".into(), row_start: 0, row_end: 50, ..Default::default() },
+//!         ShardEntry { file: "shard-00001.sgla".into(), row_start: 50, row_end: 100, ..Default::default() },
 //!     ],
+//!     ..Default::default()
 //! };
 //! manifest.validate().unwrap();
 //! let back = ShardManifest::from_json(&manifest.to_json()).unwrap();
@@ -43,7 +44,7 @@ use std::path::Path;
 pub const MANIFEST_FORMAT: &str = "sgla-shard-manifest/1";
 
 /// One shard of a row-range-sharded artifact.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ShardEntry {
     /// Shard file name, relative to the manifest's directory.
     pub file: String,
@@ -56,6 +57,23 @@ pub struct ShardEntry {
     /// CRC-32 (IEEE) of the entire shard file (0 = unknown, skip the
     /// check; the shard's own embedded body checksum still applies).
     pub crc32: u32,
+    /// Row range baked into the shard *file*, when it differs from the
+    /// manifest range — a compaction that purged rows from earlier
+    /// shards shifts this shard's manifest range down without
+    /// rewriting its (clean) file. The router verifies the file
+    /// against these coordinates, then rebases to the manifest's.
+    /// `None` means the file agrees with the manifest.
+    pub file_row_start: Option<usize>,
+    /// See [`ShardEntry::file_row_start`]; one past the file's last row.
+    pub file_row_end: Option<usize>,
+    /// Total node count baked into the shard file's metadata, when it
+    /// differs from the manifest's `n` (stale after an in-place append
+    /// or a compaction that did not rewrite this shard).
+    pub file_n: Option<usize>,
+    /// Number of tombstoned (deleted, unpurged) rows inside this
+    /// shard's range. Lets `compact` pick dirty shards and the serve
+    /// loader compute the tombstone fraction without loading shards.
+    pub tombstones: usize,
 }
 
 impl ShardEntry {
@@ -63,11 +81,17 @@ impl ShardEntry {
     pub fn rows(&self) -> usize {
         self.row_end.saturating_sub(self.row_start)
     }
+
+    /// True when the shard file's baked-in coordinates differ from the
+    /// manifest's (the router must rebase after verifying the file).
+    pub fn is_stale(&self) -> bool {
+        self.file_row_start.is_some() || self.file_row_end.is_some() || self.file_n.is_some()
+    }
 }
 
 /// The manifest of a sharded artifact: dataset metadata plus the
 /// ordered, contiguous list of row-range shards.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ShardManifest {
     /// Name of the dataset the artifact was trained on.
     pub dataset: String,
@@ -81,6 +105,18 @@ pub struct ShardManifest {
     pub seed: u64,
     /// Binary format version of the shard files (2 for sharded).
     pub artifact_format_version: u16,
+    /// Number of deltas applied to this layout since training
+    /// (mirrors the monolithic artifact's `update_count`; absent in
+    /// old manifests, defaulting to 0).
+    pub update_count: u64,
+    /// Number of compactions this layout has been through (absent in
+    /// old manifests, defaulting to 0).
+    pub compaction_count: u64,
+    /// File name of the id-map sidecar the latest compaction wrote
+    /// (relative to the manifest's directory), when any shard entry is
+    /// stale — the router needs it to remap cross-shard Laplacian
+    /// column ids in unrewritten shard files.
+    pub id_map: Option<String>,
     /// Shards in ascending row order, covering `0..n` contiguously.
     pub shards: Vec<ShardEntry>,
 }
@@ -113,10 +149,42 @@ impl ShardManifest {
             if s.file.is_empty() {
                 return fail(format!("shard {i} has no file name"));
             }
+            if s.tombstones > s.rows() {
+                return fail(format!(
+                    "shard {i} claims {} tombstones in {} rows",
+                    s.tombstones,
+                    s.rows()
+                ));
+            }
+            // Stale file coordinates must describe the same row count:
+            // compaction only shifts unrewritten shards, never resizes
+            // them.
+            if let (Some(fs), Some(fe)) = (s.file_row_start, s.file_row_end) {
+                if fe.saturating_sub(fs) != s.rows() {
+                    return fail(format!(
+                        "shard {i}: file range {fs}..{fe} covers {} rows, manifest range {}..{} \
+                         covers {}",
+                        fe.saturating_sub(fs),
+                        s.row_start,
+                        s.row_end,
+                        s.rows()
+                    ));
+                }
+            } else if s.file_row_start.is_some() != s.file_row_end.is_some() {
+                return fail(format!(
+                    "shard {i}: only one of file_row_start/file_row_end set"
+                ));
+            }
             expected_start = s.row_end;
         }
         if expected_start != self.n {
             return fail(format!("shards cover 0..{expected_start}, n = {}", self.n));
+        }
+        // Shifted rows (compaction) need the id-map sidecar to remap
+        // cross-shard Laplacian ids; a bare `file_n` (in-place append
+        // grew the layout) rebases with the identity map.
+        if self.shards.iter().any(|s| s.file_row_start.is_some()) && self.id_map.is_none() {
+            return fail("shifted shard entries but no id_map sidecar".into());
         }
         Ok(())
     }
@@ -141,16 +209,32 @@ impl ShardManifest {
             .shards
             .iter()
             .map(|s| {
-                Value::object(vec![
+                let mut fields = vec![
                     ("file", Value::from(s.file.as_str())),
                     ("row_start", Value::from(s.row_start)),
                     ("row_end", Value::from(s.row_end)),
                     ("bytes", Value::from(s.bytes)),
                     ("crc32", Value::from(s.crc32 as u64)),
-                ])
+                ];
+                // Optional fields are emitted only when meaningful, so
+                // a never-compacted layout's manifest stays in the
+                // shape older readers know.
+                if let Some(v) = s.file_row_start {
+                    fields.push(("file_row_start", Value::from(v)));
+                }
+                if let Some(v) = s.file_row_end {
+                    fields.push(("file_row_end", Value::from(v)));
+                }
+                if let Some(v) = s.file_n {
+                    fields.push(("file_n", Value::from(v)));
+                }
+                if s.tombstones > 0 {
+                    fields.push(("tombstones", Value::from(s.tombstones)));
+                }
+                Value::object(fields)
             })
             .collect();
-        Value::object(vec![
+        let mut fields = vec![
             ("format", Value::from(MANIFEST_FORMAT)),
             ("dataset", Value::from(self.dataset.as_str())),
             ("n", Value::from(self.n)),
@@ -161,9 +245,18 @@ impl ShardManifest {
                 "artifact_format_version",
                 Value::from(self.artifact_format_version as usize),
             ),
-            ("shards", Value::Array(shards)),
-        ])
-        .to_string_pretty()
+        ];
+        if self.update_count > 0 {
+            fields.push(("update_count", Value::from(self.update_count)));
+        }
+        if self.compaction_count > 0 {
+            fields.push(("compaction_count", Value::from(self.compaction_count)));
+        }
+        if let Some(m) = &self.id_map {
+            fields.push(("id_map", Value::from(m.as_str())));
+        }
+        fields.push(("shards", Value::Array(shards)));
+        Value::object(fields).to_string_pretty()
     }
 
     /// Parses and validates a manifest from its JSON text.
@@ -211,6 +304,16 @@ impl ShardManifest {
                     .and_then(Value::as_usize)
                     .ok_or_else(|| sfail(&format!("missing {key}")))
             };
+            // Optional per-shard fields: absent in pre-compaction
+            // manifests, so absence is a default, not an error — but a
+            // present field with a non-numeric value is still corrupt.
+            let opt_num = |key: &str| match sv.get(key) {
+                None => Ok(None),
+                Some(v) => v
+                    .as_usize()
+                    .map(Some)
+                    .ok_or_else(|| sfail(&format!("bad {key}"))),
+            };
             shards.push(ShardEntry {
                 file: sv
                     .get("file")
@@ -224,8 +327,16 @@ impl ShardManifest {
                     .and_then(as_u64)
                     .ok_or_else(|| sfail("missing bytes"))?,
                 crc32: u32::try_from(snum("crc32")?).map_err(|_| sfail("crc32 out of range"))?,
+                file_row_start: opt_num("file_row_start")?,
+                file_row_end: opt_num("file_row_end")?,
+                file_n: opt_num("file_n")?,
+                tombstones: opt_num("tombstones")?.unwrap_or(0),
             });
         }
+        let opt_u64 = |key: &str| match doc.get(key) {
+            None => Ok(0u64),
+            Some(v) => as_u64(v).ok_or_else(|| fail(&format!("bad {key}"))),
+        };
         let manifest = ShardManifest {
             dataset: str_field("dataset")?,
             n: num_field("n")?,
@@ -234,6 +345,16 @@ impl ShardManifest {
             seed: u64_field("seed")?,
             artifact_format_version: u16::try_from(num_field("artifact_format_version")?)
                 .map_err(|_| fail("artifact_format_version out of range"))?,
+            update_count: opt_u64("update_count")?,
+            compaction_count: opt_u64("compaction_count")?,
+            id_map: doc
+                .get("id_map")
+                .map(|v| {
+                    v.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| fail("bad id_map"))
+                })
+                .transpose()?,
             shards,
         };
         manifest.validate()?;
@@ -289,6 +410,7 @@ mod tests {
                     row_end: 34,
                     bytes: 1234,
                     crc32: 0xDEAD_BEEF,
+                    ..Default::default()
                 },
                 ShardEntry {
                     file: "shard-00001.sgla".into(),
@@ -296,6 +418,7 @@ mod tests {
                     row_end: 67,
                     bytes: 1200,
                     crc32: 0x0BAD_F00D,
+                    ..Default::default()
                 },
                 ShardEntry {
                     file: "shard-00002.sgla".into(),
@@ -303,9 +426,26 @@ mod tests {
                     row_end: 100,
                     bytes: 1190,
                     crc32: 42,
+                    ..Default::default()
                 },
             ],
+            ..Default::default()
         }
+    }
+
+    /// A post-compaction manifest: shard 1 was rewritten (file agrees
+    /// with the manifest), shards 0 and 2 are clean-but-shifted with
+    /// stale file coordinates and live tombstone counts.
+    fn stale_sample() -> ShardManifest {
+        let mut m = sample();
+        m.update_count = 3;
+        m.compaction_count = 1;
+        m.id_map = Some("idmap-001.json".into());
+        m.shards[0].tombstones = 2;
+        m.shards[2].file_row_start = Some(70);
+        m.shards[2].file_row_end = Some(103);
+        m.shards[2].file_n = Some(103);
+        m
     }
 
     #[test]
@@ -351,6 +491,65 @@ mod tests {
         let back = ShardManifest::from_json(&m.to_json()).unwrap();
         assert_eq!(back.seed, u64::MAX - 1);
         assert_eq!(back.shards[0].bytes, (1u64 << 53) + 7);
+    }
+
+    #[test]
+    fn stale_coordinates_and_counts_roundtrip() {
+        let m = stale_sample();
+        m.validate().unwrap();
+        assert!(m.shards[2].is_stale());
+        assert!(!m.shards[0].is_stale());
+        let back = ShardManifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(m, back);
+        // Plain manifests omit the new fields entirely — their JSON
+        // keeps the pre-compaction shape.
+        let plain = sample().to_json();
+        for key in [
+            "file_row_start",
+            "file_n",
+            "tombstones",
+            "id_map",
+            "compaction_count",
+        ] {
+            assert!(!plain.contains(key), "plain manifest leaked {key}");
+        }
+    }
+
+    #[test]
+    fn old_manifests_parse_with_defaults() {
+        // A manifest written before the CRUD fields existed.
+        let back = ShardManifest::from_json(&sample().to_json()).unwrap();
+        assert_eq!(back.update_count, 0);
+        assert_eq!(back.compaction_count, 0);
+        assert_eq!(back.id_map, None);
+        assert!(back
+            .shards
+            .iter()
+            .all(|s| !s.is_stale() && s.tombstones == 0));
+    }
+
+    #[test]
+    fn stale_structural_problems_rejected() {
+        // Tombstone count exceeding the shard's rows.
+        let mut m = sample();
+        m.shards[1].tombstones = m.shards[1].rows() + 1;
+        assert!(m.validate().is_err());
+        // File range with a different row count than the manifest range.
+        let mut m = stale_sample();
+        m.shards[2].file_row_end = Some(99);
+        assert!(m.validate().is_err());
+        // Only one end of the file range.
+        let mut m = stale_sample();
+        m.shards[2].file_row_end = None;
+        assert!(m.validate().is_err());
+        // Shifted rows without an id-map sidecar.
+        let mut m = stale_sample();
+        m.id_map = None;
+        assert!(m.validate().is_err());
+        // A bare file_n (in-place append) is fine without an id map.
+        let mut m = sample();
+        m.shards[0].file_n = Some(97);
+        m.validate().unwrap();
     }
 
     #[test]

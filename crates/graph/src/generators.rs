@@ -18,7 +18,7 @@
 //! Edge sampling uses geometric skipping (`O(expected edges)`), so
 //! million-edge views are generated in milliseconds rather than `O(n²)`.
 
-use crate::{Graph, GraphError, Mvag, MvagDelta, Result, View, ViewDelta};
+use crate::{DeltaEdit, Graph, GraphError, Mvag, MvagDelta, Result, View, ViewDelta};
 use mvag_sparse::DenseMatrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -537,11 +537,126 @@ pub fn random_append_delta(mvag: &Mvag, cfg: &AppendConfig) -> Result<MvagDelta>
             }
         }
     }
-    Ok(MvagDelta {
-        added_nodes: added,
+    Ok(MvagDelta::append(
+        added,
         views,
-        added_labels: mvag.labels().map(|_| new_labels),
-    })
+        mvag.labels().map(|_| new_labels),
+    ))
+}
+
+/// Configuration for [`random_crud_delta`].
+#[derive(Debug, Clone)]
+pub struct CrudConfig {
+    /// The append half of the delta.
+    pub append: AppendConfig,
+    /// Existing nodes to tombstone (chosen uniformly, never colliding
+    /// with edits or appended edges).
+    pub removed_nodes: usize,
+    /// Undirected edge-weight edits per graph view (weight set to a
+    /// fresh positive value, or 0 — an edge deletion — with
+    /// probability 1/4).
+    pub edge_edits: usize,
+    /// Attribute-row overwrites per attribute view (bootstrapped the
+    /// same way appended rows are).
+    pub row_edits: usize,
+}
+
+impl Default for CrudConfig {
+    fn default() -> Self {
+        CrudConfig {
+            append: AppendConfig::default(),
+            removed_nodes: 1,
+            edge_edits: 2,
+            row_edits: 1,
+        }
+    }
+}
+
+/// Generates a full-CRUD random delta for `mvag`: the structure-
+/// preserving append of [`random_append_delta`], plus random
+/// tombstone removals and random edge/attribute-row edits of
+/// surviving existing nodes. The synthetic stand-in for "users
+/// arriving, changing, and leaving" that the tombstone-aware update
+/// and compaction paths consume.
+///
+/// # Errors
+/// [`GraphError::InvalidArgument`] for invalid configuration (more
+/// removals than existing nodes, or an invalid append half).
+pub fn random_crud_delta(mvag: &Mvag, cfg: &CrudConfig) -> Result<MvagDelta> {
+    let n = mvag.n();
+    if cfg.removed_nodes >= n {
+        return Err(GraphError::InvalidArgument(format!(
+            "cannot remove {} of {n} existing nodes",
+            cfg.removed_nodes
+        )));
+    }
+    let mut delta = random_append_delta(mvag, &cfg.append)?;
+    let mut rng = StdRng::seed_from_u64(cfg.append.seed ^ 0x6372_7564); // "crud"
+                                                                        // Pick the tombstones first; edits and appended edges must avoid
+                                                                        // them (apply_delta rejects the overlap).
+    let mut removed: Vec<usize> = Vec::with_capacity(cfg.removed_nodes);
+    while removed.len() < cfg.removed_nodes {
+        let v = rng.gen_range(0..n);
+        if !removed.contains(&v) {
+            removed.push(v);
+        }
+    }
+    removed.sort_unstable();
+    let dead = |v: usize| removed.binary_search(&v).is_ok();
+    for vd in &mut delta.views {
+        if let ViewDelta::Edges(edges) = vd {
+            edges.retain(|&(u, v, _)| !dead(u) && !dead(v));
+        }
+    }
+    let live: Vec<usize> = (0..n).filter(|&v| !dead(v)).collect();
+    // Live always has >= 1 entry (removed_nodes < n); edits need pairs.
+    let mut edits = Vec::new();
+    for (vi, view) in mvag.views().iter().enumerate() {
+        match view {
+            View::Graph(_) => {
+                if live.len() < 2 {
+                    continue;
+                }
+                for _ in 0..cfg.edge_edits {
+                    let u = live[rng.gen_range(0..live.len())];
+                    let mut v = live[rng.gen_range(0..live.len())];
+                    while v == u {
+                        v = live[rng.gen_range(0..live.len())];
+                    }
+                    let w = if rng.gen::<f64>() < 0.25 {
+                        0.0
+                    } else {
+                        0.5 + rng.gen::<f64>()
+                    };
+                    edits.push(DeltaEdit::EdgeWeight { view: vi, u, v, w });
+                }
+            }
+            View::Attributes(x) => {
+                let d = x.ncols();
+                for _ in 0..cfg.row_edits {
+                    let node = live[rng.gen_range(0..live.len())];
+                    let src = live[rng.gen_range(0..live.len())];
+                    let base_row = x.row(src).to_vec();
+                    let scale: f64 = {
+                        let norm: f64 = base_row.iter().map(|v| v * v).sum::<f64>().sqrt();
+                        cfg.append.attr_noise * (norm / (d as f64).sqrt()).max(1e-3)
+                    };
+                    let row: Vec<f64> = base_row
+                        .iter()
+                        .map(|&b| b + normal(&mut rng) * scale)
+                        .collect();
+                    edits.push(DeltaEdit::AttrRow {
+                        view: vi,
+                        node,
+                        row,
+                    });
+                }
+            }
+        }
+    }
+    delta.removed_nodes = removed;
+    delta.edits = edits;
+    Ok(delta)
 }
 
 /// Standard normal sample (Box–Muller, one value per call).
@@ -806,6 +921,40 @@ mod tests {
             &mvag,
             &AppendConfig {
                 within_cluster: 1.5,
+                ..cfg.clone()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn random_crud_delta_is_valid_and_deterministic() {
+        let mvag = crate::toy::toy_mvag(60, 3, 5);
+        let cfg = CrudConfig {
+            append: AppendConfig {
+                added_nodes: 4,
+                ..Default::default()
+            },
+            removed_nodes: 3,
+            edge_edits: 5,
+            row_edits: 2,
+        };
+        let delta = random_crud_delta(&mvag, &cfg).unwrap();
+        assert_eq!(delta.added_nodes, 4);
+        assert_eq!(delta.removed_nodes.len(), 3);
+        assert!(delta.removed_nodes.windows(2).all(|p| p[0] < p[1]));
+        assert!(!delta.edits.is_empty());
+        assert!(!delta.is_append_only());
+        // Applies cleanly: removals detach, edits land, appends extend.
+        let updated = mvag.apply_delta(&delta).unwrap();
+        assert_eq!(updated.n(), 64);
+        // Deterministic given the seed.
+        assert_eq!(delta, random_crud_delta(&mvag, &cfg).unwrap());
+        // Removing every node is rejected.
+        assert!(random_crud_delta(
+            &mvag,
+            &CrudConfig {
+                removed_nodes: 60,
                 ..cfg.clone()
             }
         )

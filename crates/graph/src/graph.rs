@@ -167,6 +167,89 @@ impl Graph {
         Ok(Graph { adj: coo.to_csr() })
     }
 
+    /// Returns a graph on the same `n` nodes with every edge incident
+    /// to a node in `removed` dropped — the *detach* primitive behind
+    /// tombstone deletions: the node id stays valid (ids are stable
+    /// until compaction) but the node no longer participates in any
+    /// view's structure.
+    ///
+    /// # Errors
+    /// [`GraphError::InvalidArgument`] for removed ids out of range.
+    pub fn detach_nodes(&self, removed: &[usize]) -> Result<Self> {
+        let n = self.n();
+        let mut dead = vec![false; n];
+        for &v in removed {
+            if v >= n {
+                return Err(GraphError::InvalidArgument(format!(
+                    "detached node {v} out of range for n = {n}"
+                )));
+            }
+            dead[v] = true;
+        }
+        let mut coo = CooMatrix::with_capacity(n, n, self.adj.nnz());
+        for (r, c, v) in self.adj.iter() {
+            if !dead[r] && !dead[c] {
+                coo.push(r, c, v).expect("existing entries are in range");
+            }
+        }
+        Ok(Graph { adj: coo.to_csr() })
+    }
+
+    /// Returns a graph with the weights of the given undirected edges
+    /// *set* (not summed): weight `0` removes the edge, a nonzero
+    /// weight overwrites an existing edge or inserts a new one. Later
+    /// entries for the same pair win. This is the edge-edit primitive
+    /// behind [`MvagDelta`](crate::MvagDelta) edits.
+    ///
+    /// # Errors
+    /// [`GraphError::InvalidArgument`] for out-of-range endpoints,
+    /// self-loops, or non-finite/negative weights.
+    pub fn with_edge_weights(&self, edits: &[(usize, usize, f64)]) -> Result<Self> {
+        let n = self.n();
+        let mut overrides: std::collections::BTreeMap<(usize, usize), f64> =
+            std::collections::BTreeMap::new();
+        for &(u, v, w) in edits {
+            if u >= n || v >= n {
+                return Err(GraphError::InvalidArgument(format!(
+                    "edited edge ({u}, {v}) out of range for n = {n}"
+                )));
+            }
+            if u == v {
+                return Err(GraphError::InvalidArgument(format!(
+                    "cannot edit self-loop ({u}, {u})"
+                )));
+            }
+            if !w.is_finite() || w < 0.0 {
+                return Err(GraphError::InvalidArgument(format!(
+                    "edited edge ({u}, {v}) has invalid weight {w}"
+                )));
+            }
+            overrides.insert((u.min(v), u.max(v)), w);
+        }
+        let mut coo = CooMatrix::with_capacity(n, n, self.adj.nnz() + overrides.len() * 2);
+        // Existing edges: overridden pairs take the new weight (0
+        // drops); everything else is copied verbatim.
+        for (r, c, v) in self.adj.iter() {
+            if r > c {
+                continue; // each undirected edge handled once
+            }
+            let w = match overrides.remove(&(r, c)) {
+                Some(w) => w,
+                None => v,
+            };
+            if w != 0.0 {
+                coo.push_sym(r, c, w).map_err(GraphError::from)?;
+            }
+        }
+        // Remaining overrides are brand-new edges.
+        for (&(u, v), &w) in &overrides {
+            if w != 0.0 {
+                coo.push_sym(u, v, w).map_err(GraphError::from)?;
+            }
+        }
+        Ok(Graph { adj: coo.to_csr() })
+    }
+
     /// Indices of isolated (degree-0) nodes.
     pub fn isolated_nodes(&self) -> Vec<usize> {
         self.degrees()
@@ -304,6 +387,49 @@ mod tests {
         assert!(g.append_nodes(1, &[(0, 4, 1.0)]).is_err());
         assert!(g.append_nodes(1, &[(0, 3, -1.0)]).is_err());
         assert!(g.append_nodes(1, &[(0, 3, f64::NAN)]).is_err());
+    }
+
+    #[test]
+    fn detach_nodes_drops_incident_edges() {
+        let g = triangle();
+        let d = g.detach_nodes(&[1]).unwrap();
+        assert_eq!(d.n(), 3);
+        assert_eq!(d.num_edges(), 1); // only (0, 2) survives
+        assert_eq!(d.adjacency().get(0, 1), 0.0);
+        assert_eq!(d.adjacency().get(1, 2), 0.0);
+        assert_eq!(d.adjacency().get(0, 2), 1.0);
+        assert_eq!(d.isolated_nodes(), vec![1]);
+        // Detached graphs keep the constructor invariants.
+        Graph::from_adjacency(d.adjacency().clone()).unwrap();
+        // Detaching nothing is the identity; out-of-range rejected.
+        assert_eq!(g.detach_nodes(&[]).unwrap().adjacency(), g.adjacency());
+        assert!(g.detach_nodes(&[3]).is_err());
+    }
+
+    #[test]
+    fn with_edge_weights_sets_inserts_and_removes() {
+        let g = triangle();
+        // Overwrite (0,1), remove (1,2), leave (2,0).
+        let e = g.with_edge_weights(&[(0, 1, 2.5), (2, 1, 0.0)]).unwrap();
+        assert_eq!(e.adjacency().get(0, 1), 2.5);
+        assert_eq!(e.adjacency().get(1, 0), 2.5);
+        assert_eq!(e.adjacency().get(1, 2), 0.0);
+        assert_eq!(e.adjacency().get(0, 2), 1.0);
+        assert_eq!(e.num_edges(), 2);
+        Graph::from_adjacency(e.adjacency().clone()).unwrap();
+        // Insert a brand-new edge into a sparse graph.
+        let sparse = Graph::from_unweighted_edges(4, &[(0, 1)]).unwrap();
+        let grown = sparse.with_edge_weights(&[(2, 3, 4.0)]).unwrap();
+        assert_eq!(grown.adjacency().get(2, 3), 4.0);
+        assert_eq!(grown.num_edges(), 2);
+        // Later edits for the same pair win (either endpoint order).
+        let last = g.with_edge_weights(&[(0, 1, 9.0), (1, 0, 3.0)]).unwrap();
+        assert_eq!(last.adjacency().get(0, 1), 3.0);
+        // Bad edits rejected.
+        assert!(g.with_edge_weights(&[(0, 5, 1.0)]).is_err());
+        assert!(g.with_edge_weights(&[(1, 1, 1.0)]).is_err());
+        assert!(g.with_edge_weights(&[(0, 1, -1.0)]).is_err());
+        assert!(g.with_edge_weights(&[(0, 1, f64::NAN)]).is_err());
     }
 
     #[test]

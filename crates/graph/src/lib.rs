@@ -37,7 +37,7 @@ pub mod toy;
 
 pub use error::GraphError;
 pub use graph::Graph;
-pub use mvag::{Mvag, MvagDelta, View, ViewDelta};
+pub use mvag::{DeltaEdit, Mvag, MvagDelta, View, ViewDelta};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, GraphError>;

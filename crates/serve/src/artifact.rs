@@ -49,11 +49,13 @@ use std::path::Path;
 
 /// `"SGLA"` in ASCII.
 const MAGIC: u32 = 0x5347_4C41;
-/// Current format: v3 adds the update-lineage header (parent seed +
-/// update counter) and makes every length field a uniform `u64` (v1/v2
-/// wrote the weight count as `u32`). Encoders always write this
-/// version.
-pub const FORMAT_VERSION: u16 = 3;
+/// Current format: v4 adds the compaction counter and the tombstone
+/// section (sorted global ids of deleted-but-unpurged rows). Encoders
+/// always write this version.
+pub const FORMAT_VERSION: u16 = 4;
+/// The lineage layout (parent seed + update counter, uniform `u64`
+/// length fields) without tombstones; still decodable.
+pub const FORMAT_VERSION_V3: u16 = 3;
 /// The row-ranged layout without lineage; still decodable.
 pub const FORMAT_VERSION_V2: u16 = 2;
 /// The legacy monolithic layout (no row range); still decodable.
@@ -87,6 +89,11 @@ pub struct ArtifactMeta {
     /// Number of incremental updates applied since the root training
     /// run (`0` for a fresh artifact).
     pub update_count: u64,
+    /// Number of compactions (tombstone purges) this artifact has been
+    /// through since the root training run. Bumped by
+    /// [`Artifact::compact`]; `parent_seed` is preserved, so the
+    /// lineage chain survives re-basing.
+    pub compaction_count: u64,
 }
 
 impl ArtifactMeta {
@@ -137,6 +144,14 @@ pub struct Artifact {
     pub centroids: DenseMatrix,
     /// Embedding rows for the row range (`rows × dim`).
     pub embedding: DenseMatrix,
+    /// Tombstoned rows: sorted global node ids inside
+    /// `[row_start, row_end)` that have been deleted but not yet
+    /// purged by a compaction. Their label/embedding rows are dead
+    /// weight — queries answer `NotFound` for them and they are
+    /// excluded from centroid math — but keeping the rows in place
+    /// preserves every surviving node's id until compaction rewrites
+    /// the artifact.
+    pub tombstones: Vec<usize>,
 }
 
 /// Everything [`Artifact::update`] produces: the refreshed artifact
@@ -208,12 +223,14 @@ impl Artifact {
                 row_end: mvag.n(),
                 parent_seed: config.sgla.seed,
                 update_count: 0,
+                compaction_count: 0,
             },
             weights: outcome.weights,
             laplacian: outcome.laplacian,
             labels: spectral.labels,
             centroids,
             embedding,
+            tombstones: Vec::new(),
         };
         Ok((artifact, views))
     }
@@ -292,6 +309,10 @@ impl Artifact {
                 base.r()
             )));
         }
+        // Deltas must not touch rows that are already dead: removing a
+        // tombstoned node twice, editing it, or wiring an appended
+        // node to it would silently resurrect a deleted row.
+        self.check_no_tombstone_conflict(delta)?;
         let updated = base
             .apply_delta(delta)
             .map_err(|e| ServeError::InvalidArgument(format!("applying delta: {e}")))?;
@@ -330,7 +351,12 @@ impl Artifact {
             block
         };
         let embedding = embed_warm(&laplacian, &embed_params, Some(&warm))?;
-        let centroids = centroids_of(&embedding, &spectral.labels, m.k)?;
+
+        // Tombstones accumulate: previous ones plus this delta's
+        // removals (both sorted, disjoint by the conflict check above).
+        let mut tombstones = merge_sorted(&self.tombstones, &delta.removed_nodes);
+        tombstones.dedup();
+        let centroids = centroids_of_masked(&embedding, &spectral.labels, m.k, &tombstones)?;
 
         let artifact = Artifact {
             meta: ArtifactMeta {
@@ -343,12 +369,14 @@ impl Artifact {
                 row_end: n_new,
                 parent_seed: m.parent_seed,
                 update_count: m.update_count + 1,
+                compaction_count: m.compaction_count,
             },
             weights: self.weights.clone(),
             laplacian,
             labels: spectral.labels,
             centroids,
             embedding,
+            tombstones,
         };
         artifact.validate()?;
         Ok(UpdateOutcome {
@@ -358,9 +386,113 @@ impl Artifact {
         })
     }
 
+    /// Rejects deltas that reference rows this artifact has already
+    /// tombstoned (see the call in [`Artifact::update`]).
+    fn check_no_tombstone_conflict(&self, delta: &MvagDelta) -> Result<()> {
+        if self.tombstones.is_empty() {
+            return Ok(());
+        }
+        let dead = |node: usize| self.tombstones.binary_search(&node).is_ok();
+        let fail = |what: String| {
+            Err(ServeError::InvalidArgument(format!(
+                "{what} references a tombstoned (deleted) node"
+            )))
+        };
+        if let Some(&r) = delta.removed_nodes.iter().find(|&&r| dead(r)) {
+            return fail(format!("removal of node {r}"));
+        }
+        for edit in &delta.edits {
+            match edit {
+                mvag_graph::DeltaEdit::EdgeWeight { u, v, .. } => {
+                    if dead(*u) || dead(*v) {
+                        return fail(format!("edge edit ({u}, {v})"));
+                    }
+                }
+                mvag_graph::DeltaEdit::AttrRow { node, .. } => {
+                    if dead(*node) {
+                        return fail(format!("row edit of node {node}"));
+                    }
+                }
+            }
+        }
+        for view in &delta.views {
+            if let mvag_graph::ViewDelta::Edges(edges) = view {
+                if let Some(&(u, v, _)) = edges.iter().find(|&&(u, v, _)| dead(u) || dead(v)) {
+                    return fail(format!("appended edge ({u}, {v})"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Purges this (full) artifact's tombstones: every surviving row
+    /// is slid down so ids are dense again, the Laplacian is restricted
+    /// to its live principal submatrix, and the meta is re-based
+    /// (`n` shrinks, `compaction_count` is bumped, `parent_seed` and
+    /// `update_count` are preserved). Returns the compacted artifact
+    /// and the [`mvag_data::IdMap`] describing the id shift — the sharded layout
+    /// persists it as a sidecar so unrewritten shard files can be
+    /// rebased at load time.
+    ///
+    /// Queries are unaffected by construction: cluster/top-k/embed
+    /// answers read only labels, centroids, and embedding rows, all of
+    /// which are carried over verbatim for live rows (the learned
+    /// weights are reused, nothing is retrained).
+    ///
+    /// # Errors
+    /// [`ServeError::InvalidArgument`] if the artifact is not full or
+    /// compaction would leave it untrainable (fewer than 3 live rows).
+    pub fn compact(&self) -> Result<(Artifact, mvag_data::IdMap)> {
+        if !self.meta.is_full() {
+            return Err(ServeError::InvalidArgument(
+                "can only compact a full artifact (sharded layouts compact via their manifest)"
+                    .into(),
+            ));
+        }
+        let id_map = mvag_data::IdMap::new(self.meta.n, self.tombstones.clone())
+            .map_err(|e| ServeError::InvalidArgument(e.to_string()))?;
+        check_trainable(id_map.new_n)?;
+        let dim = self.meta.dim;
+        let live: Vec<usize> = (0..self.meta.n)
+            .filter(|&i| id_map.map(i).is_some())
+            .collect();
+        let mut labels = Vec::with_capacity(live.len());
+        let mut embedding = DenseMatrix::zeros(live.len(), dim);
+        for (new, &old) in live.iter().enumerate() {
+            labels.push(self.labels[old]);
+            embedding
+                .row_mut(new)
+                .copy_from_slice(self.embedding.row(old));
+        }
+        let laplacian = compact_csr(&self.laplacian, &live, &id_map)?;
+        let artifact = Artifact {
+            meta: ArtifactMeta {
+                dataset: self.meta.dataset.clone(),
+                n: id_map.new_n,
+                k: self.meta.k,
+                dim,
+                seed: self.meta.seed,
+                row_start: 0,
+                row_end: id_map.new_n,
+                parent_seed: self.meta.parent_seed,
+                update_count: self.meta.update_count,
+                compaction_count: self.meta.compaction_count + 1,
+            },
+            weights: self.weights.clone(),
+            laplacian,
+            labels,
+            centroids: self.centroids.clone(),
+            embedding,
+            tombstones: Vec::new(),
+        };
+        artifact.validate()?;
+        Ok((artifact, id_map))
+    }
+
     /// Encodes the artifact into the versioned, checksummed binary
-    /// format (always the current v3 layout: lineage header, uniform
-    /// `u64` length fields).
+    /// format (always the current v4 layout: lineage header,
+    /// compaction counter, tombstone section, uniform `u64` length
+    /// fields).
     ///
     /// # Errors
     /// [`ServeError::InvalidArgument`] if a label cannot be
@@ -379,6 +511,11 @@ impl Artifact {
         body.put_u64(self.meta.row_end as u64);
         body.put_u64(self.meta.parent_seed);
         body.put_u64(self.meta.update_count);
+        body.put_u64(self.meta.compaction_count);
+        body.put_u64(self.tombstones.len() as u64);
+        for &t in &self.tombstones {
+            body.put_u64(t as u64);
+        }
         body.put_u64(self.weights.len() as u64);
         for &w in &self.weights {
             body.put_f64(w);
@@ -406,11 +543,12 @@ impl Artifact {
         Ok(out.freeze())
     }
 
-    /// Decodes an artifact (v1, v2, or v3), verifying magic, version,
-    /// length, and checksum before touching the payload. Older
-    /// versions are normalized in memory: a v1 artifact becomes a
-    /// full-range artifact, and v1/v2 artifacts get a fresh lineage
-    /// header (`parent_seed = seed`, `update_count = 0`).
+    /// Decodes an artifact (v1–v4), verifying magic, version, length,
+    /// and checksum before touching the payload. Older versions are
+    /// normalized in memory: a v1 artifact becomes a full-range
+    /// artifact, v1/v2 artifacts get a fresh lineage header
+    /// (`parent_seed = seed`, `update_count = 0`), and pre-v4
+    /// artifacts have no tombstones and a zero compaction count.
     ///
     /// # Errors
     /// [`ServeError::Corrupt`] on any structural problem — including
@@ -425,10 +563,10 @@ impl Artifact {
             return Err(fail("bad magic (not an SGLA artifact)"));
         }
         let version = bytes.get_u16();
-        if ![FORMAT_VERSION, FORMAT_VERSION_V2, FORMAT_VERSION_V1].contains(&version) {
+        if !(FORMAT_VERSION_V1..=FORMAT_VERSION).contains(&version) {
             return Err(fail(&format!(
-                "unsupported format version {version} (expected {FORMAT_VERSION_V1}, \
-                 {FORMAT_VERSION_V2}, or {FORMAT_VERSION})"
+                "unsupported format version {version} (expected {FORMAT_VERSION_V1} through \
+                 {FORMAT_VERSION})"
             )));
         }
         let body_len = bytes.get_u64();
@@ -463,7 +601,7 @@ impl Artifact {
         };
         // v3 adds the update-lineage header; older files get a fresh
         // one anchored at their own seed.
-        let (parent_seed, update_count) = if version == FORMAT_VERSION {
+        let (parent_seed, update_count) = if version >= FORMAT_VERSION_V3 {
             if bytes.remaining() < 16 {
                 return Err(fail("truncated lineage header"));
             }
@@ -471,10 +609,22 @@ impl Artifact {
         } else {
             (seed, 0)
         };
+        // v4 adds the compaction counter and the tombstone id list.
+        let (compaction_count, tombstones) = if version >= FORMAT_VERSION {
+            if bytes.remaining() < 16 {
+                return Err(fail("truncated compaction header"));
+            }
+            let compactions = bytes.get_u64();
+            let count = bytes.get_u64() as usize;
+            let ids = get_u64s(&mut bytes, count).ok_or_else(|| fail("truncated tombstone ids"))?;
+            (compactions, ids)
+        } else {
+            (0, Vec::new())
+        };
         // v1/v2 wrote the weight count as u32 (the one non-u64 length
-        // field of those layouts); v3 is uniformly u64. Either way the
+        // field of those layouts); v3+ is uniformly u64. Either way the
         // count must fit the remaining body before any allocation.
-        let num_weights = if version == FORMAT_VERSION {
+        let num_weights = if version >= FORMAT_VERSION_V3 {
             if bytes.remaining() < 8 {
                 return Err(fail("truncated weight count"));
             }
@@ -528,12 +678,14 @@ impl Artifact {
                 row_end,
                 parent_seed,
                 update_count,
+                compaction_count,
             },
             weights,
             laplacian,
             labels,
             centroids,
             embedding,
+            tombstones,
         };
         artifact.validate()?;
         Ok(artifact)
@@ -593,7 +745,33 @@ impl Artifact {
         if self.weights.is_empty() {
             return fail("no view weights".to_string());
         }
+        for pair in self.tombstones.windows(2) {
+            if pair[0] >= pair[1] {
+                return fail(format!(
+                    "tombstones not strictly increasing ({} then {})",
+                    pair[0], pair[1]
+                ));
+            }
+        }
+        if let (Some(&first), Some(&last)) = (self.tombstones.first(), self.tombstones.last()) {
+            if first < m.row_start || last >= m.row_end {
+                return fail(format!(
+                    "tombstones {first}..={last} outside the row range {}..{}",
+                    m.row_start, m.row_end
+                ));
+            }
+        }
         Ok(())
+    }
+
+    /// Number of tombstoned (deleted, unpurged) rows in this artifact.
+    pub fn tombstone_count(&self) -> usize {
+        self.tombstones.len()
+    }
+
+    /// True when global row `node` is tombstoned in this artifact.
+    pub fn is_tombstoned(&self, node: usize) -> bool {
+        self.tombstones.binary_search(&node).is_ok()
     }
 
     /// Saves the artifact to `path`.
@@ -641,6 +819,10 @@ impl Artifact {
             self.embedding.data()[row_start * dim..row_end * dim].to_vec(),
         )
         .map_err(|e| ServeError::InvalidArgument(format!("embedding slice: {e}")))?;
+        // Tombstones keep their *global* ids; a shard carries the ones
+        // falling inside its range.
+        let lo = self.tombstones.partition_point(|&t| t < row_start);
+        let hi = self.tombstones.partition_point(|&t| t < row_end);
         Ok(Artifact {
             meta: ArtifactMeta {
                 row_start,
@@ -652,6 +834,7 @@ impl Artifact {
             labels: self.labels[row_start..row_end].to_vec(),
             centroids: self.centroids.clone(),
             embedding,
+            tombstones: self.tombstones[lo..hi].to_vec(),
         })
     }
 
@@ -746,6 +929,8 @@ impl Artifact {
                 row_end,
                 bytes: encoded.len() as u64,
                 crc32: crc32(encoded.as_ref()),
+                tombstones: shard.tombstones.len(),
+                ..Default::default()
             });
             row_start = row_end;
         }
@@ -756,6 +941,9 @@ impl Artifact {
             dim: self.meta.dim,
             seed: self.meta.seed,
             artifact_format_version: FORMAT_VERSION,
+            update_count: self.meta.update_count,
+            compaction_count: self.meta.compaction_count,
+            id_map: None,
             shards: entries,
         };
         manifest
@@ -772,7 +960,7 @@ impl Artifact {
 /// cannot satisfy `dim + 1 < n` even after clamping (`dim >= 1`
 /// always), so the eigensolver would fail deep inside the pipeline
 /// with an opaque message. Reject early and clearly instead.
-fn check_trainable(n: usize) -> Result<()> {
+pub(crate) fn check_trainable(n: usize) -> Result<()> {
     if n <= 2 {
         return Err(ServeError::Train(sgla_core::SglaError::InvalidArgument(
             format!(
@@ -811,6 +999,79 @@ fn slice_csr_rows(m: &CsrMatrix, row_start: usize, row_end: usize) -> Result<Csr
         m.values()[base..end].to_vec(),
     )
     .map_err(|e| ServeError::InvalidArgument(format!("laplacian slice: {e}")))
+}
+
+/// Merges two sorted id lists into one sorted list.
+fn merge_sorted(a: &[usize], b: &[usize]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// [`centroids_of`] with tombstoned rows excluded from the means, so a
+/// deletion moves its cluster's centroid exactly as a purge would.
+fn centroids_of_masked(
+    embedding: &DenseMatrix,
+    labels: &[usize],
+    k: usize,
+    tombstones: &[usize],
+) -> Result<DenseMatrix> {
+    if tombstones.is_empty() {
+        return centroids_of(embedding, labels, k);
+    }
+    let dim = embedding.ncols();
+    let live: Vec<usize> = {
+        let mut dead = vec![false; labels.len()];
+        for &t in tombstones {
+            if t < dead.len() {
+                dead[t] = true;
+            }
+        }
+        (0..labels.len()).filter(|&i| !dead[i]).collect()
+    };
+    let mut filtered = DenseMatrix::zeros(live.len(), dim);
+    let mut live_labels = Vec::with_capacity(live.len());
+    for (new, &old) in live.iter().enumerate() {
+        filtered.row_mut(new).copy_from_slice(embedding.row(old));
+        live_labels.push(labels[old]);
+    }
+    centroids_of(&filtered, &live_labels, k)
+}
+
+/// The live principal submatrix of a full-artifact Laplacian: rows and
+/// columns restricted to `live` (old ids), columns remapped through
+/// `id_map` so the result is `new_n × new_n`.
+pub(crate) fn compact_csr(
+    m: &CsrMatrix,
+    live: &[usize],
+    id_map: &mvag_data::IdMap,
+) -> Result<CsrMatrix> {
+    let mut indptr = Vec::with_capacity(live.len() + 1);
+    let mut cols = Vec::new();
+    let mut vals = Vec::new();
+    indptr.push(0);
+    for &old in live {
+        for (&c, &v) in m.row_cols(old).iter().zip(m.row_vals(old)) {
+            if let Some(new_c) = id_map.map(c) {
+                cols.push(new_c);
+                vals.push(v);
+            }
+        }
+        indptr.push(cols.len());
+    }
+    CsrMatrix::from_raw_parts(live.len(), id_map.new_n, indptr, cols, vals)
+        .map_err(|e| ServeError::InvalidArgument(format!("compacted laplacian: {e}")))
 }
 
 /// Mean embedding row per cluster.
@@ -1098,6 +1359,216 @@ mod tests {
         }
     }
 
+    /// Byte-for-byte replica of the PR-5 era (v3) encoder: lineage
+    /// header, uniform `u64` lengths, no compaction/tombstone section.
+    /// Kept in tests as the third backward-compatibility oracle.
+    fn encode_v3(a: &Artifact) -> Bytes {
+        assert!(
+            a.tombstones.is_empty() && a.meta.compaction_count == 0,
+            "v3 cannot carry tombstones or a compaction count"
+        );
+        let mut body = BytesMut::with_capacity(1 << 16);
+        put_str(&mut body, &a.meta.dataset);
+        body.put_u64(a.meta.n as u64);
+        body.put_u64(a.meta.k as u64);
+        body.put_u64(a.meta.dim as u64);
+        body.put_u64(a.meta.seed);
+        body.put_u64(a.meta.row_start as u64);
+        body.put_u64(a.meta.row_end as u64);
+        body.put_u64(a.meta.parent_seed);
+        body.put_u64(a.meta.update_count);
+        body.put_u64(a.weights.len() as u64);
+        for &w in &a.weights {
+            body.put_f64(w);
+        }
+        put_csr(&mut body, &a.laplacian);
+        body.put_u64(a.labels.len() as u64);
+        for &l in &a.labels {
+            body.put_u32(l as u32);
+        }
+        put_dense(&mut body, &a.centroids);
+        put_dense(&mut body, &a.embedding);
+        let body = body.freeze();
+        let mut out = BytesMut::with_capacity(body.len() + 18);
+        out.put_u32(MAGIC);
+        out.put_u16(FORMAT_VERSION_V3);
+        out.put_u64(body.len() as u64);
+        out.put_u32(crc32(body.as_ref()));
+        out.put_slice(body.as_ref());
+        out.freeze()
+    }
+
+    #[test]
+    fn v3_artifact_still_decodes_bit_exactly() {
+        let mut a = small_artifact();
+        a.meta.parent_seed = 99;
+        a.meta.update_count = 4;
+        let back = Artifact::decode(encode_v3(&a)).unwrap();
+        assert_eq!(a, back);
+        assert!(back.tombstones.is_empty());
+        assert_eq!(back.meta.compaction_count, 0);
+        let shard = a.shard(5, 30).unwrap();
+        assert_eq!(shard, Artifact::decode(encode_v3(&shard)).unwrap());
+        // Truncations of the v3 stream still fail cleanly.
+        let raw = encode_v3(&a).to_vec();
+        for len in (0..raw.len()).step_by(131).chain(0..24) {
+            assert!(
+                Artifact::decode(Bytes::from(raw[..len].to_vec())).is_err(),
+                "v3 prefix of {len} decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn tombstones_roundtrip_and_validate() {
+        let mut a = small_artifact();
+        a.tombstones = vec![3, 17, 42];
+        a.meta.compaction_count = 2;
+        a.validate().unwrap();
+        let back = Artifact::decode(a.encode().unwrap()).unwrap();
+        assert_eq!(a, back);
+        assert_eq!(back.tombstone_count(), 3);
+        assert!(back.is_tombstoned(17) && !back.is_tombstoned(16));
+        // Shards carry the tombstones inside their range, global ids.
+        let shard = a.shard(10, 50).unwrap();
+        assert_eq!(shard.tombstones, vec![17, 42]);
+        assert_eq!(shard, Artifact::decode(shard.encode().unwrap()).unwrap());
+        // Unsorted or out-of-range tombstones are rejected.
+        let mut bad = a.clone();
+        bad.tombstones = vec![17, 3];
+        assert!(bad.validate().is_err());
+        let mut bad = a.clone();
+        bad.tombstones = vec![a.meta.n];
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn compact_purges_tombstones_and_preserves_answers() {
+        let mut a = small_artifact();
+        a.tombstones = vec![0, 25, 59];
+        let (compacted, id_map) = a.compact().unwrap();
+        compacted.validate().unwrap();
+        assert_eq!(compacted.meta.n, 57);
+        assert_eq!(compacted.meta.compaction_count, 1);
+        assert_eq!(compacted.meta.update_count, a.meta.update_count);
+        assert_eq!(compacted.meta.parent_seed, a.meta.parent_seed);
+        assert!(compacted.tombstones.is_empty());
+        assert_eq!(compacted.weights, a.weights);
+        assert_eq!(compacted.centroids, a.centroids);
+        assert_eq!(id_map.old_n, 60);
+        assert_eq!(id_map.new_n, 57);
+        // Every live row's label and embedding carried over verbatim.
+        for old in 0..a.meta.n {
+            if let Some(new) = id_map.map(old) {
+                assert_eq!(compacted.labels[new], a.labels[old]);
+                assert_eq!(compacted.embedding.row(new), a.embedding.row(old));
+            }
+        }
+        // The Laplacian is the live principal submatrix.
+        for old in 1..25 {
+            let new = id_map.map(old).unwrap();
+            let expect: Vec<(usize, f64)> = a
+                .laplacian
+                .row_cols(old)
+                .iter()
+                .zip(a.laplacian.row_vals(old))
+                .filter_map(|(&c, &v)| id_map.map(c).map(|nc| (nc, v)))
+                .collect();
+            let got: Vec<(usize, f64)> = compacted
+                .laplacian
+                .row_cols(new)
+                .iter()
+                .zip(compacted.laplacian.row_vals(new))
+                .map(|(&c, &v)| (c, v))
+                .collect();
+            assert_eq!(got, expect, "row {old}");
+        }
+        // Compacting a clean artifact is the identity plus the bump.
+        let (idem, map2) = compacted.compact().unwrap();
+        assert_eq!(idem.meta.compaction_count, 2);
+        assert_eq!(idem.labels, compacted.labels);
+        assert_eq!(idem.embedding, compacted.embedding);
+        assert!(map2.purged.is_empty());
+        // Shards cannot be compacted directly.
+        assert!(a.shard(0, 10).unwrap().compact().is_err());
+    }
+
+    #[test]
+    fn update_rejects_tombstone_conflicts() {
+        use mvag_graph::DeltaEdit;
+        let mvag = toy_mvag(60, 2, 11);
+        let mut config = TrainConfig::default();
+        config.embed.dim = 8;
+        let (mut artifact, views) = Artifact::train_with_views(&mvag, &config).unwrap();
+        artifact.tombstones = vec![7];
+        // Detach node 7 in the base graph so it matches the artifact's
+        // view of the world.
+        let base = {
+            let detach = MvagDelta {
+                removed_nodes: vec![7],
+                views: mvag
+                    .views()
+                    .iter()
+                    .map(|v| match v {
+                        mvag_graph::View::Graph(_) => mvag_graph::ViewDelta::Edges(vec![]),
+                        mvag_graph::View::Attributes(x) => {
+                            mvag_graph::ViewDelta::Rows(DenseMatrix::zeros(0, x.ncols()))
+                        }
+                    })
+                    .collect(),
+                added_labels: Some(vec![]),
+                ..Default::default()
+            };
+            mvag.apply_delta(&detach).unwrap()
+        };
+        let reject = |delta: &MvagDelta| {
+            let err = artifact.update(&views, &base, delta, &config).unwrap_err();
+            assert!(err.to_string().contains("tombstoned"), "{err}");
+        };
+        let empty_views = |mvag: &Mvag| -> Vec<mvag_graph::ViewDelta> {
+            mvag.views()
+                .iter()
+                .map(|v| match v {
+                    mvag_graph::View::Graph(_) => mvag_graph::ViewDelta::Edges(vec![]),
+                    mvag_graph::View::Attributes(x) => {
+                        mvag_graph::ViewDelta::Rows(DenseMatrix::zeros(0, x.ncols()))
+                    }
+                })
+                .collect()
+        };
+        // Re-removing a dead node.
+        reject(&MvagDelta {
+            removed_nodes: vec![7],
+            views: empty_views(&base),
+            ..Default::default()
+        });
+        // Editing an edge of a dead node.
+        reject(&MvagDelta {
+            views: empty_views(&base),
+            edits: vec![DeltaEdit::EdgeWeight {
+                view: 0,
+                u: 7,
+                v: 9,
+                w: 1.0,
+            }],
+            ..Default::default()
+        });
+        // Appending an edge to a dead node (attr views get the one
+        // appended row they need so only the tombstone check can fire).
+        let mut views_delta = empty_views(&base);
+        views_delta[0] = mvag_graph::ViewDelta::Edges(vec![(7, 60, 1.0)]);
+        views_delta = views_delta
+            .into_iter()
+            .map(|v| match v {
+                mvag_graph::ViewDelta::Rows(x) => {
+                    mvag_graph::ViewDelta::Rows(DenseMatrix::zeros(1, x.ncols()))
+                }
+                other => other,
+            })
+            .collect();
+        reject(&MvagDelta::append(1, views_delta, Some(vec![0])));
+    }
+
     #[test]
     fn lineage_header_roundtrips_and_survives_sharding() {
         let mut a = small_artifact();
@@ -1152,8 +1623,9 @@ mod tests {
         let a = small_artifact();
         let raw = a.encode().unwrap().to_vec();
         // The u64 weight count lives right after the fixed meta:
-        // 18-byte container header, dataset string (4 + len), 8 u64s.
-        let weights_at = 18 + 4 + a.meta.dataset.len() + 8 * 8;
+        // 18-byte container header, dataset string (4 + len), 9 meta
+        // u64s, then the (empty) tombstone section's count u64.
+        let weights_at = 18 + 4 + a.meta.dataset.len() + 8 * 10;
         for huge in [u64::MAX, (raw.len() as u64) * 2] {
             let mut bad = raw.clone();
             bad[weights_at..weights_at + 8].copy_from_slice(&huge.to_be_bytes());

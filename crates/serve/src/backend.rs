@@ -92,6 +92,12 @@ pub trait QueryBackend: Send + Sync {
     fn resident_shards(&self) -> usize {
         1
     }
+
+    /// How many rows are tombstoned (deleted but not yet compacted)
+    /// across the backend. 0 for backends that predate deletions.
+    fn tombstone_count(&self) -> usize {
+        0
+    }
 }
 
 impl QueryBackend for QueryEngine {
@@ -125,5 +131,9 @@ impl QueryBackend for QueryEngine {
 
     fn cache_stats(&self) -> (u64, u64) {
         QueryEngine::cache_stats(self)
+    }
+
+    fn tombstone_count(&self) -> usize {
+        self.artifact().tombstone_count()
     }
 }

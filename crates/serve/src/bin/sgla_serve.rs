@@ -56,6 +56,7 @@ fn main() -> ExitCode {
         "info" => info(&args[1..]),
         "serve" => serve(&args[1..]),
         "update" => update(&args[1..]),
+        "compact" => compact(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -82,6 +83,7 @@ const USAGE: &str = "usage:
                     [--max-conns N] [--idle-timeout SECS]
                     [--cache N] [--batch N] [--max-resident N]
                     [--index ivf] [--nlist N] [--trace on]
+                    [--auto-compact F]
   sgla-serve update --artifact <file> [--out <file|dir>] [--shards N]
                     [--dataset toy|<name>] [--n N] [--k K] [--dim D] [--seed S]
                     [--scale F] [--replay d1.mvd,d2.mvd]
@@ -89,13 +91,21 @@ const USAGE: &str = "usage:
                     [--delta file.mvd] [--delta-out file.mvd]
                     [--index ivf] [--nlist N] [--notify HOST:PORT]
                     [--trace out.json]
+  sgla-serve compact --artifact <file|manifest.json|shard dir>
+                    [--out <file>] [--notify HOST:PORT]
 
   train/update --trace writes a Chrome trace-event JSON file of the
   pipeline's phase spans (open in chrome://tracing or Perfetto);
   serve --trace on enables request tracing (GET /traces).
   serve --backend evented runs the single-threaded epoll loop (Linux);
   --max-conns caps open connections (503 shed beyond it, 0 = off) and
-  --idle-timeout reaps silent keep-alive connections.";
+  --idle-timeout reaps silent keep-alive connections.
+  serve --auto-compact F compacts the artifact at (re)load whenever
+  the tombstoned fraction reaches F (e.g. 0.2); 0 disables.
+  update --artifact <shard dir> --delta d.mvd appends in place:
+  only the tail shard and the manifest are rewritten.
+  compact purges tombstones: sharded layouts rewrite only dirty
+  shards and re-point the rest via the id-map sidecar.";
 
 /// Arms pipeline tracing when `--trace <path>` was passed: clears any
 /// stale spans and returns the output path.
@@ -440,6 +450,12 @@ fn serve(args: &[String]) -> Result<(), String> {
         ..EngineConfig::default()
     };
     let max_resident: usize = flags.parse_num("max-resident", 0)?;
+    let auto_compact: f64 = flags.parse_num("auto-compact", 0.0)?;
+    if !(0.0..=1.0).contains(&auto_compact) {
+        return Err(format!(
+            "--auto-compact: threshold {auto_compact} must be a fraction in 0..=1"
+        ));
+    }
     let server_config = ServerConfig {
         addr: flags
             .get("addr")
@@ -463,6 +479,9 @@ fn serve(args: &[String]) -> Result<(), String> {
     let first_load = std::sync::atomic::AtomicBool::new(true);
     let loader: BackendLoader = Box::new(move || {
         let quiet = !first_load.swap(false, std::sync::atomic::Ordering::Relaxed);
+        if auto_compact > 0.0 {
+            maybe_auto_compact(&path, auto_compact);
+        }
         load_backend(&path, &engine_config, max_resident, quiet)
     });
     let server = Server::start_reloadable(loader, &server_config).map_err(|e| e.to_string())?;
@@ -476,6 +495,117 @@ fn serve(args: &[String]) -> Result<(), String> {
     loop {
         std::thread::park();
     }
+}
+
+/// Compacts the artifact at `path` before a (re)load when its
+/// tombstoned fraction has reached `threshold`. Failures are logged,
+/// not fatal: the uncompacted artifact still serves correctly
+/// (tombstones are masked at query time), so a broken background
+/// compaction must never take the server down.
+fn maybe_auto_compact(path: &Path, threshold: f64) {
+    let result = (|| -> Result<Option<sgla_serve::CompactionStats>, String> {
+        let (dead, n) = if is_sharded_path(path) {
+            let manifest_path = if path.is_dir() {
+                path.join(Artifact::MANIFEST_FILE)
+            } else {
+                path.to_path_buf()
+            };
+            let manifest =
+                mvag_data::ShardManifest::load(&manifest_path).map_err(|e| e.to_string())?;
+            let dead: usize = manifest.shards.iter().map(|e| e.tombstones).sum();
+            (dead, manifest.n)
+        } else {
+            let artifact = Artifact::load(path).map_err(|e| e.to_string())?;
+            (artifact.tombstone_count(), artifact.meta.n)
+        };
+        if n == 0 || (dead as f64) < threshold * n as f64 {
+            return Ok(None);
+        }
+        let stats = if is_sharded_path(path) {
+            sgla_serve::compact_sharded(path, &mut mvag_data::FsWriter)
+        } else {
+            sgla_serve::compact_monolithic(path, path, &mut mvag_data::FsWriter)
+        }
+        .map_err(|e| e.to_string())?;
+        Ok(Some(stats))
+    })();
+    match result {
+        Ok(Some(stats)) if !stats.is_noop() => println!(
+            "auto-compact: purged {} row(s), rewrote {} shard(s) ({} bytes)",
+            stats.purged, stats.shards_rewritten, stats.bytes_written
+        ),
+        Ok(_) => {}
+        Err(e) => eprintln!("auto-compact: {e} (serving the uncompacted artifact)"),
+    }
+}
+
+/// With `--notify HOST:PORT`, POSTs `/reload` to a running server so
+/// it hot-swaps whatever the preceding command wrote to disk.
+fn notify_reload(flags: &Flags) -> Result<(), String> {
+    let Some(addr) = flags.get("notify") else {
+        return Ok(());
+    };
+    let addr: std::net::SocketAddr = addr.parse().map_err(|e| format!("--notify: {e}"))?;
+    let mut client = sgla_serve::HttpClient::connect(addr).map_err(|e| e.to_string())?;
+    let response = client
+        .post("/reload", &mvag_data::json::Value::object(vec![]))
+        .map_err(|e| e.to_string())?;
+    if response.status == 200 {
+        println!("notified {addr}: server hot-swapped the updated artifact");
+        Ok(())
+    } else {
+        Err(format!(
+            "notify {addr}: POST /reload answered {} ({})",
+            response.status, response.body
+        ))
+    }
+}
+
+/// `sgla-serve compact` — purge tombstones from an artifact on disk.
+///
+/// Sharded layouts compact in place: only dirty shards (tombstoned or
+/// stale) are rewritten, clean shard files stay byte-identical and are
+/// re-pointed through the id-map sidecar, and the new manifest commits
+/// with one atomic rename (a kill at any point leaves either the old
+/// or the new layout fully loadable). Monolithic artifacts are
+/// rewritten whole (to `--out`, default in place) with the same
+/// tmp-file + rename commit. `--notify` hot-swaps a running server.
+fn compact(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let path = PathBuf::from(
+        flags
+            .get("artifact")
+            .ok_or("compact needs --artifact <file|shard dir>")?,
+    );
+    let stats = if is_sharded_path(&path) {
+        if flags.get("out").is_some() {
+            return Err("sharded layouts compact in place; --out applies to single files".into());
+        }
+        sgla_serve::compact_sharded(&path, &mut mvag_data::FsWriter).map_err(|e| e.to_string())?
+    } else {
+        let out = flags
+            .get("out")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| path.clone());
+        sgla_serve::compact_monolithic(&path, &out, &mut mvag_data::FsWriter)
+            .map_err(|e| e.to_string())?
+    };
+    if stats.is_noop() {
+        println!("nothing to compact: no tombstones, no stale shards");
+        return Ok(());
+    }
+    println!(
+        "compacted {}: purged {} row(s); rewrote {} shard(s), kept {}, dropped {} \
+         ({} bytes written over {} dirty bytes)",
+        path.display(),
+        stats.purged,
+        stats.shards_rewritten,
+        stats.shards_kept,
+        stats.shards_dropped,
+        stats.bytes_written,
+        stats.dirty_bytes_before
+    );
+    notify_reload(&flags)
 }
 
 /// `sgla-serve update` — incremental artifact refresh for an
@@ -509,11 +639,7 @@ fn update(args: &[String]) -> Result<(), String> {
             .ok_or("update needs --artifact <file>")?,
     );
     if is_sharded_path(&artifact_path) {
-        return Err(
-            "update needs the full (monolithic) artifact file; keep it alongside sharded \
-             layouts and re-shard with --shards N"
-                .into(),
-        );
+        return update_sharded_in_place(&flags, &artifact_path);
     }
     let artifact = Artifact::load(&artifact_path).map_err(|e| e.to_string())?;
     let out = flags
@@ -696,20 +822,30 @@ fn update(args: &[String]) -> Result<(), String> {
         }
     }
 
-    if let Some(addr) = flags.get("notify") {
-        let addr: std::net::SocketAddr = addr.parse().map_err(|e| format!("--notify: {e}"))?;
-        let mut client = sgla_serve::HttpClient::connect(addr).map_err(|e| e.to_string())?;
-        let response = client
-            .post("/reload", &mvag_data::json::Value::object(vec![]))
-            .map_err(|e| e.to_string())?;
-        if response.status == 200 {
-            println!("notified {addr}: server hot-swapped the updated artifact");
-        } else {
-            return Err(format!(
-                "notify {addr}: POST /reload answered {} ({})",
-                response.status, response.body
-            ));
-        }
-    }
-    Ok(())
+    notify_reload(&flags)
+}
+
+/// `sgla-serve update --artifact <shard dir>` — in-place tail append.
+///
+/// A pure-append delta (from `--delta`) is routed to the layout's tail
+/// shard: exactly one shard file plus the manifest are rewritten,
+/// every other shard file stays byte-identical on disk. The base stays
+/// frozen — appended rows get serving state estimated from their
+/// resident neighbors — so this is the cheap ingest path; a later full
+/// `update` on the monolithic artifact folds the rows in exactly.
+fn update_sharded_in_place(flags: &Flags, path: &Path) -> Result<(), String> {
+    let delta_file = flags.get("delta").ok_or(
+        "updating a sharded layout in place needs --delta <file.mvd> carrying a pure append; \
+         removals/edits retrain via the monolithic artifact (then re-shard with --shards N), \
+         and tombstones are purged with `sgla-serve compact`",
+    )?;
+    let delta = mvag_data::load_delta(Path::new(delta_file)).map_err(|e| e.to_string())?;
+    let stats = sgla_serve::append_sharded(path, &delta, &mut mvag_data::FsWriter)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "appended {} node(s) in place: rewrote shard {} + manifest ({} bytes), \
+         {} shard file(s) untouched",
+        stats.added, stats.tail_shard, stats.bytes_written, stats.shards_kept
+    );
+    notify_reload(flags)
 }

@@ -146,6 +146,9 @@ pub struct QueryEngine {
     /// Euclidean norm of each local embedding row (precomputed for
     /// cosine).
     norms: Vec<f64>,
+    /// Tombstone mask over local rows; empty when the artifact has no
+    /// tombstones (the common case — keeps the hot loops branch-cheap).
+    dead: Vec<bool>,
     cache: Mutex<LruCache<(usize, usize), Vec<Neighbor>>>,
     config: EngineConfig,
     /// Optional IVF index for approximate top-k over the local rows.
@@ -189,10 +192,20 @@ impl QueryEngine {
         let norms = (0..artifact.meta.rows())
             .map(|i| vecops::norm2(artifact.embedding.row(i)))
             .collect();
+        let dead = if artifact.tombstone_count() == 0 {
+            Vec::new()
+        } else {
+            let mut mask = vec![false; artifact.meta.rows()];
+            for &t in &artifact.tombstones {
+                mask[t - artifact.meta.row_start] = true;
+            }
+            mask
+        };
         Ok(QueryEngine {
             cache: Mutex::new(LruCache::new(config.cache_capacity)),
             artifact,
             norms,
+            dead,
             config,
             index,
             counters: IndexCounters::default(),
@@ -236,7 +249,19 @@ impl QueryEngine {
                 m.row_start, m.row_end
             )));
         }
+        if self.is_dead_local(node - m.row_start) {
+            return Err(ServeError::NotFound(format!(
+                "node {node} has been deleted (tombstoned; pending compaction)"
+            )));
+        }
         Ok(())
+    }
+
+    /// True when local row `row` is tombstoned (empty mask = no dead
+    /// rows, so the untombstoned fast path is a bounds check).
+    #[inline]
+    fn is_dead_local(&self, row: usize) -> bool {
+        self.dead.get(row).copied().unwrap_or(false)
     }
 
     /// Local row index of a (checked) global node id.
@@ -412,6 +437,10 @@ impl QueryEngine {
             // One concurrent query parallelizes over its probed lists;
             // a batch parallelizes across queries instead (same policy
             // as the exact kernel: the batch is the unit of work).
+            // Tombstoned rows are still resident in the index, so each
+            // query over-fetches by the tombstone count and the dead
+            // hits are filtered out below.
+            let dead_n = self.artifact.tombstone_count();
             let search = |&(node, k, nprobe): &ApproxQuery| {
                 let local = self.local(node);
                 index.search(
@@ -419,7 +448,7 @@ impl QueryEngine {
                     &self.norms,
                     self.artifact.embedding.row(local),
                     self.norms[local],
-                    k,
+                    k + dead_n,
                     nprobe,
                     Some(node),
                     if jobs.len() == 1 {
@@ -435,12 +464,15 @@ impl QueryEngine {
             } else {
                 jobs.iter().map(search).collect()
             };
-            for (slot, (scored, stats)) in work.into_iter().zip(results) {
+            let offset = self.artifact.meta.row_start;
+            for ((slot, &(_, k, _)), (scored, stats)) in work.into_iter().zip(&jobs).zip(results) {
                 self.counters.record_search(&stats);
                 probe_span.counter("lists_scanned", stats.lists_scanned as u64);
                 probe_span.counter("rows_scanned", stats.rows_scanned as u64);
                 answers[slot] = Some(Ok(scored
                     .into_iter()
+                    .filter(|s| !self.is_dead_local(s.id - offset))
+                    .take(k)
                     .map(|s| Neighbor {
                         node: s.id,
                         score: s.score,
@@ -478,14 +510,17 @@ impl QueryEngine {
             &self.norms,
             qrow,
             qnorm,
-            k,
+            k + self.artifact.tombstone_count(),
             nprobe,
             exclude,
             1, // the router owns cross-shard parallelism
         );
+        let offset = self.artifact.meta.row_start;
         Ok((
             scored
                 .into_iter()
+                .filter(|s| !self.is_dead_local(s.id - offset))
+                .take(k)
                 .map(|s| Neighbor {
                     node: s.id,
                     score: s.score,
@@ -575,7 +610,7 @@ impl QueryEngine {
             for (job, heap) in jobs.iter().zip(heaps.iter_mut()) {
                 for row in block_start..block_end {
                     let global = offset + row;
-                    if Some(global) == job.exclude {
+                    if Some(global) == job.exclude || self.is_dead_local(row) {
                         continue;
                     }
                     let denom = job.qnorm * self.norms[row];
@@ -860,6 +895,49 @@ mod tests {
             QueryEngine::with_index(shard, EngineConfig::default(), index),
             Err(ServeError::Corrupt(_))
         ));
+    }
+
+    #[test]
+    fn tombstoned_nodes_are_masked() {
+        let mvag = toy_mvag(80, 2, 7);
+        let mut config = TrainConfig::default();
+        config.embed.dim = 8;
+        let mut artifact = Artifact::train(&mvag, &config).unwrap();
+        artifact.tombstones = vec![5, 41];
+        let e = QueryEngine::new(artifact.clone(), EngineConfig::default()).unwrap();
+        // Dead ids answer 404-class NotFound on every query path.
+        assert!(matches!(e.cluster_of(5), Err(ServeError::NotFound(_))));
+        assert!(matches!(e.query_vector(41), Err(ServeError::NotFound(_))));
+        assert!(matches!(
+            e.embed_batch(&[0, 41]),
+            Err(ServeError::NotFound(_))
+        ));
+        assert!(matches!(
+            e.top_k_similar(5, 3),
+            Err(ServeError::NotFound(_))
+        ));
+        // Live nodes still answer, and dead rows never appear as
+        // neighbours — the full scan returns exactly the live others.
+        let all = e.top_k_similar(3, 10_000).unwrap();
+        assert_eq!(all.len(), 80 - 1 - 2);
+        assert!(all.iter().all(|nb| nb.node != 5 && nb.node != 41));
+        // The approx path filters them too, even at full probe.
+        let ivf = QueryEngine::new(
+            artifact,
+            EngineConfig {
+                index: Some(mvag_index::IvfConfig { nlist: 4, seed: 2 }),
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            ivf.top_k_approx(41, 3, usize::MAX),
+            Err(ServeError::NotFound(_))
+        ));
+        let approx = ivf.top_k_approx(3, 79, usize::MAX).unwrap();
+        assert_eq!(approx.len(), 80 - 1 - 2);
+        assert!(approx.iter().all(|nb| nb.node != 5 && nb.node != 41));
+        assert_eq!(all, approx, "full probe matches the masked exact scan");
     }
 
     #[test]

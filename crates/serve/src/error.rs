@@ -13,6 +13,12 @@ pub enum ServeError {
     Corrupt(String),
     /// A query referenced a node/cluster outside the artifact.
     InvalidQuery(String),
+    /// A query referenced a node that exists structurally but has been
+    /// deleted (tombstoned). Distinct from [`ServeError::InvalidQuery`]
+    /// so the HTTP layer can answer 404 (the id was valid once and may
+    /// reappear after writes) instead of 400 (the request itself is
+    /// malformed).
+    NotFound(String),
     /// Structurally invalid input (training parameters, config).
     InvalidArgument(String),
     /// Training the artifact failed in the core pipeline.
@@ -27,6 +33,7 @@ impl fmt::Display for ServeError {
             ServeError::Io(e) => write!(f, "io error: {e}"),
             ServeError::Corrupt(msg) => write!(f, "corrupt artifact: {msg}"),
             ServeError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            ServeError::NotFound(msg) => write!(f, "not found: {msg}"),
             ServeError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
             ServeError::Train(e) => write!(f, "training failed: {e}"),
             ServeError::Server(msg) => write!(f, "server error: {msg}"),
@@ -68,6 +75,9 @@ mod tests {
         assert!(ServeError::InvalidQuery("x".into())
             .to_string()
             .contains("query"));
+        assert!(ServeError::NotFound("node 7".into())
+            .to_string()
+            .contains("not found"));
         let io: ServeError = std::io::Error::new(std::io::ErrorKind::NotFound, "n").into();
         assert!(io.to_string().contains("io error"));
     }

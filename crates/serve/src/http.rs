@@ -762,6 +762,7 @@ fn embed_route(request: &Request, shared: &ServerShared) -> (&'static str, u16, 
 fn error_status(e: &ServeError) -> u16 {
     match e {
         ServeError::InvalidQuery(_) | ServeError::InvalidArgument(_) => 400,
+        ServeError::NotFound(_) => 404,
         _ => 503,
     }
 }
@@ -843,6 +844,8 @@ fn artifact_body(shared: &ServerShared) -> String {
         ("seed", Value::from(meta.seed)),
         ("parent_seed", Value::from(meta.parent_seed)),
         ("update_count", Value::from(meta.update_count)),
+        ("compaction_count", Value::from(meta.compaction_count)),
+        ("tombstones", Value::from(shared.backend.tombstone_count())),
         ("weights", Value::from(shared.backend.weights())),
         (
             "format_version",
@@ -905,6 +908,7 @@ fn stats_body(shared: &ServerShared, reset: bool) -> String {
             "resident_shards",
             Value::from(shared.backend.resident_shards()),
         ),
+        ("tombstones", Value::from(shared.backend.tombstone_count())),
         (
             "index",
             Value::object(vec![
@@ -1072,6 +1076,8 @@ fn metrics_body(shared: &ServerShared) -> String {
         "sgla_resident_shards {}",
         shared.backend.resident_shards()
     );
+    page.push_str("# TYPE sgla_tombstones gauge\n");
+    let _ = writeln!(page, "sgla_tombstones {}", shared.backend.tombstone_count());
     let index = shared.backend.index_stats();
     page.push_str("# TYPE sgla_index_enabled gauge\n");
     let _ = writeln!(page, "sgla_index_enabled {}", u8::from(index.enabled));

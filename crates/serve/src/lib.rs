@@ -70,6 +70,7 @@ pub mod artifact;
 pub mod backend;
 pub mod batch;
 pub mod client;
+pub mod compact;
 pub mod engine;
 pub mod error;
 #[cfg(target_os = "linux")]
@@ -86,6 +87,9 @@ mod sys;
 pub use artifact::{Artifact, ArtifactMeta, TrainConfig, UpdateOutcome};
 pub use backend::{IndexStats, QueryBackend};
 pub use client::{HttpClient, HttpResponse};
+pub use compact::{
+    append_sharded, compact_monolithic, compact_sharded, AppendStats, CompactionStats,
+};
 pub use engine::{ApproxQuery, ClusterInfo, EngineConfig, Neighbor, QueryEngine};
 pub use error::ServeError;
 pub use http::{BackendLoader, ServeBackend, Server, ServerConfig};

@@ -47,7 +47,7 @@
 //! std::fs::remove_dir_all(&dir).ok();
 //! ```
 
-use crate::artifact::{crc32, Artifact, ArtifactMeta, FORMAT_VERSION, FORMAT_VERSION_V2};
+use crate::artifact::{Artifact, ArtifactMeta, FORMAT_VERSION, FORMAT_VERSION_V2};
 use crate::backend::{IndexStats, QueryBackend};
 use crate::engine::{
     ApproxQuery, ClusterInfo, EngineConfig, IndexCounters, Neighbor, QueryEngine, TopKHeap,
@@ -97,6 +97,10 @@ struct Slot {
 pub struct ShardRouter {
     manifest: ShardManifest,
     dir: PathBuf,
+    /// Id-map sidecar referenced by the manifest, loaded once at open:
+    /// shard files a compaction skipped are rebased through it on
+    /// every (re)load.
+    id_map: Option<mvag_data::IdMap>,
     meta: ArtifactMeta,
     weights: Vec<f64>,
     config: RouterConfig,
@@ -148,12 +152,10 @@ impl ShardRouter {
         };
         let manifest =
             ShardManifest::load(&manifest_path).map_err(|e| ServeError::Corrupt(e.to_string()))?;
-        if manifest.artifact_format_version != FORMAT_VERSION
-            && manifest.artifact_format_version != FORMAT_VERSION_V2
-        {
+        if !(FORMAT_VERSION_V2..=FORMAT_VERSION).contains(&manifest.artifact_format_version) {
             return Err(ServeError::Corrupt(format!(
                 "manifest references artifact format v{}, this build reads v{FORMAT_VERSION_V2} \
-                 or v{FORMAT_VERSION}",
+                 through v{FORMAT_VERSION}",
                 manifest.artifact_format_version
             )));
         }
@@ -161,6 +163,7 @@ impl ShardRouter {
             .parent()
             .map(Path::to_path_buf)
             .unwrap_or_else(|| PathBuf::from("."));
+        let id_map = crate::compact::load_layout_id_map(&dir, &manifest)?;
         let meta = ArtifactMeta {
             dataset: manifest.dataset.clone(),
             n: manifest.n,
@@ -172,7 +175,8 @@ impl ShardRouter {
             // Lineage is carried in the shard files, not the manifest;
             // patched in below from shard 0.
             parent_seed: manifest.seed,
-            update_count: 0,
+            update_count: manifest.update_count,
+            compaction_count: manifest.compaction_count,
         };
         let shard_count = manifest.shards.len();
         let slots = (0..shard_count)
@@ -185,6 +189,7 @@ impl ShardRouter {
             cache: Mutex::new(LruCache::new(config.cache_capacity)),
             manifest,
             dir,
+            id_map,
             meta,
             weights: Vec::new(),
             config,
@@ -207,7 +212,19 @@ impl ShardRouter {
         let index_nlist = first.index().map_or(0, IvfIndex::nlist);
         let meta = ArtifactMeta {
             parent_seed: first.artifact().meta.parent_seed,
-            update_count: first.artifact().meta.update_count,
+            // Shard 0 may be stale after an in-place tail append or a
+            // compaction that skipped it; the manifest's counters win
+            // when they are ahead.
+            update_count: first
+                .artifact()
+                .meta
+                .update_count
+                .max(router.meta.update_count),
+            compaction_count: first
+                .artifact()
+                .meta
+                .compaction_count
+                .max(router.meta.compaction_count),
             ..router.meta.clone()
         };
         Ok(ShardRouter {
@@ -302,38 +319,16 @@ impl ShardRouter {
         }
     }
 
-    /// Reads, checksums, decodes, and cross-checks one shard file.
+    /// Reads, checksums, decodes, cross-checks, and (for stale files)
+    /// rebases one shard file — the shared
+    /// [`compact::read_shard`](crate::compact) path, so the router and
+    /// the compactor verify shards identically.
     fn load_shard(&self, idx: usize) -> Result<QueryEngine> {
         let entry = &self.manifest.shards[idx];
-        let path = self.dir.join(&entry.file);
-        let raw = std::fs::read(&path)?;
         let fail =
             |msg: String| ServeError::Corrupt(format!("shard {idx} ({}): {msg}", entry.file));
-        if entry.bytes != 0 && raw.len() as u64 != entry.bytes {
-            return Err(fail(format!(
-                "file is {} bytes, manifest says {}",
-                raw.len(),
-                entry.bytes
-            )));
-        }
-        if entry.crc32 != 0 && crc32(&raw) != entry.crc32 {
-            return Err(fail("file checksum does not match the manifest".into()));
-        }
-        let artifact = Artifact::decode(bytes::Bytes::from(raw))?;
-        let m = &artifact.meta;
-        if m.row_start != entry.row_start || m.row_end != entry.row_end {
-            return Err(fail(format!(
-                "covers rows {}..{}, manifest says {}..{}",
-                m.row_start, m.row_end, entry.row_start, entry.row_end
-            )));
-        }
-        if m.n != self.manifest.n
-            || m.k != self.manifest.k
-            || m.dim != self.manifest.dim
-            || m.dataset != self.manifest.dataset
-        {
-            return Err(fail("shard metadata disagrees with the manifest".into()));
-        }
+        let artifact =
+            crate::compact::read_shard(&self.dir, &self.manifest, idx, self.id_map.as_ref())?;
         // Shard engines keep no per-shard result cache: the router
         // caches merged answers, and per-shard partials are useless on
         // their own.
@@ -477,10 +472,11 @@ impl ShardRouter {
                 }
                 Err(e) => {
                     // A shard-load failure poisons the whole uncached
-                    // batch — each job reports the same fault.
-                    let msg = e.to_string();
+                    // batch — each job reports the same fault. The
+                    // error class is preserved: a bad/deleted query
+                    // node is the client's 400/404, not a 503.
                     for slot in work {
-                        answers[slot] = Some(Err(ServeError::Server(msg.clone())));
+                        answers[slot] = Some(Err(clone_error_class(&e)));
                     }
                 }
             }
@@ -632,15 +628,10 @@ impl ShardRouter {
                 }
                 Err(e) => {
                     // Preserve the error class: a missing index is the
-                    // client's 400, a shard-load fault is a 503.
-                    let invalid = matches!(e, ServeError::InvalidQuery(_));
-                    let msg = e.to_string();
+                    // client's 400, a deleted query node its 404, a
+                    // shard-load fault a 503.
                     for slot in work {
-                        answers[slot] = Some(Err(if invalid {
-                            ServeError::InvalidQuery(msg.clone())
-                        } else {
-                            ServeError::Server(msg.clone())
-                        }));
+                        answers[slot] = Some(Err(clone_error_class(&e)));
                     }
                 }
             }
@@ -694,6 +685,18 @@ impl ShardRouter {
     }
 }
 
+/// Re-materializes a fan-out error once per poisoned job, keeping the
+/// client-facing classes (`InvalidQuery` → 400, `NotFound` → 404)
+/// intact and demoting everything else to a server-side fault.
+fn clone_error_class(e: &ServeError) -> ServeError {
+    let msg = e.to_string();
+    match e {
+        ServeError::InvalidQuery(_) => ServeError::InvalidQuery(msg),
+        ServeError::NotFound(_) => ServeError::NotFound(msg),
+        _ => ServeError::Server(msg),
+    }
+}
+
 impl QueryBackend for ShardRouter {
     fn meta(&self) -> ArtifactMeta {
         self.meta.clone()
@@ -733,6 +736,12 @@ impl QueryBackend for ShardRouter {
 
     fn resident_shards(&self) -> usize {
         self.resident_count()
+    }
+
+    fn tombstone_count(&self) -> usize {
+        // The manifest carries per-shard tombstone counts, so this
+        // needs no shard loads (and stays correct under eviction).
+        self.manifest.shards.iter().map(|e| e.tombstones).sum()
     }
 }
 

@@ -114,6 +114,10 @@ impl QueryBackend for HotSwapBackend {
     fn resident_shards(&self) -> usize {
         self.current().resident_shards()
     }
+
+    fn tombstone_count(&self) -> usize {
+        self.current().tombstone_count()
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,315 @@
+//! Property test: compaction is **bit-identical** to serving the
+//! uncompacted chain.
+//!
+//! Queries read only labels, centroids, and the embedding matrix —
+//! compaction copies live rows of all three verbatim and the
+//! [`mvag_data::IdMap`] is monotonic, so order and tie-breaks survive
+//! the renumbering. That makes the strongest possible check cheap:
+//! for every live node, `cluster_of`, `embed_batch`, and `top_k`
+//! answers from a compacted artifact must equal the uncompacted
+//! (tombstone-masked) engine's answers *to the bit* once ids are
+//! mapped — monolithic and sharded, across shard counts and
+//! `max_resident` residency budgets. Purged ids must be `NotFound` on
+//! the chain and absent from the compacted id space.
+//!
+//! A second battery proves the in-place append contract: untouched
+//! shard files stay byte-identical (CRC and raw bytes), old-node
+//! cluster/embedding answers are frozen, and the appended rows serve.
+
+use mvag_data::manifest::ShardManifest;
+use mvag_data::{FsWriter, IdMap};
+use mvag_graph::{MvagDelta, ViewDelta};
+use mvag_sparse::DenseMatrix;
+use proptest::prelude::*;
+use sgla_serve::{
+    append_sharded, compact_sharded, Artifact, EngineConfig, QueryBackend, QueryEngine,
+    RouterConfig, ServeError, ShardRouter, TrainConfig,
+};
+use std::sync::OnceLock;
+
+const N: usize = 72;
+const K: usize = 6;
+
+/// Training dominates wall-clock; every case reuses one artifact.
+fn reference() -> &'static Artifact {
+    static SHARED: OnceLock<Artifact> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        let mvag = mvag_data::toy_mvag(N, 3, 23);
+        let mut config = TrainConfig::default();
+        config.embed.dim = 8;
+        Artifact::train(&mvag, &config).unwrap()
+    })
+}
+
+fn with_dead(dead: &[usize]) -> Artifact {
+    let mut artifact = reference().clone();
+    artifact.tombstones = dead.to_vec();
+    artifact
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "sgla-compact-equiv-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// The core oracle: every old id answers identically (modulo the id
+/// map) on the chain and the compacted backend; purged ids are gone.
+fn assert_equivalent(chain: &QueryEngine, compacted: &dyn QueryBackend, map: &IdMap) {
+    assert_eq!(QueryBackend::meta(compacted).n, map.new_n);
+    for old in 0..map.old_n {
+        let Some(new) = map.map(old) else {
+            assert!(
+                matches!(chain.cluster_of(old), Err(ServeError::NotFound(_))),
+                "purged node {old} still answers on the chain"
+            );
+            continue;
+        };
+
+        let a = chain.cluster_of(old).unwrap();
+        let b = compacted.cluster_of(new).unwrap();
+        assert_eq!(a.cluster, b.cluster, "cluster of {old} -> {new}");
+        assert_eq!(
+            a.centroid_dist.to_bits(),
+            b.centroid_dist.to_bits(),
+            "centroid distance of {old} -> {new}"
+        );
+
+        let ea = &chain.embed_batch(&[old]).unwrap()[0];
+        let eb = &compacted.embed_batch(&[new]).unwrap()[0];
+        let bits = |row: &Vec<f64>| row.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(ea), bits(eb), "embedding of {old} -> {new}");
+
+        // The chain masks dead candidates at query time; compaction
+        // removed them from the id space. Same survivors, same scores,
+        // same order — the monotonic map preserves the (score desc,
+        // node asc) tie-break, so compare elementwise.
+        let ta = chain.top_k_similar(old, K).unwrap();
+        let tb = compacted.top_k_batch(&[(new, K)]).pop().unwrap().unwrap();
+        assert_eq!(ta.len(), tb.len(), "top-k length of {old} -> {new}");
+        for (na, nb) in ta.iter().zip(&tb) {
+            assert_eq!(
+                map.map(na.node),
+                Some(nb.node),
+                "neighbour id for query {old} -> {new}"
+            );
+            assert_eq!(
+                na.score.to_bits(),
+                nb.score.to_bits(),
+                "neighbour score bits for query {old} -> {new}"
+            );
+        }
+    }
+}
+
+#[test]
+fn monolithic_compaction_is_bit_identical_to_the_chain() {
+    let dead = [1usize, 5, 33, 64, 71];
+    let chained = with_dead(&dead);
+    let chain = QueryEngine::new(chained.clone(), EngineConfig::default()).unwrap();
+
+    let (compacted, map) = chained.compact().unwrap();
+    assert_eq!(compacted.meta.n, N - dead.len());
+    assert_eq!(compacted.tombstone_count(), 0);
+    let engine = QueryEngine::new(compacted, EngineConfig::default()).unwrap();
+    assert_equivalent(&chain, &engine, &map);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Sharded compaction equivalence across shard counts, residency
+    /// budgets, and random tombstone sets — plus the write-amp bound.
+    #[test]
+    fn sharded_compaction_is_bit_identical_to_the_chain(
+        shards in 2usize..6,
+        max_resident in 0usize..3,
+        dead_raw in proptest::collection::vec(0usize..N, 1..9),
+        case in 0u64..u64::MAX,
+    ) {
+        let mut dead = dead_raw;
+        dead.sort_unstable();
+        dead.dedup();
+
+        let chained = with_dead(&dead);
+        let chain = QueryEngine::new(chained.clone(), EngineConfig::default()).unwrap();
+        let map = IdMap::new(N, dead.clone()).unwrap();
+
+        let dir = temp_dir(&format!("prop-{case}"));
+        chained.save_sharded(&dir, shards).unwrap();
+        let stats = compact_sharded(&dir, &mut FsWriter).unwrap();
+        prop_assert_eq!(stats.purged, dead.len());
+        prop_assert!(
+            stats.bytes_written <= 2 * stats.dirty_bytes_before,
+            "write amplification {} over dirty bytes {}",
+            stats.bytes_written,
+            stats.dirty_bytes_before
+        );
+
+        let router = ShardRouter::open(
+            &dir,
+            RouterConfig { max_resident, ..RouterConfig::default() },
+        )
+        .unwrap();
+        assert_equivalent(&chain, &router, &map);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn append_freezes_old_answers_and_untouched_bytes() {
+    let dir = temp_dir("append");
+    reference().save_sharded(&dir, 4).unwrap();
+    let before = ShardManifest::load(&dir.join(Artifact::MANIFEST_FILE)).unwrap();
+    let old_files: Vec<Vec<u8>> = before.shards[..3]
+        .iter()
+        .map(|e| std::fs::read(dir.join(&e.file)).unwrap())
+        .collect();
+
+    let probes = [0usize, 20, 50, 71];
+    let frozen: Vec<_> = {
+        let router = ShardRouter::open(&dir, RouterConfig::default()).unwrap();
+        probes
+            .iter()
+            .map(|&node| {
+                let info = router.cluster_of(node).unwrap();
+                let embed: Vec<u64> = router.embed_batch(&[node]).unwrap()[0]
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect();
+                (info.cluster, info.centroid_dist.to_bits(), embed)
+            })
+            .collect()
+    };
+
+    let delta = MvagDelta::append(
+        3,
+        vec![
+            ViewDelta::Edges(vec![(N, 70, 1.0), (N + 1, N, 2.0), (N + 2, 65, 0.5)]),
+            ViewDelta::Rows(DenseMatrix::zeros(3, 4)),
+        ],
+        None,
+    );
+    let stats = append_sharded(&dir, &delta, &mut FsWriter).unwrap();
+    assert_eq!((stats.added, stats.tail_shard), (3, 3));
+
+    // Satellite contract: every non-tail shard file is byte-identical
+    // after the append — same CRC in the manifest, same raw bytes on
+    // disk.
+    let after = ShardManifest::load(&dir.join(Artifact::MANIFEST_FILE)).unwrap();
+    assert_eq!(after.n, N + 3);
+    for ((old_entry, new_entry), old_bytes) in before.shards[..3]
+        .iter()
+        .zip(&after.shards[..3])
+        .zip(&old_files)
+    {
+        assert_eq!(old_entry.file, new_entry.file);
+        assert_eq!(old_entry.crc32, new_entry.crc32);
+        assert_eq!(new_entry.file_n, Some(N));
+        assert_eq!(
+            &std::fs::read(dir.join(&new_entry.file)).unwrap(),
+            old_bytes
+        );
+    }
+
+    // Frozen base: cluster assignments and embedding rows of existing
+    // nodes are bit-identical before and after the append, and stay so
+    // after the follow-up compaction normalizes the stale entries.
+    let check_frozen = |dir: &std::path::Path| {
+        let router = ShardRouter::open(dir, RouterConfig::default()).unwrap();
+        for (&node, want) in probes.iter().zip(&frozen) {
+            let info = router.cluster_of(node).unwrap();
+            let embed: Vec<u64> = router.embed_batch(&[node]).unwrap()[0]
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            assert_eq!(
+                &(info.cluster, info.centroid_dist.to_bits(), embed),
+                want,
+                "node {node} drifted"
+            );
+        }
+        // The appended rows serve on every query path.
+        for node in N..N + 3 {
+            assert!(router.cluster_of(node).unwrap().cluster < 3);
+            router.top_k_similar(node, 5).unwrap();
+            router.embed_batch(&[node]).unwrap();
+        }
+    };
+    check_frozen(&dir);
+
+    // Normalization pass: no tombstones, but the stale (rebased)
+    // entries get rewritten into plain files. Answers don't move.
+    let stats = compact_sharded(&dir, &mut FsWriter).unwrap();
+    assert_eq!(stats.purged, 0);
+    assert_eq!(stats.shards_rewritten, 3);
+    check_frozen(&dir);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn full_crud_cycle_stays_consistent() {
+    // Delete → compact → append → compact again, the lifecycle the
+    // `sgla-serve` CLI drives, checked against the monolithic oracle
+    // at the step where they are comparable.
+    let dead = [3usize, 20, 40];
+    let chained = with_dead(&dead);
+    let chain = QueryEngine::new(chained.clone(), EngineConfig::default()).unwrap();
+    let map = IdMap::new(N, dead.to_vec()).unwrap();
+
+    let dir = temp_dir("cycle");
+    chained.save_sharded(&dir, 4).unwrap();
+    let stats = compact_sharded(&dir, &mut FsWriter).unwrap();
+    assert_eq!(stats.purged, dead.len());
+    {
+        let router = ShardRouter::open(&dir, RouterConfig::default()).unwrap();
+        assert_equivalent(&chain, &router, &map);
+    }
+
+    // Append onto the compacted id space (n = 69 here).
+    let n = N - dead.len();
+    let delta = MvagDelta::append(
+        2,
+        vec![
+            ViewDelta::Edges(vec![(n, n - 1, 1.0), (n + 1, n, 1.0)]),
+            ViewDelta::Rows(DenseMatrix::zeros(2, 4)),
+        ],
+        None,
+    );
+    append_sharded(&dir, &delta, &mut FsWriter).unwrap();
+    let stats = compact_sharded(&dir, &mut FsWriter).unwrap();
+    assert_eq!(stats.purged, 0);
+
+    // Old (mapped) nodes still answer exactly like the monolithic
+    // compacted artifact — append and normalization never touch them.
+    let (mono, _) = chained.compact().unwrap();
+    let mono = QueryEngine::new(mono, EngineConfig::default()).unwrap();
+    let router = ShardRouter::open(&dir, RouterConfig::default()).unwrap();
+    assert_eq!(QueryBackend::meta(&router).n, n + 2);
+    for old in 0..N {
+        let Some(new) = map.map(old) else { continue };
+        let a = mono.cluster_of(new).unwrap();
+        let b = router.cluster_of(new).unwrap();
+        assert_eq!(
+            (a.cluster, a.centroid_dist.to_bits()),
+            (b.cluster, b.centroid_dist.to_bits())
+        );
+        let ea: Vec<u64> = mono.embed_batch(&[new]).unwrap()[0]
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let eb: Vec<u64> = router.embed_batch(&[new]).unwrap()[0]
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        assert_eq!(ea, eb, "embedding of surviving node {old} -> {new} drifted");
+    }
+    for node in n..n + 2 {
+        router.top_k_similar(node, 5).unwrap();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

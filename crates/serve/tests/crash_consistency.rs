@@ -1,0 +1,279 @@
+//! Crash-consistency battery for the sharded storage engine.
+//!
+//! Every multi-file layout mutation (`compact_sharded`,
+//! `append_sharded`) promises: a process killed at *any* point leaves
+//! the on-disk layout fully loadable as either the complete old state
+//! or the complete new state — never a mix — and a plain retry
+//! converges to the committed state with bit-identical answers.
+//!
+//! The harness measures a mutation's total filesystem cost once with
+//! an effectively unlimited [`FailpointWriter`] budget, then replays
+//! the very same mutation on a fresh copy of the layout at a sweep of
+//! budgets below that cost. Each budget kills the writer at a
+//! different boundary: mid shard file (torn write), between files,
+//! right before the manifest rename, right after it (during
+//! best-effort cleanup). After every simulated crash the test opens a
+//! [`ShardRouter`] over the wreckage, queries it, and then finishes
+//! the interrupted job with the real [`FsWriter`].
+//!
+//! A final end-to-end test proves the serving-layer contract: a torn
+//! compaction under a live reloadable server leaves `POST /reload`
+//! returning the *old* artifact (clean rollback), and a completed
+//! compaction swaps the purged one in.
+
+use mvag_data::json::Value;
+use mvag_data::manifest::ShardManifest;
+use mvag_data::{FailpointWriter, FsWriter};
+use mvag_graph::{MvagDelta, ViewDelta};
+use mvag_sparse::DenseMatrix;
+use sgla_serve::{
+    append_sharded, compact_sharded, Artifact, HttpClient, QueryBackend, RouterConfig, Server,
+    ServerConfig, ShardRouter, TrainConfig,
+};
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
+
+const N: usize = 36;
+const SHARDS: usize = 3;
+/// Tombstones span shards 0 and 1; shard 2 (the tail) stays clean so
+/// both sweeps run against the same golden layout.
+const DEAD: [usize; 3] = [2, 7, 13];
+
+/// Training dominates wall-clock; every layout copy re-shards one
+/// shared artifact.
+fn golden() -> &'static Artifact {
+    static SHARED: OnceLock<Artifact> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        let mvag = mvag_data::toy_mvag(N, 3, 29);
+        let mut config = TrainConfig::default();
+        config.embed.dim = 6;
+        let mut artifact = Artifact::train(&mvag, &config).unwrap();
+        artifact.tombstones = DEAD.to_vec();
+        artifact
+    })
+}
+
+/// A fresh sharded copy of the golden artifact under a unique dir.
+fn layout(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "sgla-crash-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    golden().save_sharded(&dir, SHARDS).unwrap();
+    dir
+}
+
+/// Opens the layout and proves it is coherent: the manifest loads and
+/// validates, its `n` is one of the two legal states, the router
+/// serves it, and a cross-shard query answers. Returns the observed
+/// `n`.
+fn assert_loadable(dir: &std::path::Path, legal_n: &[usize]) -> usize {
+    let manifest = ShardManifest::load(&dir.join(Artifact::MANIFEST_FILE)).unwrap();
+    manifest.validate().unwrap();
+    assert!(
+        legal_n.contains(&manifest.n),
+        "manifest n = {} is neither old nor new ({legal_n:?})",
+        manifest.n
+    );
+    let router = ShardRouter::open(dir, RouterConfig::default()).unwrap();
+    assert_eq!(QueryBackend::meta(&router).n, manifest.n);
+    // Fans out to every shard, so a missing or half-written live file
+    // would surface here.
+    let neighbors = router.top_k_similar(0, 5).unwrap();
+    assert!(!neighbors.is_empty());
+    router.embed_batch(&[0]).unwrap();
+    manifest.n
+}
+
+/// Answers that must be bit-identical across every recovery path.
+fn fingerprint(dir: &std::path::Path, probes: &[usize]) -> Vec<(usize, u64, Vec<u64>, Vec<u64>)> {
+    let router = ShardRouter::open(dir, RouterConfig::default()).unwrap();
+    probes
+        .iter()
+        .map(|&node| {
+            let info = router.cluster_of(node).unwrap();
+            let embed: Vec<u64> = router.embed_batch(&[node]).unwrap()[0]
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            let topk: Vec<u64> = router
+                .top_k_similar(node, 6)
+                .unwrap()
+                .iter()
+                .flat_map(|nb| [nb.node as u64, nb.score.to_bits()])
+                .collect();
+            (info.cluster, info.centroid_dist.to_bits(), embed, topk)
+        })
+        .collect()
+}
+
+/// The budget sweep: 0, 1, 2, an even stride across the run, and the
+/// last few operations before (and at) the full cost.
+fn budgets(cost: usize) -> Vec<usize> {
+    let mut budgets: Vec<usize> = (0..cost).step_by((cost / 24).max(1)).collect();
+    budgets.extend([
+        1,
+        2,
+        cost.saturating_sub(2),
+        cost.saturating_sub(1),
+        cost,
+        cost + 10,
+    ]);
+    budgets.sort_unstable();
+    budgets.dedup();
+    budgets
+}
+
+#[test]
+fn compaction_survives_a_kill_at_every_point() {
+    // Measure the full cost and capture the committed reference state.
+    let dir = layout("compact-ref");
+    let mut probe = FailpointWriter::new(1 << 30);
+    let stats = compact_sharded(&dir, &mut probe).unwrap();
+    assert!(!probe.died());
+    let cost = (1 << 30) - probe.remaining();
+    assert!(stats.purged == DEAD.len() && cost > 4, "cost = {cost}");
+    let new_n = N - DEAD.len();
+    let probes = [0usize, 10, new_n - 1];
+    let reference = fingerprint(&dir, &probes);
+    std::fs::remove_dir_all(&dir).ok();
+
+    for budget in budgets(cost) {
+        let dir = layout(&format!("compact-{budget}"));
+        let mut writer = FailpointWriter::new(budget);
+        let result = compact_sharded(&dir, &mut writer);
+
+        // Old-or-new, never a mix: the manifest rename is the one
+        // commit point, so the result tells us exactly which side of
+        // it the crash landed on.
+        let n_now = assert_loadable(&dir, &[N, new_n]);
+        if result.is_ok() {
+            assert_eq!(n_now, new_n, "budget {budget}: Ok but old layout");
+        } else {
+            assert_eq!(n_now, N, "budget {budget}: Err but manifest committed");
+        }
+
+        // Recovery: a plain retry finishes the job (a no-op when the
+        // crash hit the post-commit cleanup) and converges to answers
+        // bit-identical to the uninterrupted run.
+        compact_sharded(&dir, &mut FsWriter).unwrap();
+        let manifest = ShardManifest::load(&dir.join(Artifact::MANIFEST_FILE)).unwrap();
+        assert_eq!(manifest.n, new_n, "budget {budget}: recovery lost rows");
+        assert_eq!(
+            fingerprint(&dir, &probes),
+            reference,
+            "budget {budget}: recovered answers differ"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+fn tail_delta() -> MvagDelta {
+    MvagDelta::append(
+        2,
+        vec![
+            ViewDelta::Edges(vec![(N, 30, 1.0), (N + 1, N, 1.5), (N + 1, 32, 0.5)]),
+            ViewDelta::Rows(DenseMatrix::zeros(2, 4)),
+        ],
+        None,
+    )
+}
+
+#[test]
+fn append_survives_a_kill_at_every_point() {
+    let delta = tail_delta();
+    let new_n = N + 2;
+
+    let dir = layout("append-ref");
+    let mut probe = FailpointWriter::new(1 << 30);
+    let stats = append_sharded(&dir, &delta, &mut probe).unwrap();
+    assert!(!probe.died());
+    let cost = (1 << 30) - probe.remaining();
+    assert!(stats.added == 2 && cost > 4, "cost = {cost}");
+    let probes = [0usize, 20, N, N + 1];
+    let reference = fingerprint(&dir, &probes);
+    std::fs::remove_dir_all(&dir).ok();
+
+    for budget in budgets(cost) {
+        let dir = layout(&format!("append-{budget}"));
+        let mut writer = FailpointWriter::new(budget);
+        let result = append_sharded(&dir, &delta, &mut writer);
+
+        let n_now = assert_loadable(&dir, &[N, new_n]);
+        if result.is_ok() {
+            assert_eq!(n_now, new_n, "budget {budget}: Ok but old layout");
+        } else {
+            assert_eq!(n_now, N, "budget {budget}: Err but manifest committed");
+        }
+
+        // Recovery for an append is replay-if-uncommitted: the failed
+        // run left the old layout, so the delta applies exactly once.
+        if result.is_err() {
+            append_sharded(&dir, &delta, &mut FsWriter).unwrap();
+        }
+        let manifest = ShardManifest::load(&dir.join(Artifact::MANIFEST_FILE)).unwrap();
+        assert_eq!(
+            manifest.n, new_n,
+            "budget {budget}: recovery lost the append"
+        );
+        assert_eq!(
+            fingerprint(&dir, &probes),
+            reference,
+            "budget {budget}: recovered answers differ"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn reload_rolls_back_cleanly_after_a_torn_compaction() {
+    let dir = layout("reload");
+    let loader_dir = dir.clone();
+    let loader: sgla_serve::BackendLoader = Box::new(move || {
+        Ok(
+            Arc::new(ShardRouter::open(&loader_dir, RouterConfig::default())?)
+                as Arc<dyn QueryBackend>,
+        )
+    });
+    let server_config = ServerConfig {
+        addr: "127.0.0.1:0".parse().unwrap(),
+        workers: 2,
+        ..ServerConfig::default()
+    };
+    let server = Server::start_reloadable(loader, &server_config).unwrap();
+    let mut client = HttpClient::connect(server.local_addr()).unwrap();
+
+    let meta = client.get("/artifact").unwrap();
+    assert_eq!(meta.body.get("n").unwrap().as_usize(), Some(N));
+
+    // A compaction torn on its very first shard write strands a
+    // half-written generational file but never touches the committed
+    // manifest: reload serves the old, untombstone-purged layout.
+    let mut torn = FailpointWriter::new(1);
+    assert!(compact_sharded(&dir, &mut torn).is_err());
+    assert!(torn.died());
+    let rolled_back = client.post("/reload", &Value::object(vec![])).unwrap();
+    assert_eq!(rolled_back.status, 200);
+    assert_eq!(rolled_back.body.get("n").unwrap().as_usize(), Some(N));
+    // Tombstoned ids still answer NotFound-style 404s on the old state.
+    assert_eq!(
+        client.get(&format!("/cluster/{}", DEAD[0])).unwrap().status,
+        404
+    );
+
+    // Finishing the compaction (the retry overwrites the torn file)
+    // and reloading swaps the purged layout in.
+    compact_sharded(&dir, &mut FsWriter).unwrap();
+    let swapped = client.post("/reload", &Value::object(vec![])).unwrap();
+    assert_eq!(swapped.status, 200);
+    assert_eq!(
+        swapped.body.get("n").unwrap().as_usize(),
+        Some(N - DEAD.len())
+    );
+    assert_eq!(swapped.body.get("previous_n").unwrap().as_usize(), Some(N));
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
