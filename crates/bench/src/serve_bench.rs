@@ -680,9 +680,30 @@ fn run_obs_gate(addr: SocketAddr, config: &ServeBenchConfig) -> Result<Value, St
             bucket.append(&mut latencies);
         }
     }
+    // EXPLAIN leg (tracing off): every response must carry the spliced
+    // cost object; its latency is reported alongside the gate modes so
+    // the cost of asking for a cost profile is itself measured.
+    let (mut explain_latencies, explain_recorded, _) =
+        drive_load(addr, &gate_config, "&explain=1")?;
+    for (node, status, body) in &explain_recorded {
+        if *status != 200 {
+            return Err(format!("explain leg: /topk/{node} answered {status}"));
+        }
+        let ok = body
+            .get("cost")
+            .and_then(|c| c.get("path"))
+            .and_then(|p| p.as_str())
+            .is_some();
+        if !ok {
+            return Err(format!(
+                "explain leg: /topk/{node}?explain=1 response has no cost object"
+            ));
+        }
+    }
 
     // The enabled legs populated the sgla_stage_* histograms; the
-    // exported page must be conformant Prometheus text format.
+    // exported page must be conformant Prometheus text format and
+    // carry every observability family the serve layer promises.
     let (status, page) = HttpClient::connect(addr)
         .and_then(|mut c| c.get_text("/metrics"))
         .map_err(|e| format!("scraping /metrics: {e}"))?;
@@ -692,8 +713,27 @@ fn run_obs_gate(addr: SocketAddr, config: &ServeBenchConfig) -> Result<Value, St
     }
     sgla_serve::metrics::validate_prometheus(&page)
         .map_err(|e| format!("/metrics failed Prometheus validation: {e}"))?;
-    if !page.contains("sgla_stage_duration_us_bucket") {
-        return Err("no sgla_stage_duration_us series on /metrics after traced load".into());
+    for series in [
+        "sgla_stage_duration_us_bucket",
+        "sgla_slow_query_captured_total",
+        "sgla_slo_objective_p99_us",
+        "sgla_compact_duration_us_bucket",
+    ] {
+        if !page.contains(series) {
+            return Err(format!("no {series} series on /metrics after traced load"));
+        }
+    }
+    // The health endpoint must answer with a well-formed verdict (the
+    // gate load is healthy traffic, so `unhealthy`/503 is a failure).
+    let health = HttpClient::connect(addr)
+        .and_then(|mut c| c.get("/health"))
+        .map_err(|e| format!("scraping /health: {e}"))?;
+    if health.status != 200 {
+        return Err(format!("/health answered {}", health.status));
+    }
+    match health.body.get("status").and_then(|s| s.as_str()) {
+        Some("ok") | Some("degraded") => {}
+        other => return Err(format!("/health reported {other:?}")),
     }
 
     let p50_of = |latencies: &mut Vec<u64>| {
@@ -704,6 +744,7 @@ fn run_obs_gate(addr: SocketAddr, config: &ServeBenchConfig) -> Result<Value, St
     let baseline_p50 = p50_of(&mut baseline);
     let disabled_p50 = p50_of(&mut disabled);
     let enabled_p50 = p50_of(&mut enabled);
+    let explain_p50 = p50_of(&mut explain_latencies);
     let disabled_limit = baseline_p50 * OBS_DISABLED_MAX_RATIO + OBS_GATE_SLACK_US;
     let enabled_limit = baseline_p50 * OBS_ENABLED_MAX_RATIO + OBS_GATE_SLACK_US;
     if disabled_p50 > disabled_limit {
@@ -733,9 +774,16 @@ fn run_obs_gate(addr: SocketAddr, config: &ServeBenchConfig) -> Result<Value, St
         ("enabled_p50_us", Value::from(enabled_p50)),
         ("disabled_ratio", Value::from(ratio(disabled_p50))),
         ("enabled_ratio", Value::from(ratio(enabled_p50))),
+        ("explain_p50_us", Value::from(explain_p50)),
+        ("explain_ratio", Value::from(ratio(explain_p50))),
+        (
+            "explain_responses_checked",
+            Value::from(explain_recorded.len()),
+        ),
         ("disabled_limit_us", Value::from(disabled_limit)),
         ("enabled_limit_us", Value::from(enabled_limit)),
         ("metrics_page_validated", Value::Bool(true)),
+        ("health_scraped", Value::Bool(true)),
         ("gate", Value::from("pass")),
     ]))
 }

@@ -9,6 +9,7 @@
 //! a deployment choice, not a different server.
 
 use crate::artifact::ArtifactMeta;
+use crate::cost::QueryCost;
 use crate::engine::{ApproxQuery, ClusterInfo, Neighbor, QueryEngine};
 use crate::Result;
 
@@ -98,6 +99,51 @@ pub trait QueryBackend: Send + Sync {
     fn tombstone_count(&self) -> usize {
         0
     }
+
+    /// [`Self::cluster_of`] plus a cost profile of the lookup. The
+    /// answer is exactly what `cluster_of` returns — cost accounting
+    /// must never perturb results. The default wraps the plain call
+    /// with shard-shape bookkeeping only; engines and routers override
+    /// it with real counters.
+    fn cluster_of_costed(&self, node: usize) -> (Result<ClusterInfo>, QueryCost) {
+        let mut cost = QueryCost::exact();
+        cost.shards_touched = self.shard_count() as u64;
+        cost.shards_resident = self.resident_shards() as u64;
+        (self.cluster_of(node), cost)
+    }
+
+    /// [`Self::top_k_batch`] plus a cost profile of the whole pass.
+    fn top_k_batch_costed(
+        &self,
+        queries: &[(usize, usize)],
+    ) -> (Vec<Result<Vec<Neighbor>>>, QueryCost) {
+        let mut cost = QueryCost::exact();
+        cost.shards_touched = self.shard_count() as u64;
+        cost.shards_resident = self.resident_shards() as u64;
+        cost.cache_misses = queries.len() as u64;
+        (self.top_k_batch(queries), cost)
+    }
+
+    /// [`Self::top_k_batch_approx`] plus a cost profile of the pass.
+    fn top_k_batch_approx_costed(
+        &self,
+        queries: &[ApproxQuery],
+    ) -> (Vec<Result<Vec<Neighbor>>>, QueryCost) {
+        let mut cost = QueryCost::ivf();
+        cost.shards_touched = self.shard_count() as u64;
+        cost.shards_resident = self.resident_shards() as u64;
+        cost.cache_misses = queries.len() as u64;
+        (self.top_k_batch_approx(queries), cost)
+    }
+
+    /// [`Self::embed_batch`] plus a cost profile of the batch.
+    fn embed_batch_costed(&self, nodes: &[usize]) -> (Result<Vec<Vec<f64>>>, QueryCost) {
+        let mut cost = QueryCost::exact();
+        cost.shards_touched = self.shard_count() as u64;
+        cost.shards_resident = self.resident_shards() as u64;
+        cost.rows_scanned = nodes.len() as u64;
+        (self.embed_batch(nodes), cost)
+    }
 }
 
 impl QueryBackend for QueryEngine {
@@ -135,5 +181,35 @@ impl QueryBackend for QueryEngine {
 
     fn tombstone_count(&self) -> usize {
         self.artifact().tombstone_count()
+    }
+
+    fn cluster_of_costed(&self, node: usize) -> (Result<ClusterInfo>, QueryCost) {
+        let mut cost = QueryCost::exact();
+        cost.shards_touched = 1;
+        cost.shards_resident = 1;
+        cost.rows_scanned = 1;
+        (QueryEngine::cluster_of(self, node), cost)
+    }
+
+    fn top_k_batch_costed(
+        &self,
+        queries: &[(usize, usize)],
+    ) -> (Vec<Result<Vec<Neighbor>>>, QueryCost) {
+        QueryEngine::top_k_batch_costed(self, queries)
+    }
+
+    fn top_k_batch_approx_costed(
+        &self,
+        queries: &[ApproxQuery],
+    ) -> (Vec<Result<Vec<Neighbor>>>, QueryCost) {
+        QueryEngine::top_k_batch_approx_costed(self, queries)
+    }
+
+    fn embed_batch_costed(&self, nodes: &[usize]) -> (Result<Vec<Vec<f64>>>, QueryCost) {
+        let mut cost = QueryCost::exact();
+        cost.shards_touched = 1;
+        cost.shards_resident = 1;
+        cost.rows_scanned = nodes.len() as u64;
+        (QueryEngine::embed_batch(self, nodes), cost)
     }
 }

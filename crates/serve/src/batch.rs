@@ -15,6 +15,7 @@
 //! [`QueryBackend`] — a monolithic engine or a shard router alike.
 
 use crate::backend::QueryBackend;
+use crate::cost::QueryCost;
 use crate::engine::Neighbor;
 use crate::Result;
 use std::sync::mpsc;
@@ -34,13 +35,18 @@ struct Job {
     node: usize,
     k: usize,
     mode: Mode,
-    reply: mpsc::Sender<Result<Vec<Neighbor>>>,
+    /// Every answer travels with the pass's cost profile: queue wait
+    /// and kernel time are per member, the backend counters are the
+    /// whole pass's (cost accounting is always on; callers that don't
+    /// want the cost just drop it).
+    reply: mpsc::Sender<(Result<Vec<Neighbor>>, QueryCost)>,
     /// Trace (request) id captured at submit time, so the drain
     /// thread can attribute queue wait and kernel time to the HTTP
     /// request even though it runs on its own thread. 0 = untraced.
     trace: u64,
-    /// Submit timestamp (µs since the tracing epoch; 0 when tracing
-    /// was off at submit).
+    /// Submit timestamp (µs since the tracing epoch) — always
+    /// captured, it feeds `QueryCost::queue_wait_us` even with
+    /// tracing off.
     enqueued_us: u64,
 }
 
@@ -116,7 +122,7 @@ impl Batcher {
     /// Query errors from the engine; [`crate::ServeError::Server`] if
     /// the batcher is shutting down.
     pub fn top_k(&self, node: usize, k: usize) -> Result<Vec<Neighbor>> {
-        self.submit(node, k, Mode::Exact)
+        self.submit(node, k, Mode::Exact).0
     }
 
     /// Enqueues one approximate (IVF-probed) query and blocks until
@@ -127,15 +133,36 @@ impl Batcher {
     /// Query errors from the engine (including "no index attached");
     /// [`crate::ServeError::Server`] if the batcher is shutting down.
     pub fn top_k_approx(&self, node: usize, k: usize, nprobe: usize) -> Result<Vec<Neighbor>> {
+        self.submit(node, k, Mode::Approx { nprobe }).0
+    }
+
+    /// [`Batcher::top_k`] plus the query's cost profile: the shared
+    /// kernel pass's backend counters with this member's own queue
+    /// wait and compute time. The answer is exactly what `top_k`
+    /// returns — accounting never perturbs results.
+    pub fn top_k_explained(&self, node: usize, k: usize) -> (Result<Vec<Neighbor>>, QueryCost) {
+        self.submit(node, k, Mode::Exact)
+    }
+
+    /// [`Batcher::top_k_approx`] plus the query's cost profile.
+    pub fn top_k_approx_explained(
+        &self,
+        node: usize,
+        k: usize,
+        nprobe: usize,
+    ) -> (Result<Vec<Neighbor>>, QueryCost) {
         self.submit(node, k, Mode::Approx { nprobe })
     }
 
-    fn submit(&self, node: usize, k: usize, mode: Mode) -> Result<Vec<Neighbor>> {
+    fn submit(&self, node: usize, k: usize, mode: Mode) -> (Result<Vec<Neighbor>>, QueryCost) {
         let (tx, rx) = mpsc::channel();
         {
             let mut q = self.shared.queue.lock().expect("batch queue lock");
             if q.shutdown {
-                return Err(crate::ServeError::Server("batcher is shut down".into()));
+                return (
+                    Err(crate::ServeError::Server("batcher is shut down".into())),
+                    QueryCost::default(),
+                );
             }
             let traced = mvag_obs::enabled();
             q.jobs.push(Job {
@@ -144,12 +171,19 @@ impl Batcher {
                 mode,
                 reply: tx,
                 trace: if traced { mvag_obs::current_trace() } else { 0 },
-                enqueued_us: if traced { mvag_obs::now_us() } else { 0 },
+                enqueued_us: mvag_obs::now_us(),
             });
         }
         self.shared.available.notify_one();
-        rx.recv()
-            .map_err(|_| crate::ServeError::Server("batcher dropped the query".into()))?
+        match rx.recv() {
+            Ok(reply) => reply,
+            Err(_) => (
+                Err(crate::ServeError::Server(
+                    "batcher dropped the query".into(),
+                )),
+                QueryCost::default(),
+            ),
+        }
     }
 
     /// Stops the drain thread; queued queries get a shutdown error.
@@ -192,7 +226,7 @@ fn drain_loop(shared: &Shared, backend: &dyn QueryBackend, max_batch: usize) {
             // Queue wait per request: submit → pickup by this drain.
             let picked_up = mvag_obs::now_us();
             for job in &batch {
-                if job.enqueued_us != 0 {
+                if job.trace != 0 {
                     mvag_obs::record(
                         job.trace,
                         "serve.queue_wait",
@@ -211,52 +245,74 @@ fn drain_loop(shared: &Shared, backend: &dyn QueryBackend, max_batch: usize) {
                 Mode::Approx { nprobe } => approx.push((pos, (job.node, job.k, nprobe))),
             }
         }
-        let mut answers: Vec<Option<Result<Vec<Neighbor>>>> = batch.iter().map(|_| None).collect();
+        let mut answers: Vec<Option<(Result<Vec<Neighbor>>, QueryCost)>> =
+            batch.iter().map(|_| None).collect();
         // Runs one kernel pass with the first traced job's id as the
         // ambient trace (so backend-internal spans — router fan-out,
         // lazy shard loads — attach to *a* request of the batch; when
         // batches are bigger than one, siblings share those inner
         // spans), then records the pass as a `serve.backend` stage on
         // *every* job's trace — the per-request backend-time stage.
-        let run_pass = |members: &[usize], pass: &dyn Fn() -> Vec<Result<Vec<Neighbor>>>| {
-            if !traced {
-                return pass();
-            }
-            let pass_trace = members
-                .iter()
-                .map(|&pos| batch[pos].trace)
-                .find(|&t| t != 0)
-                .unwrap_or(0);
+        // Returns `(answers, pass cost, pass start µs, pass µs)`; the
+        // timing is taken unconditionally because it feeds the cost
+        // profile even with tracing off.
+        let run_pass = |members: &[usize],
+                        pass: &dyn Fn() -> (Vec<Result<Vec<Neighbor>>>, QueryCost)|
+         -> (Vec<Result<Vec<Neighbor>>>, QueryCost, u64, u64) {
             let start_us = mvag_obs::now_us();
-            let results = mvag_obs::with_trace(pass_trace, pass);
+            let (results, cost) = if traced {
+                let pass_trace = members
+                    .iter()
+                    .map(|&pos| batch[pos].trace)
+                    .find(|&t| t != 0)
+                    .unwrap_or(0);
+                mvag_obs::with_trace(pass_trace, pass)
+            } else {
+                pass()
+            };
             let dur_us = mvag_obs::now_us().saturating_sub(start_us);
-            for &pos in members {
-                mvag_obs::record_with(
-                    batch[pos].trace,
-                    "serve.backend",
-                    start_us,
-                    dur_us,
-                    1,
-                    vec![("batch", members.len() as u64)],
-                );
+            if traced {
+                for &pos in members {
+                    mvag_obs::record_with(
+                        batch[pos].trace,
+                        "serve.backend",
+                        start_us,
+                        dur_us,
+                        1,
+                        vec![("batch", members.len() as u64)],
+                    );
+                }
             }
-            results
+            (results, cost, start_us, dur_us)
+        };
+        // Each batch member gets the whole pass's backend counters
+        // plus its own queue wait (submit → pass start) and the pass's
+        // compute time.
+        let mut fill = |members: &[usize],
+                        results: Vec<Result<Vec<Neighbor>>>,
+                        pass_cost: QueryCost,
+                        start_us: u64,
+                        dur_us: u64| {
+            for (&pos, answer) in members.iter().zip(results) {
+                let mut cost = pass_cost.clone();
+                cost.queue_wait_us = start_us.saturating_sub(batch[pos].enqueued_us);
+                cost.compute_us = dur_us;
+                answers[pos] = Some((answer, cost));
+            }
         };
         if !exact.is_empty() {
             let queries: Vec<(usize, usize)> = exact.iter().map(|&(_, q)| q).collect();
             let members: Vec<usize> = exact.iter().map(|&(pos, _)| pos).collect();
-            let results = run_pass(&members, &|| backend.top_k_batch(&queries));
-            for (&(pos, _), answer) in exact.iter().zip(results) {
-                answers[pos] = Some(answer);
-            }
+            let (results, cost, start_us, dur_us) =
+                run_pass(&members, &|| backend.top_k_batch_costed(&queries));
+            fill(&members, results, cost, start_us, dur_us);
         }
         if !approx.is_empty() {
             let queries: Vec<(usize, usize, usize)> = approx.iter().map(|&(_, q)| q).collect();
             let members: Vec<usize> = approx.iter().map(|&(pos, _)| pos).collect();
-            let results = run_pass(&members, &|| backend.top_k_batch_approx(&queries));
-            for (&(pos, _), answer) in approx.iter().zip(results) {
-                answers[pos] = Some(answer);
-            }
+            let (results, cost, start_us, dur_us) =
+                run_pass(&members, &|| backend.top_k_batch_approx_costed(&queries));
+            fill(&members, results, cost, start_us, dur_us);
         }
         for (job, answer) in batch.into_iter().zip(answers) {
             // A dropped receiver just means the client went away.

@@ -83,7 +83,8 @@ const USAGE: &str = "usage:
                     [--max-conns N] [--idle-timeout SECS]
                     [--cache N] [--batch N] [--max-resident N]
                     [--index ivf] [--nlist N] [--trace on]
-                    [--auto-compact F]
+                    [--auto-compact F] [--slow-query-us N]
+                    [--slo-p99-us N] [--slo-error-rate F]
   sgla-serve update --artifact <file> [--out <file|dir>] [--shards N]
                     [--dataset toy|<name>] [--n N] [--k K] [--dim D] [--seed S]
                     [--scale F] [--replay d1.mvd,d2.mvd]
@@ -102,6 +103,11 @@ const USAGE: &str = "usage:
   --idle-timeout reaps silent keep-alive connections.
   serve --auto-compact F compacts the artifact at (re)load whenever
   the tombstoned fraction reaches F (e.g. 0.2); 0 disables.
+  serve --slow-query-us N captures requests at least N µs long into
+  GET /debug/slow_queries (default 10000, 0 = off; live-tunable via
+  PUT /debug/slow_threshold). --slo-p99-us / --slo-error-rate set the
+  objectives GET /health grades against (0 = objective off;
+  live-tunable via PUT /debug/slo).
   update --artifact <shard dir> --delta d.mvd appends in place:
   only the tail shard and the manifest are rewritten.
   compact purges tombstones: sharded layouts rewrite only dirty
@@ -456,6 +462,12 @@ fn serve(args: &[String]) -> Result<(), String> {
             "--auto-compact: threshold {auto_compact} must be a fraction in 0..=1"
         ));
     }
+    let slo_error_rate: f64 = flags.parse_num("slo-error-rate", 0.0)?;
+    if !(0.0..=1.0).contains(&slo_error_rate) {
+        return Err(format!(
+            "--slo-error-rate: {slo_error_rate} must be a fraction in 0..=1"
+        ));
+    }
     let server_config = ServerConfig {
         addr: flags
             .get("addr")
@@ -472,6 +484,10 @@ fn serve(args: &[String]) -> Result<(), String> {
         max_connections: flags.parse_num("max-conns", 10_000)?,
         read_timeout: Duration::from_secs(flags.parse_num("idle-timeout", 30)?),
         trace: matches!(flags.get("trace"), Some("on" | "true" | "1")),
+        slow_query_us: flags.parse_num("slow-query-us", 10_000)?,
+        slo_p99_us: flags.parse_num("slo-p99-us", 0)?,
+        slo_error_rate,
+        ..ServerConfig::default()
     };
     // Reloadable serving: the loader closure re-reads the same path on
     // POST /reload, and the fresh backend is hot-swapped in while
@@ -487,9 +503,11 @@ fn serve(args: &[String]) -> Result<(), String> {
     let server = Server::start_reloadable(loader, &server_config).map_err(|e| e.to_string())?;
     println!("serving on http://{}", server.local_addr());
     println!(
-        "endpoints: /healthz /stats /metrics /artifact /cluster/{{node}} \
-         /topk/{{node}}?k=K[&mode=approx&nprobe=N] /embed /reload (POST)"
+        "endpoints: /healthz /health /version /stats /metrics /artifact /cluster/{{node}} \
+         /topk/{{node}}?k=K[&mode=approx&nprobe=N] /embed /reload (POST) \
+         /debug/slow_queries /debug/slow_threshold (PUT) /debug/slo (PUT)"
     );
+    println!("query endpoints accept ?explain=1 for a per-query cost profile");
     println!("press Ctrl-C to stop");
     // Foreground serve: park until killed. Workers own the sockets.
     loop {

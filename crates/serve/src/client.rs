@@ -94,12 +94,69 @@ impl HttpClient {
         self.request("POST", path, Some(body.to_string_compact()))
     }
 
-    fn request(&mut self, method: &str, path: &str, body: Option<String>) -> Result<HttpResponse> {
-        let body = body.unwrap_or_default();
+    /// `POST path` with a JSON body → `(status, raw body)` without
+    /// JSON parsing — for byte-level response comparisons.
+    ///
+    /// # Errors
+    /// Transport failures.
+    pub fn post_text(&mut self, path: &str, body: &Value) -> Result<(u16, String)> {
+        let body = body.to_string_compact();
         let head = format!(
-            "{method} {path} HTTP/1.1\r\nhost: sgla\r\ncontent-length: {}\r\nconnection: keep-alive\r\n\r\n",
+            "POST {path} HTTP/1.1\r\nhost: sgla\r\ncontent-length: {}\r\nconnection: keep-alive\r\n\r\n",
             body.len()
         );
+        self.writer.write_all(head.as_bytes())?;
+        self.writer.write_all(body.as_bytes())?;
+        self.writer.flush()?;
+        let (status, text, _) = self.read_raw()?;
+        Ok((status, text))
+    }
+
+    /// `PUT path` with a JSON body → parsed response (the live-tuning
+    /// endpoints: `/debug/slow_threshold`, `/debug/slo`).
+    ///
+    /// # Errors
+    /// Transport or JSON failures.
+    pub fn put(&mut self, path: &str, body: &Value) -> Result<HttpResponse> {
+        self.request("PUT", path, Some(body.to_string_compact()))
+    }
+
+    /// `GET path` carrying extra request headers — e.g.
+    /// `("x-request-id", "abc-123")` to exercise the id-echo contract.
+    ///
+    /// # Errors
+    /// Transport or JSON failures.
+    pub fn get_with_headers(
+        &mut self,
+        path: &str,
+        headers: &[(&str, &str)],
+    ) -> Result<HttpResponse> {
+        self.request_with_headers("GET", path, None, headers)
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: Option<String>) -> Result<HttpResponse> {
+        self.request_with_headers(method, path, body, &[])
+    }
+
+    fn request_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<String>,
+        headers: &[(&str, &str)],
+    ) -> Result<HttpResponse> {
+        let body = body.unwrap_or_default();
+        let mut head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: sgla\r\ncontent-length: {}\r\nconnection: keep-alive\r\n",
+            body.len()
+        );
+        for (name, value) in headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
         self.writer.write_all(head.as_bytes())?;
         self.writer.write_all(body.as_bytes())?;
         self.writer.flush()?;

@@ -57,6 +57,184 @@ use mvag_graph::{MvagDelta, ViewDelta};
 use mvag_sparse::{CsrMatrix, DenseMatrix};
 use std::path::{Path, PathBuf};
 
+/// Process-wide compaction/append telemetry behind the
+/// `sgla_compact_*` metrics family. Statics (not per-server state)
+/// because compactions are driven from several places — the CLI's
+/// `--auto-compact` sweep, tests, and future background schedulers —
+/// and all of them should land on the one `/metrics` page.
+mod telemetry {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Instant;
+
+    /// Histogram buckets for run duration: powers of two in
+    /// microseconds (`le=1,2,4,…,2^34`) plus `+Inf`.
+    pub(super) const DURATION_BUCKETS: usize = 36;
+
+    pub(super) static RUNNING: AtomicU64 = AtomicU64::new(0);
+    pub(super) static COMPLETED: AtomicU64 = AtomicU64::new(0);
+    pub(super) static FAILED: AtomicU64 = AtomicU64::new(0);
+    pub(super) static TOMBSTONES_PURGED: AtomicU64 = AtomicU64::new(0);
+    pub(super) static SHARDS_REWRITTEN: AtomicU64 = AtomicU64::new(0);
+    pub(super) static BYTES_WRITTEN: AtomicU64 = AtomicU64::new(0);
+    pub(super) static DIRTY_BYTES: AtomicU64 = AtomicU64::new(0);
+    pub(super) static APPENDS: AtomicU64 = AtomicU64::new(0);
+    pub(super) static APPENDED_NODES: AtomicU64 = AtomicU64::new(0);
+    pub(super) static DURATION_SUM_US: AtomicU64 = AtomicU64::new(0);
+    pub(super) static DURATION: [AtomicU64; DURATION_BUCKETS] =
+        [const { AtomicU64::new(0) }; DURATION_BUCKETS];
+
+    /// Holds the running gauge up for the duration of one run; the
+    /// `Drop` decrement makes the gauge panic-safe.
+    pub(super) struct RunGuard {
+        started: Instant,
+    }
+
+    impl RunGuard {
+        pub(super) fn start() -> RunGuard {
+            RUNNING.fetch_add(1, Ordering::Relaxed);
+            RunGuard {
+                started: Instant::now(),
+            }
+        }
+
+        /// Records the run's duration and outcome counters.
+        pub(super) fn observe(&self, ok: bool) {
+            let dur_us = self.started.elapsed().as_micros() as u64;
+            DURATION_SUM_US.fetch_add(dur_us, Ordering::Relaxed);
+            let idx = if dur_us <= 1 {
+                0
+            } else {
+                (64 - (dur_us - 1).leading_zeros()) as usize
+            }
+            .min(DURATION_BUCKETS - 1);
+            DURATION[idx].fetch_add(1, Ordering::Relaxed);
+            if ok {
+                COMPLETED.fetch_add(1, Ordering::Relaxed);
+            } else {
+                FAILED.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    impl Drop for RunGuard {
+        fn drop(&mut self) {
+            RUNNING.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Compaction/append runs currently in flight, process-wide
+/// (reported by `GET /health` as background-task state).
+pub fn compactions_running() -> u64 {
+    telemetry::RUNNING.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Appends the process-wide `sgla_compact_*` metrics family (run
+/// counters, purge/rewrite/byte totals, the write-amplification ratio,
+/// and a run-duration histogram) in Prometheus text format.
+pub fn render_prometheus(out: &mut String) {
+    use std::fmt::Write;
+    use std::sync::atomic::Ordering;
+    let load = |a: &std::sync::atomic::AtomicU64| a.load(Ordering::Relaxed);
+    let counters: [(&str, &str, &str, u64); 9] = [
+        (
+            "sgla_compact_running",
+            "gauge",
+            "Compaction/append runs in flight.",
+            load(&telemetry::RUNNING),
+        ),
+        (
+            "sgla_compact_completed_total",
+            "counter",
+            "Compaction/append runs that committed.",
+            load(&telemetry::COMPLETED),
+        ),
+        (
+            "sgla_compact_failed_total",
+            "counter",
+            "Compaction/append runs that returned an error.",
+            load(&telemetry::FAILED),
+        ),
+        (
+            "sgla_compact_tombstones_purged_total",
+            "counter",
+            "Tombstoned rows purged by compactions.",
+            load(&telemetry::TOMBSTONES_PURGED),
+        ),
+        (
+            "sgla_compact_shards_rewritten_total",
+            "counter",
+            "Dirty shard files rewritten by compactions.",
+            load(&telemetry::SHARDS_REWRITTEN),
+        ),
+        (
+            "sgla_compact_bytes_written_total",
+            "counter",
+            "Bytes written by compactions and appends.",
+            load(&telemetry::BYTES_WRITTEN),
+        ),
+        (
+            "sgla_compact_dirty_bytes_total",
+            "counter",
+            "On-disk bytes of dirty shards before their rewrite.",
+            load(&telemetry::DIRTY_BYTES),
+        ),
+        (
+            "sgla_compact_appends_total",
+            "counter",
+            "In-place sharded appends committed.",
+            load(&telemetry::APPENDS),
+        ),
+        (
+            "sgla_compact_appended_nodes_total",
+            "counter",
+            "Nodes added by in-place sharded appends.",
+            load(&telemetry::APPENDED_NODES),
+        ),
+    ];
+    for (name, kind, help, value) in counters {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    // Write amplification: bytes written per dirty byte replaced. The
+    // ratio is computed at render so the counters stay raw.
+    let written = load(&telemetry::BYTES_WRITTEN);
+    let dirty = load(&telemetry::DIRTY_BYTES);
+    let amp = if dirty > 0 {
+        written as f64 / dirty as f64
+    } else {
+        0.0
+    };
+    out.push_str("# HELP sgla_compact_write_amplification Bytes written per dirty byte replaced (0 until the first compaction).\n");
+    out.push_str("# TYPE sgla_compact_write_amplification gauge\n");
+    let _ = writeln!(out, "sgla_compact_write_amplification {amp}");
+    out.push_str("# HELP sgla_compact_duration_us Compaction/append run duration.\n");
+    out.push_str("# TYPE sgla_compact_duration_us histogram\n");
+    let mut cumulative = 0u64;
+    for (i, bucket) in telemetry::DURATION.iter().enumerate() {
+        cumulative += bucket.load(Ordering::Relaxed);
+        if i + 1 == telemetry::DURATION_BUCKETS {
+            let _ = writeln!(
+                out,
+                "sgla_compact_duration_us_bucket{{le=\"+Inf\"}} {cumulative}"
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "sgla_compact_duration_us_bucket{{le=\"{}\"}} {cumulative}",
+                1u64 << i
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "sgla_compact_duration_us_sum {}",
+        load(&telemetry::DURATION_SUM_US)
+    );
+    let _ = writeln!(out, "sgla_compact_duration_us_count {cumulative}");
+}
+
 /// What a [`compact_sharded`] / [`compact_monolithic`] run did.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CompactionStats {
@@ -291,6 +469,29 @@ fn remap_csr_columns(m: &CsrMatrix, map: &IdMap, ncols: usize) -> Result<CsrMatr
 /// [`ServeError::InvalidArgument`] if compaction would leave fewer
 /// than 3 rows, I/O errors from `writer`.
 pub fn compact_sharded(path: &Path, writer: &mut dyn LayoutWriter) -> Result<CompactionStats> {
+    let mut span = mvag_obs::span("compact.sharded");
+    let guard = telemetry::RunGuard::start();
+    let out = compact_sharded_inner(path, writer);
+    guard.observe(out.is_ok());
+    if let Ok(stats) = &out {
+        record_compaction(stats);
+        span.counter("purged", stats.purged as u64);
+        span.counter("shards_rewritten", stats.shards_rewritten as u64);
+        span.counter("bytes_written", stats.bytes_written);
+    }
+    out
+}
+
+/// Folds one compaction's stats into the process-wide counters.
+fn record_compaction(stats: &CompactionStats) {
+    use std::sync::atomic::Ordering::Relaxed;
+    telemetry::TOMBSTONES_PURGED.fetch_add(stats.purged as u64, Relaxed);
+    telemetry::SHARDS_REWRITTEN.fetch_add(stats.shards_rewritten as u64, Relaxed);
+    telemetry::BYTES_WRITTEN.fetch_add(stats.bytes_written, Relaxed);
+    telemetry::DIRTY_BYTES.fetch_add(stats.dirty_bytes_before, Relaxed);
+}
+
+fn compact_sharded_inner(path: &Path, writer: &mut dyn LayoutWriter) -> Result<CompactionStats> {
     let (manifest, dir) = open_layout(path)?;
     let old_id_map = load_layout_id_map(&dir, &manifest)?;
     let dirty: Vec<usize> = manifest
@@ -465,6 +666,26 @@ pub fn compact_sharded(path: &Path, writer: &mut dyn LayoutWriter) -> Result<Com
 /// appends, reference out-of-range or tombstoned-in-tail endpoints, or
 /// append nothing; [`ServeError::Corrupt`] for broken layouts.
 pub fn append_sharded(
+    path: &Path,
+    delta: &MvagDelta,
+    writer: &mut dyn LayoutWriter,
+) -> Result<AppendStats> {
+    use std::sync::atomic::Ordering::Relaxed;
+    let mut span = mvag_obs::span("compact.append");
+    let guard = telemetry::RunGuard::start();
+    let out = append_sharded_inner(path, delta, writer);
+    guard.observe(out.is_ok());
+    if let Ok(stats) = &out {
+        telemetry::APPENDS.fetch_add(1, Relaxed);
+        telemetry::APPENDED_NODES.fetch_add(stats.added as u64, Relaxed);
+        telemetry::BYTES_WRITTEN.fetch_add(stats.bytes_written, Relaxed);
+        span.counter("added", stats.added as u64);
+        span.counter("bytes_written", stats.bytes_written);
+    }
+    out
+}
+
+fn append_sharded_inner(
     path: &Path,
     delta: &MvagDelta,
     writer: &mut dyn LayoutWriter,
@@ -716,6 +937,23 @@ pub fn append_sharded(
 /// # Errors
 /// Same as [`Artifact::compact`], plus I/O errors from `writer`.
 pub fn compact_monolithic(
+    path: &Path,
+    out: &Path,
+    writer: &mut dyn LayoutWriter,
+) -> Result<CompactionStats> {
+    let mut span = mvag_obs::span("compact.monolithic");
+    let guard = telemetry::RunGuard::start();
+    let result = compact_monolithic_inner(path, out, writer);
+    guard.observe(result.is_ok());
+    if let Ok(stats) = &result {
+        record_compaction(stats);
+        span.counter("purged", stats.purged as u64);
+        span.counter("bytes_written", stats.bytes_written);
+    }
+    result
+}
+
+fn compact_monolithic_inner(
     path: &Path,
     out: &Path,
     writer: &mut dyn LayoutWriter,

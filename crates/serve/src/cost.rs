@@ -1,0 +1,152 @@
+//! Per-query cost accounting for the EXPLAIN path.
+//!
+//! Every query served over HTTP assembles a [`QueryCost`] describing
+//! the work done on its behalf: which backend path ran (exact scan or
+//! IVF probe), how many shards/lists/rows were touched, what the
+//! result cache did, and where the wall time went (queue wait vs
+//! compute). `?explain=1` on `/cluster`, `/topk/{node}`, and `/embed`
+//! returns the cost object alongside the answer — the answer bytes
+//! are guaranteed identical to the unexplained response — and the
+//! slow-query log ([`crate::slowlog`]) captures the same object for
+//! any request that crosses the live-tunable threshold.
+//!
+//! Accounting is always on: the counters are a handful of integer
+//! adds per query, cheap enough to stay inside the serve benchmark's
+//! 3% observability budget, so the slow-query log always has a real
+//! cost profile to show even for requests that did not ask for
+//! EXPLAIN.
+
+/// Cost profile of one query.
+///
+/// For batched top-k the counters describe the kernel *pass* that
+/// served the query: a query that shared its pass with others sees the
+/// shared cost (the batch size is visible as `cache_hits +
+/// cache_misses`). Point lookups (`/cluster`, `/embed`) describe just
+/// themselves.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryCost {
+    /// Backend path taken: `"exact"` (full blocked scan) or `"ivf"`
+    /// (inverted-list probe).
+    pub path: &'static str,
+    /// Shards consulted by the query (1 for a monolithic engine).
+    pub shards_touched: u64,
+    /// Shards loaded from disk while serving this query (0 when every
+    /// fan-out target was already resident).
+    pub shards_loaded: u64,
+    /// Shards resident in memory after the query finished.
+    pub shards_resident: u64,
+    /// IVF inverted lists probed (0 on the exact path).
+    pub lists_probed: u64,
+    /// Candidate rows scored by the scan/probe kernels.
+    pub rows_scanned: u64,
+    /// Tombstoned rows masked out of the candidate set.
+    pub tombstones_masked: u64,
+    /// Queries in the pass answered from the result cache.
+    pub cache_hits: u64,
+    /// Queries in the pass that missed the result cache.
+    pub cache_misses: u64,
+    /// Microseconds spent queued behind the micro-batcher (0 for
+    /// point lookups, which bypass the queue).
+    pub queue_wait_us: u64,
+    /// Microseconds of backend compute (the kernel pass wall time).
+    pub compute_us: u64,
+    /// Bytes of the unexplained JSON answer body (the cost object
+    /// itself is excluded so the number is stable under EXPLAIN).
+    pub response_bytes: u64,
+}
+
+impl QueryCost {
+    /// Fresh cost labelled for the exact scan path.
+    pub fn exact() -> QueryCost {
+        QueryCost {
+            path: "exact",
+            ..QueryCost::default()
+        }
+    }
+
+    /// Fresh cost labelled for the IVF probe path.
+    pub fn ivf() -> QueryCost {
+        QueryCost {
+            path: "ivf",
+            ..QueryCost::default()
+        }
+    }
+
+    /// Folds another cost's counters into this one (used when a query
+    /// fans out across shards). Keeps `self.path` unless it is unset.
+    pub fn absorb(&mut self, other: &QueryCost) {
+        if self.path.is_empty() {
+            self.path = other.path;
+        }
+        self.shards_touched += other.shards_touched;
+        self.shards_loaded += other.shards_loaded;
+        self.shards_resident = self.shards_resident.max(other.shards_resident);
+        self.lists_probed += other.lists_probed;
+        self.rows_scanned += other.rows_scanned;
+        self.tombstones_masked += other.tombstones_masked;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.queue_wait_us += other.queue_wait_us;
+        self.compute_us += other.compute_us;
+        self.response_bytes += other.response_bytes;
+    }
+
+    /// Renders the cost as a JSON object with a stable key order.
+    pub fn json(&self) -> String {
+        format!(
+            "{{\"path\":{:?},\"shards_touched\":{},\"shards_loaded\":{},\
+             \"shards_resident\":{},\"lists_probed\":{},\"rows_scanned\":{},\
+             \"tombstones_masked\":{},\"cache_hits\":{},\"cache_misses\":{},\
+             \"queue_wait_us\":{},\"compute_us\":{},\"response_bytes\":{}}}",
+            self.path,
+            self.shards_touched,
+            self.shards_loaded,
+            self.shards_resident,
+            self.lists_probed,
+            self.rows_scanned,
+            self.tombstones_masked,
+            self.cache_hits,
+            self.cache_misses,
+            self.queue_wait_us,
+            self.compute_us,
+            self.response_bytes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_sums_counters_and_keeps_path() {
+        let mut a = QueryCost::exact();
+        a.rows_scanned = 10;
+        a.shards_touched = 1;
+        a.shards_resident = 2;
+        let mut b = QueryCost::ivf();
+        b.rows_scanned = 5;
+        b.lists_probed = 3;
+        b.shards_touched = 1;
+        b.shards_resident = 4;
+        a.absorb(&b);
+        assert_eq!(a.path, "exact");
+        assert_eq!(a.rows_scanned, 15);
+        assert_eq!(a.lists_probed, 3);
+        assert_eq!(a.shards_touched, 2);
+        assert_eq!(a.shards_resident, 4);
+
+        let mut unset = QueryCost::default();
+        unset.absorb(&b);
+        assert_eq!(unset.path, "ivf");
+    }
+
+    #[test]
+    fn json_has_stable_shape() {
+        let cost = QueryCost::exact();
+        let json = cost.json();
+        assert!(json.starts_with("{\"path\":\"exact\""));
+        assert!(json.contains("\"rows_scanned\":0"));
+        assert!(json.ends_with("\"response_bytes\":0}"));
+    }
+}

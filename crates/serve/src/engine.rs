@@ -27,6 +27,7 @@
 
 use crate::artifact::Artifact;
 use crate::backend::IndexStats;
+use crate::cost::QueryCost;
 use crate::lru::LruCache;
 use crate::{Result, ServeError};
 use mvag_index::{IvfConfig, IvfIndex, IvfSearchStats};
@@ -337,6 +338,20 @@ impl QueryEngine {
     /// matrix (the micro-batching entry point). Results are in query
     /// order; failed queries carry their individual error.
     pub fn top_k_batch(&self, queries: &[(usize, usize)]) -> Vec<Result<Vec<Neighbor>>> {
+        self.top_k_batch_costed(queries).0
+    }
+
+    /// [`QueryEngine::top_k_batch`] plus the cost profile of the pass:
+    /// cache hit/miss split, rows the blocked kernel scored, and the
+    /// tombstones it skipped. The answers are computed by the same
+    /// code path, so EXPLAIN can never perturb them.
+    pub fn top_k_batch_costed(
+        &self,
+        queries: &[(usize, usize)],
+    ) -> (Vec<Result<Vec<Neighbor>>>, QueryCost) {
+        let mut cost = QueryCost::exact();
+        cost.shards_touched = 1;
+        cost.shards_resident = 1;
         // Partition into cache hits, invalid queries, and real work.
         let n = self.artifact.meta.n;
         let mut answers: Vec<Option<Result<Vec<Neighbor>>>> = Vec::with_capacity(queries.len());
@@ -358,8 +373,10 @@ impl QueryEngine {
                 let k = k.min(n - 1);
                 self.counters.exact_queries.fetch_add(1, Ordering::Relaxed);
                 if let Some(hit) = cache.get(&(node, k)) {
+                    cost.cache_hits += 1;
                     answers.push(Some(Ok(hit.clone())));
                 } else {
+                    cost.cache_misses += 1;
                     answers.push(None);
                     work.push((qi, jobs.len()));
                     jobs.push((node, k));
@@ -367,12 +384,12 @@ impl QueryEngine {
             }
         }
         if !jobs.is_empty() {
+            let rows_scanned = (jobs.len() * self.artifact.meta.rows().saturating_sub(1)) as u64;
+            cost.rows_scanned = rows_scanned;
+            cost.tombstones_masked = (jobs.len() * self.artifact.tombstone_count()) as u64;
             let mut span = mvag_obs::span("serve.scan");
             span.counter("queries", jobs.len() as u64);
-            span.counter(
-                "rows_scanned",
-                (jobs.len() * self.artifact.meta.rows().saturating_sub(1)) as u64,
-            );
+            span.counter("rows_scanned", rows_scanned);
             let results = self.scan_block_topk(&jobs);
             drop(span);
             let mut cache = self.cache.lock().expect("cache lock");
@@ -381,10 +398,11 @@ impl QueryEngine {
                 answers[qi] = Some(Ok(result));
             }
         }
-        answers
+        let answers = answers
             .into_iter()
             .map(|a| a.expect("all slots filled"))
-            .collect()
+            .collect();
+        (answers, cost)
     }
 
     /// Approximate top-k via the attached IVF index: only the `nprobe`
@@ -408,9 +426,23 @@ impl QueryEngine {
     /// pool like the exact batch path; each query scans only its
     /// probed lists.
     pub fn top_k_batch_approx(&self, queries: &[ApproxQuery]) -> Vec<Result<Vec<Neighbor>>> {
+        self.top_k_batch_approx_costed(queries).0
+    }
+
+    /// [`QueryEngine::top_k_batch_approx`] plus the cost profile of
+    /// the pass: probed lists, candidate rows scored, and the dead
+    /// hits the tombstone filter removed.
+    pub fn top_k_batch_approx_costed(
+        &self,
+        queries: &[ApproxQuery],
+    ) -> (Vec<Result<Vec<Neighbor>>>, QueryCost) {
+        let mut cost = QueryCost::ivf();
+        cost.shards_touched = 1;
+        cost.shards_resident = 1;
         let n = self.artifact.meta.n;
         let Some(index) = &self.index else {
-            return queries.iter().map(|_| Err(no_index_error())).collect();
+            let answers = queries.iter().map(|_| Err(no_index_error())).collect();
+            return (answers, cost);
         };
         let mut answers: Vec<Option<Result<Vec<Neighbor>>>> = Vec::with_capacity(queries.len());
         let mut work: Vec<usize> = Vec::new(); // answer slot per job
@@ -432,6 +464,8 @@ impl QueryEngine {
             jobs.push((node, k.min(n - 1), nprobe));
         }
         if !jobs.is_empty() {
+            // Approx answers are not cached (cheap, nprobe-parameterized).
+            cost.cache_misses = jobs.len() as u64;
             let mut probe_span = mvag_obs::span("serve.ivf_probe");
             probe_span.counter("queries", jobs.len() as u64);
             // One concurrent query parallelizes over its probed lists;
@@ -467,8 +501,14 @@ impl QueryEngine {
             let offset = self.artifact.meta.row_start;
             for ((slot, &(_, k, _)), (scored, stats)) in work.into_iter().zip(&jobs).zip(results) {
                 self.counters.record_search(&stats);
+                cost.lists_probed += stats.lists_scanned as u64;
+                cost.rows_scanned += stats.rows_scanned as u64;
                 probe_span.counter("lists_scanned", stats.lists_scanned as u64);
                 probe_span.counter("rows_scanned", stats.rows_scanned as u64);
+                cost.tombstones_masked += scored
+                    .iter()
+                    .filter(|s| self.is_dead_local(s.id - offset))
+                    .count() as u64;
                 answers[slot] = Some(Ok(scored
                     .into_iter()
                     .filter(|s| !self.is_dead_local(s.id - offset))
@@ -480,10 +520,11 @@ impl QueryEngine {
                     .collect()));
             }
         }
-        answers
+        let answers = answers
             .into_iter()
             .map(|a| a.expect("all slots filled"))
-            .collect()
+            .collect();
+        (answers, cost)
     }
 
     /// The per-shard half of a fanned-out *approximate* top-k: scores

@@ -457,10 +457,13 @@ impl EventLoop {
             return;
         };
         conn.state = ConnState::Busy;
+        // Client-supplied X-Request-Ids hash into the trace id, same
+        // as the threaded path (error short-circuits keep minting).
+        let request_id = http::trace_id_for(&request);
         let job = Job {
             token,
             request,
-            request_id: mvag_obs::next_request_id(),
+            request_id,
             enqueued: Instant::now(),
         };
         if self.job_tx.send(job).is_err() {

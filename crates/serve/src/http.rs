@@ -26,22 +26,40 @@
 //! | `GET /traces?n=K`      | the K most recent request traces (span     |
 //! |                        | trees from the `mvag_obs` ring buffer)     |
 //! | `GET /traces/slow`     | recent requests slower than                |
-//! |                        | `?threshold_us=T` (the slow-query log)     |
+//! |                        | `?threshold_us=T` (trace-ring filter)      |
+//! | `GET /health`          | SLO health state machine: `ok` /           |
+//! |                        | `degraded` (HTTP 200) / `unhealthy` (503)  |
+//! | `GET /version`         | crate version, supported artifact/delta    |
+//! |                        | format versions, uptime                    |
+//! | `GET /debug/slow_queries` | captured slow queries with cost         |
+//! |                        | profiles (`?drain=1` empties the ring)     |
+//! | `PUT /debug/slow_threshold` | live-tune the slow-query threshold    |
+//! | `PUT /debug/slo`       | live-tune the SLO objectives               |
+//!
+//! The query endpoints (`/cluster`, `/topk`, `/embed`) accept
+//! `?explain=1`: the response carries a `"cost"` object — the query's
+//! [`QueryCost`] profile — spliced onto the *identical* answer bytes,
+//! so EXPLAIN can never perturb a result.
 //!
 //! Top-k requests go through the [`Batcher`], so concurrent clients
 //! are micro-batched into shared kernel passes (exact and approx
 //! queries each share passes with their own kind).
 //!
 //! Every response (including early 400s for malformed requests and
-//! 5xx error paths) carries an `x-request-id: req-<16 hex digits>`
-//! header; with [`ServerConfig::trace`] enabled the same id is the
-//! trace id of the request's span tree in `/traces`.
+//! 5xx error paths) carries an `x-request-id` header: a sanitized
+//! client-supplied `X-Request-Id` is echoed back verbatim (and hashed
+//! into the trace id), otherwise a minted `req-<16 hex digits>`; with
+//! [`ServerConfig::trace`] enabled the same id keys the request's
+//! span tree in `/traces`.
 
 use crate::backend::QueryBackend;
 use crate::batch::Batcher;
+use crate::cost::QueryCost;
 use crate::engine::QueryEngine;
 use crate::metrics::{ConnGauges, MetricsRegistry};
 use crate::parser::{self, Request};
+use crate::slo::SloTracker;
+use crate::slowlog::{SlowQuery, SlowQueryLog};
 use crate::swap::HotSwapBackend;
 use crate::{Result, ServeError};
 use mvag_data::json::{self, Value};
@@ -121,6 +139,22 @@ pub struct ServerConfig {
     /// Off by default — the disabled instrumentation path is a single
     /// atomic load per site.
     pub trace: bool,
+    /// Slow-query log threshold in microseconds: requests whose wall
+    /// time meets it are captured (with their [`QueryCost`] and span
+    /// tree) into the `GET /debug/slow_queries` ring. `0` disables
+    /// capture. Live-tunable via `PUT /debug/slow_threshold`.
+    pub slow_query_us: u64,
+    /// SLO latency objective: the per-endpoint p99 (microseconds) the
+    /// `/health` burn-rate math holds the server to. `0` disables the
+    /// latency objective. Live-tunable via `PUT /debug/slo`.
+    pub slo_p99_us: u64,
+    /// SLO error-rate objective (fraction of requests allowed to fail,
+    /// e.g. `0.001`). `0` disables the error objective. Live-tunable
+    /// via `PUT /debug/slo`.
+    pub slo_error_rate: f64,
+    /// Rolling SLO window lengths in seconds, shortest first. The two
+    /// shortest drive `/health`; all are exported as `sgla_slo_*`.
+    pub slo_windows: Vec<u64>,
 }
 
 impl Default for ServerConfig {
@@ -133,6 +167,10 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(30),
             max_connections: 10_000,
             trace: false,
+            slow_query_us: 10_000,
+            slo_p99_us: 0,
+            slo_error_rate: 0.0,
+            slo_windows: vec![60, 300, 3600],
         }
     }
 }
@@ -149,6 +187,14 @@ struct ReloadState {
     loader: BackendLoader,
 }
 
+/// Result of the most recent `POST /reload`, remembered for `/health`:
+/// a failed reload means the server is knowingly serving stale data.
+pub(crate) struct ReloadOutcome {
+    pub(crate) ok: bool,
+    pub(crate) detail: String,
+    pub(crate) at_secs: u64,
+}
+
 pub(crate) struct ServerShared {
     backend: Arc<dyn QueryBackend>,
     batcher: Batcher,
@@ -163,6 +209,12 @@ pub(crate) struct ServerShared {
     backend_kind: ServeBackend,
     max_connections: usize,
     idle_timeout: Duration,
+    /// Slow-query ring (`GET /debug/slow_queries`).
+    pub(crate) slow_log: SlowQueryLog,
+    /// Rolling SLO windows and objectives backing `/health`.
+    pub(crate) slo: SloTracker,
+    /// Most recent reload outcome, reflected in `/health`.
+    last_reload: Mutex<Option<ReloadOutcome>>,
 }
 
 /// The backend-specific thread handles of a running server.
@@ -250,6 +302,13 @@ impl Server {
             backend_kind: config.backend,
             max_connections: config.max_connections,
             idle_timeout: config.read_timeout,
+            slow_log: SlowQueryLog::new(config.slow_query_us),
+            slo: SloTracker::new(
+                &config.slo_windows,
+                config.slo_p99_us,
+                config.slo_error_rate,
+            ),
+            last_reload: Mutex::new(None),
         });
 
         if config.backend == ServeBackend::Evented {
@@ -483,11 +542,13 @@ fn handle_connection(stream: TcpStream, shared: &ServerShared, read_timeout: Dur
         };
         let _ = peer; // kept for future access logging
         let keep_alive = request.keep_alive && !shared.stop.load(Ordering::SeqCst);
-        // One id per request, allocated at accept: it rides the
-        // response as `x-request-id` and — when tracing is on — is the
-        // trace id every span of this request attaches to, all the way
-        // down through the batcher and the shard fan-out.
-        let request_id = mvag_obs::next_request_id();
+        // One id per request: a sanitized client `X-Request-Id` hashes
+        // to the trace id (so a caller can find its own spans), else a
+        // fresh id is minted. It rides the response as `x-request-id`
+        // and — when tracing is on — is the trace id every span of
+        // this request attaches to, all the way down through the
+        // batcher and the shard fan-out.
+        let request_id = trace_id_for(&request);
         let bytes = process_request(&request, shared, request_id, Instant::now(), keep_alive);
         let written = writer.write_all(&bytes).and_then(|()| writer.flush());
         if written.is_err() || !keep_alive {
@@ -520,14 +581,47 @@ pub(crate) fn process_request(
     started: Instant,
     keep_alive: bool,
 ) -> Vec<u8> {
-    let (endpoint, status, body) = mvag_obs::with_trace(request_id, || {
+    let (endpoint, status, body, cost) = mvag_obs::with_trace(request_id, || {
         let mut root = mvag_obs::span("serve.request");
         let out = route(request, shared);
         root.counter("status", u64::from(out.1));
         out
     });
+    let elapsed = started.elapsed();
+    let wall_us = elapsed.as_micros() as u64;
     if let Some(m) = shared.metrics.endpoint(endpoint) {
-        m.record(started.elapsed(), status < 400);
+        m.record(elapsed, status < 400);
+    }
+    shared.slo.record(
+        endpoint,
+        shared.metrics.uptime_secs() as u64,
+        wall_us,
+        status < 400,
+    );
+    // The echoed id: the client's verbatim when one was supplied (its
+    // hash is the trace id), the minted `req-…` form otherwise.
+    let id_text = request
+        .client_id
+        .clone()
+        .unwrap_or_else(|| format_request_id(request_id));
+    if shared.slow_log.is_slow(wall_us) {
+        let spans = if mvag_obs::enabled() {
+            let mut spans = mvag_obs::snapshot();
+            spans.retain(|s| s.trace == request_id);
+            spans
+        } else {
+            Vec::new()
+        };
+        shared.slow_log.record(SlowQuery {
+            request_id: id_text.clone(),
+            endpoint,
+            status,
+            wall_us,
+            threshold_us: shared.slow_log.threshold_us(),
+            cost,
+            spans,
+            at_us: mvag_obs::now_us(),
+        });
     }
     // The metrics page is the one non-JSON endpoint (Prometheus
     // text exposition format).
@@ -536,13 +630,13 @@ pub(crate) fn process_request(
     } else {
         "application/json"
     };
-    response_bytes(
+    response_bytes_for_id(
         status,
         reason_for(status),
         content_type,
         &body,
         keep_alive,
-        request_id,
+        &id_text,
     )
 }
 
@@ -570,11 +664,31 @@ pub(crate) fn response_bytes(
     keep_alive: bool,
     request_id: u64,
 ) -> Vec<u8> {
+    response_bytes_for_id(
+        status,
+        reason,
+        content_type,
+        body,
+        keep_alive,
+        &format_request_id(request_id),
+    )
+}
+
+/// [`response_bytes`] with the `x-request-id` value already rendered —
+/// the form the client-echo path uses (the id header carries the
+/// caller's own sanitized `X-Request-Id` back verbatim).
+pub(crate) fn response_bytes_for_id(
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+    keep_alive: bool,
+    request_id: &str,
+) -> Vec<u8> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
     let head = format!(
-        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {connection}\r\nx-request-id: {}\r\n\r\n",
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {connection}\r\nx-request-id: {request_id}\r\n\r\n",
         body.len(),
-        format_request_id(request_id)
     );
     let mut bytes = Vec::with_capacity(head.len() + body.len());
     bytes.extend_from_slice(head.as_bytes());
@@ -582,45 +696,99 @@ pub(crate) fn response_bytes(
     bytes
 }
 
+/// Trace id for a request: a sanitized client `X-Request-Id` hashes
+/// deterministically (FNV-1a, forced nonzero — trace id 0 means "not
+/// traced" throughout `mvag_obs`), so retries of the same logical
+/// request land on the same trace; otherwise a fresh id is minted.
+pub(crate) fn trace_id_for(request: &Request) -> u64 {
+    match &request.client_id {
+        Some(id) => {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in id.as_bytes() {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            h.max(1)
+        }
+        None => mvag_obs::next_request_id(),
+    }
+}
+
 pub(crate) fn error_body(message: &str) -> String {
     Value::object(vec![("error", Value::from(message))]).to_string_compact()
 }
 
-/// Dispatches one request. Returns `(endpoint label, status, body)`.
-fn route(request: &Request, shared: &ServerShared) -> (&'static str, u16, String) {
+/// Finishes a query endpoint's response: stamps the plain body's
+/// length into the cost, then — only under `?explain=1` — splices the
+/// cost object before the body's closing brace. The answer bytes are
+/// byte-identical with and without explain (the splice appends, never
+/// re-serializes), and `response_bytes` always reports the *plain*
+/// body length, so a cost profile is comparable across both forms.
+fn finish_cost(body: String, mut cost: QueryCost, query: &str) -> (String, Option<QueryCost>) {
+    cost.response_bytes = body.len() as u64;
+    if query_flag(query, "explain") && body.ends_with('}') {
+        let spliced = format!("{},\"cost\":{}}}", &body[..body.len() - 1], cost.json());
+        (spliced, Some(cost))
+    } else {
+        (body, Some(cost))
+    }
+}
+
+/// Dispatches one request. Returns `(endpoint label, status, body,
+/// cost)` — the cost is `Some` for the query endpoints (`/cluster`,
+/// `/topk`, `/embed`) and feeds the slow-query log even when the
+/// client did not ask for `?explain=1`.
+fn route(
+    request: &Request,
+    shared: &ServerShared,
+) -> (&'static str, u16, String, Option<QueryCost>) {
     let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
     match (request.method.as_str(), segments.as_slice()) {
-        ("GET", ["healthz"]) => ("healthz", 200, healthz_body(shared)),
+        ("GET", ["healthz"]) => ("healthz", 200, healthz_body(shared), None),
+        ("GET", ["health"]) => {
+            let (status, body) = health_route(shared);
+            ("health", status, body, None)
+        }
+        ("GET", ["version"]) => ("version", 200, version_body(shared), None),
         ("GET", ["stats"]) => (
             "stats",
             200,
             stats_body(shared, query_flag(&request.query, "reset")),
+            None,
         ),
-        ("GET", ["metrics"]) => ("metrics", 200, metrics_body(shared)),
-        ("GET", ["artifact"]) => ("artifact", 200, artifact_body(shared)),
+        ("GET", ["metrics"]) => ("metrics", 200, metrics_body(shared), None),
+        ("GET", ["artifact"]) => ("artifact", 200, artifact_body(shared), None),
         ("GET", ["cluster", node]) => match parse_node(node) {
-            Ok(node) => match shared.backend.cluster_of(node) {
-                Ok(info) => (
-                    "cluster",
-                    200,
-                    Value::object(vec![
+            Ok(node) => match shared.backend.cluster_of_costed(node) {
+                (Ok(info), cost) => {
+                    let body = Value::object(vec![
                         ("node", Value::from(info.node)),
                         ("cluster", Value::from(info.cluster)),
                         ("centroid_dist", Value::from(info.centroid_dist)),
                     ])
-                    .to_string_compact(),
-                ),
+                    .to_string_compact();
+                    let (body, cost) = finish_cost(body, cost, &request.query);
+                    ("cluster", 200, body, cost)
+                }
                 // error_status: a bad query is 400; a shard-load fault
                 // behind the router is 503 (transient, retryable).
-                Err(e) => ("cluster", error_status(&e), error_body(&e.to_string())),
+                (Err(e), cost) => {
+                    let (body, cost) =
+                        finish_cost(error_body(&e.to_string()), cost, &request.query);
+                    ("cluster", error_status(&e), body, cost)
+                }
             },
-            Err(msg) => ("cluster", 400, error_body(&msg)),
+            Err(msg) => ("cluster", 400, error_body(&msg), None),
         },
         ("GET", ["topk", node]) => match (parse_node(node), parse_topk_params(&request.query)) {
             (Ok(node), Ok(params)) => {
-                let answer = match params.mode {
-                    TopKMode::Exact => shared.batcher.top_k(node, params.k),
-                    TopKMode::Approx => shared.batcher.top_k_approx(node, params.k, params.nprobe),
+                let (answer, cost) = match params.mode {
+                    TopKMode::Exact => shared.batcher.top_k_explained(node, params.k),
+                    TopKMode::Approx => {
+                        shared
+                            .batcher
+                            .top_k_approx_explained(node, params.k, params.nprobe)
+                    }
                 };
                 match answer {
                     Ok(neighbors) => {
@@ -637,30 +805,51 @@ fn route(request: &Request, shared: &ServerShared) -> (&'static str, u16, String
                             TopKMode::Exact => "exact",
                             TopKMode::Approx => "approx",
                         };
-                        (
-                            "topk",
-                            200,
-                            Value::object(vec![
-                                ("node", Value::from(node)),
-                                ("k", Value::from(params.k)),
-                                ("mode", Value::from(mode)),
-                                ("neighbors", Value::Array(items)),
-                            ])
-                            .to_string_compact(),
-                        )
+                        let body = Value::object(vec![
+                            ("node", Value::from(node)),
+                            ("k", Value::from(params.k)),
+                            ("mode", Value::from(mode)),
+                            ("neighbors", Value::Array(items)),
+                        ])
+                        .to_string_compact();
+                        let (body, cost) = finish_cost(body, cost, &request.query);
+                        ("topk", 200, body, cost)
                     }
-                    Err(e) => ("topk", error_status(&e), error_body(&e.to_string())),
+                    Err(e) => {
+                        let (body, cost) =
+                            finish_cost(error_body(&e.to_string()), cost, &request.query);
+                        ("topk", error_status(&e), body, cost)
+                    }
                 }
             }
-            (Err(msg), _) | (_, Err(msg)) => ("topk", 400, error_body(&msg)),
+            (Err(msg), _) | (_, Err(msg)) => ("topk", 400, error_body(&msg), None),
         },
         ("POST", ["embed"]) => embed_route(request, shared),
         ("POST", ["reload"]) => reload_route(shared),
-        ("GET", ["traces"]) => ("traces", 200, traces_body(&request.query, false)),
-        ("GET", ["traces", "slow"]) => ("traces", 200, traces_body(&request.query, true)),
-        (_, ["healthz" | "stats" | "metrics" | "artifact" | "embed" | "reload" | "traces"])
-        | (_, ["cluster" | "topk", _]) => ("other", 405, error_body("method not allowed")),
-        _ => ("other", 404, error_body("no such endpoint")),
+        ("GET", ["traces"]) => ("traces", 200, traces_body(&request.query, false), None),
+        ("GET", ["traces", "slow"]) => ("traces", 200, traces_body(&request.query, true), None),
+        ("GET", ["debug", "slow_queries"]) => (
+            "debug",
+            200,
+            slow_queries_body(shared, query_flag(&request.query, "drain")),
+            None,
+        ),
+        ("PUT", ["debug", "slow_threshold"]) => {
+            let (status, body) = slow_threshold_route(request, shared);
+            ("debug", status, body, None)
+        }
+        ("PUT", ["debug", "slo"]) => {
+            let (status, body) = slo_route(request, shared);
+            ("debug", status, body, None)
+        }
+        (
+            _,
+            ["healthz" | "health" | "version" | "stats" | "metrics" | "artifact" | "embed"
+            | "reload" | "traces"],
+        )
+        | (_, ["cluster" | "topk", _])
+        | (_, ["debug", ..]) => ("other", 405, error_body("method not allowed"), None),
+        _ => ("other", 404, error_body("no such endpoint"), None),
     }
 }
 
@@ -669,18 +858,20 @@ fn route(request: &Request, shared: &ServerShared) -> (&'static str, u16, String
 /// [`Server::start_reloadable`]; a loader failure keeps the old
 /// backend serving and reports 503 (the operator retries after fixing
 /// the artifact on disk).
-fn reload_route(shared: &ServerShared) -> (&'static str, u16, String) {
+fn reload_route(shared: &ServerShared) -> (&'static str, u16, String, Option<QueryCost>) {
     let Some(reload) = &shared.reload else {
         return (
             "reload",
             400,
             error_body("this server was not started reloadable (no artifact path to re-read)"),
+            None,
         );
     };
     match (reload.loader)() {
         Ok(next) => {
             let old = reload.swap.swap(next);
             let meta = shared.backend.meta();
+            note_reload(shared, true, format!("reloaded n={}", meta.n));
             (
                 "reload",
                 200,
@@ -693,25 +884,49 @@ fn reload_route(shared: &ServerShared) -> (&'static str, u16, String) {
                     ("swaps", Value::from(reload.swap.swap_count())),
                 ])
                 .to_string_compact(),
+                None,
             )
         }
-        Err(e) => (
-            "reload",
-            503,
-            error_body(&format!("reload failed, old artifact still serving: {e}")),
-        ),
+        Err(e) => {
+            note_reload(shared, false, e.to_string());
+            (
+                "reload",
+                503,
+                error_body(&format!("reload failed, old artifact still serving: {e}")),
+                None,
+            )
+        }
     }
 }
 
-fn embed_route(request: &Request, shared: &ServerShared) -> (&'static str, u16, String) {
+/// Remembers the latest reload outcome for `/health` (a failed reload
+/// means the server is knowingly serving a stale artifact).
+fn note_reload(shared: &ServerShared, ok: bool, detail: String) {
+    let outcome = ReloadOutcome {
+        ok,
+        detail,
+        at_secs: shared.metrics.uptime_secs() as u64,
+    };
+    *shared.last_reload.lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
+}
+
+fn embed_route(
+    request: &Request,
+    shared: &ServerShared,
+) -> (&'static str, u16, String, Option<QueryCost>) {
     let parsed = std::str::from_utf8(&request.body)
         .ok()
         .and_then(|text| json::parse(text).ok());
     let Some(doc) = parsed else {
-        return ("embed", 400, error_body("body must be JSON"));
+        return ("embed", 400, error_body("body must be JSON"), None);
     };
     let Some(node_vals) = doc.get("nodes").and_then(Value::as_array) else {
-        return ("embed", 400, error_body("body needs a \"nodes\" array"));
+        return (
+            "embed",
+            400,
+            error_body("body needs a \"nodes\" array"),
+            None,
+        );
     };
     // Response size is nodes × dim floats; without this cap a 4 MiB
     // body of repeated ids could demand a response of hundreds of MB.
@@ -723,6 +938,7 @@ fn embed_route(request: &Request, shared: &ServerShared) -> (&'static str, u16, 
                 "at most {MAX_EMBED_NODES} nodes per embed request (got {})",
                 node_vals.len()
             )),
+            None,
         );
     }
     let mut nodes = Vec::with_capacity(node_vals.len());
@@ -734,25 +950,28 @@ fn embed_route(request: &Request, shared: &ServerShared) -> (&'static str, u16, 
                     "embed",
                     400,
                     error_body("nodes must be non-negative integers"),
+                    None,
                 )
             }
         }
     }
-    match shared.backend.embed_batch(&nodes) {
-        Ok(rows) => {
+    match shared.backend.embed_batch_costed(&nodes) {
+        (Ok(rows), cost) => {
             let rows: Vec<Value> = rows.into_iter().map(Value::from).collect();
-            (
-                "embed",
-                200,
-                Value::object(vec![
-                    ("nodes", Value::from(nodes)),
-                    ("dim", Value::from(shared.backend.meta().dim)),
-                    ("embeddings", Value::Array(rows)),
-                ])
-                .to_string_compact(),
-            )
+            let dim = shared.backend.meta().dim;
+            let body = Value::object(vec![
+                ("nodes", Value::from(nodes)),
+                ("dim", Value::from(dim)),
+                ("embeddings", Value::Array(rows)),
+            ])
+            .to_string_compact();
+            let (body, cost) = finish_cost(body, cost, &request.query);
+            ("embed", 200, body, cost)
         }
-        Err(e) => ("embed", error_status(&e), error_body(&e.to_string())),
+        (Err(e), cost) => {
+            let (body, cost) = finish_cost(error_body(&e.to_string()), cost, &request.query);
+            ("embed", error_status(&e), body, cost)
+        }
     }
 }
 
@@ -832,6 +1051,304 @@ fn healthz_body(shared: &ServerShared) -> String {
         ("n", Value::from(meta.n)),
     ])
     .to_string_compact()
+}
+
+/// Delta-chain depth past which `/health` reports `degraded`: each
+/// un-compacted update lengthens the replay chain a reload must walk.
+const HEALTH_MAX_UPDATE_CHAIN: u64 = 8;
+
+/// Dead-row fraction past which `/health` reports `degraded`
+/// (tombstones are masked on every scan — compaction is overdue).
+const HEALTH_MAX_DEAD_FRACTION: f64 = 0.25;
+
+/// `GET /health`: folds the SLO burn-rate verdict with background-task
+/// state (delta-chain depth, dead-row fraction, last reload outcome,
+/// running compactions) into one `ok`/`degraded`/`unhealthy` answer.
+/// `unhealthy` is served as 503 so plain HTTP load balancers can act
+/// on it; `degraded` stays 200 (the server still answers correctly).
+fn health_route(shared: &ServerShared) -> (u16, String) {
+    use crate::slo::HealthStatus;
+    let now = shared.metrics.uptime_secs() as u64;
+    let (mut status, mut reasons) = shared.slo.evaluate(now);
+    let meta = shared.backend.meta();
+    let tombstones = shared.backend.tombstone_count();
+    let dead_fraction = if meta.n > 0 {
+        tombstones as f64 / meta.n as f64
+    } else {
+        0.0
+    };
+    if dead_fraction > HEALTH_MAX_DEAD_FRACTION {
+        status = status.max(HealthStatus::Degraded);
+        reasons.push(format!(
+            "dead-row fraction {dead_fraction:.3} exceeds {HEALTH_MAX_DEAD_FRACTION} (compaction overdue)"
+        ));
+    }
+    if meta.update_count > HEALTH_MAX_UPDATE_CHAIN {
+        status = status.max(HealthStatus::Degraded);
+        reasons.push(format!(
+            "delta chain depth {} exceeds {HEALTH_MAX_UPDATE_CHAIN} (compact the artifact)",
+            meta.update_count
+        ));
+    }
+    let reload_value = {
+        let guard = shared.last_reload.lock().unwrap_or_else(|e| e.into_inner());
+        match &*guard {
+            Some(o) => {
+                if !o.ok {
+                    status = status.max(HealthStatus::Degraded);
+                    reasons.push(format!("last reload failed: {}", o.detail));
+                }
+                Value::object(vec![
+                    ("ok", Value::Bool(o.ok)),
+                    ("detail", Value::from(o.detail.as_str())),
+                    ("at_secs", Value::from(o.at_secs)),
+                ])
+            }
+            None => Value::Null,
+        }
+    };
+    let compactions_running = crate::compact::compactions_running();
+    let slo_value = Value::object(vec![
+        (
+            "objective_p99_us",
+            Value::from(shared.slo.objective_p99_us()),
+        ),
+        (
+            "objective_error_rate",
+            Value::from(shared.slo.objective_error_rate()),
+        ),
+        (
+            "windows_secs",
+            Value::from(
+                shared
+                    .slo
+                    .snapshot(now)
+                    .first()
+                    .map(|e| {
+                        e.windows
+                            .iter()
+                            .map(|w| w.span_secs as usize)
+                            .collect::<Vec<_>>()
+                    })
+                    .unwrap_or_default(),
+            ),
+        ),
+    ]);
+    let body = Value::object(vec![
+        ("status", Value::from(status.as_str())),
+        (
+            "reasons",
+            Value::Array(reasons.iter().map(|r| Value::from(r.as_str())).collect()),
+        ),
+        ("slo", slo_value),
+        (
+            "background",
+            Value::object(vec![
+                ("compactions_running", Value::from(compactions_running)),
+                ("update_count", Value::from(meta.update_count)),
+                ("compaction_count", Value::from(meta.compaction_count)),
+                ("dead_fraction", Value::from(dead_fraction)),
+                ("last_reload", reload_value),
+            ]),
+        ),
+    ])
+    .to_string_compact();
+    let code = if status == HealthStatus::Unhealthy {
+        503
+    } else {
+        200
+    };
+    (code, body)
+}
+
+/// The build descriptor shared by `GET /version` and `/stats`: crate
+/// version, every artifact/delta/index format this binary reads, and
+/// process uptime.
+fn build_value(uptime_secs: f64) -> Value {
+    let artifact_formats: Vec<usize> = (1..=crate::artifact::FORMAT_VERSION as usize).collect();
+    let delta_formats: Vec<usize> = vec![
+        mvag_data::delta::DELTA_FORMAT_VERSION_V1 as usize,
+        mvag_data::delta::DELTA_FORMAT_VERSION as usize,
+    ];
+    Value::object(vec![
+        ("crate_version", Value::from(env!("CARGO_PKG_VERSION"))),
+        (
+            "artifact_format",
+            Value::from(crate::artifact::FORMAT_VERSION as usize),
+        ),
+        ("artifact_formats_supported", Value::from(artifact_formats)),
+        (
+            "delta_format",
+            Value::from(mvag_data::delta::DELTA_FORMAT_VERSION as usize),
+        ),
+        ("delta_formats_supported", Value::from(delta_formats)),
+        (
+            "index_format",
+            Value::from(mvag_index::ivf::INDEX_FORMAT_VERSION as usize),
+        ),
+        ("uptime_secs", Value::from(uptime_secs)),
+    ])
+}
+
+/// `GET /version` body.
+fn version_body(shared: &ServerShared) -> String {
+    Value::object(vec![("build", build_value(shared.metrics.uptime_secs()))]).to_string_compact()
+}
+
+/// Renders one span record as JSON — shared by `/traces` and the
+/// slow-query log export.
+fn span_value(r: &mvag_obs::SpanRecord) -> Value {
+    let counters: Vec<(&str, Value)> = r
+        .counters
+        .iter()
+        .map(|&(key, value)| (key, Value::from(value)))
+        .collect();
+    Value::object(vec![
+        ("name", Value::from(r.name)),
+        ("start_us", Value::from(r.start_us)),
+        ("dur_us", Value::from(r.dur_us)),
+        ("depth", Value::from(usize::from(r.depth))),
+        ("thread", Value::from(r.thread)),
+        ("counters", Value::object(counters)),
+    ])
+}
+
+/// Renders a [`QueryCost`] as a JSON value (same keys and order as the
+/// `?explain=1` splice, which uses [`QueryCost::json`] directly).
+fn cost_value(cost: &QueryCost) -> Value {
+    Value::object(vec![
+        ("path", Value::from(cost.path)),
+        ("shards_touched", Value::from(cost.shards_touched)),
+        ("shards_loaded", Value::from(cost.shards_loaded)),
+        ("shards_resident", Value::from(cost.shards_resident)),
+        ("lists_probed", Value::from(cost.lists_probed)),
+        ("rows_scanned", Value::from(cost.rows_scanned)),
+        ("tombstones_masked", Value::from(cost.tombstones_masked)),
+        ("cache_hits", Value::from(cost.cache_hits)),
+        ("cache_misses", Value::from(cost.cache_misses)),
+        ("queue_wait_us", Value::from(cost.queue_wait_us)),
+        ("compute_us", Value::from(cost.compute_us)),
+        ("response_bytes", Value::from(cost.response_bytes)),
+    ])
+}
+
+/// `GET /debug/slow_queries` body: every held slow query, newest
+/// first, with its cost profile and span tree. `?drain=1` empties the
+/// ring as it reads (concurrent captures land in the next read).
+fn slow_queries_body(shared: &ServerShared, drain: bool) -> String {
+    let entries = if drain {
+        shared.slow_log.drain()
+    } else {
+        shared.slow_log.snapshot()
+    };
+    let items: Vec<Value> = entries
+        .iter()
+        .map(|e| {
+            Value::object(vec![
+                ("request_id", Value::from(e.request_id.as_str())),
+                ("endpoint", Value::from(e.endpoint)),
+                ("status", Value::from(usize::from(e.status))),
+                ("wall_us", Value::from(e.wall_us)),
+                ("threshold_us", Value::from(e.threshold_us)),
+                ("at_us", Value::from(e.at_us)),
+                (
+                    "cost",
+                    e.cost.as_ref().map(cost_value).unwrap_or(Value::Null),
+                ),
+                (
+                    "spans",
+                    Value::Array(e.spans.iter().map(span_value).collect()),
+                ),
+            ])
+        })
+        .collect();
+    Value::object(vec![
+        ("threshold_us", Value::from(shared.slow_log.threshold_us())),
+        ("captured_total", Value::from(shared.slow_log.captured())),
+        ("dropped_total", Value::from(shared.slow_log.dropped())),
+        ("drained", Value::Bool(drain)),
+        ("count", Value::from(items.len())),
+        ("slow_queries", Value::Array(items)),
+    ])
+    .to_string_compact()
+}
+
+/// `PUT /debug/slow_threshold`: live-tunes the slow-query threshold.
+/// Accepts `{"threshold_us": N}` in the body or `?us=N`; `0` disables
+/// capture without clearing already-captured entries.
+fn slow_threshold_route(request: &Request, shared: &ServerShared) -> (u16, String) {
+    let from_query = query_param(&request.query, "us").and_then(|raw| raw.parse::<u64>().ok());
+    let from_body = std::str::from_utf8(&request.body)
+        .ok()
+        .and_then(|text| json::parse(text).ok())
+        .and_then(|doc| doc.get("threshold_us").and_then(Value::as_usize))
+        .map(|n| n as u64);
+    let Some(threshold_us) = from_body.or(from_query) else {
+        return (
+            400,
+            error_body("need {\"threshold_us\": N} in the body or ?us=N"),
+        );
+    };
+    let previous = shared.slow_log.threshold_us();
+    shared.slow_log.set_threshold_us(threshold_us);
+    (
+        200,
+        Value::object(vec![
+            ("threshold_us", Value::from(threshold_us)),
+            ("previous_us", Value::from(previous)),
+        ])
+        .to_string_compact(),
+    )
+}
+
+/// `PUT /debug/slo`: live-tunes the SLO objectives. Body fields
+/// `p99_us` (microseconds, 0 disables) and `error_rate` (fraction in
+/// `[0, 1]`, 0 disables) are each optional; omitted ones keep their
+/// current value.
+fn slo_route(request: &Request, shared: &ServerShared) -> (u16, String) {
+    let parsed = std::str::from_utf8(&request.body)
+        .ok()
+        .and_then(|text| json::parse(text).ok());
+    let Some(doc) = parsed else {
+        return (400, error_body("body must be JSON"));
+    };
+    let p99 = match doc.get("p99_us") {
+        None => None,
+        Some(v) => match v.as_usize() {
+            Some(n) => Some(n as u64),
+            None => return (400, error_body("p99_us must be a non-negative integer")),
+        },
+    };
+    let error_rate = match doc.get("error_rate") {
+        None => None,
+        Some(v) => match v.as_f64() {
+            Some(r) if (0.0..=1.0).contains(&r) => Some(r),
+            _ => return (400, error_body("error_rate must be a number in [0, 1]")),
+        },
+    };
+    if p99.is_none() && error_rate.is_none() {
+        return (400, error_body("need p99_us and/or error_rate"));
+    }
+    if let Some(p99) = p99 {
+        shared.slo.set_objective_p99_us(p99);
+    }
+    if let Some(rate) = error_rate {
+        shared.slo.set_objective_error_rate(rate);
+    }
+    (
+        200,
+        Value::object(vec![
+            (
+                "objective_p99_us",
+                Value::from(shared.slo.objective_p99_us()),
+            ),
+            (
+                "objective_error_rate",
+                Value::from(shared.slo.objective_error_rate()),
+            ),
+        ])
+        .to_string_compact(),
+    )
 }
 
 fn artifact_body(shared: &ServerShared) -> String {
@@ -940,6 +1457,7 @@ fn stats_body(shared: &ServerShared, reset: bool) -> String {
             ]),
         ),
         ("tracing", Value::Bool(mvag_obs::enabled())),
+        ("build", build_value(shared.metrics.uptime_secs())),
         // Which transport is serving and under which limits — the
         // evented/threaded split matters when reading the connection
         // numbers below.
@@ -1017,24 +1535,7 @@ fn traces_body(query: &str, slow_only: bool) -> String {
     let items: Vec<Value> = traces
         .into_iter()
         .map(|(trace, start, dur, spans)| {
-            let span_items: Vec<Value> = spans
-                .iter()
-                .map(|r| {
-                    let counters: Vec<(&str, Value)> = r
-                        .counters
-                        .iter()
-                        .map(|&(key, value)| (key, Value::from(value)))
-                        .collect();
-                    Value::object(vec![
-                        ("name", Value::from(r.name)),
-                        ("start_us", Value::from(r.start_us)),
-                        ("dur_us", Value::from(r.dur_us)),
-                        ("depth", Value::from(usize::from(r.depth))),
-                        ("thread", Value::from(r.thread)),
-                        ("counters", Value::object(counters)),
-                    ])
-                })
-                .collect();
+            let span_items: Vec<Value> = spans.iter().map(span_value).collect();
             Value::object(vec![
                 ("request_id", Value::from(format_request_id(trace).as_str())),
                 ("trace", Value::from(trace)),
@@ -1103,6 +1604,37 @@ fn metrics_body(shared: &ServerShared) -> String {
     );
     page.push_str("# TYPE sgla_index_rows_scanned_total counter\n");
     let _ = writeln!(page, "sgla_index_rows_scanned_total {}", index.rows_scanned);
+    // Slow-query log counters.
+    page.push_str("# HELP sgla_slow_query_threshold_us Capture threshold (0 = off).\n");
+    page.push_str("# TYPE sgla_slow_query_threshold_us gauge\n");
+    let _ = writeln!(
+        page,
+        "sgla_slow_query_threshold_us {}",
+        shared.slow_log.threshold_us()
+    );
+    page.push_str("# HELP sgla_slow_query_captured_total Slow queries ever captured.\n");
+    page.push_str("# TYPE sgla_slow_query_captured_total counter\n");
+    let _ = writeln!(
+        page,
+        "sgla_slow_query_captured_total {}",
+        shared.slow_log.captured()
+    );
+    page.push_str("# HELP sgla_slow_query_dropped_total Entries evicted from full stripes.\n");
+    page.push_str("# TYPE sgla_slow_query_dropped_total counter\n");
+    let _ = writeln!(
+        page,
+        "sgla_slow_query_dropped_total {}",
+        shared.slow_log.dropped()
+    );
+    page.push_str("# HELP sgla_slow_query_held Entries currently in the ring.\n");
+    page.push_str("# TYPE sgla_slow_query_held gauge\n");
+    let _ = writeln!(page, "sgla_slow_query_held {}", shared.slow_log.len());
+    // SLO windows, objectives, and burn rates.
+    shared
+        .slo
+        .render_prometheus(shared.metrics.uptime_secs() as u64, &mut page);
+    // Compaction/append telemetry (process-wide).
+    crate::compact::render_prometheus(&mut page);
     // Pipeline-stage histograms (sgla_stage_*) and worker-pool gauges.
     crate::metrics::render_observability(&mut page);
     page

@@ -71,6 +71,7 @@ pub mod backend;
 pub mod batch;
 pub mod client;
 pub mod compact;
+pub mod cost;
 pub mod engine;
 pub mod error;
 #[cfg(target_os = "linux")]
@@ -80,6 +81,8 @@ pub mod lru;
 pub mod metrics;
 pub mod parser;
 pub mod router;
+pub mod slo;
+pub mod slowlog;
 pub mod swap;
 #[cfg(target_os = "linux")]
 mod sys;
@@ -90,11 +93,14 @@ pub use client::{HttpClient, HttpResponse};
 pub use compact::{
     append_sharded, compact_monolithic, compact_sharded, AppendStats, CompactionStats,
 };
+pub use cost::QueryCost;
 pub use engine::{ApproxQuery, ClusterInfo, EngineConfig, Neighbor, QueryEngine};
 pub use error::ServeError;
 pub use http::{BackendLoader, ServeBackend, Server, ServerConfig};
 pub use mvag_index::{IvfConfig, IvfIndex};
 pub use router::{RouterConfig, ShardRouter};
+pub use slo::{HealthStatus, SloTracker};
+pub use slowlog::{SlowQuery, SlowQueryLog};
 pub use swap::HotSwapBackend;
 
 /// Crate-wide result alias.

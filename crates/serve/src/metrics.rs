@@ -161,11 +161,13 @@ pub struct MetricsRegistry {
 }
 
 /// Endpoint labels, in registry order. `traces` covers both
-/// `/traces` and `/traces/slow`; `other` collects requests that
-/// matched no route (404s, wrong methods).
-pub const ENDPOINTS: [&str; 10] = [
-    "healthz", "stats", "metrics", "artifact", "cluster", "topk", "embed", "reload", "traces",
-    "other",
+/// `/traces` and `/traces/slow`; `debug` covers the `/debug/*`
+/// operator endpoints (slow-query log, live SLO/threshold tuning);
+/// `other` collects requests that matched no route (404s, wrong
+/// methods).
+pub const ENDPOINTS: [&str; 13] = [
+    "healthz", "health", "stats", "metrics", "artifact", "cluster", "topk", "embed", "reload",
+    "traces", "version", "debug", "other",
 ];
 
 impl Default for MetricsRegistry {
@@ -650,7 +652,10 @@ pub fn validate_prometheus(page: &str) -> std::result::Result<(), String> {
     for family in types.keys() {
         if (family.starts_with("sgla_stage_")
             || family.starts_with("sgla_pool_")
-            || family.starts_with("sgla_conn_"))
+            || family.starts_with("sgla_conn_")
+            || family.starts_with("sgla_slow_query_")
+            || family.starts_with("sgla_slo_")
+            || family.starts_with("sgla_compact_"))
             && !helps.contains(family)
         {
             return Err(format!("{family}: observability family without # HELP"));

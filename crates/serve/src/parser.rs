@@ -44,6 +44,28 @@ pub struct Request {
     /// Whether the connection should stay open after the response
     /// (HTTP/1.1 default, overridden by a `Connection` header).
     pub keep_alive: bool,
+    /// Client-supplied `X-Request-Id` header, sanitized (at most
+    /// [`MAX_REQUEST_ID_LEN`] bytes of `[A-Za-z0-9._-]`). `None` when
+    /// absent or rejected — the server mints its own id then.
+    pub client_id: Option<String>,
+}
+
+/// Longest client-supplied `X-Request-Id` the server will echo back;
+/// longer (or otherwise malformed) ids are ignored, not truncated, so
+/// an id either round-trips exactly or not at all.
+pub const MAX_REQUEST_ID_LEN: usize = 64;
+
+/// Validates a client-supplied request id: 1 to
+/// [`MAX_REQUEST_ID_LEN`] bytes drawn from `[A-Za-z0-9._-]`. The
+/// charset keeps ids safe to echo into response headers, JSON bodies,
+/// and log lines without escaping.
+pub fn sanitize_request_id(value: &str) -> Option<String> {
+    let ok = !value.is_empty()
+        && value.len() <= MAX_REQUEST_ID_LEN
+        && value
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-');
+    ok.then(|| value.to_string())
 }
 
 /// Outcome of one [`parse_request`] attempt over a byte buffer.
@@ -96,6 +118,7 @@ struct Head {
     target: String,
     keep_alive: bool,
     content_length: usize,
+    client_id: Option<String>,
 }
 
 /// Parses the request line and headers starting at `pos`. `Ok(None)`
@@ -116,6 +139,7 @@ fn parse_head(buf: &[u8], pos: &mut usize) -> Result<Option<Head>, String> {
     let mut content_length = 0usize;
     // HTTP/1.1 defaults to keep-alive; HTTP/1.0 to close.
     let mut keep_alive = version.eq_ignore_ascii_case("HTTP/1.1");
+    let mut client_id = None;
     loop {
         let header = match next_line(buf, pos, &mut budget)? {
             Line::Some(line) => line,
@@ -148,6 +172,8 @@ fn parse_head(buf: &[u8], pos: &mut usize) -> Result<Option<Head>, String> {
                 } else if value.eq_ignore_ascii_case("keep-alive") {
                     keep_alive = true;
                 }
+            } else if name.eq_ignore_ascii_case("x-request-id") {
+                client_id = sanitize_request_id(value);
             }
         }
     }
@@ -156,6 +182,7 @@ fn parse_head(buf: &[u8], pos: &mut usize) -> Result<Option<Head>, String> {
         target,
         keep_alive,
         content_length,
+        client_id,
     }))
 }
 
@@ -183,6 +210,7 @@ pub fn parse_request(buf: &[u8]) -> Parse {
             query,
             body,
             keep_alive: head.keep_alive,
+            client_id: head.client_id,
         },
         pos + head.content_length,
     )
@@ -245,6 +273,7 @@ pub fn read_request<R: Read>(reader: &mut BufReader<R>) -> std::io::Result<Optio
     };
     let mut content_length = 0usize;
     let mut keep_alive = version.eq_ignore_ascii_case("HTTP/1.1");
+    let mut client_id = None;
     loop {
         let Some(header) = read_line_limited(reader, &mut budget)? else {
             return Err(std::io::Error::new(
@@ -273,6 +302,8 @@ pub fn read_request<R: Read>(reader: &mut BufReader<R>) -> std::io::Result<Optio
                 } else if value.eq_ignore_ascii_case("keep-alive") {
                     keep_alive = true;
                 }
+            } else if name.eq_ignore_ascii_case("x-request-id") {
+                client_id = sanitize_request_id(value);
             }
         }
     }
@@ -285,6 +316,7 @@ pub fn read_request<R: Read>(reader: &mut BufReader<R>) -> std::io::Result<Optio
         query,
         body,
         keep_alive,
+        client_id,
     }))
 }
 
@@ -365,6 +397,35 @@ mod tests {
         raw.extend(std::iter::repeat_n(b'a', MAX_HEADER_BYTES));
         // No terminator yet, but the budget is already unreachable.
         assert!(matches!(parse_request(&raw), Parse::Bad(_)));
+    }
+
+    #[test]
+    fn client_request_id_is_captured_and_sanitized() {
+        let raw: &[u8] = b"GET /healthz HTTP/1.1\r\nX-Request-Id: trace-42.a_b\r\n\r\n";
+        let Parse::Complete(req, _) = parse_request(raw) else {
+            panic!("expected complete");
+        };
+        assert_eq!(req.client_id.as_deref(), Some("trace-42.a_b"));
+        let mut reader = BufReader::new(std::io::Cursor::new(raw));
+        let blocking = read_request(&mut reader).unwrap().unwrap();
+        assert_eq!(blocking, req, "both parsers capture the id identically");
+
+        // Malformed ids are dropped, not truncated or escaped.
+        for bad in [
+            "has space",
+            "quote\"inject",
+            "",
+            &"x".repeat(MAX_REQUEST_ID_LEN + 1),
+        ] {
+            assert_eq!(sanitize_request_id(bad), None, "{bad:?}");
+        }
+        let longest = "y".repeat(MAX_REQUEST_ID_LEN);
+        assert_eq!(sanitize_request_id(&longest).as_deref(), Some(&*longest));
+        let raw = b"GET / HTTP/1.1\r\nx-request-id: bad id!\r\n\r\n";
+        let Parse::Complete(req, _) = parse_request(raw) else {
+            panic!("expected complete");
+        };
+        assert_eq!(req.client_id, None);
     }
 
     #[test]

@@ -49,6 +49,7 @@
 
 use crate::artifact::{Artifact, ArtifactMeta, FORMAT_VERSION, FORMAT_VERSION_V2};
 use crate::backend::{IndexStats, QueryBackend};
+use crate::cost::QueryCost;
 use crate::engine::{
     ApproxQuery, ClusterInfo, EngineConfig, IndexCounters, Neighbor, QueryEngine, TopKHeap,
 };
@@ -384,6 +385,23 @@ impl ShardRouter {
         self.engine_for(shard)?.cluster_of(node)
     }
 
+    /// [`ShardRouter::cluster_of`] plus the lookup's cost profile:
+    /// whether answering it forced a shard load. The answer is exactly
+    /// what `cluster_of` returns — accounting never perturbs results.
+    pub fn cluster_of_costed(&self, node: usize) -> (Result<ClusterInfo>, QueryCost) {
+        let mut cost = QueryCost::exact();
+        cost.shards_touched = 1;
+        cost.rows_scanned = 1;
+        let loads_before = self.loads.load(Ordering::Relaxed);
+        let answer = self.cluster_of(node);
+        cost.shards_loaded = self
+            .loads
+            .load(Ordering::Relaxed)
+            .saturating_sub(loads_before);
+        cost.shards_resident = self.resident_count() as u64;
+        (answer, cost)
+    }
+
     /// Embedding rows for a batch of nodes, each fetched from its
     /// owning shard; the whole batch is rejected if any id is invalid
     /// (matching [`QueryEngine::embed_batch`] semantics).
@@ -417,6 +435,28 @@ impl ShardRouter {
         Ok(rows)
     }
 
+    /// [`ShardRouter::embed_batch`] plus the batch's cost profile:
+    /// distinct owning shards touched and shard loads the fetch forced.
+    pub fn embed_batch_costed(&self, nodes: &[usize]) -> (Result<Vec<Vec<f64>>>, QueryCost) {
+        let mut cost = QueryCost::exact();
+        cost.rows_scanned = nodes.len() as u64;
+        let mut touched = vec![false; self.manifest.shards.len()];
+        for &node in nodes {
+            if let Ok(owner) = self.check_node(node) {
+                touched[owner] = true;
+            }
+        }
+        cost.shards_touched = touched.iter().filter(|t| **t).count() as u64;
+        let loads_before = self.loads.load(Ordering::Relaxed);
+        let answer = self.embed_batch(nodes);
+        cost.shards_loaded = self
+            .loads
+            .load(Ordering::Relaxed)
+            .saturating_sub(loads_before);
+        cost.shards_resident = self.resident_count() as u64;
+        (answer, cost)
+    }
+
     /// The `k` most similar nodes to `node` across *all* shards —
     /// bit-identical to [`QueryEngine::top_k_similar`] on the
     /// monolithic artifact the shards were cut from.
@@ -431,6 +471,19 @@ impl ShardRouter {
     /// merging the per-shard top-k lists. Results are in query order;
     /// failed queries carry their individual error.
     pub fn top_k_batch(&self, queries: &[(usize, usize)]) -> Vec<Result<Vec<Neighbor>>> {
+        self.top_k_batch_costed(queries).0
+    }
+
+    /// [`ShardRouter::top_k_batch`] plus the pass's cost profile:
+    /// cache hit/miss split, fan-out shape (shards touched vs loaded
+    /// vs resident), rows scanned, and tombstones masked. The answers
+    /// are exactly what `top_k_batch` returns — cost accounting never
+    /// perturbs results.
+    pub fn top_k_batch_costed(
+        &self,
+        queries: &[(usize, usize)],
+    ) -> (Vec<Result<Vec<Neighbor>>>, QueryCost) {
+        let mut cost = QueryCost::exact();
         let n = self.meta.n;
         let mut answers: Vec<Option<Result<Vec<Neighbor>>>> = Vec::with_capacity(queries.len());
         let mut work: Vec<usize> = Vec::new(); // answer slot per job
@@ -453,15 +506,30 @@ impl ShardRouter {
                 let k = k.min(n - 1);
                 self.counters.exact_queries.fetch_add(1, Ordering::Relaxed);
                 if let Some(hit) = cache.get(&(node, k)) {
+                    cost.cache_hits += 1;
                     answers.push(Some(Ok(hit.clone())));
                 } else {
+                    cost.cache_misses += 1;
                     work.push(answers.len());
                     answers.push(None);
                     jobs.push((node, k));
                 }
             }
         }
+        let loads_before = self.loads.load(Ordering::Relaxed);
         if !jobs.is_empty() {
+            cost.shards_touched = self.manifest.shards.len() as u64;
+            // Every shard scans all of its rows for every job, so the
+            // fan-out's total scan work has a closed form; likewise the
+            // manifest's tombstones are masked once per job.
+            cost.rows_scanned = (jobs.len() * self.meta.rows()) as u64;
+            cost.tombstones_masked = (jobs.len()
+                * self
+                    .manifest
+                    .shards
+                    .iter()
+                    .map(|e| e.tombstones)
+                    .sum::<usize>()) as u64;
             match self.fan_out(&jobs) {
                 Ok(results) => {
                     let mut cache = self.cache.lock().expect("router cache lock");
@@ -481,10 +549,16 @@ impl ShardRouter {
                 }
             }
         }
-        answers
+        cost.shards_loaded = self
+            .loads
+            .load(Ordering::Relaxed)
+            .saturating_sub(loads_before);
+        cost.shards_resident = self.resident_count() as u64;
+        let answers = answers
             .into_iter()
             .map(|a| a.expect("all slots filled"))
-            .collect()
+            .collect();
+        (answers, cost)
     }
 
     /// Fetches the embedding row + norm of every query node from its
@@ -597,6 +671,20 @@ impl ShardRouter {
     /// under the same total order as the exact path. Results are not
     /// cached (cheap, and parameterized by `nprobe`).
     pub fn top_k_batch_approx(&self, queries: &[ApproxQuery]) -> Vec<Result<Vec<Neighbor>>> {
+        self.top_k_batch_approx_costed(queries).0
+    }
+
+    /// [`ShardRouter::top_k_batch_approx`] plus the pass's cost
+    /// profile: lists probed and candidate rows scored across all
+    /// shards, fan-out shape, and shard loads forced. Dead candidates
+    /// are filtered inside the shard engines and are not attributed
+    /// here (`tombstones_masked` stays 0 on this path). The answers
+    /// are exactly what `top_k_batch_approx` returns.
+    pub fn top_k_batch_approx_costed(
+        &self,
+        queries: &[ApproxQuery],
+    ) -> (Vec<Result<Vec<Neighbor>>>, QueryCost) {
+        let mut cost = QueryCost::ivf();
         let n = self.meta.n;
         let mut answers: Vec<Option<Result<Vec<Neighbor>>>> = Vec::with_capacity(queries.len());
         let mut work: Vec<usize> = Vec::new(); // answer slot per job
@@ -619,9 +707,16 @@ impl ShardRouter {
             answers.push(None);
             jobs.push((node, k.min(n - 1), nprobe));
         }
+        let loads_before = self.loads.load(Ordering::Relaxed);
         if !jobs.is_empty() {
+            // Approx results are never cached, so every admitted job
+            // is a miss by definition.
+            cost.cache_misses = jobs.len() as u64;
+            cost.shards_touched = self.manifest.shards.len() as u64;
             match self.fan_out_approx(&jobs) {
-                Ok(results) => {
+                Ok((results, lists_probed, rows_scanned)) => {
+                    cost.lists_probed = lists_probed;
+                    cost.rows_scanned = rows_scanned;
                     for (slot, result) in work.into_iter().zip(results) {
                         answers[slot] = Some(Ok(result));
                     }
@@ -636,18 +731,25 @@ impl ShardRouter {
                 }
             }
         }
-        answers
+        cost.shards_loaded = self
+            .loads
+            .load(Ordering::Relaxed)
+            .saturating_sub(loads_before);
+        cost.shards_resident = self.resident_count() as u64;
+        let answers = answers
             .into_iter()
             .map(|a| a.expect("all slots filled"))
-            .collect()
+            .collect();
+        (answers, cost)
     }
 
     /// Probes every shard's index for every job and merges — the
     /// approximate analogue of [`ShardRouter::fan_out`], with the same
     /// residency/parallelism policy. Per-shard scan work feeds the
     /// router's counters (per-shard engine counters would be lost on
-    /// eviction).
-    fn fan_out_approx(&self, jobs: &[ApproxQuery]) -> Result<Vec<Vec<Neighbor>>> {
+    /// eviction). Returns `(answers, lists probed, rows scanned)` so
+    /// the caller's cost profile sees the real probe totals.
+    fn fan_out_approx(&self, jobs: &[ApproxQuery]) -> Result<(Vec<Vec<Neighbor>>, u64, u64)> {
         let mut span = mvag_obs::span("serve.fan_out");
         span.counter("jobs", jobs.len() as u64);
         span.counter("shards", self.manifest.shards.len() as u64);
@@ -671,17 +773,22 @@ impl ShardRouter {
         });
         let _merge = mvag_obs::span("serve.merge");
         let mut merged: Vec<TopKHeap> = jobs.iter().map(|&(_, k, _)| TopKHeap::new(k)).collect();
+        let mut lists_probed = 0u64;
+        let mut rows_scanned = 0u64;
         for shard_results in per_shard {
             for (heap, (partial, stats)) in merged.iter_mut().zip(shard_results?) {
                 self.counters.record_search(&stats);
                 span.counter("lists_scanned", stats.lists_scanned as u64);
                 span.counter("rows_scanned", stats.rows_scanned as u64);
+                lists_probed += stats.lists_scanned as u64;
+                rows_scanned += stats.rows_scanned as u64;
                 for neighbor in partial {
                     heap.push(neighbor);
                 }
             }
         }
-        Ok(merged.into_iter().map(TopKHeap::into_sorted).collect())
+        let answers = merged.into_iter().map(TopKHeap::into_sorted).collect();
+        Ok((answers, lists_probed, rows_scanned))
     }
 }
 
@@ -742,6 +849,28 @@ impl QueryBackend for ShardRouter {
         // The manifest carries per-shard tombstone counts, so this
         // needs no shard loads (and stays correct under eviction).
         self.manifest.shards.iter().map(|e| e.tombstones).sum()
+    }
+
+    fn cluster_of_costed(&self, node: usize) -> (Result<ClusterInfo>, QueryCost) {
+        ShardRouter::cluster_of_costed(self, node)
+    }
+
+    fn top_k_batch_costed(
+        &self,
+        queries: &[(usize, usize)],
+    ) -> (Vec<Result<Vec<Neighbor>>>, QueryCost) {
+        ShardRouter::top_k_batch_costed(self, queries)
+    }
+
+    fn top_k_batch_approx_costed(
+        &self,
+        queries: &[ApproxQuery],
+    ) -> (Vec<Result<Vec<Neighbor>>>, QueryCost) {
+        ShardRouter::top_k_batch_approx_costed(self, queries)
+    }
+
+    fn embed_batch_costed(&self, nodes: &[usize]) -> (Result<Vec<Vec<f64>>>, QueryCost) {
+        ShardRouter::embed_batch_costed(self, nodes)
     }
 }
 

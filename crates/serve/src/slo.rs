@@ -1,0 +1,616 @@
+//! Rolling SLO windows and the `/health` readiness state machine.
+//!
+//! Tracks per-endpoint latency and error rate over three rolling
+//! windows (1m/5m/1h by default, tunable for tests) against two
+//! configured objectives: a p99 latency bound (`--slo-p99-us`) and an
+//! error-rate budget (`--slo-error-rate`). Each window is a ring of
+//! `SLICES` time slices of relaxed atomics — recording a request is
+//! a handful of atomic adds, and stale slices are lazily reset when
+//! their slot is reused, so no background sweeper thread is needed.
+//!
+//! Two *burn rates* are derived per window, both "fraction of budget
+//! consumed per unit of budget allowed" in the SRE sense:
+//!
+//! * **error burn** = observed error rate ÷ `--slo-error-rate`;
+//! * **latency burn** = fraction of requests slower than the p99
+//!   objective ÷ 1% (the tail a p99 objective permits by definition).
+//!
+//! A burn of 1.0 means the service is consuming its budget exactly as
+//! fast as allowed; `GET /health` degrades when either burn exceeds
+//! 1.0 in a short window (with at least [`MIN_SAMPLES`] requests) and
+//! goes unhealthy at [`FAST_BURN`]× — the classic fast-burn page
+//! threshold. Objectives left at 0 are disabled and never degrade the
+//! service; background-task state (reload failures, running
+//! compactions, tombstone debt) is folded in by the HTTP layer.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Slices per rolling window: the window "forgets" a slice's worth of
+/// history at a time, so resolution is `span / SLICES`.
+const SLICES: usize = 12;
+
+/// Log₂ latency buckets, matching [`crate::metrics`].
+const BUCKETS: usize = 36;
+
+/// Minimum requests in a window before it can declare a violation —
+/// one slow request on an idle server is noise, not an incident.
+pub const MIN_SAMPLES: u64 = 20;
+
+/// Burn-rate multiple at which `/health` turns `unhealthy` rather
+/// than `degraded` (the SRE fast-burn paging threshold).
+pub const FAST_BURN: f64 = 14.0;
+
+fn bucket_of(micros: u64) -> usize {
+    ((64 - micros.max(1).leading_zeros()) as usize - 1).min(BUCKETS - 1)
+}
+
+/// Pretty window label: `60 → "1m"`, `3600 → "1h"`, else `"{n}s"`.
+fn window_name(span_secs: u64) -> String {
+    if span_secs.is_multiple_of(3600) && span_secs > 0 {
+        format!("{}h", span_secs / 3600)
+    } else if span_secs.is_multiple_of(60) && span_secs > 0 {
+        format!("{}m", span_secs / 60)
+    } else {
+        format!("{span_secs}s")
+    }
+}
+
+/// One time slice of a rolling window. `epoch` tags which slice
+/// interval the counters describe; a reused slot is reset lazily by
+/// the first recorder of the new interval. Races around the reset can
+/// undercount a request or two — these are SLO gauges, not billing.
+struct Slice {
+    epoch: AtomicU64,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    slow: AtomicU64,
+    sum_us: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Slice {
+    fn new() -> Slice {
+        Slice {
+            epoch: AtomicU64::new(u64::MAX),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            slow: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn reset(&self) {
+        self.requests.store(0, Ordering::Relaxed);
+        self.errors.store(0, Ordering::Relaxed);
+        self.slow.store(0, Ordering::Relaxed);
+        self.sum_us.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A rolling window over `SLICES` slices of `slice_secs` each.
+struct Window {
+    name: String,
+    span_secs: u64,
+    slice_secs: u64,
+    slices: Vec<Slice>,
+}
+
+impl Window {
+    fn new(span_secs: u64) -> Window {
+        let span_secs = span_secs.max(1);
+        Window {
+            name: window_name(span_secs),
+            span_secs,
+            slice_secs: (span_secs / SLICES as u64).max(1),
+            slices: (0..SLICES).map(|_| Slice::new()).collect(),
+        }
+    }
+
+    fn record(&self, now_secs: u64, latency_us: u64, ok: bool, slow: bool) {
+        let epoch = now_secs / self.slice_secs;
+        let slice = &self.slices[(epoch % SLICES as u64) as usize];
+        if slice.epoch.load(Ordering::Relaxed) != epoch {
+            slice.reset();
+            slice.epoch.store(epoch, Ordering::Relaxed);
+        }
+        slice.requests.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            slice.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        if slow {
+            slice.slow.fetch_add(1, Ordering::Relaxed);
+        }
+        slice.sum_us.fetch_add(latency_us, Ordering::Relaxed);
+        slice.buckets[bucket_of(latency_us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self, now_secs: u64) -> WindowSnapshot {
+        let current = now_secs / self.slice_secs;
+        let oldest = current.saturating_sub(SLICES as u64 - 1);
+        let mut snap = WindowSnapshot {
+            name: self.name.clone(),
+            span_secs: self.span_secs,
+            requests: 0,
+            errors: 0,
+            slow: 0,
+            sum_us: 0,
+            buckets: [0; BUCKETS],
+        };
+        for slice in &self.slices {
+            let epoch = slice.epoch.load(Ordering::Relaxed);
+            if epoch < oldest || epoch > current {
+                continue; // stale (or never-used) slot
+            }
+            snap.requests += slice.requests.load(Ordering::Relaxed);
+            snap.errors += slice.errors.load(Ordering::Relaxed);
+            snap.slow += slice.slow.load(Ordering::Relaxed);
+            snap.sum_us += slice.sum_us.load(Ordering::Relaxed);
+            for (acc, b) in snap.buckets.iter_mut().zip(&slice.buckets) {
+                *acc += b.load(Ordering::Relaxed);
+            }
+        }
+        snap
+    }
+}
+
+/// Point-in-time aggregate of one rolling window.
+#[derive(Debug, Clone)]
+pub struct WindowSnapshot {
+    /// Window label (`"1m"`, `"5m"`, `"1h"`, or `"{n}s"`).
+    pub name: String,
+    /// Window span in seconds.
+    pub span_secs: u64,
+    /// Requests recorded inside the window.
+    pub requests: u64,
+    /// Non-2xx responses inside the window.
+    pub errors: u64,
+    /// Requests slower than the p99 objective in force when recorded.
+    pub slow: u64,
+    /// Sum of request latencies (microseconds).
+    pub sum_us: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl WindowSnapshot {
+    /// Fraction of requests that errored (0 with no traffic).
+    pub fn error_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.requests as f64
+        }
+    }
+
+    /// Fraction of requests slower than the p99 objective.
+    pub fn slow_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.slow as f64 / self.requests as f64
+        }
+    }
+
+    /// Approximate p99 latency in microseconds (log₂-bucket
+    /// interpolation, same estimator as `/stats`).
+    pub fn p99_us(&self) -> f64 {
+        self.quantile_us(0.99)
+    }
+
+    /// Approximate latency quantile in microseconds.
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        let total: u64 = self.buckets.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &count) in self.buckets.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            if seen + count >= rank {
+                let lo = (1u64 << i) as f64;
+                return lo + (rank - seen) as f64 / count as f64 * lo;
+            }
+            seen += count;
+        }
+        (1u64 << (BUCKETS - 1)) as f64
+    }
+}
+
+/// One endpoint's set of rolling windows.
+struct EndpointSlo {
+    name: &'static str,
+    windows: Vec<Window>,
+}
+
+/// Per-endpoint SLO snapshot, windows in configured order.
+#[derive(Debug, Clone)]
+pub struct EndpointSloSnapshot {
+    /// Endpoint label (same names as `/stats`).
+    pub name: &'static str,
+    /// One aggregate per rolling window.
+    pub windows: Vec<WindowSnapshot>,
+}
+
+/// Health state reported by `GET /health`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HealthStatus {
+    /// All objectives met, no background-task trouble.
+    Ok,
+    /// An objective is violated or a background task needs attention;
+    /// the server still answers correctly.
+    Degraded,
+    /// Burning budget at the fast-burn rate — stop sending traffic.
+    Unhealthy,
+}
+
+impl HealthStatus {
+    /// Wire label (`"ok"` / `"degraded"` / `"unhealthy"`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            HealthStatus::Ok => "ok",
+            HealthStatus::Degraded => "degraded",
+            HealthStatus::Unhealthy => "unhealthy",
+        }
+    }
+}
+
+/// Multi-window SLO tracker for every endpoint the server routes.
+///
+/// Objectives are live-tunable (`PUT /debug/slo`): the p99 bound is
+/// consulted *at record time* to classify a request as slow, so a
+/// tightened objective applies to traffic from that moment on.
+pub struct SloTracker {
+    endpoints: Vec<EndpointSlo>,
+    objective_p99_us: AtomicU64,
+    /// Error budget in parts-per-million (atomic live-tunable f64).
+    objective_error_ppm: AtomicU64,
+}
+
+impl SloTracker {
+    /// Builds a tracker with the given window spans (seconds, shortest
+    /// first) and objectives (0 disables either objective).
+    pub fn new(window_secs: &[u64], p99_us: u64, error_rate: f64) -> SloTracker {
+        SloTracker {
+            endpoints: crate::metrics::ENDPOINTS
+                .iter()
+                .map(|name| EndpointSlo {
+                    name,
+                    windows: window_secs.iter().map(|&s| Window::new(s)).collect(),
+                })
+                .collect(),
+            objective_p99_us: AtomicU64::new(p99_us),
+            objective_error_ppm: AtomicU64::new(rate_to_ppm(error_rate)),
+        }
+    }
+
+    /// The p99 latency objective in microseconds (0 = disabled).
+    pub fn objective_p99_us(&self) -> u64 {
+        self.objective_p99_us.load(Ordering::Relaxed)
+    }
+
+    /// Replaces the p99 latency objective (live).
+    pub fn set_objective_p99_us(&self, p99_us: u64) {
+        self.objective_p99_us.store(p99_us, Ordering::Relaxed);
+    }
+
+    /// The error-rate objective as a fraction (0.0 = disabled).
+    pub fn objective_error_rate(&self) -> f64 {
+        self.objective_error_ppm.load(Ordering::Relaxed) as f64 / 1e6
+    }
+
+    /// Replaces the error-rate objective (live; clamped to `[0, 1]`).
+    pub fn set_objective_error_rate(&self, rate: f64) {
+        self.objective_error_ppm
+            .store(rate_to_ppm(rate), Ordering::Relaxed);
+    }
+
+    /// Records one completed request for `endpoint` at `now_secs`
+    /// (monotonic seconds; the caller supplies the clock so tests can
+    /// drive time deterministically).
+    pub fn record(&self, endpoint: &str, now_secs: u64, latency_us: u64, ok: bool) {
+        let Some(slot) = self.endpoints.iter().find(|e| e.name == endpoint) else {
+            return;
+        };
+        let p99 = self.objective_p99_us();
+        let slow = p99 > 0 && latency_us > p99;
+        for window in &slot.windows {
+            window.record(now_secs, latency_us, ok, slow);
+        }
+    }
+
+    /// Snapshots every endpoint that saw traffic in its widest window.
+    pub fn snapshot(&self, now_secs: u64) -> Vec<EndpointSloSnapshot> {
+        self.endpoints
+            .iter()
+            .map(|e| EndpointSloSnapshot {
+                name: e.name,
+                windows: e.windows.iter().map(|w| w.snapshot(now_secs)).collect(),
+            })
+            .filter(|s| s.windows.iter().any(|w| w.requests > 0))
+            .collect()
+    }
+
+    /// Error-budget burn for a window: observed error rate ÷
+    /// objective (0.0 when the objective is disabled).
+    pub fn error_burn(&self, window: &WindowSnapshot) -> f64 {
+        let objective = self.objective_error_rate();
+        if objective <= 0.0 {
+            0.0
+        } else {
+            window.error_rate() / objective
+        }
+    }
+
+    /// Latency-budget burn for a window: fraction of requests over
+    /// the p99 objective ÷ the 1% a p99 objective allows (0.0 when
+    /// the objective is disabled).
+    pub fn latency_burn(&self, window: &WindowSnapshot) -> f64 {
+        if self.objective_p99_us() == 0 {
+            0.0
+        } else {
+            window.slow_rate() / 0.01
+        }
+    }
+
+    /// Evaluates the SLO state machine over the two shortest windows
+    /// of every endpoint with enough traffic. Returns the worst status
+    /// plus one human-readable reason per violation.
+    pub fn evaluate(&self, now_secs: u64) -> (HealthStatus, Vec<String>) {
+        let mut status = HealthStatus::Ok;
+        let mut reasons = Vec::new();
+        for snap in self.snapshot(now_secs) {
+            for window in snap.windows.iter().take(2) {
+                if window.requests < MIN_SAMPLES {
+                    continue;
+                }
+                let latency_burn = self.latency_burn(window);
+                let error_burn = self.error_burn(window);
+                if latency_burn > 1.0 {
+                    reasons.push(format!(
+                        "{}/{}: p99 {:.0}us over objective {}us (burn {:.1})",
+                        snap.name,
+                        window.name,
+                        window.p99_us(),
+                        self.objective_p99_us(),
+                        latency_burn
+                    ));
+                }
+                if error_burn > 1.0 {
+                    reasons.push(format!(
+                        "{}/{}: error rate {:.4} over objective {:.4} (burn {:.1})",
+                        snap.name,
+                        window.name,
+                        window.error_rate(),
+                        self.objective_error_rate(),
+                        error_burn
+                    ));
+                }
+                let worst_burn = latency_burn.max(error_burn);
+                let level = if worst_burn >= FAST_BURN {
+                    HealthStatus::Unhealthy
+                } else if worst_burn > 1.0 {
+                    HealthStatus::Degraded
+                } else {
+                    HealthStatus::Ok
+                };
+                status = status.max(level);
+            }
+        }
+        (status, reasons)
+    }
+
+    /// Appends the `sgla_slo_*` families to a Prometheus text page.
+    /// Objective gauges always render (so the families are present on
+    /// an idle server); per-endpoint series render for endpoints with
+    /// traffic.
+    pub fn render_prometheus(&self, now_secs: u64, out: &mut String) {
+        use std::fmt::Write;
+        out.push_str("# HELP sgla_slo_objective_p99_us Configured p99 objective (0 = off).\n");
+        out.push_str("# TYPE sgla_slo_objective_p99_us gauge\n");
+        let _ = writeln!(out, "sgla_slo_objective_p99_us {}", self.objective_p99_us());
+        out.push_str(
+            "# HELP sgla_slo_objective_error_rate Configured error-rate objective (0 = off).\n",
+        );
+        out.push_str("# TYPE sgla_slo_objective_error_rate gauge\n");
+        let _ = writeln!(
+            out,
+            "sgla_slo_objective_error_rate {}",
+            self.objective_error_rate()
+        );
+        let snaps = self.snapshot(now_secs);
+        out.push_str("# HELP sgla_slo_window_requests Requests inside each rolling window.\n");
+        out.push_str("# TYPE sgla_slo_window_requests gauge\n");
+        for s in &snaps {
+            for w in &s.windows {
+                let _ = writeln!(
+                    out,
+                    "sgla_slo_window_requests{{endpoint=\"{}\",window=\"{}\"}} {}",
+                    s.name, w.name, w.requests
+                );
+            }
+        }
+        out.push_str("# HELP sgla_slo_p99_us Estimated p99 latency per rolling window.\n");
+        out.push_str("# TYPE sgla_slo_p99_us gauge\n");
+        for s in &snaps {
+            for w in &s.windows {
+                let _ = writeln!(
+                    out,
+                    "sgla_slo_p99_us{{endpoint=\"{}\",window=\"{}\"}} {}",
+                    s.name,
+                    w.name,
+                    w.p99_us()
+                );
+            }
+        }
+        out.push_str("# HELP sgla_slo_error_rate Error rate per rolling window.\n");
+        out.push_str("# TYPE sgla_slo_error_rate gauge\n");
+        for s in &snaps {
+            for w in &s.windows {
+                let _ = writeln!(
+                    out,
+                    "sgla_slo_error_rate{{endpoint=\"{}\",window=\"{}\"}} {}",
+                    s.name,
+                    w.name,
+                    w.error_rate()
+                );
+            }
+        }
+        out.push_str(
+            "# HELP sgla_slo_burn_rate Worst budget burn (error or latency) per window; \
+             1.0 consumes the budget exactly as fast as allowed.\n",
+        );
+        out.push_str("# TYPE sgla_slo_burn_rate gauge\n");
+        for s in &snaps {
+            for w in &s.windows {
+                let burn = self.error_burn(w).max(self.latency_burn(w));
+                let _ = writeln!(
+                    out,
+                    "sgla_slo_burn_rate{{endpoint=\"{}\",window=\"{}\"}} {burn}",
+                    s.name, w.name
+                );
+            }
+        }
+    }
+}
+
+fn rate_to_ppm(rate: f64) -> u64 {
+    (rate.clamp(0.0, 1.0) * 1e6).round() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker(p99_us: u64, error_rate: f64) -> SloTracker {
+        // 12s/60s/120s windows: slices of 1s/5s/10s.
+        SloTracker::new(&[12, 60, 120], p99_us, error_rate)
+    }
+
+    #[test]
+    fn objectives_are_live_tunable() {
+        let t = tracker(0, 0.0);
+        assert_eq!(t.objective_p99_us(), 0);
+        t.set_objective_p99_us(5000);
+        t.set_objective_error_rate(0.05);
+        assert_eq!(t.objective_p99_us(), 5000);
+        assert!((t.objective_error_rate() - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_aggregates_and_p99() {
+        let t = tracker(1000, 0.0);
+        for i in 0..100 {
+            t.record("topk", 5, 100, i % 10 != 0); // 10% errors
+        }
+        t.record("topk", 5, 50_000, true); // one outlier over objective
+        let snap = t.snapshot(5);
+        let topk = snap.iter().find(|s| s.name == "topk").unwrap();
+        let w = &topk.windows[0];
+        assert_eq!(w.requests, 101);
+        assert_eq!(w.errors, 10);
+        assert_eq!(w.slow, 1);
+        assert!(w.p99_us() >= 64.0);
+        assert!((w.error_rate() - 10.0 / 101.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disabled_objectives_never_degrade() {
+        let t = tracker(0, 0.0);
+        for _ in 0..100 {
+            t.record("topk", 5, 1_000_000, false); // slow AND erroring
+        }
+        let (status, reasons) = t.evaluate(5);
+        assert_eq!(status, HealthStatus::Ok);
+        assert!(reasons.is_empty());
+    }
+
+    #[test]
+    fn injected_latency_degrades_then_recovers() {
+        let t = tracker(1000, 0.0);
+        // Healthy traffic at t=0..3s.
+        for s in 0..3 {
+            for _ in 0..30 {
+                t.record("topk", s, 100, true);
+            }
+        }
+        assert_eq!(t.evaluate(3).0, HealthStatus::Ok);
+        // Injected latency at t=4s: every request blows the objective
+        // (latency burn 100 ≥ FAST_BURN ⇒ unhealthy, not merely
+        // degraded — the budget is burning 100× too fast).
+        for _ in 0..30 {
+            t.record("topk", 4, 50_000, true);
+        }
+        let (status, reasons) = t.evaluate(4);
+        assert_eq!(status, HealthStatus::Unhealthy);
+        assert!(!reasons.is_empty());
+        // A *mild* overshoot is degraded: fresh tracker, 2% slow.
+        let t2 = tracker(1000, 0.0);
+        for i in 0..100 {
+            t2.record("topk", 4, if i % 50 == 0 { 50_000 } else { 100 }, true);
+        }
+        assert_eq!(t2.evaluate(4).0, HealthStatus::Degraded);
+        // Recovery: both evaluated windows (12s and 60s) forget the
+        // bad slices once time moves past them; healthy traffic
+        // meanwhile.
+        for s in 65..68 {
+            for _ in 0..30 {
+                t.record("topk", s, 100, true);
+            }
+        }
+        assert_eq!(t.evaluate(68).0, HealthStatus::Ok, "bad slices aged out");
+    }
+
+    #[test]
+    fn error_burn_trips_on_error_budget() {
+        let t = tracker(0, 0.01);
+        for i in 0..100 {
+            t.record("embed", 2, 100, i % 20 != 0); // 5% errors, 5x burn
+        }
+        let (status, reasons) = t.evaluate(2);
+        assert_eq!(status, HealthStatus::Degraded);
+        assert!(reasons.iter().any(|r| r.contains("error rate")));
+        // 100% errors: 100x burn ⇒ unhealthy.
+        let t2 = tracker(0, 0.01);
+        for _ in 0..50 {
+            t2.record("embed", 2, 100, false);
+        }
+        assert_eq!(t2.evaluate(2).0, HealthStatus::Unhealthy);
+    }
+
+    #[test]
+    fn below_min_samples_is_quiet() {
+        let t = tracker(1000, 0.0);
+        for _ in 0..(MIN_SAMPLES - 1) {
+            t.record("topk", 2, 1_000_000, true);
+        }
+        assert_eq!(t.evaluate(2).0, HealthStatus::Ok);
+    }
+
+    #[test]
+    fn render_is_valid_prometheus() {
+        let t = tracker(1000, 0.01);
+        for _ in 0..30 {
+            t.record("topk", 2, 100, true);
+        }
+        let mut page = String::new();
+        t.render_prometheus(2, &mut page);
+        crate::metrics::validate_prometheus(&page).unwrap();
+        assert!(page.contains("sgla_slo_objective_p99_us 1000"));
+        assert!(page.contains("sgla_slo_p99_us{endpoint=\"topk\",window=\"12s\"}"));
+        assert!(page.contains("sgla_slo_burn_rate"));
+    }
+
+    #[test]
+    fn window_names_are_pretty() {
+        assert_eq!(window_name(60), "1m");
+        assert_eq!(window_name(300), "5m");
+        assert_eq!(window_name(3600), "1h");
+        assert_eq!(window_name(12), "12s");
+    }
+}

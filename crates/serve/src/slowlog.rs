@@ -1,0 +1,250 @@
+//! Slow-query log: a lock-striped ring of over-threshold requests.
+//!
+//! Mirrors the `mvag-obs` span-ring design — [`mvag_obs::STRIPES`]
+//! independently locked [`VecDeque`] stripes, selected by the
+//! recording thread's number, so concurrent captures (and concurrent
+//! drains) never contend on one global lock. Each entry keeps the
+//! request's identity, its full [`QueryCost`] profile when the request
+//! went through a query endpoint, and the span tree captured from the
+//! obs ring when tracing was enabled.
+//!
+//! The threshold is live-tunable: seeded by `--slow-query-us`, read
+//! on every request, and adjustable at runtime via
+//! `PUT /debug/slow_threshold` without restarting the server. Entries
+//! are exported by `GET /debug/slow_queries` (optionally draining) and
+//! counted on `/metrics` as the `sgla_slow_query_*` family.
+
+use crate::cost::QueryCost;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Entries retained per stripe; the ring holds at most
+/// `mvag_obs::STRIPES * STRIPE_CAPACITY` slow queries and drops the
+/// oldest entry of a full stripe (counted in [`SlowQueryLog::dropped`]).
+const STRIPE_CAPACITY: usize = 64;
+
+/// One captured over-threshold request.
+#[derive(Debug, Clone)]
+pub struct SlowQuery {
+    /// Request id exactly as echoed to the client (client-supplied
+    /// `X-Request-Id` or the minted `req-{16 hex}`).
+    pub request_id: String,
+    /// Endpoint label (same names as the `/stats` endpoint table).
+    pub endpoint: &'static str,
+    /// HTTP status the request was answered with.
+    pub status: u16,
+    /// End-to-end wall time in microseconds (parse + queue + compute
+    /// + serialization).
+    pub wall_us: u64,
+    /// Threshold in force when the entry was captured.
+    pub threshold_us: u64,
+    /// Cost profile — present for `/cluster`, `/topk`, and `/embed`.
+    pub cost: Option<QueryCost>,
+    /// Span tree for the request's trace, captured from the obs ring
+    /// (empty unless the server runs with tracing enabled).
+    pub spans: Vec<mvag_obs::SpanRecord>,
+    /// Capture time in microseconds since the process obs epoch.
+    pub at_us: u64,
+}
+
+/// The lock-striped slow-query ring. One per server.
+pub struct SlowQueryLog {
+    threshold_us: AtomicU64,
+    captured: AtomicU64,
+    dropped: AtomicU64,
+    stripes: Vec<Mutex<VecDeque<SlowQuery>>>,
+}
+
+impl SlowQueryLog {
+    /// Builds an empty ring with the given initial threshold
+    /// (microseconds; 0 disables capture).
+    pub fn new(threshold_us: u64) -> SlowQueryLog {
+        SlowQueryLog {
+            threshold_us: AtomicU64::new(threshold_us),
+            captured: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            stripes: (0..mvag_obs::STRIPES)
+                .map(|_| Mutex::new(VecDeque::with_capacity(STRIPE_CAPACITY)))
+                .collect(),
+        }
+    }
+
+    /// Current threshold in microseconds (0 = capture disabled).
+    pub fn threshold_us(&self) -> u64 {
+        self.threshold_us.load(Ordering::Relaxed)
+    }
+
+    /// Replaces the threshold (live: takes effect on the next request).
+    pub fn set_threshold_us(&self, threshold_us: u64) {
+        self.threshold_us.store(threshold_us, Ordering::Relaxed);
+    }
+
+    /// Should a request with this wall time be captured?
+    pub fn is_slow(&self, wall_us: u64) -> bool {
+        let threshold = self.threshold_us();
+        threshold > 0 && wall_us >= threshold
+    }
+
+    /// Total entries ever captured (monotonic, survives drains).
+    pub fn captured(&self) -> u64 {
+        self.captured.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted because their stripe was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Entries currently held across all stripes.
+    pub fn len(&self) -> usize {
+        self.stripes.iter().map(|s| lock(s).len()).sum()
+    }
+
+    /// Is the ring empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum entries the ring can hold.
+    pub fn capacity(&self) -> usize {
+        mvag_obs::STRIPES * STRIPE_CAPACITY
+    }
+
+    /// Appends an entry to the recording thread's stripe, evicting the
+    /// stripe's oldest entry if it is full.
+    pub fn record(&self, entry: SlowQuery) {
+        let stripe = mvag_obs::thread_num() as usize % self.stripes.len();
+        let mut queue = lock(&self.stripes[stripe]);
+        if queue.len() == STRIPE_CAPACITY {
+            queue.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        queue.push_back(entry);
+        drop(queue);
+        self.captured.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies every held entry, newest first.
+    pub fn snapshot(&self) -> Vec<SlowQuery> {
+        let mut all: Vec<SlowQuery> = self
+            .stripes
+            .iter()
+            .flat_map(|s| lock(s).iter().cloned().collect::<Vec<_>>())
+            .collect();
+        all.sort_by_key(|e| std::cmp::Reverse(e.at_us));
+        all
+    }
+
+    /// Removes and returns every held entry, newest first. Entries
+    /// recorded concurrently with the drain land in whichever side
+    /// wins the stripe lock — none are lost.
+    pub fn drain(&self) -> Vec<SlowQuery> {
+        let mut all: Vec<SlowQuery> = self
+            .stripes
+            .iter()
+            .flat_map(|s| std::mem::take(&mut *lock(s)))
+            .collect();
+        all.sort_by_key(|e| std::cmp::Reverse(e.at_us));
+        all
+    }
+}
+
+/// Poison-tolerant lock: a panicking capture must not wedge the log.
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn entry(wall_us: u64, at_us: u64) -> SlowQuery {
+        SlowQuery {
+            request_id: format!("req-{at_us:016x}"),
+            endpoint: "topk",
+            status: 200,
+            wall_us,
+            threshold_us: 1,
+            cost: Some(QueryCost::exact()),
+            spans: Vec::new(),
+            at_us,
+        }
+    }
+
+    #[test]
+    fn threshold_gates_capture() {
+        let log = SlowQueryLog::new(0);
+        assert!(!log.is_slow(u64::MAX), "0 disables capture");
+        log.set_threshold_us(100);
+        assert!(!log.is_slow(99));
+        assert!(log.is_slow(100));
+        assert_eq!(log.threshold_us(), 100);
+    }
+
+    #[test]
+    fn record_snapshot_drain_roundtrip() {
+        let log = SlowQueryLog::new(1);
+        for i in 0..10 {
+            log.record(entry(50, i));
+        }
+        assert_eq!(log.len(), 10);
+        assert_eq!(log.captured(), 10);
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), 10);
+        assert!(snap.windows(2).all(|w| w[0].at_us >= w[1].at_us));
+        assert_eq!(log.len(), 10, "snapshot keeps entries");
+        let drained = log.drain();
+        assert_eq!(drained.len(), 10);
+        assert!(log.is_empty());
+        assert_eq!(log.captured(), 10, "captured counter survives drain");
+    }
+
+    #[test]
+    fn full_stripe_evicts_oldest() {
+        let log = SlowQueryLog::new(1);
+        // All from one thread → one stripe: capacity is STRIPE_CAPACITY.
+        for i in 0..(STRIPE_CAPACITY as u64 + 8) {
+            log.record(entry(50, i));
+        }
+        assert_eq!(log.len(), STRIPE_CAPACITY);
+        assert_eq!(log.dropped(), 8);
+        let snap = log.snapshot();
+        assert_eq!(snap.last().unwrap().at_us, 8, "oldest 8 evicted");
+    }
+
+    #[test]
+    fn concurrent_drains_lose_nothing() {
+        let log = Arc::new(SlowQueryLog::new(1));
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                let log = Arc::clone(&log);
+                std::thread::spawn(move || {
+                    for i in 0..200u64 {
+                        log.record(entry(50, t * 1000 + i));
+                    }
+                })
+            })
+            .collect();
+        let drainers: Vec<_> = (0..3)
+            .map(|_| {
+                let log = Arc::clone(&log);
+                std::thread::spawn(move || {
+                    let mut got = 0usize;
+                    for _ in 0..50 {
+                        got += log.drain().len();
+                        std::thread::yield_now();
+                    }
+                    got
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        let drained: usize = drainers.into_iter().map(|d| d.join().unwrap()).sum();
+        let total = drained + log.drain().len() + log.dropped() as usize;
+        assert_eq!(total, 800, "every record drained or counted dropped");
+    }
+}

@@ -23,6 +23,7 @@
 
 use crate::artifact::ArtifactMeta;
 use crate::backend::{IndexStats, QueryBackend};
+use crate::cost::QueryCost;
 use crate::engine::{ApproxQuery, ClusterInfo, Neighbor};
 use crate::Result;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -117,6 +118,31 @@ impl QueryBackend for HotSwapBackend {
 
     fn tombstone_count(&self) -> usize {
         self.current().tombstone_count()
+    }
+
+    // The costed variants must delegate explicitly: the trait defaults
+    // would wrap `self.cluster_of(..)` etc. and lose the inner
+    // backend's real counters (cache split, probe totals, loads).
+    fn cluster_of_costed(&self, node: usize) -> (Result<ClusterInfo>, QueryCost) {
+        self.current().cluster_of_costed(node)
+    }
+
+    fn top_k_batch_costed(
+        &self,
+        queries: &[(usize, usize)],
+    ) -> (Vec<Result<Vec<Neighbor>>>, QueryCost) {
+        self.current().top_k_batch_costed(queries)
+    }
+
+    fn top_k_batch_approx_costed(
+        &self,
+        queries: &[ApproxQuery],
+    ) -> (Vec<Result<Vec<Neighbor>>>, QueryCost) {
+        self.current().top_k_batch_approx_costed(queries)
+    }
+
+    fn embed_batch_costed(&self, nodes: &[usize]) -> (Result<Vec<Vec<f64>>>, QueryCost) {
+        self.current().embed_batch_costed(nodes)
     }
 }
 

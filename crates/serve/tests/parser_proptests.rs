@@ -11,7 +11,9 @@
 //! backend uses.
 
 use proptest::prelude::*;
-use sgla_serve::parser::{parse_request, read_request, Parse, Request, MAX_HEADER_BYTES};
+use sgla_serve::parser::{
+    parse_request, read_request, sanitize_request_id, Parse, Request, MAX_HEADER_BYTES,
+};
 use std::io::BufReader;
 
 /// A generated request: the raw bytes and what parsing must yield.
@@ -27,19 +29,24 @@ fn request_strategy() -> impl Strategy<Value = GenRequest> {
     let methods = ["GET", "POST", "PUT", "DELETE"];
     let paths = ["/", "/healthz", "/topk/17", "/embed", "/stats", "/a/b/c"];
     let queries = ["", "k=5", "k=5&mode=approx", "reset=true"];
-    // ((method, path, query), (connection-variant, body, junk headers))
+    // Client-supplied request ids: absent, well-formed (round-trips),
+    // malformed (dropped by sanitization, not truncated).
+    let ids = ["", "abc-123", "trace.7_x", "bad id!"];
+    // ((method, path, query, id), (connection-variant, body, junk headers))
     (
         (
             0usize..methods.len(),
             0usize..paths.len(),
             0usize..queries.len(),
+            0usize..ids.len(),
         ),
         (0usize..4, collection::vec(0u8..=255u8, 0..64), 0usize..4),
     )
-        .prop_map(move |((m, p, q), (conn, body, junk))| {
+        .prop_map(move |((m, p, q, id), (conn, body, junk))| {
             let method = methods[m];
             let path = paths[p];
             let query = queries[q];
+            let id = ids[id];
             let target = if query.is_empty() {
                 path.to_string()
             } else {
@@ -68,6 +75,9 @@ fn request_strategy() -> impl Strategy<Value = GenRequest> {
             if !body.is_empty() {
                 raw.extend_from_slice(format!("content-length: {}\r\n", body.len()).as_bytes());
             }
+            if !id.is_empty() {
+                raw.extend_from_slice(format!("X-Request-Id: {id}\r\n").as_bytes());
+            }
             raw.extend_from_slice(b"\r\n");
             raw.extend_from_slice(&body);
             GenRequest {
@@ -78,6 +88,7 @@ fn request_strategy() -> impl Strategy<Value = GenRequest> {
                     query: query.to_string(),
                     body,
                     keep_alive,
+                    client_id: sanitize_request_id(id),
                 },
             }
         })
