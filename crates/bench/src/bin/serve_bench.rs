@@ -19,22 +19,128 @@
 //! backend-time split from the tracing stages. `--smoke 1` shrinks the
 //! workload to CI scale before the remaining flags apply.
 //!
+//! `--cold-start 1` switches to the out-of-core benchmark instead: it
+//! synthesizes a sharded v5 layout (1M rows × dim 64 by default;
+//! `--smoke 1` shrinks it to 50k), serves it memory-mapped and owned,
+//! gates mapped time-to-first-query and `RssAnon` growth against the
+//! owned decode, verifies every answer bit-for-bit across the two
+//! stores, and merges the numbers into `BENCH_coldstart.json` — see
+//! [`mvag_bench::coldstart`].
+//!
 //! ```bash
 //! cargo run --release --bin serve_bench -- --clients 32 --queries 40
 //! cargo run --release --bin serve_bench -- --clients 1000 --backend evented
 //! cargo run --release --bin serve_bench -- --shards 4
 //! cargo run --release --bin serve_bench -- --index ivf --nprobe 4
 //! cargo run --release --bin serve_bench -- --obs-gate 1
+//! cargo run --release --bin serve_bench -- --cold-start 1 --smoke 1
 //! ```
 
 use mvag_bench::serve_bench::{run_to_file, ServeBenchConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+/// `--cold-start 1` mode: a separate flag grammar because the
+/// workload is disk-shaped, not client-shaped — it synthesizes a
+/// sharded v5 layout and races the mmap open against the owned one.
+fn cold_start_main(args: &[String]) -> ExitCode {
+    let mut config = mvag_bench::coldstart::ColdStartConfig::default();
+    let mut out = PathBuf::from("BENCH_coldstart.json");
+    let smoke = args
+        .windows(2)
+        .any(|w| w[0] == "--smoke" && matches!(w[1].as_str(), "1" | "true" | "on"));
+    if smoke {
+        config.n = 50_000;
+        config.shards = 8;
+        config.queries = 32;
+        config.topk = 5;
+        config.smoke = true;
+    }
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(value) = it.next() else {
+            eprintln!("{flag} needs a value");
+            return ExitCode::FAILURE;
+        };
+        let parsed = match flag.as_str() {
+            "--cold-start" | "--smoke" => true, // handled in the pre-scans
+            "--n" => value.parse().map(|v| config.n = v).is_ok(),
+            "--k" => value.parse().map(|v| config.k = v).is_ok(),
+            "--dim" => value.parse().map(|v| config.dim = v).is_ok(),
+            "--shards" => value.parse().map(|v| config.shards = v).is_ok(),
+            "--queries" => value.parse().map(|v| config.queries = v).is_ok(),
+            "--topk" => value.parse().map(|v| config.topk = v).is_ok(),
+            "--seed" => value.parse().map(|v| config.seed = v).is_ok(),
+            "--out" => {
+                out = PathBuf::from(value);
+                true
+            }
+            other => {
+                eprintln!("unknown cold-start flag {other}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if !parsed {
+            eprintln!("{flag}: cannot parse '{value}'");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!(
+        "serve_bench --cold-start: n={} dim={} shards={} queries={} ({})",
+        config.n,
+        config.dim,
+        config.shards,
+        config.queries,
+        if smoke { "smoke" } else { "full" }
+    );
+    match mvag_bench::coldstart::run_to_file(&config, &out) {
+        Ok(report) => {
+            println!("synthesis: {:.2}s", report.synth_secs);
+            println!(
+                "ttfq:      mapped {:.0} us vs owned {:.0} us ({:.1}x faster; gate mapped < owned)",
+                report.mapped_ttfq_us,
+                report.owned_ttfq_us,
+                report.owned_ttfq_us / report.mapped_ttfq_us.max(1.0)
+            );
+            println!(
+                "anon rss:  mapped +{} KB vs owned +{} KB (gate mapped <= 50% owned)",
+                report.mapped_anon_delta / 1024,
+                report.owned_anon_delta / 1024
+            );
+            println!(
+                "total rss: mapped +{} KB vs owned +{} KB (reported; file-backed pages are \
+                 reclaimable)",
+                report.mapped_rss_delta / 1024,
+                report.owned_rss_delta / 1024
+            );
+            println!(
+                "stores:    {} bytes mapped vs {} bytes heap-owned",
+                report.store_mapped_bytes, report.store_owned_bytes
+            );
+            println!(
+                "verified:  {} queries bit-identical across mapped/owned",
+                report.verified_queries
+            );
+            println!("report:    {}", out.display());
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("serve_bench --cold-start failed: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let mut config = ServeBenchConfig::default();
     let mut out = PathBuf::from("BENCH_serve.json");
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args
+        .windows(2)
+        .any(|w| w[0] == "--cold-start" && matches!(w[1].as_str(), "1" | "true" | "on"))
+    {
+        return cold_start_main(&args);
+    }
     // --smoke applies its defaults first so any explicit flag wins
     // regardless of argument order.
     let smoke = args

@@ -20,6 +20,7 @@
 #![allow(clippy::field_reassign_with_default)]
 
 pub mod cli;
+pub mod coldstart;
 pub mod experiments;
 pub mod kernel_bench;
 pub mod pipeline;

@@ -80,6 +80,54 @@ pub fn get_u32s(bytes: &mut Bytes, count: usize) -> Option<Vec<usize>> {
     Some((0..count).map(|_| bytes.get_u32() as usize).collect())
 }
 
+/// Alignment (bytes) of zero-copy sections in the v5 artifact layout.
+///
+/// 64 covers a cache line and every SIMD lane width we may ever emit,
+/// and any 64-aligned file offset is trivially 8-aligned, so an `f64`
+/// row can be borrowed straight out of a page-cache mapping.
+pub const SECTION_ALIGN: usize = 64;
+
+/// Smallest multiple of `align` that is `>= off`. `align` must be a
+/// power of two; `None` on overflow.
+pub fn align_up(off: usize, align: usize) -> Option<usize> {
+    debug_assert!(align.is_power_of_two());
+    off.checked_add(align - 1).map(|v| v & !(align - 1))
+}
+
+/// Pads `buf` with zero bytes until `base + buf.len()` is a multiple
+/// of [`SECTION_ALIGN`]. `base` is the absolute file offset at which
+/// `buf` will land (the fixed header length, for artifact bodies).
+pub fn pad_to_section_align(buf: &mut BytesMut, base: usize) {
+    let pos = base + buf.len();
+    let target = align_up(pos, SECTION_ALIGN).expect("alignment overflow");
+    for _ in pos..target {
+        buf.put_u8(0);
+    }
+}
+
+/// Appends `vals` as raw little-endian `f64`s (the zero-copy section
+/// encoding: matches in-memory layout on little-endian targets, so a
+/// mapped section can be borrowed as `&[f64]` without a byte swap).
+pub fn put_f64s_le(buf: &mut BytesMut, vals: &[f64]) {
+    for &v in vals {
+        buf.put_slice(&v.to_le_bytes());
+    }
+}
+
+/// Decodes a raw little-endian `f64` section into an owned vector;
+/// `None` unless `bytes.len() == count * 8` exactly.
+pub fn f64s_from_le(bytes: &[u8], count: usize) -> Option<Vec<f64>> {
+    if count.checked_mul(8) != Some(bytes.len()) {
+        return None;
+    }
+    Some(
+        bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))
+            .collect(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,6 +150,41 @@ mod tests {
             let mut prefix = full.slice(..len);
             assert!(get_str(&mut prefix).is_none(), "prefix {len} decoded");
         }
+    }
+
+    #[test]
+    fn align_up_properties() {
+        assert_eq!(align_up(0, 64), Some(0));
+        assert_eq!(align_up(1, 64), Some(64));
+        assert_eq!(align_up(64, 64), Some(64));
+        assert_eq!(align_up(65, 64), Some(128));
+        assert_eq!(align_up(usize::MAX, 64), None);
+    }
+
+    #[test]
+    fn padding_lands_sections_on_alignment() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"hello");
+        pad_to_section_align(&mut buf, 18);
+        assert_eq!((18 + buf.len()) % SECTION_ALIGN, 0);
+        let before = buf.len();
+        pad_to_section_align(&mut buf, 18);
+        assert_eq!(buf.len(), before, "already aligned: no-op");
+    }
+
+    #[test]
+    fn le_f64_roundtrip_and_framing() {
+        let vals = [1.5f64, -0.0, f64::MIN_POSITIVE, 1e300];
+        let mut buf = BytesMut::new();
+        put_f64s_le(&mut buf, &vals);
+        let raw = buf.freeze().to_vec();
+        let back = f64s_from_le(&raw, vals.len()).unwrap();
+        assert_eq!(
+            back.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            vals.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        assert!(f64s_from_le(&raw, vals.len() - 1).is_none());
+        assert!(f64s_from_le(&raw[..raw.len() - 1], vals.len()).is_none());
     }
 
     #[test]

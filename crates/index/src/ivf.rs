@@ -4,7 +4,7 @@
 use crate::{IndexError, Result};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use mvag_data::codec::{crc32, get_f64s, get_u32s, get_u64s};
-use mvag_sparse::{parallel, vecops, DenseMatrix};
+use mvag_sparse::{parallel, vecops, DenseMatrix, RowMatrix};
 use sgla_core::kmeans::{kmeans, KMeansParams};
 use std::path::Path;
 
@@ -313,7 +313,7 @@ impl IvfIndex {
     #[allow(clippy::too_many_arguments)]
     pub fn search(
         &self,
-        emb: &DenseMatrix,
+        emb: &dyn RowMatrix,
         norms: &[f64],
         qrow: &[f64],
         qnorm: f64,

@@ -30,15 +30,27 @@
 //! * **v3 (lineage)** — v2 plus the update-lineage header (`parent_seed`
 //!   of the root training run, `update_count` of incremental updates
 //!   applied since), with every length field a uniform `u64`.
-//!   [`Artifact::update`] produces v3 artifacts with the counter
-//!   bumped; v1/v2 files still decode, gaining a fresh lineage.
+//!   v1/v2 files still decode, gaining a fresh lineage.
+//! * **v4 (deltas, legacy)** — v3 plus the compaction counter and the
+//!   tombstone section (sorted global ids of deleted-but-unpurged
+//!   rows), one flat big-endian body.
+//! * **v5 (sectioned, current)** — the same information restructured
+//!   for out-of-core serving: the body carries a section table, each
+//!   section starts at a 64-byte-aligned file offset with its own
+//!   CRC-32, per-row embedding norms are precomputed into their own
+//!   section, and the norms/embedding sections are raw little-endian
+//!   `f64`s — so [`crate::store::EmbeddingStore`] can serve rows
+//!   zero-copy straight out of a memory map.
 
 use crate::{Result, ServeError};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use mvag_data::codec::{get_f64s, get_str, get_u32s, get_u64s, put_str};
+use mvag_data::codec::{
+    align_up, f64s_from_le, get_f64s, get_str, get_u32s, get_u64s, put_f64s_le, put_str,
+    SECTION_ALIGN,
+};
 use mvag_data::manifest::{ShardEntry, ShardManifest};
 use mvag_graph::{Mvag, MvagDelta};
-use mvag_sparse::{CsrMatrix, DenseMatrix};
+use mvag_sparse::{vecops, CsrMatrix, DenseMatrix};
 use sgla_core::clustering::{label_indicator_init, spectral_clustering_with, SpectralParams};
 use sgla_core::embedding::{embed, embed_warm, EmbedParams};
 use sgla_core::sgla::SglaParams;
@@ -49,10 +61,17 @@ use std::path::Path;
 
 /// `"SGLA"` in ASCII.
 const MAGIC: u32 = 0x5347_4C41;
-/// Current format: v4 adds the compaction counter and the tombstone
-/// section (sorted global ids of deleted-but-unpurged rows). Encoders
-/// always write this version.
-pub const FORMAT_VERSION: u16 = 4;
+/// Current format: v5 restructures the body into a section table of
+/// alignment-padded sections. The per-row embedding norms are
+/// precomputed at save time into their own section, and the norms and
+/// embedding sections are raw little-endian `f64`s starting at
+/// 64-byte-aligned file offsets — so a mapped file can lend out
+/// `&[f64]` rows without copying or byte-swapping. Encoders always
+/// write this version.
+pub const FORMAT_VERSION: u16 = 5;
+/// The flat (unaligned, big-endian) layout with the compaction counter
+/// and tombstone section; still decodable.
+pub const FORMAT_VERSION_V4: u16 = 4;
 /// The lineage layout (parent seed + update counter, uniform `u64`
 /// length fields) without tombstones; still decodable.
 pub const FORMAT_VERSION_V3: u16 = 3;
@@ -60,6 +79,84 @@ pub const FORMAT_VERSION_V3: u16 = 3;
 pub const FORMAT_VERSION_V2: u16 = 2;
 /// The legacy monolithic layout (no row range); still decodable.
 pub const FORMAT_VERSION_V1: u16 = 1;
+
+/// Fixed container header length: magic (4) + version (2) +
+/// body length (8) + body CRC-32 (4).
+pub(crate) const HEADER_LEN: usize = 18;
+
+/// v5 section ids, in file order.
+const SECTION_LAPLACIAN: u32 = 1;
+const SECTION_LABELS: u32 = 2;
+const SECTION_CENTROIDS: u32 = 3;
+const SECTION_NORMS: u32 = 4;
+const SECTION_EMBEDDING: u32 = 5;
+/// Number of sections in a v5 artifact.
+const SECTION_COUNT: usize = 5;
+/// Bytes per section-table entry: id (4) + reserved (4) + offset (8) +
+/// length (8) + CRC-32 (4) + reserved (4).
+const SECTION_ENTRY_LEN: usize = 32;
+
+/// One entry of the v5 section table: where a section's payload lives
+/// in the file, its exact length, and a standalone CRC-32 — so a
+/// mapped reader can verify small sections eagerly without faulting
+/// the pages of the big ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArtifactSection {
+    /// Section id (1 = laplacian, 2 = labels, 3 = centroids,
+    /// 4 = norms, 5 = embedding).
+    pub id: u32,
+    /// Absolute file offset of the payload; always a multiple of
+    /// [`mvag_data::codec::SECTION_ALIGN`].
+    pub offset: usize,
+    /// Payload length in bytes (inter-section padding excluded).
+    pub len: usize,
+    /// CRC-32 of the payload bytes alone.
+    pub crc32: u32,
+}
+
+impl ArtifactSection {
+    /// Human-readable section name.
+    pub fn name(&self) -> &'static str {
+        match self.id {
+            SECTION_LAPLACIAN => "laplacian",
+            SECTION_LABELS => "labels",
+            SECTION_CENTROIDS => "centroids",
+            SECTION_NORMS => "norms",
+            SECTION_EMBEDDING => "embedding",
+            _ => "unknown",
+        }
+    }
+}
+
+/// Codec-level facts about an artifact file, read without decoding
+/// the payload (see [`Artifact::read_file_info`]).
+#[derive(Debug, Clone)]
+pub struct ArtifactFileInfo {
+    /// On-disk format version (1–5).
+    pub version: u16,
+    /// Total file size in bytes.
+    pub file_bytes: u64,
+    /// The v5 section table; `None` for pre-v5 files, which have no
+    /// sections (one flat packed body).
+    pub sections: Option<Vec<ArtifactSection>>,
+}
+
+/// The parsed v5 head: everything before the first aligned section
+/// (meta, weights, tombstones, section table). Shared by the owned
+/// decoder and the mapped open path in [`crate::store`].
+#[derive(Debug, Clone)]
+pub(crate) struct V5Head {
+    pub meta: ArtifactMeta,
+    pub weights: Vec<f64>,
+    pub tombstones: Vec<usize>,
+    pub sections: [ArtifactSection; SECTION_COUNT],
+    /// CRC-32 the file claims for the head bytes (`[HEADER_LEN`,
+    /// `head_end - 4)`); the owned path relies on the whole-body CRC
+    /// instead, the mapped path verifies this one.
+    pub head_crc: u32,
+    /// Absolute offset one past the head (including the head CRC).
+    pub head_end: usize,
+}
 
 /// Descriptive header of a trained artifact.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -490,9 +587,13 @@ impl Artifact {
     }
 
     /// Encodes the artifact into the versioned, checksummed binary
-    /// format (always the current v4 layout: lineage header,
-    /// compaction counter, tombstone section, uniform `u64` length
-    /// fields).
+    /// format (always the current v5 layout: lineage header, tombstone
+    /// section, then a section table of alignment-padded sections —
+    /// laplacian, labels, centroids, per-row norms, embedding). The
+    /// norms and embedding sections are raw little-endian `f64`s at
+    /// 64-byte-aligned file offsets so a mapped reader can borrow
+    /// `&[f64]` rows without copying; the norms are computed here, at
+    /// save time, so loads skip the `O(n·dim)` norm pass entirely.
     ///
     /// # Errors
     /// [`ServeError::InvalidArgument`] if a label cannot be
@@ -501,6 +602,119 @@ impl Artifact {
     /// on hand-built inconsistent state that would otherwise be
     /// silently truncated).
     pub fn encode(&self) -> Result<Bytes> {
+        // Head: everything before the first aligned section.
+        let mut head = BytesMut::with_capacity(1 << 12);
+        put_str(&mut head, &self.meta.dataset);
+        head.put_u64(self.meta.n as u64);
+        head.put_u64(self.meta.k as u64);
+        head.put_u64(self.meta.dim as u64);
+        head.put_u64(self.meta.seed);
+        head.put_u64(self.meta.row_start as u64);
+        head.put_u64(self.meta.row_end as u64);
+        head.put_u64(self.meta.parent_seed);
+        head.put_u64(self.meta.update_count);
+        head.put_u64(self.meta.compaction_count);
+        head.put_u64(self.tombstones.len() as u64);
+        for &t in &self.tombstones {
+            head.put_u64(t as u64);
+        }
+        head.put_u64(self.weights.len() as u64);
+        for &w in &self.weights {
+            head.put_f64(w);
+        }
+        head.put_u64(SECTION_COUNT as u64);
+
+        // Section payloads (padding is added during assembly).
+        let mut lap = BytesMut::with_capacity(1 << 12);
+        put_csr(&mut lap, &self.laplacian);
+        let mut labels = BytesMut::with_capacity(8 + self.labels.len() * 4);
+        labels.put_u64(self.labels.len() as u64);
+        for (i, &l) in self.labels.iter().enumerate() {
+            let wire = u32::try_from(l).map_err(|_| {
+                ServeError::InvalidArgument(format!(
+                    "label {l} at row {i} exceeds u32::MAX and cannot be encoded"
+                ))
+            })?;
+            labels.put_u32(wire);
+        }
+        let mut centroids = BytesMut::with_capacity(16 + self.centroids.data().len() * 8);
+        put_dense(&mut centroids, &self.centroids);
+        let rows = self.embedding.nrows();
+        let mut norms = BytesMut::with_capacity(rows * 8);
+        let norm_vals: Vec<f64> = (0..rows)
+            .map(|r| vecops::norm2(self.embedding.row(r)))
+            .collect();
+        put_f64s_le(&mut norms, &norm_vals);
+        let mut embedding = BytesMut::with_capacity(self.embedding.data().len() * 8);
+        put_f64s_le(&mut embedding, self.embedding.data());
+        let payloads = [
+            lap.freeze(),
+            labels.freeze(),
+            centroids.freeze(),
+            norms.freeze(),
+            embedding.freeze(),
+        ];
+
+        // Absolute section offsets: the head (table and head CRC
+        // included), then each payload at the next 64-byte boundary.
+        let head_len = head.len() + SECTION_COUNT * SECTION_ENTRY_LEN + 4;
+        let fail_overflow = || ServeError::InvalidArgument("artifact too large to encode".into());
+        let mut offset =
+            align_up(HEADER_LEN + head_len, SECTION_ALIGN).ok_or_else(fail_overflow)?;
+        let mut sections = Vec::with_capacity(SECTION_COUNT);
+        for (i, payload) in payloads.iter().enumerate() {
+            sections.push(ArtifactSection {
+                id: i as u32 + 1,
+                offset,
+                len: payload.len(),
+                crc32: crc32(payload.as_ref()),
+            });
+            let end = offset
+                .checked_add(payload.len())
+                .ok_or_else(fail_overflow)?;
+            offset = if i + 1 < SECTION_COUNT {
+                align_up(end, SECTION_ALIGN).ok_or_else(fail_overflow)?
+            } else {
+                end
+            };
+        }
+        for s in &sections {
+            head.put_u32(s.id);
+            head.put_u32(0);
+            head.put_u64(s.offset as u64);
+            head.put_u64(s.len as u64);
+            head.put_u32(s.crc32);
+            head.put_u32(0);
+        }
+        head.put_u32(crc32(head.as_ref()));
+        debug_assert_eq!(head.len(), head_len);
+
+        let total = offset; // one past the embedding section
+        let mut body = BytesMut::with_capacity(total - HEADER_LEN);
+        body.put_slice(head.as_ref());
+        for (s, payload) in sections.iter().zip(&payloads) {
+            while HEADER_LEN + body.len() < s.offset {
+                body.put_u8(0);
+            }
+            body.put_slice(payload.as_ref());
+        }
+        let body = body.freeze();
+
+        let mut out = BytesMut::with_capacity(body.len() + HEADER_LEN);
+        out.put_u32(MAGIC);
+        out.put_u16(FORMAT_VERSION);
+        out.put_u64(body.len() as u64);
+        out.put_u32(crc32(body.as_ref()));
+        out.put_slice(body.as_ref());
+        Ok(out.freeze())
+    }
+
+    /// Encodes the legacy v4 layout (flat big-endian body, no section
+    /// table). Production code always writes v5; this writer exists so
+    /// tests can manufacture real pre-v5 files for the compatibility
+    /// and migration batteries.
+    #[doc(hidden)]
+    pub fn encode_v4(&self) -> Result<Bytes> {
         let mut body = BytesMut::with_capacity(1 << 16);
         put_str(&mut body, &self.meta.dataset);
         body.put_u64(self.meta.n as u64);
@@ -534,16 +748,16 @@ impl Artifact {
         put_dense(&mut body, &self.embedding);
         let body = body.freeze();
 
-        let mut out = BytesMut::with_capacity(body.len() + 18);
+        let mut out = BytesMut::with_capacity(body.len() + HEADER_LEN);
         out.put_u32(MAGIC);
-        out.put_u16(FORMAT_VERSION);
+        out.put_u16(FORMAT_VERSION_V4);
         out.put_u64(body.len() as u64);
         out.put_u32(crc32(body.as_ref()));
         out.put_slice(body.as_ref());
         Ok(out.freeze())
     }
 
-    /// Decodes an artifact (v1–v4), verifying magic, version, length,
+    /// Decodes an artifact (v1–v5), verifying magic, version, length,
     /// and checksum before touching the payload. Older versions are
     /// normalized in memory: a v1 artifact becomes a full-range
     /// artifact, v1/v2 artifacts get a fresh lineage header
@@ -554,9 +768,22 @@ impl Artifact {
     /// [`ServeError::Corrupt`] on any structural problem — including
     /// length fields that do not fit the remaining body (a corrupt
     /// count errors instead of mis-framing the sections after it).
-    pub fn decode(mut bytes: Bytes) -> Result<Artifact> {
+    pub fn decode(bytes: Bytes) -> Result<Artifact> {
+        Ok(Self::decode_with_norms(bytes)?.0)
+    }
+
+    /// [`Artifact::decode`], additionally returning the persisted
+    /// per-row embedding norms when the file carries them (v5 —
+    /// `Some`, one Euclidean norm per row in range) so engine assembly
+    /// can skip its `O(n·dim)` norm pass. Pre-v5 files return `None`
+    /// and the caller computes.
+    ///
+    /// # Errors
+    /// See [`Artifact::decode`].
+    pub fn decode_with_norms(mut bytes: Bytes) -> Result<(Artifact, Option<Vec<f64>>)> {
+        let full = bytes.clone();
         let fail = |msg: &str| ServeError::Corrupt(msg.to_string());
-        if bytes.remaining() < 18 {
+        if bytes.remaining() < HEADER_LEN {
             return Err(fail("shorter than the fixed header"));
         }
         if bytes.get_u32() != MAGIC {
@@ -579,6 +806,14 @@ impl Artifact {
         }
         if crc32(bytes.as_ref()) != expect_crc {
             return Err(fail("checksum mismatch (artifact bytes were altered)"));
+        }
+        if version == FORMAT_VERSION {
+            // v5: sectioned body. The whole-body CRC above already
+            // vouches for every byte (head, padding, payloads), so the
+            // owned path skips the per-section CRCs — they exist for
+            // the mapped open path, which never reads most of the file.
+            let (artifact, norms) = Self::decode_v5(&full)?;
+            return Ok((artifact, Some(norms)));
         }
 
         let dataset = get_str(&mut bytes).ok_or_else(|| fail("truncated dataset name"))?;
@@ -610,7 +845,7 @@ impl Artifact {
             (seed, 0)
         };
         // v4 adds the compaction counter and the tombstone id list.
-        let (compaction_count, tombstones) = if version >= FORMAT_VERSION {
+        let (compaction_count, tombstones) = if version >= FORMAT_VERSION_V4 {
             if bytes.remaining() < 16 {
                 return Err(fail("truncated compaction header"));
             }
@@ -688,7 +923,65 @@ impl Artifact {
             tombstones,
         };
         artifact.validate()?;
-        Ok(artifact)
+        Ok((artifact, None))
+    }
+
+    /// Decodes a v5 sectioned body from the full file bytes (header
+    /// included; header fields and the whole-body CRC already
+    /// verified). Returns the artifact plus its persisted norms.
+    fn decode_v5(raw: &Bytes) -> Result<(Artifact, Vec<f64>)> {
+        let fail = |msg: &str| ServeError::Corrupt(msg.to_string());
+        let head = parse_v5_head(raw.as_ref())?;
+        let rows = head.meta.rows();
+        let section = |id: u32| head.sections[(id - 1) as usize];
+        let slice = |s: ArtifactSection| raw.slice(s.offset..s.offset + s.len);
+
+        let mut lap = slice(section(SECTION_LAPLACIAN));
+        let laplacian = get_csr(&mut lap)?;
+        if lap.remaining() != 0 {
+            return Err(fail("trailing bytes in the laplacian section"));
+        }
+
+        let mut lab = slice(section(SECTION_LABELS));
+        if lab.remaining() < 8 {
+            return Err(fail("truncated label count"));
+        }
+        let num_labels = lab.get_u64() as usize;
+        let labels = get_u32s(&mut lab, num_labels).ok_or_else(|| fail("truncated labels"))?;
+        if lab.remaining() != 0 {
+            return Err(fail("trailing bytes in the label section"));
+        }
+
+        let mut cen = slice(section(SECTION_CENTROIDS));
+        let centroids = get_dense(&mut cen)?;
+        if cen.remaining() != 0 {
+            return Err(fail("trailing bytes in the centroid section"));
+        }
+
+        let norms_section = section(SECTION_NORMS);
+        let norms = f64s_from_le(slice(norms_section).as_ref(), rows)
+            .ok_or_else(|| fail("norms section length does not match the row count"))?;
+
+        let emb_section = section(SECTION_EMBEDDING);
+        let count = rows
+            .checked_mul(head.meta.dim)
+            .ok_or_else(|| fail("embedding shape overflow"))?;
+        let data = f64s_from_le(slice(emb_section).as_ref(), count)
+            .ok_or_else(|| fail("embedding section length does not match rows × dim"))?;
+        let embedding = DenseMatrix::from_vec(rows, head.meta.dim, data)
+            .map_err(|e| fail(&format!("embedding: {e}")))?;
+
+        let artifact = Artifact {
+            meta: head.meta,
+            weights: head.weights,
+            laplacian,
+            labels,
+            centroids,
+            embedding,
+            tombstones: head.tombstones,
+        };
+        artifact.validate()?;
+        Ok((artifact, norms))
     }
 
     /// Cross-field consistency checks (shapes line up with the meta).
@@ -790,6 +1083,47 @@ impl Artifact {
     pub fn load(path: &Path) -> Result<Artifact> {
         let data = fs::read(path)?;
         Artifact::decode(Bytes::from(data))
+    }
+
+    /// [`Artifact::load`] plus the persisted per-row norms when the
+    /// file is v5 (see [`Artifact::decode_with_norms`]).
+    ///
+    /// # Errors
+    /// I/O failures and [`ServeError::Corrupt`].
+    pub fn load_with_norms(path: &Path) -> Result<(Artifact, Option<Vec<f64>>)> {
+        let data = fs::read(path)?;
+        Artifact::decode_with_norms(Bytes::from(data))
+    }
+
+    /// Reads codec-level facts about an artifact file without decoding
+    /// the payload: format version, file size, and — for v5 — the
+    /// section table with per-section byte sizes. Pre-v5 files have no
+    /// section table (`sections = None`).
+    ///
+    /// # Errors
+    /// I/O failures; [`ServeError::Corrupt`] for non-SGLA files or a
+    /// malformed v5 head.
+    pub fn read_file_info(path: &Path) -> Result<ArtifactFileInfo> {
+        let raw = fs::read(path)?;
+        let fail = |msg: &str| ServeError::Corrupt(msg.to_string());
+        if raw.len() < HEADER_LEN {
+            return Err(fail("shorter than the fixed header"));
+        }
+        let magic = u32::from_be_bytes(raw[0..4].try_into().expect("4 bytes"));
+        if magic != MAGIC {
+            return Err(fail("bad magic (not an SGLA artifact)"));
+        }
+        let version = u16::from_be_bytes(raw[4..6].try_into().expect("2 bytes"));
+        let sections = if version == FORMAT_VERSION {
+            Some(parse_v5_head(&raw)?.sections.to_vec())
+        } else {
+            None
+        };
+        Ok(ArtifactFileInfo {
+            version,
+            file_bytes: raw.len() as u64,
+            sections,
+        })
     }
 
     /// Slices the global row range `[row_start, row_end)` out of a
@@ -1166,6 +1500,252 @@ fn get_dense(bytes: &mut Bytes) -> Result<DenseMatrix> {
         .ok_or_else(|| fail("shape overflow"))?;
     let data = get_f64s(bytes, count).ok_or_else(|| fail("truncated data"))?;
     DenseMatrix::from_vec(nrows, ncols, data).map_err(|e| fail(&format!("bad shape: {e}")))
+}
+
+/// Bounds-checked big-endian cursor over a *borrowed* byte slice. The
+/// v5 head parser runs over memory-mapped files, where copying the
+/// buffer into an owned `Bytes` would fault every page the map exists
+/// to avoid — so the head is parsed in place.
+struct SliceCursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SliceCursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        SliceCursor { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.remaining() < n {
+            return None;
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Some(s)
+    }
+
+    fn u16(&mut self) -> Option<u16> {
+        self.take(2)
+            .map(|s| u16::from_be_bytes(s.try_into().expect("2 bytes")))
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|s| u32::from_be_bytes(s.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|s| u64::from_be_bytes(s.try_into().expect("8 bytes")))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        self.u64().map(f64::from_bits)
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let len = self.u32()? as usize;
+        let s = self.take(len)?;
+        String::from_utf8(s.to_vec()).ok()
+    }
+
+    /// `count` u64s as usizes; `None` if fewer bytes remain
+    /// (overflow-safe for hostile counts, like `codec::get_u64s`).
+    fn u64s(&mut self, count: usize) -> Option<Vec<usize>> {
+        if count
+            .checked_mul(8)
+            .is_none_or(|need| self.remaining() < need)
+        {
+            return None;
+        }
+        Some(
+            (0..count)
+                .map(|_| self.u64().expect("checked") as usize)
+                .collect(),
+        )
+    }
+
+    fn f64s(&mut self, count: usize) -> Option<Vec<f64>> {
+        if count
+            .checked_mul(8)
+            .is_none_or(|need| self.remaining() < need)
+        {
+            return None;
+        }
+        Some((0..count).map(|_| self.f64().expect("checked")).collect())
+    }
+}
+
+/// Parses the head of a v5 artifact from the full file bytes: the
+/// fixed container header, meta, tombstones, weights, and the section
+/// table — then structurally validates the table (exact in-order ids,
+/// 64-byte-aligned offsets, minimal padding, no overlap, payloads end
+/// exactly at end of file).
+///
+/// The head CRC is *returned*, not checked: the owned decoder's
+/// whole-body CRC subsumes it, and the mapped open path verifies it
+/// explicitly via [`V5Head::verify_head_crc`].
+pub(crate) fn parse_v5_head(raw: &[u8]) -> Result<V5Head> {
+    let fail = |msg: String| ServeError::Corrupt(msg);
+    let fails = |msg: &str| ServeError::Corrupt(msg.to_string());
+    let mut cur = SliceCursor::new(raw);
+    if cur.remaining() < HEADER_LEN {
+        return Err(fails("shorter than the fixed header"));
+    }
+    if cur.u32() != Some(MAGIC) {
+        return Err(fails("bad magic (not an SGLA artifact)"));
+    }
+    let version = cur.u16().expect("header length checked");
+    if version != FORMAT_VERSION {
+        return Err(fail(format!(
+            "not a v{FORMAT_VERSION} artifact (file is v{version})"
+        )));
+    }
+    let body_len = cur.u64().expect("header length checked");
+    let _body_crc = cur.u32().expect("header length checked");
+    if cur.remaining() as u64 != body_len {
+        return Err(fail(format!(
+            "body length mismatch: header says {body_len}, got {}",
+            cur.remaining()
+        )));
+    }
+
+    let dataset = cur.str().ok_or_else(|| fails("truncated dataset name"))?;
+    let mut meta_words = [0u64; 9];
+    for w in &mut meta_words {
+        *w = cur.u64().ok_or_else(|| fails("truncated meta"))?;
+    }
+    let [n, k, dim, seed, row_start, row_end, parent_seed, update_count, compaction_count] =
+        meta_words;
+    let tomb_count = cur
+        .u64()
+        .ok_or_else(|| fails("truncated compaction header"))? as usize;
+    let tombstones = cur
+        .u64s(tomb_count)
+        .ok_or_else(|| fails("truncated tombstone ids"))?;
+    let num_weights = cur.u64().ok_or_else(|| fails("truncated weight count"))? as usize;
+    let weights = cur.f64s(num_weights).ok_or_else(|| {
+        fail(format!(
+            "weight count {num_weights} exceeds the remaining body"
+        ))
+    })?;
+    let section_count = cur.u64().ok_or_else(|| fails("truncated section count"))? as usize;
+    if section_count != SECTION_COUNT {
+        return Err(fail(format!(
+            "section count {section_count} (v{FORMAT_VERSION} has exactly {SECTION_COUNT})"
+        )));
+    }
+    let mut sections = [ArtifactSection {
+        id: 0,
+        offset: 0,
+        len: 0,
+        crc32: 0,
+    }; SECTION_COUNT];
+    for (i, slot) in sections.iter_mut().enumerate() {
+        if cur.remaining() < SECTION_ENTRY_LEN {
+            return Err(fails("truncated section table"));
+        }
+        let id = cur.u32().expect("entry length checked");
+        let _reserved = cur.u32().expect("entry length checked");
+        let offset = cur.u64().expect("entry length checked") as usize;
+        let len = cur.u64().expect("entry length checked") as usize;
+        let crc = cur.u32().expect("entry length checked");
+        let _reserved = cur.u32().expect("entry length checked");
+        if id as usize != i + 1 {
+            return Err(fail(format!(
+                "section table out of order (entry {i} has id {id})"
+            )));
+        }
+        *slot = ArtifactSection {
+            id,
+            offset,
+            len,
+            crc32: crc,
+        };
+    }
+    let head_crc = cur.u32().ok_or_else(|| fails("truncated head checksum"))?;
+    let head_end = cur.pos;
+
+    // Table geometry: each section starts at the first 64-byte
+    // boundary after its predecessor (so padding is bounded and no
+    // bytes can hide between sections) and the last ends exactly at
+    // end of file.
+    let mut prev_end = head_end;
+    for s in &sections {
+        if s.offset % SECTION_ALIGN != 0 {
+            return Err(fail(format!(
+                "{} section offset {} is not {SECTION_ALIGN}-byte aligned",
+                s.name(),
+                s.offset
+            )));
+        }
+        let expected =
+            align_up(prev_end, SECTION_ALIGN).ok_or_else(|| fails("section offset overflow"))?;
+        if s.offset != expected {
+            return Err(fail(format!(
+                "{} section at offset {} (expected {expected})",
+                s.name(),
+                s.offset
+            )));
+        }
+        prev_end = s
+            .offset
+            .checked_add(s.len)
+            .ok_or_else(|| fails("section length overflow"))?;
+        if prev_end > raw.len() {
+            return Err(fail(format!(
+                "{} section extends past end of file",
+                s.name()
+            )));
+        }
+    }
+    if prev_end != raw.len() {
+        return Err(fails("trailing bytes after the last section"));
+    }
+
+    Ok(V5Head {
+        meta: ArtifactMeta {
+            dataset,
+            n: n as usize,
+            k: k as usize,
+            dim: dim as usize,
+            seed,
+            row_start: row_start as usize,
+            row_end: row_end as usize,
+            parent_seed,
+            update_count,
+            compaction_count,
+        },
+        weights,
+        tombstones,
+        sections,
+        head_crc,
+        head_end,
+    })
+}
+
+impl V5Head {
+    /// Verifies the head CRC against the file bytes it was parsed
+    /// from. The mapped open path calls this (plus the per-section
+    /// CRCs of the sections it actually decodes) instead of the
+    /// whole-body CRC, which would fault every page of the file.
+    ///
+    /// # Errors
+    /// [`ServeError::Corrupt`] on mismatch.
+    pub(crate) fn verify_head_crc(&self, raw: &[u8]) -> Result<()> {
+        let got = crc32(&raw[HEADER_LEN..self.head_end - 4]);
+        if got != self.head_crc {
+            return Err(ServeError::Corrupt(
+                "head checksum mismatch (artifact head bytes were altered)".into(),
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -1602,11 +2182,10 @@ mod tests {
     fn out_of_range_label_rejected_on_decode() {
         let a = small_artifact();
         let raw = a.encode().unwrap().to_vec();
-        // Locate the label section: it sits right before the two dense
-        // matrices (centroids k×dim, embedding n×dim) at the tail.
-        let dense_bytes = |rows: usize, cols: usize| 16 + rows * cols * 8;
-        let tail = dense_bytes(a.meta.k, a.meta.dim) + dense_bytes(a.meta.n, a.meta.dim);
-        let first_label_at = raw.len() - tail - a.meta.n * 4;
+        // Locate label 0 through the v5 section table (the label
+        // section payload is a u64 count, then the u32 labels).
+        let head = parse_v5_head(&raw).unwrap();
+        let first_label_at = head.sections[1].offset + 8;
         let mut bad = raw.clone();
         // Overwrite label 0 with k (out of range) and re-stamp the CRC
         // so only the label check can reject it.
@@ -1635,6 +2214,89 @@ mod tests {
             assert!(matches!(err, ServeError::Corrupt(_)), "unexpected {err}");
             assert!(err.to_string().contains("weight count"), "{err}");
         }
+    }
+
+    /// v4 files (the flat pre-section layout) produced by the retained
+    /// legacy writer still decode bit-exactly, tombstones included.
+    #[test]
+    fn v4_artifact_still_decodes_bit_exactly() {
+        let mut a = small_artifact();
+        a.tombstones = vec![2, 9, 44];
+        a.meta.compaction_count = 3;
+        a.meta.update_count = 7;
+        let encoded = a.encode_v4().unwrap();
+        assert_eq!(encoded.as_ref()[4..6], FORMAT_VERSION_V4.to_be_bytes());
+        let (back, norms) = Artifact::decode_with_norms(encoded).unwrap();
+        assert_eq!(a, back);
+        assert!(norms.is_none(), "v4 files carry no norms section");
+        let shard = a.shard(5, 30).unwrap();
+        assert_eq!(shard, Artifact::decode(shard.encode_v4().unwrap()).unwrap());
+        // Truncations of the v4 stream still fail cleanly.
+        let raw = a.encode_v4().unwrap().to_vec();
+        for len in (0..raw.len()).step_by(131).chain(0..24) {
+            assert!(
+                Artifact::decode(Bytes::from(raw[..len].to_vec())).is_err(),
+                "v4 prefix of {len} decoded"
+            );
+        }
+    }
+
+    /// The v5 norms section holds exactly the per-row Euclidean norms
+    /// the engine would otherwise compute at load time.
+    #[test]
+    fn v5_persisted_norms_match_recomputation() {
+        let mut a = small_artifact();
+        a.tombstones = vec![7, 30];
+        let (back, norms) = Artifact::decode_with_norms(a.encode().unwrap()).unwrap();
+        assert_eq!(a, back);
+        let norms = norms.expect("v5 persists norms");
+        assert_eq!(norms.len(), a.meta.rows());
+        for (r, &got) in norms.iter().enumerate() {
+            let want = mvag_sparse::vecops::norm2(a.embedding.row(r));
+            assert_eq!(got.to_bits(), want.to_bits(), "row {r}");
+        }
+    }
+
+    /// The v5 section table is the load-bearing structure of the
+    /// format: every offset is 64-byte aligned, sections are in order
+    /// with minimal padding, and the layout is rejected wholesale when
+    /// an offset is bent out of alignment.
+    #[test]
+    fn v5_section_table_is_aligned_and_rejects_misalignment() {
+        let a = small_artifact();
+        let raw = a.encode().unwrap().to_vec();
+        let head = parse_v5_head(&raw).unwrap();
+        let mut prev_end = head.head_end;
+        for s in &head.sections {
+            assert_eq!(s.offset % 64, 0, "{} section misaligned", s.name());
+            assert!(s.offset >= prev_end && s.offset - prev_end < 64);
+            assert_eq!(crc32(&raw[s.offset..s.offset + s.len]), s.crc32);
+            prev_end = s.offset + s.len;
+        }
+        assert_eq!(prev_end, raw.len());
+        head.verify_head_crc(&raw).unwrap();
+        // Bend the embedding section's offset off alignment (+8) in
+        // the table and re-stamp the body CRC: the geometry check must
+        // reject it before any payload is touched.
+        let table_at = head.head_end - 4 - 5 * 32;
+        let emb_entry = table_at + 4 * 32;
+        let mut bad = raw.clone();
+        let off = u64::from_be_bytes(bad[emb_entry + 8..emb_entry + 16].try_into().unwrap());
+        bad[emb_entry + 8..emb_entry + 16].copy_from_slice(&(off + 8).to_be_bytes());
+        let crc = crc32(&bad[18..]);
+        bad[14..18].copy_from_slice(&crc.to_be_bytes());
+        let err = Artifact::decode(Bytes::from(bad)).unwrap_err();
+        assert!(matches!(err, ServeError::Corrupt(_)), "unexpected {err}");
+        // A flipped byte in inter-section padding fails the owned
+        // path's whole-body CRC just like a payload flip does.
+        let pad_at = head.sections[0].offset - 1;
+        assert_eq!(raw[pad_at], 0, "expected padding before section 1");
+        let mut bad = raw.clone();
+        bad[pad_at] ^= 0x40;
+        assert!(matches!(
+            Artifact::decode(Bytes::from(bad)).unwrap_err(),
+            ServeError::Corrupt(_)
+        ));
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use crate::artifact::ArtifactMeta;
 use crate::cost::QueryCost;
 use crate::engine::{ApproxQuery, ClusterInfo, Neighbor, QueryEngine};
+use crate::store::StoreMemory;
 use crate::Result;
 
 /// Point-in-time counters of a backend's approximate-index machinery:
@@ -100,6 +101,14 @@ pub trait QueryBackend: Send + Sync {
         0
     }
 
+    /// Memory accounting of the backend's embedding stores: heap bytes
+    /// pinned vs mapped (page-cache reclaimable) bytes, the store kind
+    /// per shard slot, and how the residency budget is enforced.
+    /// Reported by `/stats` and the `sgla_store_*` gauges.
+    fn store_memory(&self) -> StoreMemory {
+        StoreMemory::default()
+    }
+
     /// [`Self::cluster_of`] plus a cost profile of the lookup. The
     /// answer is exactly what `cluster_of` returns — cost accounting
     /// must never perturb results. The default wraps the plain call
@@ -181,6 +190,15 @@ impl QueryBackend for QueryEngine {
 
     fn tombstone_count(&self) -> usize {
         self.artifact().tombstone_count()
+    }
+
+    fn store_memory(&self) -> StoreMemory {
+        StoreMemory {
+            owned_bytes: self.store().owned_bytes(),
+            mapped_bytes: self.store().mapped_bytes(),
+            stores: vec![self.store().kind().to_string()],
+            resident_hint: "none".to_string(),
+        }
     }
 
     fn cluster_of_costed(&self, node: usize) -> (Result<ClusterInfo>, QueryCost) {

@@ -36,6 +36,7 @@
 //! ```
 
 use mvag_graph::generators::{random_append_delta, AppendConfig};
+use sgla_serve::store::MmapMode;
 use sgla_serve::{
     Artifact, BackendLoader, EngineConfig, IvfConfig, IvfIndex, QueryBackend, QueryEngine,
     RouterConfig, Server, ServerConfig, ShardRouter, TrainConfig,
@@ -82,6 +83,7 @@ const USAGE: &str = "usage:
                     [--backend threaded|evented] [--workers N]
                     [--max-conns N] [--idle-timeout SECS]
                     [--cache N] [--batch N] [--max-resident N]
+                    [--mmap auto|on|off]
                     [--index ivf] [--nlist N] [--trace on]
                     [--auto-compact F] [--slow-query-us N]
                     [--slo-p99-us N] [--slo-error-rate F]
@@ -103,6 +105,12 @@ const USAGE: &str = "usage:
   --idle-timeout reaps silent keep-alive connections.
   serve --auto-compact F compacts the artifact at (re)load whenever
   the tombstoned fraction reaches F (e.g. 0.2); 0 disables.
+  serve --mmap controls out-of-core serving of v5 artifacts: auto
+  (default) memory-maps v5 files where supported and falls back to an
+  owned load otherwise; on requires mapping; off always loads owned.
+  Mapped shards turn --max-resident into a page-cache hint
+  (madvise) instead of an eviction. Pre-v5 artifacts always load
+  owned; `sgla-serve compact` rewrites them as v5.
   serve --slow-query-us N captures requests at least N µs long into
   GET /debug/slow_queries (default 10000, 0 = off; live-tunable via
   PUT /debug/slow_threshold). --slo-p99-us / --slo-error-rate set the
@@ -343,8 +351,13 @@ fn info(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
     let artifact = Artifact::load(path).map_err(|e| e.to_string())?;
+    let file_info = Artifact::read_file_info(path).map_err(|e| e.to_string())?;
     let m = &artifact.meta;
     println!("artifact:  {}", path.display());
+    println!(
+        "format:    v{} ({} bytes)",
+        file_info.version, file_info.file_bytes
+    );
     println!("dataset:   {}", m.dataset);
     println!("n:         {}", m.n);
     println!("k:         {}", m.k);
@@ -357,6 +370,21 @@ fn info(args: &[String]) -> Result<(), String> {
     );
     println!("weights:   {:?}", artifact.weights);
     println!("laplacian: {} nnz", artifact.laplacian.nnz());
+    match &file_info.sections {
+        Some(sections) => {
+            println!("sections:");
+            for s in sections {
+                println!(
+                    "  {:<10} offset {:>10}  {:>12} bytes  crc32 {:08x}",
+                    s.name(),
+                    s.offset,
+                    s.len,
+                    s.crc32
+                );
+            }
+        }
+        None => println!("sections:  none (packed pre-v5 body; compact to rewrite as v5)"),
+    }
     let sidecar = Artifact::index_sidecar_path(path);
     if sidecar.is_file() {
         let index = IvfIndex::load(&sidecar).map_err(|e| e.to_string())?;
@@ -377,6 +405,7 @@ fn load_backend(
     path: &Path,
     engine_config: &EngineConfig,
     max_resident: usize,
+    mmap: MmapMode,
     quiet: bool,
 ) -> Result<Arc<dyn QueryBackend>, sgla_serve::ServeError> {
     if is_sharded_path(path) {
@@ -386,6 +415,7 @@ fn load_backend(
             cache_capacity: engine_config.cache_capacity,
             engine: engine_config.clone(),
             max_resident,
+            mmap,
         };
         let router = ShardRouter::open(path, router_config)?;
         if !quiet {
@@ -405,7 +435,66 @@ fn load_backend(
         }
         Ok(Arc::new(router))
     } else {
-        let artifact = Artifact::load(path)?;
+        let sidecar = Artifact::index_sidecar_path(path);
+        let sidecar_index = if sidecar.is_file() {
+            Some(
+                IvfIndex::load(&sidecar)
+                    .map_err(|e| sgla_serve::ServeError::Corrupt(e.to_string()))?,
+            )
+        } else {
+            None
+        };
+        if !quiet {
+            if let Some(index) = &sidecar_index {
+                println!(
+                    "loaded index {} (ivf, nlist={})",
+                    sidecar.display(),
+                    index.nlist()
+                );
+            }
+        }
+        // Mapped open first under auto/on: the engine borrows rows
+        // from the page cache instead of decoding the whole file.
+        // Training an index needs the owned path; under auto that and
+        // any pre-v5 file silently fall back below.
+        if mmap != MmapMode::Off {
+            let attempt = sgla_serve::store::open_mapped(path).and_then(|mapped| {
+                // Leave `index` in the config when no sidecar exists:
+                // from_mapped rejects the train request, routing it to
+                // the owned fallback.
+                let config = if sidecar_index.is_some() {
+                    EngineConfig {
+                        index: None,
+                        ..engine_config.clone()
+                    }
+                } else {
+                    engine_config.clone()
+                };
+                QueryEngine::from_mapped(mapped, config, sidecar_index.clone())
+            });
+            match (attempt, mmap) {
+                (Ok(engine), _) => {
+                    if !quiet {
+                        println!(
+                            "loaded {} memory-mapped (n = {}, k = {}, dim = {}, {} update(s))",
+                            engine.artifact().meta.dataset,
+                            engine.artifact().meta.n,
+                            engine.artifact().meta.k,
+                            engine.artifact().meta.dim,
+                            engine.artifact().meta.update_count
+                        );
+                    }
+                    return Ok(Arc::new(engine));
+                }
+                (Err(e), MmapMode::On) => {
+                    return Err(sgla_serve::ServeError::InvalidArgument(format!(
+                        "cannot serve memory-mapped (--mmap on): {e}"
+                    )))
+                }
+                (Err(_), _) => {} // auto: owned fallback
+            }
+        }
+        let (artifact, norms) = Artifact::load_with_norms(path)?;
         if !quiet {
             println!(
                 "loaded {} (n = {}, k = {}, dim = {}, {} update(s))",
@@ -416,27 +505,17 @@ fn load_backend(
                 artifact.meta.update_count
             );
         }
-        let sidecar = Artifact::index_sidecar_path(path);
-        let engine = if sidecar.is_file() {
-            let index = IvfIndex::load(&sidecar)
-                .map_err(|e| sgla_serve::ServeError::Corrupt(e.to_string()))?;
-            if !quiet {
-                println!(
-                    "loaded index {} (ivf, nlist={})",
-                    sidecar.display(),
-                    index.nlist()
-                );
-            }
+        let engine = if let Some(index) = sidecar_index {
             let engine_config = EngineConfig {
                 index: None,
                 ..engine_config.clone()
             };
-            QueryEngine::with_index(artifact, engine_config, index)?
+            QueryEngine::with_index_and_norms(artifact, engine_config, index, norms)?
         } else {
             if engine_config.index.is_some() && !quiet {
                 println!("building ivf index (no sidecar found; see train --index ivf)");
             }
-            QueryEngine::new(artifact, engine_config.clone())?
+            QueryEngine::new_with_norms(artifact, engine_config.clone(), norms)?
         };
         Ok(Arc::new(engine))
     }
@@ -456,6 +535,11 @@ fn serve(args: &[String]) -> Result<(), String> {
         ..EngineConfig::default()
     };
     let max_resident: usize = flags.parse_num("max-resident", 0)?;
+    let mmap: MmapMode = flags
+        .get("mmap")
+        .map(str::parse)
+        .transpose()?
+        .unwrap_or(MmapMode::Auto);
     let auto_compact: f64 = flags.parse_num("auto-compact", 0.0)?;
     if !(0.0..=1.0).contains(&auto_compact) {
         return Err(format!(
@@ -498,7 +582,7 @@ fn serve(args: &[String]) -> Result<(), String> {
         if auto_compact > 0.0 {
             maybe_auto_compact(&path, auto_compact);
         }
-        load_backend(&path, &engine_config, max_resident, quiet)
+        load_backend(&path, &engine_config, max_resident, mmap, quiet)
     });
     let server = Server::start_reloadable(loader, &server_config).map_err(|e| e.to_string())?;
     println!("serving on http://{}", server.local_addr());

@@ -12,7 +12,10 @@
 //!   rewriting only the *dirty* shards (tombstoned or stale) and
 //!   re-pointing the untouched ones through a persisted
 //!   [`IdMap`] sidecar — bounding write amplification to the dirty
-//!   bytes plus the (tiny) manifest and id map.
+//!   bytes plus the (tiny) manifest and id map. Compacting a layout
+//!   saved by an older release (format v4 or earlier) rewrites every
+//!   shard, migrating the whole layout to the current v5 format so the
+//!   result can serve memory-mapped.
 //! * [`append_sharded`] routes a pure-append delta to the tail shard:
 //!   exactly one shard file plus the manifest are rewritten, every
 //!   other shard file stays byte-identical (its manifest entry merely
@@ -312,6 +315,19 @@ pub(crate) fn read_shard(
     idx: usize,
     id_map: Option<&IdMap>,
 ) -> Result<Artifact> {
+    Ok(read_shard_with_norms(dir, manifest, idx, id_map)?.0)
+}
+
+/// [`read_shard`] plus the per-row norms persisted in a v5 shard file
+/// (`None` for older formats). Rebasing rewrites graph coordinates,
+/// never embedding rows, so the norms stay valid for the rebased
+/// artifact.
+pub(crate) fn read_shard_with_norms(
+    dir: &Path,
+    manifest: &ShardManifest,
+    idx: usize,
+    id_map: Option<&IdMap>,
+) -> Result<(Artifact, Option<Vec<f64>>)> {
     let entry = &manifest.shards[idx];
     let fail = |msg: String| ServeError::Corrupt(format!("shard {idx} ({}): {msg}", entry.file));
     let raw = std::fs::read(dir.join(&entry.file))?;
@@ -325,8 +341,8 @@ pub(crate) fn read_shard(
     if entry.crc32 != 0 && crc32(&raw) != entry.crc32 {
         return Err(fail("file checksum does not match the manifest".into()));
     }
-    let artifact = Artifact::decode(bytes::Bytes::from(raw))?;
-    rebase_shard(artifact, manifest, idx, id_map)
+    let (artifact, norms) = Artifact::decode_with_norms(bytes::Bytes::from(raw))?;
+    Ok((rebase_shard(artifact, manifest, idx, id_map)?, norms))
 }
 
 /// Verifies a decoded shard against its manifest entry and, when the
@@ -458,7 +474,11 @@ fn remap_csr_columns(m: &CsrMatrix, map: &IdMap, ncols: usize) -> Result<CsrMatr
 /// Only *dirty* shards — those carrying tombstones or left stale by an
 /// earlier compaction/append — are rewritten; clean shard files stay
 /// byte-identical and are re-pointed through the persisted [`IdMap`]
-/// sidecar (their manifest entries gain file coordinates). A shard
+/// sidecar (their manifest entries gain file coordinates). When the
+/// layout predates the current artifact format (v4 or earlier), every
+/// shard counts as dirty: compaction doubles as the v5 migration and
+/// never commits a manifest that claims the current format while
+/// pointing at legacy files. A shard
 /// whose rows are all tombstoned is dropped from the manifest. All
 /// writes go through `writer` and commit with one atomic rename of the
 /// manifest; IVF sidecars (now covering wrong rows) are unlinked
@@ -494,11 +514,16 @@ fn record_compaction(stats: &CompactionStats) {
 fn compact_sharded_inner(path: &Path, writer: &mut dyn LayoutWriter) -> Result<CompactionStats> {
     let (manifest, dir) = open_layout(path)?;
     let old_id_map = load_layout_id_map(&dir, &manifest)?;
+    // A pre-v5 layout makes *every* shard dirty: compaction is the
+    // migration path, and a committed manifest claiming the current
+    // format must never point at legacy shard files (the mapped open
+    // would quietly fall back to owned on them).
+    let migrating = manifest.artifact_format_version < FORMAT_VERSION;
     let dirty: Vec<usize> = manifest
         .shards
         .iter()
         .enumerate()
-        .filter(|(_, e)| e.tombstones > 0 || e.is_stale())
+        .filter(|(_, e)| migrating || e.tombstones > 0 || e.is_stale())
         .map(|(i, _)| i)
         .collect();
     if dirty.is_empty() {

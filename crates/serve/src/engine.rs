@@ -29,9 +29,10 @@ use crate::artifact::Artifact;
 use crate::backend::IndexStats;
 use crate::cost::QueryCost;
 use crate::lru::LruCache;
+use crate::store::{EmbeddingStore, MappedArtifact};
 use crate::{Result, ServeError};
 use mvag_index::{IvfConfig, IvfIndex, IvfSearchStats};
-use mvag_sparse::{parallel, vecops};
+use mvag_sparse::{parallel, vecops, DenseMatrix};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -143,10 +144,13 @@ impl IndexCounters {
 /// ```
 #[derive(Debug)]
 pub struct QueryEngine {
+    /// Query-side state. The embedding matrix lives in `store`, not
+    /// here: [`QueryEngine::artifact`] returns it with an *empty*
+    /// `embedding` field regardless of backing.
     artifact: Artifact,
-    /// Euclidean norm of each local embedding row (precomputed for
-    /// cosine).
-    norms: Vec<f64>,
+    /// The embedding rows and their norms — heap-owned or borrowed
+    /// from a memory-mapped v5 artifact (see [`crate::store`]).
+    store: EmbeddingStore,
     /// Tombstone mask over local rows; empty when the artifact has no
     /// tombstones (the common case — keeps the hot loops branch-cheap).
     dead: Vec<bool>,
@@ -166,11 +170,26 @@ impl QueryEngine {
     /// [`ServeError::Corrupt`] if the artifact is inconsistent;
     /// [`ServeError::InvalidArgument`] if index training fails.
     pub fn new(artifact: Artifact, config: EngineConfig) -> Result<Self> {
+        Self::new_with_norms(artifact, config, None)
+    }
+
+    /// [`QueryEngine::new`], reusing per-row norms persisted alongside
+    /// the artifact (the v5 norms section via
+    /// [`Artifact::load_with_norms`]) instead of recomputing them with
+    /// an O(rows × dim) pass over the embedding.
+    ///
+    /// # Errors
+    /// See [`QueryEngine::new`].
+    pub fn new_with_norms(
+        artifact: Artifact,
+        config: EngineConfig,
+        norms: Option<Vec<f64>>,
+    ) -> Result<Self> {
         let index = match &config.index {
             Some(ivf) => Some(artifact.build_ivf(ivf)?),
             None => None,
         };
-        Self::assemble(artifact, config, index)
+        Self::assemble_owned(artifact, config, index, norms)
     }
 
     /// Builds the engine around a pre-built (typically loaded from a
@@ -181,18 +200,81 @@ impl QueryEngine {
     /// [`ServeError::Corrupt`] if the artifact is inconsistent or the
     /// index does not match it.
     pub fn with_index(artifact: Artifact, config: EngineConfig, index: IvfIndex) -> Result<Self> {
+        Self::with_index_and_norms(artifact, config, index, None)
+    }
+
+    /// [`QueryEngine::with_index`] with optional persisted norms (see
+    /// [`QueryEngine::new_with_norms`]).
+    ///
+    /// # Errors
+    /// See [`QueryEngine::with_index`].
+    pub fn with_index_and_norms(
+        artifact: Artifact,
+        config: EngineConfig,
+        index: IvfIndex,
+        norms: Option<Vec<f64>>,
+    ) -> Result<Self> {
         let m = &artifact.meta;
         index
             .check_compatible(m.n, m.dim, m.row_start, m.row_end)
             .map_err(|e| ServeError::Corrupt(format!("index does not match artifact: {e}")))?;
-        Self::assemble(artifact, config, Some(index))
+        Self::assemble_owned(artifact, config, Some(index), norms)
     }
 
-    fn assemble(artifact: Artifact, config: EngineConfig, index: Option<IvfIndex>) -> Result<Self> {
+    /// Builds the engine over a memory-mapped artifact (see
+    /// [`crate::store::open_mapped`]): rows are scored straight out of
+    /// the page cache, never copied to the heap. A sidecar IVF index
+    /// may be attached; *training* one is impossible here (it would
+    /// need the whole embedding resident, defeating the map), so
+    /// [`EngineConfig::index`] combined with `index: None` is rejected
+    /// and the caller decides whether to fall back to an owned load.
+    ///
+    /// # Errors
+    /// [`ServeError::InvalidArgument`] when index training is
+    /// requested; [`ServeError::Corrupt`] when a sidecar index does
+    /// not match the artifact.
+    pub fn from_mapped(
+        mapped: MappedArtifact,
+        config: EngineConfig,
+        index: Option<IvfIndex>,
+    ) -> Result<Self> {
+        let MappedArtifact { artifact, store } = mapped;
+        if config.index.is_some() && index.is_none() {
+            return Err(ServeError::InvalidArgument(
+                "cannot train an IVF index over a memory-mapped artifact; \
+                 attach a sidecar index or serve it owned"
+                    .into(),
+            ));
+        }
+        if let Some(ix) = &index {
+            let m = &artifact.meta;
+            ix.check_compatible(m.n, m.dim, m.row_start, m.row_end)
+                .map_err(|e| ServeError::Corrupt(format!("index does not match artifact: {e}")))?;
+        }
+        // No artifact.validate() here: it would reject the placeholder
+        // embedding/laplacian. open_mapped already validated every
+        // invariant the query paths rely on.
+        Ok(Self::assemble(artifact, store, config, index))
+    }
+
+    fn assemble_owned(
+        mut artifact: Artifact,
+        config: EngineConfig,
+        index: Option<IvfIndex>,
+        norms: Option<Vec<f64>>,
+    ) -> Result<Self> {
         artifact.validate()?;
-        let norms = (0..artifact.meta.rows())
-            .map(|i| vecops::norm2(artifact.embedding.row(i)))
-            .collect();
+        let embedding = std::mem::replace(&mut artifact.embedding, DenseMatrix::zeros(0, 0));
+        let store = EmbeddingStore::owned(embedding, norms);
+        Ok(Self::assemble(artifact, store, config, index))
+    }
+
+    fn assemble(
+        artifact: Artifact,
+        store: EmbeddingStore,
+        config: EngineConfig,
+        index: Option<IvfIndex>,
+    ) -> Self {
         let dead = if artifact.tombstone_count() == 0 {
             Vec::new()
         } else {
@@ -202,20 +284,28 @@ impl QueryEngine {
             }
             mask
         };
-        Ok(QueryEngine {
+        QueryEngine {
             cache: Mutex::new(LruCache::new(config.cache_capacity)),
             artifact,
-            norms,
+            store,
             dead,
             config,
             index,
             counters: IndexCounters::default(),
-        })
+        }
     }
 
-    /// The artifact being served.
+    /// The query-side artifact state being served (meta, weights,
+    /// labels, centroids, tombstones). The `embedding` field is empty
+    /// — rows live in [`QueryEngine::store`] — and for mapped engines
+    /// the `laplacian` is an empty placeholder too.
     pub fn artifact(&self) -> &Artifact {
         &self.artifact
+    }
+
+    /// The embedding row store (owned or mapped) backing this engine.
+    pub fn store(&self) -> &EmbeddingStore {
+        &self.store
     }
 
     /// The attached IVF index, if any.
@@ -279,11 +369,8 @@ impl QueryEngine {
         self.check_node(node)?;
         let local = self.local(node);
         let cluster = self.artifact.labels[local];
-        let centroid_dist = vecops::dist2(
-            self.artifact.embedding.row(local),
-            self.artifact.centroids.row(cluster),
-        )
-        .sqrt();
+        let centroid_dist =
+            vecops::dist2(self.store.row(local), self.artifact.centroids.row(cluster)).sqrt();
         Ok(ClusterInfo {
             node,
             cluster,
@@ -302,7 +389,7 @@ impl QueryEngine {
         }
         Ok(nodes
             .iter()
-            .map(|&n| self.artifact.embedding.row(self.local(n)).to_vec())
+            .map(|&n| self.store.row(self.local(n)).to_vec())
             .collect())
     }
 
@@ -316,10 +403,7 @@ impl QueryEngine {
     pub fn query_vector(&self, node: usize) -> Result<(Vec<f64>, f64)> {
         self.check_node(node)?;
         let local = self.local(node);
-        Ok((
-            self.artifact.embedding.row(local).to_vec(),
-            self.norms[local],
-        ))
+        Ok((self.store.row(local).to_vec(), self.store.norms()[local]))
     }
 
     /// The `k` most similar nodes to `node` (cosine in embedding
@@ -478,10 +562,10 @@ impl QueryEngine {
             let search = |&(node, k, nprobe): &ApproxQuery| {
                 let local = self.local(node);
                 index.search(
-                    &self.artifact.embedding,
-                    &self.norms,
-                    self.artifact.embedding.row(local),
-                    self.norms[local],
+                    &self.store,
+                    self.store.norms(),
+                    self.store.row(local),
+                    self.store.norms()[local],
                     k + dead_n,
                     nprobe,
                     Some(node),
@@ -547,8 +631,8 @@ impl QueryEngine {
             return Err(no_index_error());
         };
         let (scored, stats) = index.search(
-            &self.artifact.embedding,
-            &self.norms,
+            &self.store,
+            self.store.norms(),
             qrow,
             qnorm,
             k + self.artifact.tombstone_count(),
@@ -600,8 +684,8 @@ impl QueryEngine {
             .map(|&(q, k)| {
                 let local = self.local(q);
                 VectorJob {
-                    qrow: self.artifact.embedding.row(local),
-                    qnorm: self.norms[local],
+                    qrow: self.store.row(local),
+                    qnorm: self.store.norms()[local],
                     exclude: Some(q),
                     k,
                 }
@@ -640,8 +724,13 @@ impl QueryEngine {
     /// bit-identical to the monolithic path: the same `dot / (norm ·
     /// norm)` on the same row data, visited in the same ascending row
     /// order.
+    // The row index addresses four parallel structures (global id,
+    // tombstone mask, norms, store rows); an iterator rewrite would
+    // obscure that they advance in lockstep.
+    #[allow(clippy::needless_range_loop)]
     fn scan_vector_jobs(&self, jobs: &[VectorJob]) -> Vec<Vec<Neighbor>> {
-        let emb = &self.artifact.embedding;
+        let emb = &self.store;
+        let norms = self.store.norms();
         let rows = self.artifact.meta.rows();
         let offset = self.artifact.meta.row_start;
         let block = self.config.block_rows.max(1);
@@ -654,7 +743,7 @@ impl QueryEngine {
                     if Some(global) == job.exclude || self.is_dead_local(row) {
                         continue;
                     }
-                    let denom = job.qnorm * self.norms[row];
+                    let denom = job.qnorm * norms[row];
                     let score = if denom > 1e-300 {
                         vecops::dot(job.qrow, emb.row(row)) / denom
                     } else {
@@ -759,7 +848,7 @@ mod tests {
 
     /// Reference top-k: full sort of all cosine scores.
     fn brute_force(e: &QueryEngine, q: usize, k: usize) -> Vec<Neighbor> {
-        let emb = &e.artifact().embedding;
+        let emb = e.store();
         let mut all: Vec<Neighbor> = (0..e.artifact().meta.n)
             .filter(|&i| i != q)
             .map(|i| Neighbor {
@@ -841,7 +930,7 @@ mod tests {
         let e = engine();
         let rows = e.embed_batch(&[0, 5, 9]).unwrap();
         assert_eq!(rows.len(), 3);
-        assert_eq!(rows[1], e.artifact().embedding.row(5).to_vec());
+        assert_eq!(rows[1], e.store().row(5).to_vec());
         assert!(e.embed_batch(&[0, 99_999]).is_err());
     }
 

@@ -1399,6 +1399,7 @@ fn stats_body(shared: &ServerShared, reset: bool) -> String {
         .collect();
     let (cache_hits, cache_misses) = shared.backend.cache_stats();
     let index = shared.backend.index_stats();
+    let memory = shared.backend.store_memory();
     let pool = mvag_sparse::pool::WorkerPool::global().stats();
     let conns = shared.conns.snapshot();
     Value::object(vec![
@@ -1426,6 +1427,28 @@ fn stats_body(shared: &ServerShared, reset: bool) -> String {
             Value::from(shared.backend.resident_shards()),
         ),
         ("tombstones", Value::from(shared.backend.tombstone_count())),
+        // Embedding-store accounting: heap bytes pinned by owned
+        // stores vs page-cache-reclaimable mapped bytes, and how the
+        // residency budget is enforced ("evict" drops owned shards,
+        // "madvise" hints mapped ones, "none" = unbounded).
+        (
+            "memory",
+            Value::object(vec![
+                ("store_owned_bytes", Value::from(memory.owned_bytes)),
+                ("store_mapped_bytes", Value::from(memory.mapped_bytes)),
+                ("resident_hint", Value::from(memory.resident_hint.as_str())),
+                (
+                    "stores",
+                    Value::Array(
+                        memory
+                            .stores
+                            .iter()
+                            .map(|s| Value::from(s.as_str()))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
         (
             "index",
             Value::object(vec![
@@ -1604,6 +1627,24 @@ fn metrics_body(shared: &ServerShared) -> String {
     );
     page.push_str("# TYPE sgla_index_rows_scanned_total counter\n");
     let _ = writeln!(page, "sgla_index_rows_scanned_total {}", index.rows_scanned);
+    // Embedding-store memory accounting (out-of-core serving).
+    let memory = shared.backend.store_memory();
+    page.push_str("# HELP sgla_store_owned_bytes Heap bytes pinned by owned embedding stores.\n");
+    page.push_str("# TYPE sgla_store_owned_bytes gauge\n");
+    let _ = writeln!(page, "sgla_store_owned_bytes {}", memory.owned_bytes);
+    page.push_str(
+        "# HELP sgla_store_mapped_bytes Memory-mapped artifact bytes (page-cache reclaimable).\n",
+    );
+    page.push_str("# TYPE sgla_store_mapped_bytes gauge\n");
+    let _ = writeln!(page, "sgla_store_mapped_bytes {}", memory.mapped_bytes);
+    let mapped_stores = memory.stores.iter().filter(|s| *s == "mapped").count();
+    let owned_stores = memory.stores.iter().filter(|s| *s == "owned").count();
+    page.push_str("# HELP sgla_store_mapped_stores Resident stores serving memory-mapped.\n");
+    page.push_str("# TYPE sgla_store_mapped_stores gauge\n");
+    let _ = writeln!(page, "sgla_store_mapped_stores {mapped_stores}");
+    page.push_str("# HELP sgla_store_owned_stores Resident stores serving from the heap.\n");
+    page.push_str("# TYPE sgla_store_owned_stores gauge\n");
+    let _ = writeln!(page, "sgla_store_owned_stores {owned_stores}");
     // Slow-query log counters.
     page.push_str("# HELP sgla_slow_query_threshold_us Capture threshold (0 = off).\n");
     page.push_str("# TYPE sgla_slow_query_threshold_us gauge\n");

@@ -83,6 +83,7 @@ pub mod parser;
 pub mod router;
 pub mod slo;
 pub mod slowlog;
+pub mod store;
 pub mod swap;
 #[cfg(target_os = "linux")]
 mod sys;
@@ -101,6 +102,7 @@ pub use mvag_index::{IvfConfig, IvfIndex};
 pub use router::{RouterConfig, ShardRouter};
 pub use slo::{HealthStatus, SloTracker};
 pub use slowlog::{SlowQuery, SlowQueryLog};
+pub use store::{EmbeddingStore, MappedArtifact, StoreMemory};
 pub use swap::HotSwapBackend;
 
 /// Crate-wide result alias.

@@ -655,7 +655,8 @@ pub fn validate_prometheus(page: &str) -> std::result::Result<(), String> {
             || family.starts_with("sgla_conn_")
             || family.starts_with("sgla_slow_query_")
             || family.starts_with("sgla_slo_")
-            || family.starts_with("sgla_compact_"))
+            || family.starts_with("sgla_compact_")
+            || family.starts_with("sgla_store_"))
             && !helps.contains(family)
         {
             return Err(format!("{family}: observability family without # HELP"));

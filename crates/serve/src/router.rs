@@ -54,6 +54,7 @@ use crate::engine::{
     ApproxQuery, ClusterInfo, EngineConfig, IndexCounters, Neighbor, QueryEngine, TopKHeap,
 };
 use crate::lru::LruCache;
+use crate::store::{MmapMode, StoreMemory};
 use crate::{Result, ServeError};
 use mvag_data::manifest::ShardManifest;
 use mvag_index::IvfIndex;
@@ -69,13 +70,23 @@ pub struct RouterConfig {
     /// their own result caches disabled (the router caches merged
     /// answers instead); `threads` sizes the top-k fan-out.
     pub engine: EngineConfig,
-    /// Maximum shards resident in memory at once; `0` means unbounded
-    /// (every shard stays resident after first touch, fan-out runs in
-    /// parallel). With a bound, top-k streams shard by shard and the
-    /// least-recently-used shard is evicted when the budget overflows.
+    /// Maximum *heap-owned* shards resident in memory at once; `0`
+    /// means unbounded (every shard stays resident after first touch,
+    /// fan-out runs in parallel). With a bound, top-k streams shard by
+    /// shard and the least-recently-used owned shard is evicted when
+    /// the budget overflows. Memory-mapped shards don't count against
+    /// the budget — their pages belong to the page cache and are
+    /// reclaimable by the kernel; over budget they get an
+    /// `madvise(MADV_DONTNEED)` *hint* instead of an eviction (see
+    /// [`RouterConfig::mmap`]).
     pub max_resident: usize,
     /// Entries in the router's merged top-k LRU cache (0 disables).
     pub cache_capacity: usize,
+    /// Whether shard files are served memory-mapped (v5 layouts on
+    /// supported platforms) or heap-owned. Defaults to
+    /// [`MmapMode::Off`]; `sgla-serve serve` passes
+    /// [`MmapMode::Auto`].
+    pub mmap: MmapMode,
 }
 
 impl Default for RouterConfig {
@@ -84,6 +95,7 @@ impl Default for RouterConfig {
             engine: EngineConfig::default(),
             max_resident: 0,
             cache_capacity: 4096,
+            mmap: MmapMode::Off,
         }
     }
 }
@@ -110,6 +122,9 @@ pub struct ShardRouter {
     cache: Mutex<LruCache<(usize, usize), Vec<Neighbor>>>,
     loads: AtomicU64,
     evictions: AtomicU64,
+    /// `madvise(MADV_DONTNEED)` hints issued to over-budget mapped
+    /// shards (the mapped analogue of `evictions`).
+    dontneed_hints: AtomicU64,
     /// Router-level exact/approx counters (per-shard engine counters
     /// would be lost on eviction, so fan-out accounting lives here).
     counters: IndexCounters,
@@ -198,6 +213,7 @@ impl ShardRouter {
             clock: AtomicU64::new(1),
             loads: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            dontneed_hints: AtomicU64::new(0),
             counters: IndexCounters::default(),
             trained_indexes: Mutex::new((0..shard_count).map(|_| None).collect()),
             index_enabled: false,
@@ -256,6 +272,40 @@ impl ShardRouter {
         )
     }
 
+    /// `madvise(MADV_DONTNEED)` hints issued to over-budget mapped
+    /// shards since open.
+    pub fn dontneed_hints(&self) -> u64 {
+        self.dontneed_hints.load(Ordering::Relaxed)
+    }
+
+    /// Aggregated memory accounting across all shard slots (see
+    /// [`QueryBackend::store_memory`]).
+    pub fn store_memory(&self) -> StoreMemory {
+        let slots = self.slots.lock().expect("slot lock");
+        let mut mem = StoreMemory {
+            resident_hint: if self.config.max_resident == 0 {
+                "none"
+            } else if self.config.mmap != MmapMode::Off && crate::store::MMAP_SUPPORTED {
+                "madvise"
+            } else {
+                "evict"
+            }
+            .to_string(),
+            ..StoreMemory::default()
+        };
+        for slot in slots.iter() {
+            match &slot.engine {
+                Some(engine) => {
+                    mem.owned_bytes += engine.store().owned_bytes();
+                    mem.mapped_bytes += engine.store().mapped_bytes();
+                    mem.stores.push(engine.store().kind().to_string());
+                }
+                None => mem.stores.push("-".to_string()),
+            }
+        }
+        mem
+    }
+
     fn resident_count(&self) -> usize {
         self.slots
             .lock()
@@ -299,15 +349,20 @@ impl ShardRouter {
         if self.config.max_resident == 0 {
             return;
         }
+        let budget = self.config.max_resident.max(1);
+        // Owned shards pin heap, so the budget is enforced by dropping
+        // the least-recently-used ones. Mapped shards are excluded:
+        // their pages belong to the page cache and the kernel can
+        // reclaim them under pressure anyway.
         loop {
-            let resident = slots.iter().filter(|s| s.engine.is_some()).count();
-            if resident <= self.config.max_resident.max(1) {
-                return;
+            let owned = |s: &Slot| s.engine.as_ref().is_some_and(|e| !e.store().is_mapped());
+            if slots.iter().filter(|s| owned(s)).count() <= budget {
+                break;
             }
             let victim = slots
                 .iter()
                 .enumerate()
-                .filter(|(i, s)| *i != keep && s.engine.is_some())
+                .filter(|(i, s)| *i != keep && owned(s))
                 .min_by_key(|(_, s)| s.last_used)
                 .map(|(i, _)| i);
             match victim {
@@ -315,7 +370,26 @@ impl ShardRouter {
                     slots[i].engine = None;
                     self.evictions.fetch_add(1, Ordering::Relaxed);
                 }
-                None => return, // only `keep` is resident
+                None => break, // only `keep` is owned-resident
+            }
+        }
+        // For mapped shards the budget degrades to a page-cache
+        // *hint*: the LRU ones beyond it get `madvise(MADV_DONTNEED)`
+        // — resident pages are released now rather than under
+        // pressure, and fault back in bit-identically on next touch.
+        let mut mapped: Vec<(u64, usize)> = slots
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| *i != keep && s.engine.as_ref().is_some_and(|e| e.store().is_mapped()))
+            .map(|(i, s)| (s.last_used, i))
+            .collect();
+        if mapped.len() > budget {
+            mapped.sort_unstable(); // oldest tick first
+            for &(_, i) in &mapped[..mapped.len() - budget] {
+                let engine = slots[i].engine.as_ref().expect("filtered resident");
+                if engine.store().advise_dontneed() {
+                    self.dontneed_hints.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
     }
@@ -328,8 +402,6 @@ impl ShardRouter {
         let entry = &self.manifest.shards[idx];
         let fail =
             |msg: String| ServeError::Corrupt(format!("shard {idx} ({}): {msg}", entry.file));
-        let artifact =
-            crate::compact::read_shard(&self.dir, &self.manifest, idx, self.id_map.as_ref())?;
         // Shard engines keep no per-shard result cache: the router
         // caches merged answers, and per-shard partials are useless on
         // their own.
@@ -344,24 +416,58 @@ impl ShardRouter {
         // the trained index is cached router-side so an evicted shard
         // never re-runs quantizer training on reload.
         let index_path = self.dir.join(Artifact::shard_index_file_name(idx));
-        if index_path.is_file() {
-            let index = IvfIndex::load(&index_path)
-                .map_err(|e| fail(format!("index sidecar {}: {e}", index_path.display())))?;
+        let sidecar = if index_path.is_file() {
+            Some(
+                IvfIndex::load(&index_path)
+                    .map_err(|e| fail(format!("index sidecar {}: {e}", index_path.display())))?,
+            )
+        } else {
+            None
+        };
+        let cached = || self.trained_indexes.lock().expect("trained index lock")[idx].clone();
+        if self.config.mmap != MmapMode::Off {
+            // Mapped serving needs a pre-built index (training would
+            // fault every embedding page): a sidecar or a
+            // router-cached one. Stale shards (pending rebase) and
+            // pre-v5 files can't be mapped either; under Auto all of
+            // these fall back to the owned load below.
+            let index = sidecar.clone().or_else(cached);
+            let trainable = self.config.engine.index.is_some() && index.is_none();
+            let attempt = if trainable {
+                Err(ServeError::InvalidArgument(
+                    "index training requires an owned load".into(),
+                ))
+            } else {
+                crate::store::open_shard_mapped(&self.dir, &self.manifest, idx).and_then(|mapped| {
+                    let config = EngineConfig {
+                        index: None,
+                        ..engine_config.clone()
+                    };
+                    QueryEngine::from_mapped(mapped, config, index)
+                })
+            };
+            match (attempt, self.config.mmap) {
+                (Ok(engine), _) => return Ok(engine),
+                (Err(e), MmapMode::On) => {
+                    return Err(fail(format!("cannot serve memory-mapped (--mmap on): {e}")))
+                }
+                (Err(_), _) => {} // Auto: fall back to the owned path.
+            }
+        }
+        let (artifact, norms) = crate::compact::read_shard_with_norms(
+            &self.dir,
+            &self.manifest,
+            idx,
+            self.id_map.as_ref(),
+        )?;
+        if let Some(index) = sidecar.or_else(cached) {
             let engine_config = EngineConfig {
                 index: None,
                 ..engine_config
             };
-            return QueryEngine::with_index(artifact, engine_config, index);
+            return QueryEngine::with_index_and_norms(artifact, engine_config, index, norms);
         }
-        let cached = self.trained_indexes.lock().expect("trained index lock")[idx].clone();
-        if let Some(index) = cached {
-            let engine_config = EngineConfig {
-                index: None,
-                ..engine_config
-            };
-            return QueryEngine::with_index(artifact, engine_config, index);
-        }
-        let engine = QueryEngine::new(artifact, engine_config)?;
+        let engine = QueryEngine::new_with_norms(artifact, engine_config, norms)?;
         if let Some(index) = engine.index() {
             self.trained_indexes.lock().expect("trained index lock")[idx] = Some(index.clone());
         }
@@ -849,6 +955,10 @@ impl QueryBackend for ShardRouter {
         // The manifest carries per-shard tombstone counts, so this
         // needs no shard loads (and stays correct under eviction).
         self.manifest.shards.iter().map(|e| e.tombstones).sum()
+    }
+
+    fn store_memory(&self) -> StoreMemory {
+        ShardRouter::store_memory(self)
     }
 
     fn cluster_of_costed(&self, node: usize) -> (Result<ClusterInfo>, QueryCost) {

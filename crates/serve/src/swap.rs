@@ -120,6 +120,10 @@ impl QueryBackend for HotSwapBackend {
         self.current().tombstone_count()
     }
 
+    fn store_memory(&self) -> crate::store::StoreMemory {
+        self.current().store_memory()
+    }
+
     // The costed variants must delegate explicitly: the trait defaults
     // would wrap `self.cluster_of(..)` etc. and lose the inner
     // backend's real counters (cache split, probe totals, loads).

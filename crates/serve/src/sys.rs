@@ -179,6 +179,138 @@ impl Drop for EventFd {
     }
 }
 
+// ---------------------------------------------------------------------
+// Memory mapping (out-of-core artifact serving).
+
+const PROT_READ: i32 = 0x1;
+const MAP_PRIVATE: i32 = 0x02;
+
+/// `madvise` advice values accepted by [`Mmap::advise`]. The full
+/// vocabulary is declared even though the serving paths only issue
+/// RANDOM (on open) and DONTNEED (residency hints): callers choose the
+/// policy, this module only names the constants.
+pub(crate) const MADV_RANDOM: i32 = 1;
+#[allow(dead_code)]
+pub(crate) const MADV_SEQUENTIAL: i32 = 2;
+#[allow(dead_code)]
+pub(crate) const MADV_WILLNEED: i32 = 3;
+pub(crate) const MADV_DONTNEED: i32 = 4;
+
+extern "C" {
+    fn mmap(
+        addr: *mut core::ffi::c_void,
+        length: usize,
+        prot: i32,
+        flags: i32,
+        fd: i32,
+        offset: i64,
+    ) -> *mut core::ffi::c_void;
+    fn munmap(addr: *mut core::ffi::c_void, length: usize) -> i32;
+    fn madvise(addr: *mut core::ffi::c_void, length: usize, advice: i32) -> i32;
+}
+
+/// A read-only, private memory mapping of a whole file, unmapped on
+/// drop. The RAII twin of [`Epoll`]/[`EventFd`] for the out-of-core
+/// artifact path: all pointer arithmetic stays inside this type, and
+/// everything above it sees only safe `&[u8]` / `&[f64]` borrows tied
+/// to the map's lifetime.
+#[derive(Debug)]
+pub(crate) struct Mmap {
+    ptr: *mut core::ffi::c_void,
+    len: usize,
+}
+
+// SAFETY: the mapping is immutable (PROT_READ, MAP_PRIVATE, file open
+// read-only) for its whole lifetime, so shared references to it may
+// cross threads freely; the raw pointer is owned, not aliased mutably.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Maps all of `file` read-only. Fails on empty files (a zero
+    /// length `mmap` is EINVAL) and on any syscall error.
+    pub(crate) fn map_file(file: &std::fs::File) -> io::Result<Mmap> {
+        use std::os::unix::io::AsRawFd;
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "file too large to map"))?;
+        if len == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "cannot map an empty file",
+            ));
+        }
+        // SAFETY: NULL hint, length checked nonzero, read-only private
+        // mapping of an fd the caller owns; the kernel picks the
+        // address. MAP_FAILED is (void*)-1, checked below.
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ,
+                MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mmap { ptr, len })
+    }
+
+    /// Length of the mapping in bytes.
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// The mapped file as a byte slice.
+    pub(crate) fn as_slice(&self) -> &[u8] {
+        // SAFETY: `ptr` is a live PROT_READ mapping of exactly `len`
+        // bytes for as long as `self` lives; the file is opened
+        // read-only and mapped privately, so the contents cannot be
+        // mutated behind the borrow.
+        unsafe { std::slice::from_raw_parts(self.ptr.cast::<u8>(), self.len) }
+    }
+
+    /// Borrows `count` `f64`s starting at byte `offset`, without
+    /// copying. `None` unless the range is in bounds and 8-byte
+    /// aligned — the v5 codec guarantees 64-byte-aligned sections, so
+    /// a miss here means a corrupt or misproduced file, never UB.
+    pub(crate) fn f64_slice(&self, offset: usize, count: usize) -> Option<&[f64]> {
+        let bytes = count.checked_mul(8)?;
+        let end = offset.checked_add(bytes)?;
+        if end > self.len {
+            return None;
+        }
+        // SAFETY: range checked in bounds above; alignment checked
+        // here; the mapping is immutable and outlives the borrow; any
+        // bit pattern is a valid f64.
+        let ptr = unsafe { self.ptr.cast::<u8>().add(offset) };
+        if !(ptr as usize).is_multiple_of(std::mem::align_of::<f64>()) {
+            return None;
+        }
+        Some(unsafe { std::slice::from_raw_parts(ptr.cast::<f64>(), count) })
+    }
+
+    /// Applies `madvise` advice to the whole mapping (best effort —
+    /// advice is a hint; errors are returned for observability, not
+    /// correctness).
+    pub(crate) fn advise(&self, advice: i32) -> io::Result<()> {
+        // SAFETY: advising the exact live mapping this type owns.
+        check(unsafe { madvise(self.ptr, self.len, advice) })?;
+        Ok(())
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        // SAFETY: unmapping the exact mapping this type exclusively
+        // owns; no borrows can outlive self (lifetimes above).
+        unsafe { munmap(self.ptr, self.len) };
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,6 +337,42 @@ mod tests {
             .modify(efd.as_raw_fd(), EPOLLIN | EPOLLOUT, 9)
             .unwrap();
         epoll.delete(efd.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn mmap_reads_file_and_borrows_aligned_f64s() {
+        let dir = std::env::temp_dir().join(format!("sgla-mmap-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("map.bin");
+        let vals = [1.5f64, -2.25, 0.0, 1e300];
+        let mut raw = vec![0u8; 64]; // 64 bytes of padding, then f64s
+        for v in vals {
+            raw.extend_from_slice(&v.to_le_bytes());
+        }
+        std::fs::write(&path, &raw).unwrap();
+        let map = Mmap::map_file(&std::fs::File::open(&path).unwrap()).unwrap();
+        assert_eq!(map.len(), raw.len());
+        assert_eq!(map.as_slice(), &raw[..]);
+        let got = map.f64_slice(64, 4).unwrap();
+        assert_eq!(
+            got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            vals.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        // Out of bounds and misaligned borrows are refused, not UB.
+        assert!(map.f64_slice(64, 5).is_none());
+        assert!(map.f64_slice(61, 1).is_none());
+        assert!(map.f64_slice(usize::MAX, 1).is_none());
+        // Advice is accepted on a live mapping.
+        map.advise(MADV_RANDOM).unwrap();
+        map.advise(MADV_WILLNEED).unwrap();
+        map.advise(MADV_SEQUENTIAL).unwrap();
+        map.advise(MADV_DONTNEED).unwrap();
+        drop(map);
+        // Empty files cannot be mapped.
+        let empty = dir.join("empty.bin");
+        std::fs::write(&empty, b"").unwrap();
+        assert!(Mmap::map_file(&std::fs::File::open(&empty).unwrap()).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

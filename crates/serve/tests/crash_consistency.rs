@@ -22,7 +22,7 @@
 //! compaction swaps the purged one in.
 
 use mvag_data::json::Value;
-use mvag_data::manifest::ShardManifest;
+use mvag_data::manifest::{ShardEntry, ShardManifest};
 use mvag_data::{FailpointWriter, FsWriter};
 use mvag_graph::{MvagDelta, ViewDelta};
 use mvag_sparse::DenseMatrix;
@@ -276,4 +276,127 @@ fn reload_rolls_back_cleanly_after_a_torn_compaction() {
 
     server.shutdown();
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The golden artifact written as a *legacy v4* sharded layout: flat
+/// packed shard bodies (no section table) and a manifest declaring
+/// format version 4 — the state of a deployment that predates v5.
+fn v4_layout(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "sgla-crash-v4-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let golden = golden();
+    let per = N / SHARDS;
+    let mut entries = Vec::with_capacity(SHARDS);
+    for i in 0..SHARDS {
+        let (row_start, row_end) = (i * per, (i + 1) * per);
+        let shard = golden.shard(row_start, row_end).unwrap();
+        let encoded = shard.encode_v4().unwrap();
+        let file = Artifact::shard_file_name(i);
+        std::fs::write(dir.join(&file), encoded.as_ref()).unwrap();
+        entries.push(ShardEntry {
+            file,
+            row_start,
+            row_end,
+            bytes: encoded.len() as u64,
+            crc32: mvag_data::codec::crc32(encoded.as_ref()),
+            tombstones: shard.tombstones.len(),
+            ..Default::default()
+        });
+    }
+    let manifest = ShardManifest {
+        dataset: golden.meta.dataset.clone(),
+        n: N,
+        k: golden.meta.k,
+        dim: golden.meta.dim,
+        seed: golden.meta.seed,
+        artifact_format_version: 4,
+        update_count: golden.meta.update_count,
+        compaction_count: golden.meta.compaction_count,
+        id_map: None,
+        shards: entries,
+    };
+    manifest.save(&dir.join(Artifact::MANIFEST_FILE)).unwrap();
+    dir
+}
+
+/// Compaction doubles as the v4 → v5 migration path: it reads legacy
+/// shards owned and rewrites them as v5. A kill at any write boundary
+/// must leave either the complete v4 layout or the complete v5 one —
+/// and once committed, every shard file must serve memory-mapped.
+#[test]
+fn torn_compaction_migrates_v4_shards_to_v5_or_not_at_all() {
+    use sgla_serve::store::{open_mapped, MmapMode};
+
+    // Reference: an uninterrupted compaction of the v4 seed.
+    let dir = v4_layout("ref");
+    for i in 0..SHARDS {
+        assert!(
+            open_mapped(&dir.join(Artifact::shard_file_name(i))).is_err(),
+            "v4 shard {i} must not be mappable"
+        );
+    }
+    let mut probe = FailpointWriter::new(1 << 30);
+    compact_sharded(&dir, &mut probe).unwrap();
+    let cost = (1 << 30) - probe.remaining();
+    let new_n = N - DEAD.len();
+    let probes = [0usize, 10, new_n - 1];
+    let reference = fingerprint(&dir, &probes);
+    std::fs::remove_dir_all(&dir).ok();
+
+    for budget in budgets(cost) {
+        let dir = v4_layout(&format!("b{budget}"));
+        let mut writer = FailpointWriter::new(budget);
+        let result = compact_sharded(&dir, &mut writer);
+
+        // Old-or-new holds across the *format* boundary too: the
+        // wreckage loads as either the v4 or the v5 layout.
+        let n_now = assert_loadable(&dir, &[N, new_n]);
+        let manifest = ShardManifest::load(&dir.join(Artifact::MANIFEST_FILE)).unwrap();
+        if result.is_ok() {
+            assert_eq!(n_now, new_n, "budget {budget}: Ok but old layout");
+        } else {
+            assert_eq!(n_now, N, "budget {budget}: Err but manifest committed");
+            assert_eq!(
+                manifest.artifact_format_version, 4,
+                "budget {budget}: version bumped without commit"
+            );
+        }
+
+        // Retry converges; the committed layout is v5 through and
+        // through: manifest version, per-file mapped opens, and a
+        // router forced to `--mmap on` answering bit-identically to
+        // the owned reference.
+        compact_sharded(&dir, &mut FsWriter).unwrap();
+        let manifest = ShardManifest::load(&dir.join(Artifact::MANIFEST_FILE)).unwrap();
+        assert_eq!(manifest.artifact_format_version, 5, "budget {budget}");
+        assert_eq!(fingerprint(&dir, &probes), reference, "budget {budget}");
+        if sgla_serve::store::MMAP_SUPPORTED {
+            for (i, entry) in manifest.shards.iter().enumerate() {
+                assert!(
+                    open_mapped(&dir.join(&entry.file)).is_ok(),
+                    "budget {budget}: migrated shard {i} not mappable"
+                );
+            }
+            let mapped = ShardRouter::open(
+                &dir,
+                RouterConfig {
+                    mmap: MmapMode::On,
+                    ..RouterConfig::default()
+                },
+            )
+            .unwrap();
+            let info = mapped.cluster_of(probes[1]).unwrap();
+            assert_eq!(
+                (info.cluster, info.centroid_dist.to_bits()),
+                (reference[1].0, reference[1].1),
+                "budget {budget}: mapped answers diverge after migration"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
 }

@@ -106,7 +106,7 @@ fn save_load_serve_and_query() {
     let rows = res.body.get("embeddings").unwrap().as_array().unwrap();
     assert_eq!(rows.len(), 3);
     for (row_val, &node) in rows.iter().zip(&[0usize, 5, 89]) {
-        let direct = engine.artifact().embedding.row(node);
+        let direct = engine.store().row(node);
         let wire = row_val.as_array().unwrap();
         assert_eq!(wire.len(), direct.len());
         for (w, d) in wire.iter().zip(direct) {

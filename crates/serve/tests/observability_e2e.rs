@@ -392,7 +392,7 @@ fn version_build_block_and_metrics_families() {
         .iter()
         .map(|v| v.as_usize().unwrap())
         .collect();
-    assert_eq!(formats, vec![1, 2, 3, 4]);
+    assert_eq!(formats, vec![1, 2, 3, 4, 5]);
     assert!(build
         .get("delta_formats_supported")
         .unwrap()
@@ -414,6 +414,19 @@ fn version_build_block_and_metrics_families() {
         Some(env!("CARGO_PKG_VERSION"))
     );
 
+    // ... and the embedding-store memory block: a monolithic engine
+    // loaded owned pins heap bytes and maps nothing.
+    let memory = stats.body.get("memory").unwrap();
+    assert!(memory.get("store_owned_bytes").unwrap().as_f64().unwrap() > 0.0);
+    assert_eq!(
+        memory.get("store_mapped_bytes").unwrap().as_f64().unwrap(),
+        0.0
+    );
+    assert_eq!(memory.get("resident_hint").unwrap().as_str(), Some("none"));
+    let stores = memory.get("stores").unwrap().as_array().unwrap();
+    assert_eq!(stores.len(), 1);
+    assert_eq!(stores[0].as_str(), Some("owned"));
+
     // The metrics page validates and carries every new family.
     let (status, page) = client.get_text("/metrics").unwrap();
     assert_eq!(status, 200);
@@ -423,8 +436,16 @@ fn version_build_block_and_metrics_families() {
         "sgla_slo_objective_p99_us",
         "sgla_compact_duration_us_bucket",
         "sgla_compact_write_amplification",
+        "sgla_store_owned_bytes",
+        "sgla_store_mapped_bytes",
+        "sgla_store_mapped_stores",
+        "sgla_store_owned_stores",
     ] {
         assert!(page.contains(series), "missing {series} on /metrics");
     }
+    assert!(
+        page.contains("sgla_store_owned_stores 1"),
+        "monolithic owned load should report one owned store"
+    );
     server.shutdown();
 }

@@ -8,6 +8,36 @@
 use crate::{Result, SparseError};
 use std::ops::{Index, IndexMut};
 
+/// Read-only row access shared by every embedding-row provider.
+///
+/// Scan kernels and index probes only ever need `row(i) -> &[f64]`;
+/// abstracting that single borrow lets the same kernels run over an
+/// in-memory [`DenseMatrix`] or over rows borrowed straight out of a
+/// memory-mapped artifact without copying either one.
+pub trait RowMatrix: Sync {
+    /// Number of rows.
+    fn nrows(&self) -> usize;
+    /// Number of columns (row length).
+    fn ncols(&self) -> usize;
+    /// Row `r` as a borrowed slice of length [`Self::ncols`].
+    fn row(&self, r: usize) -> &[f64];
+}
+
+impl RowMatrix for DenseMatrix {
+    #[inline]
+    fn nrows(&self) -> usize {
+        DenseMatrix::nrows(self)
+    }
+    #[inline]
+    fn ncols(&self) -> usize {
+        DenseMatrix::ncols(self)
+    }
+    #[inline]
+    fn row(&self, r: usize) -> &[f64] {
+        DenseMatrix::row(self, r)
+    }
+}
+
 /// A dense row-major `f64` matrix.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DenseMatrix {

@@ -59,7 +59,7 @@ pub mod vecops;
 
 pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
-pub use dense::DenseMatrix;
+pub use dense::{DenseMatrix, RowMatrix};
 pub use error::SparseError;
 pub use fused::FusedSumOp;
 pub use linop::{LinOp, ScaledSumOp, ShiftedNegOp};
